@@ -1,0 +1,247 @@
+//! The shared-nothing monolithic cluster used as the comparison point in
+//! Figures 1, 18 and 19: every server runs one or more plain LSM-tree
+//! instances that store their SSTables on the server's local disk only, and
+//! clients route requests by the static range partitioning.
+
+use crate::presets::BaselineKind;
+use bytes::Bytes;
+use nova_common::config::{DiskConfig, FabricConfig};
+use nova_common::keyspace::KeyspacePartition;
+use nova_common::types::Entry;
+use nova_common::{NodeId, RangeId, Result, StocId};
+use nova_fabric::Fabric;
+use nova_logc::LogC;
+use nova_ltc::{Manifest, Placer, RangeEngine};
+use nova_stoc::{SimDisk, StocClient, StocDirectory, StocServer, StocStats, StorageMedium};
+use std::sync::Arc;
+
+/// A running shared-nothing cluster of monolithic LSM servers.
+pub struct BaselineCluster {
+    kind: BaselineKind,
+    fabric: Arc<Fabric>,
+    directory: StocDirectory,
+    stoc_servers: Vec<StocServer>,
+    engines: Vec<Arc<RangeEngine>>,
+    partition: KeyspacePartition,
+    num_servers: usize,
+}
+
+impl std::fmt::Debug for BaselineCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BaselineCluster")
+            .field("kind", &self.kind)
+            .field("servers", &self.num_servers)
+            .field("ranges", &self.engines.len())
+            .finish()
+    }
+}
+
+impl BaselineCluster {
+    /// Start a cluster of `num_servers` servers emulating `kind`, holding
+    /// `num_keys` keys, with memtables of `memtable_size_bytes` and disks
+    /// following `disk`.
+    pub fn start(
+        kind: BaselineKind,
+        num_servers: usize,
+        num_keys: u64,
+        memtable_size_bytes: usize,
+        disk: DiskConfig,
+    ) -> Result<Self> {
+        assert!(num_servers > 0, "a cluster needs at least one server");
+        let fabric = Fabric::new(num_servers, &FabricConfig::default());
+        let directory = StocDirectory::new();
+        // One StoC per server, co-located with its LSM instances.
+        let stoc_servers: Vec<StocServer> = (0..num_servers)
+            .map(|i| {
+                let medium: Arc<dyn StorageMedium> = Arc::new(SimDisk::new(disk));
+                StocServer::start(
+                    StocId(i as u32),
+                    NodeId(i as u32),
+                    &fabric,
+                    directory.clone(),
+                    medium,
+                    2,
+                    1,
+                )
+            })
+            .collect();
+
+        let instances = kind.instances_per_server();
+        let total_ranges = num_servers * instances;
+        let partition = KeyspacePartition::uniform(num_keys, total_ranges);
+        let config = kind.range_config(memtable_size_bytes);
+
+        let mut engines = Vec::with_capacity(total_ranges);
+        for range_idx in 0..total_ranges {
+            let server = range_idx / instances;
+            let local_stoc = StocId(server as u32);
+            let endpoint = fabric.endpoint(NodeId(server as u32));
+            let client = StocClient::new(endpoint, directory.clone());
+            let logc = Arc::new(LogC::new(client.clone(), config.log_policy, memtable_size_bytes as u64));
+            let placer = Placer::new(
+                client.clone(),
+                config.placement,
+                config.availability,
+                Some(local_stoc),
+                range_idx as u64 + 1,
+            );
+            let manifest = Manifest::new(local_stoc, &format!("{}-range-{range_idx}", kind.label()));
+            let engine = RangeEngine::new(
+                RangeId(range_idx as u32),
+                partition.interval(RangeId(range_idx as u32)),
+                config.clone(),
+                client,
+                logc,
+                placer,
+                manifest,
+            )?;
+            engines.push(engine);
+        }
+
+        Ok(BaselineCluster { kind, fabric, directory, stoc_servers, engines, partition, num_servers })
+    }
+
+    /// Which baseline this cluster emulates.
+    pub fn kind(&self) -> BaselineKind {
+        self.kind
+    }
+
+    /// Number of servers.
+    pub fn num_servers(&self) -> usize {
+        self.num_servers
+    }
+
+    /// Number of LSM instances (ranges) across the cluster.
+    pub fn num_ranges(&self) -> usize {
+        self.engines.len()
+    }
+
+    fn engine_for(&self, key: &[u8]) -> &Arc<RangeEngine> {
+        let range = self.partition.range_of_encoded(key);
+        &self.engines[range.0 as usize]
+    }
+
+    /// Write a key-value pair.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.engine_for(key).put(key, value)
+    }
+
+    /// Delete a key.
+    pub fn delete(&self, key: &[u8]) -> Result<()> {
+        self.engine_for(key).delete(key)
+    }
+
+    /// Read a key.
+    pub fn get(&self, key: &[u8]) -> Result<Bytes> {
+        self.engine_for(key).get(key)
+    }
+
+    /// Scan `limit` records starting at `start_key`, crossing range
+    /// boundaries in read-committed fashion (Section 8.1).
+    pub fn scan(&self, start_key: &[u8], limit: usize) -> Result<Vec<Entry>> {
+        let mut out = Vec::with_capacity(limit);
+        let mut range = self.partition.range_of_encoded(start_key).0 as usize;
+        let mut cursor = start_key.to_vec();
+        while out.len() < limit && range < self.engines.len() {
+            let chunk = self.engines[range].scan(&cursor, limit - out.len())?;
+            out.extend(chunk);
+            range += 1;
+            if range < self.engines.len() {
+                let next_start = self.partition.interval(RangeId(range as u32)).lower;
+                cursor = nova_common::keyspace::encode_key(next_start);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Flush every instance (used by tests).
+    pub fn flush_all(&self) -> Result<()> {
+        for e in &self.engines {
+            e.flush_all()?;
+        }
+        Ok(())
+    }
+
+    /// Per-server disk statistics (Figure 1's disk-utilization argument).
+    pub fn disk_stats(&self) -> Vec<StocStats> {
+        let endpoint = self.fabric.endpoint(NodeId(0));
+        let client = StocClient::new(endpoint, self.directory.clone());
+        (0..self.num_servers)
+            .map(|i| client.stats(StocId(i as u32)).unwrap_or_default())
+            .collect()
+    }
+
+    /// Aggregate write-stall count across all instances.
+    pub fn total_stalls(&self) -> u64 {
+        self.engines.iter().map(|e| e.stats().stalls.get()).sum()
+    }
+
+    /// Tear the cluster down.
+    pub fn shutdown(self) {
+        for e in &self.engines {
+            e.shutdown();
+        }
+        for s in self.stoc_servers {
+            s.stop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nova_common::keyspace::{decode_key, encode_key};
+    use nova_common::Error;
+
+    fn fast_disk() -> DiskConfig {
+        DiskConfig { bandwidth_bytes_per_sec: u64::MAX / 2, seek_micros: 0, accounting_only: true }
+    }
+
+    #[test]
+    fn leveldb_star_cluster_round_trips() {
+        let cluster =
+            BaselineCluster::start(BaselineKind::LevelDbStar, 2, 10_000, 8 * 1024, fast_disk()).unwrap();
+        assert_eq!(cluster.kind(), BaselineKind::LevelDbStar);
+        assert_eq!(cluster.num_servers(), 2);
+        assert_eq!(cluster.num_ranges(), 128);
+        for i in (0..10_000u64).step_by(101) {
+            cluster.put(&encode_key(i), format!("v{i}").as_bytes()).unwrap();
+        }
+        for i in (0..10_000u64).step_by(101) {
+            assert_eq!(cluster.get(&encode_key(i)).unwrap().as_ref(), format!("v{i}").as_bytes());
+        }
+        assert!(matches!(cluster.get(&encode_key(3)), Err(Error::NotFound)));
+        cluster.delete(&encode_key(101)).unwrap();
+        assert!(cluster.get(&encode_key(101)).is_err());
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn scans_cross_range_boundaries() {
+        let cluster = BaselineCluster::start(BaselineKind::LevelDb, 4, 400, 8 * 1024, fast_disk()).unwrap();
+        for i in 0..400u64 {
+            cluster.put(&encode_key(i), b"v").unwrap();
+        }
+        // Each server owns 100 keys; a scan of 10 starting at 95 must cross
+        // from server 0 into server 1.
+        let result = cluster.scan(&encode_key(95), 10).unwrap();
+        assert_eq!(result.len(), 10);
+        let keys: Vec<u64> = result.iter().map(|e| decode_key(&e.key).unwrap()).collect();
+        assert_eq!(keys, (95..105).collect::<Vec<u64>>());
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn data_stays_on_the_local_disk() {
+        let cluster = BaselineCluster::start(BaselineKind::LevelDb, 2, 1_000, 4 * 1024, fast_disk()).unwrap();
+        // Write only keys owned by server 0.
+        for i in 0..500u64 {
+            cluster.put(&encode_key(i), vec![b'x'; 64].as_slice()).unwrap();
+        }
+        cluster.flush_all().unwrap();
+        let stats = cluster.disk_stats();
+        assert!(stats[0].bytes_written > 0, "server 0's local disk must receive the SSTables");
+        assert_eq!(stats[1].bytes_written, 0, "shared-nothing: server 1's disk must stay idle");
+        cluster.shutdown();
+    }
+}

@@ -1,0 +1,21 @@
+//! # nova-baseline
+//!
+//! The monolithic, shared-nothing LSM baselines Nova-LSM is compared against
+//! in Section 8.3 of the paper: LevelDB, LevelDB* (64 instances per server),
+//! RocksDB, RocksDB* and RocksDB-tuned.
+//!
+//! The baselines are built on the *same* memtable, SSTable, bloom-filter and
+//! compaction substrate as Nova-LSM — only the architecture differs: one
+//! Drange (so no parallel Level-0 compaction), no lookup or range index, no
+//! small-memtable merging, SSTables confined to the server's local disk, and
+//! no compaction offloading. This isolates exactly the architectural
+//! difference the paper evaluates.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cluster;
+pub mod presets;
+
+pub use cluster::BaselineCluster;
+pub use presets::{all_kinds, BaselineKind};

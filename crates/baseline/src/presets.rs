@@ -1,0 +1,140 @@
+//! Configuration presets emulating the monolithic systems the paper compares
+//! against (Section 8.3):
+//!
+//! * **LevelDB** — one instance per server, ω=1, α=1, δ=2.
+//! * **LevelDB\*** — 64 instances per server, ω=64, α=1, δ=2.
+//! * **RocksDB** — one instance per server, ω=1, α=1, δ=128.
+//! * **RocksDB\*** — 64 instances per server, ω=64, α=1, δ=2.
+//! * **RocksDB-tuned** — one instance with the best knobs found by a sweep.
+//!
+//! Each instance is a plain LSM-tree on the same substrate as Nova-LSM but
+//! with everything that makes Nova-LSM *Nova-LSM* switched off: one Drange
+//! (no parallel L0 compaction), no lookup/range index, no small-memtable
+//! merging, SSTables on the server's local disk only (shared-nothing), no
+//! compaction offloading.
+
+use nova_common::config::{AvailabilityPolicy, LogPolicy, PlacementPolicy, RangeConfig};
+
+/// Which monolithic system to emulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BaselineKind {
+    /// One LevelDB instance per server (ω=1, α=1, δ=2).
+    LevelDb,
+    /// 64 LevelDB instances per server (ω=64, α=1, δ=2).
+    LevelDbStar,
+    /// One RocksDB instance per server (ω=1, α=1, δ=128).
+    RocksDb,
+    /// 64 RocksDB instances per server (ω=64, α=1, δ=2).
+    RocksDbStar,
+    /// One RocksDB instance with tuned knobs.
+    RocksDbTuned,
+}
+
+impl BaselineKind {
+    /// The label used in the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BaselineKind::LevelDb => "LevelDB",
+            BaselineKind::LevelDbStar => "LevelDB*",
+            BaselineKind::RocksDb => "RocksDB",
+            BaselineKind::RocksDbStar => "RocksDB*",
+            BaselineKind::RocksDbTuned => "RocksDB-tuned",
+        }
+    }
+
+    /// Number of LSM-tree instances (ranges) per server, the paper's ω.
+    pub fn instances_per_server(&self) -> usize {
+        match self {
+            BaselineKind::LevelDb | BaselineKind::RocksDb | BaselineKind::RocksDbTuned => 1,
+            BaselineKind::LevelDbStar | BaselineKind::RocksDbStar => 64,
+        }
+    }
+
+    /// The per-instance configuration, scaled by the harness-supplied
+    /// memtable size τ.
+    pub fn range_config(&self, memtable_size_bytes: usize) -> RangeConfig {
+        let (max_memtables, level0_multiplier, level1_multiplier) = match self {
+            BaselineKind::LevelDb | BaselineKind::LevelDbStar | BaselineKind::RocksDbStar => (2, 4, 8),
+            BaselineKind::RocksDb => (128, 4, 8),
+            // The "tuned" variant: a bigger Level 0 before stalling and a
+            // bigger Level 1, the two knobs the paper calls out.
+            BaselineKind::RocksDbTuned => (128, 16, 32),
+        };
+        RangeConfig {
+            // One Drange and one active memtable: a plain LSM write path.
+            num_dranges: 1,
+            tranges_per_drange: 1,
+            active_memtables: 1,
+            max_memtables,
+            memtable_size_bytes,
+            scatter_width: 1,
+            placement: PlacementPolicy::LocalOnly,
+            availability: AvailabilityPolicy::None,
+            log_policy: LogPolicy::Disabled,
+            // Disable the small-memtable merge optimisation: it is a Nova-LSM
+            // contribution.
+            unique_key_flush_threshold: 0,
+            level0_stall_bytes: memtable_size_bytes as u64 * level0_multiplier,
+            level_size_multiplier: 10,
+            level1_max_bytes: memtable_size_bytes as u64 * level1_multiplier,
+            num_levels: 4,
+            compaction_threads: 2,
+            offload_compaction: false,
+            reorg_epsilon: 1.0,
+            reorg_check_interval: u64::MAX,
+            enable_lookup_index: false,
+            enable_range_index: false,
+            block_on_stall: true,
+            block_size_bytes: 4096,
+            bloom_bits_per_key: 10,
+        }
+    }
+}
+
+/// All baseline kinds, in the order the paper's figures list them.
+pub fn all_kinds() -> [BaselineKind; 5] {
+    [
+        BaselineKind::LevelDb,
+        BaselineKind::LevelDbStar,
+        BaselineKind::RocksDb,
+        BaselineKind::RocksDbStar,
+        BaselineKind::RocksDbTuned,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_instance_counts_match_the_paper() {
+        assert_eq!(BaselineKind::LevelDb.label(), "LevelDB");
+        assert_eq!(BaselineKind::LevelDbStar.label(), "LevelDB*");
+        assert_eq!(BaselineKind::RocksDbTuned.label(), "RocksDB-tuned");
+        assert_eq!(BaselineKind::LevelDb.instances_per_server(), 1);
+        assert_eq!(BaselineKind::LevelDbStar.instances_per_server(), 64);
+        assert_eq!(BaselineKind::RocksDbStar.instances_per_server(), 64);
+        assert_eq!(all_kinds().len(), 5);
+    }
+
+    #[test]
+    fn configs_disable_nova_lsm_features() {
+        for kind in all_kinds() {
+            let c = kind.range_config(1 << 20);
+            assert!(c.validate().is_ok(), "{kind:?} config must validate");
+            assert_eq!(c.num_dranges, 1);
+            assert!(!c.enable_lookup_index);
+            assert!(!c.enable_range_index);
+            assert_eq!(c.placement, PlacementPolicy::LocalOnly);
+            assert_eq!(c.unique_key_flush_threshold, 0);
+            assert!(!c.offload_compaction);
+        }
+        // Memtable budgets follow the paper: δ=2 for LevelDB, δ=128 for RocksDB.
+        assert_eq!(BaselineKind::LevelDb.range_config(1 << 20).max_memtables, 2);
+        assert_eq!(BaselineKind::RocksDb.range_config(1 << 20).max_memtables, 128);
+        assert!(
+            BaselineKind::RocksDbTuned.range_config(1 << 20).level0_stall_bytes
+                > BaselineKind::RocksDb.range_config(1 << 20).level0_stall_bytes
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Criterion end-to-end benchmarks: single put / get / scan operations
+//! against a small running Nova-LSM cluster (instantaneous simulated disks so
+//! the numbers reflect the software path, not the disk model).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nova_common::keyspace::encode_key;
+use nova_lsm::{presets, NovaClient, NovaCluster};
+use std::time::Duration;
+
+fn bench_cluster_ops(c: &mut Criterion) {
+    let num_keys = 50_000u64;
+    let cluster = NovaCluster::start(presets::test_cluster(1, 3, num_keys)).unwrap();
+    let client = NovaClient::new(cluster.clone());
+    for i in 0..num_keys {
+        client.put_numeric(i, b"initial-value-payload").unwrap();
+    }
+
+    let mut group = c.benchmark_group("cluster");
+    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group.throughput(Throughput::Elements(1));
+
+    group.bench_function("put", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            client.put_numeric(i % num_keys, b"updated-value-payload").unwrap();
+        });
+    });
+    group.bench_function("get", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7919) % num_keys;
+            criterion::black_box(client.get_numeric(i).unwrap());
+        });
+    });
+    group.bench_function("scan10", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 104729) % num_keys;
+            criterion::black_box(client.scan(&encode_key(i), 10).unwrap());
+        });
+    });
+    group.finish();
+    cluster.shutdown();
+}
+
+criterion_group!(benches, bench_cluster_ops);
+criterion_main!(benches);

@@ -1,0 +1,164 @@
+//! Criterion micro-benchmarks of the Nova-LSM substrates: the skiplist
+//! memtable, SSTable build/read, bloom filters, the lookup index, the zipfian
+//! generator and the simulated fabric's one-sided verbs.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use nova_common::keyspace::encode_key;
+use nova_common::types::{Entry, MAX_SEQUENCE_NUMBER};
+use nova_common::{MemtableId, NodeId, ValueType};
+use nova_fabric::Fabric;
+use nova_ltc::LookupIndex;
+use nova_memtable::Memtable;
+use nova_sstable::{BloomFilter, MemoryFetcher, TableBuilder, TableOptions, TableReader};
+use nova_ycsb::Zipfian;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+fn quick(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut group = c.benchmark_group("nova");
+    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group
+}
+
+fn bench_memtable(c: &mut Criterion) {
+    let mut group = quick(c);
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("memtable_put", |b| {
+        let memtable = Memtable::new(MemtableId(1), 0, usize::MAX);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            memtable.add(i, ValueType::Value, &encode_key(i % 100_000), b"value-payload-64-bytes");
+        });
+    });
+    group.bench_function("memtable_get", |b| {
+        let memtable = Memtable::new(MemtableId(1), 0, usize::MAX);
+        for i in 0..100_000u64 {
+            memtable.add(i + 1, ValueType::Value, &encode_key(i), b"value");
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7919) % 100_000;
+            criterion::black_box(memtable.get(&encode_key(i), MAX_SEQUENCE_NUMBER));
+        });
+    });
+    group.finish();
+}
+
+fn bench_sstable(c: &mut Criterion) {
+    let entries: Vec<Entry> =
+        (0..20_000u64).map(|i| Entry::put(encode_key(i), i + 1, vec![b'v'; 128])).collect();
+    let mut group = quick(c);
+    group.throughput(Throughput::Elements(20_000));
+    group.bench_function("sstable_build_20k_entries", |b| {
+        b.iter_batched(
+            || entries.clone(),
+            |entries| {
+                let mut builder = TableBuilder::new(TableOptions { block_size: 4096, bloom_bits_per_key: 10, num_fragments: 3 });
+                for e in &entries {
+                    builder.add(e);
+                }
+                criterion::black_box(builder.finish().unwrap())
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    // Point reads against a built table.
+    let mut builder = TableBuilder::new(TableOptions { block_size: 4096, bloom_bits_per_key: 10, num_fragments: 3 });
+    for e in &entries {
+        builder.add(e);
+    }
+    let built = builder.finish().unwrap();
+    let reader = TableReader::open(&built.meta).unwrap();
+    let fetcher = MemoryFetcher::new(built.fragments.clone());
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("sstable_point_get", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7919) % 20_000;
+            criterion::black_box(reader.get(&fetcher, &encode_key(i), MAX_SEQUENCE_NUMBER).unwrap());
+        });
+    });
+    group.finish();
+}
+
+fn bench_bloom(c: &mut Criterion) {
+    let keys: Vec<Vec<u8>> = (0..10_000u64).map(encode_key).collect();
+    let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+    let mut group = quick(c);
+    group.bench_function("bloom_build_10k", |b| {
+        b.iter(|| criterion::black_box(BloomFilter::build(&refs, 10)));
+    });
+    let filter = BloomFilter::build(&refs, 10);
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("bloom_probe", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            criterion::black_box(filter.may_contain(&encode_key(i % 20_000)));
+        });
+    });
+    group.finish();
+}
+
+fn bench_lookup_index(c: &mut Criterion) {
+    let mut group = quick(c);
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("lookup_index_update_and_lookup", |b| {
+        let index = LookupIndex::new();
+        let memtable = Memtable::new(MemtableId(1), 0, usize::MAX);
+        index.register_memtable(&memtable);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let key = encode_key(i % 50_000);
+            index.update_key(&key, MemtableId(1));
+            criterion::black_box(index.lookup(&key));
+        });
+    });
+    group.finish();
+}
+
+fn bench_zipfian(c: &mut Criterion) {
+    let mut group = quick(c);
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("zipfian_next", |b| {
+        let zipf = Zipfian::ycsb_default(1_000_000);
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| criterion::black_box(zipf.next(&mut rng)));
+    });
+    group.bench_function("uniform_next", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| criterion::black_box(rng.gen_range(0u64..1_000_000)));
+    });
+    group.finish();
+}
+
+fn bench_fabric(c: &mut Criterion) {
+    let fabric = Fabric::with_defaults(2);
+    let a = fabric.endpoint(NodeId(0));
+    let b_ep = fabric.endpoint(NodeId(1));
+    let region = b_ep.register_region(1 << 20);
+    let payload = vec![7u8; 4096];
+    let mut group = quick(c);
+    group.throughput(Throughput::Bytes(4096));
+    group.bench_function("fabric_rdma_write_4k", |b| {
+        b.iter(|| a.rdma_write(NodeId(1), region, 0, &payload, None).unwrap());
+    });
+    group.bench_function("fabric_rdma_read_4k", |b| {
+        b.iter(|| criterion::black_box(a.rdma_read(NodeId(1), region, 0, 4096).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_memtable,
+    bench_sstable,
+    bench_bloom,
+    bench_lookup_index,
+    bench_zipfian,
+    bench_fabric
+);
+criterion_main!(benches);

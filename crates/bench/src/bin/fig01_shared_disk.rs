@@ -1,0 +1,39 @@
+//! Figure 1: shared-nothing vs shared-disk on the same 10-server hardware,
+//! RW50 / W100 / SW50 with Uniform and Zipfian access.
+//!
+//! The paper reports that with Zipfian access the shared-disk configuration
+//! improves throughput by 9×–14× because the shared-nothing node holding the
+//! popular keys saturates its one disk while nine disks idle.
+
+use nova_bench::{nova_store, print_header, print_row, run_workload, BenchScale};
+use nova_lsm::presets;
+use nova_ycsb::{Distribution, Mix};
+
+fn main() {
+    let scale = BenchScale::from_args();
+    let servers = 10;
+    print_header(
+        "Figure 1: shared-nothing vs shared-disk (10 servers)",
+        &["workload", "distribution", "shared-nothing kops", "shared-disk kops", "factor"],
+    );
+    for mix in Mix::standard() {
+        for dist in [Distribution::Uniform, Distribution::zipfian_default()] {
+            // Shared-nothing: each LTC writes only to its local StoC.
+            let store = nova_store(presets::shared_nothing(servers, scale.num_keys), &scale);
+            let nothing = run_workload(&store, mix, dist, &scale);
+            store.shutdown();
+            // Shared-disk: ρ=3 of 10 StoCs with power-of-d.
+            let store = nova_store(presets::shared_disk(servers, servers, 3, scale.num_keys), &scale);
+            let disk = run_workload(&store, mix, dist, &scale);
+            store.shutdown();
+            let factor = if nothing.throughput_kops() > 0.0 { disk.throughput_kops() / nothing.throughput_kops() } else { 0.0 };
+            print_row(&[
+                mix.label().to_string(),
+                dist.label(),
+                format!("{:.1}", nothing.throughput_kops()),
+                format!("{:.1}", disk.throughput_kops()),
+                format!("{factor:.1}x"),
+            ]);
+        }
+    }
+}

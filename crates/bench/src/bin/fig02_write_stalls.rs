@@ -1,0 +1,45 @@
+//! Figure 2: throughput over time of four configurations, showing how more
+//! memtables and more StoCs diminish write stalls (Challenge 1).
+
+use nova_bench::{nova_store, print_header, print_row, run_workload, BenchScale};
+use nova_lsm::presets;
+use nova_ycsb::{Distribution, Mix};
+
+fn main() {
+    let scale = BenchScale::from_args();
+    let configurations: [(&str, usize, usize, usize); 4] = [
+        // (label, memtables δ, active α, StoCs β)
+        ("(i)   2 memtables, 1 StoC", 2, 1, 1),
+        ("(ii)  2 memtables, 10 StoCs", 2, 1, 10),
+        ("(iii) 32 memtables, 1 StoC", 32, 8, 1),
+        ("(iv)  32 memtables, 10 StoCs", 32, 8, 10),
+    ];
+    print_header(
+        "Figure 2: write stalls vs memtables and StoCs (W100 Uniform)",
+        &["configuration", "mean kops", "peak kops", "stall fraction", "stalls"],
+    );
+    for (label, memtables, active, stocs) in configurations {
+        let mut config = presets::shared_disk(1, stocs, 1, scale.num_keys);
+        config.range.max_memtables = memtables;
+        config.range.active_memtables = active;
+        config.range.num_dranges = active.max(1);
+        let store = nova_store(config, &scale);
+        let report = run_workload(&store, Mix::W100, Distribution::Uniform, &scale);
+        let stalls = store.nova().map(|c| c.total_stalls()).unwrap_or(0);
+        print_row(&[
+            label.to_string(),
+            format!("{:.1}", report.series.mean() / 1000.0),
+            format!("{:.1}", report.series.peak() / 1000.0),
+            format!("{:.0}%", report.series.fraction_below(0.1) * 100.0),
+            stalls.to_string(),
+        ]);
+        // The throughput-over-time series itself (the paper's y-axis is log
+        // scale; we print raw samples).
+        if std::env::args().any(|a| a == "--series") {
+            for (t, ops) in report.series.samples() {
+                println!("  t={t:.1}s {:.0} ops/s", ops);
+            }
+        }
+        store.shutdown();
+    }
+}

@@ -1,0 +1,67 @@
+//! Figure 11 and Section 8.2.1: the Drange ablation. Nova-LSM (Dranges +
+//! small-memtable merging) vs Nova-LSM-S (static partitioning, no merging) vs
+//! Nova-LSM-R (random memtable selection — a single logical L0 keyspace).
+//! Also reports the Drange load-imbalance / reorganisation statistics.
+
+use nova_bench::{nova_store, print_header, print_row, run_workload, BenchScale};
+use nova_lsm::presets;
+use nova_ycsb::{Distribution, Mix};
+
+fn main() {
+    let scale = BenchScale::from_args();
+    print_header(
+        "Figure 11: Nova-LSM vs Nova-LSM-R vs Nova-LSM-S (η=1, β=10)",
+        &["workload", "distribution", "Nova-LSM-R kops", "Nova-LSM-S kops", "Nova-LSM kops"],
+    );
+    for mix in Mix::standard() {
+        for dist in [Distribution::Uniform, Distribution::zipfian_default()] {
+            // Nova-LSM-R: one Drange (every L0 SSTable spans the keyspace),
+            // no merge optimisation, no reorganisation.
+            let mut r = presets::shared_disk(1, 10, 1, scale.num_keys);
+            r.range.num_dranges = 1;
+            r.range.unique_key_flush_threshold = 0;
+            r.range.reorg_check_interval = u64::MAX;
+            let store = nova_store(r, &scale);
+            let report_r = run_workload(&store, mix, dist, &scale);
+            store.shutdown();
+
+            // Nova-LSM-S: static Dranges, no merging, no reorganisation.
+            let mut s = presets::shared_disk(1, 10, 1, scale.num_keys);
+            s.range.unique_key_flush_threshold = 0;
+            s.range.reorg_check_interval = u64::MAX;
+            let store = nova_store(s, &scale);
+            let report_s = run_workload(&store, mix, dist, &scale);
+            store.shutdown();
+
+            // Full Nova-LSM.
+            let full = presets::shared_disk(1, 10, 1, scale.num_keys);
+            let store = nova_store(full, &scale);
+            let report_full = run_workload(&store, mix, dist, &scale);
+            if mix == Mix::W100 {
+                if let Some(cluster) = store.nova() {
+                    let range = cluster.coordinator().configuration().range_assignment.keys().copied().next().unwrap();
+                    let engine = cluster.ltc(cluster.ltc_ids()[0]).unwrap().range(range).unwrap();
+                    let stats = engine.drange_stats();
+                    println!(
+                        "  [{} {}] load imbalance {:.2e}, {} minor + {} major reorganisations, {} duplicated Dranges",
+                        mix.label(),
+                        dist.label(),
+                        engine.drange_load_imbalance(),
+                        stats.minor_reorgs,
+                        stats.major_reorgs,
+                        stats.duplicated_dranges
+                    );
+                }
+            }
+            store.shutdown();
+
+            print_row(&[
+                mix.label().to_string(),
+                dist.label(),
+                format!("{:.1}", report_r.throughput_kops()),
+                format!("{:.1}", report_s.throughput_kops()),
+                format!("{:.1}", report_full.throughput_kops()),
+            ]);
+        }
+    }
+}

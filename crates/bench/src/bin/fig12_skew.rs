@@ -1,0 +1,30 @@
+//! Figure 12: impact of skew — throughput of RW50 / W100 / SW50 as the
+//! Zipfian constant sweeps from Uniform through 0.27, 0.73 and 0.99.
+
+use nova_bench::{nova_store, print_header, print_row, run_workload, BenchScale};
+use nova_lsm::presets;
+use nova_ycsb::{Distribution, Mix};
+
+fn main() {
+    let scale = BenchScale::from_args();
+    let distributions = [
+        Distribution::Uniform,
+        Distribution::Zipfian(0.27),
+        Distribution::Zipfian(0.73),
+        Distribution::Zipfian(0.99),
+    ];
+    print_header(
+        "Figure 12: impact of skew (η=1, β=10, ρ=1)",
+        &["workload", "Uniform kops", "Zipf 0.27 kops", "Zipf 0.73 kops", "Zipf 0.99 kops"],
+    );
+    for mix in [Mix::Rw50, Mix::W100, Mix::Sw50] {
+        let mut cells = vec![mix.label().to_string()];
+        for dist in distributions {
+            let store = nova_store(presets::shared_disk(1, 10, 1, scale.num_keys), &scale);
+            let report = run_workload(&store, mix, dist, &scale);
+            store.shutdown();
+            cells.push(format!("{:.1}", report.throughput_kops()));
+        }
+        print_row(&cells);
+    }
+}

@@ -1,0 +1,34 @@
+//! Figure 13: throughput and scalability of one LTC as the number of StoCs β
+//! grows from 1 to 10 (ρ=1, power-of-2).
+
+use nova_bench::{nova_store, print_header, print_row, run_workload, BenchScale};
+use nova_lsm::presets;
+use nova_ycsb::{Distribution, Mix};
+
+fn main() {
+    let scale = BenchScale::from_args();
+    print_header(
+        "Figure 13: scalability of 1 LTC vs number of StoCs (ρ=1)",
+        &["workload", "distribution", "β=1 kops", "β=3 kops", "β=5 kops", "β=10 kops", "scalability(10)"],
+    );
+    for mix in Mix::standard() {
+        for dist in [Distribution::Uniform, Distribution::zipfian_default()] {
+            let mut cells = vec![mix.label().to_string(), dist.label()];
+            let mut base = 0.0;
+            let mut last = 0.0;
+            for beta in [1usize, 3, 5, 10] {
+                let store = nova_store(presets::shared_disk(1, beta, 1, scale.num_keys), &scale);
+                let report = run_workload(&store, mix, dist, &scale);
+                store.shutdown();
+                let kops = report.throughput_kops();
+                if beta == 1 {
+                    base = kops;
+                }
+                last = kops;
+                cells.push(format!("{kops:.1}"));
+            }
+            cells.push(format!("{:.1}x", if base > 0.0 { last / base } else { 0.0 }));
+            print_row(&cells);
+        }
+    }
+}

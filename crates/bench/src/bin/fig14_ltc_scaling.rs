@@ -1,0 +1,34 @@
+//! Figure 14: throughput and scalability as the number of LTCs η grows from 1
+//! to 5 with 10 StoCs, ρ=3, Uniform access.
+
+use nova_bench::{nova_store, print_header, print_row, run_workload, BenchScale};
+use nova_lsm::presets;
+use nova_ycsb::{Distribution, Mix};
+
+fn main() {
+    let scale = BenchScale::from_args();
+    print_header(
+        "Figure 14: scalability vs number of LTCs (β=10, ρ=3, Uniform)",
+        &["workload", "η=1 kops", "η=2 kops", "η=3 kops", "η=4 kops", "η=5 kops", "scalability(5)"],
+    );
+    for mix in [Mix::Rw50, Mix::W100, Mix::Sw50] {
+        let mut cells = vec![mix.label().to_string()];
+        let mut base = 0.0;
+        let mut last = 0.0;
+        for eta in 1usize..=5 {
+            let mut config = presets::shared_disk(eta, 10, 3, scale.num_keys);
+            config.ranges_per_ltc = 1;
+            let store = nova_store(config, &scale);
+            let report = run_workload(&store, mix, Distribution::Uniform, &scale);
+            store.shutdown();
+            let kops = report.throughput_kops();
+            if eta == 1 {
+                base = kops;
+            }
+            last = kops;
+            cells.push(format!("{kops:.1}"));
+        }
+        cells.push(format!("{:.1}x", if base > 0.0 { last / base } else { 0.0 }));
+        print_row(&cells);
+    }
+}

@@ -1,0 +1,26 @@
+//! Figure 15: throughput and scalability of 5 LTCs as the number of StoCs β
+//! grows from 1 to 10 (ρ=1, Uniform).
+
+use nova_bench::{nova_store, print_header, print_row, run_workload, BenchScale};
+use nova_lsm::presets;
+use nova_ycsb::{Distribution, Mix};
+
+fn main() {
+    let scale = BenchScale::from_args();
+    print_header(
+        "Figure 15: 5 LTCs vs number of StoCs (ρ=1, Uniform)",
+        &["workload", "β=1 kops", "β=3 kops", "β=5 kops", "β=10 kops"],
+    );
+    for mix in [Mix::Rw50, Mix::W100, Mix::Sw50] {
+        let mut cells = vec![mix.label().to_string()];
+        for beta in [1usize, 3, 5, 10] {
+            let mut config = presets::shared_disk(5, beta, 1, scale.num_keys);
+            config.ranges_per_ltc = 1;
+            let store = nova_store(config, &scale);
+            let report = run_workload(&store, mix, Distribution::Uniform, &scale);
+            store.shutdown();
+            cells.push(format!("{:.1}", report.throughput_kops()));
+        }
+        print_row(&cells);
+    }
+}

@@ -1,0 +1,47 @@
+//! Figure 16: the cost of SSTable availability — throughput with R ∈ {1,2,3}
+//! replicas and with the Hybrid (parity + replicated metadata) scheme, plus
+//! the per-StoC disk-bandwidth distribution for W100.
+
+use nova_bench::{nova_store, print_header, print_row, run_workload, BenchScale};
+use nova_common::config::AvailabilityPolicy;
+use nova_lsm::presets;
+use nova_ycsb::{Distribution, Mix};
+
+fn main() {
+    let scale = BenchScale::from_args();
+    let policies: [(&str, AvailabilityPolicy); 4] = [
+        ("R=1", AvailabilityPolicy::None),
+        ("R=2", AvailabilityPolicy::Replicate(2)),
+        ("R=3", AvailabilityPolicy::Replicate(3)),
+        ("Hybrid", AvailabilityPolicy::Hybrid),
+    ];
+    print_header(
+        "Figure 16a: throughput vs SSTable replication (Uniform, η=1, β=10, ρ=3)",
+        &["workload", "R=1 kops", "R=2 kops", "R=3 kops", "Hybrid kops"],
+    );
+    let mut disk_rows: Vec<(String, Vec<u64>)> = Vec::new();
+    for mix in [Mix::Rw50, Mix::W100, Mix::Sw50] {
+        let mut cells = vec![mix.label().to_string()];
+        for (label, availability) in policies {
+            let mut config = presets::shared_disk(1, 10, 3, scale.num_keys);
+            config.range.availability = availability;
+            let store = nova_store(config, &scale);
+            let report = run_workload(&store, mix, Distribution::Uniform, &scale);
+            if mix == Mix::W100 {
+                if let Some(cluster) = store.nova() {
+                    let mut bytes: Vec<(u32, u64)> =
+                        cluster.stoc_stats().into_iter().map(|(s, st)| (s.0, st.bytes_written)).collect();
+                    bytes.sort();
+                    disk_rows.push((label.to_string(), bytes.into_iter().map(|(_, b)| b).collect()));
+                }
+            }
+            store.shutdown();
+            cells.push(format!("{:.1}", report.throughput_kops()));
+        }
+        print_row(&cells);
+    }
+    print_header("Figure 16b: bytes written per StoC during W100", &["policy", "per-StoC bytes written"]);
+    for (label, bytes) in disk_rows {
+        print_row(&[label, format!("{bytes:?}")]);
+    }
+}

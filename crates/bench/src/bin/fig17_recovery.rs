@@ -1,0 +1,136 @@
+//! Figure 17: recovery duration — fetching log records with one-sided reads
+//! vs rebuilding memtables, as a function of the number of memtables (δ) and
+//! of the number of recovery threads.
+
+use nova_bench::{print_header, print_row, BenchScale};
+use nova_common::config::{DiskConfig, LogPolicy};
+use nova_common::keyspace::{encode_key, KeyInterval};
+use nova_common::{NodeId, RangeId, StocId};
+use nova_fabric::Fabric;
+use nova_logc::LogC;
+use nova_ltc::{Manifest, Placer, RangeEngine};
+use nova_stoc::{SimDisk, StocClient, StocDirectory, StocServer, StorageMedium};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn build_logged_range(
+    num_stocs: usize,
+    memtables: usize,
+    entries_per_memtable: u64,
+    value_size: usize,
+) -> (Vec<StocServer>, StocClient, nova_common::config::RangeConfig) {
+    let fabric = Fabric::with_defaults(num_stocs + 1);
+    let directory = StocDirectory::new();
+    let servers: Vec<StocServer> = (0..num_stocs)
+        .map(|i| {
+            let medium: Arc<dyn StorageMedium> = Arc::new(SimDisk::new(DiskConfig {
+                bandwidth_bytes_per_sec: u64::MAX / 2,
+                seek_micros: 0,
+                accounting_only: true,
+            }));
+            StocServer::start(StocId(i as u32), NodeId(i as u32 + 1), &fabric, directory.clone(), medium, 2, 1)
+        })
+        .collect();
+    let client = StocClient::new(fabric.endpoint(NodeId(0)), directory);
+
+    let mut config = nova_lsm::presets::test_cluster(1, num_stocs, 1_000_000).range;
+    config.log_policy = LogPolicy::InMemoryReplicated { replicas: 3 };
+    config.memtable_size_bytes = (entries_per_memtable as usize) * (value_size + 64);
+    config.max_memtables = memtables.max(2);
+    config.active_memtables = memtables.clamp(1, 8);
+    config.num_dranges = memtables.clamp(1, 8);
+    config.level0_stall_bytes = u64::MAX;
+
+    // Populate: write enough entries to fill roughly `memtables` memtables.
+    let logc = Arc::new(LogC::new(client.clone(), config.log_policy, config.memtable_size_bytes as u64 * 2));
+    let placer = Placer::new(client.clone(), config.placement, config.availability, None, 1);
+    let manifest = Manifest::new(StocId(0), "fig17");
+    let engine = RangeEngine::new(
+        RangeId(0),
+        KeyInterval::new(0, 1_000_000),
+        config.clone(),
+        client.clone(),
+        logc,
+        placer,
+        manifest,
+    )
+    .expect("engine");
+    let total = entries_per_memtable * memtables as u64;
+    for i in 0..total {
+        engine.put(&encode_key(i % 1_000_000), &vec![b'r'; value_size]).expect("put");
+    }
+    engine.shutdown();
+    (servers, client, config)
+}
+
+fn main() {
+    let scale = BenchScale::from_args();
+    let value_size = scale.value_size.min(256);
+
+    print_header(
+        "Figure 17a: recovery duration vs number of memtables (1 recovery thread)",
+        &["memtables δ", "log fetch+parse ms", "memtable rebuild ms", "total ms"],
+    );
+    for memtables in [1usize, 8, 32] {
+        let (servers, client, config) = build_logged_range(3, memtables, 200, value_size);
+        let logc = Arc::new(LogC::new(client.clone(), config.log_policy, config.memtable_size_bytes as u64 * 2));
+        let fetch_start = Instant::now();
+        let records = logc.recover_range(RangeId(0), 1).expect("recover logs");
+        let fetch_ms = fetch_start.elapsed().as_secs_f64() * 1000.0;
+        let rebuild_start = Instant::now();
+        let placer = Placer::new(client.clone(), config.placement, config.availability, None, 2);
+        let manifest = Manifest::new(StocId(0), "fig17");
+        let engine = RangeEngine::recover(
+            RangeId(0),
+            KeyInterval::new(0, 1_000_000),
+            config.clone(),
+            client.clone(),
+            logc,
+            placer,
+            manifest,
+            1,
+        )
+        .expect("recover engine");
+        let rebuild_ms = rebuild_start.elapsed().as_secs_f64() * 1000.0;
+        engine.shutdown();
+        let _ = records;
+        print_row(&[
+            memtables.to_string(),
+            format!("{fetch_ms:.1}"),
+            format!("{rebuild_ms:.1}"),
+            format!("{:.1}", fetch_ms + rebuild_ms),
+        ]);
+        for s in servers {
+            s.stop();
+        }
+    }
+
+    print_header(
+        "Figure 17b: recovery duration vs number of recovery threads (δ=32)",
+        &["recovery threads", "recovery ms"],
+    );
+    for threads in [1usize, 2, 4, 8, 16] {
+        let (servers, client, config) = build_logged_range(3, 32, 200, value_size);
+        let logc = Arc::new(LogC::new(client.clone(), config.log_policy, config.memtable_size_bytes as u64 * 2));
+        let placer = Placer::new(client.clone(), config.placement, config.availability, None, 3);
+        let manifest = Manifest::new(StocId(0), "fig17");
+        let start = Instant::now();
+        let engine = RangeEngine::recover(
+            RangeId(0),
+            KeyInterval::new(0, 1_000_000),
+            config.clone(),
+            client.clone(),
+            logc,
+            placer,
+            manifest,
+            threads,
+        )
+        .expect("recover engine");
+        let ms = start.elapsed().as_secs_f64() * 1000.0;
+        engine.shutdown();
+        print_row(&[threads.to_string(), format!("{ms:.1}")]);
+        for s in servers {
+            s.stop();
+        }
+    }
+}

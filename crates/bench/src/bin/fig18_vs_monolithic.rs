@@ -1,0 +1,71 @@
+//! Figure 18: Nova-LSM against the monolithic baselines (LevelDB, LevelDB*,
+//! RocksDB, RocksDB*, RocksDB-tuned) on one node and on ten nodes, with and
+//! without logging. Pass `--ten-nodes` to run the 10-server variant (18b–d)
+//! instead of the single-server one (18a).
+
+use nova_baseline::{all_kinds, BaselineKind};
+use nova_bench::{baseline_store, nova_store, print_header, print_row, run_workload, BenchScale};
+use nova_common::config::LogPolicy;
+use nova_lsm::presets;
+use nova_ycsb::{Distribution, Mix};
+
+fn main() {
+    let scale = BenchScale::from_args();
+    let ten_nodes = std::env::args().any(|a| a == "--ten-nodes");
+    let servers = if ten_nodes { 10 } else { 1 };
+    let memtable_bytes = presets::scaled_experiment(scale.num_keys).range.memtable_size_bytes;
+
+    print_header(
+        &format!("Figure 18: Nova-LSM vs monolithic baselines ({servers} server(s))"),
+        &["workload", "distribution", "system", "kops", "vs LevelDB"],
+    );
+    for mix in Mix::standard() {
+        for dist in [Distribution::Uniform, Distribution::zipfian_default()] {
+            let mut leveldb_kops = 0.0;
+            // Baselines.
+            let kinds: Vec<BaselineKind> = if ten_nodes {
+                vec![BaselineKind::LevelDbStar, BaselineKind::RocksDbStar, BaselineKind::RocksDbTuned]
+            } else {
+                all_kinds().to_vec()
+            };
+            for kind in kinds {
+                let store = baseline_store(kind, servers, memtable_bytes, &scale);
+                let report = run_workload(&store, mix, dist, &scale);
+                store.shutdown();
+                if kind == BaselineKind::LevelDb || (ten_nodes && kind == BaselineKind::LevelDbStar) {
+                    leveldb_kops = report.throughput_kops();
+                }
+                let factor = if leveldb_kops > 0.0 { report.throughput_kops() / leveldb_kops } else { 1.0 };
+                print_row(&[
+                    mix.label().to_string(),
+                    dist.label(),
+                    kind.label().to_string(),
+                    format!("{:.1}", report.throughput_kops()),
+                    format!("{factor:.1}x"),
+                ]);
+            }
+            // Nova-LSM, without and with logging.
+            for (label, logging) in [("Nova-LSM", false), ("Nova-LSM+Logging", true)] {
+                let mut config = if ten_nodes {
+                    presets::shared_disk(servers, servers, 3, scale.num_keys)
+                } else {
+                    presets::shared_disk(1, 1, 1, scale.num_keys)
+                };
+                if logging {
+                    config.range.log_policy = LogPolicy::InMemoryReplicated { replicas: 3.min(servers as u32) };
+                }
+                let store = nova_store(config, &scale);
+                let report = run_workload(&store, mix, dist, &scale);
+                store.shutdown();
+                let factor = if leveldb_kops > 0.0 { report.throughput_kops() / leveldb_kops } else { 1.0 };
+                print_row(&[
+                    mix.label().to_string(),
+                    dist.label(),
+                    label.to_string(),
+                    format!("{:.1}", report.throughput_kops()),
+                    format!("{factor:.1}x"),
+                ]);
+            }
+        }
+    }
+}

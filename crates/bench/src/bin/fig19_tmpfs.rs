@@ -1,0 +1,39 @@
+//! Figure 19: the comparison of Figure 18b repeated on memory-speed storage
+//! (tmpfs): with the disk out of the picture the CPU becomes the bottleneck,
+//! Nova-LSM still wins with Zipfian but pays its index/xchg CPU overhead with
+//! Uniform.
+
+use nova_baseline::BaselineKind;
+use nova_bench::{baseline_store, nova_store, print_header, print_row, run_workload, BenchScale};
+use nova_common::config::DiskConfig;
+use nova_lsm::presets;
+use nova_ycsb::{Distribution, Mix};
+
+fn main() {
+    let mut scale = BenchScale::from_args();
+    scale.disk = DiskConfig::tmpfs();
+    let memtable_bytes = presets::scaled_experiment(scale.num_keys).range.memtable_size_bytes;
+    print_header(
+        "Figure 19: Nova-LSM vs baselines on tmpfs (10 servers)",
+        &["workload", "distribution", "system", "kops"],
+    );
+    for mix in Mix::standard() {
+        for dist in [Distribution::Uniform, Distribution::zipfian_default()] {
+            for system in ["LevelDB*", "RocksDB*", "Nova-LSM"] {
+                let store = match system {
+                    "LevelDB*" => baseline_store(BaselineKind::LevelDbStar, 10, memtable_bytes, &scale),
+                    "RocksDB*" => baseline_store(BaselineKind::RocksDbStar, 10, memtable_bytes, &scale),
+                    _ => nova_store(presets::shared_disk(10, 10, 3, scale.num_keys), &scale),
+                };
+                let report = run_workload(&store, mix, dist, &scale);
+                store.shutdown();
+                print_row(&[
+                    mix.label().to_string(),
+                    dist.label(),
+                    system.to_string(),
+                    format!("{:.1}", report.throughput_kops()),
+                ]);
+            }
+        }
+    }
+}

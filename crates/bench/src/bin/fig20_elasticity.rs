@@ -1,0 +1,84 @@
+//! Figure 20: elasticity. (a) add LTCs one at a time under SW50 Uniform and
+//! migrate ranges to them; (b) add then remove StoCs one at a time under RW50
+//! Uniform. Throughput is reported per phase.
+
+use nova_bench::{nova_store, print_header, print_row, run_workload, BenchScale};
+use nova_lsm::presets;
+use nova_ycsb::{Distribution, Mix};
+
+fn main() {
+    let scale = BenchScale::from_args();
+
+    // (a) Adding LTCs.
+    print_header(
+        "Figure 20a: adding LTCs under SW50 Uniform (start: η=1, β=4, ω=8)",
+        &["phase", "LTCs", "kops"],
+    );
+    let mut config = presets::shared_disk(1, 4, 1, scale.num_keys);
+    config.ranges_per_ltc = 8;
+    config.range.active_memtables = 4;
+    config.range.num_dranges = 4;
+    config.range.max_memtables = 8;
+    let store = nova_store(config, &scale);
+    let report = run_workload(&store, Mix::Sw50, Distribution::Uniform, &scale);
+    print_row(&["start".into(), "1".into(), format!("{:.1}", report.throughput_kops())]);
+    if let Some(cluster) = store.nova() {
+        for phase in 0..2 {
+            let new_ltc = cluster.add_ltc().expect("add ltc");
+            // Move a share of ranges to the new LTC.
+            let assignment = cluster.coordinator().configuration();
+            let donor = cluster
+                .ltc_ids()
+                .into_iter()
+                .max_by_key(|l| assignment.ranges_of(*l).len())
+                .expect("at least one LTC");
+            let ranges = assignment.ranges_of(donor);
+            let ltcs_after = cluster.ltc_ids().len();
+            for range in ranges.iter().take(ranges.len() / ltcs_after.max(1)) {
+                cluster.migrate_range(*range, new_ltc).expect("migrate");
+            }
+            let report = run_workload(&store, Mix::Sw50, Distribution::Uniform, &scale);
+            print_row(&[
+                format!("+1 LTC (phase {})", phase + 1),
+                cluster.ltc_ids().len().to_string(),
+                format!("{:.1}", report.throughput_kops()),
+            ]);
+        }
+    }
+    store.shutdown();
+
+    // (b) Adding and removing StoCs.
+    print_header(
+        "Figure 20b: adding/removing StoCs under RW50 Uniform (start: η=3, β=3, ρ=1)",
+        &["phase", "StoCs", "kops", "stalls"],
+    );
+    let mut config = presets::shared_disk(3, 3, 1, scale.num_keys);
+    config.ranges_per_ltc = 4;
+    let store = nova_store(config, &scale);
+    let report = run_workload(&store, Mix::Rw50, Distribution::Uniform, &scale);
+    print_row(&["start".into(), "3".into(), format!("{:.1}", report.throughput_kops()), store.nova().map(|c| c.total_stalls()).unwrap_or(0).to_string()]);
+    if let Some(cluster) = store.nova() {
+        let mut added = Vec::new();
+        for _ in 0..3 {
+            added.push(cluster.add_stoc().expect("add stoc"));
+            let report = run_workload(&store, Mix::Rw50, Distribution::Uniform, &scale);
+            print_row(&[
+                "+1 StoC".into(),
+                cluster.stoc_ids().len().to_string(),
+                format!("{:.1}", report.throughput_kops()),
+                cluster.total_stalls().to_string(),
+            ]);
+        }
+        for stoc in added.into_iter().rev() {
+            cluster.remove_stoc(stoc).expect("remove stoc");
+            let report = run_workload(&store, Mix::Rw50, Distribution::Uniform, &scale);
+            print_row(&[
+                "-1 StoC".into(),
+                cluster.stoc_ids().len().to_string(),
+                format!("{:.1}", report.throughput_kops()),
+                cluster.total_stalls().to_string(),
+            ]);
+        }
+    }
+    store.shutdown();
+}

@@ -1,0 +1,24 @@
+//! Table 2: the analytical MTTF of a SSTable and of the storage layer as a
+//! function of ρ, with and without parity, plus the space overhead.
+
+use nova_bench::{print_header, print_row};
+use nova_lsm::mttf::{format_hours, MttfModel};
+
+fn main() {
+    let model = MttfModel::default();
+    print_header(
+        "Table 2: MTTF of a SSTable / storage layer (StoC MTTF 4.3 months, repair 1 hour, β=10)",
+        &["rho", "SSTable R=1", "SSTable parity", "storage R=1", "storage parity", "overhead R=1", "overhead parity"],
+    );
+    for row in model.table2() {
+        print_row(&[
+            row.rho.to_string(),
+            format_hours(row.sstable_single_copy_hours),
+            format_hours(row.sstable_parity_hours),
+            format_hours(row.storage_single_copy_hours),
+            format_hours(row.storage_parity_hours),
+            format!("{:.0}%", row.single_copy_space_overhead * 100.0),
+            format!("{:.0}%", row.parity_space_overhead * 100.0),
+        ]);
+    }
+}

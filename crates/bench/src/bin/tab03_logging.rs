@@ -1,0 +1,36 @@
+//! Section 8.2.3: the overhead of logging. Compares logging disabled,
+//! in-memory replication over the (simulated) RDMA fabric, and persistent
+//! logging that involves the StoC disks, on W100.
+
+use nova_bench::{nova_store, print_header, print_row, run_workload, BenchScale};
+use nova_common::config::LogPolicy;
+use nova_lsm::presets;
+use nova_ycsb::{Distribution, Mix};
+
+fn main() {
+    let scale = BenchScale::from_args();
+    let policies: [(&str, LogPolicy); 3] = [
+        ("disabled", LogPolicy::Disabled),
+        ("RDMA 3 replicas", LogPolicy::InMemoryReplicated { replicas: 3 }),
+        ("persistent", LogPolicy::Persistent),
+    ];
+    print_header(
+        "Section 8.2.3: logging overhead (W100, η=1, β=10, ρ=1)",
+        &["logging", "distribution", "kops", "avg put ms"],
+    );
+    for dist in [Distribution::Uniform, Distribution::zipfian_default()] {
+        for (label, policy) in policies {
+            let mut config = presets::shared_disk(1, 10, 1, scale.num_keys);
+            config.range.log_policy = policy;
+            let store = nova_store(config, &scale);
+            let report = run_workload(&store, Mix::W100, dist, &scale);
+            store.shutdown();
+            print_row(&[
+                label.to_string(),
+                dist.label(),
+                format!("{:.1}", report.throughput_kops()),
+                format!("{:.3}", report.puts.mean_micros() / 1000.0),
+            ]);
+        }
+    }
+}

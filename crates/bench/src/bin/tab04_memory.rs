@@ -1,0 +1,31 @@
+//! Table 4: vertical scalability — W100 Uniform throughput as the memory
+//! budget (α, δ and therefore δ×τ) doubles from 2 memtables up to 256.
+
+use nova_bench::{nova_store, print_header, print_row, run_workload, BenchScale};
+use nova_lsm::presets;
+use nova_ycsb::{Distribution, Mix};
+
+fn main() {
+    let scale = BenchScale::from_args();
+    print_header(
+        "Table 4: throughput of W100 Uniform vs memory (η=1, β=10, ρ=1)",
+        &["memory", "alpha", "delta", "ops/s"],
+    );
+    // (α, δ) pairs from the paper's table; memory = δ × τ.
+    for (alpha, delta) in [(1usize, 2usize), (2, 4), (4, 8), (8, 16), (16, 32), (32, 64), (64, 128), (64, 256)] {
+        let mut config = presets::shared_disk(1, 10, 1, scale.num_keys);
+        config.range.active_memtables = alpha;
+        config.range.num_dranges = alpha;
+        config.range.max_memtables = delta;
+        let store = nova_store(config.clone(), &scale);
+        let report = run_workload(&store, Mix::W100, Distribution::Uniform, &scale);
+        store.shutdown();
+        let memory = delta * config.range.memtable_size_bytes;
+        print_row(&[
+            format!("{} KB", memory / 1024),
+            alpha.to_string(),
+            delta.to_string(),
+            format!("{:.0}", report.throughput_ops_per_sec()),
+        ]);
+    }
+}

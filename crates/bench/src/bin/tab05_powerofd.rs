@@ -1,0 +1,30 @@
+//! Table 5: the impact of the scatter width ρ and of power-of-d vs random
+//! placement with a tiny memory budget (α=1, δ=2).
+
+use nova_bench::{nova_store, print_header, print_row, run_workload, BenchScale};
+use nova_common::config::PlacementPolicy;
+use nova_lsm::presets;
+use nova_ycsb::{Distribution, Mix};
+
+fn main() {
+    let scale = BenchScale::from_args();
+    print_header(
+        "Table 5: W100 Uniform throughput vs rho (η=1, β=10, α=1, δ=2)",
+        &["rho", "random ops/s", "power-of-d ops/s"],
+    );
+    for rho in [1usize, 3, 10] {
+        let mut cells = vec![rho.to_string()];
+        for policy in [PlacementPolicy::Random, PlacementPolicy::PowerOfD] {
+            let mut config = presets::shared_disk(1, 10, rho, scale.num_keys);
+            config.range.placement = policy;
+            config.range.active_memtables = 1;
+            config.range.num_dranges = 1;
+            config.range.max_memtables = 2;
+            let store = nova_store(config, &scale);
+            let report = run_workload(&store, Mix::W100, Distribution::Uniform, &scale);
+            store.shutdown();
+            cells.push(format!("{:.0}", report.throughput_ops_per_sec()));
+        }
+        print_row(&cells);
+    }
+}

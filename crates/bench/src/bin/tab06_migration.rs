@@ -1,0 +1,40 @@
+//! Table 6 / Section 8.2.6: load balancing across LTCs under Zipfian access.
+//! With 5 LTCs, 85% of requests hit the first LTC; migrating ranges away from
+//! it improves throughput substantially.
+
+use nova_bench::{nova_store, print_header, print_row, run_workload, BenchScale};
+use nova_lsm::presets;
+use nova_ycsb::{Distribution, Mix};
+
+fn main() {
+    let scale = BenchScale::from_args();
+    print_header(
+        "Table 6: throughput before/after range migration (Zipfian, η=5, β=10, ω=8)",
+        &["workload", "before kops", "after kops", "improvement", "ranges migrated"],
+    );
+    for mix in [Mix::Rw50, Mix::Sw50, Mix::W100] {
+        let mut config = presets::shared_disk(5, 10, 1, scale.num_keys);
+        config.ranges_per_ltc = 8;
+        config.range.active_memtables = 4;
+        config.range.num_dranges = 4;
+        config.range.max_memtables = 8;
+        let store = nova_store(config, &scale);
+        let before = run_workload(&store, mix, Distribution::zipfian_default(), &scale);
+        // Rebalance using the coordinator's plan, then measure again.
+        let migrated = store.nova().map(|c| c.rebalance().unwrap_or(0)).unwrap_or(0);
+        let after = run_workload(&store, mix, Distribution::zipfian_default(), &scale);
+        store.shutdown();
+        let improvement = if before.throughput_kops() > 0.0 {
+            after.throughput_kops() / before.throughput_kops()
+        } else {
+            0.0
+        };
+        print_row(&[
+            mix.label().to_string(),
+            format!("{:.1}", before.throughput_kops()),
+            format!("{:.1}", after.throughput_kops()),
+            format!("{improvement:.2}x"),
+            migrated.to_string(),
+        ]);
+    }
+}

@@ -1,0 +1,38 @@
+//! Table 7: average / p95 / p99 response times under a low load with Zipfian
+//! access, for R100 / RW50 / SW50 / W100, Nova-LSM vs the sharded baselines.
+
+use nova_baseline::BaselineKind;
+use nova_bench::{baseline_store, nova_store, print_header, print_row, run_workload, BenchScale};
+use nova_lsm::presets;
+use nova_ycsb::{Distribution, Mix};
+
+fn main() {
+    let mut scale = BenchScale::from_args();
+    // "These experiments quantify response time with a low system load":
+    // a handful of client threads.
+    scale.threads = 2;
+    let memtable_bytes = presets::scaled_experiment(scale.num_keys).range.memtable_size_bytes;
+    print_header(
+        "Table 7: response time (ms) with Zipfian, low load, 10 servers",
+        &["workload", "system", "avg", "p95", "p99"],
+    );
+    for mix in [Mix::R100, Mix::Rw50, Mix::Sw50, Mix::W100] {
+        for system in ["LevelDB*", "RocksDB*", "Nova-LSM"] {
+            let store = match system {
+                "LevelDB*" => baseline_store(BaselineKind::LevelDbStar, 10, memtable_bytes, &scale),
+                "RocksDB*" => baseline_store(BaselineKind::RocksDbStar, 10, memtable_bytes, &scale),
+                _ => nova_store(presets::shared_disk(10, 10, 3, scale.num_keys), &scale),
+            };
+            let report = run_workload(&store, mix, Distribution::zipfian_default(), &scale);
+            store.shutdown();
+            let all = report.all_operations();
+            print_row(&[
+                mix.label().to_string(),
+                system.to_string(),
+                format!("{:.2}", all.mean_micros() / 1000.0),
+                format!("{:.2}", all.percentile_micros(95.0) / 1000.0),
+                format!("{:.2}", all.percentile_micros(99.0) / 1000.0),
+            ]);
+        }
+    }
+}

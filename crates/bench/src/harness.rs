@@ -1,0 +1,210 @@
+//! Shared plumbing for the experiment binaries: adapters that expose a
+//! Nova-LSM cluster or a monolithic baseline cluster through the YCSB
+//! driver's [`KvInterface`], a common experiment scale, and output helpers.
+
+use nova_baseline::{BaselineCluster, BaselineKind};
+use nova_common::config::{ClusterConfig, DiskConfig};
+use nova_common::Result;
+use nova_lsm::{NovaClient, NovaCluster};
+use nova_ycsb::{Distribution, DriverConfig, KvInterface, Mix, RunLength, RunReport, Workload};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The scale at which experiments run. The defaults keep every binary under a
+/// minute while preserving the paper's memtable : database : disk ratios; the
+/// `--full` flag of each binary doubles everything for closer shapes.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchScale {
+    /// Number of records in the database.
+    pub num_keys: u64,
+    /// Value size in bytes (the paper uses 1 KB).
+    pub value_size: usize,
+    /// Client threads issuing operations.
+    pub threads: usize,
+    /// Duration of each measured run.
+    pub run_secs: u64,
+    /// Simulated disk profile.
+    pub disk: DiskConfig,
+}
+
+impl Default for BenchScale {
+    fn default() -> Self {
+        BenchScale {
+            num_keys: 20_000,
+            value_size: 256,
+            threads: 8,
+            run_secs: 4,
+            disk: DiskConfig::scaled(40, 2_000),
+        }
+    }
+}
+
+impl BenchScale {
+    /// Parse `--full` / `--quick` from the command line.
+    pub fn from_args() -> Self {
+        let mut scale = BenchScale::default();
+        for arg in std::env::args() {
+            match arg.as_str() {
+                "--full" => {
+                    scale.num_keys = 100_000;
+                    scale.run_secs = 10;
+                    scale.threads = 16;
+                }
+                "--quick" => {
+                    scale.num_keys = 5_000;
+                    scale.run_secs = 2;
+                    scale.threads = 4;
+                }
+                _ => {}
+            }
+        }
+        scale
+    }
+
+    /// The driver configuration for this scale.
+    pub fn driver(&self) -> DriverConfig {
+        DriverConfig {
+            threads: self.threads,
+            run_length: RunLength::Duration(Duration::from_secs(self.run_secs)),
+            sample_interval: Duration::from_millis(250),
+            seed: 42,
+        }
+    }
+}
+
+/// A store under test, adapted to the YCSB driver.
+pub enum StoreHandle {
+    /// A Nova-LSM cluster.
+    Nova {
+        /// The running cluster.
+        cluster: Arc<NovaCluster>,
+        /// A client bound to it.
+        client: NovaClient,
+    },
+    /// A monolithic shared-nothing baseline cluster.
+    Baseline(BaselineCluster),
+}
+
+impl KvInterface for StoreHandle {
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        match self {
+            StoreHandle::Nova { client, .. } => client.put(key, value),
+            StoreHandle::Baseline(cluster) => cluster.put(key, value),
+        }
+    }
+
+    fn get(&self, key: &[u8]) -> Result<bool> {
+        let result = match self {
+            StoreHandle::Nova { client, .. } => client.get(key).map(|_| true),
+            StoreHandle::Baseline(cluster) => cluster.get(key).map(|_| true),
+        };
+        match result {
+            Ok(found) => Ok(found),
+            Err(nova_common::Error::NotFound) => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn scan(&self, start_key: &[u8], count: usize) -> Result<usize> {
+        match self {
+            StoreHandle::Nova { client, .. } => client.scan(start_key, count).map(|v| v.len()),
+            StoreHandle::Baseline(cluster) => cluster.scan(start_key, count).map(|v| v.len()),
+        }
+    }
+}
+
+impl StoreHandle {
+    /// Tear the store down.
+    pub fn shutdown(self) {
+        match self {
+            StoreHandle::Nova { cluster, .. } => cluster.shutdown(),
+            StoreHandle::Baseline(cluster) => cluster.shutdown(),
+        }
+    }
+
+    /// The Nova cluster, if this handle wraps one.
+    pub fn nova(&self) -> Option<&Arc<NovaCluster>> {
+        match self {
+            StoreHandle::Nova { cluster, .. } => Some(cluster),
+            StoreHandle::Baseline(_) => None,
+        }
+    }
+}
+
+/// Start a Nova-LSM cluster from a configuration and pre-load it.
+pub fn nova_store(mut config: ClusterConfig, scale: &BenchScale) -> StoreHandle {
+    config.num_keys = scale.num_keys;
+    config.disk = scale.disk;
+    let cluster = NovaCluster::start(config).expect("start Nova-LSM cluster");
+    let client = NovaClient::new(cluster.clone());
+    let handle = StoreHandle::Nova { cluster, client };
+    nova_ycsb::load(&handle, scale.num_keys, scale.value_size, scale.threads).expect("load database");
+    handle
+}
+
+/// Start a baseline cluster and pre-load it.
+pub fn baseline_store(kind: BaselineKind, num_servers: usize, memtable_bytes: usize, scale: &BenchScale) -> StoreHandle {
+    let cluster = BaselineCluster::start(kind, num_servers, scale.num_keys, memtable_bytes, scale.disk)
+        .expect("start baseline cluster");
+    let handle = StoreHandle::Baseline(cluster);
+    nova_ycsb::load(&handle, scale.num_keys, scale.value_size, scale.threads).expect("load database");
+    handle
+}
+
+/// Run one workload against a store.
+pub fn run_workload(store: &StoreHandle, mix: Mix, distribution: Distribution, scale: &BenchScale) -> RunReport {
+    let workload = Workload::new(mix, distribution, scale.num_keys, scale.value_size);
+    nova_ycsb::run(store, &workload, &scale.driver())
+}
+
+/// Print an experiment header.
+pub fn print_header(title: &str, columns: &[&str]) {
+    println!("\n=== {title} ===");
+    println!("{}", columns.join("\t"));
+}
+
+/// Print one row of results.
+pub fn print_row(cells: &[String]) {
+    println!("{}", cells.join("\t"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nova_lsm::presets;
+
+    #[test]
+    fn nova_store_round_trips_through_the_driver_interface() {
+        let scale = BenchScale { num_keys: 500, value_size: 16, threads: 2, run_secs: 1, disk: DiskConfig { bandwidth_bytes_per_sec: u64::MAX / 2, seek_micros: 0, accounting_only: true } };
+        let store = nova_store(presets::test_cluster(1, 2, scale.num_keys), &scale);
+        assert!(store.nova().is_some());
+        assert!(store.get(&nova_common::keyspace::encode_key(5)).unwrap());
+        assert!(!store.get(b"99999999999999999999").unwrap());
+        assert!(store.scan(&nova_common::keyspace::encode_key(0), 5).unwrap() >= 5);
+        let report = run_workload(
+            &store,
+            Mix::Rw50,
+            Distribution::Uniform,
+            &BenchScale { run_secs: 1, ..scale },
+        );
+        assert!(report.operations > 0);
+        store.shutdown();
+    }
+
+    #[test]
+    fn baseline_store_round_trips_through_the_driver_interface() {
+        let scale = BenchScale { num_keys: 400, value_size: 16, threads: 2, run_secs: 1, disk: DiskConfig { bandwidth_bytes_per_sec: u64::MAX / 2, seek_micros: 0, accounting_only: true } };
+        let store = baseline_store(BaselineKind::LevelDbStar, 2, 16 * 1024, &scale);
+        assert!(store.nova().is_none());
+        assert!(store.get(&nova_common::keyspace::encode_key(3)).unwrap());
+        store.shutdown();
+    }
+
+    #[test]
+    fn bench_scale_defaults_are_sane() {
+        let scale = BenchScale::default();
+        assert!(scale.num_keys > 0);
+        assert!(scale.threads > 0);
+        assert!(matches!(scale.driver().run_length, RunLength::Duration(_)));
+    }
+}

@@ -1,0 +1,23 @@
+//! # nova-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! Nova-LSM paper's evaluation (Section 8) on the simulated substrate.
+//!
+//! * Each table/figure has a binary in `src/bin/` (e.g. `fig01_shared_disk`,
+//!   `tab05_powerofd`) that prints the same rows or series the paper reports.
+//! * Substrate micro-benchmarks (memtable, SSTable, bloom filter, fabric,
+//!   zipfian, lookup index) live in `benches/` and run under Criterion via
+//!   `cargo bench`.
+//!
+//! The harness scales the paper's workloads down (smaller databases, smaller
+//! memtables, a scaled simulated disk) while preserving the ratios that drive
+//! every result; `EXPERIMENTS.md` records paper-vs-measured numbers.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod harness;
+
+pub use harness::{
+    baseline_store, nova_store, print_header, print_row, run_workload, BenchScale, StoreHandle,
+};

@@ -1,0 +1,108 @@
+//! CRC32C (Castagnoli) checksums used to validate blocks and log records.
+//!
+//! This is a table-driven software implementation (no hardware intrinsics)
+//! so the workspace stays within its offline dependency budget. The masking
+//! scheme matches LevelDB's: stored checksums are masked so that computing
+//! the CRC of data that itself embeds CRCs does not produce pathological
+//! results.
+
+/// The CRC32C polynomial (reflected).
+const CASTAGNOLI: u32 = 0x82f6_3b78;
+
+/// Lazily built lookup table.
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 { (crc >> 1) ^ CASTAGNOLI } else { crc >> 1 };
+            }
+            *entry = crc;
+        }
+        table
+    })
+}
+
+/// Compute the CRC32C of `data`.
+pub fn crc32c(data: &[u8]) -> u32 {
+    extend(0, data)
+}
+
+/// Extend a running CRC32C with more data.
+pub fn extend(crc: u32, data: &[u8]) -> u32 {
+    let table = table();
+    let mut crc = !crc;
+    for &b in data {
+        crc = table[((crc ^ b as u32) & 0xff) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+const MASK_DELTA: u32 = 0xa282_ead8;
+
+/// Mask a CRC so it is safe to store alongside the data it covers.
+pub fn mask(crc: u32) -> u32 {
+    crc.rotate_right(15).wrapping_add(MASK_DELTA)
+}
+
+/// Undo [`mask`].
+pub fn unmask(masked: u32) -> u32 {
+    masked.wrapping_sub(MASK_DELTA).rotate_left(15)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard CRC32C test vectors.
+        assert_eq!(crc32c(b""), 0);
+        assert_eq!(crc32c(b"123456789"), 0xe306_9283);
+        // 32 bytes of zero (from the RFC 3720 appendix).
+        assert_eq!(crc32c(&[0u8; 32]), 0x8a91_36aa);
+        // 32 bytes of 0xff.
+        assert_eq!(crc32c(&[0xffu8; 32]), 0x62a8_ab43);
+    }
+
+    #[test]
+    fn extend_matches_single_shot() {
+        let data = b"hello nova-lsm world";
+        let (a, b) = data.split_at(7);
+        assert_eq!(extend(extend(0, a), b), crc32c(data));
+    }
+
+    #[test]
+    fn mask_round_trips_and_changes_value() {
+        let crc = crc32c(b"payload");
+        assert_ne!(mask(crc), crc);
+        assert_eq!(unmask(mask(crc)), crc);
+    }
+
+    #[test]
+    fn different_data_gives_different_checksum() {
+        assert_ne!(crc32c(b"a"), crc32c(b"b"));
+        assert_ne!(crc32c(b"ab"), crc32c(b"ba"));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mask_round_trips(crc in any::<u32>()) {
+            prop_assert_eq!(unmask(mask(crc)), crc);
+        }
+
+        #[test]
+        fn prop_extend_is_associative_with_concatenation(
+            a in proptest::collection::vec(any::<u8>(), 0..128),
+            b in proptest::collection::vec(any::<u8>(), 0..128),
+        ) {
+            let mut joined = a.clone();
+            joined.extend_from_slice(&b);
+            prop_assert_eq!(extend(extend(0, &a), &b), crc32c(&joined));
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Monotonic clock abstraction.
+//!
+//! Components take a [`Clock`] so that tests and the deterministic simulation
+//! mode can substitute a manually-advanced clock, while production code uses
+//! the real monotonic clock.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A source of monotonic time.
+pub trait Clock: Send + Sync {
+    /// Nanoseconds since an arbitrary (but fixed) epoch.
+    fn now_nanos(&self) -> u64;
+
+    /// Sleep for (or account) the given duration.
+    fn sleep(&self, d: Duration);
+}
+
+/// Shared clock handle.
+pub type ClockRef = Arc<dyn Clock>;
+
+/// The real monotonic clock.
+#[derive(Debug)]
+pub struct SystemClock {
+    origin: Instant,
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SystemClock {
+    /// Create a clock anchored at the moment of construction.
+    pub fn new() -> Self {
+        SystemClock { origin: Instant::now() }
+    }
+}
+
+impl Clock for SystemClock {
+    fn now_nanos(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+
+    fn sleep(&self, d: Duration) {
+        if !d.is_zero() {
+            std::thread::sleep(d);
+        }
+    }
+}
+
+/// A manually-advanced clock for tests and the accounting-only simulation
+/// mode. `sleep` advances virtual time instead of blocking.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    nanos: Mutex<u64>,
+}
+
+impl ManualClock {
+    /// Create a clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advance the clock by `d`.
+    pub fn advance(&self, d: Duration) {
+        *self.nanos.lock() += d.as_nanos() as u64;
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_nanos(&self) -> u64 {
+        *self.nanos.lock()
+    }
+
+    fn sleep(&self, d: Duration) {
+        self.advance(d);
+    }
+}
+
+/// Obtain the default system clock as a shared handle.
+pub fn system_clock() -> ClockRef {
+    Arc::new(SystemClock::new())
+}
+
+/// Obtain a manual clock as a shared handle, along with a typed reference for
+/// advancing it.
+pub fn manual_clock() -> (ClockRef, Arc<ManualClock>) {
+    let c = Arc::new(ManualClock::new());
+    (c.clone() as ClockRef, c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_clock_is_monotonic() {
+        let c = SystemClock::new();
+        let a = c.now_nanos();
+        let b = c.now_nanos();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn system_clock_sleep_advances_time() {
+        let c = SystemClock::new();
+        let a = c.now_nanos();
+        c.sleep(Duration::from_millis(2));
+        assert!(c.now_nanos() >= a + 1_000_000);
+    }
+
+    #[test]
+    fn manual_clock_only_advances_when_told() {
+        let (clock, handle) = manual_clock();
+        assert_eq!(clock.now_nanos(), 0);
+        handle.advance(Duration::from_micros(5));
+        assert_eq!(clock.now_nanos(), 5_000);
+        clock.sleep(Duration::from_micros(5));
+        assert_eq!(clock.now_nanos(), 10_000);
+    }
+}

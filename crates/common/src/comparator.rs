@@ -1,0 +1,178 @@
+//! Key comparators.
+//!
+//! Nova-LSM (like LevelDB) sorts keys "based on the application specified
+//! comparison operator" (Section 2.1). The default is bytewise ordering; a
+//! trait object allows applications to plug in their own ordering, and the
+//! SSTable builder uses [`Comparator::find_shortest_separator`] to shorten
+//! index-block keys.
+
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+/// An application-specified total order over user keys.
+pub trait Comparator: Send + Sync {
+    /// A name recorded in manifests so that a database is never reopened with
+    /// a different ordering.
+    fn name(&self) -> &'static str;
+
+    /// Compare two user keys.
+    fn compare(&self, a: &[u8], b: &[u8]) -> Ordering;
+
+    /// Return a key `k` with `start <= k < limit` that is as short as
+    /// possible. Used to shrink index-block entries; returning `start`
+    /// unchanged is always correct.
+    fn find_shortest_separator(&self, start: &[u8], limit: &[u8]) -> Vec<u8> {
+        let _ = limit;
+        start.to_vec()
+    }
+
+    /// Return a key `k >= key` that is as short as possible. Used for the
+    /// last entry of an index block.
+    fn find_short_successor(&self, key: &[u8]) -> Vec<u8> {
+        key.to_vec()
+    }
+}
+
+/// Shared, reference-counted comparator handle.
+pub type ComparatorRef = Arc<dyn Comparator>;
+
+/// Lexicographic byte-wise ordering — the default comparator.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct BytewiseComparator;
+
+impl Comparator for BytewiseComparator {
+    fn name(&self) -> &'static str {
+        "nova.BytewiseComparator"
+    }
+
+    fn compare(&self, a: &[u8], b: &[u8]) -> Ordering {
+        a.cmp(b)
+    }
+
+    fn find_shortest_separator(&self, start: &[u8], limit: &[u8]) -> Vec<u8> {
+        // Find the length of the common prefix.
+        let min_len = start.len().min(limit.len());
+        let mut diff = 0;
+        while diff < min_len && start[diff] == limit[diff] {
+            diff += 1;
+        }
+        if diff >= min_len {
+            // One key is a prefix of the other; do not shorten.
+            return start.to_vec();
+        }
+        let byte = start[diff];
+        if byte < 0xff && byte + 1 < limit[diff] {
+            let mut out = start[..=diff].to_vec();
+            out[diff] += 1;
+            debug_assert!(self.compare(&out, limit) == Ordering::Less);
+            return out;
+        }
+        start.to_vec()
+    }
+
+    fn find_short_successor(&self, key: &[u8]) -> Vec<u8> {
+        for (i, &b) in key.iter().enumerate() {
+            if b != 0xff {
+                let mut out = key[..=i].to_vec();
+                out[i] += 1;
+                return out;
+            }
+        }
+        key.to_vec()
+    }
+}
+
+/// Obtain the default bytewise comparator as a shared handle.
+pub fn bytewise() -> ComparatorRef {
+    Arc::new(BytewiseComparator)
+}
+
+/// A comparator that orders keys as big-endian unsigned integers when both
+/// parse, falling back to bytewise ordering otherwise. Useful for numeric
+/// workloads such as YCSB's zero-padded keys (where it agrees with bytewise
+/// ordering) and documented here mainly as an example of a custom ordering.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NumericComparator;
+
+impl Comparator for NumericComparator {
+    fn name(&self) -> &'static str {
+        "nova.NumericComparator"
+    }
+
+    fn compare(&self, a: &[u8], b: &[u8]) -> Ordering {
+        let pa = std::str::from_utf8(a).ok().and_then(|s| s.parse::<u128>().ok());
+        let pb = std::str::from_utf8(b).ok().and_then(|s| s.parse::<u128>().ok());
+        match (pa, pb) {
+            (Some(x), Some(y)) => x.cmp(&y),
+            _ => a.cmp(b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bytewise_basic_ordering() {
+        let c = BytewiseComparator;
+        assert_eq!(c.compare(b"a", b"b"), Ordering::Less);
+        assert_eq!(c.compare(b"b", b"a"), Ordering::Greater);
+        assert_eq!(c.compare(b"abc", b"abc"), Ordering::Equal);
+        assert_eq!(c.compare(b"ab", b"abc"), Ordering::Less);
+    }
+
+    #[test]
+    fn shortest_separator_is_between_start_and_limit() {
+        let c = BytewiseComparator;
+        let sep = c.find_shortest_separator(b"abcdefg", b"abzzzzz");
+        assert!(c.compare(b"abcdefg", &sep) != Ordering::Greater);
+        assert!(c.compare(&sep, b"abzzzzz") == Ordering::Less);
+        assert!(sep.len() <= 7);
+
+        // Prefix case: cannot shorten.
+        let sep = c.find_shortest_separator(b"abc", b"abcd");
+        assert_eq!(sep, b"abc".to_vec());
+    }
+
+    #[test]
+    fn short_successor_is_geq() {
+        let c = BytewiseComparator;
+        let succ = c.find_short_successor(b"hello");
+        assert!(c.compare(&succ, b"hello") != Ordering::Less);
+        // All 0xff cannot be shortened.
+        let succ = c.find_short_successor(&[0xff, 0xff]);
+        assert_eq!(succ, vec![0xff, 0xff]);
+    }
+
+    #[test]
+    fn numeric_comparator_orders_numbers() {
+        let c = NumericComparator;
+        assert_eq!(c.compare(b"9", b"10"), Ordering::Less);
+        assert_eq!(c.compare(b"0010", b"9"), Ordering::Greater);
+        // Falls back to bytes for non-numeric input.
+        assert_eq!(c.compare(b"x", b"y"), Ordering::Less);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_separator_invariant(
+            start in proptest::collection::vec(any::<u8>(), 1..24),
+            limit in proptest::collection::vec(any::<u8>(), 1..24),
+        ) {
+            let c = BytewiseComparator;
+            prop_assume!(c.compare(&start, &limit) == Ordering::Less);
+            let sep = c.find_shortest_separator(&start, &limit);
+            prop_assert!(c.compare(&start, &sep) != Ordering::Greater);
+            prop_assert!(c.compare(&sep, &limit) == Ordering::Less);
+        }
+
+        #[test]
+        fn prop_successor_invariant(key in proptest::collection::vec(any::<u8>(), 0..24)) {
+            let c = BytewiseComparator;
+            let succ = c.find_short_successor(&key);
+            prop_assert!(c.compare(&succ, &key) != Ordering::Less);
+        }
+    }
+}

@@ -1,0 +1,499 @@
+//! Configuration knobs for every Nova-LSM component.
+//!
+//! The names mirror Table 1 of the paper:
+//!
+//! | Notation | Meaning | Field |
+//! |---|---|---|
+//! | η | total LTCs | [`ClusterConfig::num_ltcs`] |
+//! | β | total StoCs | [`ClusterConfig::num_stocs`] |
+//! | ω | ranges per LTC | [`ClusterConfig::ranges_per_ltc`] |
+//! | θ | Dranges per range | [`RangeConfig::num_dranges`] |
+//! | γ | Tranges per Drange | [`RangeConfig::tranges_per_drange`] |
+//! | α | active memtables per range | [`RangeConfig::active_memtables`] |
+//! | δ | memtables per range | [`RangeConfig::max_memtables`] |
+//! | τ | memtable/SSTable size | [`RangeConfig::memtable_size_bytes`] |
+//! | ρ | StoCs a SSTable is scattered across | [`RangeConfig::scatter_width`] |
+
+use serde::{Deserialize, Serialize};
+
+/// How an LTC selects the ρ StoCs that store a new SSTable (Section 4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementPolicy {
+    /// Always use the StoC local to the LTC's node (shared-nothing baseline).
+    LocalOnly,
+    /// Pick ρ StoCs uniformly at random.
+    Random,
+    /// Power-of-d random choices: peek at the disk queues of `2ρ` randomly
+    /// selected StoCs and pick the ρ with the shortest queues.
+    PowerOfD,
+}
+
+/// How an SSTable's availability is protected against StoC failures
+/// (Section 4.4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AvailabilityPolicy {
+    /// No redundancy: a StoC failure renders the SSTable unavailable.
+    None,
+    /// Replicate every fragment `r` times across distinct StoCs.
+    Replicate(u32),
+    /// One parity block computed over the ρ data fragments.
+    Parity,
+    /// The paper's Hybrid: a parity block for the data fragments plus 3
+    /// replicas of the (small) metadata block.
+    Hybrid,
+}
+
+impl AvailabilityPolicy {
+    /// The number of copies of each data fragment written, including the
+    /// primary copy.
+    pub fn data_copies(&self) -> u32 {
+        match self {
+            AvailabilityPolicy::Replicate(r) => (*r).max(1),
+            _ => 1,
+        }
+    }
+
+    /// True if a parity block should be computed over the data fragments.
+    pub fn uses_parity(&self) -> bool {
+        matches!(self, AvailabilityPolicy::Parity | AvailabilityPolicy::Hybrid)
+    }
+
+    /// The number of replicas of the metadata (index + bloom filter) block.
+    pub fn metadata_replicas(&self) -> u32 {
+        match self {
+            AvailabilityPolicy::Hybrid => 3,
+            AvailabilityPolicy::Replicate(r) => (*r).max(1),
+            _ => 1,
+        }
+    }
+
+    /// Fractional space overhead relative to storing each byte once, as used
+    /// by Table 2 of the paper (metadata overhead is ignored because metadata
+    /// blocks are small).
+    pub fn space_overhead(&self, scatter_width: u32) -> f64 {
+        match self {
+            AvailabilityPolicy::None => 0.0,
+            AvailabilityPolicy::Replicate(r) => (*r).max(1) as f64 - 1.0,
+            AvailabilityPolicy::Parity | AvailabilityPolicy::Hybrid => 1.0 / scatter_width.max(1) as f64,
+        }
+    }
+}
+
+/// How LogC persists log records (Section 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LogPolicy {
+    /// Logging disabled entirely (the paper's default for most experiments).
+    Disabled,
+    /// In-memory log files replicated to `replicas` StoCs via one-sided
+    /// writes: provides availability with the fastest service times.
+    InMemoryReplicated {
+        /// Number of in-memory replicas.
+        replicas: u32,
+    },
+    /// Log records persisted to a StoC disk: provides durability.
+    Persistent,
+    /// Persistent log with the most recent records also kept in memory:
+    /// durability with a reduced mean time to recovery.
+    PersistentWithMemory {
+        /// Number of in-memory replicas of the tail.
+        replicas: u32,
+    },
+}
+
+impl LogPolicy {
+    /// True if any log records are generated at all.
+    pub fn enabled(&self) -> bool {
+        !matches!(self, LogPolicy::Disabled)
+    }
+
+    /// Number of in-memory replicas maintained.
+    pub fn memory_replicas(&self) -> u32 {
+        match self {
+            LogPolicy::InMemoryReplicated { replicas } | LogPolicy::PersistentWithMemory { replicas } => *replicas,
+            _ => 0,
+        }
+    }
+
+    /// True if records are also written to persistent storage.
+    pub fn durable(&self) -> bool {
+        matches!(self, LogPolicy::Persistent | LogPolicy::PersistentWithMemory { .. })
+    }
+}
+
+/// Per-range configuration: the knobs that control a single LSM-tree
+/// maintained by an LTC.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RangeConfig {
+    /// θ: number of dynamic ranges (Dranges) the range is divided into.
+    pub num_dranges: usize,
+    /// γ: number of tiny ranges (Tranges) per Drange.
+    pub tranges_per_drange: usize,
+    /// α: number of active memtables per range (one per Drange while
+    /// `num_dranges == active_memtables`; duplicated Dranges share them).
+    pub active_memtables: usize,
+    /// δ: total memtables per range (active + immutable).
+    pub max_memtables: usize,
+    /// τ: size of a memtable / SSTable in bytes.
+    pub memtable_size_bytes: usize,
+    /// ρ: number of StoCs the blocks of one SSTable are scattered across.
+    pub scatter_width: usize,
+    /// Placement policy used to choose the ρ StoCs.
+    pub placement: PlacementPolicy,
+    /// Availability policy for SSTable fragments.
+    pub availability: AvailabilityPolicy,
+    /// Logging policy.
+    pub log_policy: LogPolicy,
+    /// Immutable memtables whose unique-key count is below this threshold are
+    /// merged into a new memtable instead of flushed (Section 4.2).
+    pub unique_key_flush_threshold: usize,
+    /// Maximum total bytes of Level-0 SSTables before writes stall
+    /// (Challenge 1).
+    pub level0_stall_bytes: u64,
+    /// Size ratio between adjacent levels (LevelDB uses 10).
+    pub level_size_multiplier: u64,
+    /// Expected size of Level 1 in bytes.
+    pub level1_max_bytes: u64,
+    /// Number of levels in the tree (including Level 0).
+    pub num_levels: usize,
+    /// Number of background threads used to flush immutable memtables and run
+    /// compactions for this range.
+    pub compaction_threads: usize,
+    /// Whether Level-0 compaction jobs are offloaded to StoCs (Section 4.3)
+    /// rather than executed by the LTC itself.
+    pub offload_compaction: bool,
+    /// Drange load-imbalance threshold ε that triggers a minor
+    /// reorganisation: a Drange whose share of writes exceeds `1/θ + ε`.
+    pub reorg_epsilon: f64,
+    /// Number of writes sampled between reorganisation checks.
+    pub reorg_check_interval: u64,
+    /// Whether the lookup index (Section 4.1.1) is maintained.
+    pub enable_lookup_index: bool,
+    /// Whether the range index (Section 4.1.2) is maintained.
+    pub enable_range_index: bool,
+    /// Whether gets/puts block when stalled (true) or return
+    /// [`crate::Error::WriteStalled`] (false).
+    pub block_on_stall: bool,
+    /// Target size of an individual data block within an SSTable.
+    pub block_size_bytes: usize,
+    /// Bloom filter bits per key (0 disables bloom filters).
+    pub bloom_bits_per_key: usize,
+}
+
+impl Default for RangeConfig {
+    fn default() -> Self {
+        RangeConfig {
+            num_dranges: 8,
+            tranges_per_drange: 8,
+            active_memtables: 8,
+            max_memtables: 32,
+            memtable_size_bytes: 1 << 20,
+            scatter_width: 1,
+            placement: PlacementPolicy::PowerOfD,
+            availability: AvailabilityPolicy::None,
+            log_policy: LogPolicy::Disabled,
+            unique_key_flush_threshold: crate::DEFAULT_UNIQUE_KEY_FLUSH_THRESHOLD,
+            level0_stall_bytes: 64 << 20,
+            level_size_multiplier: 10,
+            level1_max_bytes: 32 << 20,
+            num_levels: 4,
+            compaction_threads: 4,
+            offload_compaction: false,
+            reorg_epsilon: 0.05,
+            reorg_check_interval: 10_000,
+            enable_lookup_index: true,
+            enable_range_index: true,
+            block_on_stall: true,
+            block_size_bytes: 4096,
+            bloom_bits_per_key: 10,
+        }
+    }
+}
+
+impl RangeConfig {
+    /// Memtables available to each Drange (δ / θ), at least one.
+    pub fn memtables_per_drange(&self) -> usize {
+        (self.max_memtables / self.num_dranges.max(1)).max(1)
+    }
+
+    /// Total memory budget of the range in bytes (δ × τ).
+    pub fn memory_budget_bytes(&self) -> u64 {
+        self.max_memtables as u64 * self.memtable_size_bytes as u64
+    }
+
+    /// Validate invariants between knobs, returning a description of the
+    /// first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_dranges == 0 {
+            return Err("num_dranges (θ) must be at least 1".into());
+        }
+        if self.active_memtables == 0 {
+            return Err("active_memtables (α) must be at least 1".into());
+        }
+        if self.max_memtables < self.active_memtables {
+            return Err("max_memtables (δ) must be >= active_memtables (α)".into());
+        }
+        if self.memtable_size_bytes == 0 {
+            return Err("memtable_size_bytes (τ) must be non-zero".into());
+        }
+        if self.scatter_width == 0 {
+            return Err("scatter_width (ρ) must be at least 1".into());
+        }
+        if self.num_levels < 2 {
+            return Err("num_levels must be at least 2".into());
+        }
+        if self.tranges_per_drange == 0 {
+            return Err("tranges_per_drange (γ) must be at least 1".into());
+        }
+        Ok(())
+    }
+
+    /// Max bytes allowed at a given level before it becomes eligible for
+    /// compaction. Level 0 is governed by `level0_stall_bytes` instead.
+    pub fn max_bytes_for_level(&self, level: usize) -> u64 {
+        if level == 0 {
+            return self.level0_stall_bytes;
+        }
+        let mut bytes = self.level1_max_bytes;
+        for _ in 1..level {
+            bytes = bytes.saturating_mul(self.level_size_multiplier);
+        }
+        bytes
+    }
+}
+
+/// Configuration of a simulated storage device (see `nova-stoc`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiskConfig {
+    /// Sustained sequential bandwidth in bytes per second.
+    pub bandwidth_bytes_per_sec: u64,
+    /// Average positioning time (seek + rotational latency) per request, in
+    /// microseconds. Zero models an in-memory device (the paper's tmpfs
+    /// experiment, Figure 19).
+    pub seek_micros: u64,
+    /// If true the disk *accounts* service time without sleeping, producing
+    /// deterministic virtual-time results; if false the caller actually
+    /// blocks for the simulated service time.
+    pub accounting_only: bool,
+}
+
+impl Default for DiskConfig {
+    fn default() -> Self {
+        DiskConfig {
+            bandwidth_bytes_per_sec: 125 * 1000 * 1000,
+            seek_micros: 8_000,
+            accounting_only: false,
+        }
+    }
+}
+
+impl DiskConfig {
+    /// A disk profile approximating the paper's 1 TB hard disks
+    /// (~125 MB/s sequential, ~8 ms positioning time).
+    pub fn hard_disk() -> Self {
+        Self::default()
+    }
+
+    /// An in-memory (tmpfs-like) profile used by the Figure 19 experiment:
+    /// effectively infinite bandwidth and no positioning time.
+    pub fn tmpfs() -> Self {
+        DiskConfig { bandwidth_bytes_per_sec: 20_000 * 1000 * 1000, seek_micros: 0, accounting_only: false }
+    }
+
+    /// A scaled-down disk used by the experiment harness so runs finish in
+    /// seconds while preserving the bandwidth:workload ratio of the paper.
+    pub fn scaled(bandwidth_mb_per_sec: u64, seek_micros: u64) -> Self {
+        DiskConfig {
+            bandwidth_bytes_per_sec: bandwidth_mb_per_sec * 1000 * 1000,
+            seek_micros,
+            accounting_only: false,
+        }
+    }
+}
+
+/// Configuration of the simulated RDMA fabric (see `nova-fabric`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FabricConfig {
+    /// One-way latency of a verb in nanoseconds (the paper's RNICs are a few
+    /// microseconds).
+    pub latency_nanos: u64,
+    /// Link bandwidth in bytes per second (56 Gbps in the paper).
+    pub bandwidth_bytes_per_sec: u64,
+    /// Number of exchange (xchg) threads per node that poll queue pairs.
+    pub xchg_threads_per_node: usize,
+    /// If true, verbs sleep for their simulated transfer time; if false they
+    /// only account it (network is never the bottleneck in the paper's
+    /// experiments, so accounting is the default).
+    pub simulate_delay: bool,
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        FabricConfig {
+            latency_nanos: 3_000,
+            bandwidth_bytes_per_sec: 7_000 * 1000 * 1000,
+            xchg_threads_per_node: 2,
+            simulate_delay: false,
+        }
+    }
+}
+
+/// Cluster-wide deployment configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// η: number of LSM-tree components.
+    pub num_ltcs: usize,
+    /// β: number of storage components.
+    pub num_stocs: usize,
+    /// ω: number of application ranges served by each LTC.
+    pub ranges_per_ltc: usize,
+    /// Per-range configuration applied to every range.
+    pub range: RangeConfig,
+    /// Storage device profile used by every StoC.
+    pub disk: DiskConfig,
+    /// Fabric (simulated RDMA) configuration.
+    pub fabric: FabricConfig,
+    /// Worker threads per StoC that execute storage requests.
+    pub stoc_storage_threads: usize,
+    /// Worker threads per StoC dedicated to offloaded compactions.
+    pub stoc_compaction_threads: usize,
+    /// Lease duration granted by the coordinator, in milliseconds.
+    pub lease_millis: u64,
+    /// Total keyspace: keys are `0..num_keys` formatted as zero-padded
+    /// strings, range-partitioned uniformly across `num_ltcs × ranges_per_ltc`
+    /// ranges.
+    pub num_keys: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            num_ltcs: 1,
+            num_stocs: 1,
+            ranges_per_ltc: 1,
+            range: RangeConfig::default(),
+            disk: DiskConfig::default(),
+            fabric: FabricConfig::default(),
+            stoc_storage_threads: 4,
+            stoc_compaction_threads: 2,
+            lease_millis: 1_000,
+            num_keys: 100_000,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// Total number of application ranges in the cluster (η × ω).
+    pub fn total_ranges(&self) -> usize {
+        self.num_ltcs * self.ranges_per_ltc
+    }
+
+    /// Validate cross-component invariants.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_ltcs == 0 {
+            return Err("num_ltcs (η) must be at least 1".into());
+        }
+        if self.num_stocs == 0 {
+            return Err("num_stocs (β) must be at least 1".into());
+        }
+        if self.ranges_per_ltc == 0 {
+            return Err("ranges_per_ltc (ω) must be at least 1".into());
+        }
+        if self.range.scatter_width > self.num_stocs {
+            return Err(format!(
+                "scatter_width ρ={} exceeds number of StoCs β={}",
+                self.range.scatter_width, self.num_stocs
+            ));
+        }
+        if self.num_keys == 0 {
+            return Err("num_keys must be non-zero".into());
+        }
+        self.range.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_configs_validate() {
+        assert!(RangeConfig::default().validate().is_ok());
+        assert!(ClusterConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_range_configs_are_rejected() {
+        let mut c = RangeConfig::default();
+        c.num_dranges = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = RangeConfig::default();
+        c.max_memtables = 1;
+        c.active_memtables = 2;
+        assert!(c.validate().is_err());
+
+        let mut c = RangeConfig::default();
+        c.scatter_width = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn cluster_validation_checks_scatter_width_against_stocs() {
+        let mut c = ClusterConfig::default();
+        c.num_stocs = 2;
+        c.range.scatter_width = 3;
+        assert!(c.validate().is_err());
+        c.range.scatter_width = 2;
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn level_sizes_grow_by_multiplier() {
+        let c = RangeConfig { level1_max_bytes: 10, level_size_multiplier: 10, ..Default::default() };
+        assert_eq!(c.max_bytes_for_level(1), 10);
+        assert_eq!(c.max_bytes_for_level(2), 100);
+        assert_eq!(c.max_bytes_for_level(3), 1000);
+    }
+
+    #[test]
+    fn memtables_per_drange_is_never_zero() {
+        let c = RangeConfig { num_dranges: 64, max_memtables: 8, ..Default::default() };
+        assert_eq!(c.memtables_per_drange(), 1);
+        let c = RangeConfig { num_dranges: 4, max_memtables: 32, ..Default::default() };
+        assert_eq!(c.memtables_per_drange(), 8);
+    }
+
+    #[test]
+    fn availability_policy_accounting() {
+        assert_eq!(AvailabilityPolicy::None.space_overhead(3), 0.0);
+        assert_eq!(AvailabilityPolicy::Replicate(2).space_overhead(3), 1.0);
+        assert!((AvailabilityPolicy::Parity.space_overhead(3) - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(AvailabilityPolicy::Hybrid.metadata_replicas(), 3);
+        assert!(AvailabilityPolicy::Hybrid.uses_parity());
+        assert_eq!(AvailabilityPolicy::Replicate(3).data_copies(), 3);
+    }
+
+    #[test]
+    fn log_policy_accessors() {
+        assert!(!LogPolicy::Disabled.enabled());
+        assert!(LogPolicy::Persistent.durable());
+        assert_eq!(LogPolicy::InMemoryReplicated { replicas: 3 }.memory_replicas(), 3);
+        assert!(LogPolicy::PersistentWithMemory { replicas: 1 }.durable());
+    }
+
+    #[test]
+    fn memory_budget_is_delta_times_tau() {
+        let c = RangeConfig { max_memtables: 4, memtable_size_bytes: 1024, ..Default::default() };
+        assert_eq!(c.memory_budget_bytes(), 4096);
+    }
+
+    #[test]
+    fn disk_profiles() {
+        let hdd = DiskConfig::hard_disk();
+        assert!(hdd.seek_micros > 0);
+        let ram = DiskConfig::tmpfs();
+        assert_eq!(ram.seek_micros, 0);
+        let scaled = DiskConfig::scaled(50, 2000);
+        assert_eq!(scaled.bandwidth_bytes_per_sec, 50_000_000);
+    }
+}

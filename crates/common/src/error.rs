@@ -1,0 +1,135 @@
+//! Error types shared by every Nova-LSM component.
+
+use crate::types::{LtcId, RangeId, StocId};
+use std::fmt;
+
+/// A specialized `Result` for Nova-LSM operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by Nova-LSM components.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The requested key was not found.
+    NotFound,
+    /// Data read from storage failed validation (bad checksum, truncated
+    /// block, malformed encoding).
+    Corruption(String),
+    /// An operation referenced a component that is not part of the current
+    /// configuration or has failed.
+    UnknownStoc(StocId),
+    /// An operation referenced an LTC that is not part of the configuration.
+    UnknownLtc(LtcId),
+    /// An operation referenced a range that is not assigned to this LTC.
+    WrongRange(RangeId),
+    /// A request referenced a StoC file that does not exist (possibly
+    /// deleted).
+    UnknownFile(String),
+    /// The component is shutting down and cannot accept new work.
+    ShuttingDown,
+    /// The write could not be admitted because the engine is stalled waiting
+    /// for flushes or Level-0 compaction (Challenge 1 of the paper). Callers
+    /// that set a non-blocking policy receive this error instead of waiting.
+    WriteStalled,
+    /// A lease required for the operation has expired.
+    LeaseExpired(String),
+    /// The simulated fabric failed to deliver a message (peer failed).
+    FabricUnavailable(String),
+    /// A storage device error (simulated disk failure or real I/O error).
+    Io(String),
+    /// The request was malformed or violated an invariant.
+    InvalidArgument(String),
+    /// An availability configuration could not be satisfied, e.g. parity
+    /// reconstruction failed because too many fragments are missing.
+    Unavailable(String),
+    /// A migration or elasticity operation is in progress and the request
+    /// must be retried against the new owner.
+    Migrating(RangeId),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::NotFound => write!(f, "key not found"),
+            Error::Corruption(msg) => write!(f, "corruption: {msg}"),
+            Error::UnknownStoc(id) => write!(f, "unknown storage component {id}"),
+            Error::UnknownLtc(id) => write!(f, "unknown LSM-tree component {id}"),
+            Error::WrongRange(id) => write!(f, "range {id} is not served by this component"),
+            Error::UnknownFile(msg) => write!(f, "unknown StoC file: {msg}"),
+            Error::ShuttingDown => write!(f, "component is shutting down"),
+            Error::WriteStalled => write!(f, "write stalled waiting for flush/compaction"),
+            Error::LeaseExpired(msg) => write!(f, "lease expired: {msg}"),
+            Error::FabricUnavailable(msg) => write!(f, "fabric unavailable: {msg}"),
+            Error::Io(msg) => write!(f, "i/o error: {msg}"),
+            Error::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            Error::Unavailable(msg) => write!(f, "unavailable: {msg}"),
+            Error::Migrating(id) => write!(f, "range {id} is migrating; retry against new owner"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e.to_string())
+    }
+}
+
+impl Error {
+    /// True if the error indicates a missing key rather than a failure.
+    pub fn is_not_found(&self) -> bool {
+        matches!(self, Error::NotFound)
+    }
+
+    /// True if the operation may succeed if retried (transient condition).
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            Error::WriteStalled | Error::Migrating(_) | Error::FabricUnavailable(_) | Error::LeaseExpired(_)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_all_variants() {
+        let variants: Vec<Error> = vec![
+            Error::NotFound,
+            Error::Corruption("x".into()),
+            Error::UnknownStoc(StocId(1)),
+            Error::UnknownLtc(LtcId(2)),
+            Error::WrongRange(RangeId(3)),
+            Error::UnknownFile("f".into()),
+            Error::ShuttingDown,
+            Error::WriteStalled,
+            Error::LeaseExpired("l".into()),
+            Error::FabricUnavailable("n".into()),
+            Error::Io("io".into()),
+            Error::InvalidArgument("a".into()),
+            Error::Unavailable("u".into()),
+            Error::Migrating(RangeId(4)),
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn classification_helpers() {
+        assert!(Error::NotFound.is_not_found());
+        assert!(!Error::ShuttingDown.is_not_found());
+        assert!(Error::WriteStalled.is_retryable());
+        assert!(Error::Migrating(RangeId(0)).is_retryable());
+        assert!(!Error::Corruption("x".into()).is_retryable());
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Io(_)));
+    }
+}

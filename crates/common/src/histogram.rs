@@ -1,0 +1,321 @@
+//! Latency histograms and throughput time series used by the experiment
+//! harness to report the paper's metrics (average / p95 / p99 response
+//! times, throughput over time).
+
+use parking_lot::Mutex;
+use std::time::Duration;
+
+/// A log-bucketed latency histogram. Buckets grow geometrically from 1 µs so
+/// that percentile estimates stay within a few percent of the true value
+/// across six orders of magnitude while the structure remains a fixed-size
+/// array that is cheap to merge.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum_micros: u64,
+    min_micros: u64,
+    max_micros: u64,
+}
+
+/// Number of buckets: value `v` µs lands in bucket `floor(log_{1.2}(v)) + 1`.
+const NUM_BUCKETS: usize = 128;
+const GROWTH: f64 = 1.2;
+
+fn bucket_for(micros: u64) -> usize {
+    if micros == 0 {
+        return 0;
+    }
+    let idx = ((micros as f64).ln() / GROWTH.ln()).floor() as usize + 1;
+    idx.min(NUM_BUCKETS - 1)
+}
+
+fn bucket_representative(idx: usize) -> f64 {
+    if idx == 0 {
+        return 1.0;
+    }
+    // Geometric mean of the bucket's bounds [GROWTH^idx, GROWTH^(idx+1)).
+    GROWTH.powf(idx as f64 + 0.5)
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Create an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum_micros: 0,
+            min_micros: u64::MAX,
+            max_micros: 0,
+        }
+    }
+
+    /// Record a latency observation.
+    pub fn record(&mut self, latency: Duration) {
+        self.record_micros(latency.as_micros() as u64);
+    }
+
+    /// Record a latency observation given in microseconds.
+    pub fn record_micros(&mut self, micros: u64) {
+        self.buckets[bucket_for(micros)] += 1;
+        self.count += 1;
+        self.sum_micros += micros;
+        self.min_micros = self.min_micros.min(micros);
+        self.max_micros = self.max_micros.max(micros);
+    }
+
+    /// Number of observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in microseconds (0 if empty).
+    pub fn mean_micros(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_micros as f64 / self.count as f64
+        }
+    }
+
+    /// Maximum observed latency in microseconds.
+    pub fn max_micros(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max_micros
+        }
+    }
+
+    /// Minimum observed latency in microseconds.
+    pub fn min_micros(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min_micros
+        }
+    }
+
+    /// Estimate the latency at percentile `p` (0.0–100.0) in microseconds.
+    pub fn percentile_micros(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let threshold = (p.clamp(0.0, 100.0) / 100.0) * self.count as f64;
+        let mut seen = 0.0;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += c as f64;
+            if seen >= threshold {
+                return bucket_representative(idx).min(self.max_micros as f64).max(self.min_micros as f64);
+            }
+        }
+        self.max_micros as f64
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum_micros += other.sum_micros;
+        self.min_micros = self.min_micros.min(other.min_micros);
+        self.max_micros = self.max_micros.max(other.max_micros);
+    }
+
+    /// A one-line human readable summary (mean / p95 / p99 / max, in ms).
+    pub fn summary(&self) -> String {
+        format!(
+            "n={} mean={:.2}ms p95={:.2}ms p99={:.2}ms max={:.2}ms",
+            self.count,
+            self.mean_micros() / 1000.0,
+            self.percentile_micros(95.0) / 1000.0,
+            self.percentile_micros(99.0) / 1000.0,
+            self.max_micros() as f64 / 1000.0
+        )
+    }
+}
+
+/// A thread-safe histogram that can be shared across worker threads.
+#[derive(Debug, Default)]
+pub struct SharedHistogram {
+    inner: Mutex<Histogram>,
+}
+
+impl SharedHistogram {
+    /// Create an empty shared histogram.
+    pub fn new() -> Self {
+        SharedHistogram { inner: Mutex::new(Histogram::new()) }
+    }
+
+    /// Record an observation.
+    pub fn record(&self, latency: Duration) {
+        self.inner.lock().record(latency);
+    }
+
+    /// Record an observation in microseconds.
+    pub fn record_micros(&self, micros: u64) {
+        self.inner.lock().record_micros(micros);
+    }
+
+    /// Snapshot the current contents.
+    pub fn snapshot(&self) -> Histogram {
+        self.inner.lock().clone()
+    }
+
+    /// Merge a thread-local histogram into this shared one.
+    pub fn merge(&self, other: &Histogram) {
+        self.inner.lock().merge(other);
+    }
+}
+
+/// A time series of throughput samples (operations per second per interval),
+/// used to regenerate the paper's throughput-over-time charts (Figures 2 and
+/// 20).
+#[derive(Debug, Clone, Default)]
+pub struct ThroughputSeries {
+    samples: Vec<(f64, f64)>,
+}
+
+impl ThroughputSeries {
+    /// Create an empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a sample: `elapsed_secs` since the start of the experiment and
+    /// the throughput observed over the last interval.
+    pub fn push(&mut self, elapsed_secs: f64, ops_per_sec: f64) {
+        self.samples.push((elapsed_secs, ops_per_sec));
+    }
+
+    /// The recorded samples.
+    pub fn samples(&self) -> &[(f64, f64)] {
+        &self.samples
+    }
+
+    /// Mean throughput across all samples.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|(_, t)| t).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Peak throughput across all samples.
+    pub fn peak(&self) -> f64 {
+        self.samples.iter().map(|(_, t)| *t).fold(0.0, f64::max)
+    }
+
+    /// Fraction of samples whose throughput is below `frac` of the mean —
+    /// a proxy for the paper's "percentage of experiment time spent in write
+    /// stalls".
+    pub fn fraction_below(&self, frac: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let threshold = self.mean() * frac;
+        self.samples.iter().filter(|(_, t)| *t < threshold).count() as f64 / self.samples.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean_micros(), 0.0);
+        assert_eq!(h.percentile_micros(99.0), 0.0);
+        assert_eq!(h.max_micros(), 0);
+        assert_eq!(h.min_micros(), 0);
+    }
+
+    #[test]
+    fn percentiles_are_ordered_and_bounded() {
+        let mut h = Histogram::new();
+        for i in 1..=10_000u64 {
+            h.record_micros(i);
+        }
+        let p50 = h.percentile_micros(50.0);
+        let p95 = h.percentile_micros(95.0);
+        let p99 = h.percentile_micros(99.0);
+        assert!(p50 <= p95 && p95 <= p99);
+        assert!(p99 <= h.max_micros() as f64);
+        // Log-bucketing keeps estimates within ~20% of the true percentile.
+        assert!((p50 - 5000.0).abs() / 5000.0 < 0.25, "p50 estimate {p50}");
+        assert!((p99 - 9900.0).abs() / 9900.0 < 0.25, "p99 estimate {p99}");
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = Histogram::new();
+        h.record_micros(100);
+        h.record_micros(300);
+        assert_eq!(h.mean_micros(), 200.0);
+        assert_eq!(h.min_micros(), 100);
+        assert_eq!(h.max_micros(), 300);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record_micros(10);
+        b.record_micros(1000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min_micros(), 10);
+        assert_eq!(a.max_micros(), 1000);
+        assert!(!a.summary().is_empty());
+    }
+
+    #[test]
+    fn shared_histogram_is_thread_safe() {
+        use std::sync::Arc;
+        let h = Arc::new(SharedHistogram::new());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record_micros(t * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(h.snapshot().count(), 4000);
+    }
+
+    #[test]
+    fn throughput_series_statistics() {
+        let mut s = ThroughputSeries::new();
+        s.push(1.0, 100.0);
+        s.push(2.0, 0.0);
+        s.push(3.0, 200.0);
+        assert_eq!(s.samples().len(), 3);
+        assert_eq!(s.mean(), 100.0);
+        assert_eq!(s.peak(), 200.0);
+        // One of three samples (the zero) is below 10% of the mean.
+        assert!((s.fraction_below(0.1) - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn record_duration_api() {
+        let mut h = Histogram::new();
+        h.record(Duration::from_millis(2));
+        assert_eq!(h.count(), 1);
+        assert!(h.mean_micros() >= 2000.0);
+    }
+}

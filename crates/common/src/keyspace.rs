@@ -1,0 +1,224 @@
+//! Keyspace partitioning helpers.
+//!
+//! Nova-LSM range-partitions the application keyspace across η × ω ranges
+//! (Section 3). YCSB keys in this reproduction are `0..num_keys` formatted as
+//! fixed-width zero-padded decimal strings so that bytewise ordering equals
+//! numeric ordering; the helpers here convert between numeric keys, encoded
+//! keys, and range assignments.
+
+use crate::types::RangeId;
+use serde::{Deserialize, Serialize};
+
+/// Width of the zero-padded decimal key encoding. 20 digits is enough for any
+/// `u64` key.
+pub const KEY_WIDTH: usize = 20;
+
+/// Encode a numeric key as a fixed-width zero-padded decimal string.
+pub fn encode_key(k: u64) -> Vec<u8> {
+    format!("{k:0width$}", width = KEY_WIDTH).into_bytes()
+}
+
+/// Decode a fixed-width key back to its numeric form, if well-formed.
+pub fn decode_key(key: &[u8]) -> Option<u64> {
+    std::str::from_utf8(key).ok()?.parse().ok()
+}
+
+/// A half-open interval `[lower, upper)` of the numeric keyspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct KeyInterval {
+    /// Inclusive lower bound.
+    pub lower: u64,
+    /// Exclusive upper bound.
+    pub upper: u64,
+}
+
+impl KeyInterval {
+    /// Construct an interval; `lower` must not exceed `upper`.
+    pub fn new(lower: u64, upper: u64) -> Self {
+        assert!(lower <= upper, "interval lower bound {lower} exceeds upper bound {upper}");
+        KeyInterval { lower, upper }
+    }
+
+    /// The whole `u64` keyspace.
+    pub fn all() -> Self {
+        KeyInterval { lower: 0, upper: u64::MAX }
+    }
+
+    /// True if `key` falls inside the interval.
+    pub fn contains(&self, key: u64) -> bool {
+        key >= self.lower && key < self.upper
+    }
+
+    /// Number of keys covered (saturating).
+    pub fn len(&self) -> u64 {
+        self.upper.saturating_sub(self.lower)
+    }
+
+    /// True if the interval covers no keys.
+    pub fn is_empty(&self) -> bool {
+        self.lower >= self.upper
+    }
+
+    /// True if the two intervals share at least one key.
+    pub fn overlaps(&self, other: &KeyInterval) -> bool {
+        self.lower < other.upper && other.lower < self.upper
+    }
+}
+
+/// The partitioning of a numeric keyspace `[0, num_keys)` into `n` contiguous
+/// ranges of (almost) equal size, each identified by a [`RangeId`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KeyspacePartition {
+    num_keys: u64,
+    intervals: Vec<KeyInterval>,
+}
+
+impl KeyspacePartition {
+    /// Partition `[0, num_keys)` into `num_ranges` contiguous intervals.
+    pub fn uniform(num_keys: u64, num_ranges: usize) -> Self {
+        assert!(num_ranges > 0, "at least one range is required");
+        assert!(num_keys > 0, "keyspace must be non-empty");
+        let n = num_ranges as u64;
+        let base = num_keys / n;
+        let extra = num_keys % n;
+        let mut intervals = Vec::with_capacity(num_ranges);
+        let mut lower = 0u64;
+        for i in 0..n {
+            let size = base + if i < extra { 1 } else { 0 };
+            intervals.push(KeyInterval::new(lower, lower + size));
+            lower += size;
+        }
+        KeyspacePartition { num_keys, intervals }
+    }
+
+    /// Number of ranges.
+    pub fn num_ranges(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Total number of keys.
+    pub fn num_keys(&self) -> u64 {
+        self.num_keys
+    }
+
+    /// The interval owned by `range`.
+    pub fn interval(&self, range: RangeId) -> KeyInterval {
+        self.intervals[range.0 as usize]
+    }
+
+    /// All intervals in range-id order.
+    pub fn intervals(&self) -> &[KeyInterval] {
+        &self.intervals
+    }
+
+    /// The range that owns numeric key `key`. Keys at or beyond `num_keys`
+    /// map to the last range.
+    pub fn range_of(&self, key: u64) -> RangeId {
+        // Binary search over contiguous intervals.
+        let mut lo = 0usize;
+        let mut hi = self.intervals.len();
+        while lo + 1 < hi {
+            let mid = (lo + hi) / 2;
+            if key >= self.intervals[mid].lower {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        RangeId(lo as u32)
+    }
+
+    /// The range that owns an encoded key.
+    pub fn range_of_encoded(&self, key: &[u8]) -> RangeId {
+        match decode_key(key) {
+            Some(k) => self.range_of(k),
+            None => RangeId((self.intervals.len() - 1) as u32),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn key_encoding_preserves_order_and_round_trips() {
+        let a = encode_key(42);
+        let b = encode_key(1000);
+        assert!(a < b);
+        assert_eq!(decode_key(&a), Some(42));
+        assert_eq!(decode_key(&b), Some(1000));
+        assert_eq!(decode_key(b"not-a-number"), None);
+        assert_eq!(a.len(), KEY_WIDTH);
+    }
+
+    #[test]
+    fn interval_basics() {
+        let i = KeyInterval::new(10, 20);
+        assert!(i.contains(10));
+        assert!(!i.contains(20));
+        assert_eq!(i.len(), 10);
+        assert!(!i.is_empty());
+        assert!(i.overlaps(&KeyInterval::new(19, 30)));
+        assert!(!i.overlaps(&KeyInterval::new(20, 30)));
+        assert!(KeyInterval::new(5, 5).is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn interval_rejects_inverted_bounds() {
+        let _ = KeyInterval::new(5, 4);
+    }
+
+    #[test]
+    fn uniform_partition_covers_keyspace_without_gaps() {
+        let p = KeyspacePartition::uniform(1003, 10);
+        assert_eq!(p.num_ranges(), 10);
+        let mut covered = 0;
+        let mut prev_upper = 0;
+        for (i, iv) in p.intervals().iter().enumerate() {
+            assert_eq!(iv.lower, prev_upper, "gap before range {i}");
+            covered += iv.len();
+            prev_upper = iv.upper;
+        }
+        assert_eq!(covered, 1003);
+        assert_eq!(prev_upper, 1003);
+        // The remainder is spread across the first ranges.
+        assert_eq!(p.interval(RangeId(0)).len(), 101);
+        assert_eq!(p.interval(RangeId(9)).len(), 100);
+    }
+
+    #[test]
+    fn range_of_matches_interval_membership() {
+        let p = KeyspacePartition::uniform(100, 4);
+        for k in 0..100 {
+            let r = p.range_of(k);
+            assert!(p.interval(r).contains(k), "key {k} assigned to wrong range {r}");
+        }
+        // Out-of-range keys map to the last range.
+        assert_eq!(p.range_of(1000), RangeId(3));
+        assert_eq!(p.range_of_encoded(&encode_key(55)), p.range_of(55));
+        assert_eq!(p.range_of_encoded(b"garbage"), RangeId(3));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_partition_assignment_is_consistent(
+            num_keys in 1u64..1_000_000,
+            num_ranges in 1usize..64,
+            key in 0u64..1_000_000,
+        ) {
+            let p = KeyspacePartition::uniform(num_keys, num_ranges);
+            let r = p.range_of(key.min(num_keys - 1));
+            prop_assert!(p.interval(r).contains(key.min(num_keys - 1)));
+        }
+
+        #[test]
+        fn prop_encoding_preserves_numeric_order(a in any::<u64>(), b in any::<u64>()) {
+            let ea = encode_key(a);
+            let eb = encode_key(b);
+            prop_assert_eq!(a.cmp(&b), ea.cmp(&eb));
+        }
+    }
+}

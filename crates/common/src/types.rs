@@ -1,0 +1,390 @@
+//! Core value types shared by every Nova-LSM component.
+//!
+//! Nova-LSM, like LevelDB, distinguishes *user keys* (arbitrary byte strings
+//! chosen by the application) from *internal keys* (user key + sequence
+//! number + value type). Internal keys order entries so that the most recent
+//! version of a user key sorts first among entries with equal user keys.
+
+use bytes::Bytes;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A user key: an arbitrary byte string.
+pub type Key = Bytes;
+
+/// A user value: an arbitrary byte string.
+pub type Value = Bytes;
+
+/// Monotonically increasing version number assigned to every write
+/// (Section 2.1 of the paper).
+pub type SequenceNumber = u64;
+
+/// The largest sequence number ever used. Reads issued with this snapshot see
+/// every committed write.
+pub const MAX_SEQUENCE_NUMBER: SequenceNumber = (1 << 56) - 1;
+
+/// Identifier of a node (server) participating in the fabric.
+///
+/// A node hosts an LTC, a StoC, or both; the coordinator also occupies a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node-{}", self.0)
+    }
+}
+
+/// Identifier of an LSM-tree component (LTC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct LtcId(pub u32);
+
+impl fmt::Display for LtcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ltc-{}", self.0)
+    }
+}
+
+/// Identifier of a storage component (StoC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct StocId(pub u32);
+
+impl fmt::Display for StocId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "stoc-{}", self.0)
+    }
+}
+
+/// Identifier of an application range (the unit of partitioning across LTCs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct RangeId(pub u32);
+
+impl fmt::Display for RangeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "range-{}", self.0)
+    }
+}
+
+/// Identifier of a memtable within a range. Memtable ids are never reused
+/// within the lifetime of a range; the lookup index maps user keys to
+/// memtable ids through the indirect `MIDToTable` mapping (Section 4.1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct MemtableId(pub u64);
+
+impl fmt::Display for MemtableId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mid-{}", self.0)
+    }
+}
+
+/// An SSTable file number, unique within a range.
+pub type FileNumber = u64;
+
+/// A globally unique StoC file id: the id of the StoC that owns the file in
+/// the upper 32 bits and a per-StoC sequence number in the lower 32 bits
+/// (Section 3.1: "A StoC file is identified by a globally unique file id").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct StocFileId(pub u64);
+
+impl StocFileId {
+    /// Compose a globally-unique file id from its owning StoC and a per-StoC
+    /// sequence number.
+    pub fn new(stoc: StocId, seq: u32) -> Self {
+        StocFileId(((stoc.0 as u64) << 32) | seq as u64)
+    }
+
+    /// The StoC that owns this file.
+    pub fn stoc(&self) -> StocId {
+        StocId((self.0 >> 32) as u32)
+    }
+
+    /// The per-StoC sequence number of this file.
+    pub fn seq(&self) -> u32 {
+        (self.0 & 0xffff_ffff) as u32
+    }
+}
+
+impl fmt::Display for StocFileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "stocfile-{}/{}", self.stoc().0, self.seq())
+    }
+}
+
+/// A handle to a block stored inside a StoC file: which StoC, which file,
+/// and the byte extent inside the file. SSTable index blocks are rewritten in
+/// terms of these handles when a table is scattered across StoCs
+/// (Section 4.4: "it converts its index block to StoC block handles").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct StocBlockHandle {
+    /// StoC that stores the block.
+    pub stoc: StocId,
+    /// File within that StoC.
+    pub file: StocFileId,
+    /// Byte offset of the block within the file.
+    pub offset: u64,
+    /// Size of the block in bytes.
+    pub size: u32,
+}
+
+impl StocBlockHandle {
+    /// A handle describing an empty extent on a (nonexistent) StoC, useful as
+    /// a placeholder during construction.
+    pub fn empty() -> Self {
+        StocBlockHandle { stoc: StocId(u32::MAX), file: StocFileId(u64::MAX), offset: 0, size: 0 }
+    }
+
+    /// True if this handle does not reference any stored bytes.
+    pub fn is_empty(&self) -> bool {
+        self.size == 0
+    }
+}
+
+/// The kind of write recorded for a key: a live value or a deletion
+/// tombstone (Section 2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[repr(u8)]
+pub enum ValueType {
+    /// A deletion tombstone.
+    Deletion = 0,
+    /// A live value.
+    Value = 1,
+}
+
+impl ValueType {
+    /// Decode a value type from its on-disk byte.
+    pub fn from_u8(v: u8) -> Option<ValueType> {
+        match v {
+            0 => Some(ValueType::Deletion),
+            1 => Some(ValueType::Value),
+            _ => None,
+        }
+    }
+}
+
+/// An internal key: user key plus an 8-byte trailer packing the sequence
+/// number (high 56 bits) and the value type (low 8 bits), exactly as LevelDB
+/// encodes it. Internal keys with equal user keys sort by *descending*
+/// sequence number so the newest version is found first.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct InternalKey {
+    encoded: Bytes,
+}
+
+impl InternalKey {
+    /// Build an internal key from its parts.
+    pub fn new(user_key: &[u8], seq: SequenceNumber, vt: ValueType) -> Self {
+        let mut buf = Vec::with_capacity(user_key.len() + 8);
+        buf.extend_from_slice(user_key);
+        buf.extend_from_slice(&pack_trailer(seq, vt).to_le_bytes());
+        InternalKey { encoded: Bytes::from(buf) }
+    }
+
+    /// Reconstruct an internal key from its encoded representation.
+    ///
+    /// Returns `None` if the buffer is too short to contain a trailer.
+    pub fn decode(encoded: &[u8]) -> Option<Self> {
+        if encoded.len() < 8 {
+            return None;
+        }
+        Some(InternalKey { encoded: Bytes::copy_from_slice(encoded) })
+    }
+
+    /// The full encoded representation (user key followed by the trailer).
+    pub fn encoded(&self) -> &[u8] {
+        &self.encoded
+    }
+
+    /// The user key portion.
+    pub fn user_key(&self) -> &[u8] {
+        &self.encoded[..self.encoded.len() - 8]
+    }
+
+    /// The sequence number packed in the trailer.
+    pub fn sequence(&self) -> SequenceNumber {
+        let t = self.trailer();
+        t >> 8
+    }
+
+    /// The value type packed in the trailer.
+    pub fn value_type(&self) -> ValueType {
+        let t = self.trailer();
+        ValueType::from_u8((t & 0xff) as u8).expect("invalid value type in internal key trailer")
+    }
+
+    fn trailer(&self) -> u64 {
+        let n = self.encoded.len();
+        u64::from_le_bytes(self.encoded[n - 8..].try_into().expect("trailer is 8 bytes"))
+    }
+}
+
+/// Pack a sequence number and value type into the 8-byte internal-key trailer.
+pub fn pack_trailer(seq: SequenceNumber, vt: ValueType) -> u64 {
+    debug_assert!(seq <= MAX_SEQUENCE_NUMBER);
+    (seq << 8) | vt as u64
+}
+
+/// Unpack an internal-key trailer into its sequence number and value type.
+pub fn unpack_trailer(trailer: u64) -> (SequenceNumber, ValueType) {
+    let vt = ValueType::from_u8((trailer & 0xff) as u8).unwrap_or(ValueType::Value);
+    (trailer >> 8, vt)
+}
+
+impl fmt::Debug for InternalKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "InternalKey({:?} @ {} {:?})",
+            String::from_utf8_lossy(self.user_key()),
+            self.sequence(),
+            self.value_type()
+        )
+    }
+}
+
+impl PartialOrd for InternalKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for InternalKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        compare_internal_keys(self.encoded(), other.encoded())
+    }
+}
+
+/// Compare two *encoded* internal keys: ascending by user key, then
+/// descending by sequence number (so the most recent version sorts first).
+pub fn compare_internal_keys(a: &[u8], b: &[u8]) -> Ordering {
+    debug_assert!(a.len() >= 8 && b.len() >= 8, "internal keys must contain an 8-byte trailer");
+    let (ua, ta) = a.split_at(a.len() - 8);
+    let (ub, tb) = b.split_at(b.len() - 8);
+    match ua.cmp(ub) {
+        Ordering::Equal => {
+            let ta = u64::from_le_bytes(ta.try_into().expect("8-byte trailer"));
+            let tb = u64::from_le_bytes(tb.try_into().expect("8-byte trailer"));
+            // Higher sequence number (and thus higher trailer) sorts first.
+            tb.cmp(&ta)
+        }
+        other => other,
+    }
+}
+
+/// A key-value entry produced by iterators across the system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// The user key.
+    pub key: Key,
+    /// The sequence number of this version.
+    pub sequence: SequenceNumber,
+    /// Whether the entry is a live value or a tombstone.
+    pub value_type: ValueType,
+    /// The value bytes (empty for tombstones).
+    pub value: Value,
+}
+
+impl Entry {
+    /// Construct a live (non-tombstone) entry.
+    pub fn put(key: impl Into<Key>, sequence: SequenceNumber, value: impl Into<Value>) -> Self {
+        Entry { key: key.into(), sequence, value_type: ValueType::Value, value: value.into() }
+    }
+
+    /// Construct a deletion tombstone.
+    pub fn delete(key: impl Into<Key>, sequence: SequenceNumber) -> Self {
+        Entry { key: key.into(), sequence, value_type: ValueType::Deletion, value: Bytes::new() }
+    }
+
+    /// True if the entry is a deletion tombstone.
+    pub fn is_tombstone(&self) -> bool {
+        self.value_type == ValueType::Deletion
+    }
+
+    /// The internal key corresponding to this entry.
+    pub fn internal_key(&self) -> InternalKey {
+        InternalKey::new(&self.key, self.sequence, self.value_type)
+    }
+
+    /// Approximate in-memory footprint of this entry in bytes, used for
+    /// memtable size accounting.
+    pub fn approximate_size(&self) -> usize {
+        self.key.len() + self.value.len() + 8 + 1 + 16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stoc_file_id_round_trips() {
+        let id = StocFileId::new(StocId(7), 1234);
+        assert_eq!(id.stoc(), StocId(7));
+        assert_eq!(id.seq(), 1234);
+    }
+
+    #[test]
+    fn internal_key_round_trips() {
+        let k = InternalKey::new(b"user-42", 99, ValueType::Value);
+        assert_eq!(k.user_key(), b"user-42");
+        assert_eq!(k.sequence(), 99);
+        assert_eq!(k.value_type(), ValueType::Value);
+        let decoded = InternalKey::decode(k.encoded()).unwrap();
+        assert_eq!(decoded, k);
+    }
+
+    #[test]
+    fn internal_key_orders_by_user_key_then_descending_sequence() {
+        let a = InternalKey::new(b"a", 5, ValueType::Value);
+        let b = InternalKey::new(b"b", 1, ValueType::Value);
+        assert!(a < b);
+
+        let newer = InternalKey::new(b"k", 10, ValueType::Value);
+        let older = InternalKey::new(b"k", 3, ValueType::Value);
+        // Newer version sorts before (less than) the older version.
+        assert!(newer < older);
+    }
+
+    #[test]
+    fn tombstone_of_same_sequence_sorts_consistently() {
+        let del = InternalKey::new(b"k", 7, ValueType::Deletion);
+        let put = InternalKey::new(b"k", 7, ValueType::Value);
+        // Value type is the low byte; a put has a larger trailer than a delete
+        // at the same sequence, so the put sorts first.
+        assert!(put < del);
+    }
+
+    #[test]
+    fn trailer_pack_unpack() {
+        let t = pack_trailer(123456, ValueType::Deletion);
+        let (s, vt) = unpack_trailer(t);
+        assert_eq!(s, 123456);
+        assert_eq!(vt, ValueType::Deletion);
+    }
+
+    #[test]
+    fn entry_helpers() {
+        let e = Entry::put(&b"k"[..], 1, &b"v"[..]);
+        assert!(!e.is_tombstone());
+        assert_eq!(e.internal_key().user_key(), b"k");
+        let d = Entry::delete(&b"k"[..], 2);
+        assert!(d.is_tombstone());
+        assert!(d.approximate_size() > 0);
+    }
+
+    #[test]
+    fn display_impls_are_stable() {
+        assert_eq!(NodeId(3).to_string(), "node-3");
+        assert_eq!(LtcId(1).to_string(), "ltc-1");
+        assert_eq!(StocId(2).to_string(), "stoc-2");
+        assert_eq!(RangeId(9).to_string(), "range-9");
+        assert_eq!(MemtableId(4).to_string(), "mid-4");
+        assert_eq!(StocFileId::new(StocId(1), 2).to_string(), "stocfile-1/2");
+    }
+
+    #[test]
+    fn value_type_decoding_rejects_garbage() {
+        assert_eq!(ValueType::from_u8(0), Some(ValueType::Deletion));
+        assert_eq!(ValueType::from_u8(1), Some(ValueType::Value));
+        assert_eq!(ValueType::from_u8(2), None);
+    }
+}

@@ -1,0 +1,213 @@
+//! LEB128-style variable-length integer encoding, as used throughout the
+//! SSTable and log-record formats (the same scheme LevelDB uses).
+
+use crate::error::{Error, Result};
+
+/// Maximum encoded size of a `u32` varint.
+pub const MAX_VARINT32_LEN: usize = 5;
+/// Maximum encoded size of a `u64` varint.
+pub const MAX_VARINT64_LEN: usize = 10;
+
+/// Append a `u32` in varint encoding to `dst`.
+pub fn put_varint32(dst: &mut Vec<u8>, v: u32) {
+    put_varint64(dst, v as u64);
+}
+
+/// Append a `u64` in varint encoding to `dst`.
+pub fn put_varint64(dst: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        dst.push((v as u8 & 0x7f) | 0x80);
+        v >>= 7;
+    }
+    dst.push(v as u8);
+}
+
+/// Append a length-prefixed byte slice (varint length followed by the bytes).
+pub fn put_length_prefixed_slice(dst: &mut Vec<u8>, value: &[u8]) {
+    put_varint64(dst, value.len() as u64);
+    dst.extend_from_slice(value);
+}
+
+/// Decode a `u64` varint from the front of `src`, returning the value and the
+/// number of bytes consumed.
+pub fn decode_varint64(src: &[u8]) -> Result<(u64, usize)> {
+    let mut result: u64 = 0;
+    let mut shift = 0u32;
+    for (i, &byte) in src.iter().enumerate() {
+        if i >= MAX_VARINT64_LEN {
+            break;
+        }
+        if byte < 0x80 {
+            result |= (byte as u64) << shift;
+            return Ok((result, i + 1));
+        }
+        result |= ((byte & 0x7f) as u64) << shift;
+        shift += 7;
+    }
+    Err(Error::Corruption("truncated or overlong varint".into()))
+}
+
+/// Decode a `u32` varint from the front of `src`.
+pub fn decode_varint32(src: &[u8]) -> Result<(u32, usize)> {
+    let (v, n) = decode_varint64(src)?;
+    if v > u32::MAX as u64 {
+        return Err(Error::Corruption("varint32 overflow".into()));
+    }
+    Ok((v as u32, n))
+}
+
+/// Decode a length-prefixed byte slice from the front of `src`, returning the
+/// slice and the total number of bytes consumed (prefix + payload).
+pub fn decode_length_prefixed_slice(src: &[u8]) -> Result<(&[u8], usize)> {
+    let (len, n) = decode_varint64(src)?;
+    let len = len as usize;
+    if src.len() < n + len {
+        return Err(Error::Corruption("length-prefixed slice extends past buffer".into()));
+    }
+    Ok((&src[n..n + len], n + len))
+}
+
+/// Encoded length of `v` as a varint.
+pub fn varint_length(mut v: u64) -> usize {
+    let mut len = 1;
+    while v >= 0x80 {
+        v >>= 7;
+        len += 1;
+    }
+    len
+}
+
+/// Append a fixed-width little-endian `u32`.
+pub fn put_fixed32(dst: &mut Vec<u8>, v: u32) {
+    dst.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a fixed-width little-endian `u64`.
+pub fn put_fixed64(dst: &mut Vec<u8>, v: u64) {
+    dst.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Decode a fixed-width little-endian `u32` from the front of `src`.
+pub fn decode_fixed32(src: &[u8]) -> Result<u32> {
+    if src.len() < 4 {
+        return Err(Error::Corruption("truncated fixed32".into()));
+    }
+    Ok(u32::from_le_bytes(src[..4].try_into().expect("4 bytes")))
+}
+
+/// Decode a fixed-width little-endian `u64` from the front of `src`.
+pub fn decode_fixed64(src: &[u8]) -> Result<u64> {
+    if src.len() < 8 {
+        return Err(Error::Corruption("truncated fixed64".into()));
+    }
+    Ok(u64::from_le_bytes(src[..8].try_into().expect("8 bytes")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn varint_round_trip_edge_cases() {
+        for v in [0u64, 1, 127, 128, 16383, 16384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint64(&mut buf, v);
+            assert_eq!(buf.len(), varint_length(v));
+            let (decoded, n) = decode_varint64(&buf).unwrap();
+            assert_eq!(decoded, v);
+            assert_eq!(n, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint32_rejects_overflow() {
+        let mut buf = Vec::new();
+        put_varint64(&mut buf, u64::MAX);
+        assert!(decode_varint32(&buf).is_err());
+    }
+
+    #[test]
+    fn truncated_varint_is_an_error() {
+        let mut buf = Vec::new();
+        put_varint64(&mut buf, 1_000_000);
+        buf.pop();
+        assert!(decode_varint64(&buf).is_err());
+        assert!(decode_varint64(&[]).is_err());
+    }
+
+    #[test]
+    fn length_prefixed_slice_round_trip() {
+        let mut buf = Vec::new();
+        put_length_prefixed_slice(&mut buf, b"hello world");
+        put_length_prefixed_slice(&mut buf, b"");
+        let (s1, n1) = decode_length_prefixed_slice(&buf).unwrap();
+        assert_eq!(s1, b"hello world");
+        let (s2, n2) = decode_length_prefixed_slice(&buf[n1..]).unwrap();
+        assert_eq!(s2, b"");
+        assert_eq!(n1 + n2, buf.len());
+    }
+
+    #[test]
+    fn length_prefixed_slice_detects_truncation() {
+        let mut buf = Vec::new();
+        put_length_prefixed_slice(&mut buf, b"hello");
+        buf.truncate(buf.len() - 1);
+        assert!(decode_length_prefixed_slice(&buf).is_err());
+    }
+
+    #[test]
+    fn fixed_width_round_trip() {
+        let mut buf = Vec::new();
+        put_fixed32(&mut buf, 0xdead_beef);
+        put_fixed64(&mut buf, 0x0123_4567_89ab_cdef);
+        assert_eq!(decode_fixed32(&buf).unwrap(), 0xdead_beef);
+        assert_eq!(decode_fixed64(&buf[4..]).unwrap(), 0x0123_4567_89ab_cdef);
+        assert!(decode_fixed32(&buf[..3]).is_err());
+        assert!(decode_fixed64(&buf[..7]).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_varint64_round_trips(v in any::<u64>()) {
+            let mut buf = Vec::new();
+            put_varint64(&mut buf, v);
+            let (decoded, n) = decode_varint64(&buf).unwrap();
+            prop_assert_eq!(decoded, v);
+            prop_assert_eq!(n, buf.len());
+        }
+
+        #[test]
+        fn prop_varint32_round_trips(v in any::<u32>()) {
+            let mut buf = Vec::new();
+            put_varint32(&mut buf, v);
+            let (decoded, n) = decode_varint32(&buf).unwrap();
+            prop_assert_eq!(decoded, v);
+            prop_assert_eq!(n, buf.len());
+        }
+
+        #[test]
+        fn prop_slices_round_trip(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let mut buf = Vec::new();
+            put_length_prefixed_slice(&mut buf, &data);
+            let (decoded, n) = decode_length_prefixed_slice(&buf).unwrap();
+            prop_assert_eq!(decoded, &data[..]);
+            prop_assert_eq!(n, buf.len());
+        }
+
+        #[test]
+        fn prop_concatenated_varints_decode_in_order(values in proptest::collection::vec(any::<u64>(), 1..64)) {
+            let mut buf = Vec::new();
+            for &v in &values {
+                put_varint64(&mut buf, v);
+            }
+            let mut offset = 0;
+            for &v in &values {
+                let (decoded, n) = decode_varint64(&buf[offset..]).unwrap();
+                prop_assert_eq!(decoded, v);
+                offset += n;
+            }
+            prop_assert_eq!(offset, buf.len());
+        }
+    }
+}

@@ -1,0 +1,396 @@
+//! The coordinator: cluster configuration, range → LTC assignment, failure
+//! handling and the load-balancing / elasticity decisions of Sections 8.2.6
+//! and 9.
+//!
+//! The coordinator is off the data path: clients cache its configuration and
+//! talk to LTCs directly; LTCs and StoCs renew leases on heartbeats. The
+//! paper defers coordinator high availability to Zookeeper; this
+//! implementation is a single in-process instance whose decisions are applied
+//! by the cluster layer (`nova-lsm`).
+
+use crate::lease::{LeaseHolder, LeaseTable};
+use nova_common::clock::ClockRef;
+use nova_common::{LtcId, NodeId, RangeId, Result, StocId};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// The cluster configuration handed to clients: which LTC serves each range,
+/// which StoCs exist, and a monotonically increasing epoch so stale clients
+/// can detect that they must refresh.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Configuration {
+    /// Monotonically increasing configuration number.
+    pub epoch: u64,
+    /// Assignment of every range to an LTC.
+    pub range_assignment: HashMap<RangeId, LtcId>,
+    /// LTCs currently in the configuration, with their nodes.
+    pub ltcs: HashMap<LtcId, NodeId>,
+    /// StoCs currently in the configuration, with their nodes.
+    pub stocs: HashMap<StocId, NodeId>,
+}
+
+impl Configuration {
+    /// The LTC serving `range`, if assigned.
+    pub fn ltc_of(&self, range: RangeId) -> Option<LtcId> {
+        self.range_assignment.get(&range).copied()
+    }
+
+    /// Ranges served by `ltc`, in id order.
+    pub fn ranges_of(&self, ltc: LtcId) -> Vec<RangeId> {
+        let mut out: Vec<RangeId> =
+            self.range_assignment.iter().filter(|(_, l)| **l == ltc).map(|(r, _)| *r).collect();
+        out.sort();
+        out
+    }
+}
+
+/// A proposed range migration (source LTC → destination LTC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationPlan {
+    /// The range to move.
+    pub range: RangeId,
+    /// Where it currently lives.
+    pub from: LtcId,
+    /// Where it should go.
+    pub to: LtcId,
+}
+
+/// The coordinator.
+pub struct Coordinator {
+    config: RwLock<Configuration>,
+    leases: LeaseTable,
+}
+
+impl std::fmt::Debug for Coordinator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let c = self.config.read();
+        f.debug_struct("Coordinator")
+            .field("epoch", &c.epoch)
+            .field("ltcs", &c.ltcs.len())
+            .field("stocs", &c.stocs.len())
+            .field("ranges", &c.range_assignment.len())
+            .finish()
+    }
+}
+
+impl Coordinator {
+    /// Create a coordinator with an empty configuration.
+    pub fn new(clock: ClockRef, lease_duration: Duration) -> Self {
+        Coordinator {
+            config: RwLock::new(Configuration {
+                epoch: 0,
+                range_assignment: HashMap::new(),
+                ltcs: HashMap::new(),
+                stocs: HashMap::new(),
+            }),
+            leases: LeaseTable::new(clock, lease_duration),
+        }
+    }
+
+    /// The current configuration (clients cache this).
+    pub fn configuration(&self) -> Configuration {
+        self.config.read().clone()
+    }
+
+    /// The current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.config.read().epoch
+    }
+
+    /// Register an LTC (also grants its initial lease).
+    pub fn register_ltc(&self, ltc: LtcId, node: NodeId) {
+        let mut c = self.config.write();
+        c.ltcs.insert(ltc, node);
+        c.epoch += 1;
+        drop(c);
+        self.leases.grant(LeaseHolder::Ltc(ltc.0));
+    }
+
+    /// Register a StoC (also grants its initial lease).
+    pub fn register_stoc(&self, stoc: StocId, node: NodeId) {
+        let mut c = self.config.write();
+        c.stocs.insert(stoc, node);
+        c.epoch += 1;
+        drop(c);
+        self.leases.grant(LeaseHolder::Stoc(stoc.0));
+    }
+
+    /// Remove a StoC from the configuration (graceful scale-in, Section 9).
+    pub fn deregister_stoc(&self, stoc: StocId) {
+        let mut c = self.config.write();
+        if c.stocs.remove(&stoc).is_some() {
+            c.epoch += 1;
+        }
+        drop(c);
+        self.leases.revoke(LeaseHolder::Stoc(stoc.0));
+    }
+
+    /// Remove an LTC from the configuration; its ranges become unassigned and
+    /// the caller is expected to reassign them (via [`Coordinator::assign_range`]
+    /// or [`Coordinator::plan_failover`]).
+    pub fn deregister_ltc(&self, ltc: LtcId) -> Vec<RangeId> {
+        let mut c = self.config.write();
+        let orphaned: Vec<RangeId> =
+            c.range_assignment.iter().filter(|(_, l)| **l == ltc).map(|(r, _)| *r).collect();
+        if c.ltcs.remove(&ltc).is_some() {
+            c.epoch += 1;
+        }
+        drop(c);
+        self.leases.revoke(LeaseHolder::Ltc(ltc.0));
+        orphaned
+    }
+
+    /// Record a heartbeat from a component, renewing its lease.
+    pub fn heartbeat(&self, holder: LeaseHolder) {
+        self.leases.grant(holder);
+    }
+
+    /// True if the holder's lease is still valid.
+    pub fn lease_valid(&self, holder: LeaseHolder) -> bool {
+        self.leases.is_valid(holder)
+    }
+
+    /// Components whose leases have expired.
+    pub fn expired_components(&self) -> Vec<LeaseHolder> {
+        self.leases.expired()
+    }
+
+    /// Assign (or reassign) a range to an LTC, bumping the epoch.
+    pub fn assign_range(&self, range: RangeId, ltc: LtcId) -> Result<()> {
+        let mut c = self.config.write();
+        if !c.ltcs.contains_key(&ltc) {
+            return Err(nova_common::Error::UnknownLtc(ltc));
+        }
+        c.range_assignment.insert(range, ltc);
+        c.epoch += 1;
+        Ok(())
+    }
+
+    /// Partition `num_ranges` ranges across the registered LTCs round-robin
+    /// (the paper's "assign ω ranges to each LTC").
+    pub fn assign_ranges_round_robin(&self, num_ranges: usize) -> Result<()> {
+        let ltcs: Vec<LtcId> = {
+            let c = self.config.read();
+            let mut ids: Vec<LtcId> = c.ltcs.keys().copied().collect();
+            ids.sort();
+            ids
+        };
+        if ltcs.is_empty() {
+            return Err(nova_common::Error::Unavailable("no LTCs registered".into()));
+        }
+        let per_ltc = (num_ranges + ltcs.len() - 1) / ltcs.len();
+        let mut c = self.config.write();
+        for r in 0..num_ranges {
+            let ltc = ltcs[(r / per_ltc).min(ltcs.len() - 1)];
+            c.range_assignment.insert(RangeId(r as u32), ltc);
+        }
+        c.epoch += 1;
+        Ok(())
+    }
+
+    /// Plan the failover of a failed LTC: scatter its ranges across the
+    /// surviving LTCs ("With η LTCs, it may scatter its ranges across η−1
+    /// LTCs. This enables recovery of the different ranges in parallel",
+    /// Section 4.5).
+    pub fn plan_failover(&self, failed: LtcId) -> Vec<MigrationPlan> {
+        let c = self.config.read();
+        let mut survivors: Vec<LtcId> = c.ltcs.keys().copied().filter(|l| *l != failed).collect();
+        survivors.sort();
+        if survivors.is_empty() {
+            return Vec::new();
+        }
+        let mut plans = Vec::new();
+        for (i, range) in c.ranges_of(failed).into_iter().enumerate() {
+            plans.push(MigrationPlan { range, from: failed, to: survivors[i % survivors.len()] });
+        }
+        plans
+    }
+
+    /// Plan load-balancing migrations given each LTC's observed load
+    /// (operations per second or CPU utilization — any consistent metric).
+    /// Ranges are moved from the most-loaded LTC to the least-loaded LTCs
+    /// until the donor's projected load is within `tolerance` of the mean,
+    /// approximating the migration experiment of Section 8.2.6.
+    pub fn plan_load_balancing(
+        &self,
+        load_per_ltc: &HashMap<LtcId, f64>,
+        load_per_range: &HashMap<RangeId, f64>,
+        tolerance: f64,
+    ) -> Vec<MigrationPlan> {
+        let c = self.config.read();
+        if c.ltcs.len() < 2 || load_per_ltc.is_empty() {
+            return Vec::new();
+        }
+        let total: f64 = load_per_ltc.values().sum();
+        let mean = total / c.ltcs.len() as f64;
+        let (&donor, &donor_load) = match load_per_ltc.iter().max_by(|a, b| a.1.total_cmp(b.1)) {
+            Some(x) => x,
+            None => return Vec::new(),
+        };
+        if donor_load <= mean * (1.0 + tolerance) {
+            return Vec::new();
+        }
+        // Receivers ordered by increasing load.
+        let mut receivers: Vec<(LtcId, f64)> = c
+            .ltcs
+            .keys()
+            .filter(|l| **l != donor)
+            .map(|l| (*l, load_per_ltc.get(l).copied().unwrap_or(0.0)))
+            .collect();
+        receivers.sort_by(|a, b| a.1.total_cmp(&b.1));
+
+        // Donor ranges ordered by decreasing load; keep the hottest range on
+        // the donor (moving it just moves the bottleneck) and shed the rest.
+        let mut donor_ranges: Vec<(RangeId, f64)> = c
+            .ranges_of(donor)
+            .into_iter()
+            .map(|r| (r, load_per_range.get(&r).copied().unwrap_or(0.0)))
+            .collect();
+        donor_ranges.sort_by(|a, b| b.1.total_cmp(&a.1));
+
+        let mut plans = Vec::new();
+        let mut projected_donor = donor_load;
+        let mut receiver_loads: HashMap<LtcId, f64> = receivers.iter().cloned().collect();
+        for (range, range_load) in donor_ranges.into_iter().skip(1) {
+            if projected_donor <= mean * (1.0 + tolerance) {
+                break;
+            }
+            // Send to the currently least-loaded receiver.
+            let (&to, _) = match receiver_loads.iter().min_by(|a, b| a.1.total_cmp(b.1)) {
+                Some(x) => x,
+                None => break,
+            };
+            plans.push(MigrationPlan { range, from: donor, to });
+            projected_donor -= range_load;
+            *receiver_loads.entry(to).or_insert(0.0) += range_load;
+        }
+        plans
+    }
+
+    /// Apply a migration plan to the configuration (the cluster layer calls
+    /// this after the data movement completes).
+    pub fn commit_migration(&self, plan: &MigrationPlan) -> Result<()> {
+        self.assign_range(plan.range, plan.to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nova_common::clock::manual_clock;
+
+    fn coordinator() -> Coordinator {
+        let (clock, _) = manual_clock();
+        Coordinator::new(clock, Duration::from_secs(1))
+    }
+
+    #[test]
+    fn registration_bumps_epoch_and_grants_leases() {
+        let c = coordinator();
+        assert_eq!(c.epoch(), 0);
+        c.register_ltc(LtcId(0), NodeId(0));
+        c.register_stoc(StocId(0), NodeId(1));
+        assert_eq!(c.epoch(), 2);
+        assert!(c.lease_valid(LeaseHolder::Ltc(0)));
+        assert!(c.lease_valid(LeaseHolder::Stoc(0)));
+        let config = c.configuration();
+        assert_eq!(config.ltcs.len(), 1);
+        assert_eq!(config.stocs.len(), 1);
+    }
+
+    #[test]
+    fn round_robin_assignment_covers_every_range() {
+        let c = coordinator();
+        for i in 0..4u32 {
+            c.register_ltc(LtcId(i), NodeId(i));
+        }
+        c.assign_ranges_round_robin(64).unwrap();
+        let config = c.configuration();
+        assert_eq!(config.range_assignment.len(), 64);
+        for i in 0..4u32 {
+            assert_eq!(config.ranges_of(LtcId(i)).len(), 16);
+        }
+        assert_eq!(config.ltc_of(RangeId(0)), Some(LtcId(0)));
+        assert_eq!(config.ltc_of(RangeId(63)), Some(LtcId(3)));
+    }
+
+    #[test]
+    fn assignment_to_unknown_ltc_fails() {
+        let c = coordinator();
+        assert!(c.assign_range(RangeId(0), LtcId(7)).is_err());
+        assert!(c.assign_ranges_round_robin(4).is_err());
+    }
+
+    #[test]
+    fn failover_scatters_ranges_across_survivors() {
+        let c = coordinator();
+        for i in 0..3u32 {
+            c.register_ltc(LtcId(i), NodeId(i));
+        }
+        c.assign_ranges_round_robin(9).unwrap();
+        let plans = c.plan_failover(LtcId(0));
+        assert_eq!(plans.len(), 3);
+        // Ranges are scattered across both survivors, not piled on one.
+        let to_1 = plans.iter().filter(|p| p.to == LtcId(1)).count();
+        let to_2 = plans.iter().filter(|p| p.to == LtcId(2)).count();
+        assert!(to_1 >= 1 && to_2 >= 1);
+        for p in &plans {
+            c.commit_migration(p).unwrap();
+        }
+        assert!(c.configuration().ranges_of(LtcId(0)).is_empty());
+        // Deregistering now orphans nothing.
+        assert!(c.deregister_ltc(LtcId(0)).is_empty());
+    }
+
+    #[test]
+    fn load_balancing_sheds_ranges_from_the_hot_ltc() {
+        let c = coordinator();
+        for i in 0..5u32 {
+            c.register_ltc(LtcId(i), NodeId(i));
+        }
+        c.assign_ranges_round_robin(10).unwrap();
+        // LTC 0 carries 85% of the load (the paper's Zipfian scenario).
+        let mut ltc_load = HashMap::new();
+        ltc_load.insert(LtcId(0), 850.0);
+        for i in 1..5u32 {
+            ltc_load.insert(LtcId(i), 37.5);
+        }
+        let mut range_load = HashMap::new();
+        for r in c.configuration().ranges_of(LtcId(0)) {
+            range_load.insert(r, 425.0);
+        }
+        let plans = c.plan_load_balancing(&ltc_load, &range_load, 0.2);
+        assert!(!plans.is_empty(), "a heavily loaded LTC must shed ranges");
+        assert!(plans.iter().all(|p| p.from == LtcId(0)));
+        // The hottest range stays on the donor; others move to cold LTCs.
+        assert!(plans.iter().all(|p| p.to != LtcId(0)));
+
+        // A balanced cluster produces no plans.
+        let balanced: HashMap<LtcId, f64> = (0..5u32).map(|i| (LtcId(i), 100.0)).collect();
+        assert!(c.plan_load_balancing(&balanced, &range_load, 0.2).is_empty());
+    }
+
+    #[test]
+    fn expired_leases_are_reported() {
+        let (clock, handle) = manual_clock();
+        let c = Coordinator::new(clock, Duration::from_millis(10));
+        c.register_ltc(LtcId(0), NodeId(0));
+        handle.advance(Duration::from_millis(50));
+        assert_eq!(c.expired_components(), vec![LeaseHolder::Ltc(0)]);
+        c.heartbeat(LeaseHolder::Ltc(0));
+        assert!(c.expired_components().is_empty());
+    }
+
+    #[test]
+    fn stoc_lifecycle() {
+        let c = coordinator();
+        c.register_stoc(StocId(5), NodeId(9));
+        assert_eq!(c.configuration().stocs.len(), 1);
+        let epoch = c.epoch();
+        c.deregister_stoc(StocId(5));
+        assert!(c.configuration().stocs.is_empty());
+        assert!(c.epoch() > epoch);
+        assert!(!c.lease_valid(LeaseHolder::Stoc(5)));
+    }
+}

@@ -1,0 +1,146 @@
+//! Leases (Section 3 of the paper).
+//!
+//! "We use leases to minimize management overhead at the coordinator. … The
+//! coordinator grants a lease on a range to an LTC to process requests
+//! referencing key-value pairs contained in that range. Similarly, the
+//! coordinator grants a lease to a StoC to process requests. Both StoC and
+//! LTC may request and receive lease extensions from the coordinator
+//! indefinitely. … A StoC/LTC that fails to renew its lease by communicating
+//! with the coordinator stops processing requests."
+
+use nova_common::clock::ClockRef;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// The identity of a lease holder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LeaseHolder {
+    /// An LTC identified by its id.
+    Ltc(u32),
+    /// A StoC identified by its id.
+    Stoc(u32),
+}
+
+/// A granted lease.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lease {
+    /// Who holds the lease.
+    pub holder: LeaseHolder,
+    /// Expiry, in nanoseconds of the coordinator's clock.
+    pub expires_at_nanos: u64,
+}
+
+/// The coordinator's lease table.
+pub struct LeaseTable {
+    clock: ClockRef,
+    duration: Duration,
+    leases: Mutex<HashMap<LeaseHolder, Lease>>,
+}
+
+impl std::fmt::Debug for LeaseTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LeaseTable").field("leases", &self.leases.lock().len()).finish()
+    }
+}
+
+impl LeaseTable {
+    /// Create a lease table granting leases of `duration`.
+    pub fn new(clock: ClockRef, duration: Duration) -> Self {
+        LeaseTable { clock, duration, leases: Mutex::new(HashMap::new()) }
+    }
+
+    /// Grant (or renew) a lease to `holder`, returning it. Renewals are
+    /// piggybacked on heartbeats in the paper; callers simply invoke this on
+    /// every heartbeat.
+    pub fn grant(&self, holder: LeaseHolder) -> Lease {
+        let lease = Lease {
+            holder,
+            expires_at_nanos: self.clock.now_nanos() + self.duration.as_nanos() as u64,
+        };
+        self.leases.lock().insert(holder, lease);
+        lease
+    }
+
+    /// True if `holder` currently holds an unexpired lease.
+    pub fn is_valid(&self, holder: LeaseHolder) -> bool {
+        self.leases
+            .lock()
+            .get(&holder)
+            .map(|l| l.expires_at_nanos > self.clock.now_nanos())
+            .unwrap_or(false)
+    }
+
+    /// Revoke a lease explicitly (e.g. graceful shutdown).
+    pub fn revoke(&self, holder: LeaseHolder) {
+        self.leases.lock().remove(&holder);
+    }
+
+    /// Holders whose leases have expired — candidates for failure handling.
+    /// "If the coordinator loses communication with an LTC, it may safely
+    /// grant a new lease on the LTC's assigned ranges to another LTC after
+    /// the old lease expires."
+    pub fn expired(&self) -> Vec<LeaseHolder> {
+        let now = self.clock.now_nanos();
+        self.leases
+            .lock()
+            .values()
+            .filter(|l| l.expires_at_nanos <= now)
+            .map(|l| l.holder)
+            .collect()
+    }
+
+    /// Number of tracked leases (valid or expired).
+    pub fn len(&self) -> usize {
+        self.leases.lock().len()
+    }
+
+    /// True if no leases are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nova_common::clock::manual_clock;
+
+    #[test]
+    fn leases_expire_without_renewal() {
+        let (clock, handle) = manual_clock();
+        let table = LeaseTable::new(clock, Duration::from_millis(100));
+        let holder = LeaseHolder::Ltc(1);
+        table.grant(holder);
+        assert!(table.is_valid(holder));
+        assert!(table.expired().is_empty());
+        handle.advance(Duration::from_millis(150));
+        assert!(!table.is_valid(holder));
+        assert_eq!(table.expired(), vec![holder]);
+    }
+
+    #[test]
+    fn renewal_extends_the_lease() {
+        let (clock, handle) = manual_clock();
+        let table = LeaseTable::new(clock, Duration::from_millis(100));
+        let holder = LeaseHolder::Stoc(3);
+        table.grant(holder);
+        handle.advance(Duration::from_millis(80));
+        table.grant(holder);
+        handle.advance(Duration::from_millis(80));
+        assert!(table.is_valid(holder), "renewed lease must still be valid");
+    }
+
+    #[test]
+    fn revoke_and_unknown_holders() {
+        let (clock, _handle) = manual_clock();
+        let table = LeaseTable::new(clock, Duration::from_millis(100));
+        assert!(table.is_empty());
+        assert!(!table.is_valid(LeaseHolder::Ltc(9)));
+        table.grant(LeaseHolder::Ltc(9));
+        assert_eq!(table.len(), 1);
+        table.revoke(LeaseHolder::Ltc(9));
+        assert!(!table.is_valid(LeaseHolder::Ltc(9)));
+        assert!(table.is_empty());
+    }
+}

@@ -1,0 +1,21 @@
+//! # nova-coordinator
+//!
+//! The coordinator of a Nova-LSM deployment (Section 3, Figure 3): cluster
+//! membership, lease management, the assignment of application ranges to
+//! LTCs, failover planning when an LTC's lease expires, and the
+//! load-balancing / elasticity decisions evaluated in Sections 8.2.6 and 9.
+//!
+//! The coordinator is deliberately off the data path: clients cache its
+//! configuration and communicate with LTCs directly, and components renew
+//! leases via heartbeats. High availability of the coordinator itself is
+//! delegated to an external service (the paper suggests Zookeeper) and is out
+//! of scope here.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod coordinator;
+pub mod lease;
+
+pub use coordinator::{Configuration, Coordinator, MigrationPlan};
+pub use lease::{Lease, LeaseHolder, LeaseTable};

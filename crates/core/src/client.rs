@@ -1,0 +1,104 @@
+//! The Nova-LSM client: routes requests to the LTC serving each range using
+//! the coordinator's cached configuration (Section 3, Figure 3).
+
+use crate::cluster::NovaCluster;
+use bytes::Bytes;
+use nova_common::keyspace::encode_key;
+use nova_common::types::Entry;
+use nova_common::{Error, Result};
+use std::sync::Arc;
+
+/// A client handle onto a running cluster. Cheap to clone; every application
+/// thread typically owns one.
+#[derive(Clone)]
+pub struct NovaClient {
+    cluster: Arc<NovaCluster>,
+}
+
+impl std::fmt::Debug for NovaClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NovaClient").finish()
+    }
+}
+
+impl NovaClient {
+    /// Create a client for `cluster`.
+    pub fn new(cluster: Arc<NovaCluster>) -> Self {
+        NovaClient { cluster }
+    }
+
+    /// The cluster this client talks to.
+    pub fn cluster(&self) -> &Arc<NovaCluster> {
+        &self.cluster
+    }
+
+    /// Write a key-value pair.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        let (range, ltc) = self.cluster.route(key)?;
+        match ltc.put(range, key, value) {
+            // A range that migrated mid-request: refresh the routing once.
+            Err(Error::Migrating(_)) | Err(Error::WrongRange(_)) => {
+                let (range, ltc) = self.cluster.route(key)?;
+                ltc.put(range, key, value)
+            }
+            other => other,
+        }
+    }
+
+    /// Delete a key.
+    pub fn delete(&self, key: &[u8]) -> Result<()> {
+        let (range, ltc) = self.cluster.route(key)?;
+        ltc.delete(range, key)
+    }
+
+    /// Read the latest value of a key.
+    pub fn get(&self, key: &[u8]) -> Result<Bytes> {
+        let (range, ltc) = self.cluster.route(key)?;
+        match ltc.get(range, key) {
+            Err(Error::WrongRange(_)) => {
+                let (range, ltc) = self.cluster.route(key)?;
+                ltc.get(range, key)
+            }
+            other => other,
+        }
+    }
+
+    /// Scan up to `limit` live entries starting at `start_key`, crossing
+    /// range (and LTC) boundaries in read-committed fashion (Section 8.1).
+    pub fn scan(&self, start_key: &[u8], limit: usize) -> Result<Vec<Entry>> {
+        let mut out = Vec::with_capacity(limit);
+        let partition = self.cluster.partition().clone();
+        let mut range = partition.range_of_encoded(start_key);
+        let mut cursor = start_key.to_vec();
+        loop {
+            if out.len() >= limit {
+                break;
+            }
+            let ltc_id = match self.cluster.coordinator().configuration().ltc_of(range) {
+                Some(l) => l,
+                None => break,
+            };
+            let ltc = self.cluster.ltc(ltc_id)?;
+            let chunk = ltc.scan(range, &cursor, limit - out.len())?;
+            out.extend(chunk);
+            // Move to the next range.
+            let next = range.0 as usize + 1;
+            if next >= partition.num_ranges() {
+                break;
+            }
+            range = nova_common::RangeId(next as u32);
+            cursor = encode_key(partition.interval(range).lower);
+        }
+        Ok(out)
+    }
+
+    /// Convenience: put with a numeric key (the YCSB keyspace).
+    pub fn put_numeric(&self, key: u64, value: &[u8]) -> Result<()> {
+        self.put(&encode_key(key), value)
+    }
+
+    /// Convenience: get with a numeric key.
+    pub fn get_numeric(&self, key: u64) -> Result<Bytes> {
+        self.get(&encode_key(key))
+    }
+}

@@ -1,0 +1,419 @@
+//! Assembly of a complete Nova-LSM deployment: the simulated fabric, β StoCs,
+//! η LTCs with ω ranges each, the coordinator, and the elasticity operations
+//! of Section 9 (adding/removing LTCs and StoCs, migrating ranges).
+
+use nova_common::clock::system_clock;
+use nova_common::config::ClusterConfig;
+use nova_common::keyspace::KeyspacePartition;
+use nova_common::{Error, LtcId, NodeId, RangeId, Result, StocId};
+use nova_coordinator::{Coordinator, LeaseHolder};
+use nova_fabric::Fabric;
+use nova_logc::LogC;
+use nova_ltc::{Ltc, LtcStats, Manifest, Placer, RangeEngine};
+use nova_stoc::{SimDisk, StocClient, StocDirectory, StocServer, StocStats, StorageMedium};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A running Nova-LSM cluster.
+pub struct NovaCluster {
+    config: ClusterConfig,
+    fabric: Arc<Fabric>,
+    directory: StocDirectory,
+    coordinator: Coordinator,
+    partition: KeyspacePartition,
+    stoc_servers: Mutex<HashMap<StocId, StocServer>>,
+    ltcs: RwLock<HashMap<LtcId, Arc<Ltc>>>,
+    ltc_nodes: RwLock<HashMap<LtcId, NodeId>>,
+    next_stoc_id: AtomicU32,
+    next_ltc_id: AtomicU32,
+}
+
+impl std::fmt::Debug for NovaCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NovaCluster")
+            .field("ltcs", &self.ltcs.read().len())
+            .field("stocs", &self.stoc_servers.lock().len())
+            .field("ranges", &self.partition.num_ranges())
+            .finish()
+    }
+}
+
+impl NovaCluster {
+    /// Start a cluster from a configuration: η LTC nodes, β StoC nodes, ω
+    /// ranges per LTC, with every range configured per `config.range`.
+    pub fn start(config: ClusterConfig) -> Result<Arc<Self>> {
+        config.validate().map_err(Error::InvalidArgument)?;
+        let num_nodes = config.num_ltcs + config.num_stocs;
+        let fabric = Fabric::new(num_nodes, &config.fabric);
+        let directory = StocDirectory::new();
+        let coordinator = Coordinator::new(system_clock(), Duration::from_millis(config.lease_millis));
+        let partition = KeyspacePartition::uniform(config.num_keys, config.total_ranges());
+
+        let cluster = Arc::new(NovaCluster {
+            config: config.clone(),
+            fabric: Arc::clone(&fabric),
+            directory: directory.clone(),
+            coordinator,
+            partition,
+            stoc_servers: Mutex::new(HashMap::new()),
+            ltcs: RwLock::new(HashMap::new()),
+            ltc_nodes: RwLock::new(HashMap::new()),
+            next_stoc_id: AtomicU32::new(config.num_stocs as u32),
+            next_ltc_id: AtomicU32::new(config.num_ltcs as u32),
+        });
+
+        // StoCs occupy nodes [η, η+β).
+        for i in 0..config.num_stocs {
+            let stoc = StocId(i as u32);
+            let node = NodeId((config.num_ltcs + i) as u32);
+            cluster.start_stoc_on(stoc, node)?;
+        }
+
+        // LTCs occupy nodes [0, η).
+        for i in 0..config.num_ltcs {
+            let ltc_id = LtcId(i as u32);
+            let node = NodeId(i as u32);
+            let ltc = Ltc::new(ltc_id, node);
+            cluster.ltcs.write().insert(ltc_id, ltc);
+            cluster.ltc_nodes.write().insert(ltc_id, node);
+            cluster.coordinator.register_ltc(ltc_id, node);
+        }
+        cluster.coordinator.assign_ranges_round_robin(config.total_ranges())?;
+
+        // Create the range engines on their assigned LTCs.
+        let assignment = cluster.coordinator.configuration();
+        for range_idx in 0..config.total_ranges() {
+            let range = RangeId(range_idx as u32);
+            let ltc_id = assignment.ltc_of(range).expect("every range was just assigned");
+            let engine = cluster.build_range_engine(range, ltc_id, false)?;
+            cluster.ltcs.read()[&ltc_id].add_range(engine);
+        }
+
+        Ok(cluster)
+    }
+
+    fn start_stoc_on(&self, stoc: StocId, node: NodeId) -> Result<()> {
+        let medium: Arc<dyn StorageMedium> = Arc::new(SimDisk::new(self.config.disk));
+        let server = StocServer::start(
+            stoc,
+            node,
+            &self.fabric,
+            self.directory.clone(),
+            medium,
+            self.config.stoc_storage_threads + self.config.stoc_compaction_threads,
+            self.config.fabric.xchg_threads_per_node,
+        );
+        self.coordinator.register_stoc(stoc, node);
+        self.stoc_servers.lock().insert(stoc, server);
+        Ok(())
+    }
+
+    fn build_range_engine(&self, range: RangeId, ltc: LtcId, recover: bool) -> Result<Arc<RangeEngine>> {
+        let node = *self
+            .ltc_nodes
+            .read()
+            .get(&ltc)
+            .ok_or(Error::UnknownLtc(ltc))?;
+        let endpoint = self.fabric.endpoint(node);
+        let client = StocClient::new(endpoint, self.directory.clone());
+        let range_config = self.config.range.clone();
+        let logc = Arc::new(LogC::new(
+            client.clone(),
+            range_config.log_policy,
+            range_config.memtable_size_bytes as u64 * 2,
+        ));
+        // Co-locate the "local" StoC with the LTC's position for the
+        // shared-nothing preset; harmless otherwise.
+        let local_stoc = StocId(ltc.0 % self.config.num_stocs.max(1) as u32);
+        let placer = Placer::new(
+            client.clone(),
+            range_config.placement,
+            range_config.availability,
+            Some(local_stoc),
+            (range.0 as u64 + 1) * 7919,
+        );
+        let manifest_stoc = StocId(range.0 % self.directory.len().max(1) as u32);
+        let manifest = Manifest::new(manifest_stoc, &format!("range-{}", range.0));
+        let interval = self.partition.interval(range);
+        if recover {
+            RangeEngine::recover(range, interval, range_config, client, logc, placer, manifest, 8)
+        } else {
+            RangeEngine::new(range, interval, range_config, client, logc, placer, manifest)
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// The keyspace partition used to route requests.
+    pub fn partition(&self) -> &KeyspacePartition {
+        &self.partition
+    }
+
+    /// The coordinator.
+    pub fn coordinator(&self) -> &Coordinator {
+        &self.coordinator
+    }
+
+    /// The fabric (for failure injection in tests and experiments).
+    pub fn fabric(&self) -> &Arc<Fabric> {
+        &self.fabric
+    }
+
+    /// Ids of the LTCs currently in the configuration.
+    pub fn ltc_ids(&self) -> Vec<LtcId> {
+        let mut ids: Vec<LtcId> = self.ltcs.read().keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Ids of the StoCs currently in the configuration.
+    pub fn stoc_ids(&self) -> Vec<StocId> {
+        self.directory.all()
+    }
+
+    /// The LTC object with `id`.
+    pub fn ltc(&self, id: LtcId) -> Result<Arc<Ltc>> {
+        self.ltcs.read().get(&id).cloned().ok_or(Error::UnknownLtc(id))
+    }
+
+    /// Route a key to the (range, LTC) pair serving it.
+    pub fn route(&self, key: &[u8]) -> Result<(RangeId, Arc<Ltc>)> {
+        let range = self.partition.range_of_encoded(key);
+        let ltc_id = self
+            .coordinator
+            .configuration()
+            .ltc_of(range)
+            .ok_or(Error::Unavailable(format!("{range} is not assigned to any LTC")))?;
+        Ok((range, self.ltc(ltc_id)?))
+    }
+
+    /// Per-LTC statistics, keyed by LTC id.
+    pub fn ltc_stats(&self) -> HashMap<LtcId, LtcStats> {
+        self.ltcs.read().iter().map(|(id, ltc)| (*id, ltc.stats())).collect()
+    }
+
+    /// Per-StoC statistics (disk bytes, queue depth), keyed by StoC id.
+    pub fn stoc_stats(&self) -> HashMap<StocId, StocStats> {
+        let ltc_node = NodeId(0);
+        let client = StocClient::new(self.fabric.endpoint(ltc_node), self.directory.clone());
+        self.directory
+            .all()
+            .into_iter()
+            .map(|s| (s, client.stats(s).unwrap_or_default()))
+            .collect()
+    }
+
+    /// Aggregate write-stall statistics across every range.
+    pub fn total_stalls(&self) -> u64 {
+        self.ltc_stats().values().map(|s| s.stalls).sum()
+    }
+
+    /// Flush every range on every LTC (tests, graceful shutdown).
+    pub fn flush_all(&self) -> Result<()> {
+        let ltcs: Vec<Arc<Ltc>> = self.ltcs.read().values().cloned().collect();
+        for ltc in ltcs {
+            ltc.flush_all()?;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Elasticity (Section 9)
+    // ------------------------------------------------------------------
+
+    /// Add a StoC on a fresh node. New SSTables are assigned to it
+    /// immediately by power-of-d placement.
+    pub fn add_stoc(&self) -> Result<StocId> {
+        let stoc = StocId(self.next_stoc_id.fetch_add(1, Ordering::SeqCst));
+        let node = self.fabric.add_node();
+        self.start_stoc_on(stoc, node)?;
+        Ok(stoc)
+    }
+
+    /// Remove a StoC from the configuration. Existing SSTable fragments on it
+    /// remain readable (the paper keeps such replicas around because disk
+    /// space is cheap); new SSTables simply stop being placed there.
+    pub fn remove_stoc(&self, stoc: StocId) -> Result<()> {
+        if self.directory.len() <= 1 {
+            return Err(Error::InvalidArgument("cannot remove the last StoC".into()));
+        }
+        if self.config.range.scatter_width > self.directory.len() - 1 {
+            return Err(Error::InvalidArgument(format!(
+                "removing {stoc} would leave fewer StoCs than the scatter width ρ={}",
+                self.config.range.scatter_width
+            )));
+        }
+        self.directory.remove(stoc);
+        self.coordinator.deregister_stoc(stoc);
+        Ok(())
+    }
+
+    /// Add an LTC on a fresh node. It starts with no ranges; migrate ranges
+    /// to it with [`NovaCluster::migrate_range`] or
+    /// [`NovaCluster::rebalance`].
+    pub fn add_ltc(&self) -> Result<LtcId> {
+        let ltc_id = LtcId(self.next_ltc_id.fetch_add(1, Ordering::SeqCst));
+        let node = self.fabric.add_node();
+        let ltc = Ltc::new(ltc_id, node);
+        self.ltcs.write().insert(ltc_id, ltc);
+        self.ltc_nodes.write().insert(ltc_id, node);
+        self.coordinator.register_ltc(ltc_id, node);
+        Ok(ltc_id)
+    }
+
+    /// Remove an LTC after migrating its ranges elsewhere. Fails if it still
+    /// serves ranges.
+    pub fn remove_ltc(&self, ltc_id: LtcId) -> Result<()> {
+        let ltc = self.ltc(ltc_id)?;
+        if ltc.num_ranges() > 0 {
+            return Err(Error::InvalidArgument(format!(
+                "{ltc_id} still serves {} ranges; migrate them first",
+                ltc.num_ranges()
+            )));
+        }
+        ltc.shutdown();
+        self.ltcs.write().remove(&ltc_id);
+        self.ltc_nodes.write().remove(&ltc_id);
+        self.coordinator.deregister_ltc(ltc_id);
+        Ok(())
+    }
+
+    /// Migrate one range from its current LTC to `destination`
+    /// (Sections 8.2.6 and 9). SSTables stay on the StoCs; only metadata and
+    /// memtable state move.
+    pub fn migrate_range(&self, range: RangeId, destination: LtcId) -> Result<()> {
+        let assignment = self.coordinator.configuration();
+        let source_id = assignment.ltc_of(range).ok_or(Error::WrongRange(range))?;
+        if source_id == destination {
+            return Ok(());
+        }
+        let source = self.ltc(source_id)?;
+        let dest = self.ltc(destination)?;
+        let engine = source.range(range)?;
+        let snapshot = engine.export_for_migration()?;
+
+        // Rebuild the range on the destination LTC's node.
+        let node = *self.ltc_nodes.read().get(&destination).ok_or(Error::UnknownLtc(destination))?;
+        let client = StocClient::new(self.fabric.endpoint(node), self.directory.clone());
+        let range_config = self.config.range.clone();
+        let logc = Arc::new(LogC::new(
+            client.clone(),
+            range_config.log_policy,
+            range_config.memtable_size_bytes as u64 * 2,
+        ));
+        let placer = Placer::new(
+            client.clone(),
+            range_config.placement,
+            range_config.availability,
+            Some(StocId(destination.0 % self.config.num_stocs.max(1) as u32)),
+            (range.0 as u64 + 1) * 7919 + destination.0 as u64,
+        );
+        let manifest_stoc = StocId(range.0 % self.directory.len().max(1) as u32);
+        let manifest = Manifest::new(manifest_stoc, &format!("range-{}", range.0));
+        let new_engine =
+            RangeEngine::import_from_migration(snapshot, range_config, client, logc, placer, manifest)?;
+
+        dest.add_range(new_engine);
+        if let Some(old) = source.remove_range(range) {
+            old.shutdown();
+        }
+        self.coordinator.commit_migration(&nova_coordinator::MigrationPlan {
+            range,
+            from: source_id,
+            to: destination,
+        })?;
+        Ok(())
+    }
+
+    /// Rebalance ranges across LTCs using the coordinator's load-balancing
+    /// plan, driven by each LTC's observed operation counts. Returns the
+    /// number of ranges migrated.
+    pub fn rebalance(&self) -> Result<usize> {
+        let stats = self.ltc_stats();
+        let ltc_load: HashMap<LtcId, f64> =
+            stats.iter().map(|(id, s)| (*id, (s.writes + s.gets + s.scans) as f64)).collect();
+        // Per-range load: approximate by splitting each LTC's load across its
+        // ranges weighted by range write counts (we only track per-LTC here,
+        // so weight evenly).
+        let mut range_load: HashMap<RangeId, f64> = HashMap::new();
+        let assignment = self.coordinator.configuration();
+        for (ltc_id, load) in &ltc_load {
+            let ranges = assignment.ranges_of(*ltc_id);
+            for r in &ranges {
+                range_load.insert(*r, load / ranges.len().max(1) as f64);
+            }
+        }
+        let plans = self.coordinator.plan_load_balancing(&ltc_load, &range_load, 0.2);
+        let count = plans.len();
+        for plan in plans {
+            self.migrate_range(plan.range, plan.to)?;
+        }
+        Ok(count)
+    }
+
+    /// Simulate the failure of an LTC and recover its ranges on the surviving
+    /// LTCs (Section 4.5): ranges are scattered across the survivors and each
+    /// is rebuilt from its MANIFEST and log records.
+    pub fn fail_and_recover_ltc(&self, failed: LtcId) -> Result<usize> {
+        let plans = self.coordinator.plan_failover(failed);
+        let ltc = self.ltc(failed)?;
+        // The failed LTC's memory is gone: drop its engines without flushing.
+        ltc.shutdown();
+        let orphaned: Vec<RangeId> = ltc.range_ids();
+        for r in &orphaned {
+            ltc.remove_range(*r);
+        }
+        self.ltcs.write().remove(&failed);
+        self.ltc_nodes.write().remove(&failed);
+        self.coordinator.deregister_ltc(failed);
+
+        let mut recovered = 0;
+        for plan in plans {
+            let dest = self.ltc(plan.to)?;
+            let engine = self.build_range_engine(plan.range, plan.to, true)?;
+            dest.add_range(engine);
+            self.coordinator.register_ltc(plan.to, dest.node());
+            self.coordinator.assign_range(plan.range, plan.to)?;
+            recovered += 1;
+        }
+        Ok(recovered)
+    }
+
+    /// Record a heartbeat for every live component (renewing leases).
+    pub fn heartbeat_all(&self) {
+        for ltc in self.ltc_ids() {
+            self.coordinator.heartbeat(LeaseHolder::Ltc(ltc.0));
+        }
+        for stoc in self.stoc_ids() {
+            self.coordinator.heartbeat(LeaseHolder::Stoc(stoc.0));
+        }
+    }
+
+    /// Shut down every component.
+    pub fn shutdown(&self) {
+        let ltcs: Vec<Arc<Ltc>> = self.ltcs.read().values().cloned().collect();
+        for ltc in ltcs {
+            ltc.shutdown();
+        }
+        let mut servers = self.stoc_servers.lock();
+        for (_, server) in servers.drain() {
+            server.stop();
+        }
+    }
+}
+
+impl Drop for NovaCluster {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

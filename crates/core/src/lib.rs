@@ -1,0 +1,62 @@
+//! # nova-lsm
+//!
+//! A Rust reproduction of **Nova-LSM: A Distributed, Component-based LSM-tree
+//! Key-value Store** (Huang & Ghandeharizadeh, SIGMOD 2021).
+//!
+//! Nova-LSM disaggregates a monolithic LSM-tree store into three component
+//! types connected by a fast fabric:
+//!
+//! * **LTC** (LSM-tree Component) — serves application ranges, buffers writes
+//!   in per-Drange memtables, maintains lookup/range indexes and coordinates
+//!   compaction ([`nova_ltc`]).
+//! * **LogC** (Logging Component) — replicates or persists log records at
+//!   StoCs using one-sided writes ([`nova_logc`]).
+//! * **StoC** (Storage Component) — stores variable-sized blocks, exposes its
+//!   disk queue for power-of-d placement and executes offloaded compactions
+//!   ([`nova_stoc`]).
+//!
+//! This crate assembles those components into a runnable cluster
+//! ([`NovaCluster`]), provides the client API ([`NovaClient`]), deployment
+//! presets matching the paper's shared-disk / shared-nothing configurations
+//! ([`presets`]), and the analytical availability model behind Table 2
+//! ([`mttf`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use nova_lsm::{presets, NovaClient, NovaCluster};
+//!
+//! // 1 LTC, 3 StoCs, SSTables scattered across 2 StoCs with power-of-d.
+//! let mut config = presets::test_cluster(1, 3, 10_000);
+//! config.range.scatter_width = 2;
+//! let cluster = NovaCluster::start(config).unwrap();
+//! let client = NovaClient::new(cluster.clone());
+//!
+//! client.put(b"00000000000000000042", b"hello nova").unwrap();
+//! assert_eq!(&client.get(b"00000000000000000042").unwrap()[..], b"hello nova");
+//! cluster.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod client;
+pub mod cluster;
+pub mod mttf;
+pub mod presets;
+
+pub use client::NovaClient;
+pub use cluster::NovaCluster;
+pub use mttf::{MttfModel, MttfRow};
+
+// Re-export the component crates so downstream users need a single
+// dependency.
+pub use nova_baseline as baseline;
+pub use nova_common as common;
+pub use nova_coordinator as coordinator;
+pub use nova_fabric as fabric;
+pub use nova_logc as logc;
+pub use nova_ltc as ltc;
+pub use nova_memtable as memtable;
+pub use nova_sstable as sstable;
+pub use nova_stoc as stoc;

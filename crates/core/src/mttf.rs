@@ -1,0 +1,157 @@
+//! The analytical availability model behind Table 2 of the paper.
+//!
+//! "We model the availability of data using the analytical models of
+//! [Patterson et al., RAID]. Assuming the Mean Time To Failure (MTTF) of a
+//! StoC is 4.3 months and repair time is one 1 hour, Table 2 shows the MTTF
+//! of a SSTable and the storage layer consisting of 10 StoCs."
+
+/// Hours in a 30-day month (used to express the paper's "4.3 months").
+pub const HOURS_PER_MONTH: f64 = 30.0 * 24.0;
+/// Hours in a 365-day year.
+pub const HOURS_PER_YEAR: f64 = 365.0 * 24.0;
+
+/// Inputs to the model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MttfModel {
+    /// Mean time to failure of one StoC, in hours (paper: 4.3 months).
+    pub stoc_mttf_hours: f64,
+    /// Mean time to repair a failed StoC, in hours (paper: 1 hour).
+    pub repair_hours: f64,
+    /// Number of StoCs in the storage layer (β, paper: 10).
+    pub num_stocs: u32,
+}
+
+impl Default for MttfModel {
+    fn default() -> Self {
+        MttfModel { stoc_mttf_hours: 4.3 * HOURS_PER_MONTH, repair_hours: 1.0, num_stocs: 10 }
+    }
+}
+
+/// One row of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MttfRow {
+    /// ρ — the number of StoCs a SSTable is scattered across.
+    pub rho: u32,
+    /// MTTF of one SSTable with a single copy (R=1), in hours.
+    pub sstable_single_copy_hours: f64,
+    /// MTTF of one SSTable protected by a parity block, in hours.
+    pub sstable_parity_hours: f64,
+    /// MTTF of the storage layer with a single copy, in hours.
+    pub storage_single_copy_hours: f64,
+    /// MTTF of the storage layer with parity, in hours.
+    pub storage_parity_hours: f64,
+    /// Space overhead of the single-copy configuration (always 0).
+    pub single_copy_space_overhead: f64,
+    /// Space overhead of the parity configuration (1/ρ).
+    pub parity_space_overhead: f64,
+}
+
+impl MttfModel {
+    /// MTTF of a SSTable scattered across `rho` StoCs with no redundancy:
+    /// any of the ρ StoCs failing loses the table.
+    pub fn sstable_single_copy(&self, rho: u32) -> f64 {
+        self.stoc_mttf_hours / rho.max(1) as f64
+    }
+
+    /// MTTF of a SSTable whose ρ data fragments are protected by one parity
+    /// block: data is lost only when a second StoC of the ρ+1-wide group
+    /// fails within the repair window (the classic RAID-5 group formula).
+    pub fn sstable_parity(&self, rho: u32) -> f64 {
+        let rho = rho.max(1) as f64;
+        (self.stoc_mttf_hours * self.stoc_mttf_hours) / ((rho + 1.0) * rho * self.repair_hours)
+    }
+
+    /// MTTF of the whole storage layer with no redundancy: blocks of SSTables
+    /// are scattered across all β StoCs, so the first StoC failure loses data
+    /// regardless of ρ.
+    pub fn storage_single_copy(&self) -> f64 {
+        self.stoc_mttf_hours / self.num_stocs.max(1) as f64
+    }
+
+    /// MTTF of the storage layer with parity: the layer contains roughly β/ρ
+    /// independent parity groups, each with the group MTTF of
+    /// [`MttfModel::sstable_parity`].
+    pub fn storage_parity(&self, rho: u32) -> f64 {
+        let rho = rho.max(1) as f64;
+        self.sstable_parity(rho as u32) * rho / self.num_stocs.max(1) as f64
+    }
+
+    /// Produce one row of Table 2.
+    pub fn row(&self, rho: u32) -> MttfRow {
+        MttfRow {
+            rho,
+            sstable_single_copy_hours: self.sstable_single_copy(rho),
+            sstable_parity_hours: self.sstable_parity(rho),
+            storage_single_copy_hours: self.storage_single_copy(),
+            storage_parity_hours: self.storage_parity(rho),
+            single_copy_space_overhead: 0.0,
+            parity_space_overhead: 1.0 / rho.max(1) as f64,
+        }
+    }
+
+    /// The full Table 2 (ρ ∈ {1, 3, 5}).
+    pub fn table2(&self) -> Vec<MttfRow> {
+        [1, 3, 5].into_iter().map(|rho| self.row(rho)).collect()
+    }
+}
+
+/// Format a duration in hours the way the paper's table does (days, months or
+/// years, whichever reads best).
+pub fn format_hours(hours: f64) -> String {
+    if hours >= HOURS_PER_YEAR {
+        format!("{:.1} Yrs", hours / HOURS_PER_YEAR)
+    } else if hours >= HOURS_PER_MONTH {
+        format!("{:.1} Months", hours / HOURS_PER_MONTH)
+    } else {
+        format!("{:.0} Days", hours / 24.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_matches_the_papers_shape() {
+        let model = MttfModel::default();
+        let rows = model.table2();
+        assert_eq!(rows.len(), 3);
+
+        // ρ=1: SSTable MTTF ≈ 4.3 months with one copy, hundreds of years
+        // with parity; the storage layer is ~13 days either way without
+        // parity.
+        let r1 = rows[0];
+        assert!((r1.sstable_single_copy_hours / HOURS_PER_MONTH - 4.3).abs() < 0.01);
+        assert!((r1.storage_single_copy_hours / 24.0 - 12.9).abs() < 0.5);
+        let parity_years = r1.sstable_parity_hours / HOURS_PER_YEAR;
+        assert!((400.0..700.0).contains(&parity_years), "ρ=1 parity SSTable MTTF {parity_years} years");
+        let storage_parity_years = r1.storage_parity_hours / HOURS_PER_YEAR;
+        assert!((40.0..70.0).contains(&storage_parity_years), "ρ=1 parity storage MTTF {storage_parity_years} years");
+
+        // ρ=3 and ρ=5: MTTF of a SSTable decreases with ρ, parity overhead
+        // decreases with ρ.
+        assert!(rows[1].sstable_single_copy_hours < rows[0].sstable_single_copy_hours);
+        assert!(rows[2].sstable_single_copy_hours < rows[1].sstable_single_copy_hours);
+        assert!(rows[1].parity_space_overhead < rows[0].parity_space_overhead);
+        let r3_years = rows[1].sstable_parity_hours / HOURS_PER_YEAR;
+        assert!((70.0..110.0).contains(&r3_years), "ρ=3 parity SSTable MTTF {r3_years} years (paper: 91)");
+        let r5_years = rows[2].sstable_parity_hours / HOURS_PER_YEAR;
+        assert!((28.0..45.0).contains(&r5_years), "ρ=5 parity SSTable MTTF {r5_years} years (paper: 36)");
+        let r5_storage = rows[2].storage_parity_hours / HOURS_PER_YEAR;
+        assert!((14.0..23.0).contains(&r5_storage), "ρ=5 parity storage MTTF {r5_storage} years (paper: 18.5)");
+        // Storage-layer MTTF without redundancy is independent of ρ.
+        assert_eq!(rows[0].storage_single_copy_hours, rows[2].storage_single_copy_hours);
+        // Space overheads match Table 2's last column.
+        assert_eq!(rows[0].single_copy_space_overhead, 0.0);
+        assert!((rows[0].parity_space_overhead - 1.0).abs() < 1e-9);
+        assert!((rows[1].parity_space_overhead - 1.0 / 3.0).abs() < 1e-9);
+        assert!((rows[2].parity_space_overhead - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn formatting() {
+        assert!(format_hours(13.0 * 24.0).contains("Days"));
+        assert!(format_hours(4.3 * HOURS_PER_MONTH).contains("Months"));
+        assert!(format_hours(100.0 * HOURS_PER_YEAR).contains("Yrs"));
+    }
+}

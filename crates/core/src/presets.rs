@@ -1,0 +1,124 @@
+//! Deployment presets used throughout the evaluation.
+//!
+//! * [`shared_disk`] — the Nova-LSM architecture: LTCs scatter SSTables
+//!   across ρ of the β StoCs with power-of-d (Figure 1's "shared-disk").
+//! * [`shared_nothing`] — the same hardware but every LTC writes only to the
+//!   StoC on its own node (Figure 1's "shared-nothing").
+//! * [`scaled_experiment`] — the knob set the experiment harness uses so that
+//!   paper-shaped runs finish in seconds on one machine: smaller memtables,
+//!   smaller values, a scaled-down disk, identical ratios.
+
+use nova_common::config::{
+    AvailabilityPolicy, ClusterConfig, DiskConfig, FabricConfig, LogPolicy, PlacementPolicy, RangeConfig,
+};
+
+/// Build the paper's shared-disk configuration: η LTCs, β StoCs, SSTables
+/// scattered across `rho` StoCs chosen with power-of-d.
+pub fn shared_disk(num_ltcs: usize, num_stocs: usize, rho: usize, num_keys: u64) -> ClusterConfig {
+    let mut config = scaled_experiment(num_keys);
+    config.num_ltcs = num_ltcs;
+    config.num_stocs = num_stocs;
+    config.range.scatter_width = rho.min(num_stocs).max(1);
+    config.range.placement = PlacementPolicy::PowerOfD;
+    config
+}
+
+/// Build the paper's shared-nothing configuration: every LTC co-locates with
+/// one StoC and stores its SSTables only there.
+pub fn shared_nothing(num_servers: usize, num_keys: u64) -> ClusterConfig {
+    let mut config = scaled_experiment(num_keys);
+    config.num_ltcs = num_servers;
+    config.num_stocs = num_servers;
+    config.range.scatter_width = 1;
+    config.range.placement = PlacementPolicy::LocalOnly;
+    config
+}
+
+/// The scaled-down knob set shared by the experiment harness. The ratios that
+/// drive the paper's results are preserved:
+/// memtable-budget : database-size : disk-bandwidth.
+pub fn scaled_experiment(num_keys: u64) -> ClusterConfig {
+    ClusterConfig {
+        num_ltcs: 1,
+        num_stocs: 1,
+        ranges_per_ltc: 1,
+        range: RangeConfig {
+            num_dranges: 8,
+            tranges_per_drange: 8,
+            active_memtables: 8,
+            max_memtables: 32,
+            memtable_size_bytes: 64 * 1024,
+            scatter_width: 1,
+            placement: PlacementPolicy::PowerOfD,
+            availability: AvailabilityPolicy::None,
+            log_policy: LogPolicy::Disabled,
+            unique_key_flush_threshold: 100,
+            level0_stall_bytes: 1 << 20,
+            level_size_multiplier: 10,
+            level1_max_bytes: 2 << 20,
+            num_levels: 4,
+            compaction_threads: 4,
+            offload_compaction: false,
+            reorg_epsilon: 0.05,
+            reorg_check_interval: 10_000,
+            enable_lookup_index: true,
+            enable_range_index: true,
+            block_on_stall: true,
+            block_size_bytes: 4096,
+            bloom_bits_per_key: 10,
+        },
+        disk: DiskConfig::scaled(40, 2_000),
+        fabric: FabricConfig::default(),
+        stoc_storage_threads: 4,
+        stoc_compaction_threads: 2,
+        lease_millis: 1_000,
+        num_keys,
+    }
+}
+
+/// A tiny configuration for unit and integration tests: instantaneous disks,
+/// small memtables, everything else as in [`scaled_experiment`].
+pub fn test_cluster(num_ltcs: usize, num_stocs: usize, num_keys: u64) -> ClusterConfig {
+    let mut config = scaled_experiment(num_keys);
+    config.num_ltcs = num_ltcs;
+    config.num_stocs = num_stocs;
+    config.range.memtable_size_bytes = 16 * 1024;
+    config.range.max_memtables = 16;
+    config.range.active_memtables = 4;
+    config.range.num_dranges = 4;
+    config.range.level0_stall_bytes = 512 * 1024;
+    config.range.level1_max_bytes = 1 << 20;
+    config.disk = DiskConfig { bandwidth_bytes_per_sec: u64::MAX / 2, seek_micros: 0, accounting_only: true };
+    config
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        assert!(shared_disk(5, 10, 3, 100_000).validate().is_ok());
+        assert!(shared_nothing(10, 100_000).validate().is_ok());
+        assert!(scaled_experiment(10_000).validate().is_ok());
+        assert!(test_cluster(2, 3, 10_000).validate().is_ok());
+    }
+
+    #[test]
+    fn shared_disk_and_nothing_differ_only_in_placement() {
+        let disk = shared_disk(10, 10, 3, 1_000);
+        let nothing = shared_nothing(10, 1_000);
+        assert_eq!(disk.num_ltcs, nothing.num_ltcs);
+        assert_eq!(disk.num_stocs, nothing.num_stocs);
+        assert_eq!(disk.range.placement, PlacementPolicy::PowerOfD);
+        assert_eq!(nothing.range.placement, PlacementPolicy::LocalOnly);
+        assert_eq!(disk.range.scatter_width, 3);
+        assert_eq!(nothing.range.scatter_width, 1);
+    }
+
+    #[test]
+    fn rho_is_clamped_to_beta() {
+        let config = shared_disk(1, 3, 10, 1_000);
+        assert_eq!(config.range.scatter_width, 3);
+    }
+}

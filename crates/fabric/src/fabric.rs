@@ -1,0 +1,485 @@
+//! The fabric itself: nodes, endpoints and verbs.
+
+use crate::latency::LatencyModel;
+use crate::message::{Delivery, RegionId};
+use crate::region::{Region, RegionTable};
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use nova_common::config::FabricConfig;
+use nova_common::rate::ComponentStats;
+use nova_common::{Error, NodeId, Result};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Per-node state held by the fabric.
+struct Node {
+    regions: RegionTable,
+    inbox_tx: Sender<Delivery>,
+    inbox_rx: Receiver<Delivery>,
+    /// Completed RPC responses are routed directly to the waiting caller
+    /// through this table instead of the inbox.
+    pending_calls: Mutex<HashMap<u64, Sender<Result<Bytes>>>>,
+    stats: ComponentStats,
+    alive: AtomicBool,
+}
+
+impl Node {
+    fn new() -> Self {
+        let (inbox_tx, inbox_rx) = unbounded();
+        Node {
+            regions: RegionTable::new(),
+            inbox_tx,
+            inbox_rx,
+            pending_calls: Mutex::new(HashMap::new()),
+            stats: ComponentStats::new(),
+            alive: AtomicBool::new(true),
+        }
+    }
+}
+
+/// The simulated RDMA fabric connecting a fixed set of nodes.
+///
+/// Nodes are identified by dense [`NodeId`]s `0..num_nodes`. Additional nodes
+/// can be added at runtime with [`Fabric::add_node`] (used by the elasticity
+/// experiments of Section 9).
+pub struct Fabric {
+    nodes: parking_lot::RwLock<Vec<Arc<Node>>>,
+    latency: LatencyModel,
+    next_call_id: AtomicU64,
+}
+
+impl std::fmt::Debug for Fabric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fabric").field("nodes", &self.nodes.read().len()).finish()
+    }
+}
+
+impl Fabric {
+    /// Create a fabric with `num_nodes` nodes using the given configuration.
+    pub fn new(num_nodes: usize, config: &FabricConfig) -> Arc<Self> {
+        let nodes = (0..num_nodes).map(|_| Arc::new(Node::new())).collect();
+        Arc::new(Fabric {
+            nodes: parking_lot::RwLock::new(nodes),
+            latency: LatencyModel::from_config(config),
+            next_call_id: AtomicU64::new(1),
+        })
+    }
+
+    /// Create a fabric with default configuration — convenient for tests.
+    pub fn with_defaults(num_nodes: usize) -> Arc<Self> {
+        Self::new(num_nodes, &FabricConfig::default())
+    }
+
+    /// Number of nodes currently attached to the fabric.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.read().len()
+    }
+
+    /// Add a new node, returning its id. Used when the coordinator scales the
+    /// cluster out (Section 9).
+    pub fn add_node(self: &Arc<Self>) -> NodeId {
+        let mut nodes = self.nodes.write();
+        nodes.push(Arc::new(Node::new()));
+        NodeId((nodes.len() - 1) as u32)
+    }
+
+    /// Obtain the endpoint for `node`, through which that node issues verbs.
+    pub fn endpoint(self: &Arc<Self>, node: NodeId) -> Endpoint {
+        assert!(
+            (node.0 as usize) < self.num_nodes(),
+            "node {node} is not attached to this fabric"
+        );
+        Endpoint { fabric: Arc::clone(self), node }
+    }
+
+    /// Mark a node as failed: all verbs targeting it fail until it recovers.
+    pub fn fail_node(&self, node: NodeId) {
+        if let Some(n) = self.nodes.read().get(node.0 as usize) {
+            n.alive.store(false, Ordering::SeqCst);
+        }
+    }
+
+    /// Recover a previously failed node.
+    pub fn recover_node(&self, node: NodeId) {
+        if let Some(n) = self.nodes.read().get(node.0 as usize) {
+            n.alive.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// True if the node is currently reachable.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.nodes.read().get(node.0 as usize).map(|n| n.alive.load(Ordering::SeqCst)).unwrap_or(false)
+    }
+
+    fn node(&self, node: NodeId) -> Result<Arc<Node>> {
+        self.nodes
+            .read()
+            .get(node.0 as usize)
+            .cloned()
+            .ok_or(Error::FabricUnavailable(format!("{node} does not exist")))
+    }
+
+    fn live_node(&self, node: NodeId) -> Result<Arc<Node>> {
+        let n = self.node(node)?;
+        if !n.alive.load(Ordering::SeqCst) {
+            return Err(Error::FabricUnavailable(format!("{node} has failed")));
+        }
+        Ok(n)
+    }
+
+    fn charge(&self, issuer: &Node, bytes: usize) {
+        let d = self.latency.transfer_time(bytes);
+        issuer.stats.cpu.add(d);
+        if self.latency.simulate_delay && !d.is_zero() {
+            std::thread::sleep(d);
+        }
+    }
+}
+
+/// A node's handle onto the fabric. All verbs are issued through an endpoint
+/// and charged to that endpoint's node.
+#[derive(Clone)]
+pub struct Endpoint {
+    fabric: Arc<Fabric>,
+    node: NodeId,
+}
+
+impl std::fmt::Debug for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Endpoint").field("node", &self.node).finish()
+    }
+}
+
+impl Endpoint {
+    /// The node this endpoint belongs to.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// The fabric this endpoint is attached to.
+    pub fn fabric(&self) -> &Arc<Fabric> {
+        &self.fabric
+    }
+
+    // ----- memory region management (local) -------------------------------
+
+    /// Register a memory region of `capacity` bytes on this node.
+    pub fn register_region(&self, capacity: usize) -> RegionId {
+        let node = self.fabric.node(self.node).expect("own node exists");
+        node.regions.register(capacity)
+    }
+
+    /// Deregister a region on this node.
+    pub fn deregister_region(&self, region: RegionId) -> bool {
+        let node = self.fabric.node(self.node).expect("own node exists");
+        node.regions.deregister(region)
+    }
+
+    /// Access one of this node's own regions directly (no fabric cost).
+    pub fn local_region(&self, region: RegionId) -> Result<Arc<Region>> {
+        let node = self.fabric.node(self.node)?;
+        node.regions.get(region)
+    }
+
+    /// Total bytes of memory registered on this node.
+    pub fn registered_bytes(&self) -> usize {
+        let node = self.fabric.node(self.node).expect("own node exists");
+        node.regions.registered_bytes()
+    }
+
+    // ----- one-sided verbs -------------------------------------------------
+
+    /// `RDMA READ`: read `len` bytes at `offset` from `region` on `target`,
+    /// bypassing the target's CPU.
+    pub fn rdma_read(&self, target: NodeId, region: RegionId, offset: u64, len: usize) -> Result<Bytes> {
+        let issuer = self.fabric.live_node(self.node)?;
+        let peer = self.fabric.live_node(target)?;
+        let data = peer.regions.get(region)?.read(offset, len)?;
+        issuer.stats.bytes_read.add(len as u64);
+        self.fabric.charge(&issuer, len);
+        Ok(Bytes::from(data))
+    }
+
+    /// `RDMA WRITE`: write `data` at `offset` into `region` on `target`,
+    /// bypassing the target's CPU. If `immediate` is provided the target is
+    /// notified with a [`Delivery::WriteImmediate`].
+    pub fn rdma_write(
+        &self,
+        target: NodeId,
+        region: RegionId,
+        offset: u64,
+        data: &[u8],
+        immediate: Option<u32>,
+    ) -> Result<()> {
+        let issuer = self.fabric.live_node(self.node)?;
+        let peer = self.fabric.live_node(target)?;
+        peer.regions.get(region)?.write(offset, data)?;
+        issuer.stats.bytes_written.add(data.len() as u64);
+        self.fabric.charge(&issuer, data.len());
+        if let Some(imm) = immediate {
+            let delivery = Delivery::WriteImmediate {
+                from: self.node,
+                region,
+                offset,
+                len: data.len() as u64,
+                immediate: imm,
+            };
+            peer.inbox_tx
+                .send(delivery)
+                .map_err(|_| Error::FabricUnavailable(format!("{target} inbox closed")))?;
+        }
+        Ok(())
+    }
+
+    // ----- two-sided verbs -------------------------------------------------
+
+    /// `RDMA SEND`: deliver `payload` into the target's receive queue. This
+    /// involves the target's CPU (it must pull the message).
+    pub fn send(&self, target: NodeId, payload: Bytes) -> Result<()> {
+        let issuer = self.fabric.live_node(self.node)?;
+        let peer = self.fabric.live_node(target)?;
+        issuer.stats.bytes_written.add(payload.len() as u64);
+        self.fabric.charge(&issuer, payload.len());
+        peer.inbox_tx
+            .send(Delivery::Message { from: self.node, payload })
+            .map_err(|_| Error::FabricUnavailable(format!("{target} inbox closed")))
+    }
+
+    /// Block until a delivery arrives for this node.
+    pub fn recv(&self) -> Result<Delivery> {
+        let node = self.fabric.node(self.node)?;
+        node.inbox_rx.recv().map_err(|_| Error::ShuttingDown)
+    }
+
+    /// Receive with a timeout; returns `Ok(None)` on timeout.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Option<Delivery>> {
+        let node = self.fabric.node(self.node)?;
+        match node.inbox_rx.recv_timeout(timeout) {
+            Ok(d) => Ok(Some(d)),
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => Ok(None),
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => Err(Error::ShuttingDown),
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Delivery> {
+        let node = self.fabric.node(self.node).ok()?;
+        node.inbox_rx.try_recv().ok()
+    }
+
+    // ----- RPC layer --------------------------------------------------------
+
+    /// Issue a request to `target` and block until its handler replies.
+    ///
+    /// The request is delivered as a [`Delivery::Request`]; the responder
+    /// must call [`Endpoint::reply`] with the same `call_id`.
+    pub fn call(&self, target: NodeId, payload: Bytes) -> Result<Bytes> {
+        self.call_timeout(target, payload, Duration::from_secs(30))
+    }
+
+    /// [`Endpoint::call`] with an explicit timeout.
+    pub fn call_timeout(&self, target: NodeId, payload: Bytes, timeout: Duration) -> Result<Bytes> {
+        let issuer = self.fabric.live_node(self.node)?;
+        let peer = self.fabric.live_node(target)?;
+        let call_id = self.fabric.next_call_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        issuer.pending_calls.lock().insert(call_id, tx);
+        issuer.stats.bytes_written.add(payload.len() as u64);
+        self.fabric.charge(&issuer, payload.len());
+        let sent = peer
+            .inbox_tx
+            .send(Delivery::Request { from: self.node, call_id, payload })
+            .map_err(|_| Error::FabricUnavailable(format!("{target} inbox closed")));
+        if let Err(e) = sent {
+            issuer.pending_calls.lock().remove(&call_id);
+            return Err(e);
+        }
+        match rx.recv_timeout(timeout) {
+            Ok(result) => result,
+            Err(_) => {
+                issuer.pending_calls.lock().remove(&call_id);
+                Err(Error::FabricUnavailable(format!("call {call_id} to {target} timed out")))
+            }
+        }
+    }
+
+    /// Reply to a previously received [`Delivery::Request`].
+    pub fn reply(&self, target: NodeId, call_id: u64, payload: Result<Bytes>) -> Result<()> {
+        let issuer = self.fabric.live_node(self.node)?;
+        let peer = self.fabric.live_node(target)?;
+        let bytes = payload.as_ref().map(|b| b.len()).unwrap_or(0);
+        issuer.stats.bytes_written.add(bytes as u64);
+        self.fabric.charge(&issuer, bytes);
+        let waiter = peer.pending_calls.lock().remove(&call_id);
+        match waiter {
+            Some(tx) => {
+                let _ = tx.send(payload);
+                Ok(())
+            }
+            None => Err(Error::InvalidArgument(format!("no pending call {call_id} on {target}"))),
+        }
+    }
+
+    // ----- statistics -------------------------------------------------------
+
+    /// Bytes this node has read with one-sided READs.
+    pub fn bytes_read(&self) -> u64 {
+        self.fabric.node(self.node).map(|n| n.stats.bytes_read.get()).unwrap_or(0)
+    }
+
+    /// Bytes this node has written with WRITE / SEND / replies.
+    pub fn bytes_written(&self) -> u64 {
+        self.fabric.node(self.node).map(|n| n.stats.bytes_written.get()).unwrap_or(0)
+    }
+
+    /// Simulated network busy time charged to this node, in nanoseconds.
+    pub fn network_busy_nanos(&self) -> u64 {
+        self.fabric.node(self.node).map(|n| n.stats.cpu.busy_nanos()).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rdma_write_then_read_round_trips() {
+        let fabric = Fabric::with_defaults(2);
+        let a = fabric.endpoint(NodeId(0));
+        let b = fabric.endpoint(NodeId(1));
+        let region = b.register_region(1024);
+        a.rdma_write(NodeId(1), region, 100, b"one-sided", None).unwrap();
+        let data = a.rdma_read(NodeId(1), region, 100, 9).unwrap();
+        assert_eq!(&data[..], b"one-sided");
+        // One-sided verbs never produce a delivery at the target.
+        assert!(b.try_recv().is_none());
+        assert_eq!(a.bytes_written(), 9);
+        assert_eq!(a.bytes_read(), 9);
+    }
+
+    #[test]
+    fn write_with_immediate_notifies_target() {
+        let fabric = Fabric::with_defaults(2);
+        let a = fabric.endpoint(NodeId(0));
+        let b = fabric.endpoint(NodeId(1));
+        let region = b.register_region(64);
+        a.rdma_write(NodeId(1), region, 0, b"block", Some(42)).unwrap();
+        match b.recv().unwrap() {
+            Delivery::WriteImmediate { from, region: r, offset, len, immediate } => {
+                assert_eq!(from, NodeId(0));
+                assert_eq!(r, region);
+                assert_eq!(offset, 0);
+                assert_eq!(len, 5);
+                assert_eq!(immediate, 42);
+            }
+            other => panic!("unexpected delivery {other:?}"),
+        }
+    }
+
+    #[test]
+    fn send_delivers_in_order() {
+        let fabric = Fabric::with_defaults(2);
+        let a = fabric.endpoint(NodeId(0));
+        let b = fabric.endpoint(NodeId(1));
+        for i in 0..10u8 {
+            a.send(NodeId(1), Bytes::copy_from_slice(&[i])).unwrap();
+        }
+        for i in 0..10u8 {
+            match b.recv().unwrap() {
+                Delivery::Message { payload, .. } => assert_eq!(payload[0], i),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn rpc_round_trip() {
+        let fabric = Fabric::with_defaults(2);
+        let client = fabric.endpoint(NodeId(0));
+        let server = fabric.endpoint(NodeId(1));
+        let handle = std::thread::spawn(move || match server.recv().unwrap() {
+            Delivery::Request { from, call_id, payload } => {
+                let mut response = payload.to_vec();
+                response.reverse();
+                server.reply(from, call_id, Ok(Bytes::from(response))).unwrap();
+            }
+            other => panic!("unexpected {other:?}"),
+        });
+        let response = client.call(NodeId(1), Bytes::from_static(b"abc")).unwrap();
+        assert_eq!(&response[..], b"cba");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn rpc_can_return_errors() {
+        let fabric = Fabric::with_defaults(2);
+        let client = fabric.endpoint(NodeId(0));
+        let server = fabric.endpoint(NodeId(1));
+        let handle = std::thread::spawn(move || {
+            if let Delivery::Request { from, call_id, .. } = server.recv().unwrap() {
+                server.reply(from, call_id, Err(Error::NotFound)).unwrap();
+            }
+        });
+        let err = client.call(NodeId(1), Bytes::from_static(b"k")).unwrap_err();
+        assert_eq!(err, Error::NotFound);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn failed_node_rejects_verbs_until_recovered() {
+        let fabric = Fabric::with_defaults(2);
+        let a = fabric.endpoint(NodeId(0));
+        let b = fabric.endpoint(NodeId(1));
+        let region = b.register_region(16);
+        fabric.fail_node(NodeId(1));
+        assert!(!fabric.is_alive(NodeId(1)));
+        assert!(a.rdma_read(NodeId(1), region, 0, 1).is_err());
+        assert!(a.rdma_write(NodeId(1), region, 0, b"x", None).is_err());
+        assert!(a.send(NodeId(1), Bytes::new()).is_err());
+        fabric.recover_node(NodeId(1));
+        assert!(fabric.is_alive(NodeId(1)));
+        assert!(a.rdma_read(NodeId(1), region, 0, 1).is_ok());
+    }
+
+    #[test]
+    fn add_node_grows_the_fabric() {
+        let fabric = Fabric::with_defaults(1);
+        assert_eq!(fabric.num_nodes(), 1);
+        let id = fabric.add_node();
+        assert_eq!(id, NodeId(1));
+        assert_eq!(fabric.num_nodes(), 2);
+        let a = fabric.endpoint(NodeId(0));
+        let b = fabric.endpoint(id);
+        let r = b.register_region(8);
+        a.rdma_write(id, r, 0, b"hi", None).unwrap();
+        assert_eq!(&a.rdma_read(id, r, 0, 2).unwrap()[..], b"hi");
+    }
+
+    #[test]
+    fn recv_timeout_returns_none_when_idle() {
+        let fabric = Fabric::with_defaults(1);
+        let a = fabric.endpoint(NodeId(0));
+        assert!(a.recv_timeout(Duration::from_millis(10)).unwrap().is_none());
+    }
+
+    #[test]
+    fn call_timeout_cleans_up_pending_entry() {
+        let fabric = Fabric::with_defaults(2);
+        let a = fabric.endpoint(NodeId(0));
+        // Nobody is serving node 1, so the call times out.
+        let err = a
+            .call_timeout(NodeId(1), Bytes::from_static(b"x"), Duration::from_millis(20))
+            .unwrap_err();
+        assert!(matches!(err, Error::FabricUnavailable(_)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn endpoint_for_unknown_node_panics() {
+        let fabric = Fabric::with_defaults(1);
+        let _ = fabric.endpoint(NodeId(5));
+    }
+}

@@ -1,0 +1,80 @@
+//! Latency and bandwidth model for the simulated fabric.
+
+use nova_common::config::FabricConfig;
+use std::time::Duration;
+
+/// Computes the transfer time of a verb given its payload size.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyModel {
+    /// One-way latency applied to every verb.
+    pub base: Duration,
+    /// Link bandwidth in bytes per second.
+    pub bandwidth_bytes_per_sec: u64,
+    /// Whether the issuing thread actually sleeps for the transfer time.
+    pub simulate_delay: bool,
+}
+
+impl LatencyModel {
+    /// Build a model from the cluster fabric configuration.
+    pub fn from_config(cfg: &FabricConfig) -> Self {
+        LatencyModel {
+            base: Duration::from_nanos(cfg.latency_nanos),
+            bandwidth_bytes_per_sec: cfg.bandwidth_bytes_per_sec.max(1),
+            simulate_delay: cfg.simulate_delay,
+        }
+    }
+
+    /// An instantaneous fabric (useful in unit tests).
+    pub fn instant() -> Self {
+        LatencyModel { base: Duration::ZERO, bandwidth_bytes_per_sec: u64::MAX, simulate_delay: false }
+    }
+
+    /// The modelled time to move `bytes` across the link.
+    pub fn transfer_time(&self, bytes: usize) -> Duration {
+        let transfer_nanos = if self.bandwidth_bytes_per_sec == u64::MAX {
+            0
+        } else {
+            (bytes as u128 * 1_000_000_000u128 / self.bandwidth_bytes_per_sec as u128) as u64
+        };
+        self.base + Duration::from_nanos(transfer_nanos)
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel::from_config(&FabricConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_scales_with_size() {
+        let m = LatencyModel {
+            base: Duration::from_micros(3),
+            bandwidth_bytes_per_sec: 1_000_000_000,
+            simulate_delay: false,
+        };
+        let small = m.transfer_time(1_000);
+        let large = m.transfer_time(1_000_000);
+        assert!(large > small);
+        // 1 MB at 1 GB/s is 1 ms plus the 3 µs base.
+        assert_eq!(large, Duration::from_micros(1_003));
+    }
+
+    #[test]
+    fn instant_model_is_zero_cost() {
+        let m = LatencyModel::instant();
+        assert_eq!(m.transfer_time(usize::MAX / 2), Duration::ZERO);
+    }
+
+    #[test]
+    fn default_model_matches_config() {
+        let cfg = FabricConfig::default();
+        let m = LatencyModel::from_config(&cfg);
+        assert_eq!(m.base, Duration::from_nanos(cfg.latency_nanos));
+        assert!(!m.simulate_delay);
+    }
+}

@@ -1,0 +1,41 @@
+//! # nova-fabric
+//!
+//! A simulated RDMA fabric that connects Nova-LSM components.
+//!
+//! The paper connects LTCs, LogCs and StoCs with 56 Gbps RDMA and relies on
+//! three properties of that interconnect:
+//!
+//! 1. **One-sidedness** — `RDMA READ`/`RDMA WRITE` move data without
+//!    involving the target's CPU, which is what makes log replication and
+//!    block fetches cheap for StoCs (Sections 5 and 6).
+//! 2. **Microsecond latency / high bandwidth** — the network is never the
+//!    bottleneck; disks and CPUs are.
+//! 3. **Reliable connected queue pairs** — requests are delivered in order
+//!    and are never silently dropped.
+//!
+//! This crate reproduces those properties in-process: every node registers
+//! memory regions that peers can read and write directly (one-sided verbs,
+//! charged only to the issuing node), `send` delivers two-sided messages into
+//! the target's receive queue (charged to both sides), and an RPC layer built
+//! on top of `send` gives components a simple request/response interface.
+//! Latency and bandwidth are modelled by a configurable [`latency::LatencyModel`];
+//! by default transfer time is *accounted* in per-node statistics rather than
+//! slept, because the network is never the bottleneck in the paper's
+//! experiments.
+//!
+//! Failure injection (`fail_node` / `recover_node`) lets tests and the
+//! availability experiments (Figure 16, Section 4.4.1) take a StoC down.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod fabric;
+pub mod latency;
+pub mod message;
+pub mod region;
+pub mod rpc;
+
+pub use fabric::{Endpoint, Fabric};
+pub use latency::LatencyModel;
+pub use message::{Delivery, RegionId};
+pub use rpc::{RpcHandler, RpcServer};

@@ -1,0 +1,76 @@
+//! Message and delivery types exchanged over the fabric.
+
+use bytes::Bytes;
+use nova_common::NodeId;
+
+/// Identifier of a registered memory region on a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegionId(pub u64);
+
+/// Something delivered to a node's receive queue.
+///
+/// One-sided `RDMA READ`s never produce a delivery (they bypass the target
+/// entirely); one-sided `RDMA WRITE`s only produce a delivery when the writer
+/// attaches 4-byte immediate data, mirroring the paper's use of
+/// write-with-immediate to notify a StoC that a block landed in its file
+/// buffer (Figure 10, step 2).
+#[derive(Debug, Clone)]
+pub enum Delivery {
+    /// A two-sided message sent with `send`.
+    Message {
+        /// Sending node.
+        from: NodeId,
+        /// Opaque payload.
+        payload: Bytes,
+    },
+    /// An RPC request; the handler must eventually `reply` with the same
+    /// `call_id`.
+    Request {
+        /// Sending node.
+        from: NodeId,
+        /// Correlation id chosen by the caller.
+        call_id: u64,
+        /// Opaque request payload.
+        payload: Bytes,
+    },
+    /// Notification that a peer performed an `RDMA WRITE` with immediate
+    /// data into one of this node's regions.
+    WriteImmediate {
+        /// Writing node.
+        from: NodeId,
+        /// Region that was written.
+        region: RegionId,
+        /// Offset at which the write landed.
+        offset: u64,
+        /// Number of bytes written.
+        len: u64,
+        /// The 4-byte immediate value.
+        immediate: u32,
+    },
+}
+
+impl Delivery {
+    /// The node that produced this delivery.
+    pub fn from(&self) -> NodeId {
+        match self {
+            Delivery::Message { from, .. }
+            | Delivery::Request { from, .. }
+            | Delivery::WriteImmediate { from, .. } => *from,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivery_reports_sender() {
+        let m = Delivery::Message { from: NodeId(1), payload: Bytes::from_static(b"x") };
+        assert_eq!(m.from(), NodeId(1));
+        let r = Delivery::Request { from: NodeId(2), call_id: 9, payload: Bytes::new() };
+        assert_eq!(r.from(), NodeId(2));
+        let w = Delivery::WriteImmediate { from: NodeId(3), region: RegionId(0), offset: 0, len: 4, immediate: 7 };
+        assert_eq!(w.from(), NodeId(3));
+    }
+}

@@ -1,0 +1,162 @@
+//! Registered memory regions.
+//!
+//! A node registers memory regions with the fabric; peers may then read and
+//! write those regions with one-sided verbs. An in-memory StoC file, a StoC
+//! file buffer slot, and a log-record replica are all registered regions.
+
+use crate::message::RegionId;
+use nova_common::{Error, Result};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A single registered memory region. Peers address it by `(NodeId, RegionId)`.
+#[derive(Debug)]
+pub struct Region {
+    data: RwLock<Vec<u8>>,
+    capacity: usize,
+}
+
+impl Region {
+    fn new(capacity: usize) -> Self {
+        Region { data: RwLock::new(vec![0; capacity]), capacity }
+    }
+
+    /// The fixed capacity of the region in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Copy `src` into the region at `offset`.
+    pub fn write(&self, offset: u64, src: &[u8]) -> Result<()> {
+        let offset = offset as usize;
+        let end = offset.checked_add(src.len()).ok_or_else(|| {
+            Error::InvalidArgument("region write overflows address space".into())
+        })?;
+        if end > self.capacity {
+            return Err(Error::InvalidArgument(format!(
+                "region write [{offset}, {end}) exceeds capacity {}",
+                self.capacity
+            )));
+        }
+        self.data.write()[offset..end].copy_from_slice(src);
+        Ok(())
+    }
+
+    /// Read `len` bytes starting at `offset`.
+    pub fn read(&self, offset: u64, len: usize) -> Result<Vec<u8>> {
+        let offset = offset as usize;
+        let end = offset.checked_add(len).ok_or_else(|| {
+            Error::InvalidArgument("region read overflows address space".into())
+        })?;
+        if end > self.capacity {
+            return Err(Error::InvalidArgument(format!(
+                "region read [{offset}, {end}) exceeds capacity {}",
+                self.capacity
+            )));
+        }
+        Ok(self.data.read()[offset..end].to_vec())
+    }
+}
+
+/// The set of regions registered by one node.
+#[derive(Debug, Default)]
+pub struct RegionTable {
+    regions: RwLock<HashMap<RegionId, Arc<Region>>>,
+    next_id: AtomicU64,
+}
+
+impl RegionTable {
+    /// Create an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a new zero-filled region of `capacity` bytes.
+    pub fn register(&self, capacity: usize) -> RegionId {
+        let id = RegionId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        self.regions.write().insert(id, Arc::new(Region::new(capacity)));
+        id
+    }
+
+    /// Deregister a region, freeing its memory. Outstanding handles keep the
+    /// memory alive until dropped, matching RDMA deregistration semantics.
+    pub fn deregister(&self, id: RegionId) -> bool {
+        self.regions.write().remove(&id).is_some()
+    }
+
+    /// Look up a region.
+    pub fn get(&self, id: RegionId) -> Result<Arc<Region>> {
+        self.regions
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| Error::InvalidArgument(format!("unknown memory region {id:?}")))
+    }
+
+    /// Number of registered regions.
+    pub fn len(&self) -> usize {
+        self.regions.read().len()
+    }
+
+    /// True if no regions are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total registered bytes.
+    pub fn registered_bytes(&self) -> usize {
+        self.regions.read().values().map(|r| r.capacity()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_read_write_round_trip() {
+        let table = RegionTable::new();
+        let id = table.register(64);
+        let region = table.get(id).unwrap();
+        region.write(8, b"hello").unwrap();
+        assert_eq!(region.read(8, 5).unwrap(), b"hello");
+        // Unwritten bytes read as zero.
+        assert_eq!(region.read(0, 4).unwrap(), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn out_of_bounds_access_is_rejected() {
+        let table = RegionTable::new();
+        let id = table.register(16);
+        let region = table.get(id).unwrap();
+        assert!(region.write(10, &[0u8; 10]).is_err());
+        assert!(region.read(10, 10).is_err());
+        assert!(region.write(u64::MAX, b"x").is_err());
+        assert!(region.read(u64::MAX, 1).is_err());
+        // Exactly at capacity is fine.
+        assert!(region.write(0, &[1u8; 16]).is_ok());
+        assert_eq!(region.read(0, 16).unwrap().len(), 16);
+    }
+
+    #[test]
+    fn deregister_removes_region() {
+        let table = RegionTable::new();
+        let id = table.register(8);
+        assert_eq!(table.len(), 1);
+        assert_eq!(table.registered_bytes(), 8);
+        assert!(table.deregister(id));
+        assert!(!table.deregister(id));
+        assert!(table.get(id).is_err());
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn region_ids_are_unique() {
+        let table = RegionTable::new();
+        let a = table.register(8);
+        let b = table.register(8);
+        assert_ne!(a, b);
+    }
+}

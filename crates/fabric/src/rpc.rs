@@ -1,0 +1,268 @@
+//! A small RPC server loop built on the fabric's request/reply layer.
+//!
+//! The paper's thread model (Section 3.2) dedicates *exchange (xchg)
+//! threads* to pulling queue pairs for requests and handing the actual work
+//! to other threads. [`RpcServer`] reproduces that: it spawns a configurable
+//! number of xchg threads that pull deliveries from the node's receive queue
+//! and dispatch them to a [`RpcHandler`] on a worker pool. The xchg threads
+//! back off exponentially when idle, exactly as described in the paper, to
+//! trade latency for CPU.
+
+use crate::fabric::Endpoint;
+use crate::message::Delivery;
+use bytes::Bytes;
+use nova_common::{NodeId, Result};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Application logic invoked for every request or message delivered to a
+/// node.
+pub trait RpcHandler: Send + Sync + 'static {
+    /// Handle a request and produce a response payload.
+    fn handle_request(&self, from: NodeId, payload: Bytes) -> Result<Bytes>;
+
+    /// Handle a one-way message (no response expected). Default: ignore.
+    fn handle_message(&self, from: NodeId, payload: Bytes) {
+        let _ = (from, payload);
+    }
+
+    /// Handle a write-with-immediate notification. Default: ignore.
+    fn handle_write_immediate(&self, from: NodeId, region: crate::message::RegionId, offset: u64, len: u64, immediate: u32) {
+        let _ = (from, region, offset, len, immediate);
+    }
+}
+
+/// A running RPC server: xchg threads pulling a node's receive queue and
+/// dispatching to worker threads.
+pub struct RpcServer {
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for RpcServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RpcServer").field("threads", &self.threads.len()).finish()
+    }
+}
+
+/// Initial back-off used by idle xchg threads.
+const IDLE_BACKOFF_MIN: Duration = Duration::from_micros(50);
+/// Maximum back-off: bounds the latency penalty of an idle node.
+const IDLE_BACKOFF_MAX: Duration = Duration::from_millis(2);
+
+impl RpcServer {
+    /// Start `num_xchg_threads` exchange threads plus `num_workers` worker
+    /// threads serving `handler` on `endpoint`'s node.
+    ///
+    /// If `num_workers` is zero the xchg threads execute handlers inline,
+    /// which matches the paper's configuration where dedicated threads are
+    /// scarce.
+    pub fn start(
+        endpoint: Endpoint,
+        handler: Arc<dyn RpcHandler>,
+        num_xchg_threads: usize,
+        num_workers: usize,
+    ) -> Self {
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let mut threads = Vec::new();
+
+        // Work queue between xchg threads and workers.
+        let (work_tx, work_rx) = crossbeam::channel::unbounded::<Delivery>();
+
+        // Worker threads.
+        for w in 0..num_workers {
+            let rx = work_rx.clone();
+            let handler = Arc::clone(&handler);
+            let endpoint = endpoint.clone();
+            let shutdown = Arc::clone(&shutdown);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("stoc-worker-{}-{}", endpoint.node_id(), w))
+                    .spawn(move || {
+                        while !shutdown.load(Ordering::Relaxed) {
+                            match rx.recv_timeout(Duration::from_millis(50)) {
+                                Ok(delivery) => dispatch(&endpoint, handler.as_ref(), delivery),
+                                Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
+                                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+                            }
+                        }
+                    })
+                    .expect("spawn worker thread"),
+            );
+        }
+
+        // Exchange threads: pull the receive queue, hand work to workers (or
+        // run it inline when there are none).
+        for x in 0..num_xchg_threads.max(1) {
+            let endpoint = endpoint.clone();
+            let handler = Arc::clone(&handler);
+            let shutdown = Arc::clone(&shutdown);
+            let work_tx = work_tx.clone();
+            let inline = num_workers == 0;
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("xchg-{}-{}", endpoint.node_id(), x))
+                    .spawn(move || {
+                        let mut backoff = IDLE_BACKOFF_MIN;
+                        while !shutdown.load(Ordering::Relaxed) {
+                            match endpoint.recv_timeout(backoff) {
+                                Ok(Some(delivery)) => {
+                                    backoff = IDLE_BACKOFF_MIN;
+                                    if inline {
+                                        dispatch(&endpoint, handler.as_ref(), delivery);
+                                    } else if work_tx.send(delivery).is_err() {
+                                        break;
+                                    }
+                                }
+                                Ok(None) => {
+                                    // Exponential back-off while idle (Section 3.2).
+                                    backoff = (backoff * 2).min(IDLE_BACKOFF_MAX);
+                                }
+                                Err(_) => break,
+                            }
+                        }
+                    })
+                    .expect("spawn xchg thread"),
+            );
+        }
+
+        RpcServer { shutdown, threads }
+    }
+
+    /// Signal shutdown and join all threads.
+    pub fn stop(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for RpcServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn dispatch(endpoint: &Endpoint, handler: &dyn RpcHandler, delivery: Delivery) {
+    match delivery {
+        Delivery::Request { from, call_id, payload } => {
+            let response = handler.handle_request(from, payload);
+            // If the caller has given up (timed out) the reply fails; that is
+            // not an error for the server.
+            let _ = endpoint.reply(from, call_id, response);
+        }
+        Delivery::Message { from, payload } => handler.handle_message(from, payload),
+        Delivery::WriteImmediate { from, region, offset, len, immediate } => {
+            handler.handle_write_immediate(from, region, offset, len, immediate)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::Fabric;
+    use nova_common::Error;
+    use std::sync::atomic::AtomicU64;
+
+    struct EchoHandler {
+        messages_seen: AtomicU64,
+        immediates_seen: AtomicU64,
+    }
+
+    impl RpcHandler for EchoHandler {
+        fn handle_request(&self, _from: NodeId, payload: Bytes) -> Result<Bytes> {
+            if payload.is_empty() {
+                return Err(Error::InvalidArgument("empty".into()));
+            }
+            Ok(payload)
+        }
+
+        fn handle_message(&self, _from: NodeId, _payload: Bytes) {
+            self.messages_seen.fetch_add(1, Ordering::SeqCst);
+        }
+
+        fn handle_write_immediate(&self, _from: NodeId, _r: crate::message::RegionId, _o: u64, _l: u64, _i: u32) {
+            self.immediates_seen.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn new_echo() -> Arc<EchoHandler> {
+        Arc::new(EchoHandler { messages_seen: AtomicU64::new(0), immediates_seen: AtomicU64::new(0) })
+    }
+
+    #[test]
+    fn server_answers_requests_from_multiple_clients() {
+        let fabric = Fabric::with_defaults(3);
+        let server_ep = fabric.endpoint(NodeId(2));
+        let server = RpcServer::start(server_ep, new_echo(), 2, 2);
+
+        let mut joins = Vec::new();
+        for client in 0..2u32 {
+            let ep = fabric.endpoint(NodeId(client));
+            joins.push(std::thread::spawn(move || {
+                for i in 0..50u32 {
+                    let msg = Bytes::from(format!("client {client} msg {i}"));
+                    let reply = ep.call(NodeId(2), msg.clone()).unwrap();
+                    assert_eq!(reply, msg);
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        server.stop();
+    }
+
+    #[test]
+    fn server_propagates_handler_errors() {
+        let fabric = Fabric::with_defaults(2);
+        let server = RpcServer::start(fabric.endpoint(NodeId(1)), new_echo(), 1, 0);
+        let client = fabric.endpoint(NodeId(0));
+        let err = client.call(NodeId(1), Bytes::new()).unwrap_err();
+        assert!(matches!(err, Error::InvalidArgument(_)));
+        server.stop();
+    }
+
+    #[test]
+    fn server_sees_messages_and_immediates() {
+        let fabric = Fabric::with_defaults(2);
+        let handler = new_echo();
+        let server = RpcServer::start(fabric.endpoint(NodeId(1)), handler.clone(), 1, 1);
+        let client = fabric.endpoint(NodeId(0));
+        let region = fabric.endpoint(NodeId(1)).register_region(16);
+        client.send(NodeId(1), Bytes::from_static(b"one-way")).unwrap();
+        client.rdma_write(NodeId(1), region, 0, b"data", Some(7)).unwrap();
+        // Wait for asynchronous processing.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while std::time::Instant::now() < deadline {
+            if handler.messages_seen.load(Ordering::SeqCst) == 1
+                && handler.immediates_seen.load(Ordering::SeqCst) == 1
+            {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(handler.messages_seen.load(Ordering::SeqCst), 1);
+        assert_eq!(handler.immediates_seen.load(Ordering::SeqCst), 1);
+        server.stop();
+    }
+
+    #[test]
+    fn dropping_the_server_stops_its_threads() {
+        let fabric = Fabric::with_defaults(2);
+        {
+            let _server = RpcServer::start(fabric.endpoint(NodeId(1)), new_echo(), 1, 1);
+        }
+        // If threads leaked and still owned the receiver, this send would
+        // succeed but nobody would drain it; primarily we assert no panic /
+        // deadlock on drop.
+        let client = fabric.endpoint(NodeId(0));
+        let _ = client.send(NodeId(1), Bytes::from_static(b"late"));
+    }
+}

@@ -1,0 +1,23 @@
+//! # nova-logc
+//!
+//! The Logging Component (LogC) of Nova-LSM (Section 5 of the paper).
+//!
+//! LogC separates the *availability* of log records from their *durability*:
+//!
+//! * **Availability** — log records are replicated to in-memory StoC files
+//!   using one-sided `RDMA WRITE`s; a failed LTC recovers 4 GB of log records
+//!   in under a second by fetching them with `RDMA READ` at line rate.
+//! * **Durability** — log records are additionally appended to persistent
+//!   StoC files, charging the StoC disk.
+//!
+//! A LogC instance is a library embedded in an LTC; one log file exists per
+//! memtable and is deleted when the memtable is flushed.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod logc;
+pub mod record;
+
+pub use logc::{log_file_name, log_prefix, LogC};
+pub use record::{parse_records, LogRecord};

@@ -1,0 +1,382 @@
+//! The Logging Component.
+//!
+//! "LogC constructs a log file for each memtable and generates a log record
+//! prior to writing to the memtable. … The log file may be either in memory
+//! (availability) or persistent (durability)." (Section 5).
+//!
+//! In availability mode each log file is an in-memory StoC file replicated to
+//! `replicas` StoCs; every append is one `RDMA WRITE` per replica and never
+//! involves a StoC CPU (Section 6.1). In durability mode records are also
+//! appended to a persistent StoC log, which charges the StoC's disk.
+
+use crate::record::{parse_records, LogRecord};
+use nova_common::config::LogPolicy;
+use nova_common::{Error, MemtableId, RangeId, Result, StocId};
+use nova_stoc::{MemFileHandle, StocClient};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Naming scheme for log files: `log/<range>/<memtable id>`.
+pub fn log_file_name(range: RangeId, memtable: MemtableId) -> String {
+    format!("log/{}/{}", range.0, memtable.0)
+}
+
+/// Prefix matching every log file of a range.
+pub fn log_prefix(range: RangeId) -> String {
+    format!("log/{}/", range.0)
+}
+
+/// The state of one open log file.
+#[derive(Debug, Clone)]
+struct OpenLog {
+    /// In-memory replicas (availability).
+    replicas: Vec<MemFileHandle>,
+    /// StoC holding the persistent copy (durability).
+    persistent: Option<StocId>,
+    /// Next append offset within the in-memory replicas.
+    offset: u64,
+    /// Capacity of the in-memory replicas.
+    capacity: u64,
+}
+
+/// The logging component. One instance is embedded in each LTC ("a LogC is a
+/// library integrated into an LTC", Section 3).
+pub struct LogC {
+    client: StocClient,
+    policy: LogPolicy,
+    /// Approximate size of a log file — the paper sizes it like the memtable.
+    log_file_size: u64,
+    open: Mutex<HashMap<(RangeId, MemtableId), OpenLog>>,
+}
+
+impl std::fmt::Debug for LogC {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogC")
+            .field("policy", &self.policy)
+            .field("open_files", &self.open.lock().len())
+            .finish()
+    }
+}
+
+impl LogC {
+    /// Create a logging component.
+    pub fn new(client: StocClient, policy: LogPolicy, log_file_size: u64) -> Self {
+        LogC { client, policy, log_file_size, open: Mutex::new(HashMap::new()) }
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> LogPolicy {
+        self.policy
+    }
+
+    /// Choose the StoCs that hold the replicas of a log file. Replicas are
+    /// spread deterministically by hashing the (range, memtable) pair so that
+    /// different memtables use different StoCs.
+    fn replica_stocs(&self, range: RangeId, memtable: MemtableId, count: u32) -> Result<Vec<StocId>> {
+        let all = self.client.directory().all();
+        if all.is_empty() {
+            return Err(Error::Unavailable("no StoCs registered for logging".into()));
+        }
+        let start = (range.0 as u64 * 1_000_003 + memtable.0) as usize % all.len();
+        Ok((0..count as usize).map(|i| all[(start + i) % all.len()]).collect())
+    }
+
+    /// Create the log file(s) for a new memtable. A no-op when logging is
+    /// disabled.
+    pub fn create_log_file(&self, range: RangeId, memtable: MemtableId) -> Result<()> {
+        if !self.policy.enabled() {
+            return Ok(());
+        }
+        let name = log_file_name(range, memtable);
+        let mut replicas = Vec::new();
+        let memory_replicas = self.policy.memory_replicas();
+        if memory_replicas > 0 {
+            for stoc in self.replica_stocs(range, memtable, memory_replicas)? {
+                replicas.push(self.client.open_mem_file(stoc, &name, self.log_file_size)?);
+            }
+        }
+        let persistent = if self.policy.durable() {
+            Some(self.replica_stocs(range, memtable, 1)?[0])
+        } else {
+            None
+        };
+        self.open.lock().insert(
+            (range, memtable),
+            OpenLog { replicas, persistent, offset: 0, capacity: self.log_file_size },
+        );
+        Ok(())
+    }
+
+    /// Append a log record for a write destined for `memtable`. Must be
+    /// called before applying the write to the memtable.
+    pub fn append(&self, range: RangeId, record: &LogRecord) -> Result<()> {
+        if !self.policy.enabled() {
+            return Ok(());
+        }
+        let key = (range, record.memtable_id);
+        let encoded = record.encode();
+        let mut open = self.open.lock();
+        let log = open
+            .get_mut(&key)
+            .ok_or_else(|| Error::InvalidArgument(format!("no open log file for {} {}", range, record.memtable_id)))?;
+        if log.offset + encoded.len() as u64 > log.capacity {
+            // The in-memory region is full; in practice the memtable fills
+            // first because records mirror memtable inserts, but guard anyway.
+            return Err(Error::Unavailable("log file is full".into()));
+        }
+        for replica in &log.replicas {
+            self.client.write_mem(replica, log.offset, &encoded)?;
+        }
+        if let Some(stoc) = log.persistent {
+            self.client.append_log(stoc, &log_file_name(range, record.memtable_id), &encoded)?;
+        }
+        log.offset += encoded.len() as u64;
+        Ok(())
+    }
+
+    /// Delete the log file(s) of a memtable once it has been flushed to an
+    /// SSTable (the log records are no longer needed for recovery).
+    pub fn delete_log_file(&self, range: RangeId, memtable: MemtableId) -> Result<()> {
+        if !self.policy.enabled() {
+            return Ok(());
+        }
+        let name = log_file_name(range, memtable);
+        if let Some(log) = self.open.lock().remove(&(range, memtable)) {
+            for replica in &log.replicas {
+                let _ = self.client.delete_mem_file(replica.stoc, &name);
+            }
+            if let Some(stoc) = log.persistent {
+                let _ = self.client.delete_log(stoc, &name);
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of log files currently open.
+    pub fn open_files(&self) -> usize {
+        self.open.lock().len()
+    }
+
+    /// Bytes appended to the in-memory replica of a specific log file so far
+    /// (for tests and statistics).
+    pub fn log_bytes(&self, range: RangeId, memtable: MemtableId) -> u64 {
+        self.open.lock().get(&(range, memtable)).map(|l| l.offset).unwrap_or(0)
+    }
+
+    /// Recover every log record for a range by querying all StoCs for its log
+    /// files and fetching them with one-sided reads (Section 4.5: "Its LogC
+    /// queries the StoCs for log files and uses RDMA READ to fetch their log
+    /// records"). `recovery_threads` controls the parallelism (Figure 17b).
+    ///
+    /// Returns the records grouped by memtable id.
+    pub fn recover_range(
+        &self,
+        range: RangeId,
+        recovery_threads: usize,
+    ) -> Result<HashMap<MemtableId, Vec<LogRecord>>> {
+        let prefix = log_prefix(range);
+        // Discover (stoc, name) pairs holding log files for this range.
+        let mut sources: Vec<(StocId, String, bool)> = Vec::new();
+        for stoc in self.client.directory().all() {
+            if let Ok(names) = self.client.list_mem_files(stoc, &prefix) {
+                for name in names {
+                    sources.push((stoc, name, false));
+                }
+            }
+            if let Ok(names) = self.client.list_logs(stoc, &prefix) {
+                for name in names {
+                    sources.push((stoc, name, true));
+                }
+            }
+        }
+        // Deduplicate replicas: recover each log file name once, preferring
+        // in-memory copies (they are fetched at line rate with RDMA READ).
+        sources.sort_by(|a, b| a.1.cmp(&b.1).then(a.2.cmp(&b.2)));
+        sources.dedup_by(|a, b| a.1 == b.1);
+
+        let threads = recovery_threads.max(1);
+        let chunks: Vec<Vec<(StocId, String, bool)>> = {
+            let mut chunks = vec![Vec::new(); threads];
+            for (i, source) in sources.into_iter().enumerate() {
+                chunks[i % threads].push(source);
+            }
+            chunks
+        };
+
+        let client = &self.client;
+        let mut all_records: Vec<LogRecord> = Vec::new();
+        let results: Vec<Result<Vec<LogRecord>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    scope.spawn(move || -> Result<Vec<LogRecord>> {
+                        let mut records = Vec::new();
+                        for (stoc, name, persistent) in chunk {
+                            let buffer = if persistent {
+                                client.read_log(stoc, &name)?
+                            } else {
+                                let handle = client.get_mem_file(stoc, &name)?;
+                                client.read_mem(&handle, 0, handle.size as usize)?.to_vec()
+                            };
+                            records.extend(parse_records(&buffer)?);
+                        }
+                        Ok(records)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("recovery thread panicked")).collect()
+        });
+        for r in results {
+            all_records.extend(r?);
+        }
+
+        let mut grouped: HashMap<MemtableId, Vec<LogRecord>> = HashMap::new();
+        for record in all_records {
+            grouped.entry(record.memtable_id).or_default().push(record);
+        }
+        // Replay order within a memtable follows sequence numbers.
+        for records in grouped.values_mut() {
+            records.sort_by_key(|r| r.sequence);
+        }
+        Ok(grouped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nova_common::config::DiskConfig;
+    use nova_common::types::Entry;
+    use nova_common::NodeId;
+    use nova_fabric::Fabric;
+    use nova_stoc::{SimDisk, StocDirectory, StocServer, StorageMedium};
+    use std::sync::Arc;
+
+    fn cluster(num_stocs: usize) -> (Arc<Fabric>, Vec<StocServer>, StocClient) {
+        let fabric = Fabric::with_defaults(num_stocs + 1);
+        let directory = StocDirectory::new();
+        let servers: Vec<StocServer> = (0..num_stocs)
+            .map(|i| {
+                let medium: Arc<dyn StorageMedium> = Arc::new(SimDisk::new(DiskConfig {
+                    bandwidth_bytes_per_sec: u64::MAX / 2,
+                    seek_micros: 0,
+                    accounting_only: true,
+                }));
+                StocServer::start(StocId(i as u32), NodeId(i as u32 + 1), &fabric, directory.clone(), medium, 2, 1)
+            })
+            .collect();
+        let client = StocClient::new(fabric.endpoint(NodeId(0)), directory);
+        (fabric, servers, client)
+    }
+
+    fn entry(i: u64) -> Entry {
+        Entry::put(format!("key-{i:04}").into_bytes(), i + 1, format!("value-{i}").into_bytes())
+    }
+
+    #[test]
+    fn disabled_policy_is_a_noop() {
+        let (_f, servers, client) = cluster(1);
+        let logc = LogC::new(client, LogPolicy::Disabled, 1 << 16);
+        logc.create_log_file(RangeId(0), MemtableId(1)).unwrap();
+        logc.append(RangeId(0), &LogRecord::from_entry(MemtableId(1), &entry(0))).unwrap();
+        assert_eq!(logc.open_files(), 0);
+        assert!(logc.recover_range(RangeId(0), 1).unwrap().is_empty());
+        for s in servers {
+            s.stop();
+        }
+    }
+
+    #[test]
+    fn replicated_in_memory_logging_and_recovery() {
+        let (_f, servers, client) = cluster(3);
+        let logc = LogC::new(client, LogPolicy::InMemoryReplicated { replicas: 3 }, 1 << 16);
+        let range = RangeId(7);
+        logc.create_log_file(range, MemtableId(1)).unwrap();
+        logc.create_log_file(range, MemtableId(2)).unwrap();
+        for i in 0..50u64 {
+            let mid = MemtableId(1 + i % 2);
+            logc.append(range, &LogRecord::from_entry(mid, &entry(i))).unwrap();
+        }
+        assert!(logc.log_bytes(range, MemtableId(1)) > 0);
+        let recovered = logc.recover_range(range, 4).unwrap();
+        assert_eq!(recovered.len(), 2);
+        let total: usize = recovered.values().map(|v| v.len()).sum();
+        assert_eq!(total, 50);
+        // Records within a memtable are ordered by sequence number.
+        for records in recovered.values() {
+            assert!(records.windows(2).all(|w| w[0].sequence <= w[1].sequence));
+        }
+        for s in servers {
+            s.stop();
+        }
+    }
+
+    #[test]
+    fn deleting_a_log_file_removes_it_from_recovery() {
+        let (_f, servers, client) = cluster(2);
+        let logc = LogC::new(client, LogPolicy::InMemoryReplicated { replicas: 2 }, 1 << 16);
+        let range = RangeId(1);
+        logc.create_log_file(range, MemtableId(1)).unwrap();
+        logc.create_log_file(range, MemtableId(2)).unwrap();
+        logc.append(range, &LogRecord::from_entry(MemtableId(1), &entry(1))).unwrap();
+        logc.append(range, &LogRecord::from_entry(MemtableId(2), &entry(2))).unwrap();
+        logc.delete_log_file(range, MemtableId(1)).unwrap();
+        assert_eq!(logc.open_files(), 1);
+        let recovered = logc.recover_range(range, 1).unwrap();
+        assert_eq!(recovered.len(), 1);
+        assert!(recovered.contains_key(&MemtableId(2)));
+        for s in servers {
+            s.stop();
+        }
+    }
+
+    #[test]
+    fn persistent_logging_survives_memory_replica_loss() {
+        let (fabric, servers, client) = cluster(2);
+        let logc = LogC::new(client.clone(), LogPolicy::PersistentWithMemory { replicas: 1 }, 1 << 16);
+        let range = RangeId(3);
+        logc.create_log_file(range, MemtableId(9)).unwrap();
+        for i in 0..10u64 {
+            logc.append(range, &LogRecord::from_entry(MemtableId(9), &entry(i))).unwrap();
+        }
+        // Recovery sees records even when only the persistent copy is used.
+        let recovered = logc.recover_range(range, 2).unwrap();
+        assert_eq!(recovered[&MemtableId(9)].len(), 10);
+        let _ = fabric;
+        for s in servers {
+            s.stop();
+        }
+    }
+
+    #[test]
+    fn appends_to_unknown_log_file_fail() {
+        let (_f, servers, client) = cluster(1);
+        let logc = LogC::new(client, LogPolicy::InMemoryReplicated { replicas: 1 }, 1 << 16);
+        let err = logc.append(RangeId(0), &LogRecord::from_entry(MemtableId(5), &entry(0))).unwrap_err();
+        assert!(matches!(err, Error::InvalidArgument(_)));
+        for s in servers {
+            s.stop();
+        }
+    }
+
+    #[test]
+    fn log_file_capacity_is_enforced() {
+        let (_f, servers, client) = cluster(1);
+        let logc = LogC::new(client, LogPolicy::InMemoryReplicated { replicas: 1 }, 64);
+        let range = RangeId(0);
+        logc.create_log_file(range, MemtableId(1)).unwrap();
+        let big = Entry::put(&b"key"[..], 1, vec![0u8; 128]);
+        let err = logc.append(range, &LogRecord::from_entry(MemtableId(1), &big)).unwrap_err();
+        assert!(matches!(err, Error::Unavailable(_)));
+        for s in servers {
+            s.stop();
+        }
+    }
+
+    #[test]
+    fn naming_scheme() {
+        assert_eq!(log_file_name(RangeId(3), MemtableId(17)), "log/3/17");
+        assert_eq!(log_prefix(RangeId(3)), "log/3/");
+        assert!(log_file_name(RangeId(3), MemtableId(17)).starts_with(&log_prefix(RangeId(3))));
+    }
+}

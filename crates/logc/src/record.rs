@@ -1,0 +1,222 @@
+//! Log records.
+//!
+//! "A log record is self-contained and is in the form of (log record size,
+//! memtable id, key size, key, value size, value, sequence number)."
+//! (Section 5). We additionally carry the value type so deletes can be
+//! replayed, and a CRC over the payload so torn or zero-filled regions are
+//! detected during recovery.
+
+use nova_common::checksum;
+use nova_common::types::Entry;
+use nova_common::varint::{
+    decode_fixed32, decode_length_prefixed_slice, decode_varint64, put_fixed32,
+    put_length_prefixed_slice, put_varint64,
+};
+use nova_common::{Error, MemtableId, Result, SequenceNumber, ValueType};
+
+/// A single self-contained log record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogRecord {
+    /// The memtable the write was applied to.
+    pub memtable_id: MemtableId,
+    /// User key.
+    pub key: Vec<u8>,
+    /// Value bytes (empty for deletes).
+    pub value: Vec<u8>,
+    /// Sequence number of the write.
+    pub sequence: SequenceNumber,
+    /// Put or delete.
+    pub value_type: ValueType,
+}
+
+impl LogRecord {
+    /// Build a record from an entry destined for `memtable_id`.
+    pub fn from_entry(memtable_id: MemtableId, entry: &Entry) -> Self {
+        LogRecord {
+            memtable_id,
+            key: entry.key.to_vec(),
+            value: entry.value.to_vec(),
+            sequence: entry.sequence,
+            value_type: entry.value_type,
+        }
+    }
+
+    /// Convert back to an entry.
+    pub fn to_entry(&self) -> Entry {
+        Entry {
+            key: self.key.clone().into(),
+            sequence: self.sequence,
+            value_type: self.value_type,
+            value: self.value.clone().into(),
+        }
+    }
+
+    /// Serialize the record: `[u32 total size][u32 crc][payload]`, where the
+    /// payload is `(memtable id, key, value type, value, sequence number)`.
+    /// A size of zero marks the end of a zero-initialized log region.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(self.key.len() + self.value.len() + 24);
+        put_varint64(&mut payload, self.memtable_id.0);
+        put_length_prefixed_slice(&mut payload, &self.key);
+        payload.push(self.value_type as u8);
+        put_length_prefixed_slice(&mut payload, &self.value);
+        put_varint64(&mut payload, self.sequence);
+        let mut out = Vec::with_capacity(payload.len() + 8);
+        put_fixed32(&mut out, payload.len() as u32);
+        put_fixed32(&mut out, checksum::mask(checksum::crc32c(&payload)));
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Size of the encoded record in bytes.
+    pub fn encoded_len(&self) -> usize {
+        self.encode().len()
+    }
+
+    /// Decode a record from the front of `src`. Returns `Ok(None)` when the
+    /// buffer starts with a zero size (the end of the written region) and the
+    /// record plus bytes consumed otherwise.
+    pub fn decode(src: &[u8]) -> Result<Option<(LogRecord, usize)>> {
+        if src.len() < 8 {
+            return Ok(None);
+        }
+        let size = decode_fixed32(src)? as usize;
+        if size == 0 {
+            return Ok(None);
+        }
+        if src.len() < 8 + size {
+            return Err(Error::Corruption("truncated log record".into()));
+        }
+        let stored_crc = checksum::unmask(decode_fixed32(&src[4..])?);
+        let payload = &src[8..8 + size];
+        if checksum::crc32c(payload) != stored_crc {
+            return Err(Error::Corruption("log record checksum mismatch".into()));
+        }
+        let mut n = 0usize;
+        let (mid, c) = decode_varint64(&payload[n..])?;
+        n += c;
+        let (key, c) = decode_length_prefixed_slice(&payload[n..])?;
+        let key = key.to_vec();
+        n += c;
+        let vt = ValueType::from_u8(payload[n])
+            .ok_or_else(|| Error::Corruption("invalid value type in log record".into()))?;
+        n += 1;
+        let (value, c) = decode_length_prefixed_slice(&payload[n..])?;
+        let value = value.to_vec();
+        n += c;
+        let (sequence, _) = decode_varint64(&payload[n..])?;
+        Ok(Some((
+            LogRecord { memtable_id: MemtableId(mid), key, value, sequence, value_type: vt },
+            8 + size,
+        )))
+    }
+}
+
+/// Parse every record from a log buffer, stopping at the first zero size (the
+/// unwritten, zero-filled tail of an in-memory region).
+pub fn parse_records(buffer: &[u8]) -> Result<Vec<LogRecord>> {
+    let mut out = Vec::new();
+    let mut offset = 0usize;
+    while offset < buffer.len() {
+        match LogRecord::decode(&buffer[offset..])? {
+            Some((record, consumed)) => {
+                out.push(record);
+                offset += consumed;
+            }
+            None => break,
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn record(i: u64) -> LogRecord {
+        LogRecord {
+            memtable_id: MemtableId(i % 7),
+            key: format!("key-{i}").into_bytes(),
+            value: format!("value-{i}").into_bytes(),
+            sequence: i,
+            value_type: if i % 5 == 0 { ValueType::Deletion } else { ValueType::Value },
+        }
+    }
+
+    #[test]
+    fn single_record_round_trips() {
+        let r = record(3);
+        let encoded = r.encode();
+        assert_eq!(encoded.len(), r.encoded_len());
+        let (decoded, n) = LogRecord::decode(&encoded).unwrap().unwrap();
+        assert_eq!(decoded, r);
+        assert_eq!(n, encoded.len());
+    }
+
+    #[test]
+    fn entry_conversion_round_trips() {
+        let e = Entry::put(&b"k"[..], 9, &b"v"[..]);
+        let r = LogRecord::from_entry(MemtableId(4), &e);
+        assert_eq!(r.to_entry(), e);
+        let d = Entry::delete(&b"k"[..], 10);
+        let r = LogRecord::from_entry(MemtableId(4), &d);
+        assert_eq!(r.to_entry(), d);
+    }
+
+    #[test]
+    fn zero_filled_tail_terminates_parsing() {
+        let mut buffer = Vec::new();
+        for i in 0..10 {
+            buffer.extend_from_slice(&record(i).encode());
+        }
+        // Simulate an in-memory region larger than the written prefix.
+        buffer.extend_from_slice(&[0u8; 256]);
+        let records = parse_records(&buffer).unwrap();
+        assert_eq!(records.len(), 10);
+        assert_eq!(records[4], record(4));
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut encoded = record(1).encode();
+        encoded[10] ^= 0xff;
+        assert!(LogRecord::decode(&encoded).is_err());
+        // A record whose declared size exceeds the buffer is truncated.
+        let encoded = record(1).encode();
+        assert!(LogRecord::decode(&encoded[..encoded.len() - 2]).is_err());
+    }
+
+    #[test]
+    fn empty_buffer_parses_to_nothing() {
+        assert!(parse_records(&[]).unwrap().is_empty());
+        assert!(parse_records(&[0u8; 64]).unwrap().is_empty());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn prop_streams_of_records_round_trip(
+            keys in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..32), 1..32),
+        ) {
+            let records: Vec<LogRecord> = keys
+                .iter()
+                .enumerate()
+                .map(|(i, k)| LogRecord {
+                    memtable_id: MemtableId(i as u64),
+                    key: k.clone(),
+                    value: k.iter().rev().copied().collect(),
+                    sequence: i as u64 * 13,
+                    value_type: ValueType::Value,
+                })
+                .collect();
+            let mut buffer = Vec::new();
+            for r in &records {
+                buffer.extend_from_slice(&r.encode());
+            }
+            buffer.extend_from_slice(&[0u8; 16]);
+            let parsed = parse_records(&buffer).unwrap();
+            prop_assert_eq!(parsed, records);
+        }
+    }
+}

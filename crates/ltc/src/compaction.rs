@@ -1,0 +1,158 @@
+//! The compaction coordinator (Section 4.3).
+//!
+//! "LTC employs a coordinator thread for compaction. This thread first picks
+//! Level i with the highest ratio of actual size to expected size. It then
+//! computes a set of compaction jobs. … SSTables in two different compaction
+//! jobs are non-overlapping and may proceed concurrently."
+//!
+//! At Level 0 the jobs follow Drange boundaries: Level-0 SSTables produced by
+//! different Dranges are mutually exclusive in key space, so each Drange's
+//! tables (plus their overlapping Level-1 tables) form an independent job
+//! (Figure 8). Jobs either run locally on the LTC's compaction threads or are
+//! offloaded round-robin to StoCs.
+
+use crate::range::RangeEngine;
+use crate::version::Version;
+use nova_common::{Result, StocId};
+use nova_sstable::SstableMeta;
+use nova_stoc::{execute_compaction, load_table_entries, CompactionJob};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Round-robin counter used to spread offloaded jobs across StoCs ("in this
+/// study we assume round-robin").
+static OFFLOAD_ROUND_ROBIN: AtomicUsize = AtomicUsize::new(0);
+
+/// Build the set of non-overlapping compaction jobs for `level`.
+fn build_jobs(engine: &RangeEngine, version: &Version, level: usize) -> Vec<Vec<SstableMeta>> {
+    let config = engine.config();
+    let next_level = level + 1;
+    if level == 0 {
+        // Group Level-0 tables by the Drange that produced them; each group
+        // plus its overlapping Level-1 tables is one job.
+        let mut groups: Vec<(Option<u32>, Vec<SstableMeta>)> = Vec::new();
+        for table in version.level_tables(0) {
+            match groups.iter_mut().find(|(d, _)| *d == table.drange) {
+                Some((_, tables)) => tables.push(table.clone()),
+                None => groups.push((table.drange, vec![table.clone()])),
+            }
+        }
+        // Attach overlapping next-level tables; merge groups that would share
+        // a next-level table so jobs stay disjoint.
+        let mut jobs: Vec<(Vec<SstableMeta>, Vec<u64>)> = Vec::new();
+        for (_, group) in groups {
+            let smallest = group.iter().map(|t| t.smallest.clone()).min().unwrap_or_default();
+            let largest = group.iter().map(|t| t.largest.clone()).max().unwrap_or_default();
+            let overlapping = version.overlapping(next_level, &smallest, &largest);
+            let overlap_ids: Vec<u64> = overlapping.iter().map(|t| t.file_number).collect();
+            // Does this group share a next-level table with an existing job?
+            if let Some(existing) = jobs.iter_mut().find(|(_, ids)| ids.iter().any(|id| overlap_ids.contains(id))) {
+                existing.0.extend(group);
+                for t in overlapping {
+                    if !existing.1.contains(&t.file_number) {
+                        existing.1.push(t.file_number);
+                        existing.0.push(t);
+                    }
+                }
+            } else {
+                let mut inputs = group;
+                inputs.extend(overlapping);
+                jobs.push((inputs, overlap_ids));
+            }
+        }
+        jobs.into_iter().map(|(inputs, _)| inputs).collect()
+    } else {
+        // Leveled compaction: take the tables of the over-budget level (up to
+        // a handful per round) and their overlapping next-level tables as one
+        // job.
+        let mut inputs: Vec<SstableMeta> = Vec::new();
+        let budget = config.max_bytes_for_level(level);
+        let mut taken = 0u64;
+        for table in version.level_tables(level) {
+            inputs.push(table.clone());
+            taken += table.data_size;
+            if taken > budget / 2 {
+                break;
+            }
+        }
+        if inputs.is_empty() {
+            return Vec::new();
+        }
+        let smallest = inputs.iter().map(|t| t.smallest.clone()).min().unwrap_or_default();
+        let largest = inputs.iter().map(|t| t.largest.clone()).max().unwrap_or_default();
+        inputs.extend(version.overlapping(next_level, &smallest, &largest));
+        vec![inputs]
+    }
+}
+
+/// Run one round of compaction for the range, if any level is over budget.
+pub(crate) fn run_compaction(engine: &Arc<RangeEngine>) -> Result<()> {
+    // One round at a time: concurrent rounds would work off stale version
+    // snapshots and install overlapping Level-1 outputs.
+    let _guard = engine.compaction_guard();
+    let config = engine.config().clone();
+    let version = engine.version_snapshot();
+    let level = match version.pick_compaction_level(|l| config.max_bytes_for_level(l)) {
+        Some(l) => l,
+        None => return Ok(()),
+    };
+    let jobs = build_jobs(engine, &version, level);
+    if jobs.is_empty() {
+        return Ok(());
+    }
+    let next_level = (level + 1) as u32;
+    // Tombstones can be dropped when the outputs land in the deepest
+    // populated level of the tree.
+    let drop_tombstones = next_level as usize >= version.max_populated_level();
+    // Output placement respects the engine's placement policy: shared-nothing
+    // deployments keep compaction outputs on the local disk, shared-disk
+    // deployments spread them across all StoCs.
+    let all_stocs = match engine.placer().policy() {
+        nova_common::config::PlacementPolicy::LocalOnly => engine.placer().choose_stocs(1).unwrap_or_default(),
+        _ => engine.stoc_client().directory().all(),
+    };
+
+    for inputs in jobs {
+        if inputs.is_empty() {
+            continue;
+        }
+        // Enumerate the keys of Level-0 inputs so the lookup index can be
+        // cleaned up after installation (Section 4.1.1).
+        let mut level0_keys: Vec<Vec<u8>> = Vec::new();
+        if level == 0 && config.enable_lookup_index {
+            for input in inputs.iter().filter(|t| t.level == 0) {
+                if let Ok(entries) = load_table_entries(engine.stoc_client(), input) {
+                    level0_keys.extend(entries.into_iter().map(|e| e.key.to_vec()));
+                }
+            }
+        }
+        let output_placement = if all_stocs.is_empty() { vec![StocId(0)] } else { all_stocs.clone() };
+        let job = CompactionJob {
+            range_id: engine.range_id().0,
+            inputs: inputs.clone(),
+            output_level: next_level,
+            output_file_numbers: engine.allocate_file_numbers(inputs.len() * 2 + 8),
+            output_placement,
+            scatter_width: config.scatter_width as u32,
+            max_output_bytes: config.memtable_size_bytes as u64,
+            block_size: config.block_size_bytes as u32,
+            bloom_bits_per_key: config.bloom_bits_per_key as u32,
+            drop_tombstones,
+        };
+        let outputs = if config.offload_compaction && !all_stocs.is_empty() {
+            // Round-robin across StoCs (Section 4.3, "Offloading").
+            let idx = OFFLOAD_ROUND_ROBIN.fetch_add(1, Ordering::Relaxed) % all_stocs.len();
+            engine.stoc_client().offload_compaction(all_stocs[idx], job)?
+        } else {
+            execute_compaction(engine.stoc_client(), &job)?
+        };
+        engine.install_compaction(&inputs, outputs, &level0_keys)?;
+    }
+
+    // More work may remain (e.g. the next level is now over budget).
+    let version = engine.version_snapshot();
+    if version.pick_compaction_level(|l| config.max_bytes_for_level(l)).is_some() {
+        engine.schedule_compaction();
+    }
+    Ok(())
+}

@@ -1,0 +1,642 @@
+//! Dynamic ranges (Dranges) and tiny ranges (Tranges) — Section 4.1.
+//!
+//! An LTC divides each application range into θ Dranges with the objective of
+//! balancing the write load across them. Each Drange owns its own active
+//! memtable(s), so writes to different Dranges do not contend and the Level-0
+//! SSTables they produce are mutually exclusive in key space, enabling
+//! parallel compaction (Section 4.3).
+//!
+//! A Drange is composed of γ Tranges; *minor reorganisations* move Tranges
+//! between neighbouring Dranges, *major reorganisations* rebuild all Dranges
+//! and Tranges from the sampled write-frequency distribution, and a Drange
+//! holding a single very hot key is *duplicated* (Definition 4.2, Figure 6).
+
+use nova_common::keyspace::KeyInterval;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A tiny dynamic range `[lower, upper)` with a write counter
+/// (Definition 4.1).
+///
+/// Besides the plain counter the Trange runs a Boyer–Moore majority sketch
+/// over the keys written to it: this is the "historical sampled data" a major
+/// reorganisation uses to discover a single dominant key inside a Trange and
+/// turn it into a duplicated point Drange (Definition 4.4, Figure 6).
+#[derive(Debug)]
+pub struct Trange {
+    /// The interval of numeric keys covered.
+    pub interval: KeyInterval,
+    writes: AtomicU64,
+    candidate_key: AtomicU64,
+    candidate_count: AtomicU64,
+}
+
+impl Trange {
+    /// Create a Trange covering `interval`.
+    pub fn new(interval: KeyInterval) -> Self {
+        Trange {
+            interval,
+            writes: AtomicU64::new(0),
+            candidate_key: AtomicU64::new(u64::MAX),
+            candidate_count: AtomicU64::new(0),
+        }
+    }
+
+    /// Record a write to `key` in this Trange.
+    pub fn record_write(&self, key: u64) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        // Boyer–Moore majority vote. Races between the load/store pairs only
+        // degrade the sketch, never break it, and writers to the same Drange
+        // are already serialized by the memtable above us often enough for
+        // the sketch to converge.
+        let count = self.candidate_count.load(Ordering::Relaxed);
+        if count == 0 {
+            self.candidate_key.store(key, Ordering::Relaxed);
+            self.candidate_count.store(1, Ordering::Relaxed);
+        } else if self.candidate_key.load(Ordering::Relaxed) == key {
+            self.candidate_count.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.candidate_count.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of writes recorded since the last reset.
+    pub fn writes(&self) -> u64 {
+        self.writes.load(Ordering::Relaxed)
+    }
+
+    /// The majority-candidate key and its sketch count, if any key dominates
+    /// the Trange's recent writes.
+    pub fn hot_key(&self) -> Option<(u64, u64)> {
+        let count = self.candidate_count.load(Ordering::Relaxed);
+        let key = self.candidate_key.load(Ordering::Relaxed);
+        if count > 0 && key != u64::MAX && self.interval.contains(key) {
+            Some((key, count))
+        } else {
+            None
+        }
+    }
+
+    /// Reset the counters (after a reorganisation consumes the statistics).
+    pub fn reset(&self) {
+        self.writes.store(0, Ordering::Relaxed);
+        self.candidate_count.store(0, Ordering::Relaxed);
+        self.candidate_key.store(u64::MAX, Ordering::Relaxed);
+    }
+}
+
+impl Clone for Trange {
+    fn clone(&self) -> Self {
+        Trange {
+            interval: self.interval,
+            writes: AtomicU64::new(self.writes()),
+            candidate_key: AtomicU64::new(self.candidate_key.load(Ordering::Relaxed)),
+            candidate_count: AtomicU64::new(self.candidate_count.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A dynamic range: a contiguous run of Tranges (Definition 4.2). Duplicated
+/// Dranges share the same (single-key) interval.
+#[derive(Debug, Clone)]
+pub struct Drange {
+    /// The Drange's position within its [`DrangeSet`].
+    pub index: usize,
+    /// Tranges composing the Drange, in key order.
+    pub tranges: Vec<Trange>,
+    /// True if this Drange is a duplicate of a single hot key shared with
+    /// neighbouring Dranges (Section 4.1).
+    pub duplicated: bool,
+}
+
+impl Drange {
+    /// Create a Drange from its Tranges.
+    pub fn new(index: usize, tranges: Vec<Trange>, duplicated: bool) -> Self {
+        debug_assert!(!tranges.is_empty(), "a Drange needs at least one Trange");
+        Drange { index, tranges, duplicated }
+    }
+
+    /// The interval covered: `[first Trange lower, last Trange upper)`.
+    pub fn interval(&self) -> KeyInterval {
+        KeyInterval::new(
+            self.tranges.first().expect("non-empty").interval.lower,
+            self.tranges.last().expect("non-empty").interval.upper,
+        )
+    }
+
+    /// True if `key` falls inside this Drange.
+    pub fn contains(&self, key: u64) -> bool {
+        self.interval().contains(key)
+    }
+
+    /// Total writes recorded across the Drange's Tranges.
+    pub fn writes(&self) -> u64 {
+        self.tranges.iter().map(|t| t.writes()).sum()
+    }
+
+    /// Record a write for `key`.
+    pub fn record_write(&self, key: u64) {
+        // Tranges partition the Drange contiguously; binary search by lower
+        // bound.
+        let idx = self.tranges.partition_point(|t| t.interval.upper <= key);
+        if let Some(t) = self.tranges.get(idx) {
+            debug_assert!(t.interval.contains(key) || self.duplicated);
+            t.record_write(key);
+        } else if let Some(last) = self.tranges.last() {
+            last.record_write(key);
+        }
+    }
+
+    /// Reset write counters.
+    pub fn reset_counters(&self) {
+        for t in &self.tranges {
+            t.reset();
+        }
+    }
+}
+
+/// Statistics describing the outcome of reorganisations, reported by the
+/// Drange-ablation experiment (Section 8.2.1).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReorgStats {
+    /// Number of minor reorganisations performed.
+    pub minor_reorgs: u64,
+    /// Number of major reorganisations performed.
+    pub major_reorgs: u64,
+    /// Number of duplicated Dranges in the current layout.
+    pub duplicated_dranges: usize,
+}
+
+/// The set of θ Dranges covering one application range, plus the machinery to
+/// rebalance them.
+#[derive(Debug)]
+pub struct DrangeSet {
+    /// The application range's interval.
+    range: KeyInterval,
+    /// Target number of Dranges (θ).
+    theta: usize,
+    /// Tranges per Drange (γ).
+    gamma: usize,
+    dranges: Vec<Drange>,
+    stats: ReorgStats,
+    /// Monotonically increasing generation, bumped by every reorganisation
+    /// (memtables are tagged with it, Section 4.1).
+    generation: u64,
+}
+
+impl DrangeSet {
+    /// Create the initial layout: θ Dranges of equal key width, each with γ
+    /// Tranges.
+    pub fn new(range: KeyInterval, theta: usize, gamma: usize) -> Self {
+        let theta = theta.max(1);
+        let gamma = gamma.max(1);
+        let dranges = Self::uniform_layout(range, theta, gamma);
+        DrangeSet { range, theta, gamma, dranges, stats: ReorgStats::default(), generation: 0 }
+    }
+
+    fn uniform_layout(range: KeyInterval, theta: usize, gamma: usize) -> Vec<Drange> {
+        let total = range.len().max(1);
+        let per_drange = (total + theta as u64 - 1) / theta as u64;
+        let mut dranges = Vec::with_capacity(theta);
+        let mut lower = range.lower;
+        for d in 0..theta {
+            let upper = if d + 1 == theta { range.upper } else { (lower + per_drange).min(range.upper) };
+            let tranges = Self::split_into_tranges(KeyInterval::new(lower, upper.max(lower)), gamma);
+            dranges.push(Drange::new(d, tranges, false));
+            lower = upper;
+        }
+        dranges
+    }
+
+    fn split_into_tranges(interval: KeyInterval, gamma: usize) -> Vec<Trange> {
+        let total = interval.len();
+        if total == 0 {
+            return vec![Trange::new(interval)];
+        }
+        let gamma = gamma.min(total.max(1) as usize).max(1);
+        let per = (total + gamma as u64 - 1) / gamma as u64;
+        let mut tranges = Vec::with_capacity(gamma);
+        let mut lower = interval.lower;
+        for t in 0..gamma {
+            let upper = if t + 1 == gamma { interval.upper } else { (lower + per).min(interval.upper) };
+            tranges.push(Trange::new(KeyInterval::new(lower, upper.max(lower))));
+            lower = upper;
+        }
+        tranges
+    }
+
+    /// The configured target number of Dranges (θ).
+    pub fn theta(&self) -> usize {
+        self.theta
+    }
+
+    /// The configured number of Tranges per Drange (γ).
+    pub fn gamma(&self) -> usize {
+        self.gamma
+    }
+
+    /// The number of Dranges in the current layout (θ plus duplicates, minus
+    /// merged empties; always at least 1).
+    pub fn len(&self) -> usize {
+        self.dranges.len()
+    }
+
+    /// True if the layout contains no Dranges (never the case in practice).
+    pub fn is_empty(&self) -> bool {
+        self.dranges.is_empty()
+    }
+
+    /// The Dranges in key order.
+    pub fn dranges(&self) -> &[Drange] {
+        &self.dranges
+    }
+
+    /// The reorganisation generation of the current layout.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Reorganisation statistics.
+    pub fn stats(&self) -> ReorgStats {
+        ReorgStats { duplicated_dranges: self.dranges.iter().filter(|d| d.duplicated).count(), ..self.stats }
+    }
+
+    /// The index of the Drange that should absorb a write to `key`.
+    ///
+    /// Duplicated Dranges share a key: the write is spread across the
+    /// duplicates (by a cheap hash of the key and a rotating counter baked
+    /// from the key's low bits) to reduce contention, exactly why the paper
+    /// duplicates them.
+    pub fn drange_for_write(&self, key: u64, spread_hint: u64) -> usize {
+        let candidates = self.candidates_for(key);
+        if candidates.len() == 1 {
+            return candidates[0];
+        }
+        candidates[(spread_hint as usize) % candidates.len()]
+    }
+
+    /// Every Drange whose interval contains `key` (more than one only when
+    /// duplicated).
+    pub fn candidates_for(&self, key: u64) -> Vec<usize> {
+        let key = key.clamp(self.range.lower, self.range.upper.saturating_sub(1));
+        let out: Vec<usize> = self
+            .dranges
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.contains(key))
+            .map(|(i, _)| i)
+            .collect();
+        if out.is_empty() {
+            // Clamp to the nearest Drange (can happen at the extremes after a
+            // reorganisation of an empty range).
+            let idx = self.dranges.partition_point(|d| d.interval().upper <= key);
+            vec![idx.min(self.dranges.len() - 1)]
+        } else {
+            out
+        }
+    }
+
+    /// Record a write for load statistics.
+    pub fn record_write(&self, drange_index: usize, key: u64) {
+        if let Some(d) = self.dranges.get(drange_index) {
+            d.record_write(key);
+        }
+    }
+
+    /// Load imbalance: the standard deviation of each Drange's share of the
+    /// total writes (Section 8.2.1 reports this).
+    pub fn load_imbalance(&self) -> f64 {
+        let total: u64 = self.dranges.iter().map(|d| d.writes()).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let mean = 1.0 / self.dranges.len() as f64;
+        let variance = self
+            .dranges
+            .iter()
+            .map(|d| {
+                let share = d.writes() as f64 / total as f64;
+                (share - mean) * (share - mean)
+            })
+            .sum::<f64>()
+            / self.dranges.len() as f64;
+        variance.sqrt()
+    }
+
+    /// Decide whether a reorganisation is needed given the imbalance
+    /// threshold ε: a Drange whose share exceeds `1/θ + ε` triggers one
+    /// (Definition 4.3 / 4.4).
+    pub fn needs_reorganization(&self, epsilon: f64) -> bool {
+        let total: u64 = self.dranges.iter().map(|d| d.writes()).sum();
+        if total < self.dranges.len() as u64 * 4 {
+            // Not enough samples to act on.
+            return false;
+        }
+        let threshold = 1.0 / self.theta as f64 + epsilon;
+        self.dranges.iter().any(|d| (d.writes() as f64 / total as f64) > threshold)
+    }
+
+    /// Perform a reorganisation. A *minor* reorganisation shifts Tranges from
+    /// the hottest Drange to its neighbours; if the imbalance cannot be fixed
+    /// that way (e.g. a single key dominates), a *major* reorganisation
+    /// rebuilds the layout from the observed per-Trange write frequencies,
+    /// duplicating point Dranges whose load exceeds twice the average.
+    ///
+    /// Returns the new generation id.
+    pub fn reorganize(&mut self, epsilon: f64) -> u64 {
+        let total: u64 = self.dranges.iter().map(|d| d.writes()).sum();
+        if total == 0 {
+            return self.generation;
+        }
+        let threshold = 1.0 / self.theta as f64 + epsilon;
+
+        // Try a minor reorganisation first: move Tranges out of the hottest
+        // multi-Trange Drange.
+        let hottest = self
+            .dranges
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, d)| d.writes())
+            .map(|(i, _)| i)
+            .expect("at least one Drange");
+        let hot_share = self.dranges[hottest].writes() as f64 / total as f64;
+        if hot_share > threshold && self.dranges[hottest].tranges.len() > 1 {
+            self.minor_reorganize(hottest);
+            self.stats.minor_reorgs += 1;
+        } else if hot_share > threshold {
+            self.major_reorganize();
+            self.stats.major_reorgs += 1;
+        }
+        self.generation += 1;
+        self.generation
+    }
+
+    /// Force a major reorganisation based on the current sampled frequencies
+    /// (used once shortly after start-up in the paper's experiments).
+    pub fn force_major_reorganization(&mut self) -> u64 {
+        self.major_reorganize();
+        self.stats.major_reorgs += 1;
+        self.generation += 1;
+        self.generation
+    }
+
+    fn minor_reorganize(&mut self, hottest: usize) {
+        // Move the coldest edge Trange of the hottest Drange to its neighbour.
+        let drange = &mut self.dranges[hottest];
+        if drange.tranges.len() <= 1 {
+            return;
+        }
+        // Prefer shifting towards whichever neighbour exists; shift the first
+        // Trange left or the last Trange right.
+        if hottest > 0 {
+            let trange = drange.tranges.remove(0);
+            self.dranges[hottest - 1].tranges.push(trange);
+        } else {
+            let trange = drange.tranges.pop().expect("len > 1");
+            self.dranges[hottest + 1].tranges.insert(0, trange);
+        }
+        for (i, d) in self.dranges.iter_mut().enumerate() {
+            d.index = i;
+        }
+    }
+
+    fn major_reorganize(&mut self) {
+        // Build the per-Trange frequency distribution of the whole range,
+        // splitting out a dominant single key inside a Trange when the
+        // majority sketch identifies one.
+        let mut boundaries: Vec<(KeyInterval, u64)> = Vec::new();
+        for d in &self.dranges {
+            if d.duplicated {
+                // Count duplicated Dranges once (they share the same interval).
+                if boundaries.last().map(|(i, _)| *i) == Some(d.interval()) {
+                    if let Some(last) = boundaries.last_mut() {
+                        last.1 += d.writes();
+                    }
+                    continue;
+                }
+            }
+            for t in &d.tranges {
+                let writes = t.writes();
+                match t.hot_key() {
+                    // A single key dominates this Trange: isolate it so it can
+                    // become a (possibly duplicated) point Drange.
+                    Some((key, count)) if t.interval.len() > 1 && count * 2 > writes.max(1) => {
+                        let hot_writes = count.min(writes);
+                        let rest = writes - hot_writes;
+                        let before = KeyInterval::new(t.interval.lower, key);
+                        let point = KeyInterval::new(key, key + 1);
+                        let after = KeyInterval::new((key + 1).min(t.interval.upper), t.interval.upper);
+                        let side_ranges = (!before.is_empty()) as u64 + (!after.is_empty()) as u64;
+                        if !before.is_empty() {
+                            boundaries.push((before, rest / side_ranges.max(1)));
+                        }
+                        boundaries.push((point, hot_writes));
+                        if !after.is_empty() {
+                            boundaries.push((after, rest / side_ranges.max(1)));
+                        }
+                    }
+                    _ => boundaries.push((t.interval, writes)),
+                }
+            }
+        }
+        let total: u64 = boundaries.iter().map(|(_, w)| w).sum();
+        if total == 0 {
+            return;
+        }
+        let average = total as f64 / self.theta as f64;
+
+        // Single-key intervals hotter than twice the average become
+        // duplicated point Dranges (Section 4.1 / Figure 6); the rest are
+        // packed into Dranges of roughly equal write load.
+        let mut new_dranges: Vec<Drange> = Vec::new();
+        let mut accumulator: Vec<Trange> = Vec::new();
+        let mut accumulated_writes = 0u64;
+        let target = (total as f64 / self.theta as f64).max(1.0);
+
+        let flush_accumulator = |acc: &mut Vec<Trange>, out: &mut Vec<Drange>| {
+            if !acc.is_empty() {
+                out.push(Drange::new(out.len(), std::mem::take(acc), false));
+            }
+        };
+
+        for (interval, writes) in boundaries {
+            let is_hot_point = interval.len() <= 1 && (writes as f64) > 2.0 * average;
+            if is_hot_point {
+                flush_accumulator(&mut accumulator, &mut new_dranges);
+                accumulated_writes = 0;
+                // Number of duplicates proportional to how hot the key is.
+                let duplicates = ((writes as f64 / average).round() as usize).clamp(2, self.theta.max(2));
+                for _ in 0..duplicates {
+                    new_dranges.push(Drange::new(
+                        new_dranges.len(),
+                        vec![Trange::new(interval)],
+                        true,
+                    ));
+                }
+                continue;
+            }
+            accumulator.push(Trange::new(interval));
+            accumulated_writes += writes;
+            if (accumulated_writes as f64) >= target {
+                flush_accumulator(&mut accumulator, &mut new_dranges);
+                accumulated_writes = 0;
+            }
+        }
+        flush_accumulator(&mut accumulator, &mut new_dranges);
+
+        if new_dranges.is_empty() {
+            return;
+        }
+        for (i, d) in new_dranges.iter_mut().enumerate() {
+            d.index = i;
+            d.reset_counters();
+        }
+        self.dranges = new_dranges;
+    }
+
+    /// The key-space boundaries of every Drange (used by the range index and
+    /// persisted in the MANIFEST, Section 4.5).
+    pub fn boundaries(&self) -> Vec<KeyInterval> {
+        self.dranges.iter().map(|d| d.interval()).collect()
+    }
+
+    /// Rebuild a DrangeSet from persisted boundaries (crash recovery).
+    pub fn from_boundaries(range: KeyInterval, theta: usize, gamma: usize, boundaries: &[KeyInterval]) -> Self {
+        if boundaries.is_empty() {
+            return Self::new(range, theta, gamma);
+        }
+        let mut dranges = Vec::with_capacity(boundaries.len());
+        let mut previous: Option<KeyInterval> = None;
+        for (i, interval) in boundaries.iter().enumerate() {
+            let duplicated = previous == Some(*interval);
+            dranges.push(Drange::new(i, Self::split_into_tranges(*interval, gamma), duplicated));
+            previous = Some(*interval);
+        }
+        DrangeSet { range, theta, gamma, dranges, stats: ReorgStats::default(), generation: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set() -> DrangeSet {
+        DrangeSet::new(KeyInterval::new(0, 1000), 8, 4)
+    }
+
+    #[test]
+    fn initial_layout_partitions_the_range() {
+        let s = set();
+        assert_eq!(s.len(), 8);
+        let b = s.boundaries();
+        assert_eq!(b[0].lower, 0);
+        assert_eq!(b.last().unwrap().upper, 1000);
+        for w in b.windows(2) {
+            assert_eq!(w[0].upper, w[1].lower, "Dranges must tile the range without gaps");
+        }
+        // Every key maps to exactly one Drange.
+        for key in [0u64, 1, 499, 999] {
+            assert_eq!(s.candidates_for(key).len(), 1);
+        }
+        assert_eq!(s.generation(), 0);
+    }
+
+    #[test]
+    fn writes_are_routed_and_counted() {
+        let s = set();
+        for key in 0..1000u64 {
+            let d = s.drange_for_write(key, key);
+            s.record_write(d, key);
+        }
+        let total: u64 = s.dranges().iter().map(|d| d.writes()).sum();
+        assert_eq!(total, 1000);
+        // Uniform writes give low imbalance.
+        assert!(s.load_imbalance() < 0.02, "imbalance {}", s.load_imbalance());
+        assert!(!s.needs_reorganization(0.05));
+    }
+
+    #[test]
+    fn skewed_writes_trigger_reorganization() {
+        let mut s = set();
+        // 90% of writes hit key 0.
+        for i in 0..10_000u64 {
+            let key = if i % 10 == 0 { i % 1000 } else { 0 };
+            let d = s.drange_for_write(key, i);
+            s.record_write(d, key);
+        }
+        assert!(s.needs_reorganization(0.05));
+        let before_gen = s.generation();
+        s.reorganize(0.05);
+        assert!(s.generation() > before_gen);
+    }
+
+    #[test]
+    fn major_reorganization_duplicates_hot_point_dranges() {
+        let mut s = DrangeSet::new(KeyInterval::new(0, 1000), 8, 8);
+        // Make key 0 extremely hot so its Trange dominates.
+        for i in 0..20_000u64 {
+            let key = if i % 20 == 0 { 1 + i % 999 } else { 0 };
+            let d = s.drange_for_write(key, i);
+            s.record_write(d, key);
+        }
+        s.force_major_reorganization();
+        let stats = s.stats();
+        assert!(stats.major_reorgs >= 1);
+        assert!(stats.duplicated_dranges >= 2, "hot key should be duplicated, got {stats:?}");
+        // Writes to the hot key can now go to more than one Drange.
+        let candidates = s.candidates_for(0);
+        assert!(candidates.len() >= 2);
+        // Different spread hints pick different duplicates.
+        let a = s.drange_for_write(0, 0);
+        let b = s.drange_for_write(0, 1);
+        assert!(candidates.contains(&a) && candidates.contains(&b));
+        // Boundaries survive a round-trip (crash recovery path).
+        let rebuilt = DrangeSet::from_boundaries(KeyInterval::new(0, 1000), 8, 8, &s.boundaries());
+        assert_eq!(rebuilt.len(), s.len());
+        assert!(rebuilt.stats().duplicated_dranges >= 2);
+    }
+
+    #[test]
+    fn minor_reorganization_moves_tranges_between_neighbours() {
+        let mut s = DrangeSet::new(KeyInterval::new(0, 800), 4, 4);
+        // Drange 2 is hot but not a single point: all its keys are written.
+        let hot = s.dranges()[2].interval();
+        for i in 0..8_000u64 {
+            let key = if i % 4 == 0 { i % 800 } else { hot.lower + i % hot.len() };
+            let d = s.drange_for_write(key, i);
+            s.record_write(d, key);
+        }
+        let tranges_before = s.dranges()[2].tranges.len();
+        s.reorganize(0.05);
+        assert_eq!(s.stats().minor_reorgs, 1);
+        let tranges_after: usize = s.dranges().iter().map(|d| d.tranges.len()).sum();
+        assert_eq!(tranges_after, 16, "Tranges are moved, not created or dropped");
+        assert!(s.dranges().iter().any(|d| d.tranges.len() != tranges_before));
+    }
+
+    #[test]
+    fn tiny_ranges_track_writes() {
+        let t = Trange::new(KeyInterval::new(0, 10));
+        t.record_write(3);
+        t.record_write(3);
+        t.record_write(5);
+        assert_eq!(t.writes(), 3);
+        // The majority sketch tracks the dominant key.
+        assert_eq!(t.hot_key(), Some((3, 1)));
+        t.reset();
+        assert_eq!(t.writes(), 0);
+        assert_eq!(t.hot_key(), None);
+    }
+
+    #[test]
+    fn small_keyspaces_are_handled() {
+        // Fewer keys than θ.
+        let s = DrangeSet::new(KeyInterval::new(0, 3), 8, 4);
+        assert!(s.len() >= 1);
+        for key in 0..3u64 {
+            let d = s.drange_for_write(key, key);
+            s.record_write(d, key);
+        }
+        // Out-of-range keys clamp instead of panicking.
+        let _ = s.drange_for_write(1_000_000, 0);
+    }
+}

@@ -1,0 +1,35 @@
+//! # nova-ltc
+//!
+//! The LSM-tree Component (LTC) — the primary contribution of the Nova-LSM
+//! paper (Section 4).
+//!
+//! An LTC serves ω application ranges. For each range it maintains an
+//! LSM-tree whose Level-0 write path is divided into θ dynamic ranges
+//! (Dranges) so that flushes and Level-0 compactions proceed in parallel, a
+//! lookup index that sends a get to the single memtable or Level-0 SSTable
+//! holding the latest value of its key, and a range index that lets a scan
+//! search only the memtables/L0 tables overlapping its interval. SSTables are
+//! scattered across ρ StoCs chosen with power-of-d, protected by replication
+//! or a parity block, and compactions may be offloaded to StoCs.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod compaction;
+pub mod drange;
+pub mod lookup_index;
+pub mod ltc;
+pub mod migration;
+pub mod placement;
+pub mod range;
+pub mod range_index;
+pub mod version;
+
+pub use drange::{Drange, DrangeSet, ReorgStats, Trange};
+pub use lookup_index::{LookupIndex, TableLocation};
+pub use ltc::{Ltc, LtcStats};
+pub use migration::RangeSnapshot;
+pub use placement::Placer;
+pub use range::{RangeEngine, RangeStats, ScanResult};
+pub use range_index::{RangeIndex, RangeIndexPartition};
+pub use version::{Manifest, ManifestData, Version};

@@ -1,0 +1,239 @@
+//! The lookup index (Section 4.1.1).
+//!
+//! "Each LTC maintains a lookup index to identify the memtable or the SSTable
+//! at Level 0 that contains the latest value of a key." The index maps a user
+//! key to a memtable id; an *indirect* map `MIDToTable` maps that memtable id
+//! to either a live memtable pointer or the Level-0 SSTable it was flushed
+//! into. The indirection lets a flush atomically re-point every key of a
+//! memtable by updating one entry.
+
+use nova_common::{FileNumber, MemtableId};
+use nova_memtable::Memtable;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Where the latest value of a key lives.
+#[derive(Debug, Clone)]
+pub enum TableLocation {
+    /// Still in a memtable.
+    Memtable(Arc<Memtable>),
+    /// Flushed into the Level-0 SSTable with this file number.
+    Level0Sstable(FileNumber),
+    /// The memtable was merged into another memtable during the
+    /// small-memtable merge optimisation (Section 4.2); follow the new id.
+    Merged(MemtableId),
+}
+
+/// The lookup index plus the `MIDToTable` indirection.
+#[derive(Debug, Default)]
+pub struct LookupIndex {
+    /// user key -> memtable id that holds its latest value.
+    keys: RwLock<HashMap<Vec<u8>, MemtableId>>,
+    /// memtable id -> current location of that memtable's data.
+    mid_to_table: RwLock<HashMap<MemtableId, TableLocation>>,
+}
+
+impl LookupIndex {
+    /// Create an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a live memtable so keys can point at it.
+    pub fn register_memtable(&self, memtable: &Arc<Memtable>) {
+        self.mid_to_table.write().insert(memtable.id(), TableLocation::Memtable(Arc::clone(memtable)));
+    }
+
+    /// Record that `key`'s latest value now lives in `mid`. Called by every
+    /// write after appending to the memtable.
+    pub fn update_key(&self, key: &[u8], mid: MemtableId) {
+        self.keys.write().insert(key.to_vec(), mid);
+    }
+
+    /// Look up where the latest value of `key` lives, following `Merged`
+    /// indirections.
+    pub fn lookup(&self, key: &[u8]) -> Option<TableLocation> {
+        let mid = *self.keys.read().get(key)?;
+        let tables = self.mid_to_table.read();
+        let mut current = tables.get(&mid)?;
+        // Follow at most a handful of merge indirections.
+        for _ in 0..16 {
+            match current {
+                TableLocation::Merged(next) => match tables.get(next) {
+                    Some(next_location) => current = next_location,
+                    None => return None,
+                },
+                other => return Some(other.clone()),
+            }
+        }
+        None
+    }
+
+    /// Atomically re-point a flushed memtable at its Level-0 SSTable
+    /// ("a compaction thread … atomically updates the entry of mid in
+    /// MIDToTable to store the file number of the SSTable and marks the
+    /// pointer to the memtable as invalid").
+    pub fn memtable_flushed(&self, mid: MemtableId, file: FileNumber) {
+        self.mid_to_table.write().insert(mid, TableLocation::Level0Sstable(file));
+    }
+
+    /// Record that `mid` was merged into `target` (small-memtable merge).
+    pub fn memtable_merged(&self, mid: MemtableId, target: MemtableId) {
+        self.mid_to_table.write().insert(mid, TableLocation::Merged(target));
+    }
+
+    /// Remove keys that were compacted out of Level 0: "once a SSTable at
+    /// Level 0 is compacted into Level 1, its keys are enumerated. For each
+    /// key, if its entry in MIDToTable identifies the SSTable at Level 0
+    /// then the key is removed from the lookup index."
+    pub fn remove_keys_of_level0_file(&self, keys: &[Vec<u8>], file: FileNumber) {
+        let tables = self.mid_to_table.read();
+        let mut index = self.keys.write();
+        for key in keys {
+            if let Some(mid) = index.get(key) {
+                if let Some(TableLocation::Level0Sstable(f)) = tables.get(mid) {
+                    if *f == file {
+                        index.remove(key);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drop the `MIDToTable` entry of a memtable whose Level-0 file has been
+    /// fully compacted away and whose keys have been removed.
+    pub fn forget_memtable(&self, mid: MemtableId) {
+        self.mid_to_table.write().remove(&mid);
+    }
+
+    /// Number of keys currently indexed (the paper sizes this at ~240 MB for
+    /// its workloads; we expose it for the memory-accounting tests).
+    pub fn len(&self) -> usize {
+        self.keys.read().len()
+    }
+
+    /// True if the index has no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate memory consumed, using the paper's accounting: average key
+    /// size + 4 bytes for the memtable pointer + 8 bytes for the Level-0 file
+    /// number.
+    pub fn approximate_bytes(&self) -> usize {
+        let keys = self.keys.read();
+        keys.iter().map(|(k, _)| k.len() + 4 + 8).sum()
+    }
+
+    /// Remove every key (used when a range is migrated away).
+    pub fn clear(&self) {
+        self.keys.write().clear();
+        self.mid_to_table.write().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nova_common::ValueType;
+    use nova_memtable::LookupResult;
+
+    fn memtable(id: u64) -> Arc<Memtable> {
+        Memtable::new(MemtableId(id), 0, 1 << 20)
+    }
+
+    #[test]
+    fn lookup_follows_memtable_then_sstable() {
+        let index = LookupIndex::new();
+        let m = memtable(1);
+        index.register_memtable(&m);
+        m.add(1, ValueType::Value, b"k", b"v");
+        index.update_key(b"k", MemtableId(1));
+
+        match index.lookup(b"k") {
+            Some(TableLocation::Memtable(found)) => {
+                assert_eq!(found.id(), MemtableId(1));
+                assert_eq!(
+                    found.get(b"k", nova_common::types::MAX_SEQUENCE_NUMBER),
+                    LookupResult::Found(bytes::Bytes::from_static(b"v"))
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // After the flush, the same key resolves to the Level-0 file.
+        index.memtable_flushed(MemtableId(1), 42);
+        match index.lookup(b"k") {
+            Some(TableLocation::Level0Sstable(f)) => assert_eq!(f, 42),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(index.lookup(b"missing").is_none());
+    }
+
+    #[test]
+    fn merged_memtables_are_followed_transitively() {
+        let index = LookupIndex::new();
+        let a = memtable(1);
+        let b = memtable(2);
+        let c = memtable(3);
+        index.register_memtable(&a);
+        index.register_memtable(&b);
+        index.register_memtable(&c);
+        index.update_key(b"k", MemtableId(1));
+        index.memtable_merged(MemtableId(1), MemtableId(2));
+        index.memtable_merged(MemtableId(2), MemtableId(3));
+        match index.lookup(b"k") {
+            Some(TableLocation::Memtable(m)) => assert_eq!(m.id(), MemtableId(3)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn level0_compaction_removes_only_matching_keys() {
+        let index = LookupIndex::new();
+        let m1 = memtable(1);
+        let m2 = memtable(2);
+        index.register_memtable(&m1);
+        index.register_memtable(&m2);
+        index.update_key(b"a", MemtableId(1));
+        index.update_key(b"b", MemtableId(2));
+        index.memtable_flushed(MemtableId(1), 100);
+        index.memtable_flushed(MemtableId(2), 200);
+        assert_eq!(index.len(), 2);
+
+        // Compacting file 100 into Level 1 removes key "a" but key "b" still
+        // points at file 200.
+        index.remove_keys_of_level0_file(&[b"a".to_vec(), b"b".to_vec()], 100);
+        assert!(index.lookup(b"a").is_none());
+        assert!(matches!(index.lookup(b"b"), Some(TableLocation::Level0Sstable(200))));
+        index.forget_memtable(MemtableId(1));
+        assert_eq!(index.len(), 1);
+    }
+
+    #[test]
+    fn newer_write_overrides_older_location() {
+        let index = LookupIndex::new();
+        let old = memtable(1);
+        let new = memtable(2);
+        index.register_memtable(&old);
+        index.register_memtable(&new);
+        index.update_key(b"k", MemtableId(1));
+        index.update_key(b"k", MemtableId(2));
+        match index.lookup(b"k") {
+            Some(TableLocation::Memtable(m)) => assert_eq!(m.id(), MemtableId(2)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn memory_accounting_and_clear() {
+        let index = LookupIndex::new();
+        assert!(index.is_empty());
+        index.update_key(b"0123456789", MemtableId(1));
+        assert_eq!(index.approximate_bytes(), 10 + 12);
+        index.clear();
+        assert!(index.is_empty());
+        assert_eq!(index.approximate_bytes(), 0);
+    }
+}

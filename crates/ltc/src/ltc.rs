@@ -1,0 +1,178 @@
+//! The LSM-tree Component server: a set of ranges served from one node
+//! (Section 3: "An LTC consists of ω ranges. The LTC constructs a LSM-tree
+//! for each range. It processes an application's requests using these
+//! trees.").
+
+use crate::range::RangeEngine;
+use bytes::Bytes;
+use nova_common::{Error, LtcId, NodeId, RangeId, Result};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Aggregated statistics across an LTC's ranges.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LtcStats {
+    /// Writes processed.
+    pub writes: u64,
+    /// Gets processed.
+    pub gets: u64,
+    /// Scans processed.
+    pub scans: u64,
+    /// Gets answered by the lookup index.
+    pub lookup_index_hits: u64,
+    /// Write stalls observed.
+    pub stalls: u64,
+    /// Nanoseconds spent stalled.
+    pub stall_nanos: u64,
+    /// SSTable bytes flushed.
+    pub bytes_flushed: u64,
+    /// Memtables merged instead of flushed.
+    pub memtable_merges: u64,
+    /// Flushes that produced SSTables.
+    pub flushes: u64,
+    /// Compactions installed.
+    pub compactions: u64,
+    /// Drange reorganisations performed.
+    pub reorganizations: u64,
+    /// Number of ranges currently served.
+    pub ranges: usize,
+}
+
+/// One LSM-tree component.
+pub struct Ltc {
+    id: LtcId,
+    node: NodeId,
+    ranges: RwLock<HashMap<RangeId, Arc<RangeEngine>>>,
+}
+
+impl std::fmt::Debug for Ltc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ltc")
+            .field("id", &self.id)
+            .field("node", &self.node)
+            .field("ranges", &self.ranges.read().len())
+            .finish()
+    }
+}
+
+impl Ltc {
+    /// Create an LTC with no ranges assigned yet.
+    pub fn new(id: LtcId, node: NodeId) -> Arc<Self> {
+        Arc::new(Ltc { id, node, ranges: RwLock::new(HashMap::new()) })
+    }
+
+    /// This LTC's id.
+    pub fn id(&self) -> LtcId {
+        self.id
+    }
+
+    /// The node hosting this LTC.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Assign a range to this LTC.
+    pub fn add_range(&self, engine: Arc<RangeEngine>) {
+        self.ranges.write().insert(engine.range_id(), engine);
+    }
+
+    /// Remove a range (e.g. when it migrates away), returning its engine.
+    pub fn remove_range(&self, range: RangeId) -> Option<Arc<RangeEngine>> {
+        self.ranges.write().remove(&range)
+    }
+
+    /// The engine serving `range`.
+    pub fn range(&self, range: RangeId) -> Result<Arc<RangeEngine>> {
+        self.ranges.read().get(&range).cloned().ok_or(Error::WrongRange(range))
+    }
+
+    /// Ranges currently assigned, in id order.
+    pub fn range_ids(&self) -> Vec<RangeId> {
+        let mut ids: Vec<RangeId> = self.ranges.read().keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Number of ranges currently assigned.
+    pub fn num_ranges(&self) -> usize {
+        self.ranges.read().len()
+    }
+
+    /// Write a key-value pair into `range`.
+    pub fn put(&self, range: RangeId, key: &[u8], value: &[u8]) -> Result<()> {
+        self.range(range)?.put(key, value)
+    }
+
+    /// Delete a key from `range`.
+    pub fn delete(&self, range: RangeId, key: &[u8]) -> Result<()> {
+        self.range(range)?.delete(key)
+    }
+
+    /// Get the latest value of a key from `range`.
+    pub fn get(&self, range: RangeId, key: &[u8]) -> Result<Bytes> {
+        self.range(range)?.get(key)
+    }
+
+    /// Scan up to `limit` entries of `range` starting at `start_key`.
+    pub fn scan(&self, range: RangeId, start_key: &[u8], limit: usize) -> Result<Vec<nova_common::types::Entry>> {
+        self.range(range)?.scan(start_key, limit)
+    }
+
+    /// Aggregate statistics across every range.
+    pub fn stats(&self) -> LtcStats {
+        let ranges = self.ranges.read();
+        let mut out = LtcStats { ranges: ranges.len(), ..Default::default() };
+        for engine in ranges.values() {
+            let s = engine.stats();
+            out.writes += s.writes.get();
+            out.gets += s.gets.get();
+            out.scans += s.scans.get();
+            out.lookup_index_hits += s.lookup_index_hits.get();
+            out.stalls += s.stalls.get();
+            out.stall_nanos += s.stall_time.busy_nanos();
+            out.bytes_flushed += s.bytes_flushed.get();
+            out.memtable_merges += s.memtable_merges.get();
+            out.flushes += s.flushes.get();
+            out.compactions += s.compactions.get();
+            out.reorganizations += s.reorganizations.get();
+        }
+        out
+    }
+
+    /// Flush every range (used by graceful shutdown and tests).
+    pub fn flush_all(&self) -> Result<()> {
+        let engines: Vec<Arc<RangeEngine>> = self.ranges.read().values().cloned().collect();
+        for engine in engines {
+            engine.flush_all()?;
+        }
+        Ok(())
+    }
+
+    /// Shut down every range engine's background threads.
+    pub fn shutdown(&self) {
+        let engines: Vec<Arc<RangeEngine>> = self.ranges.read().values().cloned().collect();
+        for engine in engines {
+            engine.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_to_missing_range_fails() {
+        let ltc = Ltc::new(LtcId(0), NodeId(0));
+        assert_eq!(ltc.id(), LtcId(0));
+        assert_eq!(ltc.node(), NodeId(0));
+        assert_eq!(ltc.num_ranges(), 0);
+        assert!(matches!(ltc.put(RangeId(1), b"k", b"v"), Err(Error::WrongRange(_))));
+        assert!(matches!(ltc.get(RangeId(1), b"k"), Err(Error::WrongRange(_))));
+        assert!(matches!(ltc.scan(RangeId(1), b"k", 10), Err(Error::WrongRange(_))));
+        let stats = ltc.stats();
+        assert_eq!(stats.ranges, 0);
+        assert_eq!(stats.writes, 0);
+    }
+}

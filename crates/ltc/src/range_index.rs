@@ -1,0 +1,233 @@
+//! The range index (Section 4.1.2, Figure 7).
+//!
+//! "An LTC maintains a range index to process a scan using only those
+//! memtables and Level 0 SSTables with a range overlapping the scan." Each
+//! partition of the index corresponds to a key interval and lists pointers to
+//! the memtables and Level-0 SSTable file numbers whose contents overlap that
+//! interval. Partitions are split when a Drange reorganisation makes the
+//! layout finer-grained; new partitions inherit the parent's lists.
+
+use nova_common::keyspace::KeyInterval;
+use nova_common::{FileNumber, MemtableId};
+use nova_memtable::Memtable;
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// One partition of the range index.
+#[derive(Debug, Clone)]
+pub struct RangeIndexPartition {
+    /// The key interval this partition covers.
+    pub interval: KeyInterval,
+    /// Memtables overlapping the interval.
+    pub memtables: Vec<Arc<Memtable>>,
+    /// Level-0 SSTables overlapping the interval.
+    pub level0_files: Vec<FileNumber>,
+}
+
+impl RangeIndexPartition {
+    fn new(interval: KeyInterval) -> Self {
+        RangeIndexPartition { interval, memtables: Vec::new(), level0_files: Vec::new() }
+    }
+}
+
+/// The range index: an ordered list of partitions tiling the range.
+#[derive(Debug)]
+pub struct RangeIndex {
+    partitions: RwLock<Vec<RangeIndexPartition>>,
+}
+
+impl RangeIndex {
+    /// Create an index with one partition per interval. Intervals must tile
+    /// the range in order.
+    pub fn new(intervals: &[KeyInterval]) -> Self {
+        // Duplicated Dranges share an interval; the index needs each interval
+        // only once.
+        let mut seen = Vec::new();
+        for &i in intervals {
+            if seen.last() != Some(&i) {
+                seen.push(i);
+            }
+        }
+        if seen.is_empty() {
+            seen.push(KeyInterval::all());
+        }
+        RangeIndex {
+            partitions: RwLock::new(seen.into_iter().map(RangeIndexPartition::new).collect()),
+        }
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.read().len()
+    }
+
+    /// Register a new active memtable covering `interval` ("when a new active
+    /// memtable for a Drange … is created, LTC appends it to all partitions
+    /// of the index that overlap").
+    pub fn add_memtable(&self, interval: KeyInterval, memtable: &Arc<Memtable>) {
+        let mut partitions = self.partitions.write();
+        for p in partitions.iter_mut() {
+            if p.interval.overlaps(&interval) {
+                p.memtables.push(Arc::clone(memtable));
+            }
+        }
+    }
+
+    /// Register a new Level-0 SSTable covering `interval`.
+    pub fn add_level0_file(&self, interval: KeyInterval, file: FileNumber) {
+        let mut partitions = self.partitions.write();
+        for p in partitions.iter_mut() {
+            if p.interval.overlaps(&interval) {
+                p.level0_files.push(file);
+            }
+        }
+    }
+
+    /// Remove a flushed memtable from every partition.
+    pub fn remove_memtable(&self, mid: MemtableId) {
+        let mut partitions = self.partitions.write();
+        for p in partitions.iter_mut() {
+            p.memtables.retain(|m| m.id() != mid);
+        }
+    }
+
+    /// Remove a deleted Level-0 SSTable from every partition.
+    pub fn remove_level0_file(&self, file: FileNumber) {
+        let mut partitions = self.partitions.write();
+        for p in partitions.iter_mut() {
+            p.level0_files.retain(|f| *f != file);
+        }
+    }
+
+    /// The partition containing `key` (by binary search), cloned so the
+    /// caller can search it without holding the index lock.
+    pub fn partition_for(&self, key: u64) -> RangeIndexPartition {
+        let partitions = self.partitions.read();
+        let idx = partitions.partition_point(|p| p.interval.upper <= key);
+        partitions[idx.min(partitions.len() - 1)].clone()
+    }
+
+    /// Every partition overlapping `[start, end)`, in key order.
+    pub fn partitions_overlapping(&self, start: u64, end: u64) -> Vec<RangeIndexPartition> {
+        let query = KeyInterval::new(start, end.max(start));
+        self.partitions.read().iter().filter(|p| p.interval.overlaps(&query)).cloned().collect()
+    }
+
+    /// Split partitions along new Drange boundaries after a reorganisation;
+    /// new partitions inherit the memtables and Level-0 files of the
+    /// partition they came from.
+    pub fn refine(&self, boundaries: &[KeyInterval]) {
+        let mut unique = Vec::new();
+        for &b in boundaries {
+            if unique.last() != Some(&b) {
+                unique.push(b);
+            }
+        }
+        let mut partitions = self.partitions.write();
+        let mut refined: Vec<RangeIndexPartition> = Vec::with_capacity(unique.len());
+        for boundary in unique {
+            // Collect everything overlapping the new boundary.
+            let mut part = RangeIndexPartition::new(boundary);
+            for old in partitions.iter() {
+                if old.interval.overlaps(&boundary) {
+                    for m in &old.memtables {
+                        if !part.memtables.iter().any(|x| x.id() == m.id()) {
+                            part.memtables.push(Arc::clone(m));
+                        }
+                    }
+                    for f in &old.level0_files {
+                        if !part.level0_files.contains(f) {
+                            part.level0_files.push(*f);
+                        }
+                    }
+                }
+            }
+            refined.push(part);
+        }
+        if !refined.is_empty() {
+            *partitions = refined;
+        }
+    }
+
+    /// Approximate memory used by the index (the paper reports ~6 KB).
+    pub fn approximate_bytes(&self) -> usize {
+        let partitions = self.partitions.read();
+        partitions.iter().map(|p| 16 + p.memtables.len() * 8 + p.level0_files.len() * 8).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn memtable(id: u64) -> Arc<Memtable> {
+        Memtable::new(MemtableId(id), 0, 1 << 20)
+    }
+
+    fn intervals(bounds: &[(u64, u64)]) -> Vec<KeyInterval> {
+        bounds.iter().map(|&(a, b)| KeyInterval::new(a, b)).collect()
+    }
+
+    #[test]
+    fn partitions_follow_drange_boundaries() {
+        let index = RangeIndex::new(&intervals(&[(0, 100), (100, 200), (200, 300)]));
+        assert_eq!(index.num_partitions(), 3);
+        assert_eq!(index.partition_for(0).interval, KeyInterval::new(0, 100));
+        assert_eq!(index.partition_for(150).interval, KeyInterval::new(100, 200));
+        // Out-of-range keys clamp to the last partition.
+        assert_eq!(index.partition_for(999).interval, KeyInterval::new(200, 300));
+    }
+
+    #[test]
+    fn duplicated_boundaries_collapse_to_one_partition() {
+        let index = RangeIndex::new(&intervals(&[(0, 1), (0, 1), (1, 100)]));
+        assert_eq!(index.num_partitions(), 2);
+    }
+
+    #[test]
+    fn membership_tracks_memtables_and_files() {
+        let index = RangeIndex::new(&intervals(&[(0, 100), (100, 200)]));
+        let m = memtable(1);
+        index.add_memtable(KeyInterval::new(0, 100), &m);
+        index.add_level0_file(KeyInterval::new(50, 150), 7);
+
+        let p0 = index.partition_for(10);
+        assert_eq!(p0.memtables.len(), 1);
+        assert_eq!(p0.level0_files, vec![7]);
+        let p1 = index.partition_for(150);
+        assert!(p1.memtables.is_empty());
+        assert_eq!(p1.level0_files, vec![7], "file spanning both partitions appears in both");
+
+        index.remove_memtable(MemtableId(1));
+        index.remove_level0_file(7);
+        assert!(index.partition_for(10).memtables.is_empty());
+        assert!(index.partition_for(150).level0_files.is_empty());
+    }
+
+    #[test]
+    fn scans_see_only_overlapping_partitions() {
+        let index = RangeIndex::new(&intervals(&[(0, 100), (100, 200), (200, 300)]));
+        let overlapping = index.partitions_overlapping(50, 150);
+        assert_eq!(overlapping.len(), 2);
+        let all = index.partitions_overlapping(0, 300);
+        assert_eq!(all.len(), 3);
+        let one = index.partitions_overlapping(250, 260);
+        assert_eq!(one.len(), 1);
+    }
+
+    #[test]
+    fn refine_splits_partitions_and_inherits_contents() {
+        let index = RangeIndex::new(&intervals(&[(0, 200)]));
+        let m = memtable(1);
+        index.add_memtable(KeyInterval::new(0, 200), &m);
+        index.add_level0_file(KeyInterval::new(0, 200), 9);
+        index.refine(&intervals(&[(0, 100), (100, 200)]));
+        assert_eq!(index.num_partitions(), 2);
+        for key in [10u64, 150] {
+            let p = index.partition_for(key);
+            assert_eq!(p.memtables.len(), 1, "split partitions inherit memtables");
+            assert_eq!(p.level0_files, vec![9]);
+        }
+        assert!(index.approximate_bytes() > 0);
+    }
+}

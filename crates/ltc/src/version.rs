@@ -1,0 +1,421 @@
+//! The LSM-tree version (which SSTables live at which level) and the MANIFEST
+//! that persists it (Section 4.5).
+//!
+//! The three invariants of Section 4 are enforced here: entries are sorted
+//! within every table, tables at Level 1 and higher are non-overlapping and
+//! sorted by key, and lower levels hold more recent data than higher levels.
+
+use nova_common::keyspace::KeyInterval;
+use nova_common::varint::{
+    decode_length_prefixed_slice, decode_varint32, decode_varint64, put_length_prefixed_slice,
+    put_varint32, put_varint64,
+};
+use nova_common::{checksum, Error, FileNumber, Result, SequenceNumber, StocId};
+use nova_sstable::SstableMeta;
+use nova_stoc::StocClient;
+
+/// The set of SSTables composing one range's LSM-tree, organised by level.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Version {
+    levels: Vec<Vec<SstableMeta>>,
+}
+
+impl Version {
+    /// Create an empty version with `num_levels` levels.
+    pub fn new(num_levels: usize) -> Self {
+        Version { levels: vec![Vec::new(); num_levels.max(2)] }
+    }
+
+    /// Number of levels.
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Install a new table at its level. Tables at Level 1+ are kept sorted
+    /// by smallest key.
+    pub fn add_table(&mut self, meta: SstableMeta) {
+        let level = meta.level as usize;
+        while self.levels.len() <= level {
+            self.levels.push(Vec::new());
+        }
+        self.levels[level].push(meta);
+        if level > 0 {
+            self.levels[level].sort_by(|a, b| a.smallest.cmp(&b.smallest));
+        }
+    }
+
+    /// Remove a table by level and file number, returning its metadata.
+    pub fn remove_table(&mut self, level: usize, file_number: FileNumber) -> Option<SstableMeta> {
+        let tables = self.levels.get_mut(level)?;
+        let pos = tables.iter().position(|t| t.file_number == file_number)?;
+        Some(tables.remove(pos))
+    }
+
+    /// The tables at `level`.
+    pub fn level_tables(&self, level: usize) -> &[SstableMeta] {
+        self.levels.get(level).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Total data bytes at `level`.
+    pub fn level_bytes(&self, level: usize) -> u64 {
+        self.level_tables(level).iter().map(|t| t.data_size).sum()
+    }
+
+    /// Number of tables across all levels.
+    pub fn num_tables(&self) -> usize {
+        self.levels.iter().map(|l| l.len()).sum()
+    }
+
+    /// Total data bytes across all levels.
+    pub fn total_bytes(&self) -> u64 {
+        (0..self.levels.len()).map(|l| self.level_bytes(l)).sum()
+    }
+
+    /// The deepest level that currently holds any table.
+    pub fn max_populated_level(&self) -> usize {
+        self.levels.iter().rposition(|l| !l.is_empty()).unwrap_or(0)
+    }
+
+    /// Tables at `level` overlapping the user-key range `[smallest, largest]`.
+    pub fn overlapping(&self, level: usize, smallest: &[u8], largest: &[u8]) -> Vec<SstableMeta> {
+        self.level_tables(level).iter().filter(|t| t.overlaps(smallest, largest)).cloned().collect()
+    }
+
+    /// Tables that might contain `user_key` at `level`. At Level 0 every
+    /// overlapping table matters; at higher levels at most one table can
+    /// contain the key (they are sorted and disjoint).
+    pub fn tables_for_key(&self, level: usize, user_key: &[u8]) -> Vec<SstableMeta> {
+        if level == 0 {
+            return self
+                .level_tables(0)
+                .iter()
+                .filter(|t| t.contains_key(user_key))
+                .cloned()
+                .collect();
+        }
+        let tables = self.level_tables(level);
+        let idx = tables.partition_point(|t| t.largest.as_slice() < user_key);
+        match tables.get(idx) {
+            Some(t) if t.contains_key(user_key) => vec![t.clone()],
+            _ => Vec::new(),
+        }
+    }
+
+    /// Pick the level with the highest ratio of actual size to expected size
+    /// (LevelDB's leveled-compaction heuristic, Section 2.1). Returns `None`
+    /// when no level exceeds its budget. Level 0 is scored by byte size
+    /// against the stall threshold.
+    pub fn pick_compaction_level(&self, max_bytes_for_level: impl Fn(usize) -> u64) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        // The bottom-most level never needs compaction into a deeper level
+        // unless a deeper level exists in the configured tree.
+        for level in 0..self.levels.len().saturating_sub(1) {
+            let actual = self.level_bytes(level);
+            if actual == 0 {
+                continue;
+            }
+            let expected = max_bytes_for_level(level).max(1);
+            let score = actual as f64 / expected as f64;
+            if score >= 1.0 && best.map(|(_, s)| score > s).unwrap_or(true) {
+                best = Some((level, score));
+            }
+        }
+        best.map(|(l, _)| l)
+    }
+
+    /// Every table in the version, in level order.
+    pub fn all_tables(&self) -> Vec<SstableMeta> {
+        self.levels.iter().flatten().cloned().collect()
+    }
+
+    /// All StoCs referenced by any table of this version.
+    pub fn referenced_stocs(&self) -> Vec<StocId> {
+        let mut stocs: Vec<StocId> = self.all_tables().iter().flat_map(|t| t.stocs()).collect();
+        stocs.sort();
+        stocs.dedup();
+        stocs
+    }
+
+    /// Serialize the version.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_varint32(&mut out, self.levels.len() as u32);
+        let tables = self.all_tables();
+        put_varint32(&mut out, tables.len() as u32);
+        for t in tables {
+            let encoded = t.encode();
+            put_length_prefixed_slice(&mut out, &encoded);
+        }
+        out
+    }
+
+    /// Deserialize a version, returning it and the bytes consumed.
+    pub fn decode(src: &[u8]) -> Result<(Version, usize)> {
+        let mut n = 0;
+        let (num_levels, c) = decode_varint32(&src[n..])?;
+        n += c;
+        let (count, c) = decode_varint32(&src[n..])?;
+        n += c;
+        let mut version = Version::new(num_levels as usize);
+        for _ in 0..count {
+            let (encoded, c) = decode_length_prefixed_slice(&src[n..])?;
+            let (meta, _) = SstableMeta::decode(encoded)?;
+            version.add_table(meta);
+            n += c;
+        }
+        Ok((version, n))
+    }
+}
+
+/// Everything the MANIFEST records about a range: the LSM-tree version, the
+/// Drange boundaries ("It also appends the Dranges and Tranges to the
+/// MANIFEST file"), file-number and sequence-number high-water marks.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ManifestData {
+    /// The LSM-tree version.
+    pub version: Version,
+    /// The Drange boundaries at the time of the snapshot.
+    pub drange_boundaries: Vec<KeyInterval>,
+    /// Next SSTable file number to allocate.
+    pub next_file_number: FileNumber,
+    /// Highest sequence number issued.
+    pub last_sequence: SequenceNumber,
+}
+
+impl ManifestData {
+    /// Serialize the manifest snapshot.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        let version = self.version.encode();
+        put_length_prefixed_slice(&mut out, &version);
+        put_varint32(&mut out, self.drange_boundaries.len() as u32);
+        for b in &self.drange_boundaries {
+            put_varint64(&mut out, b.lower);
+            put_varint64(&mut out, b.upper);
+        }
+        put_varint64(&mut out, self.next_file_number);
+        put_varint64(&mut out, self.last_sequence);
+        out
+    }
+
+    /// Deserialize a manifest snapshot.
+    pub fn decode(src: &[u8]) -> Result<ManifestData> {
+        let mut n = 0;
+        let (version_bytes, c) = decode_length_prefixed_slice(&src[n..])?;
+        let (version, _) = Version::decode(version_bytes)?;
+        n += c;
+        let (count, c) = decode_varint32(&src[n..])?;
+        n += c;
+        let mut drange_boundaries = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let (lower, a) = decode_varint64(&src[n..])?;
+            n += a;
+            let (upper, b) = decode_varint64(&src[n..])?;
+            n += b;
+            drange_boundaries.push(KeyInterval::new(lower, upper.max(lower)));
+        }
+        let (next_file_number, c) = decode_varint64(&src[n..])?;
+        n += c;
+        let (last_sequence, _) = decode_varint64(&src[n..])?;
+        Ok(ManifestData { version, drange_boundaries, next_file_number, last_sequence })
+    }
+}
+
+/// The MANIFEST file of one range, persisted at a StoC. Each save appends a
+/// checksummed full snapshot; recovery replays the log and keeps the last
+/// valid snapshot, so a torn final record falls back to the previous one.
+#[derive(Debug, Clone)]
+pub struct Manifest {
+    stoc: StocId,
+    name: String,
+}
+
+impl Manifest {
+    /// Create a manifest handle for `range_name` stored on `stoc`.
+    pub fn new(stoc: StocId, range_name: &str) -> Self {
+        Manifest { stoc, name: format!("manifest/{range_name}") }
+    }
+
+    /// The StoC holding this manifest.
+    pub fn stoc(&self) -> StocId {
+        self.stoc
+    }
+
+    /// Append a snapshot.
+    pub fn save(&self, client: &StocClient, data: &ManifestData) -> Result<()> {
+        let payload = data.encode();
+        let mut record = Vec::with_capacity(payload.len() + 8);
+        record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        record.extend_from_slice(&checksum::mask(checksum::crc32c(&payload)).to_le_bytes());
+        record.extend_from_slice(&payload);
+        client.append_log(self.stoc, &self.name, &record)
+    }
+
+    /// Load the most recent valid snapshot, or `None` if the manifest does
+    /// not exist yet.
+    pub fn load(&self, client: &StocClient) -> Result<Option<ManifestData>> {
+        let buffer = match client.read_log(self.stoc, &self.name) {
+            Ok(b) => b,
+            Err(Error::UnknownFile(_)) => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        let mut offset = 0usize;
+        let mut last: Option<ManifestData> = None;
+        while offset + 8 <= buffer.len() {
+            let size = u32::from_le_bytes(buffer[offset..offset + 4].try_into().expect("4 bytes")) as usize;
+            if size == 0 || offset + 8 + size > buffer.len() {
+                break;
+            }
+            let stored_crc =
+                checksum::unmask(u32::from_le_bytes(buffer[offset + 4..offset + 8].try_into().expect("4 bytes")));
+            let payload = &buffer[offset + 8..offset + 8 + size];
+            if checksum::crc32c(payload) == stored_crc {
+                if let Ok(data) = ManifestData::decode(payload) {
+                    last = Some(data);
+                }
+            }
+            offset += 8 + size;
+        }
+        Ok(last)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(file: FileNumber, level: u32, smallest: &str, largest: &str, size: u64) -> SstableMeta {
+        SstableMeta {
+            file_number: file,
+            level,
+            smallest: smallest.as_bytes().to_vec(),
+            largest: largest.as_bytes().to_vec(),
+            num_entries: 10,
+            data_size: size,
+            fragments: vec![],
+            meta_blocks: vec![],
+            parity: None,
+            drange: None,
+        }
+    }
+
+    #[test]
+    fn add_remove_and_query_tables() {
+        let mut v = Version::new(4);
+        v.add_table(table(1, 0, "a", "m", 100));
+        v.add_table(table(2, 0, "k", "z", 100));
+        v.add_table(table(3, 1, "n", "t", 100));
+        v.add_table(table(4, 1, "a", "m", 100));
+        assert_eq!(v.num_tables(), 4);
+        assert_eq!(v.level_bytes(0), 200);
+        assert_eq!(v.total_bytes(), 400);
+        assert_eq!(v.max_populated_level(), 1);
+        // Level 1 is sorted by smallest key after insertion.
+        let l1: Vec<_> = v.level_tables(1).iter().map(|t| t.file_number).collect();
+        assert_eq!(l1, vec![4, 3]);
+        // Key lookup: L0 returns all overlapping, L1 at most one.
+        assert_eq!(v.tables_for_key(0, b"l").len(), 2);
+        assert_eq!(v.tables_for_key(0, b"zz").len(), 0);
+        assert_eq!(v.tables_for_key(1, b"p").len(), 1);
+        assert_eq!(v.tables_for_key(1, b"p")[0].file_number, 3);
+        assert_eq!(v.tables_for_key(1, b"zz").len(), 0);
+        // Overlap queries.
+        assert_eq!(v.overlapping(1, b"a", b"z").len(), 2);
+        assert_eq!(v.overlapping(1, b"u", b"z").len(), 0);
+        let removed = v.remove_table(0, 1).unwrap();
+        assert_eq!(removed.file_number, 1);
+        assert!(v.remove_table(0, 1).is_none());
+        assert_eq!(v.num_tables(), 3);
+    }
+
+    #[test]
+    fn compaction_level_picking() {
+        let mut v = Version::new(4);
+        // Level budgets: L0=100, L1=1000, L2=10000.
+        let budget = |level: usize| match level {
+            0 => 100u64,
+            1 => 1000,
+            _ => 10_000,
+        };
+        assert_eq!(v.pick_compaction_level(budget), None);
+        v.add_table(table(1, 0, "a", "m", 150));
+        assert_eq!(v.pick_compaction_level(budget), Some(0));
+        // A more over-budget level wins.
+        v.add_table(table(2, 1, "a", "m", 5000));
+        assert_eq!(v.pick_compaction_level(budget), Some(1));
+        // The bottom-most configured level is never picked.
+        let mut bottom = Version::new(2);
+        bottom.add_table(table(3, 1, "a", "m", 1 << 40));
+        assert_eq!(bottom.pick_compaction_level(|_| 1), None);
+    }
+
+    #[test]
+    fn version_round_trips() {
+        let mut v = Version::new(3);
+        v.add_table(table(1, 0, "a", "m", 100));
+        v.add_table(table(2, 2, "k", "z", 300));
+        let (decoded, n) = Version::decode(&v.encode()).unwrap();
+        assert_eq!(n, v.encode().len());
+        assert_eq!(decoded.num_tables(), 2);
+        assert_eq!(decoded.level_bytes(2), 300);
+    }
+
+    #[test]
+    fn manifest_data_round_trips() {
+        let mut v = Version::new(3);
+        v.add_table(table(7, 1, "b", "c", 42));
+        let data = ManifestData {
+            version: v,
+            drange_boundaries: vec![KeyInterval::new(0, 10), KeyInterval::new(10, 100)],
+            next_file_number: 88,
+            last_sequence: 1234,
+        };
+        let decoded = ManifestData::decode(&data.encode()).unwrap();
+        assert_eq!(decoded, data);
+    }
+
+    #[test]
+    fn manifest_save_and_load_via_stoc() {
+        use nova_common::config::DiskConfig;
+        use nova_common::NodeId;
+        use nova_fabric::Fabric;
+        use nova_stoc::{SimDisk, StocDirectory, StocServer, StorageMedium};
+        use std::sync::Arc;
+
+        let fabric = Fabric::with_defaults(2);
+        let directory = StocDirectory::new();
+        let medium: Arc<dyn StorageMedium> = Arc::new(SimDisk::new(DiskConfig {
+            bandwidth_bytes_per_sec: u64::MAX / 2,
+            seek_micros: 0,
+            accounting_only: true,
+        }));
+        let server = StocServer::start(StocId(0), NodeId(1), &fabric, directory.clone(), medium, 2, 1);
+        let client = StocClient::new(fabric.endpoint(NodeId(0)), directory);
+
+        let manifest = Manifest::new(StocId(0), "range-0");
+        assert_eq!(manifest.stoc(), StocId(0));
+        assert!(manifest.load(&client).unwrap().is_none());
+
+        let mut version = Version::new(3);
+        version.add_table(table(1, 0, "a", "b", 10));
+        let snap1 = ManifestData {
+            version: version.clone(),
+            drange_boundaries: vec![KeyInterval::new(0, 50)],
+            next_file_number: 2,
+            last_sequence: 10,
+        };
+        manifest.save(&client, &snap1).unwrap();
+        version.add_table(table(2, 1, "c", "d", 20));
+        let snap2 = ManifestData {
+            version,
+            drange_boundaries: vec![KeyInterval::new(0, 25), KeyInterval::new(25, 50)],
+            next_file_number: 3,
+            last_sequence: 20,
+        };
+        manifest.save(&client, &snap2).unwrap();
+
+        let loaded = manifest.load(&client).unwrap().unwrap();
+        assert_eq!(loaded, snap2, "the most recent snapshot wins");
+        server.stop();
+    }
+}

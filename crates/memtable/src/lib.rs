@@ -1,0 +1,21 @@
+//! # nova-memtable
+//!
+//! The in-memory write buffer used by Nova-LSM's LTC and by the monolithic
+//! baselines: a concurrent skiplist keyed by internal keys, with generation
+//! ids used during Drange reorganisation (Section 4.1 of the paper) and the
+//! per-memtable unique ids referenced by the lookup index (Section 4.1.1).
+//!
+//! The skiplist follows LevelDB's design: lock-free readers, serialized
+//! writers, arena-lifetime nodes. The paper's observation that "with large
+//! memory, it is beneficial to have many small memtables instead of a few
+//! large ones" (Section 2.1) is why an LTC instantiates many of these — one
+//! active memtable per Drange — rather than one large one.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod memtable;
+pub mod skiplist;
+
+pub use memtable::{KeyStatistics, LookupResult, Memtable, MemtableIterator};
+pub use skiplist::{SkipList, SkipListIter};

@@ -1,0 +1,394 @@
+//! The memtable: an in-memory, sorted buffer of recent writes.
+//!
+//! Every memtable has a unique [`MemtableId`] (`mid`) referenced by the
+//! lookup index (Section 4.1.1) and a *generation id* that is incremented on
+//! every Drange reorganisation (Section 4.1): flushing respects generation
+//! order so that a get can stop at the first level containing its key.
+
+use crate::skiplist::SkipList;
+use bytes::Bytes;
+use nova_common::types::{compare_internal_keys, pack_trailer, unpack_trailer, Entry};
+use nova_common::{MemtableId, SequenceNumber, Value, ValueType};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Outcome of a point lookup against a memtable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LookupResult {
+    /// The key's most recent version at or below the snapshot is a value.
+    Found(Value),
+    /// The key's most recent version at or below the snapshot is a tombstone.
+    Deleted,
+    /// The memtable contains no version of the key at or below the snapshot.
+    NotFound,
+}
+
+/// An in-memory write buffer backed by a concurrent skiplist.
+///
+/// Entries are keyed by encoded internal key (user key + inverted sequence
+/// trailer) so iteration yields versions of the same user key newest-first.
+pub struct Memtable {
+    id: MemtableId,
+    generation: u64,
+    table: SkipList,
+    target_size: usize,
+    immutable: AtomicBool,
+}
+
+impl std::fmt::Debug for Memtable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Memtable")
+            .field("id", &self.id)
+            .field("generation", &self.generation)
+            .field("entries", &self.table.len())
+            .field("bytes", &self.table.approximate_bytes())
+            .field("immutable", &self.immutable.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+fn internal_compare(a: &[u8], b: &[u8]) -> std::cmp::Ordering {
+    compare_internal_keys(a, b)
+}
+
+/// Encode the skiplist key for (user key, sequence, type).
+fn encode_skiplist_key(user_key: &[u8], seq: SequenceNumber, vt: ValueType) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(user_key.len() + 8);
+    buf.extend_from_slice(user_key);
+    buf.extend_from_slice(&pack_trailer(seq, vt).to_le_bytes());
+    buf
+}
+
+fn decode_skiplist_key(key: &[u8]) -> (&[u8], SequenceNumber, ValueType) {
+    let (user, trailer) = key.split_at(key.len() - 8);
+    let trailer = u64::from_le_bytes(trailer.try_into().expect("8-byte trailer"));
+    let (seq, vt) = unpack_trailer(trailer);
+    (user, seq, vt)
+}
+
+impl Memtable {
+    /// Create an empty memtable.
+    ///
+    /// `target_size` is the paper's τ: once `approximate_bytes` reaches it the
+    /// owning Drange marks the memtable immutable and rotates to a new one.
+    pub fn new(id: MemtableId, generation: u64, target_size: usize) -> Arc<Self> {
+        Arc::new(Memtable {
+            id,
+            generation,
+            table: SkipList::new(internal_compare),
+            target_size,
+            immutable: AtomicBool::new(false),
+        })
+    }
+
+    /// This memtable's unique id.
+    pub fn id(&self) -> MemtableId {
+        self.id
+    }
+
+    /// The reorganisation generation this memtable belongs to.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The configured target size (τ).
+    pub fn target_size(&self) -> usize {
+        self.target_size
+    }
+
+    /// Insert a write (put or delete).
+    pub fn add(&self, seq: SequenceNumber, vt: ValueType, user_key: &[u8], value: &[u8]) {
+        debug_assert!(!self.is_immutable(), "writes must not target an immutable memtable");
+        let key = encode_skiplist_key(user_key, seq, vt);
+        let inserted = self.table.insert(&key, value);
+        debug_assert!(inserted, "sequence numbers make internal keys unique");
+    }
+
+    /// Insert an [`Entry`].
+    pub fn add_entry(&self, entry: &Entry) {
+        self.add(entry.sequence, entry.value_type, &entry.key, &entry.value);
+    }
+
+    /// Look up the newest version of `user_key` visible at `snapshot`.
+    pub fn get(&self, user_key: &[u8], snapshot: SequenceNumber) -> LookupResult {
+        // Seek to the first entry for this user key at or below the snapshot.
+        let seek_key = encode_skiplist_key(user_key, snapshot, ValueType::Value);
+        let mut it = self.table.iter();
+        it.seek(&seek_key);
+        if !it.valid() {
+            return LookupResult::NotFound;
+        }
+        let (found_user, _seq, vt) = decode_skiplist_key(it.key());
+        if found_user != user_key {
+            return LookupResult::NotFound;
+        }
+        match vt {
+            ValueType::Value => LookupResult::Found(Bytes::copy_from_slice(it.value())),
+            ValueType::Deletion => LookupResult::Deleted,
+        }
+    }
+
+    /// Number of entries (all versions).
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// True if the memtable holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Approximate memory consumed by the memtable.
+    pub fn approximate_bytes(&self) -> usize {
+        self.table.approximate_bytes()
+    }
+
+    /// True once the memtable has reached its target size.
+    pub fn is_full(&self) -> bool {
+        self.approximate_bytes() >= self.target_size
+    }
+
+    /// Mark the memtable immutable. Returns `false` if it already was.
+    pub fn mark_immutable(&self) -> bool {
+        !self.immutable.swap(true, Ordering::SeqCst)
+    }
+
+    /// True if the memtable has been marked immutable.
+    pub fn is_immutable(&self) -> bool {
+        self.immutable.load(Ordering::SeqCst)
+    }
+
+    /// Iterate over every version in internal-key order.
+    pub fn iter(&self) -> MemtableIterator<'_> {
+        MemtableIterator { inner: self.table.iter(), started: false }
+    }
+
+    /// The number of distinct user keys, and the smallest/largest user keys.
+    ///
+    /// Used by the flush path (Section 4.2): memtables with fewer unique keys
+    /// than the flush threshold are merged rather than written to a StoC.
+    pub fn key_statistics(&self) -> KeyStatistics {
+        let mut it = self.table.iter();
+        it.seek_to_first();
+        let mut unique = 0usize;
+        let mut smallest: Option<Vec<u8>> = None;
+        let mut largest: Option<Vec<u8>> = None;
+        let mut prev: Option<Vec<u8>> = None;
+        while it.valid() {
+            let (user, _, _) = decode_skiplist_key(it.key());
+            if prev.as_deref() != Some(user) {
+                unique += 1;
+                prev = Some(user.to_vec());
+                if smallest.is_none() {
+                    smallest = Some(user.to_vec());
+                }
+                largest = Some(user.to_vec());
+            }
+            it.next();
+        }
+        KeyStatistics { unique_keys: unique, smallest, largest }
+    }
+}
+
+/// Statistics about the user keys stored in a memtable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyStatistics {
+    /// Number of distinct user keys.
+    pub unique_keys: usize,
+    /// Smallest user key, if any.
+    pub smallest: Option<Vec<u8>>,
+    /// Largest user key, if any.
+    pub largest: Option<Vec<u8>>,
+}
+
+/// Iterator over a memtable yielding decoded entries in internal-key order
+/// (ascending user key, newest version first).
+pub struct MemtableIterator<'a> {
+    inner: crate::skiplist::SkipListIter<'a>,
+    started: bool,
+}
+
+impl MemtableIterator<'_> {
+    /// Position at the first entry whose user key is `>= user_key`.
+    pub fn seek(&mut self, user_key: &[u8]) {
+        let seek_key = encode_skiplist_key(user_key, nova_common::types::MAX_SEQUENCE_NUMBER, ValueType::Value);
+        self.inner.seek(&seek_key);
+        self.started = true;
+    }
+
+    /// Position at the first entry.
+    pub fn seek_to_first(&mut self) {
+        self.inner.seek_to_first();
+        self.started = true;
+    }
+
+    /// True if positioned at an entry.
+    pub fn valid(&self) -> bool {
+        self.started && self.inner.valid()
+    }
+
+    /// The entry at the current position. Panics if invalid.
+    pub fn entry(&self) -> Entry {
+        let (user, seq, vt) = decode_skiplist_key(self.inner.key());
+        Entry {
+            key: Bytes::copy_from_slice(user),
+            sequence: seq,
+            value_type: vt,
+            value: Bytes::copy_from_slice(self.inner.value()),
+        }
+    }
+
+    /// Advance to the next entry.
+    pub fn next(&mut self) {
+        self.inner.next();
+    }
+}
+
+impl<'a> Iterator for MemtableIterator<'a> {
+    type Item = Entry;
+
+    fn next(&mut self) -> Option<Entry> {
+        if !self.started {
+            self.seek_to_first();
+        }
+        if !self.inner.valid() {
+            return None;
+        }
+        let e = self.entry();
+        self.inner.next();
+        Some(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nova_common::types::MAX_SEQUENCE_NUMBER;
+
+    fn table() -> Arc<Memtable> {
+        Memtable::new(MemtableId(1), 0, 1 << 20)
+    }
+
+    #[test]
+    fn put_get_latest_version() {
+        let m = table();
+        m.add(1, ValueType::Value, b"k", b"v1");
+        m.add(5, ValueType::Value, b"k", b"v2");
+        m.add(3, ValueType::Value, b"k", b"ignored");
+        assert_eq!(m.get(b"k", MAX_SEQUENCE_NUMBER), LookupResult::Found(Bytes::from_static(b"v2")));
+        // Snapshot reads see the version visible at that sequence.
+        assert_eq!(m.get(b"k", 4), LookupResult::Found(Bytes::from_static(b"ignored")));
+        assert_eq!(m.get(b"k", 2), LookupResult::Found(Bytes::from_static(b"v1")));
+        assert_eq!(m.get(b"missing", MAX_SEQUENCE_NUMBER), LookupResult::NotFound);
+    }
+
+    #[test]
+    fn deletes_produce_tombstones() {
+        let m = table();
+        m.add(1, ValueType::Value, b"k", b"v");
+        m.add(2, ValueType::Deletion, b"k", b"");
+        assert_eq!(m.get(b"k", MAX_SEQUENCE_NUMBER), LookupResult::Deleted);
+        assert_eq!(m.get(b"k", 1), LookupResult::Found(Bytes::from_static(b"v")));
+    }
+
+    #[test]
+    fn adjacent_keys_do_not_interfere() {
+        let m = table();
+        m.add(1, ValueType::Value, b"aa", b"1");
+        m.add(2, ValueType::Value, b"ab", b"2");
+        assert_eq!(m.get(b"a", MAX_SEQUENCE_NUMBER), LookupResult::NotFound);
+        assert_eq!(m.get(b"aa", MAX_SEQUENCE_NUMBER), LookupResult::Found(Bytes::from_static(b"1")));
+        assert_eq!(m.get(b"aaa", MAX_SEQUENCE_NUMBER), LookupResult::NotFound);
+    }
+
+    #[test]
+    fn size_accounting_and_full_detection() {
+        let m = Memtable::new(MemtableId(2), 0, 512);
+        assert!(!m.is_full());
+        for i in 0..10u64 {
+            m.add(i, ValueType::Value, format!("key-{i}").as_bytes(), &[0u8; 32]);
+        }
+        assert!(m.is_full());
+        assert_eq!(m.len(), 10);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn immutability_flag_is_sticky() {
+        let m = table();
+        assert!(!m.is_immutable());
+        assert!(m.mark_immutable());
+        assert!(m.is_immutable());
+        assert!(!m.mark_immutable());
+    }
+
+    #[test]
+    fn iterator_yields_sorted_entries() {
+        let m = table();
+        m.add(3, ValueType::Value, b"b", b"b3");
+        m.add(1, ValueType::Value, b"a", b"a1");
+        m.add(2, ValueType::Value, b"b", b"b2");
+        let entries: Vec<Entry> = m.iter().collect();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[0].key, Bytes::from_static(b"a"));
+        // Versions of "b" appear newest-first.
+        assert_eq!(entries[1].sequence, 3);
+        assert_eq!(entries[2].sequence, 2);
+    }
+
+    #[test]
+    fn iterator_seek_by_user_key() {
+        let m = table();
+        for (i, k) in ["a", "c", "e"].iter().enumerate() {
+            m.add(i as u64 + 1, ValueType::Value, k.as_bytes(), b"v");
+        }
+        let mut it = m.iter();
+        it.seek(b"b");
+        assert!(it.valid());
+        assert_eq!(it.entry().key, Bytes::from_static(b"c"));
+        it.seek(b"z");
+        assert!(!it.valid());
+    }
+
+    #[test]
+    fn key_statistics_counts_unique_user_keys() {
+        let m = table();
+        m.add(1, ValueType::Value, b"a", b"");
+        m.add(2, ValueType::Value, b"a", b"");
+        m.add(3, ValueType::Value, b"b", b"");
+        let stats = m.key_statistics();
+        assert_eq!(stats.unique_keys, 2);
+        assert_eq!(stats.smallest.as_deref(), Some(&b"a"[..]));
+        assert_eq!(stats.largest.as_deref(), Some(&b"b"[..]));
+
+        let empty = table();
+        let stats = empty.key_statistics();
+        assert_eq!(stats.unique_keys, 0);
+        assert!(stats.smallest.is_none());
+    }
+
+    #[test]
+    fn generation_and_id_are_preserved() {
+        let m = Memtable::new(MemtableId(42), 7, 1024);
+        assert_eq!(m.id(), MemtableId(42));
+        assert_eq!(m.generation(), 7);
+        assert_eq!(m.target_size(), 1024);
+    }
+
+    #[test]
+    fn concurrent_writers_and_readers() {
+        let m = Memtable::new(MemtableId(1), 0, usize::MAX);
+        let m2 = Arc::clone(&m);
+        let writer = std::thread::spawn(move || {
+            for i in 0..10_000u64 {
+                m2.add(i + 1, ValueType::Value, format!("k{:06}", i % 1000).as_bytes(), b"v");
+            }
+        });
+        for _ in 0..50 {
+            let _ = m.get(b"k000500", MAX_SEQUENCE_NUMBER);
+        }
+        writer.join().unwrap();
+        assert_eq!(m.len(), 10_000);
+        assert_eq!(m.key_statistics().unique_keys, 1000);
+    }
+}

@@ -1,0 +1,532 @@
+//! A concurrent skiplist in the style of LevelDB's `SkipList`.
+//!
+//! * Writers are internally serialized by a mutex (the memtable above this
+//!   structure allows many concurrent writers; the paper relies on multiple
+//!   *active memtables* — one per Drange — to reduce contention on this
+//!   mutex, see Section 4.1).
+//! * Readers never take a lock: they traverse `AtomicPtr` links with acquire
+//!   loads, which is safe because nodes are never unlinked or freed until the
+//!   whole list is dropped.
+//!
+//! Keys are arbitrary byte strings compared with a caller-provided ordering
+//! function; the memtable stores encoded internal keys so that versions of
+//! the same user key are adjacent and ordered newest-first.
+
+use parking_lot::Mutex;
+use std::cmp::Ordering as CmpOrdering;
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+
+/// Maximum tower height. With branching factor 4 this supports hundreds of
+/// millions of entries.
+const MAX_HEIGHT: usize = 12;
+/// Probability 1/BRANCHING of growing a tower by one level.
+const BRANCHING: u32 = 4;
+
+struct Node {
+    key: Box<[u8]>,
+    value: Box<[u8]>,
+    next: Vec<AtomicPtr<Node>>,
+}
+
+impl Node {
+    fn new(key: &[u8], value: &[u8], height: usize) -> *mut Node {
+        let mut next = Vec::with_capacity(height);
+        for _ in 0..height {
+            next.push(AtomicPtr::new(std::ptr::null_mut()));
+        }
+        Box::into_raw(Box::new(Node { key: key.into(), value: value.into(), next }))
+    }
+
+    fn head() -> *mut Node {
+        Node::new(&[], &[], MAX_HEIGHT)
+    }
+
+    fn next(&self, level: usize) -> *mut Node {
+        self.next[level].load(Ordering::Acquire)
+    }
+
+    fn set_next(&self, level: usize, node: *mut Node) {
+        self.next[level].store(node, Ordering::Release);
+    }
+}
+
+/// Comparison function over encoded keys.
+pub type CompareFn = fn(&[u8], &[u8]) -> CmpOrdering;
+
+/// The skiplist. See the module docs for the concurrency contract.
+pub struct SkipList {
+    head: *mut Node,
+    max_height: AtomicUsize,
+    compare: CompareFn,
+    write_lock: Mutex<SplitMix64>,
+    len: AtomicUsize,
+    approximate_bytes: AtomicUsize,
+}
+
+// SAFETY: nodes are immutable once linked, never freed until drop, and all
+// link updates use release stores paired with acquire loads.
+unsafe impl Send for SkipList {}
+unsafe impl Sync for SkipList {}
+
+/// A tiny deterministic PRNG used to pick tower heights; seeded per list so
+/// behaviour is reproducible in tests.
+#[derive(Debug)]
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+impl SkipList {
+    /// Create an empty list ordered by `compare`.
+    pub fn new(compare: CompareFn) -> Self {
+        SkipList {
+            head: Node::head(),
+            max_height: AtomicUsize::new(1),
+            compare,
+            write_lock: Mutex::new(SplitMix64(0x9e37_79b9_7f4a_7c15)),
+            len: AtomicUsize::new(0),
+            approximate_bytes: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// True if the list holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate memory consumed by keys and values.
+    pub fn approximate_bytes(&self) -> usize {
+        self.approximate_bytes.load(Ordering::Relaxed)
+    }
+
+    fn random_height(rng: &mut SplitMix64) -> usize {
+        let mut height = 1;
+        while height < MAX_HEIGHT && (rng.next() % BRANCHING as u64) == 0 {
+            height += 1;
+        }
+        height
+    }
+
+    /// Insert an entry. Keys must be unique (the memtable guarantees this by
+    /// embedding a unique sequence number in every key); inserting a
+    /// duplicate key is rejected with `false`.
+    pub fn insert(&self, key: &[u8], value: &[u8]) -> bool {
+        let mut rng = self.write_lock.lock();
+
+        let mut prev = [std::ptr::null_mut::<Node>(); MAX_HEIGHT];
+        let found = self.find_greater_or_equal(key, Some(&mut prev));
+        // SAFETY: found is either null or a valid node pointer owned by us.
+        if !found.is_null() && (self.compare)(unsafe { &(*found).key }, key) == CmpOrdering::Equal {
+            return false;
+        }
+
+        let height = Self::random_height(&mut rng);
+        let current_max = self.max_height.load(Ordering::Relaxed);
+        if height > current_max {
+            for p in prev.iter_mut().take(height).skip(current_max) {
+                *p = self.head;
+            }
+            // Only the single writer (holding the lock) mutates max_height.
+            self.max_height.store(height, Ordering::Relaxed);
+        }
+
+        let node = Node::new(key, value, height);
+        for level in 0..height {
+            // SAFETY: prev[level] is head or a node found during the search;
+            // both are valid and never freed while the list lives.
+            unsafe {
+                (*node).set_next(level, (*prev[level]).next(level));
+                (*prev[level]).set_next(level, node);
+            }
+        }
+
+        self.len.fetch_add(1, Ordering::Relaxed);
+        self.approximate_bytes.fetch_add(key.len() + value.len() + 64, Ordering::Relaxed);
+        true
+    }
+
+    /// True if an entry with exactly this key exists.
+    pub fn contains(&self, key: &[u8]) -> bool {
+        let node = self.find_greater_or_equal(key, None);
+        // SAFETY: node is valid or null.
+        !node.is_null() && (self.compare)(unsafe { &(*node).key }, key) == CmpOrdering::Equal
+    }
+
+    /// Find the first node whose key is `>= key`; optionally record the
+    /// predecessor at every level (used by insert).
+    fn find_greater_or_equal(&self, key: &[u8], mut prev: Option<&mut [*mut Node; MAX_HEIGHT]>) -> *mut Node {
+        let mut node = self.head;
+        let mut level = self.max_height.load(Ordering::Relaxed) - 1;
+        loop {
+            // SAFETY: `node` is always head or a linked node.
+            let next = unsafe { (*node).next(level) };
+            let advance = if next.is_null() {
+                false
+            } else {
+                // SAFETY: next is a linked node.
+                (self.compare)(unsafe { &(*next).key }, key) == CmpOrdering::Less
+            };
+            if advance {
+                node = next;
+            } else {
+                if let Some(prev) = prev.as_deref_mut() {
+                    prev[level] = node;
+                }
+                if level == 0 {
+                    return next;
+                }
+                level -= 1;
+            }
+        }
+    }
+
+    /// Find the last node whose key is strictly `< key` (head if none).
+    fn find_less_than(&self, key: &[u8]) -> *mut Node {
+        let mut node = self.head;
+        let mut level = self.max_height.load(Ordering::Relaxed) - 1;
+        loop {
+            // SAFETY: node valid; see above.
+            let next = unsafe { (*node).next(level) };
+            let advance = if next.is_null() {
+                false
+            } else {
+                (self.compare)(unsafe { &(*next).key }, key) == CmpOrdering::Less
+            };
+            if advance {
+                node = next;
+            } else if level == 0 {
+                return node;
+            } else {
+                level -= 1;
+            }
+        }
+    }
+
+    /// Find the last node in the list (head if empty).
+    fn find_last(&self) -> *mut Node {
+        let mut node = self.head;
+        let mut level = self.max_height.load(Ordering::Relaxed) - 1;
+        loop {
+            // SAFETY: node valid; see above.
+            let next = unsafe { (*node).next(level) };
+            if !next.is_null() {
+                node = next;
+            } else if level == 0 {
+                return node;
+            } else {
+                level -= 1;
+            }
+        }
+    }
+
+    /// Create an iterator positioned before the first entry.
+    pub fn iter(&self) -> SkipListIter<'_> {
+        SkipListIter { list: self, node: std::ptr::null_mut() }
+    }
+}
+
+impl Drop for SkipList {
+    fn drop(&mut self) {
+        // Walk the level-0 chain and free every node, then the head.
+        // SAFETY: we have exclusive access during drop.
+        unsafe {
+            let mut node = (*self.head).next(0);
+            while !node.is_null() {
+                let next = (*node).next(0);
+                drop(Box::from_raw(node));
+                node = next;
+            }
+            drop(Box::from_raw(self.head));
+        }
+    }
+}
+
+/// An iterator over the skiplist. Valid positions point at a node; the
+/// iterator is invalid before `seek*` / after running off either end.
+pub struct SkipListIter<'a> {
+    list: &'a SkipList,
+    node: *mut Node,
+}
+
+impl<'a> SkipListIter<'a> {
+    /// True if the iterator is positioned at an entry.
+    pub fn valid(&self) -> bool {
+        !self.node.is_null()
+    }
+
+    /// The key at the current position. Panics if invalid.
+    pub fn key(&self) -> &[u8] {
+        assert!(self.valid(), "iterator is not positioned at an entry");
+        // SAFETY: node is valid while the list lives and never mutated.
+        unsafe { &(*self.node).key }
+    }
+
+    /// The value at the current position. Panics if invalid.
+    pub fn value(&self) -> &[u8] {
+        assert!(self.valid(), "iterator is not positioned at an entry");
+        // SAFETY: as above.
+        unsafe { &(*self.node).value }
+    }
+
+    /// Position at the first entry whose key is `>= target`.
+    pub fn seek(&mut self, target: &[u8]) {
+        self.node = self.list.find_greater_or_equal(target, None);
+    }
+
+    /// Position at the first entry.
+    pub fn seek_to_first(&mut self) {
+        // SAFETY: head is always valid.
+        self.node = unsafe { (*self.list.head).next(0) };
+    }
+
+    /// Position at the last entry.
+    pub fn seek_to_last(&mut self) {
+        let last = self.list.find_last();
+        self.node = if last == self.list.head { std::ptr::null_mut() } else { last };
+    }
+
+    /// Advance to the next entry.
+    pub fn next(&mut self) {
+        assert!(self.valid(), "cannot advance an invalid iterator");
+        // SAFETY: node valid.
+        self.node = unsafe { (*self.node).next(0) };
+    }
+
+    /// Retreat to the previous entry (O(log n): re-searches from the top).
+    pub fn prev(&mut self) {
+        assert!(self.valid(), "cannot retreat an invalid iterator");
+        let key = self.key().to_vec();
+        let prev = self.list.find_less_than(&key);
+        self.node = if prev == self.list.head { std::ptr::null_mut() } else { prev };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+
+    fn bytewise(a: &[u8], b: &[u8]) -> CmpOrdering {
+        a.cmp(b)
+    }
+
+    #[test]
+    fn empty_list() {
+        let list = SkipList::new(bytewise);
+        assert!(list.is_empty());
+        assert_eq!(list.len(), 0);
+        assert!(!list.contains(b"x"));
+        let mut it = list.iter();
+        assert!(!it.valid());
+        it.seek_to_first();
+        assert!(!it.valid());
+        it.seek_to_last();
+        assert!(!it.valid());
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let list = SkipList::new(bytewise);
+        assert!(list.insert(b"b", b"2"));
+        assert!(list.insert(b"a", b"1"));
+        assert!(list.insert(b"c", b"3"));
+        // Duplicate keys are rejected.
+        assert!(!list.insert(b"b", b"other"));
+        assert_eq!(list.len(), 3);
+        assert!(list.contains(b"a"));
+        assert!(list.contains(b"b"));
+        assert!(!list.contains(b"d"));
+        assert!(list.approximate_bytes() > 0);
+
+        let mut it = list.iter();
+        it.seek_to_first();
+        assert_eq!(it.key(), b"a");
+        it.next();
+        assert_eq!(it.key(), b"b");
+        assert_eq!(it.value(), b"2");
+        it.next();
+        assert_eq!(it.key(), b"c");
+        it.next();
+        assert!(!it.valid());
+    }
+
+    #[test]
+    fn seek_and_prev() {
+        let list = SkipList::new(bytewise);
+        for k in ["a", "c", "e", "g"] {
+            list.insert(k.as_bytes(), b"");
+        }
+        let mut it = list.iter();
+        it.seek(b"d");
+        assert_eq!(it.key(), b"e");
+        it.prev();
+        assert_eq!(it.key(), b"c");
+        it.seek(b"a");
+        assert_eq!(it.key(), b"a");
+        it.prev();
+        assert!(!it.valid());
+        it.seek_to_last();
+        assert_eq!(it.key(), b"g");
+        it.seek(b"zzz");
+        assert!(!it.valid());
+    }
+
+    #[test]
+    fn ordering_matches_model_for_random_input() {
+        let list = SkipList::new(bytewise);
+        let mut model = BTreeMap::new();
+        let mut state = 1u64;
+        for _ in 0..2000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let key = format!("{:08}", state % 10_000);
+            let value = format!("v{state}");
+            if !model.contains_key(&key) {
+                model.insert(key.clone(), value.clone());
+                assert!(list.insert(key.as_bytes(), value.as_bytes()));
+            }
+        }
+        assert_eq!(list.len(), model.len());
+        let mut it = list.iter();
+        it.seek_to_first();
+        for (k, v) in &model {
+            assert!(it.valid());
+            assert_eq!(it.key(), k.as_bytes());
+            assert_eq!(it.value(), v.as_bytes());
+            it.next();
+        }
+        assert!(!it.valid());
+    }
+
+    #[test]
+    fn concurrent_readers_during_writes() {
+        let list = Arc::new(SkipList::new(bytewise));
+        let writer = {
+            let list = Arc::clone(&list);
+            std::thread::spawn(move || {
+                for i in 0..20_000u64 {
+                    let key = format!("{i:08}");
+                    list.insert(key.as_bytes(), b"v");
+                }
+            })
+        };
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let list = Arc::clone(&list);
+                std::thread::spawn(move || {
+                    for _ in 0..200 {
+                        let mut it = list.iter();
+                        it.seek_to_first();
+                        let mut prev: Option<Vec<u8>> = None;
+                        let mut count = 0;
+                        while it.valid() {
+                            let k = it.key().to_vec();
+                            if let Some(p) = &prev {
+                                assert!(p < &k, "iteration must stay sorted under concurrency");
+                            }
+                            prev = Some(k);
+                            count += 1;
+                            it.next();
+                        }
+                        assert!(count <= 20_000);
+                    }
+                })
+            })
+            .collect();
+        writer.join().unwrap();
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(list.len(), 20_000);
+    }
+
+    #[test]
+    fn concurrent_writers_from_many_threads() {
+        let list = Arc::new(SkipList::new(bytewise));
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let list = Arc::clone(&list);
+                std::thread::spawn(move || {
+                    for i in 0..5_000u64 {
+                        let key = format!("{t:02}-{i:08}");
+                        assert!(list.insert(key.as_bytes(), b"v"));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(list.len(), 20_000);
+        // Verify full sorted order.
+        let mut it = list.iter();
+        it.seek_to_first();
+        let mut prev: Option<Vec<u8>> = None;
+        let mut n = 0;
+        while it.valid() {
+            let k = it.key().to_vec();
+            if let Some(p) = &prev {
+                assert!(p < &k);
+            }
+            prev = Some(k);
+            n += 1;
+            it.next();
+        }
+        assert_eq!(n, 20_000);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_matches_btreemap_model(keys in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..16), 1..200)) {
+            let list = SkipList::new(bytewise);
+            let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+            for (i, k) in keys.iter().enumerate() {
+                let v = vec![i as u8];
+                if !model.contains_key(k) {
+                    model.insert(k.clone(), v.clone());
+                    prop_assert!(list.insert(k, &v));
+                } else {
+                    prop_assert!(!list.insert(k, &v));
+                }
+            }
+            prop_assert_eq!(list.len(), model.len());
+            // Forward iteration agrees with the model.
+            let mut it = list.iter();
+            it.seek_to_first();
+            for (k, v) in &model {
+                prop_assert!(it.valid());
+                prop_assert_eq!(it.key(), &k[..]);
+                prop_assert_eq!(it.value(), &v[..]);
+                it.next();
+            }
+            prop_assert!(!it.valid());
+            // Seek agrees with the model's range query.
+            for k in &keys {
+                let mut it = list.iter();
+                it.seek(k);
+                let expected = model.range(k.clone()..).next();
+                match expected {
+                    Some((ek, _)) => {
+                        prop_assert!(it.valid());
+                        prop_assert_eq!(it.key(), &ek[..]);
+                    }
+                    None => prop_assert!(!it.valid()),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,401 @@
+//! Prefix-compressed blocks with restart points — the unit of storage inside
+//! an SSTable, in the same format LevelDB uses.
+//!
+//! A block is a sequence of records
+//! `[shared][non_shared][value_len][key_delta][value]` (all lengths varint)
+//! followed by an array of restart offsets and the restart count, and finally
+//! a masked CRC32C of everything before it. Keys are encoded internal keys.
+
+use nova_common::checksum;
+use nova_common::types::compare_internal_keys;
+use nova_common::varint::{
+    decode_fixed32, decode_varint32, put_fixed32, put_varint32,
+};
+use nova_common::{Error, Result};
+
+/// Number of keys between restart points.
+pub const RESTART_INTERVAL: usize = 16;
+
+/// Builds a block from keys added in sorted (internal-key) order.
+#[derive(Debug)]
+pub struct BlockBuilder {
+    buffer: Vec<u8>,
+    restarts: Vec<u32>,
+    counter: usize,
+    last_key: Vec<u8>,
+    num_entries: usize,
+}
+
+impl Default for BlockBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BlockBuilder {
+    /// Create an empty builder.
+    pub fn new() -> Self {
+        BlockBuilder {
+            buffer: Vec::new(),
+            restarts: vec![0],
+            counter: 0,
+            last_key: Vec::new(),
+            num_entries: 0,
+        }
+    }
+
+    /// Append an entry; `key` must be `>=` every previously added key.
+    pub fn add(&mut self, key: &[u8], value: &[u8]) {
+        debug_assert!(
+            self.num_entries == 0 || key >= self.last_key.as_slice() || {
+                // Internal keys may compare differently from raw bytes only in
+                // the trailer; enforce the internal-key order instead.
+                compare_internal_keys(&self.last_key, key) != std::cmp::Ordering::Greater
+            },
+            "keys must be added to a block in sorted order"
+        );
+        let mut shared = 0;
+        if self.counter < RESTART_INTERVAL {
+            let min_len = self.last_key.len().min(key.len());
+            while shared < min_len && self.last_key[shared] == key[shared] {
+                shared += 1;
+            }
+        } else {
+            self.restarts.push(self.buffer.len() as u32);
+            self.counter = 0;
+        }
+        let non_shared = key.len() - shared;
+        put_varint32(&mut self.buffer, shared as u32);
+        put_varint32(&mut self.buffer, non_shared as u32);
+        put_varint32(&mut self.buffer, value.len() as u32);
+        self.buffer.extend_from_slice(&key[shared..]);
+        self.buffer.extend_from_slice(value);
+        self.last_key.clear();
+        self.last_key.extend_from_slice(key);
+        self.counter += 1;
+        self.num_entries += 1;
+    }
+
+    /// Estimated size of the finished block.
+    pub fn current_size_estimate(&self) -> usize {
+        self.buffer.len() + self.restarts.len() * 4 + 4 + 4
+    }
+
+    /// Number of entries added so far.
+    pub fn num_entries(&self) -> usize {
+        self.num_entries
+    }
+
+    /// True if nothing has been added.
+    pub fn is_empty(&self) -> bool {
+        self.num_entries == 0
+    }
+
+    /// Finish the block, returning its serialized bytes (including the
+    /// restart array and trailing checksum).
+    pub fn finish(mut self) -> Vec<u8> {
+        for &r in &self.restarts {
+            put_fixed32(&mut self.buffer, r);
+        }
+        put_fixed32(&mut self.buffer, self.restarts.len() as u32);
+        let crc = checksum::mask(checksum::crc32c(&self.buffer));
+        put_fixed32(&mut self.buffer, crc);
+        self.buffer
+    }
+}
+
+/// A decoded, immutable block.
+#[derive(Debug, Clone)]
+pub struct Block {
+    data: Vec<u8>,
+    restarts_offset: usize,
+    num_restarts: usize,
+}
+
+impl Block {
+    /// Parse a serialized block, verifying its checksum.
+    pub fn decode(data: &[u8]) -> Result<Block> {
+        if data.len() < 12 {
+            return Err(Error::Corruption("block too small".into()));
+        }
+        let payload_len = data.len() - 4;
+        let stored_crc = checksum::unmask(decode_fixed32(&data[payload_len..])?);
+        let actual_crc = checksum::crc32c(&data[..payload_len]);
+        if stored_crc != actual_crc {
+            return Err(Error::Corruption(format!(
+                "block checksum mismatch: stored {stored_crc:#x}, computed {actual_crc:#x}"
+            )));
+        }
+        let num_restarts = decode_fixed32(&data[payload_len - 4..])? as usize;
+        let restarts_offset = payload_len
+            .checked_sub(4 + num_restarts * 4)
+            .ok_or_else(|| Error::Corruption("restart array larger than block".into()))?;
+        Ok(Block { data: data[..payload_len].to_vec(), restarts_offset, num_restarts })
+    }
+
+    fn restart_point(&self, index: usize) -> usize {
+        let off = self.restarts_offset + index * 4;
+        decode_fixed32(&self.data[off..]).expect("restart offsets validated at decode time") as usize
+    }
+
+    /// Number of restart points.
+    pub fn num_restarts(&self) -> usize {
+        self.num_restarts
+    }
+
+    /// Create an iterator over the block.
+    pub fn iter(&self) -> BlockIterator<'_> {
+        BlockIterator {
+            block: self,
+            offset: 0,
+            key: Vec::new(),
+            value_range: (0, 0),
+            valid: false,
+        }
+    }
+}
+
+/// Iterator over a decoded block. Keys are the raw (internal) keys stored in
+/// the block; interpreting them is up to the caller.
+#[derive(Debug)]
+pub struct BlockIterator<'a> {
+    block: &'a Block,
+    /// Offset of the *next* record to parse.
+    offset: usize,
+    key: Vec<u8>,
+    value_range: (usize, usize),
+    valid: bool,
+}
+
+impl<'a> BlockIterator<'a> {
+    /// True if positioned at an entry.
+    pub fn valid(&self) -> bool {
+        self.valid
+    }
+
+    /// The key at the current position.
+    pub fn key(&self) -> &[u8] {
+        debug_assert!(self.valid);
+        &self.key
+    }
+
+    /// The value at the current position.
+    pub fn value(&self) -> &[u8] {
+        debug_assert!(self.valid);
+        &self.block.data[self.value_range.0..self.value_range.1]
+    }
+
+    /// Position at the first entry.
+    pub fn seek_to_first(&mut self) -> Result<()> {
+        self.offset = 0;
+        self.key.clear();
+        self.valid = false;
+        self.parse_next()
+    }
+
+    /// Position at the first entry whose key is `>= target` in internal-key
+    /// order.
+    pub fn seek(&mut self, target: &[u8]) -> Result<()> {
+        // Binary search restart points for the last restart whose key < target.
+        let mut left = 0usize;
+        let mut right = self.block.num_restarts.saturating_sub(1);
+        while left < right {
+            let mid = (left + right + 1) / 2;
+            let offset = self.block.restart_point(mid);
+            let key = self.key_at_restart(offset)?;
+            if compare_internal_keys(&key, target) == std::cmp::Ordering::Less {
+                left = mid;
+            } else {
+                right = mid - 1;
+            }
+        }
+        self.offset = self.block.restart_point(left);
+        self.key.clear();
+        self.valid = false;
+        // Linear scan forward.
+        loop {
+            self.parse_next()?;
+            if !self.valid {
+                return Ok(());
+            }
+            if compare_internal_keys(&self.key, target) != std::cmp::Ordering::Less {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Advance to the next entry.
+    pub fn next(&mut self) -> Result<()> {
+        debug_assert!(self.valid);
+        self.parse_next()
+    }
+
+    fn key_at_restart(&self, offset: usize) -> Result<Vec<u8>> {
+        let data = &self.block.data[..self.block.restarts_offset];
+        let mut cursor = offset;
+        let (shared, n) = decode_varint32(&data[cursor..])?;
+        if shared != 0 {
+            return Err(Error::Corruption("restart point entry has shared bytes".into()));
+        }
+        cursor += n;
+        let (non_shared, n) = decode_varint32(&data[cursor..])?;
+        cursor += n;
+        let (_value_len, n) = decode_varint32(&data[cursor..])?;
+        cursor += n;
+        if cursor + non_shared as usize > data.len() {
+            return Err(Error::Corruption("restart entry key extends past block".into()));
+        }
+        Ok(data[cursor..cursor + non_shared as usize].to_vec())
+    }
+
+    fn parse_next(&mut self) -> Result<()> {
+        let data = &self.block.data[..self.block.restarts_offset];
+        if self.offset >= data.len() {
+            self.valid = false;
+            return Ok(());
+        }
+        let mut cursor = self.offset;
+        let (shared, n) = decode_varint32(&data[cursor..])?;
+        cursor += n;
+        let (non_shared, n) = decode_varint32(&data[cursor..])?;
+        cursor += n;
+        let (value_len, n) = decode_varint32(&data[cursor..])?;
+        cursor += n;
+        let shared = shared as usize;
+        let non_shared = non_shared as usize;
+        let value_len = value_len as usize;
+        if shared > self.key.len() || cursor + non_shared + value_len > data.len() {
+            return Err(Error::Corruption("malformed block entry".into()));
+        }
+        self.key.truncate(shared);
+        self.key.extend_from_slice(&data[cursor..cursor + non_shared]);
+        cursor += non_shared;
+        self.value_range = (cursor, cursor + value_len);
+        cursor += value_len;
+        self.offset = cursor;
+        self.valid = true;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nova_common::types::{InternalKey, ValueType};
+    use proptest::prelude::*;
+
+    fn ikey(user: &[u8], seq: u64) -> Vec<u8> {
+        InternalKey::new(user, seq, ValueType::Value).encoded().to_vec()
+    }
+
+    #[test]
+    fn empty_block_round_trips() {
+        let block = Block::decode(&BlockBuilder::new().finish()).unwrap();
+        let mut it = block.iter();
+        it.seek_to_first().unwrap();
+        assert!(!it.valid());
+        it.seek(&ikey(b"x", 1)).unwrap();
+        assert!(!it.valid());
+    }
+
+    #[test]
+    fn build_and_iterate() {
+        let mut b = BlockBuilder::new();
+        let keys: Vec<Vec<u8>> = (0..100).map(|i| ikey(format!("key-{i:04}").as_bytes(), 1)).collect();
+        for (i, k) in keys.iter().enumerate() {
+            b.add(k, format!("value-{i}").as_bytes());
+        }
+        assert_eq!(b.num_entries(), 100);
+        assert!(b.current_size_estimate() > 0);
+        let block = Block::decode(&b.finish()).unwrap();
+        assert!(block.num_restarts() >= 100 / RESTART_INTERVAL);
+        let mut it = block.iter();
+        it.seek_to_first().unwrap();
+        for (i, k) in keys.iter().enumerate() {
+            assert!(it.valid());
+            assert_eq!(it.key(), &k[..]);
+            assert_eq!(it.value(), format!("value-{i}").as_bytes());
+            it.next().unwrap();
+        }
+        assert!(!it.valid());
+    }
+
+    #[test]
+    fn seek_finds_exact_and_following_keys() {
+        let mut b = BlockBuilder::new();
+        for i in (0..100).step_by(2) {
+            b.add(&ikey(format!("k{i:04}").as_bytes(), 5), b"v");
+        }
+        let block = Block::decode(&b.finish()).unwrap();
+        let mut it = block.iter();
+        // Exact key.
+        it.seek(&ikey(b"k0010", 5)).unwrap();
+        assert!(it.valid());
+        assert_eq!(&it.key()[..5], b"k0010");
+        // Key between entries seeks to the next one.
+        it.seek(&ikey(b"k0011", 5)).unwrap();
+        assert!(it.valid());
+        assert_eq!(&it.key()[..5], b"k0012");
+        // Past the end.
+        it.seek(&ikey(b"k9999", 5)).unwrap();
+        assert!(!it.valid());
+        // Before the start.
+        it.seek(&ikey(b"a", 5)).unwrap();
+        assert!(it.valid());
+        assert_eq!(&it.key()[..5], b"k0000");
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut b = BlockBuilder::new();
+        b.add(&ikey(b"k", 1), b"v");
+        let mut data = b.finish();
+        // Flip a byte in the payload.
+        data[0] ^= 0xff;
+        assert!(matches!(Block::decode(&data), Err(Error::Corruption(_))));
+        // Truncated block.
+        assert!(Block::decode(&data[..4]).is_err());
+    }
+
+    #[test]
+    fn same_user_key_versions_are_ordered_newest_first() {
+        let mut b = BlockBuilder::new();
+        b.add(&ikey(b"k", 9), b"newest");
+        b.add(&ikey(b"k", 5), b"middle");
+        b.add(&ikey(b"k", 1), b"oldest");
+        let block = Block::decode(&b.finish()).unwrap();
+        let mut it = block.iter();
+        // Seeking at a snapshot of 6 should skip the version at 9.
+        it.seek(&ikey(b"k", 6)).unwrap();
+        assert!(it.valid());
+        assert_eq!(it.value(), b"middle");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn prop_round_trip(user_keys in proptest::collection::btree_set(proptest::collection::vec(any::<u8>(), 1..24), 1..120)) {
+            let keys: Vec<Vec<u8>> = user_keys.iter().map(|k| ikey(k, 7)).collect();
+            let mut b = BlockBuilder::new();
+            for (i, k) in keys.iter().enumerate() {
+                b.add(k, format!("{i}").as_bytes());
+            }
+            let block = Block::decode(&b.finish()).unwrap();
+            let mut it = block.iter();
+            it.seek_to_first().unwrap();
+            let mut count = 0;
+            while it.valid() {
+                prop_assert_eq!(it.key(), &keys[count][..]);
+                count += 1;
+                it.next().unwrap();
+            }
+            prop_assert_eq!(count, keys.len());
+            // Every key can be found by seeking for it.
+            for k in &keys {
+                it.seek(k).unwrap();
+                prop_assert!(it.valid());
+                prop_assert_eq!(it.key(), &k[..]);
+            }
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Bloom filters over user keys.
+//!
+//! "Each SSTable contains a bloom filter and LTC caches them in its memory. A
+//! get skips a SSTable if the referenced key does not exist in its bloom
+//! filter." (Section 4.1.1). The filter is the classic double-hashing scheme
+//! LevelDB uses, tuned by bits-per-key.
+
+/// A bloom filter builder/matcher over user keys.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BloomFilter {
+    bits: Vec<u8>,
+    num_probes: u32,
+}
+
+fn bloom_hash(key: &[u8]) -> u32 {
+    // A 32-bit FNV-1a variant with a final avalanche; deterministic across
+    // platforms, which matters because filters are persisted.
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in key {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h ^= h >> 16;
+    h = h.wrapping_mul(0x85eb_ca6b);
+    h ^= h >> 13;
+    h
+}
+
+impl BloomFilter {
+    /// Build a filter for `keys` using `bits_per_key` bits per key.
+    pub fn build(keys: &[&[u8]], bits_per_key: usize) -> BloomFilter {
+        let bits_per_key = bits_per_key.max(1);
+        // k = bits_per_key * ln(2), clamped like LevelDB.
+        let num_probes = ((bits_per_key as f64 * 0.69) as u32).clamp(1, 30);
+        let mut num_bits = keys.len() * bits_per_key;
+        if num_bits < 64 {
+            num_bits = 64;
+        }
+        let num_bytes = (num_bits + 7) / 8;
+        let num_bits = num_bytes * 8;
+        let mut bits = vec![0u8; num_bytes];
+        for key in keys {
+            let mut h = bloom_hash(key);
+            let delta = h.rotate_right(17) | 1;
+            for _ in 0..num_probes {
+                let bit = (h as usize) % num_bits;
+                bits[bit / 8] |= 1 << (bit % 8);
+                h = h.wrapping_add(delta);
+            }
+        }
+        BloomFilter { bits, num_probes }
+    }
+
+    /// True if `key` *may* have been added; false only if it definitely was
+    /// not.
+    pub fn may_contain(&self, key: &[u8]) -> bool {
+        if self.bits.is_empty() {
+            return true;
+        }
+        let num_bits = self.bits.len() * 8;
+        let mut h = bloom_hash(key);
+        let delta = h.rotate_right(17) | 1;
+        for _ in 0..self.num_probes {
+            let bit = (h as usize) % num_bits;
+            if self.bits[bit / 8] & (1 << (bit % 8)) == 0 {
+                return false;
+            }
+            h = h.wrapping_add(delta);
+        }
+        true
+    }
+
+    /// Serialize the filter (bit array followed by the probe count).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = self.bits.clone();
+        out.push(self.num_probes as u8);
+        out
+    }
+
+    /// Deserialize a filter produced by [`BloomFilter::encode`].
+    pub fn decode(data: &[u8]) -> Option<BloomFilter> {
+        if data.is_empty() {
+            return None;
+        }
+        let (bits, probes) = data.split_at(data.len() - 1);
+        let num_probes = probes[0] as u32;
+        if num_probes == 0 || num_probes > 30 {
+            return None;
+        }
+        Some(BloomFilter { bits: bits.to_vec(), num_probes })
+    }
+
+    /// Size of the encoded filter in bytes.
+    pub fn encoded_len(&self) -> usize {
+        self.bits.len() + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn keys(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("user-key-{i:06}").into_bytes()).collect()
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let owned = keys(10_000);
+        let refs: Vec<&[u8]> = owned.iter().map(|k| k.as_slice()).collect();
+        let filter = BloomFilter::build(&refs, 10);
+        for k in &owned {
+            assert!(filter.may_contain(k), "bloom filters must never produce false negatives");
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_reasonable() {
+        let owned = keys(10_000);
+        let refs: Vec<&[u8]> = owned.iter().map(|k| k.as_slice()).collect();
+        let filter = BloomFilter::build(&refs, 10);
+        let mut false_positives = 0;
+        let probes = 10_000;
+        for i in 0..probes {
+            let missing = format!("missing-key-{i:06}");
+            if filter.may_contain(missing.as_bytes()) {
+                false_positives += 1;
+            }
+        }
+        let rate = false_positives as f64 / probes as f64;
+        // 10 bits/key gives ~1% in theory; allow generous slack.
+        assert!(rate < 0.05, "false positive rate too high: {rate}");
+    }
+
+    #[test]
+    fn empty_filter_is_valid() {
+        let filter = BloomFilter::build(&[], 10);
+        // An empty filter simply never reports presence.
+        assert!(!filter.may_contain(b"anything"));
+        let decoded = BloomFilter::decode(&filter.encode()).unwrap();
+        assert_eq!(decoded, filter);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let owned = keys(100);
+        let refs: Vec<&[u8]> = owned.iter().map(|k| k.as_slice()).collect();
+        let filter = BloomFilter::build(&refs, 8);
+        let encoded = filter.encode();
+        assert_eq!(encoded.len(), filter.encoded_len());
+        let decoded = BloomFilter::decode(&encoded).unwrap();
+        assert_eq!(decoded, filter);
+        for k in &owned {
+            assert!(decoded.may_contain(k));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(BloomFilter::decode(&[]).is_none());
+        assert!(BloomFilter::decode(&[0, 0, 0, 200]).is_none());
+        assert!(BloomFilter::decode(&[0, 0, 0, 0]).is_none());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_never_false_negative(
+            key_set in proptest::collection::btree_set(proptest::collection::vec(any::<u8>(), 1..32), 1..200),
+            bits_per_key in 1usize..20,
+        ) {
+            let owned: Vec<Vec<u8>> = key_set.into_iter().collect();
+            let refs: Vec<&[u8]> = owned.iter().map(|k| k.as_slice()).collect();
+            let filter = BloomFilter::build(&refs, bits_per_key);
+            for k in &owned {
+                prop_assert!(filter.may_contain(k));
+            }
+            let decoded = BloomFilter::decode(&filter.encode()).unwrap();
+            for k in &owned {
+                prop_assert!(decoded.may_contain(k));
+            }
+        }
+    }
+}

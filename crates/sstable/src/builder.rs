@@ -1,0 +1,425 @@
+//! The SSTable builder.
+//!
+//! A table is built from entries added in internal-key order and produces:
+//!
+//! * ρ *data fragments* — contiguous runs of data blocks, each fragment
+//!   destined for a different StoC (Section 4.4);
+//! * one *metadata block* containing the index block (whose values are
+//!   [`BlockLocation`]s into the fragments), the bloom filter over user keys,
+//!   and table properties; the LTC replicates this small block when the
+//!   availability policy asks for it (Section 4.4.1).
+//!
+//! The physical placement of fragments is decided later by the LTC's
+//! placement policy; the builder only decides the *logical* split.
+
+use crate::block::BlockBuilder;
+use crate::bloom::BloomFilter;
+use crate::handle::BlockLocation;
+use nova_common::types::Entry;
+use nova_common::varint::{
+    decode_fixed32, decode_fixed64, decode_length_prefixed_slice, decode_varint64, put_fixed32,
+    put_fixed64, put_length_prefixed_slice, put_varint64,
+};
+use nova_common::{Error, Result};
+
+/// Magic number terminating the metadata block ("NOVALSM!").
+pub const META_MAGIC: u64 = 0x4e4f_5641_4c53_4d21;
+
+/// Tuning parameters for table construction.
+#[derive(Debug, Clone, Copy)]
+pub struct TableOptions {
+    /// Target uncompressed size of a data block.
+    pub block_size: usize,
+    /// Bloom filter bits per user key (0 disables the filter).
+    pub bloom_bits_per_key: usize,
+    /// Number of fragments (ρ) to split the data blocks across.
+    pub num_fragments: usize,
+}
+
+impl Default for TableOptions {
+    fn default() -> Self {
+        TableOptions { block_size: 4096, bloom_bits_per_key: 10, num_fragments: 1 }
+    }
+}
+
+/// Properties describing a finished table, persisted inside the metadata
+/// block.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TableProperties {
+    /// Number of entries (versions).
+    pub num_entries: u64,
+    /// Total bytes across all data fragments.
+    pub data_size: u64,
+    /// Number of data blocks.
+    pub num_data_blocks: u64,
+    /// Smallest user key.
+    pub smallest: Vec<u8>,
+    /// Largest user key.
+    pub largest: Vec<u8>,
+    /// Size of each fragment in bytes.
+    pub fragment_sizes: Vec<u64>,
+}
+
+impl TableProperties {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_varint64(&mut out, self.num_entries);
+        put_varint64(&mut out, self.data_size);
+        put_varint64(&mut out, self.num_data_blocks);
+        put_length_prefixed_slice(&mut out, &self.smallest);
+        put_length_prefixed_slice(&mut out, &self.largest);
+        put_varint64(&mut out, self.fragment_sizes.len() as u64);
+        for &s in &self.fragment_sizes {
+            put_varint64(&mut out, s);
+        }
+        out
+    }
+
+    fn decode(src: &[u8]) -> Result<TableProperties> {
+        let mut n = 0;
+        let (num_entries, c) = decode_varint64(&src[n..])?;
+        n += c;
+        let (data_size, c) = decode_varint64(&src[n..])?;
+        n += c;
+        let (num_data_blocks, c) = decode_varint64(&src[n..])?;
+        n += c;
+        let (smallest, c) = decode_length_prefixed_slice(&src[n..])?;
+        let smallest = smallest.to_vec();
+        n += c;
+        let (largest, c) = decode_length_prefixed_slice(&src[n..])?;
+        let largest = largest.to_vec();
+        n += c;
+        let (count, c) = decode_varint64(&src[n..])?;
+        n += c;
+        let mut fragment_sizes = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let (s, c) = decode_varint64(&src[n..])?;
+            fragment_sizes.push(s);
+            n += c;
+        }
+        Ok(TableProperties { num_entries, data_size, num_data_blocks, smallest, largest, fragment_sizes })
+    }
+}
+
+/// The output of [`TableBuilder::finish`]: fragment payloads plus the
+/// metadata block, ready to be written to StoCs.
+#[derive(Debug, Clone)]
+pub struct BuiltTable {
+    /// One payload per fragment (ρ entries).
+    pub fragments: Vec<Vec<u8>>,
+    /// The serialized metadata block (index + filter + properties + footer).
+    pub meta: Vec<u8>,
+    /// Table properties (also embedded in `meta`).
+    pub properties: TableProperties,
+}
+
+impl BuiltTable {
+    /// Compute the parity block for the data fragments: a byte-wise XOR of
+    /// all fragments padded to the longest fragment (Section 4.4.1). With any
+    /// single fragment missing, XOR-ing the parity with the survivors
+    /// reconstructs it.
+    pub fn parity_block(&self) -> Vec<u8> {
+        parity_of(&self.fragments)
+    }
+}
+
+/// XOR-parity over a set of byte strings (padded to the longest).
+pub fn parity_of<T: AsRef<[u8]>>(fragments: &[T]) -> Vec<u8> {
+    let max_len = fragments.iter().map(|f| f.as_ref().len()).max().unwrap_or(0);
+    let mut parity = vec![0u8; max_len];
+    for f in fragments {
+        for (p, &b) in parity.iter_mut().zip(f.as_ref().iter()) {
+            *p ^= b;
+        }
+    }
+    parity
+}
+
+/// Reconstruct a missing fragment of length `missing_len` from the parity
+/// block and the surviving fragments.
+pub fn reconstruct_from_parity<T: AsRef<[u8]>>(parity: &[u8], survivors: &[T], missing_len: usize) -> Vec<u8> {
+    let mut out = parity.to_vec();
+    for f in survivors {
+        for (o, &b) in out.iter_mut().zip(f.as_ref().iter()) {
+            *o ^= b;
+        }
+    }
+    out.truncate(missing_len);
+    out
+}
+
+/// Builds one SSTable from entries supplied in internal-key order.
+#[derive(Debug)]
+pub struct TableBuilder {
+    options: TableOptions,
+    current: BlockBuilder,
+    /// Finished data blocks and the last internal key of each.
+    finished: Vec<(Vec<u8>, Vec<u8>)>,
+    user_keys: Vec<Vec<u8>>,
+    properties: TableProperties,
+    last_internal_key: Vec<u8>,
+}
+
+impl TableBuilder {
+    /// Create a builder with the given options.
+    pub fn new(options: TableOptions) -> Self {
+        assert!(options.num_fragments >= 1, "a table needs at least one fragment");
+        TableBuilder {
+            options,
+            current: BlockBuilder::new(),
+            finished: Vec::new(),
+            user_keys: Vec::new(),
+            properties: TableProperties::default(),
+            last_internal_key: Vec::new(),
+        }
+    }
+
+    /// Number of entries added so far.
+    pub fn num_entries(&self) -> u64 {
+        self.properties.num_entries
+    }
+
+    /// Estimated size of the finished data fragments so far.
+    pub fn estimated_size(&self) -> usize {
+        self.finished.iter().map(|(_, b)| b.len()).sum::<usize>() + self.current.current_size_estimate()
+    }
+
+    /// Add an entry. Entries must be added in ascending internal-key order.
+    pub fn add(&mut self, entry: &Entry) {
+        let ikey = entry.internal_key().encoded().to_vec();
+        debug_assert!(
+            self.last_internal_key.is_empty()
+                || nova_common::types::compare_internal_keys(&self.last_internal_key, &ikey)
+                    != std::cmp::Ordering::Greater,
+            "entries must be added in internal-key order"
+        );
+        if self.properties.num_entries == 0 {
+            self.properties.smallest = entry.key.to_vec();
+        }
+        self.properties.largest = entry.key.to_vec();
+        if self.user_keys.last().map(|k| k.as_slice()) != Some(entry.key.as_ref()) {
+            self.user_keys.push(entry.key.to_vec());
+        }
+        self.current.add(&ikey, &entry.value);
+        self.last_internal_key = ikey;
+        self.properties.num_entries += 1;
+        if self.current.current_size_estimate() >= self.options.block_size {
+            self.flush_block();
+        }
+    }
+
+    fn flush_block(&mut self) {
+        if self.current.is_empty() {
+            return;
+        }
+        let builder = std::mem::take(&mut self.current);
+        let block = builder.finish();
+        self.finished.push((self.last_internal_key.clone(), block));
+    }
+
+    /// Finish the table.
+    pub fn finish(mut self) -> Result<BuiltTable> {
+        self.flush_block();
+        if self.finished.is_empty() {
+            return Err(Error::InvalidArgument("cannot build an empty SSTable".into()));
+        }
+        self.properties.num_data_blocks = self.finished.len() as u64;
+        let total_bytes: usize = self.finished.iter().map(|(_, b)| b.len()).sum();
+        self.properties.data_size = total_bytes as u64;
+
+        // Split the data blocks into `num_fragments` contiguous groups of
+        // roughly equal byte size.
+        let num_fragments = self.options.num_fragments.min(self.finished.len()).max(1);
+        let target = (total_bytes + num_fragments - 1) / num_fragments;
+        let mut fragments: Vec<Vec<u8>> = vec![Vec::new(); num_fragments];
+        let mut index = BlockBuilder::new();
+        let mut fragment_idx = 0usize;
+        for (last_key, block) in &self.finished {
+            if fragments[fragment_idx].len() + block.len() > target
+                && !fragments[fragment_idx].is_empty()
+                && fragment_idx + 1 < num_fragments
+            {
+                fragment_idx += 1;
+            }
+            let location = BlockLocation {
+                fragment: fragment_idx as u32,
+                offset: fragments[fragment_idx].len() as u64,
+                size: block.len() as u32,
+            };
+            fragments[fragment_idx].extend_from_slice(block);
+            index.add(last_key, &location.encode());
+        }
+        self.properties.fragment_sizes = fragments.iter().map(|f| f.len() as u64).collect();
+
+        // Metadata block: [index][filter][properties][footer].
+        let index_block = index.finish();
+        let filter = if self.options.bloom_bits_per_key > 0 {
+            let refs: Vec<&[u8]> = self.user_keys.iter().map(|k| k.as_slice()).collect();
+            BloomFilter::build(&refs, self.options.bloom_bits_per_key).encode()
+        } else {
+            Vec::new()
+        };
+        let props = self.properties.encode();
+
+        let mut meta = Vec::with_capacity(index_block.len() + filter.len() + props.len() + 44);
+        let index_offset = 0u64;
+        meta.extend_from_slice(&index_block);
+        let filter_offset = meta.len() as u64;
+        meta.extend_from_slice(&filter);
+        let props_offset = meta.len() as u64;
+        meta.extend_from_slice(&props);
+        // Footer.
+        put_fixed64(&mut meta, index_offset);
+        put_fixed32(&mut meta, index_block.len() as u32);
+        put_fixed64(&mut meta, filter_offset);
+        put_fixed32(&mut meta, filter.len() as u32);
+        put_fixed64(&mut meta, props_offset);
+        put_fixed32(&mut meta, props.len() as u32);
+        put_fixed64(&mut meta, META_MAGIC);
+
+        Ok(BuiltTable { fragments, meta, properties: self.properties })
+    }
+}
+
+/// The decoded footer of a metadata block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetaFooter {
+    /// Extent of the index block within the metadata buffer.
+    pub index: (u64, u32),
+    /// Extent of the bloom filter within the metadata buffer.
+    pub filter: (u64, u32),
+    /// Extent of the properties within the metadata buffer.
+    pub properties: (u64, u32),
+}
+
+/// Footer length in bytes.
+pub const FOOTER_LEN: usize = 8 + 4 + 8 + 4 + 8 + 4 + 8;
+
+impl MetaFooter {
+    /// Decode the footer from the tail of a metadata buffer.
+    pub fn decode(meta: &[u8]) -> Result<MetaFooter> {
+        if meta.len() < FOOTER_LEN {
+            return Err(Error::Corruption("metadata block too small for footer".into()));
+        }
+        let f = &meta[meta.len() - FOOTER_LEN..];
+        let magic = decode_fixed64(&f[36..])?;
+        if magic != META_MAGIC {
+            return Err(Error::Corruption(format!("bad metadata magic {magic:#x}")));
+        }
+        Ok(MetaFooter {
+            index: (decode_fixed64(&f[0..])?, decode_fixed32(&f[8..])?),
+            filter: (decode_fixed64(&f[12..])?, decode_fixed32(&f[20..])?),
+            properties: (decode_fixed64(&f[24..])?, decode_fixed32(&f[32..])?),
+        })
+    }
+}
+
+/// Decode the [`TableProperties`] from a metadata buffer.
+pub fn decode_properties(meta: &[u8]) -> Result<TableProperties> {
+    let footer = MetaFooter::decode(meta)?;
+    let (off, len) = footer.properties;
+    let (off, len) = (off as usize, len as usize);
+    if off + len > meta.len() {
+        return Err(Error::Corruption("properties extent out of bounds".into()));
+    }
+    TableProperties::decode(&meta[off..off + len])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entries(n: u64) -> Vec<Entry> {
+        (0..n).map(|i| Entry::put(format!("key-{i:06}").into_bytes(), i + 1, format!("value-{i}").into_bytes())).collect()
+    }
+
+    fn build(n: u64, options: TableOptions) -> BuiltTable {
+        let mut b = TableBuilder::new(options);
+        for e in entries(n) {
+            b.add(&e);
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn builder_produces_fragments_and_meta() {
+        let t = build(1000, TableOptions { block_size: 1024, bloom_bits_per_key: 10, num_fragments: 3 });
+        assert_eq!(t.fragments.len(), 3);
+        assert_eq!(t.properties.num_entries, 1000);
+        assert_eq!(t.properties.smallest, b"key-000000".to_vec());
+        assert_eq!(t.properties.largest, b"key-000999".to_vec());
+        assert_eq!(t.properties.fragment_sizes.len(), 3);
+        let total: u64 = t.properties.fragment_sizes.iter().sum();
+        assert_eq!(total, t.properties.data_size);
+        // Fragments are roughly balanced (within a block of one another).
+        let min = *t.properties.fragment_sizes.iter().min().unwrap();
+        let max = *t.properties.fragment_sizes.iter().max().unwrap();
+        assert!(max - min <= 2048, "fragments unbalanced: {:?}", t.properties.fragment_sizes);
+    }
+
+    #[test]
+    fn empty_table_is_an_error() {
+        let b = TableBuilder::new(TableOptions::default());
+        assert!(b.finish().is_err());
+    }
+
+    #[test]
+    fn more_fragments_than_blocks_is_clamped() {
+        let t = build(3, TableOptions { block_size: 1 << 20, bloom_bits_per_key: 10, num_fragments: 8 });
+        // Only one data block exists, so only one fragment can be produced.
+        assert_eq!(t.fragments.len(), 1);
+    }
+
+    #[test]
+    fn footer_and_properties_round_trip() {
+        let t = build(500, TableOptions { block_size: 512, bloom_bits_per_key: 8, num_fragments: 2 });
+        let footer = MetaFooter::decode(&t.meta).unwrap();
+        assert!(footer.index.1 > 0);
+        assert!(footer.filter.1 > 0);
+        let props = decode_properties(&t.meta).unwrap();
+        assert_eq!(props, t.properties);
+    }
+
+    #[test]
+    fn footer_rejects_corruption() {
+        let t = build(10, TableOptions::default());
+        let mut meta = t.meta.clone();
+        let n = meta.len();
+        meta[n - 1] ^= 0xff;
+        assert!(MetaFooter::decode(&meta).is_err());
+        assert!(MetaFooter::decode(&meta[..10]).is_err());
+    }
+
+    #[test]
+    fn parity_reconstructs_any_single_fragment() {
+        let t = build(2000, TableOptions { block_size: 512, bloom_bits_per_key: 10, num_fragments: 4 });
+        let parity = t.parity_block();
+        for missing in 0..t.fragments.len() {
+            let survivors: Vec<&Vec<u8>> =
+                t.fragments.iter().enumerate().filter(|(i, _)| *i != missing).map(|(_, f)| f).collect();
+            let rebuilt = reconstruct_from_parity(&parity, &survivors, t.fragments[missing].len());
+            assert_eq!(rebuilt, t.fragments[missing], "fragment {missing} must be reconstructible");
+        }
+    }
+
+    #[test]
+    fn estimated_size_grows() {
+        let mut b = TableBuilder::new(TableOptions::default());
+        let before = b.estimated_size();
+        for e in entries(100) {
+            b.add(&e);
+        }
+        assert!(b.estimated_size() > before);
+        assert_eq!(b.num_entries(), 100);
+    }
+
+    #[test]
+    fn single_fragment_layout() {
+        let t = build(200, TableOptions { block_size: 1024, bloom_bits_per_key: 0, num_fragments: 1 });
+        assert_eq!(t.fragments.len(), 1);
+        assert_eq!(t.properties.fragment_sizes[0] as usize, t.fragments[0].len());
+        // Bloom disabled: the filter extent is empty but the footer still parses.
+        let footer = MetaFooter::decode(&t.meta).unwrap();
+        assert_eq!(footer.filter.1, 0);
+    }
+}

@@ -1,0 +1,387 @@
+//! Block locations, fragment descriptors and SSTable metadata.
+//!
+//! An SSTable's data blocks are partitioned into ρ *fragments*, each written
+//! to a different StoC (Section 4.4, Figure 9). The index block therefore
+//! addresses blocks by `(fragment, offset within fragment, size)` — a
+//! [`BlockLocation`] — and the table's metadata ([`SstableMeta`]) records
+//! where each fragment (and its replicas / parity block / metadata-block
+//! replicas) physically lives as [`StocBlockHandle`]s.
+
+use nova_common::varint::{
+    decode_length_prefixed_slice, decode_varint32, decode_varint64, put_length_prefixed_slice,
+    put_varint32, put_varint64,
+};
+use nova_common::{Error, FileNumber, Result, StocBlockHandle, StocFileId, StocId};
+
+/// The location of one block within the logical fragment layout of a table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockLocation {
+    /// Index of the fragment containing the block.
+    pub fragment: u32,
+    /// Byte offset within the fragment.
+    pub offset: u64,
+    /// Size of the block in bytes.
+    pub size: u32,
+}
+
+impl BlockLocation {
+    /// Serialize into `dst`.
+    pub fn encode_to(&self, dst: &mut Vec<u8>) {
+        put_varint32(dst, self.fragment);
+        put_varint64(dst, self.offset);
+        put_varint32(dst, self.size);
+    }
+
+    /// Serialize into a fresh vector.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(12);
+        self.encode_to(&mut out);
+        out
+    }
+
+    /// Decode from the front of `src`, returning the location and bytes
+    /// consumed.
+    pub fn decode(src: &[u8]) -> Result<(BlockLocation, usize)> {
+        let (fragment, a) = decode_varint32(src)?;
+        let (offset, b) = decode_varint64(&src[a..])?;
+        let (size, c) = decode_varint32(&src[a + b..])?;
+        Ok((BlockLocation { fragment, offset, size }, a + b + c))
+    }
+}
+
+/// Helpers for encoding a [`StocBlockHandle`].
+pub fn encode_stoc_handle(dst: &mut Vec<u8>, h: &StocBlockHandle) {
+    put_varint32(dst, h.stoc.0);
+    put_varint64(dst, h.file.0);
+    put_varint64(dst, h.offset);
+    put_varint32(dst, h.size);
+}
+
+/// Decode a [`StocBlockHandle`] from the front of `src`.
+pub fn decode_stoc_handle(src: &[u8]) -> Result<(StocBlockHandle, usize)> {
+    let (stoc, a) = decode_varint32(src)?;
+    let (file, b) = decode_varint64(&src[a..])?;
+    let (offset, c) = decode_varint64(&src[a + b..])?;
+    let (size, d) = decode_varint32(&src[a + b + c..])?;
+    Ok((
+        StocBlockHandle { stoc: StocId(stoc), file: StocFileId(file), offset, size },
+        a + b + c + d,
+    ))
+}
+
+/// Where one data fragment of an SSTable lives: its size plus the handle of
+/// every replica (the first entry is the primary copy).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FragmentLocation {
+    /// Fragment size in bytes.
+    pub size: u64,
+    /// Primary handle followed by replica handles.
+    pub replicas: Vec<StocBlockHandle>,
+}
+
+impl FragmentLocation {
+    /// The primary replica's handle, if the fragment has been placed.
+    pub fn primary(&self) -> Option<&StocBlockHandle> {
+        self.replicas.first()
+    }
+
+    fn encode_to(&self, dst: &mut Vec<u8>) {
+        put_varint64(dst, self.size);
+        put_varint32(dst, self.replicas.len() as u32);
+        for r in &self.replicas {
+            encode_stoc_handle(dst, r);
+        }
+    }
+
+    fn decode(src: &[u8]) -> Result<(FragmentLocation, usize)> {
+        let (size, mut n) = decode_varint64(src)?;
+        let (count, c) = decode_varint32(&src[n..])?;
+        n += c;
+        let mut replicas = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let (h, c) = decode_stoc_handle(&src[n..])?;
+            replicas.push(h);
+            n += c;
+        }
+        Ok((FragmentLocation { size, replicas }, n))
+    }
+}
+
+/// Complete metadata describing one SSTable: enough to read it (via its
+/// metadata block and fragment handles) and enough for the MANIFEST to
+/// reconstruct the LSM-tree after a crash (Section 4.5).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SstableMeta {
+    /// File number, unique within the owning range.
+    pub file_number: FileNumber,
+    /// Level of the tree the table belongs to.
+    pub level: u32,
+    /// Smallest user key contained in the table.
+    pub smallest: Vec<u8>,
+    /// Largest user key contained in the table.
+    pub largest: Vec<u8>,
+    /// Number of entries (versions) stored.
+    pub num_entries: u64,
+    /// Total bytes of data-block fragments.
+    pub data_size: u64,
+    /// Per-fragment physical locations.
+    pub fragments: Vec<FragmentLocation>,
+    /// Replicas of the metadata block (index + bloom filter + properties).
+    pub meta_blocks: Vec<StocBlockHandle>,
+    /// The parity block, when the availability policy computes one.
+    pub parity: Option<StocBlockHandle>,
+    /// The Drange that produced this Level-0 table, if any. Level-0 tables
+    /// from different Dranges are mutually exclusive in key space and may be
+    /// compacted in parallel (Section 4.3).
+    pub drange: Option<u32>,
+}
+
+impl SstableMeta {
+    /// True if the table's key range overlaps `[smallest, largest]` (user
+    /// keys, inclusive bounds).
+    pub fn overlaps(&self, smallest: &[u8], largest: &[u8]) -> bool {
+        !(self.largest.as_slice() < smallest || self.smallest.as_slice() > largest)
+    }
+
+    /// True if `user_key` lies within the table's key range.
+    pub fn contains_key(&self, user_key: &[u8]) -> bool {
+        self.smallest.as_slice() <= user_key && user_key <= self.largest.as_slice()
+    }
+
+    /// Total physical bytes consumed including replicas and parity.
+    pub fn physical_bytes(&self) -> u64 {
+        let fragment_bytes: u64 =
+            self.fragments.iter().map(|f| f.size * f.replicas.len().max(1) as u64).sum();
+        let parity_bytes = self.parity.map(|p| p.size as u64).unwrap_or(0);
+        let meta_bytes: u64 = self.meta_blocks.iter().map(|m| m.size as u64).sum();
+        fragment_bytes + parity_bytes + meta_bytes
+    }
+
+    /// The set of StoCs that hold any piece of this table.
+    pub fn stocs(&self) -> Vec<StocId> {
+        let mut out: Vec<StocId> = self
+            .fragments
+            .iter()
+            .flat_map(|f| f.replicas.iter().map(|h| h.stoc))
+            .chain(self.meta_blocks.iter().map(|h| h.stoc))
+            .chain(self.parity.iter().map(|h| h.stoc))
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Serialize for inclusion in a MANIFEST record or an RPC payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_varint64(&mut out, self.file_number);
+        put_varint32(&mut out, self.level);
+        put_length_prefixed_slice(&mut out, &self.smallest);
+        put_length_prefixed_slice(&mut out, &self.largest);
+        put_varint64(&mut out, self.num_entries);
+        put_varint64(&mut out, self.data_size);
+        put_varint32(&mut out, self.fragments.len() as u32);
+        for f in &self.fragments {
+            f.encode_to(&mut out);
+        }
+        put_varint32(&mut out, self.meta_blocks.len() as u32);
+        for m in &self.meta_blocks {
+            encode_stoc_handle(&mut out, m);
+        }
+        match &self.parity {
+            Some(p) => {
+                out.push(1);
+                encode_stoc_handle(&mut out, p);
+            }
+            None => out.push(0),
+        }
+        match self.drange {
+            Some(d) => {
+                out.push(1);
+                put_varint32(&mut out, d);
+            }
+            None => out.push(0),
+        }
+        out
+    }
+
+    /// Decode a table description, returning it and the bytes consumed.
+    pub fn decode(src: &[u8]) -> Result<(SstableMeta, usize)> {
+        let mut n = 0usize;
+        let (file_number, c) = decode_varint64(&src[n..])?;
+        n += c;
+        let (level, c) = decode_varint32(&src[n..])?;
+        n += c;
+        let (smallest, c) = decode_length_prefixed_slice(&src[n..])?;
+        let smallest = smallest.to_vec();
+        n += c;
+        let (largest, c) = decode_length_prefixed_slice(&src[n..])?;
+        let largest = largest.to_vec();
+        n += c;
+        let (num_entries, c) = decode_varint64(&src[n..])?;
+        n += c;
+        let (data_size, c) = decode_varint64(&src[n..])?;
+        n += c;
+        let (frag_count, c) = decode_varint32(&src[n..])?;
+        n += c;
+        let mut fragments = Vec::with_capacity(frag_count as usize);
+        for _ in 0..frag_count {
+            let (f, c) = FragmentLocation::decode(&src[n..])?;
+            fragments.push(f);
+            n += c;
+        }
+        let (meta_count, c) = decode_varint32(&src[n..])?;
+        n += c;
+        let mut meta_blocks = Vec::with_capacity(meta_count as usize);
+        for _ in 0..meta_count {
+            let (h, c) = decode_stoc_handle(&src[n..])?;
+            meta_blocks.push(h);
+            n += c;
+        }
+        let flag = *src.get(n).ok_or_else(|| Error::Corruption("truncated SstableMeta".into()))?;
+        n += 1;
+        let parity = if flag == 1 {
+            let (h, c) = decode_stoc_handle(&src[n..])?;
+            n += c;
+            Some(h)
+        } else {
+            None
+        };
+        let flag = *src.get(n).ok_or_else(|| Error::Corruption("truncated SstableMeta".into()))?;
+        n += 1;
+        let drange = if flag == 1 {
+            let (d, c) = decode_varint32(&src[n..])?;
+            n += c;
+            Some(d)
+        } else {
+            None
+        };
+        Ok((
+            SstableMeta {
+                file_number,
+                level,
+                smallest,
+                largest,
+                num_entries,
+                data_size,
+                fragments,
+                meta_blocks,
+                parity,
+                drange,
+            },
+            n,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn handle(stoc: u32, seq: u32, offset: u64, size: u32) -> StocBlockHandle {
+        StocBlockHandle { stoc: StocId(stoc), file: StocFileId::new(StocId(stoc), seq), offset, size }
+    }
+
+    fn sample_meta() -> SstableMeta {
+        SstableMeta {
+            file_number: 42,
+            level: 0,
+            smallest: b"aaa".to_vec(),
+            largest: b"zzz".to_vec(),
+            num_entries: 1000,
+            data_size: 1 << 20,
+            fragments: vec![
+                FragmentLocation { size: 512 << 10, replicas: vec![handle(0, 1, 0, 512 << 10)] },
+                FragmentLocation {
+                    size: 512 << 10,
+                    replicas: vec![handle(1, 7, 0, 512 << 10), handle(2, 3, 0, 512 << 10)],
+                },
+            ],
+            meta_blocks: vec![handle(0, 2, 0, 4096), handle(1, 8, 0, 4096)],
+            parity: Some(handle(3, 1, 0, 512 << 10)),
+            drange: Some(5),
+        }
+    }
+
+    #[test]
+    fn block_location_round_trips() {
+        let loc = BlockLocation { fragment: 3, offset: 123456, size: 4096 };
+        let encoded = loc.encode();
+        let (decoded, n) = BlockLocation::decode(&encoded).unwrap();
+        assert_eq!(decoded, loc);
+        assert_eq!(n, encoded.len());
+    }
+
+    #[test]
+    fn stoc_handle_round_trips() {
+        let h = handle(9, 77, 1 << 30, 65536);
+        let mut buf = Vec::new();
+        encode_stoc_handle(&mut buf, &h);
+        let (decoded, n) = decode_stoc_handle(&buf).unwrap();
+        assert_eq!(decoded, h);
+        assert_eq!(n, buf.len());
+    }
+
+    #[test]
+    fn sstable_meta_round_trips() {
+        let meta = sample_meta();
+        let encoded = meta.encode();
+        let (decoded, n) = SstableMeta::decode(&encoded).unwrap();
+        assert_eq!(decoded, meta);
+        assert_eq!(n, encoded.len());
+    }
+
+    #[test]
+    fn sstable_meta_without_optionals_round_trips() {
+        let meta = SstableMeta {
+            parity: None,
+            drange: None,
+            meta_blocks: vec![],
+            fragments: vec![],
+            ..sample_meta()
+        };
+        let (decoded, _) = SstableMeta::decode(&meta.encode()).unwrap();
+        assert_eq!(decoded, meta);
+    }
+
+    #[test]
+    fn overlap_and_containment() {
+        let meta = sample_meta();
+        assert!(meta.overlaps(b"mmm", b"qqq"));
+        assert!(meta.overlaps(b"zzz", b"zzzz"));
+        assert!(!meta.overlaps(b"zzzz", b"zzzzz"));
+        assert!(!meta.overlaps(b"a", b"aa"));
+        assert!(meta.contains_key(b"mmm"));
+        assert!(meta.contains_key(b"aaa"));
+        assert!(!meta.contains_key(b"a"));
+    }
+
+    #[test]
+    fn physical_accounting_and_stoc_listing() {
+        let meta = sample_meta();
+        // fragment0: 512K, fragment1: 512K × 2 replicas, parity 512K, meta 2×4K.
+        assert_eq!(meta.physical_bytes(), (512 << 10) * 4 + 2 * 4096);
+        let stocs = meta.stocs();
+        assert_eq!(stocs, vec![StocId(0), StocId(1), StocId(2), StocId(3)]);
+    }
+
+    #[test]
+    fn truncated_meta_is_rejected() {
+        let encoded = sample_meta().encode();
+        for cut in [1usize, 5, encoded.len() / 2, encoded.len() - 1] {
+            assert!(SstableMeta::decode(&encoded[..cut]).is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_block_location_round_trips(fragment in any::<u32>(), offset in any::<u64>(), size in any::<u32>()) {
+            let loc = BlockLocation { fragment, offset, size };
+            let (decoded, n) = BlockLocation::decode(&loc.encode()).unwrap();
+            prop_assert_eq!(decoded, loc);
+            prop_assert_eq!(n, loc.encode().len());
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! The iterator abstraction shared by memtables, blocks, tables, levels and
+//! merging iterators.
+//!
+//! All iterators yield [`Entry`] values in *internal-key order*: ascending by
+//! user key and, among versions of the same user key, newest (highest
+//! sequence number) first. Compaction and scans are written against this
+//! trait so that the same code paths work over memtables, local SSTables and
+//! SSTables scattered across StoCs.
+
+use nova_common::types::Entry;
+use nova_common::Result;
+
+/// A sorted stream of entries supporting seeks.
+pub trait EntryIterator {
+    /// True if the iterator is positioned at an entry.
+    fn valid(&self) -> bool;
+
+    /// Position at the first entry.
+    fn seek_to_first(&mut self) -> Result<()>;
+
+    /// Position at the first entry whose user key is `>= user_key`.
+    fn seek(&mut self, user_key: &[u8]) -> Result<()>;
+
+    /// The entry at the current position. Must only be called when valid.
+    fn entry(&self) -> Entry;
+
+    /// Advance to the next entry.
+    fn next(&mut self) -> Result<()>;
+}
+
+/// An [`EntryIterator`] over an in-memory vector of entries (already sorted
+/// in internal-key order). Used in tests and for iterating small merged
+/// memtables.
+#[derive(Debug, Clone)]
+pub struct VecIterator {
+    entries: Vec<Entry>,
+    pos: usize,
+    started: bool,
+}
+
+impl VecIterator {
+    /// Create an iterator over `entries`, which must already be sorted by
+    /// internal key.
+    pub fn new(entries: Vec<Entry>) -> Self {
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].internal_key() <= w[1].internal_key()),
+            "VecIterator input must be sorted by internal key"
+        );
+        VecIterator { entries, pos: 0, started: false }
+    }
+
+    /// Sort `entries` by internal key and create an iterator.
+    pub fn from_unsorted(mut entries: Vec<Entry>) -> Self {
+        entries.sort_by(|a, b| a.internal_key().cmp(&b.internal_key()));
+        VecIterator { entries, pos: 0, started: false }
+    }
+}
+
+impl EntryIterator for VecIterator {
+    fn valid(&self) -> bool {
+        self.started && self.pos < self.entries.len()
+    }
+
+    fn seek_to_first(&mut self) -> Result<()> {
+        self.pos = 0;
+        self.started = true;
+        Ok(())
+    }
+
+    fn seek(&mut self, user_key: &[u8]) -> Result<()> {
+        self.started = true;
+        self.pos = self.entries.partition_point(|e| e.key.as_ref() < user_key);
+        Ok(())
+    }
+
+    fn entry(&self) -> Entry {
+        self.entries[self.pos].clone()
+    }
+
+    fn next(&mut self) -> Result<()> {
+        self.pos += 1;
+        Ok(())
+    }
+}
+
+/// Drain an iterator into a vector of entries (for tests and small merges).
+pub fn collect_entries<I: EntryIterator>(iter: &mut I) -> Result<Vec<Entry>> {
+    let mut out = Vec::new();
+    iter.seek_to_first()?;
+    while iter.valid() {
+        out.push(iter.entry());
+        iter.next()?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nova_common::ValueType;
+
+    fn entries() -> Vec<Entry> {
+        vec![
+            Entry::put(&b"a"[..], 3, &b"a3"[..]),
+            Entry::put(&b"b"[..], 7, &b"b7"[..]),
+            Entry::put(&b"b"[..], 2, &b"b2"[..]),
+            Entry::delete(&b"c"[..], 9),
+        ]
+    }
+
+    #[test]
+    fn vec_iterator_basics() {
+        let mut it = VecIterator::new(entries());
+        assert!(!it.valid());
+        it.seek_to_first().unwrap();
+        assert!(it.valid());
+        assert_eq!(it.entry().key.as_ref(), b"a");
+        it.next().unwrap();
+        assert_eq!(it.entry().sequence, 7);
+        it.next().unwrap();
+        assert_eq!(it.entry().sequence, 2);
+        it.next().unwrap();
+        assert_eq!(it.entry().value_type, ValueType::Deletion);
+        it.next().unwrap();
+        assert!(!it.valid());
+    }
+
+    #[test]
+    fn vec_iterator_seek() {
+        let mut it = VecIterator::new(entries());
+        it.seek(b"b").unwrap();
+        assert_eq!(it.entry().key.as_ref(), b"b");
+        assert_eq!(it.entry().sequence, 7, "newest version of b first");
+        it.seek(b"bb").unwrap();
+        assert_eq!(it.entry().key.as_ref(), b"c");
+        it.seek(b"zzz").unwrap();
+        assert!(!it.valid());
+    }
+
+    #[test]
+    fn from_unsorted_sorts() {
+        let mut shuffled = entries();
+        shuffled.reverse();
+        let mut it = VecIterator::from_unsorted(shuffled);
+        let collected = collect_entries(&mut it).unwrap();
+        assert_eq!(collected, entries());
+    }
+}

@@ -1,0 +1,34 @@
+//! # nova-sstable
+//!
+//! The Sorted String Table (SSTable) substrate shared by Nova-LSM's LTC, the
+//! StoC-side offloaded compaction, and the monolithic baselines.
+//!
+//! Differences from a classic LevelDB table, driven by the paper:
+//!
+//! * Data blocks are split into ρ **fragments** so that one table's blocks
+//!   can be scattered across ρ StoCs (Section 4.4, Figure 9). The index block
+//!   addresses blocks by `(fragment, offset, size)`.
+//! * The **metadata block** (index + bloom filter + properties) is a separate
+//!   small artifact that LTCs cache in memory and may replicate independently
+//!   of the data fragments (the paper's Hybrid availability, Section 4.4.1).
+//! * A **parity block** (XOR across fragments) can be computed at build time
+//!   to tolerate a StoC failure without full replication.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod block;
+pub mod bloom;
+pub mod builder;
+pub mod handle;
+pub mod iter;
+pub mod merge;
+pub mod reader;
+
+pub use block::{Block, BlockBuilder, BlockIterator};
+pub use bloom::BloomFilter;
+pub use builder::{parity_of, reconstruct_from_parity, BuiltTable, TableBuilder, TableOptions, TableProperties};
+pub use handle::{BlockLocation, FragmentLocation, SstableMeta};
+pub use iter::{collect_entries, EntryIterator, VecIterator};
+pub use merge::{compact_entries, BoxedIterator, MergingIterator};
+pub use reader::{BlockFetcher, MemoryFetcher, TableIterator, TableLookup, TableReader};

@@ -1,0 +1,257 @@
+//! Merging iterators used by compaction and by scans that must combine
+//! memtables, Level-0 tables and higher-level tables.
+
+use crate::iter::EntryIterator;
+use nova_common::types::Entry;
+use nova_common::{Result, SequenceNumber, ValueType};
+
+/// Merges several [`EntryIterator`]s into a single stream in internal-key
+/// order. When two children expose the same internal key, the child that was
+/// supplied *earlier* wins (callers order children newest-first).
+pub struct MergingIterator<I> {
+    children: Vec<I>,
+    current: Option<usize>,
+}
+
+impl<I: EntryIterator> MergingIterator<I> {
+    /// Build a merging iterator over `children`.
+    pub fn new(children: Vec<I>) -> Self {
+        MergingIterator { children, current: None }
+    }
+
+    fn find_smallest(&mut self) {
+        let mut smallest: Option<(usize, Entry)> = None;
+        for (i, child) in self.children.iter().enumerate() {
+            if !child.valid() {
+                continue;
+            }
+            let e = child.entry();
+            let replace = match &smallest {
+                None => true,
+                Some((_, s)) => e.internal_key() < s.internal_key(),
+            };
+            if replace {
+                smallest = Some((i, e));
+            }
+        }
+        self.current = smallest.map(|(i, _)| i);
+    }
+}
+
+impl<I: EntryIterator> EntryIterator for MergingIterator<I> {
+    fn valid(&self) -> bool {
+        self.current.is_some()
+    }
+
+    fn seek_to_first(&mut self) -> Result<()> {
+        for child in &mut self.children {
+            child.seek_to_first()?;
+        }
+        self.find_smallest();
+        Ok(())
+    }
+
+    fn seek(&mut self, user_key: &[u8]) -> Result<()> {
+        for child in &mut self.children {
+            child.seek(user_key)?;
+        }
+        self.find_smallest();
+        Ok(())
+    }
+
+    fn entry(&self) -> Entry {
+        let i = self.current.expect("entry() on invalid iterator");
+        self.children[i].entry()
+    }
+
+    fn next(&mut self) -> Result<()> {
+        if let Some(i) = self.current {
+            self.children[i].next()?;
+        }
+        self.find_smallest();
+        Ok(())
+    }
+}
+
+/// A boxed, object-safe entry iterator, convenient for mixing children of
+/// different concrete types inside one merge.
+pub type BoxedIterator = Box<dyn EntryIterator + Send>;
+
+impl EntryIterator for BoxedIterator {
+    fn valid(&self) -> bool {
+        self.as_ref().valid()
+    }
+
+    fn seek_to_first(&mut self) -> Result<()> {
+        self.as_mut().seek_to_first()
+    }
+
+    fn seek(&mut self, user_key: &[u8]) -> Result<()> {
+        self.as_mut().seek(user_key)
+    }
+
+    fn entry(&self) -> Entry {
+        self.as_ref().entry()
+    }
+
+    fn next(&mut self) -> Result<()> {
+        self.as_mut().next()
+    }
+}
+
+/// Compaction-style reduction of a merged stream: keep only the newest
+/// version of each user key that is visible at `snapshot`, and drop
+/// tombstones entirely when `drop_tombstones` is true (only safe when
+/// compacting into the bottom-most level).
+pub fn compact_entries<I: EntryIterator>(
+    iter: &mut I,
+    snapshot: SequenceNumber,
+    drop_tombstones: bool,
+) -> Result<Vec<Entry>> {
+    let mut out: Vec<Entry> = Vec::new();
+    iter.seek_to_first()?;
+    let mut last_user_key: Option<Vec<u8>> = None;
+    while iter.valid() {
+        let e = iter.entry();
+        iter.next()?;
+        if e.sequence > snapshot {
+            continue;
+        }
+        if last_user_key.as_deref() == Some(e.key.as_ref()) {
+            // An older version of a key we already emitted (or suppressed).
+            continue;
+        }
+        last_user_key = Some(e.key.to_vec());
+        if e.is_tombstone() && drop_tombstones {
+            continue;
+        }
+        out.push(e);
+    }
+    Ok(out)
+}
+
+/// Count the live (non-tombstone) unique user keys visible in a stream; used
+/// by the flush path's "fewer than 100 unique keys" rule (Section 4.2).
+pub fn count_unique_live_keys<I: EntryIterator>(iter: &mut I) -> Result<usize> {
+    Ok(compact_entries(iter, SequenceNumber::MAX, true)?.len())
+}
+
+/// True if the entry should be surfaced to a reader (i.e. it is not a
+/// tombstone).
+pub fn visible(entry: &Entry) -> bool {
+    entry.value_type == ValueType::Value
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iter::{collect_entries, VecIterator};
+
+    fn it(entries: Vec<Entry>) -> VecIterator {
+        VecIterator::from_unsorted(entries)
+    }
+
+    #[test]
+    fn merge_interleaves_sorted_children() {
+        let a = it(vec![Entry::put(&b"a"[..], 1, &b"1"[..]), Entry::put(&b"c"[..], 2, &b"2"[..])]);
+        let b = it(vec![Entry::put(&b"b"[..], 3, &b"3"[..]), Entry::put(&b"d"[..], 4, &b"4"[..])]);
+        let mut m = MergingIterator::new(vec![a, b]);
+        let collected = collect_entries(&mut m).unwrap();
+        let keys: Vec<&[u8]> = collected.iter().map(|e| e.key.as_ref()).collect();
+        assert_eq!(keys, vec![b"a".as_ref(), b"b".as_ref(), b"c".as_ref(), b"d".as_ref()]);
+    }
+
+    #[test]
+    fn merge_orders_versions_newest_first() {
+        let newer = it(vec![Entry::put(&b"k"[..], 10, &b"new"[..])]);
+        let older = it(vec![Entry::put(&b"k"[..], 2, &b"old"[..])]);
+        let mut m = MergingIterator::new(vec![older, newer]);
+        let collected = collect_entries(&mut m).unwrap();
+        assert_eq!(collected.len(), 2);
+        assert_eq!(collected[0].sequence, 10);
+        assert_eq!(collected[1].sequence, 2);
+    }
+
+    #[test]
+    fn merge_seek_positions_all_children() {
+        let a = it(vec![Entry::put(&b"a"[..], 1, &b""[..]), Entry::put(&b"m"[..], 1, &b""[..])]);
+        let b = it(vec![Entry::put(&b"c"[..], 1, &b""[..]), Entry::put(&b"z"[..], 1, &b""[..])]);
+        let mut m = MergingIterator::new(vec![a, b]);
+        m.seek(b"d").unwrap();
+        assert!(m.valid());
+        assert_eq!(m.entry().key.as_ref(), b"m");
+        m.next().unwrap();
+        assert_eq!(m.entry().key.as_ref(), b"z");
+        m.next().unwrap();
+        assert!(!m.valid());
+    }
+
+    #[test]
+    fn empty_merge_is_invalid() {
+        let mut m: MergingIterator<VecIterator> = MergingIterator::new(vec![]);
+        m.seek_to_first().unwrap();
+        assert!(!m.valid());
+        let mut m = MergingIterator::new(vec![it(vec![])]);
+        m.seek_to_first().unwrap();
+        assert!(!m.valid());
+    }
+
+    #[test]
+    fn compaction_keeps_newest_visible_version() {
+        let versions = it(vec![
+            Entry::put(&b"a"[..], 5, &b"a5"[..]),
+            Entry::put(&b"a"[..], 3, &b"a3"[..]),
+            Entry::delete(&b"b"[..], 9),
+            Entry::put(&b"b"[..], 4, &b"b4"[..]),
+            Entry::put(&b"c"[..], 2, &b"c2"[..]),
+        ]);
+        let mut m = MergingIterator::new(vec![versions]);
+        // Keep tombstones (not bottom level).
+        let kept = compact_entries(&mut m, SequenceNumber::MAX, false).unwrap();
+        assert_eq!(kept.len(), 3);
+        assert_eq!(kept[0].value.as_ref(), b"a5");
+        assert!(kept[1].is_tombstone());
+        assert_eq!(kept[2].value.as_ref(), b"c2");
+        // Drop tombstones (bottom level).
+        let mut m2 = MergingIterator::new(vec![it(vec![
+            Entry::put(&b"a"[..], 5, &b"a5"[..]),
+            Entry::delete(&b"b"[..], 9),
+            Entry::put(&b"b"[..], 4, &b"b4"[..]),
+        ])]);
+        let dropped = compact_entries(&mut m2, SequenceNumber::MAX, true).unwrap();
+        assert_eq!(dropped.len(), 1);
+        assert_eq!(dropped[0].key.as_ref(), b"a");
+    }
+
+    #[test]
+    fn compaction_respects_snapshot() {
+        let mut m = MergingIterator::new(vec![it(vec![
+            Entry::put(&b"a"[..], 10, &b"new"[..]),
+            Entry::put(&b"a"[..], 2, &b"old"[..]),
+        ])]);
+        let kept = compact_entries(&mut m, 5, false).unwrap();
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].value.as_ref(), b"old");
+    }
+
+    #[test]
+    fn unique_live_key_count() {
+        let mut m = MergingIterator::new(vec![it(vec![
+            Entry::put(&b"a"[..], 3, &b""[..]),
+            Entry::put(&b"a"[..], 2, &b""[..]),
+            Entry::delete(&b"b"[..], 4),
+            Entry::put(&b"c"[..], 1, &b""[..]),
+        ])]);
+        assert_eq!(count_unique_live_keys(&mut m).unwrap(), 2);
+    }
+
+    #[test]
+    fn boxed_iterators_can_be_merged() {
+        let a: BoxedIterator = Box::new(it(vec![Entry::put(&b"a"[..], 1, &b""[..])]));
+        let b: BoxedIterator = Box::new(it(vec![Entry::put(&b"b"[..], 1, &b""[..])]));
+        let mut m = MergingIterator::new(vec![a, b]);
+        let collected = collect_entries(&mut m).unwrap();
+        assert_eq!(collected.len(), 2);
+        assert!(visible(&collected[0]));
+    }
+}

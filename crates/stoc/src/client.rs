@@ -1,0 +1,334 @@
+//! The StoC client used by LTCs, LogCs and by StoCs themselves (during
+//! offloaded compaction) to store, retrieve and manage blocks.
+
+use crate::message::{StocRequest, StocResponse};
+use bytes::Bytes;
+use nova_common::{Error, NodeId, Result, StocBlockHandle, StocFileId, StocId};
+use nova_fabric::{Endpoint, RegionId};
+use nova_sstable::SstableMeta;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Maps StoC ids to the fabric nodes hosting them. Shared by every component
+/// in the cluster; the coordinator updates it when StoCs are added or removed
+/// (Section 9).
+#[derive(Debug, Clone, Default)]
+pub struct StocDirectory {
+    inner: Arc<RwLock<HashMap<StocId, NodeId>>>,
+}
+
+impl StocDirectory {
+    /// Create an empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or update) the node hosting a StoC.
+    pub fn register(&self, stoc: StocId, node: NodeId) {
+        self.inner.write().insert(stoc, node);
+    }
+
+    /// Remove a StoC from the directory.
+    pub fn remove(&self, stoc: StocId) {
+        self.inner.write().remove(&stoc);
+    }
+
+    /// The node hosting `stoc`.
+    pub fn node_of(&self, stoc: StocId) -> Result<NodeId> {
+        self.inner.read().get(&stoc).copied().ok_or(Error::UnknownStoc(stoc))
+    }
+
+    /// Every StoC currently registered, in id order.
+    pub fn all(&self) -> Vec<StocId> {
+        let mut v: Vec<StocId> = self.inner.read().keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Number of registered StoCs (the paper's β).
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// True if no StoCs are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A handle onto an in-memory StoC file; appends and reads are one-sided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemFileHandle {
+    /// The StoC storing the file.
+    pub stoc: StocId,
+    /// The backing StoC file id.
+    pub file: StocFileId,
+    /// The registered memory region holding the contents.
+    pub region: u64,
+    /// Capacity of the region in bytes.
+    pub size: u64,
+}
+
+/// Statistics reported by a StoC.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StocStats {
+    /// Requests queued or in service at the disk.
+    pub queue_depth: u64,
+    /// Bytes written to the medium.
+    pub bytes_written: u64,
+    /// Bytes read from the medium.
+    pub bytes_read: u64,
+    /// Simulated disk busy nanoseconds.
+    pub disk_busy_nanos: u64,
+    /// Number of persistent files.
+    pub num_files: u64,
+}
+
+/// A client for issuing block operations against StoCs.
+#[derive(Debug, Clone)]
+pub struct StocClient {
+    endpoint: Endpoint,
+    directory: StocDirectory,
+}
+
+impl StocClient {
+    /// Create a client that issues verbs through `endpoint` and resolves
+    /// StoCs through `directory`.
+    pub fn new(endpoint: Endpoint, directory: StocDirectory) -> Self {
+        StocClient { endpoint, directory }
+    }
+
+    /// The directory used to resolve StoC locations.
+    pub fn directory(&self) -> &StocDirectory {
+        &self.directory
+    }
+
+    /// The fabric endpoint this client issues verbs through.
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    fn call(&self, stoc: StocId, request: &StocRequest) -> Result<StocResponse> {
+        let node = self.directory.node_of(stoc)?;
+        let reply = self.endpoint.call(node, Bytes::from(request.encode()))?;
+        StocResponse::decode(&reply)
+    }
+
+    // ---- persistent block interface ---------------------------------------
+
+    /// Write one block to `stoc` following the paper's workflow (Figure 10):
+    /// open a file (allocating a file-buffer region), `RDMA WRITE` the block
+    /// into the region with immediate data, then seal the file to disk.
+    pub fn write_block(&self, stoc: StocId, data: &[u8]) -> Result<StocBlockHandle> {
+        let node = self.directory.node_of(stoc)?;
+        let opened = self.call(stoc, &StocRequest::OpenFileForWrite { size: data.len() as u64 })?;
+        let (file, region) = match opened {
+            StocResponse::Opened { file, region } => (file, region),
+            other => return Err(Error::Corruption(format!("unexpected response to open: {other:?}"))),
+        };
+        self.endpoint.rdma_write(node, RegionId(region), 0, data, Some(file.seq()))?;
+        match self.call(stoc, &StocRequest::SealFile { file })? {
+            StocResponse::Sealed { size } => {
+                debug_assert_eq!(size as usize, data.len());
+                Ok(StocBlockHandle { stoc, file, offset: 0, size: data.len() as u32 })
+            }
+            other => Err(Error::Corruption(format!("unexpected response to seal: {other:?}"))),
+        }
+    }
+
+    /// Read a block through its handle.
+    pub fn read_block(&self, handle: &StocBlockHandle) -> Result<Bytes> {
+        self.read_block_at(handle.stoc, handle.file, handle.offset, handle.size as usize)
+    }
+
+    /// Read `len` bytes at `offset` of `file` on `stoc`. The StoC pushes the
+    /// data into a locally registered region via one-sided write.
+    pub fn read_block_at(&self, stoc: StocId, file: StocFileId, offset: u64, len: usize) -> Result<Bytes> {
+        let client_region = self.endpoint.register_region(len.max(1));
+        let result = (|| {
+            match self.call(stoc, &StocRequest::ReadBlock {
+                file,
+                offset,
+                len: len as u64,
+                client_region: client_region.0,
+            })? {
+                StocResponse::BlockRead => {
+                    let region = self.endpoint.local_region(client_region)?;
+                    Ok(Bytes::from(region.read(0, len)?))
+                }
+                other => Err(Error::Corruption(format!("unexpected response to read: {other:?}"))),
+            }
+        })();
+        self.endpoint.deregister_region(client_region);
+        result
+    }
+
+    /// Delete a persistent file.
+    pub fn delete_file(&self, stoc: StocId, file: StocFileId) -> Result<()> {
+        match self.call(stoc, &StocRequest::DeleteFile { file })? {
+            StocResponse::Ok => Ok(()),
+            other => Err(Error::Corruption(format!("unexpected response to delete: {other:?}"))),
+        }
+    }
+
+    /// The size of a persistent file.
+    pub fn file_size(&self, stoc: StocId, file: StocFileId) -> Result<u64> {
+        match self.call(stoc, &StocRequest::FileSize { file })? {
+            StocResponse::Size { size } => Ok(size),
+            other => Err(Error::Corruption(format!("unexpected response to size: {other:?}"))),
+        }
+    }
+
+    /// List persistent files on a StoC.
+    pub fn list_files(&self, stoc: StocId) -> Result<Vec<StocFileId>> {
+        match self.call(stoc, &StocRequest::ListFiles)? {
+            StocResponse::Files { files } => Ok(files),
+            other => Err(Error::Corruption(format!("unexpected response to list: {other:?}"))),
+        }
+    }
+
+    /// Peek at a StoC's disk queue depth (power-of-d, Section 4.4).
+    pub fn queue_depth(&self, stoc: StocId) -> Result<u64> {
+        match self.call(stoc, &StocRequest::QueueDepth)? {
+            StocResponse::Depth { depth } => Ok(depth),
+            other => Err(Error::Corruption(format!("unexpected response to depth: {other:?}"))),
+        }
+    }
+
+    /// Cumulative statistics for a StoC.
+    pub fn stats(&self, stoc: StocId) -> Result<StocStats> {
+        match self.call(stoc, &StocRequest::Stats)? {
+            StocResponse::Stats { queue_depth, bytes_written, bytes_read, disk_busy_nanos, num_files } => {
+                Ok(StocStats { queue_depth, bytes_written, bytes_read, disk_busy_nanos, num_files })
+            }
+            other => Err(Error::Corruption(format!("unexpected response to stats: {other:?}"))),
+        }
+    }
+
+    // ---- in-memory (log) file interface ------------------------------------
+
+    /// Open (or reopen) a named in-memory StoC file.
+    pub fn open_mem_file(&self, stoc: StocId, name: &str, size: u64) -> Result<MemFileHandle> {
+        match self.call(stoc, &StocRequest::OpenMemFile { name: name.to_string(), size })? {
+            StocResponse::MemFile { file, region, size } => Ok(MemFileHandle { stoc, file, region, size }),
+            StocResponse::Opened { file, region } => Ok(MemFileHandle { stoc, file, region, size }),
+            other => Err(Error::Corruption(format!("unexpected response to open mem file: {other:?}"))),
+        }
+    }
+
+    /// Look up an existing in-memory file by name.
+    pub fn get_mem_file(&self, stoc: StocId, name: &str) -> Result<MemFileHandle> {
+        match self.call(stoc, &StocRequest::GetMemFile { name: name.to_string() })? {
+            StocResponse::MemFile { file, region, size } => Ok(MemFileHandle { stoc, file, region, size }),
+            other => Err(Error::Corruption(format!("unexpected response to get mem file: {other:?}"))),
+        }
+    }
+
+    /// List in-memory files with a given name prefix.
+    pub fn list_mem_files(&self, stoc: StocId, prefix: &str) -> Result<Vec<String>> {
+        match self.call(stoc, &StocRequest::ListMemFiles { prefix: prefix.to_string() })? {
+            StocResponse::MemFiles { names } => Ok(names),
+            other => Err(Error::Corruption(format!("unexpected response to list mem files: {other:?}"))),
+        }
+    }
+
+    /// Delete a named in-memory file.
+    pub fn delete_mem_file(&self, stoc: StocId, name: &str) -> Result<()> {
+        match self.call(stoc, &StocRequest::DeleteMemFile { name: name.to_string() })? {
+            StocResponse::Ok => Ok(()),
+            other => Err(Error::Corruption(format!("unexpected response to delete mem file: {other:?}"))),
+        }
+    }
+
+    /// Append `data` at `offset` of an in-memory file using a one-sided
+    /// write. The StoC's CPU is not involved (Section 6.1).
+    pub fn write_mem(&self, handle: &MemFileHandle, offset: u64, data: &[u8]) -> Result<()> {
+        let node = self.directory.node_of(handle.stoc)?;
+        self.endpoint.rdma_write(node, RegionId(handle.region), offset, data, None)
+    }
+
+    /// Read `len` bytes at `offset` of an in-memory file using a one-sided
+    /// read.
+    pub fn read_mem(&self, handle: &MemFileHandle, offset: u64, len: usize) -> Result<Bytes> {
+        let node = self.directory.node_of(handle.stoc)?;
+        self.endpoint.rdma_read(node, RegionId(handle.region), offset, len)
+    }
+
+    // ---- persistent log interface -------------------------------------------
+
+    /// Append serialized log records to a named persistent log file
+    /// (durability mode of LogC, Section 5). Charged to the StoC's disk.
+    pub fn append_log(&self, stoc: StocId, name: &str, data: &[u8]) -> Result<()> {
+        match self.call(stoc, &StocRequest::AppendLog { name: name.to_string(), data: data.to_vec() })? {
+            StocResponse::Ok => Ok(()),
+            other => Err(Error::Corruption(format!("unexpected response to append log: {other:?}"))),
+        }
+    }
+
+    /// Read the full contents of a named persistent log file.
+    pub fn read_log(&self, stoc: StocId, name: &str) -> Result<Vec<u8>> {
+        match self.call(stoc, &StocRequest::ReadLog { name: name.to_string() })? {
+            StocResponse::LogContent { data } => Ok(data),
+            other => Err(Error::Corruption(format!("unexpected response to read log: {other:?}"))),
+        }
+    }
+
+    /// List persistent log files with a name prefix.
+    pub fn list_logs(&self, stoc: StocId, prefix: &str) -> Result<Vec<String>> {
+        match self.call(stoc, &StocRequest::ListLogs { prefix: prefix.to_string() })? {
+            StocResponse::MemFiles { names } => Ok(names),
+            other => Err(Error::Corruption(format!("unexpected response to list logs: {other:?}"))),
+        }
+    }
+
+    /// Delete a named persistent log file.
+    pub fn delete_log(&self, stoc: StocId, name: &str) -> Result<()> {
+        match self.call(stoc, &StocRequest::DeleteLog { name: name.to_string() })? {
+            StocResponse::Ok => Ok(()),
+            other => Err(Error::Corruption(format!("unexpected response to delete log: {other:?}"))),
+        }
+    }
+
+    // ---- compaction offload -------------------------------------------------
+
+    /// Offload a compaction job to a StoC (Section 4.3) and wait for the
+    /// resulting output tables.
+    pub fn offload_compaction(
+        &self,
+        stoc: StocId,
+        job: crate::compaction::CompactionJob,
+    ) -> Result<Vec<SstableMeta>> {
+        match self.call(stoc, &StocRequest::Compaction(job))? {
+            StocResponse::CompactionDone { outputs } => Ok(outputs),
+            other => Err(Error::Corruption(format!("unexpected response to compaction: {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directory_basics() {
+        let d = StocDirectory::new();
+        assert!(d.is_empty());
+        d.register(StocId(0), NodeId(5));
+        d.register(StocId(1), NodeId(6));
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.node_of(StocId(0)).unwrap(), NodeId(5));
+        assert_eq!(d.all(), vec![StocId(0), StocId(1)]);
+        d.remove(StocId(0));
+        assert!(d.node_of(StocId(0)).is_err());
+        assert_eq!(d.all(), vec![StocId(1)]);
+    }
+
+    #[test]
+    fn directory_is_shared_between_clones() {
+        let d = StocDirectory::new();
+        let d2 = d.clone();
+        d.register(StocId(3), NodeId(1));
+        assert_eq!(d2.node_of(StocId(3)).unwrap(), NodeId(1));
+    }
+}

@@ -1,0 +1,289 @@
+//! Offloaded compaction (Section 4.3).
+//!
+//! "When StoCs have sufficient processing capability, the coordinator thread
+//! offloads a compaction job to a StoC … The StoC pre-fetches all SSTables in
+//! the compaction job into its memory. It then starts merging these SSTables
+//! into a new set of SSTables while respecting the boundaries of Dranges and
+//! the maximum SSTable size."
+//!
+//! The same executor is used by the LTC when it runs compactions locally, so
+//! offloading changes *where* the work runs, not *what* it does.
+
+use crate::client::StocClient;
+use crate::table_io::{read_fragment, read_meta_block, write_table, TableWriteSpec};
+use nova_common::varint::{
+    decode_length_prefixed_slice, decode_varint32, decode_varint64, put_length_prefixed_slice,
+    put_varint32, put_varint64,
+};
+use nova_common::{Error, Result, SequenceNumber, StocId};
+use nova_common::types::Entry;
+use nova_sstable::{
+    collect_entries, MemoryFetcher, MergingIterator, SstableMeta, TableBuilder, TableOptions,
+    TableReader, VecIterator,
+};
+
+/// A self-contained description of one compaction job, shippable to a StoC.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompactionJob {
+    /// The application range this job belongs to (for bookkeeping only).
+    pub range_id: u32,
+    /// Input tables. The order matters: earlier tables shadow later ones when
+    /// they contain the same internal key, so callers list newer tables
+    /// first.
+    pub inputs: Vec<SstableMeta>,
+    /// Level the outputs are written to.
+    pub output_level: u32,
+    /// Pre-allocated file numbers for the outputs (must be at least as many
+    /// as the job can produce; unused numbers are simply not consumed).
+    pub output_file_numbers: Vec<u64>,
+    /// Candidate StoCs for output placement, used round-robin.
+    pub output_placement: Vec<StocId>,
+    /// ρ for the outputs: how many StoCs each output table is scattered
+    /// across.
+    pub scatter_width: u32,
+    /// Maximum bytes of entries per output table (the paper uses the SSTable
+    /// size τ, e.g. 16 MB).
+    pub max_output_bytes: u64,
+    /// Data block size for the outputs.
+    pub block_size: u32,
+    /// Bloom filter bits per key for the outputs.
+    pub bloom_bits_per_key: u32,
+    /// Whether tombstones may be dropped (true only when compacting into the
+    /// bottom-most populated level).
+    pub drop_tombstones: bool,
+}
+
+impl CompactionJob {
+    /// Serialize the job.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_varint32(&mut out, self.range_id);
+        put_varint32(&mut out, self.inputs.len() as u32);
+        for i in &self.inputs {
+            let encoded = i.encode();
+            put_length_prefixed_slice(&mut out, &encoded);
+        }
+        put_varint32(&mut out, self.output_level);
+        put_varint32(&mut out, self.output_file_numbers.len() as u32);
+        for &n in &self.output_file_numbers {
+            put_varint64(&mut out, n);
+        }
+        put_varint32(&mut out, self.output_placement.len() as u32);
+        for s in &self.output_placement {
+            put_varint32(&mut out, s.0);
+        }
+        put_varint32(&mut out, self.scatter_width);
+        put_varint64(&mut out, self.max_output_bytes);
+        put_varint32(&mut out, self.block_size);
+        put_varint32(&mut out, self.bloom_bits_per_key);
+        out.push(self.drop_tombstones as u8);
+        out
+    }
+
+    /// Deserialize a job.
+    pub fn decode(src: &[u8]) -> Result<CompactionJob> {
+        let mut n = 0usize;
+        let (range_id, c) = decode_varint32(&src[n..])?;
+        n += c;
+        let (input_count, c) = decode_varint32(&src[n..])?;
+        n += c;
+        let mut inputs = Vec::with_capacity(input_count as usize);
+        for _ in 0..input_count {
+            let (encoded, c) = decode_length_prefixed_slice(&src[n..])?;
+            let (meta, _) = SstableMeta::decode(encoded)?;
+            inputs.push(meta);
+            n += c;
+        }
+        let (output_level, c) = decode_varint32(&src[n..])?;
+        n += c;
+        let (num_count, c) = decode_varint32(&src[n..])?;
+        n += c;
+        let mut output_file_numbers = Vec::with_capacity(num_count as usize);
+        for _ in 0..num_count {
+            let (v, c) = decode_varint64(&src[n..])?;
+            output_file_numbers.push(v);
+            n += c;
+        }
+        let (placement_count, c) = decode_varint32(&src[n..])?;
+        n += c;
+        let mut output_placement = Vec::with_capacity(placement_count as usize);
+        for _ in 0..placement_count {
+            let (v, c) = decode_varint32(&src[n..])?;
+            output_placement.push(StocId(v));
+            n += c;
+        }
+        let (scatter_width, c) = decode_varint32(&src[n..])?;
+        n += c;
+        let (max_output_bytes, c) = decode_varint64(&src[n..])?;
+        n += c;
+        let (block_size, c) = decode_varint32(&src[n..])?;
+        n += c;
+        let (bloom_bits_per_key, c) = decode_varint32(&src[n..])?;
+        n += c;
+        let drop_tombstones = *src
+            .get(n)
+            .ok_or_else(|| Error::Corruption("truncated compaction job".into()))?
+            != 0;
+        Ok(CompactionJob {
+            range_id,
+            inputs,
+            output_level,
+            output_file_numbers,
+            output_placement,
+            scatter_width,
+            max_output_bytes,
+            block_size,
+            bloom_bits_per_key,
+            drop_tombstones,
+        })
+    }
+
+    /// Total input bytes (used by schedulers to pick jobs).
+    pub fn input_bytes(&self) -> u64 {
+        self.inputs.iter().map(|i| i.data_size).sum()
+    }
+}
+
+/// Read every entry of an input table into memory (the "pre-fetch" step of
+/// the paper's offloaded compaction).
+pub fn load_table_entries(client: &StocClient, meta: &SstableMeta) -> Result<Vec<Entry>> {
+    let meta_block = read_meta_block(client, meta)?;
+    let reader = TableReader::open(&meta_block)?;
+    let mut fragments = Vec::with_capacity(meta.fragments.len());
+    for i in 0..meta.fragments.len() {
+        fragments.push(read_fragment(client, meta, i)?);
+    }
+    let fetcher = MemoryFetcher::new(fragments);
+    let mut iter = reader.iter(&fetcher);
+    collect_entries(&mut iter)
+}
+
+/// Execute a compaction job: merge the inputs, drop shadowed versions, split
+/// the survivors into output tables of at most `max_output_bytes` and write
+/// them to the StoCs named in the job. Returns the new tables' metadata.
+///
+/// The caller (LTC coordinator thread or StoC compaction thread) is
+/// responsible for installing the outputs in the MANIFEST and deleting the
+/// inputs afterwards.
+pub fn execute_compaction(client: &StocClient, job: &CompactionJob) -> Result<Vec<SstableMeta>> {
+    if job.inputs.is_empty() {
+        return Ok(Vec::new());
+    }
+    if job.output_placement.is_empty() {
+        return Err(Error::InvalidArgument("compaction job has no output placement".into()));
+    }
+    // Pre-fetch and wrap each input.
+    let mut children = Vec::with_capacity(job.inputs.len());
+    for meta in &job.inputs {
+        children.push(VecIterator::new(load_table_entries(client, meta)?));
+    }
+    let mut merged = MergingIterator::new(children);
+    let survivors =
+        nova_sstable::compact_entries(&mut merged, SequenceNumber::MAX, job.drop_tombstones)?;
+    if survivors.is_empty() {
+        return Ok(Vec::new());
+    }
+
+    let mut outputs = Vec::new();
+    let mut next_file = 0usize;
+    let mut next_placement = 0usize;
+    let scatter = job.scatter_width.max(1) as usize;
+    let mut builder: Option<TableBuilder> = None;
+    let mut current_bytes = 0u64;
+
+    let finish_current = |builder: &mut Option<TableBuilder>,
+                              next_file: &mut usize,
+                              next_placement: &mut usize,
+                              outputs: &mut Vec<SstableMeta>|
+     -> Result<()> {
+        if let Some(b) = builder.take() {
+            if b.num_entries() == 0 {
+                return Ok(());
+            }
+            let built = b.finish()?;
+            let file_number = *job
+                .output_file_numbers
+                .get(*next_file)
+                .ok_or_else(|| Error::InvalidArgument("compaction ran out of output file numbers".into()))?;
+            *next_file += 1;
+            // Round-robin fragments over the candidate StoCs.
+            let mut fragment_placement = Vec::with_capacity(built.fragments.len());
+            for _ in 0..built.fragments.len() {
+                let stoc = job.output_placement[*next_placement % job.output_placement.len()];
+                *next_placement += 1;
+                fragment_placement.push(vec![stoc]);
+            }
+            let meta_stoc = fragment_placement[0][0];
+            let spec = TableWriteSpec {
+                file_number,
+                level: job.output_level,
+                drange: None,
+                fragment_placement,
+                meta_placement: vec![meta_stoc],
+                parity_placement: None,
+            };
+            outputs.push(write_table(client, &built, &spec)?);
+        }
+        Ok(())
+    };
+
+    for entry in survivors {
+        if builder.is_none() {
+            builder = Some(TableBuilder::new(TableOptions {
+                block_size: job.block_size as usize,
+                bloom_bits_per_key: job.bloom_bits_per_key as usize,
+                num_fragments: scatter,
+            }));
+            current_bytes = 0;
+        }
+        current_bytes += entry.approximate_size() as u64;
+        builder.as_mut().expect("builder initialised above").add(&entry);
+        if current_bytes >= job.max_output_bytes {
+            finish_current(&mut builder, &mut next_file, &mut next_placement, &mut outputs)?;
+        }
+    }
+    finish_current(&mut builder, &mut next_file, &mut next_placement, &mut outputs)?;
+    Ok(outputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_round_trips() {
+        let job = CompactionJob {
+            range_id: 1,
+            inputs: vec![],
+            output_level: 2,
+            output_file_numbers: vec![10, 11, 12],
+            output_placement: vec![StocId(0), StocId(3)],
+            scatter_width: 2,
+            max_output_bytes: 1 << 20,
+            block_size: 4096,
+            bloom_bits_per_key: 10,
+            drop_tombstones: false,
+        };
+        let decoded = CompactionJob::decode(&job.encode()).unwrap();
+        assert_eq!(decoded, job);
+        assert_eq!(job.input_bytes(), 0);
+    }
+
+    #[test]
+    fn truncated_job_is_rejected() {
+        let job = CompactionJob {
+            range_id: 1,
+            inputs: vec![],
+            output_level: 2,
+            output_file_numbers: vec![10],
+            output_placement: vec![StocId(0)],
+            scatter_width: 1,
+            max_output_bytes: 1024,
+            block_size: 512,
+            bloom_bits_per_key: 0,
+            drop_tombstones: true,
+        };
+        let encoded = job.encode();
+        assert!(CompactionJob::decode(&encoded[..encoded.len() - 1]).is_err());
+    }
+}

@@ -1,0 +1,38 @@
+//! # nova-stoc
+//!
+//! The Storage Component (StoC) of Nova-LSM (Section 6 of the paper) and the
+//! client machinery other components use to talk to it.
+//!
+//! A StoC is deliberately simple: it stores, retrieves and manages
+//! variable-sized blocks in append-only files, exposes its disk queue depth
+//! (so LTCs can run power-of-d placement), serves one-sided in-memory files
+//! for LogC, and can execute offloaded compaction jobs on behalf of LTCs
+//! (Section 4.3).
+//!
+//! Storage media:
+//! * [`medium::SimDisk`] — an in-memory disk with a hard-disk timing model
+//!   (seek + bytes/bandwidth, single arm, observable queue). This substitutes
+//!   for the paper's per-node 1 TB hard disks and is what the experiment
+//!   harness uses.
+//! * [`medium::FsDisk`] — real files on the local filesystem, no timing
+//!   model.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod client;
+pub mod compaction;
+pub mod medium;
+pub mod message;
+pub mod server;
+pub mod table_io;
+
+pub use client::{MemFileHandle, StocClient, StocDirectory, StocStats};
+pub use compaction::{execute_compaction, load_table_entries, CompactionJob};
+pub use medium::{DiskStats, FsDisk, SimDisk, StorageMedium};
+pub use message::{StocRequest, StocResponse};
+pub use server::{StocServer, StocState};
+pub use table_io::{
+    delete_table, local_spec, read_fragment, read_meta_block, write_table, ScatteredBlockFetcher,
+    TableWriteSpec,
+};

@@ -1,0 +1,434 @@
+//! Storage media backing a StoC.
+//!
+//! The paper's StoCs use one 1 TB hard disk each; every headline result
+//! (shared-disk vs shared-nothing, power-of-d, write stalls) is driven by
+//! disk bandwidth contention and queueing. [`SimDisk`] models exactly those
+//! two things — a service time of `seek + bytes/bandwidth` per request and an
+//! observable queue — while holding file contents in memory so experiments
+//! are reproducible on a single machine. [`FsDisk`] stores contents in real
+//! files for functional (non-timing) use.
+
+use bytes::Bytes;
+use nova_common::config::DiskConfig;
+use nova_common::rate::{BusyTime, Counter};
+use nova_common::{Error, Result, StocFileId};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// The kind of I/O being performed; reads and writes are charged identically
+/// by the model but reported separately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoKind {
+    /// A read request.
+    Read,
+    /// A write (append) request.
+    Write,
+}
+
+/// A storage device holding StoC files.
+pub trait StorageMedium: Send + Sync {
+    /// Append `data` to `file`, creating it if needed. Returns the offset at
+    /// which the data landed.
+    fn append(&self, file: StocFileId, data: &[u8]) -> Result<u64>;
+
+    /// Read `len` bytes at `offset` from `file`.
+    fn read(&self, file: StocFileId, offset: u64, len: usize) -> Result<Bytes>;
+
+    /// Total size of `file` in bytes.
+    fn file_size(&self, file: StocFileId) -> Result<u64>;
+
+    /// Delete `file`.
+    fn delete(&self, file: StocFileId) -> Result<()>;
+
+    /// List every file currently stored.
+    fn list_files(&self) -> Vec<StocFileId>;
+
+    /// Number of requests currently queued or in service — the quantity the
+    /// power-of-d placement policy peeks at (Section 4.4).
+    fn queue_depth(&self) -> usize;
+
+    /// Cumulative statistics.
+    fn stats(&self) -> DiskStats;
+}
+
+/// A snapshot of a device's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiskStats {
+    /// Bytes written since creation.
+    pub bytes_written: u64,
+    /// Bytes read since creation.
+    pub bytes_read: u64,
+    /// Number of write requests.
+    pub writes: u64,
+    /// Number of read requests.
+    pub reads: u64,
+    /// Simulated busy time in nanoseconds (0 for [`FsDisk`]).
+    pub busy_nanos: u64,
+}
+
+impl DiskStats {
+    /// Device utilization over an elapsed wall-clock window.
+    pub fn utilization(&self, elapsed: Duration) -> f64 {
+        let e = elapsed.as_nanos() as u64;
+        if e == 0 {
+            return 0.0;
+        }
+        (self.busy_nanos as f64 / e as f64).min(1.0)
+    }
+}
+
+/// An in-memory disk with a timing model.
+pub struct SimDisk {
+    config: DiskConfig,
+    files: RwLock<HashMap<StocFileId, Vec<u8>>>,
+    /// The disk arm: one request is serviced at a time.
+    arm: Mutex<()>,
+    queue: AtomicUsize,
+    busy: BusyTime,
+    bytes_written: Counter,
+    bytes_read: Counter,
+    writes: Counter,
+    reads: Counter,
+}
+
+impl std::fmt::Debug for SimDisk {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimDisk")
+            .field("files", &self.files.read().len())
+            .field("queue", &self.queue.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl SimDisk {
+    /// Create a simulated disk with the given profile.
+    pub fn new(config: DiskConfig) -> Self {
+        SimDisk {
+            config,
+            files: RwLock::new(HashMap::new()),
+            arm: Mutex::new(()),
+            queue: AtomicUsize::new(0),
+            busy: BusyTime::new(),
+            bytes_written: Counter::new(),
+            bytes_read: Counter::new(),
+            writes: Counter::new(),
+            reads: Counter::new(),
+        }
+    }
+
+    /// The service time of one request of `bytes` bytes.
+    pub fn service_time(&self, bytes: usize) -> Duration {
+        let seek = Duration::from_micros(self.config.seek_micros);
+        let transfer_nanos =
+            (bytes as u128 * 1_000_000_000u128 / self.config.bandwidth_bytes_per_sec.max(1) as u128) as u64;
+        seek + Duration::from_nanos(transfer_nanos)
+    }
+
+    fn charge(&self, kind: IoKind, bytes: usize) {
+        let service = self.service_time(bytes);
+        self.queue.fetch_add(1, Ordering::SeqCst);
+        {
+            // Serialize access to the arm; waiting here is the queueing delay.
+            let _arm = self.arm.lock();
+            if !self.config.accounting_only && !service.is_zero() {
+                std::thread::sleep(service);
+            }
+            self.busy.add(service);
+        }
+        self.queue.fetch_sub(1, Ordering::SeqCst);
+        match kind {
+            IoKind::Read => {
+                self.reads.incr();
+                self.bytes_read.add(bytes as u64);
+            }
+            IoKind::Write => {
+                self.writes.incr();
+                self.bytes_written.add(bytes as u64);
+            }
+        }
+    }
+}
+
+impl StorageMedium for SimDisk {
+    fn append(&self, file: StocFileId, data: &[u8]) -> Result<u64> {
+        self.charge(IoKind::Write, data.len());
+        let mut files = self.files.write();
+        let contents = files.entry(file).or_default();
+        let offset = contents.len() as u64;
+        contents.extend_from_slice(data);
+        Ok(offset)
+    }
+
+    fn read(&self, file: StocFileId, offset: u64, len: usize) -> Result<Bytes> {
+        self.charge(IoKind::Read, len);
+        let files = self.files.read();
+        let contents = files
+            .get(&file)
+            .ok_or_else(|| Error::UnknownFile(format!("{file} not on this disk")))?;
+        let start = offset as usize;
+        let end = start + len;
+        if end > contents.len() {
+            return Err(Error::Io(format!(
+                "read [{start}, {end}) beyond end of {file} ({} bytes)",
+                contents.len()
+            )));
+        }
+        Ok(Bytes::copy_from_slice(&contents[start..end]))
+    }
+
+    fn file_size(&self, file: StocFileId) -> Result<u64> {
+        self.files
+            .read()
+            .get(&file)
+            .map(|c| c.len() as u64)
+            .ok_or_else(|| Error::UnknownFile(format!("{file} not on this disk")))
+    }
+
+    fn delete(&self, file: StocFileId) -> Result<()> {
+        self.files
+            .write()
+            .remove(&file)
+            .map(|_| ())
+            .ok_or_else(|| Error::UnknownFile(format!("{file} not on this disk")))
+    }
+
+    fn list_files(&self) -> Vec<StocFileId> {
+        let mut files: Vec<StocFileId> = self.files.read().keys().copied().collect();
+        files.sort();
+        files
+    }
+
+    fn queue_depth(&self) -> usize {
+        self.queue.load(Ordering::SeqCst)
+    }
+
+    fn stats(&self) -> DiskStats {
+        DiskStats {
+            bytes_written: self.bytes_written.get(),
+            bytes_read: self.bytes_read.get(),
+            writes: self.writes.get(),
+            reads: self.reads.get(),
+            busy_nanos: self.busy.busy_nanos(),
+        }
+    }
+}
+
+/// A storage medium backed by real files in a directory. No timing model:
+/// useful for durability-oriented integration tests and for users who want an
+/// actually-persistent single-node deployment.
+pub struct FsDisk {
+    dir: PathBuf,
+    queue: AtomicUsize,
+    bytes_written: Counter,
+    bytes_read: Counter,
+    writes: Counter,
+    reads: Counter,
+}
+
+impl std::fmt::Debug for FsDisk {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FsDisk").field("dir", &self.dir).finish()
+    }
+}
+
+impl FsDisk {
+    /// Create a filesystem-backed disk rooted at `dir` (created if missing).
+    pub fn new(dir: impl Into<PathBuf>) -> Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(FsDisk {
+            dir,
+            queue: AtomicUsize::new(0),
+            bytes_written: Counter::new(),
+            bytes_read: Counter::new(),
+            writes: Counter::new(),
+            reads: Counter::new(),
+        })
+    }
+
+    fn path(&self, file: StocFileId) -> PathBuf {
+        self.dir.join(format!("stocfile-{:016x}", file.0))
+    }
+}
+
+impl StorageMedium for FsDisk {
+    fn append(&self, file: StocFileId, data: &[u8]) -> Result<u64> {
+        use std::io::Write;
+        self.queue.fetch_add(1, Ordering::SeqCst);
+        let result = (|| {
+            let path = self.path(file);
+            let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+            let offset = f.metadata()?.len();
+            f.write_all(data)?;
+            f.sync_data()?;
+            Ok(offset)
+        })();
+        self.queue.fetch_sub(1, Ordering::SeqCst);
+        self.writes.incr();
+        self.bytes_written.add(data.len() as u64);
+        result
+    }
+
+    fn read(&self, file: StocFileId, offset: u64, len: usize) -> Result<Bytes> {
+        use std::io::{Read, Seek, SeekFrom};
+        self.queue.fetch_add(1, Ordering::SeqCst);
+        let result = (|| {
+            let path = self.path(file);
+            let mut f = std::fs::File::open(&path)
+                .map_err(|_| Error::UnknownFile(format!("{file} not on this disk")))?;
+            f.seek(SeekFrom::Start(offset))?;
+            let mut buf = vec![0u8; len];
+            f.read_exact(&mut buf)?;
+            Ok(Bytes::from(buf))
+        })();
+        self.queue.fetch_sub(1, Ordering::SeqCst);
+        self.reads.incr();
+        self.bytes_read.add(len as u64);
+        result
+    }
+
+    fn file_size(&self, file: StocFileId) -> Result<u64> {
+        std::fs::metadata(self.path(file))
+            .map(|m| m.len())
+            .map_err(|_| Error::UnknownFile(format!("{file} not on this disk")))
+    }
+
+    fn delete(&self, file: StocFileId) -> Result<()> {
+        std::fs::remove_file(self.path(file))
+            .map_err(|_| Error::UnknownFile(format!("{file} not on this disk")))
+    }
+
+    fn list_files(&self) -> Vec<StocFileId> {
+        let mut out = Vec::new();
+        if let Ok(entries) = std::fs::read_dir(&self.dir) {
+            for entry in entries.flatten() {
+                if let Some(name) = entry.file_name().to_str() {
+                    if let Some(hex) = name.strip_prefix("stocfile-") {
+                        if let Ok(id) = u64::from_str_radix(hex, 16) {
+                            out.push(StocFileId(id));
+                        }
+                    }
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    fn queue_depth(&self) -> usize {
+        self.queue.load(Ordering::SeqCst)
+    }
+
+    fn stats(&self) -> DiskStats {
+        DiskStats {
+            bytes_written: self.bytes_written.get(),
+            bytes_read: self.bytes_read.get(),
+            writes: self.writes.get(),
+            reads: self.reads.get(),
+            busy_nanos: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nova_common::StocId;
+
+    fn file(n: u32) -> StocFileId {
+        StocFileId::new(StocId(1), n)
+    }
+
+    fn fast_disk() -> SimDisk {
+        SimDisk::new(DiskConfig { bandwidth_bytes_per_sec: u64::MAX / 2, seek_micros: 0, accounting_only: true })
+    }
+
+    #[test]
+    fn sim_disk_append_read_round_trip() {
+        let disk = fast_disk();
+        let off0 = disk.append(file(1), b"hello ").unwrap();
+        let off1 = disk.append(file(1), b"world").unwrap();
+        assert_eq!(off0, 0);
+        assert_eq!(off1, 6);
+        assert_eq!(disk.read(file(1), 0, 11).unwrap().as_ref(), b"hello world");
+        assert_eq!(disk.read(file(1), 6, 5).unwrap().as_ref(), b"world");
+        assert_eq!(disk.file_size(file(1)).unwrap(), 11);
+        let stats = disk.stats();
+        assert_eq!(stats.writes, 2);
+        assert_eq!(stats.reads, 2);
+        assert_eq!(stats.bytes_written, 11);
+    }
+
+    #[test]
+    fn sim_disk_errors() {
+        let disk = fast_disk();
+        assert!(disk.read(file(9), 0, 1).is_err());
+        assert!(disk.file_size(file(9)).is_err());
+        assert!(disk.delete(file(9)).is_err());
+        disk.append(file(1), b"ab").unwrap();
+        assert!(disk.read(file(1), 1, 5).is_err());
+        disk.delete(file(1)).unwrap();
+        assert!(disk.read(file(1), 0, 1).is_err());
+    }
+
+    #[test]
+    fn sim_disk_lists_files_sorted() {
+        let disk = fast_disk();
+        disk.append(file(3), b"x").unwrap();
+        disk.append(file(1), b"x").unwrap();
+        disk.append(file(2), b"x").unwrap();
+        assert_eq!(disk.list_files(), vec![file(1), file(2), file(3)]);
+    }
+
+    #[test]
+    fn service_time_model() {
+        let disk = SimDisk::new(DiskConfig {
+            bandwidth_bytes_per_sec: 100 * 1000 * 1000,
+            seek_micros: 8_000,
+            accounting_only: true,
+        });
+        // 1 MB at 100 MB/s = 10 ms, plus 8 ms seek.
+        let t = disk.service_time(1_000_000);
+        assert_eq!(t, Duration::from_micros(18_000));
+        // Busy time accumulates even in accounting mode.
+        disk.append(file(1), &vec![0u8; 1_000_000]).unwrap();
+        assert_eq!(disk.stats().busy_nanos, 18_000_000);
+    }
+
+    #[test]
+    fn sim_disk_blocks_for_service_time_when_not_accounting_only() {
+        let disk = SimDisk::new(DiskConfig {
+            bandwidth_bytes_per_sec: 1000 * 1000 * 1000,
+            seek_micros: 2_000,
+            accounting_only: false,
+        });
+        let start = std::time::Instant::now();
+        disk.append(file(1), &[0u8; 1024]).unwrap();
+        assert!(start.elapsed() >= Duration::from_micros(2_000));
+    }
+
+    #[test]
+    fn utilization_is_bounded() {
+        let stats = DiskStats { busy_nanos: 2_000_000_000, ..Default::default() };
+        assert_eq!(stats.utilization(Duration::from_secs(1)), 1.0);
+        assert_eq!(stats.utilization(Duration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn fs_disk_round_trip() {
+        let dir = std::env::temp_dir().join(format!("nova-fsdisk-test-{}", std::process::id()));
+        let disk = FsDisk::new(&dir).unwrap();
+        let f = file(7);
+        disk.append(f, b"persistent").unwrap();
+        assert_eq!(disk.read(f, 0, 10).unwrap().as_ref(), b"persistent");
+        assert_eq!(disk.file_size(f).unwrap(), 10);
+        assert_eq!(disk.list_files(), vec![f]);
+        assert!(disk.read(file(8), 0, 1).is_err());
+        disk.delete(f).unwrap();
+        assert!(disk.list_files().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,604 @@
+//! The wire protocol between StoC clients (LTCs, LogCs, other StoCs) and a
+//! StoC server.
+//!
+//! The interfaces mirror Figure 4 and Section 6 of the paper: variable-sized
+//! block interfaces over append-only files, plus in-memory StoC files used by
+//! LogC, plus the compaction-offload entry point (Section 4.3). Data movement
+//! happens through one-sided verbs; these messages carry only control
+//! information and small metadata.
+
+use crate::compaction::CompactionJob;
+use nova_common::varint::{
+    decode_length_prefixed_slice, decode_varint32, decode_varint64, put_length_prefixed_slice,
+    put_varint32, put_varint64,
+};
+use nova_common::{Error, Result, StocFileId};
+use nova_sstable::SstableMeta;
+
+/// A request sent to a StoC.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StocRequest {
+    /// Open a new persistent StoC file and allocate a file-buffer memory
+    /// region of `size` bytes the client will `RDMA WRITE` its block into
+    /// (Figure 10, step 1).
+    OpenFileForWrite {
+        /// Size of the block about to be written.
+        size: u64,
+    },
+    /// Flush a previously opened file's buffer to disk and release the
+    /// buffer (Figure 10, steps 3–4).
+    SealFile {
+        /// The file returned by [`StocRequest::OpenFileForWrite`].
+        file: StocFileId,
+    },
+    /// Read `len` bytes at `offset` of `file` into the client's registered
+    /// region `client_region` via `RDMA WRITE` (Section 6.2).
+    ReadBlock {
+        /// File to read.
+        file: StocFileId,
+        /// Offset within the file.
+        offset: u64,
+        /// Number of bytes.
+        len: u64,
+        /// The client's memory region to write the data into.
+        client_region: u64,
+    },
+    /// Delete a persistent file.
+    DeleteFile {
+        /// File to delete.
+        file: StocFileId,
+    },
+    /// Query the size of a persistent file.
+    FileSize {
+        /// File to query.
+        file: StocFileId,
+    },
+    /// Query the disk queue depth (power-of-d peeks at this, Section 4.4).
+    QueueDepth,
+    /// List every persistent file on this StoC (used when a StoC rejoins the
+    /// configuration, Section 9).
+    ListFiles,
+    /// Open (or reopen) a named in-memory StoC file of `size` bytes backed by
+    /// a registered region; the client appends log records with one-sided
+    /// writes (Section 6.1).
+    OpenMemFile {
+        /// Logical name, e.g. `log/<range>/<memtable-id>`.
+        name: String,
+        /// Region capacity in bytes.
+        size: u64,
+    },
+    /// Look up a named in-memory file (used during recovery).
+    GetMemFile {
+        /// Logical name.
+        name: String,
+    },
+    /// List in-memory files whose name starts with `prefix`.
+    ListMemFiles {
+        /// Name prefix.
+        prefix: String,
+    },
+    /// Delete a named in-memory file (when its memtable is flushed).
+    DeleteMemFile {
+        /// Logical name.
+        name: String,
+    },
+    /// Execute an offloaded compaction job (Section 4.3).
+    Compaction(CompactionJob),
+    /// Retrieve cumulative statistics.
+    Stats,
+    /// Append a chunk of log records to a named *persistent* log file
+    /// (durability mode of LogC, Section 5). The write is charged to the
+    /// StoC's disk.
+    AppendLog {
+        /// Logical log name, e.g. `log/<range>/<memtable-id>`.
+        name: String,
+        /// The serialized log records.
+        data: Vec<u8>,
+    },
+    /// Read the entire contents of a named persistent log file.
+    ReadLog {
+        /// Logical log name.
+        name: String,
+    },
+    /// List persistent log files whose name starts with `prefix`.
+    ListLogs {
+        /// Name prefix.
+        prefix: String,
+    },
+    /// Delete a named persistent log file.
+    DeleteLog {
+        /// Logical log name.
+        name: String,
+    },
+}
+
+/// A successful response from a StoC.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StocResponse {
+    /// A file was opened; the client may now write into `region`.
+    Opened {
+        /// The new file's id.
+        file: StocFileId,
+        /// The file-buffer region to `RDMA WRITE` into.
+        region: u64,
+    },
+    /// A file was sealed to disk.
+    Sealed {
+        /// Final size of the file on disk.
+        size: u64,
+    },
+    /// A block read completed; the data now sits in the client's region.
+    BlockRead,
+    /// Generic acknowledgement.
+    Ok,
+    /// A file size.
+    Size {
+        /// The size in bytes.
+        size: u64,
+    },
+    /// The disk queue depth.
+    Depth {
+        /// Requests queued or in service.
+        depth: u64,
+    },
+    /// A list of persistent files.
+    Files {
+        /// The file ids.
+        files: Vec<StocFileId>,
+    },
+    /// Information about an in-memory file.
+    MemFile {
+        /// Backing file id.
+        file: StocFileId,
+        /// Registered region holding the contents.
+        region: u64,
+        /// Region capacity.
+        size: u64,
+    },
+    /// Names of in-memory files.
+    MemFiles {
+        /// Matching names.
+        names: Vec<String>,
+    },
+    /// Results of an offloaded compaction.
+    CompactionDone {
+        /// Metadata of the newly written output tables.
+        outputs: Vec<SstableMeta>,
+    },
+    /// Cumulative statistics.
+    Stats {
+        /// Disk queue depth.
+        queue_depth: u64,
+        /// Total bytes written to the medium.
+        bytes_written: u64,
+        /// Total bytes read from the medium.
+        bytes_read: u64,
+        /// Simulated disk busy time in nanoseconds.
+        disk_busy_nanos: u64,
+        /// Number of persistent files.
+        num_files: u64,
+    },
+    /// The contents of a persistent log file.
+    LogContent {
+        /// The serialized log records.
+        data: Vec<u8>,
+    },
+}
+
+// --- encoding helpers -------------------------------------------------------
+
+fn put_string(dst: &mut Vec<u8>, s: &str) {
+    put_length_prefixed_slice(dst, s.as_bytes());
+}
+
+fn get_string(src: &[u8]) -> Result<(String, usize)> {
+    let (bytes, n) = decode_length_prefixed_slice(src)?;
+    Ok((
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| Error::Corruption("invalid utf-8 in StoC message".into()))?,
+        n,
+    ))
+}
+
+impl StocRequest {
+    /// Serialize the request.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            StocRequest::OpenFileForWrite { size } => {
+                out.push(1);
+                put_varint64(&mut out, *size);
+            }
+            StocRequest::SealFile { file } => {
+                out.push(2);
+                put_varint64(&mut out, file.0);
+            }
+            StocRequest::ReadBlock { file, offset, len, client_region } => {
+                out.push(3);
+                put_varint64(&mut out, file.0);
+                put_varint64(&mut out, *offset);
+                put_varint64(&mut out, *len);
+                put_varint64(&mut out, *client_region);
+            }
+            StocRequest::DeleteFile { file } => {
+                out.push(4);
+                put_varint64(&mut out, file.0);
+            }
+            StocRequest::FileSize { file } => {
+                out.push(5);
+                put_varint64(&mut out, file.0);
+            }
+            StocRequest::QueueDepth => out.push(6),
+            StocRequest::ListFiles => out.push(7),
+            StocRequest::OpenMemFile { name, size } => {
+                out.push(8);
+                put_string(&mut out, name);
+                put_varint64(&mut out, *size);
+            }
+            StocRequest::GetMemFile { name } => {
+                out.push(9);
+                put_string(&mut out, name);
+            }
+            StocRequest::ListMemFiles { prefix } => {
+                out.push(10);
+                put_string(&mut out, prefix);
+            }
+            StocRequest::DeleteMemFile { name } => {
+                out.push(11);
+                put_string(&mut out, name);
+            }
+            StocRequest::Compaction(job) => {
+                out.push(12);
+                let encoded = job.encode();
+                put_length_prefixed_slice(&mut out, &encoded);
+            }
+            StocRequest::Stats => out.push(13),
+            StocRequest::AppendLog { name, data } => {
+                out.push(14);
+                put_string(&mut out, name);
+                put_length_prefixed_slice(&mut out, data);
+            }
+            StocRequest::ReadLog { name } => {
+                out.push(15);
+                put_string(&mut out, name);
+            }
+            StocRequest::ListLogs { prefix } => {
+                out.push(16);
+                put_string(&mut out, prefix);
+            }
+            StocRequest::DeleteLog { name } => {
+                out.push(17);
+                put_string(&mut out, name);
+            }
+        }
+        out
+    }
+
+    /// Deserialize a request.
+    pub fn decode(src: &[u8]) -> Result<StocRequest> {
+        let tag = *src.first().ok_or_else(|| Error::Corruption("empty StoC request".into()))?;
+        let body = &src[1..];
+        Ok(match tag {
+            1 => {
+                let (size, _) = decode_varint64(body)?;
+                StocRequest::OpenFileForWrite { size }
+            }
+            2 => {
+                let (file, _) = decode_varint64(body)?;
+                StocRequest::SealFile { file: StocFileId(file) }
+            }
+            3 => {
+                let (file, a) = decode_varint64(body)?;
+                let (offset, b) = decode_varint64(&body[a..])?;
+                let (len, c) = decode_varint64(&body[a + b..])?;
+                let (client_region, _) = decode_varint64(&body[a + b + c..])?;
+                StocRequest::ReadBlock { file: StocFileId(file), offset, len, client_region }
+            }
+            4 => {
+                let (file, _) = decode_varint64(body)?;
+                StocRequest::DeleteFile { file: StocFileId(file) }
+            }
+            5 => {
+                let (file, _) = decode_varint64(body)?;
+                StocRequest::FileSize { file: StocFileId(file) }
+            }
+            6 => StocRequest::QueueDepth,
+            7 => StocRequest::ListFiles,
+            8 => {
+                let (name, n) = get_string(body)?;
+                let (size, _) = decode_varint64(&body[n..])?;
+                StocRequest::OpenMemFile { name, size }
+            }
+            9 => {
+                let (name, _) = get_string(body)?;
+                StocRequest::GetMemFile { name }
+            }
+            10 => {
+                let (prefix, _) = get_string(body)?;
+                StocRequest::ListMemFiles { prefix }
+            }
+            11 => {
+                let (name, _) = get_string(body)?;
+                StocRequest::DeleteMemFile { name }
+            }
+            12 => {
+                let (encoded, _) = decode_length_prefixed_slice(body)?;
+                StocRequest::Compaction(CompactionJob::decode(encoded)?)
+            }
+            13 => StocRequest::Stats,
+            14 => {
+                let (name, n) = get_string(body)?;
+                let (data, _) = decode_length_prefixed_slice(&body[n..])?;
+                StocRequest::AppendLog { name, data: data.to_vec() }
+            }
+            15 => {
+                let (name, _) = get_string(body)?;
+                StocRequest::ReadLog { name }
+            }
+            16 => {
+                let (prefix, _) = get_string(body)?;
+                StocRequest::ListLogs { prefix }
+            }
+            17 => {
+                let (name, _) = get_string(body)?;
+                StocRequest::DeleteLog { name }
+            }
+            other => return Err(Error::Corruption(format!("unknown StoC request tag {other}"))),
+        })
+    }
+}
+
+impl StocResponse {
+    /// Serialize the response.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            StocResponse::Opened { file, region } => {
+                out.push(1);
+                put_varint64(&mut out, file.0);
+                put_varint64(&mut out, *region);
+            }
+            StocResponse::Sealed { size } => {
+                out.push(2);
+                put_varint64(&mut out, *size);
+            }
+            StocResponse::BlockRead => out.push(3),
+            StocResponse::Ok => out.push(4),
+            StocResponse::Size { size } => {
+                out.push(5);
+                put_varint64(&mut out, *size);
+            }
+            StocResponse::Depth { depth } => {
+                out.push(6);
+                put_varint64(&mut out, *depth);
+            }
+            StocResponse::Files { files } => {
+                out.push(7);
+                put_varint32(&mut out, files.len() as u32);
+                for f in files {
+                    put_varint64(&mut out, f.0);
+                }
+            }
+            StocResponse::MemFile { file, region, size } => {
+                out.push(8);
+                put_varint64(&mut out, file.0);
+                put_varint64(&mut out, *region);
+                put_varint64(&mut out, *size);
+            }
+            StocResponse::MemFiles { names } => {
+                out.push(9);
+                put_varint32(&mut out, names.len() as u32);
+                for n in names {
+                    put_string(&mut out, n);
+                }
+            }
+            StocResponse::CompactionDone { outputs } => {
+                out.push(10);
+                put_varint32(&mut out, outputs.len() as u32);
+                for o in outputs {
+                    let encoded = o.encode();
+                    put_length_prefixed_slice(&mut out, &encoded);
+                }
+            }
+            StocResponse::Stats { queue_depth, bytes_written, bytes_read, disk_busy_nanos, num_files } => {
+                out.push(11);
+                put_varint64(&mut out, *queue_depth);
+                put_varint64(&mut out, *bytes_written);
+                put_varint64(&mut out, *bytes_read);
+                put_varint64(&mut out, *disk_busy_nanos);
+                put_varint64(&mut out, *num_files);
+            }
+            StocResponse::LogContent { data } => {
+                out.push(12);
+                put_length_prefixed_slice(&mut out, data);
+            }
+        }
+        out
+    }
+
+    /// Deserialize a response.
+    pub fn decode(src: &[u8]) -> Result<StocResponse> {
+        let tag = *src.first().ok_or_else(|| Error::Corruption("empty StoC response".into()))?;
+        let body = &src[1..];
+        Ok(match tag {
+            1 => {
+                let (file, a) = decode_varint64(body)?;
+                let (region, _) = decode_varint64(&body[a..])?;
+                StocResponse::Opened { file: StocFileId(file), region }
+            }
+            2 => {
+                let (size, _) = decode_varint64(body)?;
+                StocResponse::Sealed { size }
+            }
+            3 => StocResponse::BlockRead,
+            4 => StocResponse::Ok,
+            5 => {
+                let (size, _) = decode_varint64(body)?;
+                StocResponse::Size { size }
+            }
+            6 => {
+                let (depth, _) = decode_varint64(body)?;
+                StocResponse::Depth { depth }
+            }
+            7 => {
+                let (count, mut n) = decode_varint32(body)?;
+                let mut files = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    let (f, c) = decode_varint64(&body[n..])?;
+                    files.push(StocFileId(f));
+                    n += c;
+                }
+                StocResponse::Files { files }
+            }
+            8 => {
+                let (file, a) = decode_varint64(body)?;
+                let (region, b) = decode_varint64(&body[a..])?;
+                let (size, _) = decode_varint64(&body[a + b..])?;
+                StocResponse::MemFile { file: StocFileId(file), region, size }
+            }
+            9 => {
+                let (count, mut n) = decode_varint32(body)?;
+                let mut names = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    let (s, c) = get_string(&body[n..])?;
+                    names.push(s);
+                    n += c;
+                }
+                StocResponse::MemFiles { names }
+            }
+            10 => {
+                let (count, mut n) = decode_varint32(body)?;
+                let mut outputs = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    let (encoded, c) = decode_length_prefixed_slice(&body[n..])?;
+                    let (meta, _) = SstableMeta::decode(encoded)?;
+                    outputs.push(meta);
+                    n += c;
+                }
+                StocResponse::CompactionDone { outputs }
+            }
+            11 => {
+                let (queue_depth, a) = decode_varint64(body)?;
+                let (bytes_written, b) = decode_varint64(&body[a..])?;
+                let (bytes_read, c) = decode_varint64(&body[a + b..])?;
+                let (disk_busy_nanos, d) = decode_varint64(&body[a + b + c..])?;
+                let (num_files, _) = decode_varint64(&body[a + b + c + d..])?;
+                StocResponse::Stats { queue_depth, bytes_written, bytes_read, disk_busy_nanos, num_files }
+            }
+            12 => {
+                let (data, _) = decode_length_prefixed_slice(body)?;
+                StocResponse::LogContent { data: data.to_vec() }
+            }
+            other => return Err(Error::Corruption(format!("unknown StoC response tag {other}"))),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nova_common::{StocBlockHandle, StocId};
+    use nova_sstable::FragmentLocation;
+
+    fn round_trip_request(req: StocRequest) {
+        let decoded = StocRequest::decode(&req.encode()).unwrap();
+        assert_eq!(decoded, req);
+    }
+
+    fn round_trip_response(resp: StocResponse) {
+        let decoded = StocResponse::decode(&resp.encode()).unwrap();
+        assert_eq!(decoded, resp);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_request(StocRequest::OpenFileForWrite { size: 1 << 20 });
+        round_trip_request(StocRequest::SealFile { file: StocFileId(99) });
+        round_trip_request(StocRequest::ReadBlock {
+            file: StocFileId(7),
+            offset: 4096,
+            len: 8192,
+            client_region: 3,
+        });
+        round_trip_request(StocRequest::DeleteFile { file: StocFileId(1) });
+        round_trip_request(StocRequest::FileSize { file: StocFileId(2) });
+        round_trip_request(StocRequest::QueueDepth);
+        round_trip_request(StocRequest::ListFiles);
+        round_trip_request(StocRequest::OpenMemFile { name: "log/3/17".into(), size: 1 << 16 });
+        round_trip_request(StocRequest::GetMemFile { name: "log/3/17".into() });
+        round_trip_request(StocRequest::ListMemFiles { prefix: "log/3/".into() });
+        round_trip_request(StocRequest::DeleteMemFile { name: "log/3/17".into() });
+        round_trip_request(StocRequest::Stats);
+        round_trip_request(StocRequest::AppendLog { name: "log/3/17".into(), data: vec![1, 2, 3] });
+        round_trip_request(StocRequest::ReadLog { name: "log/3/17".into() });
+        round_trip_request(StocRequest::ListLogs { prefix: "log/3/".into() });
+        round_trip_request(StocRequest::DeleteLog { name: "log/3/17".into() });
+    }
+
+    #[test]
+    fn compaction_request_round_trips() {
+        let meta = SstableMeta {
+            file_number: 5,
+            level: 0,
+            smallest: b"a".to_vec(),
+            largest: b"z".to_vec(),
+            num_entries: 10,
+            data_size: 100,
+            fragments: vec![FragmentLocation {
+                size: 100,
+                replicas: vec![StocBlockHandle {
+                    stoc: StocId(0),
+                    file: StocFileId::new(StocId(0), 1),
+                    offset: 0,
+                    size: 100,
+                }],
+            }],
+            meta_blocks: vec![],
+            parity: None,
+            drange: Some(1),
+        };
+        let job = CompactionJob {
+            range_id: 3,
+            inputs: vec![meta],
+            output_level: 1,
+            output_file_numbers: vec![100, 101],
+            output_placement: vec![StocId(0), StocId(1)],
+            scatter_width: 1,
+            max_output_bytes: 1 << 20,
+            block_size: 4096,
+            bloom_bits_per_key: 10,
+            drop_tombstones: true,
+        };
+        round_trip_request(StocRequest::Compaction(job));
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        round_trip_response(StocResponse::Opened { file: StocFileId(1), region: 2 });
+        round_trip_response(StocResponse::Sealed { size: 12345 });
+        round_trip_response(StocResponse::BlockRead);
+        round_trip_response(StocResponse::Ok);
+        round_trip_response(StocResponse::Size { size: 1 });
+        round_trip_response(StocResponse::Depth { depth: 7 });
+        round_trip_response(StocResponse::Files { files: vec![StocFileId(1), StocFileId(2)] });
+        round_trip_response(StocResponse::MemFile { file: StocFileId(3), region: 4, size: 5 });
+        round_trip_response(StocResponse::MemFiles { names: vec!["a".into(), "b".into()] });
+        round_trip_response(StocResponse::CompactionDone { outputs: vec![] });
+        round_trip_response(StocResponse::Stats {
+            queue_depth: 1,
+            bytes_written: 2,
+            bytes_read: 3,
+            disk_busy_nanos: 4,
+            num_files: 5,
+        });
+        round_trip_response(StocResponse::LogContent { data: vec![9, 8, 7] });
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(StocRequest::decode(&[]).is_err());
+        assert!(StocRequest::decode(&[200]).is_err());
+        assert!(StocResponse::decode(&[]).is_err());
+        assert!(StocResponse::decode(&[200]).is_err());
+    }
+}

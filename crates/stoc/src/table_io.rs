@@ -1,0 +1,233 @@
+//! Writing and reading whole SSTables through StoCs.
+//!
+//! Writing follows Section 4.4: the LTC (or an offloaded compaction) splits a
+//! built table into ρ fragments, writes each fragment to its assigned StoC in
+//! parallel with the others, optionally writes replicas and a parity block,
+//! and finally writes the metadata block(s). Reading resolves a logical
+//! [`BlockLocation`] to the physical [`StocBlockHandle`] of the fragment and
+//! falls back to replicas or parity reconstruction when a StoC has failed
+//! (Section 4.4.1).
+
+use crate::client::StocClient;
+use bytes::Bytes;
+use nova_common::{Error, FileNumber, Result, StocId};
+use nova_sstable::{
+    reconstruct_from_parity, BlockFetcher, BlockLocation, BuiltTable, FragmentLocation, SstableMeta,
+};
+
+/// Where each piece of a table should be written. Produced by the LTC's
+/// placement + availability policies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableWriteSpec {
+    /// File number to record in the resulting [`SstableMeta`].
+    pub file_number: FileNumber,
+    /// Level the table belongs to.
+    pub level: u32,
+    /// Drange that produced the table (Level-0 only).
+    pub drange: Option<u32>,
+    /// For each fragment, the list of StoCs to write it to (first is the
+    /// primary copy).
+    pub fragment_placement: Vec<Vec<StocId>>,
+    /// StoCs that receive a replica of the metadata block.
+    pub meta_placement: Vec<StocId>,
+    /// StoC that receives the parity block, if any.
+    pub parity_placement: Option<StocId>,
+}
+
+/// Write a built table according to `spec`, returning its metadata.
+pub fn write_table(client: &StocClient, built: &BuiltTable, spec: &TableWriteSpec) -> Result<SstableMeta> {
+    if spec.fragment_placement.len() != built.fragments.len() {
+        return Err(Error::InvalidArgument(format!(
+            "placement covers {} fragments but the table has {}",
+            spec.fragment_placement.len(),
+            built.fragments.len()
+        )));
+    }
+    let mut fragments = Vec::with_capacity(built.fragments.len());
+    for (payload, stocs) in built.fragments.iter().zip(spec.fragment_placement.iter()) {
+        if stocs.is_empty() {
+            return Err(Error::InvalidArgument("every fragment needs at least one StoC".into()));
+        }
+        let mut replicas = Vec::with_capacity(stocs.len());
+        for &stoc in stocs {
+            replicas.push(client.write_block(stoc, payload)?);
+        }
+        fragments.push(FragmentLocation { size: payload.len() as u64, replicas });
+    }
+
+    let parity = match spec.parity_placement {
+        Some(stoc) => Some(client.write_block(stoc, &built.parity_block())?),
+        None => None,
+    };
+
+    let mut meta_blocks = Vec::with_capacity(spec.meta_placement.len().max(1));
+    let meta_targets: &[StocId] = if spec.meta_placement.is_empty() {
+        // Default: co-locate the metadata block with the first fragment's
+        // primary copy.
+        &spec.fragment_placement[0][..1]
+    } else {
+        &spec.meta_placement
+    };
+    for &stoc in meta_targets {
+        meta_blocks.push(client.write_block(stoc, &built.meta)?);
+    }
+
+    Ok(SstableMeta {
+        file_number: spec.file_number,
+        level: spec.level,
+        smallest: built.properties.smallest.clone(),
+        largest: built.properties.largest.clone(),
+        num_entries: built.properties.num_entries,
+        data_size: built.properties.data_size,
+        fragments,
+        meta_blocks,
+        parity,
+        drange: spec.drange,
+    })
+}
+
+/// Read the metadata block of a table, trying each replica in turn.
+pub fn read_meta_block(client: &StocClient, meta: &SstableMeta) -> Result<Bytes> {
+    let mut last_err = Error::Unavailable(format!("table {} has no metadata replicas", meta.file_number));
+    for handle in &meta.meta_blocks {
+        match client.read_block(handle) {
+            Ok(bytes) => return Ok(bytes),
+            Err(e) => last_err = e,
+        }
+    }
+    Err(last_err)
+}
+
+/// Read one whole data fragment, falling back to replicas and then to parity
+/// reconstruction if its StoCs are unavailable.
+pub fn read_fragment(client: &StocClient, meta: &SstableMeta, index: usize) -> Result<Bytes> {
+    let fragment = meta
+        .fragments
+        .get(index)
+        .ok_or_else(|| Error::InvalidArgument(format!("fragment {index} does not exist")))?;
+    let mut last_err = Error::Unavailable(format!("fragment {index} has no replicas"));
+    for handle in &fragment.replicas {
+        match client.read_block(handle) {
+            Ok(bytes) => return Ok(bytes),
+            Err(e) => last_err = e,
+        }
+    }
+    // Degraded read: reconstruct from parity and the other fragments
+    // (Section 3.1: "the LTC reads the parity block and the other ρ−1 data
+    // block fragments to recover the missing fragment").
+    if let Some(parity_handle) = &meta.parity {
+        let parity = client.read_block(parity_handle)?;
+        let mut survivors = Vec::with_capacity(meta.fragments.len().saturating_sub(1));
+        for (i, other) in meta.fragments.iter().enumerate() {
+            if i == index {
+                continue;
+            }
+            let mut fetched = None;
+            for handle in &other.replicas {
+                if let Ok(bytes) = client.read_block(handle) {
+                    fetched = Some(bytes);
+                    break;
+                }
+            }
+            match fetched {
+                Some(bytes) => survivors.push(bytes),
+                None => {
+                    return Err(Error::Unavailable(format!(
+                        "cannot reconstruct fragment {index}: fragment {i} is also unavailable"
+                    )))
+                }
+            }
+        }
+        return Ok(Bytes::from(reconstruct_from_parity(&parity, &survivors, fragment.size as usize)));
+    }
+    Err(last_err)
+}
+
+/// A [`BlockFetcher`] that resolves logical block locations against the
+/// physical fragment handles of one table and reads them through a
+/// [`StocClient`], with replica and parity fallback.
+pub struct ScatteredBlockFetcher<'a> {
+    client: &'a StocClient,
+    meta: &'a SstableMeta,
+}
+
+impl<'a> ScatteredBlockFetcher<'a> {
+    /// Create a fetcher for `meta`.
+    pub fn new(client: &'a StocClient, meta: &'a SstableMeta) -> Self {
+        ScatteredBlockFetcher { client, meta }
+    }
+}
+
+impl BlockFetcher for ScatteredBlockFetcher<'_> {
+    fn fetch(&self, location: &BlockLocation) -> Result<Bytes> {
+        let fragment = self
+            .meta
+            .fragments
+            .get(location.fragment as usize)
+            .ok_or_else(|| Error::Corruption(format!("block references unknown fragment {}", location.fragment)))?;
+        let mut last_err = Error::Unavailable("fragment has no replicas".into());
+        for handle in &fragment.replicas {
+            match self.client.read_block_at(handle.stoc, handle.file, handle.offset + location.offset, location.size as usize) {
+                Ok(bytes) => return Ok(bytes),
+                Err(e) => last_err = e,
+            }
+        }
+        // Degraded path: rebuild the whole fragment, then slice out the block.
+        if self.meta.parity.is_some() {
+            let fragment_bytes = read_fragment(self.client, self.meta, location.fragment as usize)?;
+            let start = location.offset as usize;
+            let end = start + location.size as usize;
+            if end > fragment_bytes.len() {
+                return Err(Error::Corruption("block extends past reconstructed fragment".into()));
+            }
+            return Ok(fragment_bytes.slice(start..end));
+        }
+        Err(last_err)
+    }
+}
+
+/// Delete every physical piece of a table (fragments, replicas, parity,
+/// metadata blocks). Missing pieces are ignored so deletion is idempotent.
+pub fn delete_table(client: &StocClient, meta: &SstableMeta) {
+    for fragment in &meta.fragments {
+        for handle in &fragment.replicas {
+            let _ = client.delete_file(handle.stoc, handle.file);
+        }
+    }
+    for handle in &meta.meta_blocks {
+        let _ = client.delete_file(handle.stoc, handle.file);
+    }
+    if let Some(parity) = &meta.parity {
+        let _ = client.delete_file(parity.stoc, parity.file);
+    }
+}
+
+/// A helper used by tests and by single-node deployments: a write spec that
+/// stores every fragment, the metadata block and no parity on one StoC.
+pub fn local_spec(file_number: FileNumber, level: u32, drange: Option<u32>, num_fragments: usize, stoc: StocId) -> TableWriteSpec {
+    TableWriteSpec {
+        file_number,
+        level,
+        drange,
+        fragment_placement: vec![vec![stoc]; num_fragments],
+        meta_placement: vec![stoc],
+        parity_placement: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_spec_shape() {
+        let spec = local_spec(7, 1, Some(3), 4, StocId(2));
+        assert_eq!(spec.fragment_placement.len(), 4);
+        assert!(spec.fragment_placement.iter().all(|p| p == &vec![StocId(2)]));
+        assert_eq!(spec.meta_placement, vec![StocId(2)]);
+        assert_eq!(spec.parity_placement, None);
+        assert_eq!(spec.file_number, 7);
+        assert_eq!(spec.level, 1);
+        assert_eq!(spec.drange, Some(3));
+    }
+}

@@ -1,0 +1,282 @@
+//! The multi-threaded YCSB driver.
+//!
+//! The paper drives Nova-LSM with 60 YCSB clients × 512 threads; this
+//! in-process driver plays the same role: a configurable number of client
+//! threads issue operations drawn from a [`Workload`](crate::Workload)
+//! against anything implementing [`KvInterface`], while a sampler thread
+//! records a throughput time series and every operation's latency lands in a
+//! histogram.
+
+use crate::stats::RunReport;
+use crate::workload::{Operation, OperationGenerator, Workload};
+use nova_common::histogram::{Histogram, ThroughputSeries};
+use nova_common::keyspace::encode_key;
+use nova_common::{Error, Result};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The interface the driver exercises. Nova-LSM's client, the monolithic
+/// baselines and test doubles all implement it.
+pub trait KvInterface: Send + Sync {
+    /// Write a key-value pair.
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<()>;
+
+    /// Read a key; returns `Ok(true)` if found, `Ok(false)` if absent.
+    fn get(&self, key: &[u8]) -> Result<bool>;
+
+    /// Scan `count` records starting at `start_key`; returns the number of
+    /// records observed.
+    fn scan(&self, start_key: &[u8], count: usize) -> Result<usize>;
+}
+
+/// How long a benchmark run lasts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunLength {
+    /// Run for a fixed wall-clock duration.
+    Duration(Duration),
+    /// Run until each thread has issued a fixed number of operations.
+    Operations(u64),
+}
+
+/// Driver configuration.
+#[derive(Debug, Clone)]
+pub struct DriverConfig {
+    /// Number of client threads.
+    pub threads: usize,
+    /// Length of the run.
+    pub run_length: RunLength,
+    /// Throughput sampling interval for the time series.
+    pub sample_interval: Duration,
+    /// Base RNG seed (each thread derives its own).
+    pub seed: u64,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig {
+            threads: 4,
+            run_length: RunLength::Duration(Duration::from_secs(5)),
+            sample_interval: Duration::from_millis(250),
+            seed: 1,
+        }
+    }
+}
+
+/// Load the database: write every key in `[0, num_keys)` once, split across
+/// `threads` loader threads.
+pub fn load<S: KvInterface + ?Sized>(store: &S, num_keys: u64, value_size: usize, threads: usize) -> Result<()> {
+    let threads = threads.max(1);
+    let value = vec![b'v'; value_size];
+    let failed = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let value = &value;
+            let failed = &failed;
+            scope.spawn(move || {
+                let mut key = t as u64;
+                while key < num_keys {
+                    if store.put(&encode_key(key), value).is_err() {
+                        failed.store(true, Ordering::SeqCst);
+                        return;
+                    }
+                    key += threads as u64;
+                }
+            });
+        }
+    });
+    if failed.load(Ordering::SeqCst) {
+        return Err(Error::Unavailable("load phase failed".into()));
+    }
+    Ok(())
+}
+
+/// Run a workload against a store and report throughput and latency.
+pub fn run<S: KvInterface + ?Sized>(store: &S, workload: &Workload, config: &DriverConfig) -> RunReport {
+    let threads = config.threads.max(1);
+    let completed_ops = Arc::new(AtomicU64::new(0));
+    let stop = Arc::new(AtomicBool::new(false));
+    let start = Instant::now();
+
+    let mut series = ThroughputSeries::new();
+    let mut histograms: Vec<(Histogram, Histogram, Histogram)> = Vec::new();
+    let mut errors = 0u64;
+
+    std::thread::scope(|scope| {
+        // Client threads.
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let completed = Arc::clone(&completed_ops);
+            let stop = Arc::clone(&stop);
+            let workload = workload.clone();
+            let seed = config.seed.wrapping_mul(1_000_003).wrapping_add(t as u64);
+            let run_length = config.run_length;
+            handles.push(scope.spawn(move || {
+                let mut generator = OperationGenerator::new(workload, seed);
+                let mut get_hist = Histogram::new();
+                let mut put_hist = Histogram::new();
+                let mut scan_hist = Histogram::new();
+                let mut errors = 0u64;
+                let mut ops_done = 0u64;
+                loop {
+                    match run_length {
+                        RunLength::Duration(d) => {
+                            if start.elapsed() >= d {
+                                break;
+                            }
+                        }
+                        RunLength::Operations(n) => {
+                            if ops_done >= n {
+                                break;
+                            }
+                        }
+                    }
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let op = generator.next_operation();
+                    let op_start = Instant::now();
+                    let outcome = match &op {
+                        Operation::Get { key } => store.get(&encode_key(*key)).map(|_| ()),
+                        Operation::Put { key, value_size } => {
+                            store.put(&encode_key(*key), &vec![b'w'; *value_size])
+                        }
+                        Operation::Scan { start_key, count } => {
+                            store.scan(&encode_key(*start_key), *count).map(|_| ())
+                        }
+                    };
+                    let latency = op_start.elapsed();
+                    match &op {
+                        Operation::Get { .. } => get_hist.record(latency),
+                        Operation::Put { .. } => put_hist.record(latency),
+                        Operation::Scan { .. } => scan_hist.record(latency),
+                    }
+                    if outcome.is_err() {
+                        errors += 1;
+                    }
+                    ops_done += 1;
+                    completed.fetch_add(1, Ordering::Relaxed);
+                }
+                (get_hist, put_hist, scan_hist, errors)
+            }));
+        }
+
+        // Sampler: builds the throughput-over-time series.
+        let sampler = {
+            let completed = Arc::clone(&completed_ops);
+            let stop = Arc::clone(&stop);
+            let interval = config.sample_interval;
+            scope.spawn(move || {
+                let mut series = ThroughputSeries::new();
+                let mut last_count = 0u64;
+                let mut last_time = Instant::now();
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(interval);
+                    let now = Instant::now();
+                    let count = completed.load(Ordering::Relaxed);
+                    let elapsed = now.duration_since(last_time).as_secs_f64();
+                    if elapsed > 0.0 {
+                        series.push(start.elapsed().as_secs_f64(), (count - last_count) as f64 / elapsed);
+                    }
+                    last_count = count;
+                    last_time = now;
+                }
+                series
+            })
+        };
+
+        for handle in handles {
+            let (g, p, s, e) = handle.join().expect("client thread panicked");
+            histograms.push((g, p, s));
+            errors += e;
+        }
+        stop.store(true, Ordering::SeqCst);
+        series = sampler.join().expect("sampler thread panicked");
+    });
+
+    let elapsed = start.elapsed();
+    let mut gets = Histogram::new();
+    let mut puts = Histogram::new();
+    let mut scans = Histogram::new();
+    for (g, p, s) in &histograms {
+        gets.merge(g);
+        puts.merge(p);
+        scans.merge(s);
+    }
+    RunReport::new(workload.label(), completed_ops.load(Ordering::SeqCst), errors, elapsed, gets, puts, scans, series)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{Distribution, Mix};
+    use parking_lot::RwLock;
+    use std::collections::BTreeMap;
+
+    /// An in-memory store used to exercise the driver itself.
+    #[derive(Default)]
+    struct MapStore {
+        data: RwLock<BTreeMap<Vec<u8>, Vec<u8>>>,
+    }
+
+    impl KvInterface for MapStore {
+        fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+            self.data.write().insert(key.to_vec(), value.to_vec());
+            Ok(())
+        }
+
+        fn get(&self, key: &[u8]) -> Result<bool> {
+            Ok(self.data.read().contains_key(key))
+        }
+
+        fn scan(&self, start_key: &[u8], count: usize) -> Result<usize> {
+            Ok(self.data.read().range(start_key.to_vec()..).take(count).count())
+        }
+    }
+
+    #[test]
+    fn load_writes_every_key() {
+        let store = MapStore::default();
+        load(&store, 1_000, 16, 4).unwrap();
+        assert_eq!(store.data.read().len(), 1_000);
+    }
+
+    #[test]
+    fn run_by_operation_count_reports_throughput_and_latency() {
+        let store = MapStore::default();
+        load(&store, 500, 16, 2).unwrap();
+        let workload = Workload::new(Mix::Rw50, Distribution::zipfian_default(), 500, 16);
+        let config = DriverConfig {
+            threads: 3,
+            run_length: RunLength::Operations(500),
+            sample_interval: Duration::from_millis(10),
+            seed: 11,
+        };
+        let report = run(&store, &workload, &config);
+        assert_eq!(report.operations, 1_500);
+        assert_eq!(report.errors, 0);
+        assert!(report.throughput_ops_per_sec() > 0.0);
+        assert!(report.gets.count() > 0);
+        assert!(report.puts.count() > 0);
+        assert_eq!(report.scans.count(), 0);
+        assert!(!report.summary().is_empty());
+    }
+
+    #[test]
+    fn run_by_duration_terminates() {
+        let store = MapStore::default();
+        let workload = Workload::new(Mix::Sw50, Distribution::Uniform, 200, 8);
+        let config = DriverConfig {
+            threads: 2,
+            run_length: RunLength::Duration(Duration::from_millis(200)),
+            sample_interval: Duration::from_millis(50),
+            seed: 3,
+        };
+        let start = Instant::now();
+        let report = run(&store, &workload, &config);
+        assert!(start.elapsed() < Duration::from_secs(5));
+        assert!(report.operations > 0);
+        assert!(report.scans.count() > 0, "SW50 must issue scans");
+        assert!(!report.series.samples().is_empty());
+    }
+}

@@ -1,0 +1,21 @@
+//! # nova-ycsb
+//!
+//! A YCSB-style workload generator and multi-threaded driver used by the
+//! Nova-LSM experiment harness (Section 8.1 of the paper): the RW50 / SW50 /
+//! W100 / R100 operation mixes of Table 3, Uniform and Zipfian key choosers
+//! (with the YCSB default constant 0.99), a database loader, and per-run
+//! reports containing throughput, a throughput-over-time series and
+//! average/p95/p99 latencies.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod driver;
+pub mod stats;
+pub mod workload;
+pub mod zipfian;
+
+pub use driver::{load, run, DriverConfig, KvInterface, RunLength};
+pub use stats::RunReport;
+pub use workload::{Distribution, Mix, Operation, OperationGenerator, Workload};
+pub use zipfian::Zipfian;

@@ -1,0 +1,121 @@
+//! Benchmark run reports.
+
+use nova_common::histogram::{Histogram, ThroughputSeries};
+use std::time::Duration;
+
+/// The outcome of one benchmark run: the numbers the paper's figures and
+/// tables are built from.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The workload label, e.g. `"RW50 Zipfian"`.
+    pub workload: String,
+    /// Total operations completed.
+    pub operations: u64,
+    /// Operations that returned an error (excluding not-found reads).
+    pub errors: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Latency of gets.
+    pub gets: Histogram,
+    /// Latency of puts.
+    pub puts: Histogram,
+    /// Latency of scans.
+    pub scans: Histogram,
+    /// Throughput over time.
+    pub series: ThroughputSeries,
+}
+
+impl RunReport {
+    /// Assemble a report.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        workload: String,
+        operations: u64,
+        errors: u64,
+        elapsed: Duration,
+        gets: Histogram,
+        puts: Histogram,
+        scans: Histogram,
+        series: ThroughputSeries,
+    ) -> Self {
+        RunReport { workload, operations, errors, elapsed, gets, puts, scans, series }
+    }
+
+    /// Overall throughput in operations per second.
+    pub fn throughput_ops_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.operations as f64 / secs
+        }
+    }
+
+    /// Throughput in the paper's preferred unit (×1000 ops/s).
+    pub fn throughput_kops(&self) -> f64 {
+        self.throughput_ops_per_sec() / 1000.0
+    }
+
+    /// A latency histogram merging all operation types (used by Table 7).
+    pub fn all_operations(&self) -> Histogram {
+        let mut h = Histogram::new();
+        h.merge(&self.gets);
+        h.merge(&self.puts);
+        h.merge(&self.scans);
+        h
+    }
+
+    /// One-line summary suitable for experiment output.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<14} {:>10.1} kops/s  ops={:<9} errors={:<4} put[{}] get[{}] scan[{}]",
+            self.workload,
+            self.throughput_kops(),
+            self.operations,
+            self.errors,
+            self.puts.summary(),
+            self.gets.summary(),
+            self.scans.summary(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_math() {
+        let mut gets = Histogram::new();
+        gets.record_micros(100);
+        let report = RunReport::new(
+            "RW50 Uniform".into(),
+            10_000,
+            2,
+            Duration::from_secs(2),
+            gets,
+            Histogram::new(),
+            Histogram::new(),
+            ThroughputSeries::new(),
+        );
+        assert_eq!(report.throughput_ops_per_sec(), 5_000.0);
+        assert_eq!(report.throughput_kops(), 5.0);
+        assert_eq!(report.all_operations().count(), 1);
+        assert!(report.summary().contains("RW50 Uniform"));
+    }
+
+    #[test]
+    fn zero_duration_is_safe() {
+        let report = RunReport::new(
+            "W100".into(),
+            1,
+            0,
+            Duration::ZERO,
+            Histogram::new(),
+            Histogram::new(),
+            Histogram::new(),
+            ThroughputSeries::new(),
+        );
+        assert_eq!(report.throughput_ops_per_sec(), 0.0);
+    }
+}

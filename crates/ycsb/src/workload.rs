@@ -1,0 +1,256 @@
+//! YCSB-style workload definitions (Table 3 of the paper) and the key /
+//! operation generators that drive them.
+
+use crate::zipfian::Zipfian;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The access distributions evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Distribution {
+    /// Every key is equally likely.
+    Uniform,
+    /// Zipfian with the given constant (YCSB default 0.99).
+    Zipfian(f64),
+}
+
+impl Distribution {
+    /// The paper's default skewed distribution.
+    pub fn zipfian_default() -> Self {
+        Distribution::Zipfian(0.99)
+    }
+
+    /// A short human-readable label used in experiment output.
+    pub fn label(&self) -> String {
+        match self {
+            Distribution::Uniform => "Uniform".to_string(),
+            Distribution::Zipfian(c) => {
+                if (*c - 0.99).abs() < 1e-9 {
+                    "Zipfian".to_string()
+                } else {
+                    format!("Zipf {c}")
+                }
+            }
+        }
+    }
+}
+
+/// The operation mixes of Table 3, plus the read-only mix used by the
+/// response-time experiment (Table 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mix {
+    /// 50% read, 50% write.
+    Rw50,
+    /// 50% scan, 50% write.
+    Sw50,
+    /// 100% write.
+    W100,
+    /// 100% read.
+    R100,
+}
+
+impl Mix {
+    /// The label used in the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Mix::Rw50 => "RW50",
+            Mix::Sw50 => "SW50",
+            Mix::W100 => "W100",
+            Mix::R100 => "R100",
+        }
+    }
+
+    /// All mixes used by Figure 1 / 11 / 18.
+    pub fn standard() -> [Mix; 3] {
+        [Mix::Rw50, Mix::W100, Mix::Sw50]
+    }
+}
+
+/// One operation drawn from a workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Operation {
+    /// Read a single key.
+    Get {
+        /// The numeric key.
+        key: u64,
+    },
+    /// Write a value of `value_size` bytes to a key.
+    Put {
+        /// The numeric key.
+        key: u64,
+        /// Value size in bytes.
+        value_size: usize,
+    },
+    /// Scan `count` records starting at a key.
+    Scan {
+        /// The numeric start key.
+        start_key: u64,
+        /// Number of records to read (the paper uses 10).
+        count: usize,
+    },
+}
+
+/// A complete workload description.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Operation mix.
+    pub mix: Mix,
+    /// Key popularity distribution.
+    pub distribution: Distribution,
+    /// Number of records in the database.
+    pub num_keys: u64,
+    /// Value size in bytes (1 KB in the paper).
+    pub value_size: usize,
+    /// Records per scan (10 in the paper).
+    pub scan_length: usize,
+}
+
+impl Workload {
+    /// Create a workload over `num_keys` records.
+    pub fn new(mix: Mix, distribution: Distribution, num_keys: u64, value_size: usize) -> Self {
+        Workload { mix, distribution, num_keys, value_size, scan_length: 10 }
+    }
+
+    /// The label used in the paper's figures, e.g. `"RW50 Zipfian"`.
+    pub fn label(&self) -> String {
+        format!("{} {}", self.mix.label(), self.distribution.label())
+    }
+}
+
+/// A per-thread operation generator: owns its RNG so threads do not contend.
+#[derive(Debug)]
+pub struct OperationGenerator {
+    workload: Workload,
+    zipf: Option<Zipfian>,
+    rng: StdRng,
+}
+
+impl OperationGenerator {
+    /// Create a generator for `workload` seeded with `seed`.
+    pub fn new(workload: Workload, seed: u64) -> Self {
+        let zipf = match workload.distribution {
+            Distribution::Uniform => None,
+            Distribution::Zipfian(theta) => Some(Zipfian::new(workload.num_keys, theta)),
+        };
+        OperationGenerator { workload, zipf, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// The workload this generator draws from.
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    fn next_key(&mut self) -> u64 {
+        match &self.zipf {
+            Some(z) => z.next(&mut self.rng),
+            None => self.rng.gen_range(0..self.workload.num_keys),
+        }
+    }
+
+    /// Draw the next operation.
+    pub fn next_operation(&mut self) -> Operation {
+        let key = self.next_key();
+        let write = Operation::Put { key, value_size: self.workload.value_size };
+        match self.workload.mix {
+            Mix::W100 => write,
+            Mix::R100 => Operation::Get { key },
+            Mix::Rw50 => {
+                if self.rng.gen_bool(0.5) {
+                    Operation::Get { key }
+                } else {
+                    write
+                }
+            }
+            Mix::Sw50 => {
+                if self.rng.gen_bool(0.5) {
+                    Operation::Scan { start_key: key, count: self.workload.scan_length }
+                } else {
+                    write
+                }
+            }
+        }
+    }
+
+    /// Draw a key for the load phase (sequential loading uses `0..num_keys`
+    /// directly; this is for random refills).
+    pub fn next_load_key(&mut self) -> u64 {
+        self.rng.gen_range(0..self.workload.num_keys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_the_paper() {
+        assert_eq!(Mix::Rw50.label(), "RW50");
+        assert_eq!(Mix::Sw50.label(), "SW50");
+        assert_eq!(Mix::W100.label(), "W100");
+        assert_eq!(Mix::R100.label(), "R100");
+        assert_eq!(Distribution::Uniform.label(), "Uniform");
+        assert_eq!(Distribution::zipfian_default().label(), "Zipfian");
+        assert_eq!(Distribution::Zipfian(0.73).label(), "Zipf 0.73");
+        let w = Workload::new(Mix::Rw50, Distribution::Uniform, 100, 1024);
+        assert_eq!(w.label(), "RW50 Uniform");
+        assert_eq!(Mix::standard().len(), 3);
+    }
+
+    #[test]
+    fn mixes_produce_the_right_operation_ratios() {
+        let workload = Workload::new(Mix::Rw50, Distribution::Uniform, 1000, 64);
+        let mut generator = OperationGenerator::new(workload, 42);
+        let mut gets = 0;
+        let mut puts = 0;
+        for _ in 0..10_000 {
+            match generator.next_operation() {
+                Operation::Get { .. } => gets += 1,
+                Operation::Put { .. } => puts += 1,
+                Operation::Scan { .. } => panic!("RW50 never scans"),
+            }
+        }
+        let ratio = gets as f64 / (gets + puts) as f64;
+        assert!((ratio - 0.5).abs() < 0.05, "RW50 read ratio {ratio}");
+
+        let workload = Workload::new(Mix::W100, Distribution::Uniform, 1000, 64);
+        let mut generator = OperationGenerator::new(workload, 42);
+        assert!((0..1000).all(|_| matches!(generator.next_operation(), Operation::Put { .. })));
+
+        let workload = Workload::new(Mix::Sw50, Distribution::Uniform, 1000, 64);
+        let mut generator = OperationGenerator::new(workload, 42);
+        let scans = (0..10_000)
+            .filter(|_| matches!(generator.next_operation(), Operation::Scan { count: 10, .. }))
+            .count();
+        assert!(scans > 4_000 && scans < 6_000);
+
+        let workload = Workload::new(Mix::R100, Distribution::Uniform, 1000, 64);
+        let mut generator = OperationGenerator::new(workload, 42);
+        assert!((0..1000).all(|_| matches!(generator.next_operation(), Operation::Get { .. })));
+    }
+
+    #[test]
+    fn keys_stay_in_bounds_for_both_distributions() {
+        for dist in [Distribution::Uniform, Distribution::zipfian_default()] {
+            let workload = Workload::new(Mix::W100, dist, 500, 8);
+            let mut generator = OperationGenerator::new(workload, 9);
+            for _ in 0..5_000 {
+                match generator.next_operation() {
+                    Operation::Put { key, .. } => assert!(key < 500),
+                    _ => unreachable!(),
+                }
+            }
+            assert!(generator.next_load_key() < 500);
+            assert_eq!(generator.workload().num_keys, 500);
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        let workload = Workload::new(Mix::Rw50, Distribution::zipfian_default(), 1000, 64);
+        let mut a = OperationGenerator::new(workload.clone(), 5);
+        let mut b = OperationGenerator::new(workload, 5);
+        for _ in 0..100 {
+            assert_eq!(a.next_operation(), b.next_operation());
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! A Zipfian key chooser, following the YCSB / Gray et al. rejection-free
+//! construction used by the original YCSB `ZipfianGenerator`.
+//!
+//! The paper uses "the default Zipfian constant 0.99, resulting in 85% of
+//! requests to reference 10% of keys" (Section 8.1) and sweeps the constant
+//! (0.27, 0.73, 0.99) in the skew experiment (Figure 12).
+
+use rand::Rng;
+
+/// Generates items in `[0, n)` with a Zipfian popularity distribution.
+///
+/// Item 0 is the most popular. Callers typically scramble the output (YCSB's
+/// `ScrambledZipfianGenerator`) when they want the popular keys spread across
+/// the keyspace; Nova-LSM's experiments keep the natural order so the hottest
+/// keys land in the first range (that is exactly what makes the first LTC the
+/// bottleneck in Section 8.2.5).
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    items: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+fn zeta(n: u64, theta: f64) -> f64 {
+    // For the item counts used by the harness (≤ a few million) the direct
+    // sum is fast enough and exact.
+    let mut sum = 0.0;
+    for i in 1..=n {
+        sum += 1.0 / (i as f64).powf(theta);
+    }
+    sum
+}
+
+impl Zipfian {
+    /// Create a generator over `items` items with skew `theta` (the YCSB
+    /// "zipfian constant"). `theta` must be in `[0, 1)`.
+    pub fn new(items: u64, theta: f64) -> Self {
+        assert!(items > 0, "zipfian needs at least one item");
+        assert!((0.0..1.0).contains(&theta), "zipfian constant must be in [0, 1)");
+        let zetan = zeta(items, theta);
+        let zeta2theta = zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / items as f64).powf(1.0 - theta)) / (1.0 - zeta2theta / zetan);
+        Zipfian { items, theta, alpha, zetan, eta }
+    }
+
+    /// The YCSB default (constant 0.99).
+    pub fn ycsb_default(items: u64) -> Self {
+        Self::new(items, 0.99)
+    }
+
+    /// Number of items.
+    pub fn items(&self) -> u64 {
+        self.items
+    }
+
+    /// The skew constant.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Draw the next item (0 is the hottest).
+    pub fn next<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let spread = (self.eta * u - self.eta + 1.0).powf(self.alpha);
+        ((self.items as f64) * spread) as u64
+    }
+
+    /// The fraction of probability mass covered by the `top` most popular
+    /// items (used to sanity-check the "85% of requests reference 10% of
+    /// keys" claim).
+    pub fn mass_of_top(&self, top: u64) -> f64 {
+        zeta(top.min(self.items), self.theta) / self.zetan
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn values_are_in_range_and_skewed() {
+        let z = Zipfian::ycsb_default(10_000);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0u64; 10_000];
+        for _ in 0..200_000 {
+            let v = z.next(&mut rng);
+            assert!(v < 10_000);
+            counts[v as usize] += 1;
+        }
+        // Item 0 is by far the most popular.
+        let max = *counts.iter().max().unwrap();
+        assert_eq!(counts[0], max);
+        // Roughly 85% of requests hit the top 10% of items (paper, Section 8.1).
+        let top10: u64 = counts[..1000].iter().sum();
+        let frac = top10 as f64 / 200_000.0;
+        assert!(frac > 0.75 && frac < 0.95, "top-10% mass {frac} out of expected band");
+    }
+
+    #[test]
+    fn lower_constant_is_less_skewed() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let strong = Zipfian::new(10_000, 0.99);
+        let weak = Zipfian::new(10_000, 0.27);
+        let count_hot = |z: &Zipfian, rng: &mut StdRng| {
+            let mut hot = 0;
+            for _ in 0..50_000 {
+                if z.next(rng) < 1000 {
+                    hot += 1;
+                }
+            }
+            hot
+        };
+        let strong_hot = count_hot(&strong, &mut rng);
+        let weak_hot = count_hot(&weak, &mut rng);
+        assert!(strong_hot > weak_hot, "theta=0.99 must be more skewed than theta=0.27");
+        // Zipf 0.73 directs roughly half the requests to the top 10% (the
+        // paper quotes 53%).
+        let mid = Zipfian::new(10_000, 0.73);
+        let mid_hot = count_hot(&mid, &mut rng) as f64 / 50_000.0;
+        assert!(mid_hot > 0.4 && mid_hot < 0.65, "theta=0.73 hot fraction {mid_hot}");
+    }
+
+    #[test]
+    fn analytic_mass_matches_sampling() {
+        let z = Zipfian::ycsb_default(100_000);
+        let analytic = z.mass_of_top(10_000);
+        assert!(analytic > 0.75 && analytic < 0.95, "analytic top-10% mass {analytic}");
+        assert_eq!(z.items(), 100_000);
+        assert!((z.theta() - 0.99).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_items_is_rejected() {
+        let _ = Zipfian::new(0, 0.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn theta_of_one_is_rejected() {
+        let _ = Zipfian::new(10, 1.0);
+    }
+}

@@ -1,0 +1,48 @@
+//! Durability and fast recovery (Sections 5 and 8.2.8): writes are logged to
+//! in-memory StoC files replicated 3× with one-sided writes, an LTC "crashes"
+//! without flushing, and its ranges are rebuilt on the surviving LTC from the
+//! MANIFEST plus the replicated log records.
+//!
+//! Run with: `cargo run --release -p nova-examples --bin durability_recovery`
+
+use nova_common::config::LogPolicy;
+use nova_lsm::{presets, NovaClient, NovaCluster};
+
+fn main() {
+    let num_keys = 10_000u64;
+    let mut config = presets::test_cluster(2, 3, num_keys);
+    config.ranges_per_ltc = 2;
+    config.range.log_policy = LogPolicy::InMemoryReplicated { replicas: 3 };
+    let cluster = NovaCluster::start(config).expect("start cluster");
+    let client = NovaClient::new(cluster.clone());
+
+    println!("writing 5,000 orders with log replication (3 in-memory replicas per record)...");
+    for order in 0..5_000u64 {
+        let body = format!("{{\"order\":{order},\"status\":\"paid\"}}");
+        client.put_numeric(order, body.as_bytes()).expect("put");
+    }
+
+    let victim = cluster.ltc_ids()[0];
+    let victim_ranges = cluster.coordinator().configuration().ranges_of(victim);
+    println!("simulating a crash of {victim} (serving ranges {victim_ranges:?}) — memtables are lost");
+
+    let start = std::time::Instant::now();
+    let recovered = cluster.fail_and_recover_ltc(victim).expect("failover");
+    println!(
+        "recovered {recovered} ranges on the surviving LTC in {:.0} ms",
+        start.elapsed().as_secs_f64() * 1000.0
+    );
+
+    // Every order is still there: flushed data from SSTables, buffered data
+    // replayed from the replicated log records.
+    let mut missing = 0;
+    for order in 0..5_000u64 {
+        if client.get_numeric(order).is_err() {
+            missing += 1;
+        }
+    }
+    println!("verification: {} / 5000 orders readable after recovery", 5_000 - missing);
+    assert_eq!(missing, 0, "no orders may be lost");
+
+    cluster.shutdown();
+}

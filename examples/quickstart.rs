@@ -1,0 +1,54 @@
+//! Quickstart: start a small Nova-LSM cluster, write, read, scan, and look at
+//! the component statistics.
+//!
+//! Run with: `cargo run --release -p nova-examples --bin quickstart`
+
+use nova_common::keyspace::encode_key;
+use nova_lsm::{presets, NovaClient, NovaCluster};
+
+fn main() {
+    // A cluster with 1 LTC and 3 StoCs; SSTables are scattered across 2 StoCs
+    // chosen with power-of-d.
+    let mut config = presets::test_cluster(1, 3, 100_000);
+    config.range.scatter_width = 2;
+    let cluster = NovaCluster::start(config).expect("start cluster");
+    let client = NovaClient::new(cluster.clone());
+
+    println!("cluster: {} LTC(s), {} StoC(s)", cluster.ltc_ids().len(), cluster.stoc_ids().len());
+
+    // Write a batch of user records.
+    for user in 0..10_000u64 {
+        let profile = format!("{{\"user\":{user},\"karma\":{}}}", user * 7 % 1000);
+        client.put_numeric(user, profile.as_bytes()).expect("put");
+    }
+    println!("loaded 10,000 user profiles");
+
+    // Point reads.
+    let value = client.get_numeric(42).expect("get");
+    println!("user 42 -> {}", String::from_utf8_lossy(&value));
+
+    // A short scan.
+    let page = client.scan(&encode_key(100), 5).expect("scan");
+    println!("5 users starting at 100:");
+    for entry in &page {
+        println!("  {} -> {}", String::from_utf8_lossy(&entry.key), String::from_utf8_lossy(&entry.value));
+    }
+
+    // Deletes.
+    client.delete(&encode_key(42)).expect("delete");
+    assert!(client.get_numeric(42).is_err());
+    println!("user 42 deleted");
+
+    // Component statistics: how much work each LTC and StoC did.
+    for (id, stats) in cluster.ltc_stats() {
+        println!(
+            "{id}: {} writes, {} gets, {} flushes, {} memtable merges, {} stalls",
+            stats.writes, stats.gets, stats.flushes, stats.memtable_merges, stats.stalls
+        );
+    }
+    for (id, stats) in cluster.stoc_stats() {
+        println!("{id}: {} bytes written, {} files", stats.bytes_written, stats.num_files);
+    }
+
+    cluster.shutdown();
+}

@@ -1,0 +1,1 @@
+//! Shared helpers for the Nova-LSM examples.

@@ -1,0 +1,1 @@
+//! Shared helpers for the cross-crate integration tests. The tests themselves live in `tests/tests/`.

@@ -1,0 +1,175 @@
+//! End-to-end integration tests spanning every crate: a full Nova-LSM cluster
+//! (fabric + StoCs + LTCs + coordinator) driven through the public client
+//! API.
+
+use nova_common::keyspace::encode_key;
+use nova_common::Error;
+use nova_lsm::{presets, NovaClient, NovaCluster};
+
+#[test]
+fn put_get_scan_across_multiple_ltcs_and_stocs() {
+    let mut config = presets::test_cluster(2, 3, 10_000);
+    config.ranges_per_ltc = 2;
+    config.range.scatter_width = 2;
+    let cluster = NovaCluster::start(config).unwrap();
+    let client = NovaClient::new(cluster.clone());
+
+    for i in 0..3_000u64 {
+        client.put_numeric(i, format!("value-{i}").as_bytes()).unwrap();
+    }
+    // Reads hit every LTC (keys span all 4 ranges).
+    for i in (0..3_000u64).step_by(97) {
+        assert_eq!(client.get_numeric(i).unwrap().as_ref(), format!("value-{i}").as_bytes());
+    }
+    assert!(matches!(client.get_numeric(9_999), Err(Error::NotFound)));
+
+    // A scan crossing a range boundary (ranges are 2 500 keys wide, so this
+    // one starts in range 0 and finishes in range 1).
+    let result = client.scan(&encode_key(2_495), 10).unwrap();
+    assert_eq!(result.len(), 10);
+    let keys: Vec<u64> = result.iter().map(|e| nova_common::keyspace::decode_key(&e.key).unwrap()).collect();
+    assert_eq!(keys, (2_495..2_505).collect::<Vec<_>>());
+
+    // Deletes are visible cluster-wide.
+    client.delete(&encode_key(100)).unwrap();
+    assert!(client.get_numeric(100).is_err());
+
+    // Write into the second LTC's half of the keyspace so both did work.
+    for i in 6_000..6_200u64 {
+        client.put_numeric(i, b"second-ltc").unwrap();
+    }
+    assert_eq!(client.get_numeric(6_100).unwrap().as_ref(), b"second-ltc");
+    let stats = cluster.ltc_stats();
+    assert_eq!(stats.len(), 2);
+    assert!(stats.values().all(|s| s.writes > 0));
+    cluster.shutdown();
+}
+
+#[test]
+fn data_survives_flushes_and_compactions_under_load() {
+    let mut config = presets::test_cluster(1, 3, 5_000);
+    config.range.scatter_width = 2;
+    config.range.level0_stall_bytes = 128 * 1024;
+    let cluster = NovaCluster::start(config).unwrap();
+    let client = NovaClient::new(cluster.clone());
+
+    // Several overwrite rounds force flushes and at least one compaction.
+    for round in 0..4u64 {
+        for i in 0..2_000u64 {
+            client.put_numeric(i, format!("round-{round}-{i}").as_bytes()).unwrap();
+        }
+    }
+    cluster.flush_all().unwrap();
+    for i in (0..2_000u64).step_by(41) {
+        assert_eq!(
+            client.get_numeric(i).unwrap().as_ref(),
+            format!("round-3-{i}").as_bytes(),
+            "key {i} must return its latest version"
+        );
+    }
+    // SSTables were written to more than one StoC (shared-disk behaviour).
+    let stoc_stats = cluster.stoc_stats();
+    let busy = stoc_stats.values().filter(|s| s.bytes_written > 0).count();
+    assert!(busy >= 2, "scatter_width=2 must spread bytes across StoCs, only {busy} were written");
+    cluster.shutdown();
+}
+
+#[test]
+fn ltc_failure_recovers_ranges_on_survivors_with_logging() {
+    let mut config = presets::test_cluster(2, 3, 4_000);
+    config.ranges_per_ltc = 2;
+    config.range.log_policy = nova_common::config::LogPolicy::InMemoryReplicated { replicas: 3 };
+    let cluster = NovaCluster::start(config).unwrap();
+    let client = NovaClient::new(cluster.clone());
+
+    for i in 0..1_000u64 {
+        client.put_numeric(i, format!("durable-{i}").as_bytes()).unwrap();
+    }
+    let failed = cluster.ltc_ids()[0];
+    let recovered = cluster.fail_and_recover_ltc(failed).unwrap();
+    assert_eq!(recovered, 2, "both of the failed LTC's ranges must be recovered");
+    assert_eq!(cluster.ltc_ids().len(), 1);
+
+    // Every key is still readable: flushed data comes from SSTables, buffered
+    // data is replayed from the replicated log records.
+    for i in (0..1_000u64).step_by(23) {
+        assert_eq!(
+            client.get_numeric(i).unwrap().as_ref(),
+            format!("durable-{i}").as_bytes(),
+            "key {i} lost after LTC failure"
+        );
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn range_migration_moves_load_without_losing_data() {
+    let mut config = presets::test_cluster(2, 2, 4_000);
+    config.ranges_per_ltc = 2;
+    let cluster = NovaCluster::start(config).unwrap();
+    let client = NovaClient::new(cluster.clone());
+
+    for i in 0..1_000u64 {
+        client.put_numeric(i, b"before-migration").unwrap();
+    }
+    let ltcs = cluster.ltc_ids();
+    let source = ltcs[0];
+    let destination = ltcs[1];
+    let range = cluster.coordinator().configuration().ranges_of(source)[0];
+
+    cluster.migrate_range(range, destination).unwrap();
+    let config_after = cluster.coordinator().configuration();
+    assert_eq!(config_after.ltc_of(range), Some(destination));
+
+    // All keys (including those of the migrated range) remain readable and
+    // writable through the client, which re-routes transparently.
+    for i in (0..1_000u64).step_by(13) {
+        assert_eq!(client.get_numeric(i).unwrap().as_ref(), b"before-migration");
+    }
+    client.put_numeric(5, b"after-migration").unwrap();
+    assert_eq!(client.get_numeric(5).unwrap().as_ref(), b"after-migration");
+    cluster.shutdown();
+}
+
+#[test]
+fn elastic_scale_out_and_in_of_stocs_and_ltcs() {
+    let mut config = presets::test_cluster(1, 2, 4_000);
+    config.range.scatter_width = 1;
+    let cluster = NovaCluster::start(config).unwrap();
+    let client = NovaClient::new(cluster.clone());
+
+    for i in 0..500u64 {
+        client.put_numeric(i, b"v").unwrap();
+    }
+    // Scale out: a new StoC joins and is used for new SSTables immediately.
+    let new_stoc = cluster.add_stoc().unwrap();
+    assert!(cluster.stoc_ids().contains(&new_stoc));
+    // Scale out LTCs and rebalance ranges onto the new one.
+    let new_ltc = cluster.add_ltc().unwrap();
+    assert!(cluster.ltc_ids().contains(&new_ltc));
+    let range = cluster.coordinator().configuration().range_assignment.keys().copied().next().unwrap();
+    cluster.migrate_range(range, new_ltc).unwrap();
+    assert_eq!(cluster.coordinator().configuration().ltc_of(range), Some(new_ltc));
+    for i in (0..500u64).step_by(7) {
+        assert_eq!(client.get_numeric(i).unwrap().as_ref(), b"v");
+    }
+    // Scale the StoC back in.
+    cluster.remove_stoc(new_stoc).unwrap();
+    assert!(!cluster.stoc_ids().contains(&new_stoc));
+    // Removing the last remaining StoCs is refused.
+    let remaining = cluster.stoc_ids();
+    for s in &remaining[..remaining.len() - 1] {
+        cluster.remove_stoc(*s).unwrap();
+    }
+    assert!(cluster.remove_stoc(remaining[remaining.len() - 1]).is_err());
+    cluster.shutdown();
+}
+
+#[test]
+fn heartbeats_keep_leases_alive() {
+    let config = presets::test_cluster(1, 1, 1_000);
+    let cluster = NovaCluster::start(config).unwrap();
+    cluster.heartbeat_all();
+    assert!(cluster.coordinator().expired_components().is_empty());
+    cluster.shutdown();
+}

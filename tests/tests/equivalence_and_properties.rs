@@ -1,0 +1,167 @@
+//! Property-style integration tests: Nova-LSM must agree with a simple
+//! in-memory model database under arbitrary operation sequences, and with the
+//! monolithic baseline built on the same substrate.
+
+use nova_common::keyspace::encode_key;
+use nova_lsm::baseline::{BaselineCluster, BaselineKind};
+use nova_lsm::{presets, NovaClient, NovaCluster};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// An operation in the randomly generated workload.
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u64, Vec<u8>),
+    Delete(u64),
+    Get(u64),
+    Scan(u64, usize),
+}
+
+fn op_strategy(num_keys: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..num_keys, proptest::collection::vec(any::<u8>(), 1..32)).prop_map(|(k, v)| Op::Put(k, v)),
+        (0..num_keys).prop_map(Op::Delete),
+        (0..num_keys).prop_map(Op::Get),
+        (0..num_keys, 1usize..8).prop_map(|(k, n)| Op::Scan(k, n)),
+    ]
+}
+
+fn apply_to_model(model: &mut BTreeMap<u64, Vec<u8>>, op: &Op) {
+    match op {
+        Op::Put(k, v) => {
+            model.insert(*k, v.clone());
+        }
+        Op::Delete(k) => {
+            model.remove(k);
+        }
+        _ => {}
+    }
+}
+
+fn check_against_model(client: &NovaClient, model: &BTreeMap<u64, Vec<u8>>, op: &Op) {
+    match op {
+        Op::Get(k) => {
+            let expected = model.get(k);
+            match client.get_numeric(*k) {
+                Ok(v) => assert_eq!(Some(v.as_ref()), expected.map(|e| e.as_slice()), "get({k}) mismatch"),
+                Err(nova_common::Error::NotFound) => assert!(expected.is_none(), "get({k}) should have found a value"),
+                Err(e) => panic!("get({k}) failed: {e}"),
+            }
+        }
+        Op::Scan(k, n) => {
+            let got = client.scan(&encode_key(*k), *n).unwrap();
+            let expected: Vec<(u64, Vec<u8>)> =
+                model.range(*k..).take(*n).map(|(k, v)| (*k, v.clone())).collect();
+            assert_eq!(got.len(), expected.len(), "scan({k}, {n}) length mismatch");
+            for (entry, (ek, ev)) in got.iter().zip(expected.iter()) {
+                assert_eq!(nova_common::keyspace::decode_key(&entry.key), Some(*ek));
+                assert_eq!(entry.value.as_ref(), ev.as_slice());
+            }
+        }
+        _ => {}
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, max_shrink_iters: 0, ..ProptestConfig::default() })]
+    #[test]
+    fn nova_lsm_matches_a_model_database(ops in proptest::collection::vec(op_strategy(256), 1..200)) {
+        let mut config = presets::test_cluster(1, 2, 256);
+        // Tiny memtables so the sequence exercises flushes too.
+        config.range.memtable_size_bytes = 4 * 1024;
+        let cluster = NovaCluster::start(config).unwrap();
+        let client = NovaClient::new(cluster.clone());
+        let mut model = BTreeMap::new();
+        for op in &ops {
+            match op {
+                Op::Put(k, v) => client.put_numeric(*k, v).unwrap(),
+                Op::Delete(k) => client.delete(&encode_key(*k)).unwrap(),
+                _ => check_against_model(&client, &model, op),
+            }
+            apply_to_model(&mut model, op);
+        }
+        // Final full check of every key the model knows about.
+        for (k, v) in &model {
+            let got = client.get_numeric(*k).unwrap();
+            prop_assert_eq!(got.as_ref(), v.as_slice());
+        }
+        cluster.shutdown();
+    }
+}
+
+#[test]
+fn nova_and_baseline_agree_on_results() {
+    // Same workload against Nova-LSM and the LevelDB-like baseline: the
+    // architectures differ but the answers must not.
+    let num_keys = 2_000u64;
+    let nova_config = presets::test_cluster(1, 2, num_keys);
+    let nova = NovaCluster::start(nova_config).unwrap();
+    let nova_client = NovaClient::new(nova.clone());
+    let baseline = BaselineCluster::start(
+        BaselineKind::LevelDb,
+        2,
+        num_keys,
+        16 * 1024,
+        nova_common::config::DiskConfig { bandwidth_bytes_per_sec: u64::MAX / 2, seek_micros: 0, accounting_only: true },
+    )
+    .unwrap();
+
+    let mut state = 99u64;
+    for i in 0..4_000u64 {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let key = state % num_keys;
+        let value = format!("v-{i}");
+        nova_client.put_numeric(key, value.as_bytes()).unwrap();
+        baseline.put(&encode_key(key), value.as_bytes()).unwrap();
+        if i % 10 == 0 {
+            let a = nova_client.get_numeric(key).unwrap();
+            let b = baseline.get(&encode_key(key)).unwrap();
+            assert_eq!(a, b, "nova and baseline disagree on key {key}");
+        }
+    }
+    // Scans agree as well.
+    let a = nova_client.scan(&encode_key(100), 20).unwrap();
+    let b = baseline.scan(&encode_key(100), 20).unwrap();
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert_eq!(x.key, y.key);
+        assert_eq!(x.value, y.value);
+    }
+    nova.shutdown();
+    baseline.shutdown();
+}
+
+#[test]
+fn stoc_failure_with_hybrid_availability_preserves_reads() {
+    let mut config = presets::test_cluster(1, 4, 3_000);
+    config.range.scatter_width = 3;
+    config.range.availability = nova_common::config::AvailabilityPolicy::Hybrid;
+    let cluster = NovaCluster::start(config).unwrap();
+    let client = NovaClient::new(cluster.clone());
+    for i in 0..1_500u64 {
+        client.put_numeric(i, vec![b'x'; 64].as_slice()).unwrap();
+    }
+    cluster.flush_all().unwrap();
+
+    // Fail one StoC node.
+    let victim = cluster.stoc_ids()[1];
+    let stats_before = cluster.stoc_stats();
+    assert!(stats_before[&victim].bytes_written > 0 || stats_before.values().any(|s| s.bytes_written > 0));
+    let victim_node = nova_common::NodeId((cluster.config().num_ltcs + victim.0 as usize) as u32);
+    cluster.fabric().fail_node(victim_node);
+
+    let mut ok = 0;
+    let mut total = 0;
+    for i in (0..1_500u64).step_by(31) {
+        total += 1;
+        if client.get_numeric(i).is_ok() {
+            ok += 1;
+        }
+    }
+    assert!(
+        ok * 10 >= total * 9,
+        "with hybrid availability at least 90% of keys must survive a StoC failure ({ok}/{total})"
+    );
+    cluster.fabric().recover_node(victim_node);
+    cluster.shutdown();
+}
