@@ -77,7 +77,11 @@ impl BaselineCluster {
             let local_stoc = StocId(server as u32);
             let endpoint = fabric.endpoint(NodeId(server as u32));
             let client = StocClient::new(endpoint, directory.clone());
-            let logc = Arc::new(LogC::new(client.clone(), config.log_policy, memtable_size_bytes as u64));
+            let logc = Arc::new(LogC::new(
+                client.clone(),
+                config.log_policy,
+                memtable_size_bytes as u64,
+            ));
             let placer = Placer::new(
                 client.clone(),
                 config.placement,
@@ -86,6 +90,9 @@ impl BaselineCluster {
                 range_idx as u64 + 1,
             );
             let manifest = Manifest::new(local_stoc, &format!("{}-range-{range_idx}", kind.label()));
+            // The monolithic baselines read their local disks directly, like
+            // stock LevelDB with its cache off — keeping them cache-less makes
+            // the Nova-LSM block cache's contribution visible in comparisons.
             let engine = RangeEngine::new(
                 RangeId(range_idx as u32),
                 partition.interval(RangeId(range_idx as u32)),
@@ -94,11 +101,20 @@ impl BaselineCluster {
                 logc,
                 placer,
                 manifest,
+                None,
             )?;
             engines.push(engine);
         }
 
-        Ok(BaselineCluster { kind, fabric, directory, stoc_servers, engines, partition, num_servers })
+        Ok(BaselineCluster {
+            kind,
+            fabric,
+            directory,
+            stoc_servers,
+            engines,
+            partition,
+            num_servers,
+        })
     }
 
     /// Which baseline this cluster emulates.
@@ -194,7 +210,11 @@ mod tests {
     use nova_common::Error;
 
     fn fast_disk() -> DiskConfig {
-        DiskConfig { bandwidth_bytes_per_sec: u64::MAX / 2, seek_micros: 0, accounting_only: true }
+        DiskConfig {
+            bandwidth_bytes_per_sec: u64::MAX / 2,
+            seek_micros: 0,
+            accounting_only: true,
+        }
     }
 
     #[test]
@@ -208,7 +228,10 @@ mod tests {
             cluster.put(&encode_key(i), format!("v{i}").as_bytes()).unwrap();
         }
         for i in (0..10_000u64).step_by(101) {
-            assert_eq!(cluster.get(&encode_key(i)).unwrap().as_ref(), format!("v{i}").as_bytes());
+            assert_eq!(
+                cluster.get(&encode_key(i)).unwrap().as_ref(),
+                format!("v{i}").as_bytes()
+            );
         }
         assert!(matches!(cluster.get(&encode_key(3)), Err(Error::NotFound)));
         cluster.delete(&encode_key(101)).unwrap();
@@ -240,8 +263,14 @@ mod tests {
         }
         cluster.flush_all().unwrap();
         let stats = cluster.disk_stats();
-        assert!(stats[0].bytes_written > 0, "server 0's local disk must receive the SSTables");
-        assert_eq!(stats[1].bytes_written, 0, "shared-nothing: server 1's disk must stay idle");
+        assert!(
+            stats[0].bytes_written > 0,
+            "server 0's local disk must receive the SSTables"
+        );
+        assert_eq!(
+            stats[1].bytes_written, 0,
+            "shared-nothing: server 1's disk must stay idle"
+        );
         cluster.shutdown();
     }
 }

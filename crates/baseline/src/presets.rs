@@ -133,7 +133,9 @@ mod tests {
         assert_eq!(BaselineKind::LevelDb.range_config(1 << 20).max_memtables, 2);
         assert_eq!(BaselineKind::RocksDb.range_config(1 << 20).max_memtables, 128);
         assert!(
-            BaselineKind::RocksDbTuned.range_config(1 << 20).level0_stall_bytes
+            BaselineKind::RocksDbTuned
+                .range_config(1 << 20)
+                .level0_stall_bytes
                 > BaselineKind::RocksDb.range_config(1 << 20).level0_stall_bytes
         );
     }

@@ -16,14 +16,19 @@ fn bench_cluster_ops(c: &mut Criterion) {
     }
 
     let mut group = c.benchmark_group("cluster");
-    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
     group.throughput(Throughput::Elements(1));
 
     group.bench_function("put", |b| {
         let mut i = 0u64;
         b.iter(|| {
             i += 1;
-            client.put_numeric(i % num_keys, b"updated-value-payload").unwrap();
+            client
+                .put_numeric(i % num_keys, b"updated-value-payload")
+                .unwrap();
         });
     });
     group.bench_function("get", |b| {

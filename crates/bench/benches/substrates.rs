@@ -17,7 +17,10 @@ use std::time::Duration;
 
 fn quick(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
     let mut group = c.benchmark_group("nova");
-    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
     group
 }
 
@@ -29,7 +32,12 @@ fn bench_memtable(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i += 1;
-            memtable.add(i, ValueType::Value, &encode_key(i % 100_000), b"value-payload-64-bytes");
+            memtable.add(
+                i,
+                ValueType::Value,
+                &encode_key(i % 100_000),
+                b"value-payload-64-bytes",
+            );
         });
     });
     group.bench_function("memtable_get", |b| {
@@ -47,15 +55,20 @@ fn bench_memtable(c: &mut Criterion) {
 }
 
 fn bench_sstable(c: &mut Criterion) {
-    let entries: Vec<Entry> =
-        (0..20_000u64).map(|i| Entry::put(encode_key(i), i + 1, vec![b'v'; 128])).collect();
+    let entries: Vec<Entry> = (0..20_000u64)
+        .map(|i| Entry::put(encode_key(i), i + 1, vec![b'v'; 128]))
+        .collect();
     let mut group = quick(c);
     group.throughput(Throughput::Elements(20_000));
     group.bench_function("sstable_build_20k_entries", |b| {
         b.iter_batched(
             || entries.clone(),
             |entries| {
-                let mut builder = TableBuilder::new(TableOptions { block_size: 4096, bloom_bits_per_key: 10, num_fragments: 3 });
+                let mut builder = TableBuilder::new(TableOptions {
+                    block_size: 4096,
+                    bloom_bits_per_key: 10,
+                    num_fragments: 3,
+                });
                 for e in &entries {
                     builder.add(e);
                 }
@@ -65,7 +78,11 @@ fn bench_sstable(c: &mut Criterion) {
         );
     });
     // Point reads against a built table.
-    let mut builder = TableBuilder::new(TableOptions { block_size: 4096, bloom_bits_per_key: 10, num_fragments: 3 });
+    let mut builder = TableBuilder::new(TableOptions {
+        block_size: 4096,
+        bloom_bits_per_key: 10,
+        num_fragments: 3,
+    });
     for e in &entries {
         builder.add(e);
     }

@@ -14,7 +14,13 @@ fn main() {
     let servers = 10;
     print_header(
         "Figure 1: shared-nothing vs shared-disk (10 servers)",
-        &["workload", "distribution", "shared-nothing kops", "shared-disk kops", "factor"],
+        &[
+            "workload",
+            "distribution",
+            "shared-nothing kops",
+            "shared-disk kops",
+            "factor",
+        ],
     );
     for mix in Mix::standard() {
         for dist in [Distribution::Uniform, Distribution::zipfian_default()] {
@@ -26,7 +32,11 @@ fn main() {
             let store = nova_store(presets::shared_disk(servers, servers, 3, scale.num_keys), &scale);
             let disk = run_workload(&store, mix, dist, &scale);
             store.shutdown();
-            let factor = if nothing.throughput_kops() > 0.0 { disk.throughput_kops() / nothing.throughput_kops() } else { 0.0 };
+            let factor = if nothing.throughput_kops() > 0.0 {
+                disk.throughput_kops() / nothing.throughput_kops()
+            } else {
+                0.0
+            };
             print_row(&[
                 mix.label().to_string(),
                 dist.label(),

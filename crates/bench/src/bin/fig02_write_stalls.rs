@@ -16,7 +16,13 @@ fn main() {
     ];
     print_header(
         "Figure 2: write stalls vs memtables and StoCs (W100 Uniform)",
-        &["configuration", "mean kops", "peak kops", "stall fraction", "stalls"],
+        &[
+            "configuration",
+            "mean kops",
+            "peak kops",
+            "stall fraction",
+            "stalls",
+        ],
     );
     for (label, memtables, active, stocs) in configurations {
         let mut config = presets::shared_disk(1, stocs, 1, scale.num_keys);

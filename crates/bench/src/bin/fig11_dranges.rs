@@ -11,7 +11,13 @@ fn main() {
     let scale = BenchScale::from_args();
     print_header(
         "Figure 11: Nova-LSM vs Nova-LSM-R vs Nova-LSM-S (η=1, β=10)",
-        &["workload", "distribution", "Nova-LSM-R kops", "Nova-LSM-S kops", "Nova-LSM kops"],
+        &[
+            "workload",
+            "distribution",
+            "Nova-LSM-R kops",
+            "Nova-LSM-S kops",
+            "Nova-LSM kops",
+        ],
     );
     for mix in Mix::standard() {
         for dist in [Distribution::Uniform, Distribution::zipfian_default()] {
@@ -39,7 +45,14 @@ fn main() {
             let report_full = run_workload(&store, mix, dist, &scale);
             if mix == Mix::W100 {
                 if let Some(cluster) = store.nova() {
-                    let range = cluster.coordinator().configuration().range_assignment.keys().copied().next().unwrap();
+                    let range = cluster
+                        .coordinator()
+                        .configuration()
+                        .range_assignment
+                        .keys()
+                        .copied()
+                        .next()
+                        .unwrap();
                     let engine = cluster.ltc(cluster.ltc_ids()[0]).unwrap().range(range).unwrap();
                     let stats = engine.drange_stats();
                     println!(

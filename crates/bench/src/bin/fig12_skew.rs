@@ -15,7 +15,13 @@ fn main() {
     ];
     print_header(
         "Figure 12: impact of skew (η=1, β=10, ρ=1)",
-        &["workload", "Uniform kops", "Zipf 0.27 kops", "Zipf 0.73 kops", "Zipf 0.99 kops"],
+        &[
+            "workload",
+            "Uniform kops",
+            "Zipf 0.27 kops",
+            "Zipf 0.73 kops",
+            "Zipf 0.99 kops",
+        ],
     );
     for mix in [Mix::Rw50, Mix::W100, Mix::Sw50] {
         let mut cells = vec![mix.label().to_string()];

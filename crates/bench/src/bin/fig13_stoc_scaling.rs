@@ -9,7 +9,15 @@ fn main() {
     let scale = BenchScale::from_args();
     print_header(
         "Figure 13: scalability of 1 LTC vs number of StoCs (ρ=1)",
-        &["workload", "distribution", "β=1 kops", "β=3 kops", "β=5 kops", "β=10 kops", "scalability(10)"],
+        &[
+            "workload",
+            "distribution",
+            "β=1 kops",
+            "β=3 kops",
+            "β=5 kops",
+            "β=10 kops",
+            "scalability(10)",
+        ],
     );
     for mix in Mix::standard() {
         for dist in [Distribution::Uniform, Distribution::zipfian_default()] {

@@ -9,7 +9,15 @@ fn main() {
     let scale = BenchScale::from_args();
     print_header(
         "Figure 14: scalability vs number of LTCs (β=10, ρ=3, Uniform)",
-        &["workload", "η=1 kops", "η=2 kops", "η=3 kops", "η=4 kops", "η=5 kops", "scalability(5)"],
+        &[
+            "workload",
+            "η=1 kops",
+            "η=2 kops",
+            "η=3 kops",
+            "η=4 kops",
+            "η=5 kops",
+            "scalability(5)",
+        ],
     );
     for mix in [Mix::Rw50, Mix::W100, Mix::Sw50] {
         let mut cells = vec![mix.label().to_string()];

@@ -29,8 +29,11 @@ fn main() {
             let report = run_workload(&store, mix, Distribution::Uniform, &scale);
             if mix == Mix::W100 {
                 if let Some(cluster) = store.nova() {
-                    let mut bytes: Vec<(u32, u64)> =
-                        cluster.stoc_stats().into_iter().map(|(s, st)| (s.0, st.bytes_written)).collect();
+                    let mut bytes: Vec<(u32, u64)> = cluster
+                        .stoc_stats()
+                        .into_iter()
+                        .map(|(s, st)| (s.0, st.bytes_written))
+                        .collect();
                     bytes.sort();
                     disk_rows.push((label.to_string(), bytes.into_iter().map(|(_, b)| b).collect()));
                 }
@@ -40,7 +43,10 @@ fn main() {
         }
         print_row(&cells);
     }
-    print_header("Figure 16b: bytes written per StoC during W100", &["policy", "per-StoC bytes written"]);
+    print_header(
+        "Figure 16b: bytes written per StoC during W100",
+        &["policy", "per-StoC bytes written"],
+    );
     for (label, bytes) in disk_rows {
         print_row(&[label, format!("{bytes:?}")]);
     }

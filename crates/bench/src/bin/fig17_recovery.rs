@@ -28,7 +28,15 @@ fn build_logged_range(
                 seek_micros: 0,
                 accounting_only: true,
             }));
-            StocServer::start(StocId(i as u32), NodeId(i as u32 + 1), &fabric, directory.clone(), medium, 2, 1)
+            StocServer::start(
+                StocId(i as u32),
+                NodeId(i as u32 + 1),
+                &fabric,
+                directory.clone(),
+                medium,
+                2,
+                1,
+            )
         })
         .collect();
     let client = StocClient::new(fabric.endpoint(NodeId(0)), directory);
@@ -42,7 +50,11 @@ fn build_logged_range(
     config.level0_stall_bytes = u64::MAX;
 
     // Populate: write enough entries to fill roughly `memtables` memtables.
-    let logc = Arc::new(LogC::new(client.clone(), config.log_policy, config.memtable_size_bytes as u64 * 2));
+    let logc = Arc::new(LogC::new(
+        client.clone(),
+        config.log_policy,
+        config.memtable_size_bytes as u64 * 2,
+    ));
     let placer = Placer::new(client.clone(), config.placement, config.availability, None, 1);
     let manifest = Manifest::new(StocId(0), "fig17");
     let engine = RangeEngine::new(
@@ -53,11 +65,14 @@ fn build_logged_range(
         logc,
         placer,
         manifest,
+        None,
     )
     .expect("engine");
     let total = entries_per_memtable * memtables as u64;
     for i in 0..total {
-        engine.put(&encode_key(i % 1_000_000), &vec![b'r'; value_size]).expect("put");
+        engine
+            .put(&encode_key(i % 1_000_000), &vec![b'r'; value_size])
+            .expect("put");
     }
     engine.shutdown();
     (servers, client, config)
@@ -69,11 +84,20 @@ fn main() {
 
     print_header(
         "Figure 17a: recovery duration vs number of memtables (1 recovery thread)",
-        &["memtables δ", "log fetch+parse ms", "memtable rebuild ms", "total ms"],
+        &[
+            "memtables δ",
+            "log fetch+parse ms",
+            "memtable rebuild ms",
+            "total ms",
+        ],
     );
     for memtables in [1usize, 8, 32] {
         let (servers, client, config) = build_logged_range(3, memtables, 200, value_size);
-        let logc = Arc::new(LogC::new(client.clone(), config.log_policy, config.memtable_size_bytes as u64 * 2));
+        let logc = Arc::new(LogC::new(
+            client.clone(),
+            config.log_policy,
+            config.memtable_size_bytes as u64 * 2,
+        ));
         let fetch_start = Instant::now();
         let records = logc.recover_range(RangeId(0), 1).expect("recover logs");
         let fetch_ms = fetch_start.elapsed().as_secs_f64() * 1000.0;
@@ -88,6 +112,7 @@ fn main() {
             logc,
             placer,
             manifest,
+            None,
             1,
         )
         .expect("recover engine");
@@ -111,7 +136,11 @@ fn main() {
     );
     for threads in [1usize, 2, 4, 8, 16] {
         let (servers, client, config) = build_logged_range(3, 32, 200, value_size);
-        let logc = Arc::new(LogC::new(client.clone(), config.log_policy, config.memtable_size_bytes as u64 * 2));
+        let logc = Arc::new(LogC::new(
+            client.clone(),
+            config.log_policy,
+            config.memtable_size_bytes as u64 * 2,
+        ));
         let placer = Placer::new(client.clone(), config.placement, config.availability, None, 3);
         let manifest = Manifest::new(StocId(0), "fig17");
         let start = Instant::now();
@@ -123,6 +152,7 @@ fn main() {
             logc,
             placer,
             manifest,
+            None,
             threads,
         )
         .expect("recover engine");

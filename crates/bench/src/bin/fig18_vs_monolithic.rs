@@ -13,7 +13,9 @@ fn main() {
     let scale = BenchScale::from_args();
     let ten_nodes = std::env::args().any(|a| a == "--ten-nodes");
     let servers = if ten_nodes { 10 } else { 1 };
-    let memtable_bytes = presets::scaled_experiment(scale.num_keys).range.memtable_size_bytes;
+    let memtable_bytes = presets::scaled_experiment(scale.num_keys)
+        .range
+        .memtable_size_bytes;
 
     print_header(
         &format!("Figure 18: Nova-LSM vs monolithic baselines ({servers} server(s))"),
@@ -24,7 +26,11 @@ fn main() {
             let mut leveldb_kops = 0.0;
             // Baselines.
             let kinds: Vec<BaselineKind> = if ten_nodes {
-                vec![BaselineKind::LevelDbStar, BaselineKind::RocksDbStar, BaselineKind::RocksDbTuned]
+                vec![
+                    BaselineKind::LevelDbStar,
+                    BaselineKind::RocksDbStar,
+                    BaselineKind::RocksDbTuned,
+                ]
             } else {
                 all_kinds().to_vec()
             };
@@ -35,7 +41,11 @@ fn main() {
                 if kind == BaselineKind::LevelDb || (ten_nodes && kind == BaselineKind::LevelDbStar) {
                     leveldb_kops = report.throughput_kops();
                 }
-                let factor = if leveldb_kops > 0.0 { report.throughput_kops() / leveldb_kops } else { 1.0 };
+                let factor = if leveldb_kops > 0.0 {
+                    report.throughput_kops() / leveldb_kops
+                } else {
+                    1.0
+                };
                 print_row(&[
                     mix.label().to_string(),
                     dist.label(),
@@ -52,12 +62,18 @@ fn main() {
                     presets::shared_disk(1, 1, 1, scale.num_keys)
                 };
                 if logging {
-                    config.range.log_policy = LogPolicy::InMemoryReplicated { replicas: 3.min(servers as u32) };
+                    config.range.log_policy = LogPolicy::InMemoryReplicated {
+                        replicas: 3.min(servers as u32),
+                    };
                 }
                 let store = nova_store(config, &scale);
                 let report = run_workload(&store, mix, dist, &scale);
                 store.shutdown();
-                let factor = if leveldb_kops > 0.0 { report.throughput_kops() / leveldb_kops } else { 1.0 };
+                let factor = if leveldb_kops > 0.0 {
+                    report.throughput_kops() / leveldb_kops
+                } else {
+                    1.0
+                };
                 print_row(&[
                     mix.label().to_string(),
                     dist.label(),

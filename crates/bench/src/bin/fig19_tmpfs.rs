@@ -12,7 +12,9 @@ use nova_ycsb::{Distribution, Mix};
 fn main() {
     let mut scale = BenchScale::from_args();
     scale.disk = DiskConfig::tmpfs();
-    let memtable_bytes = presets::scaled_experiment(scale.num_keys).range.memtable_size_bytes;
+    let memtable_bytes = presets::scaled_experiment(scale.num_keys)
+        .range
+        .memtable_size_bytes;
     print_header(
         "Figure 19: Nova-LSM vs baselines on tmpfs (10 servers)",
         &["workload", "distribution", "system", "kops"],

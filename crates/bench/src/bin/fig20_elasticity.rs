@@ -21,7 +21,11 @@ fn main() {
     config.range.max_memtables = 8;
     let store = nova_store(config, &scale);
     let report = run_workload(&store, Mix::Sw50, Distribution::Uniform, &scale);
-    print_row(&["start".into(), "1".into(), format!("{:.1}", report.throughput_kops())]);
+    print_row(&[
+        "start".into(),
+        "1".into(),
+        format!("{:.1}", report.throughput_kops()),
+    ]);
     if let Some(cluster) = store.nova() {
         for phase in 0..2 {
             let new_ltc = cluster.add_ltc().expect("add ltc");
@@ -56,7 +60,12 @@ fn main() {
     config.ranges_per_ltc = 4;
     let store = nova_store(config, &scale);
     let report = run_workload(&store, Mix::Rw50, Distribution::Uniform, &scale);
-    print_row(&["start".into(), "3".into(), format!("{:.1}", report.throughput_kops()), store.nova().map(|c| c.total_stalls()).unwrap_or(0).to_string()]);
+    print_row(&[
+        "start".into(),
+        "3".into(),
+        format!("{:.1}", report.throughput_kops()),
+        store.nova().map(|c| c.total_stalls()).unwrap_or(0).to_string(),
+    ]);
     if let Some(cluster) = store.nova() {
         let mut added = Vec::new();
         for _ in 0..3 {

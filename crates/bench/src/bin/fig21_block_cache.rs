@@ -1,0 +1,92 @@
+//! Figure 21 (repo extension): the LTC block cache under Zipfian skew.
+//!
+//! Sweeps the per-LTC block-cache capacity (as a fraction of the loaded
+//! dataset) against read-only (R100) workloads at several Zipfian constants
+//! and reports throughput plus the measured cache hit rate. The paper's LTCs
+//! are the memory-rich tier; this experiment quantifies how much of the
+//! StoC round-trip cost a block cache recovers once data lives in SSTables.
+//!
+//! Every memtable is flushed before the measured run so reads exercise the
+//! SSTable path (the memtables would otherwise absorb the hot set).
+
+use nova_bench::{nova_store, print_header, print_row, run_workload, BenchScale};
+use nova_common::config::CacheConfig;
+use nova_lsm::presets;
+use nova_ycsb::{Distribution, Mix};
+
+fn main() {
+    let scale = BenchScale::from_args();
+    // Dataset bytes ≈ keys × (key + value + per-entry overhead).
+    let dataset_bytes = scale.num_keys * (20 + scale.value_size as u64 + 16);
+    let fractions: [(f64, &str); 5] = [
+        (0.0, "off"),
+        (0.01, "1%"),
+        (0.05, "5%"),
+        (0.10, "10%"),
+        (0.25, "25%"),
+    ];
+    let skews = [
+        Distribution::Uniform,
+        Distribution::Zipfian(0.73),
+        Distribution::Zipfian(0.99),
+    ];
+
+    print_header(
+        "Figure 21: LTC block cache vs Zipfian skew (η=1, β=4, ρ=1, R100)",
+        &[
+            "cache",
+            "capacity MB",
+            "Uniform kops (hit%)",
+            "Zipf 0.73 kops (hit%)",
+            "Zipf 0.99 kops (hit%)",
+        ],
+    );
+
+    let mut baseline_099 = None;
+    let mut at_ten_pct_099 = None;
+    for (fraction, label) in fractions {
+        let capacity = (dataset_bytes as f64 * fraction) as u64;
+        let mut cells = vec![
+            label.to_string(),
+            format!("{:.2}", capacity as f64 / (1 << 20) as f64),
+        ];
+        for dist in skews {
+            let mut config = presets::shared_disk(1, 4, 1, scale.num_keys);
+            config.block_cache = if capacity == 0 {
+                CacheConfig::disabled()
+            } else {
+                CacheConfig {
+                    capacity_bytes: capacity,
+                    shards: 16,
+                    admission: true,
+                }
+            };
+            let store = nova_store(config, &scale);
+            // Push everything into SSTables so reads take the StoC path.
+            store.nova().expect("nova store").flush_all().expect("flush");
+            let report = run_workload(&store, Mix::R100, dist, &scale);
+            let hit_rate = store.nova().expect("nova store").block_cache_hit_rate();
+            if matches!(dist, Distribution::Zipfian(z) if (z - 0.99).abs() < 1e-9) {
+                if capacity == 0 {
+                    baseline_099 = Some(report.throughput_kops());
+                } else if label == "10%" {
+                    at_ten_pct_099 = Some(report.throughput_kops());
+                }
+            }
+            store.shutdown();
+            cells.push(format!(
+                "{:.1} ({:.0}%)",
+                report.throughput_kops(),
+                hit_rate * 100.0
+            ));
+        }
+        print_row(&cells);
+    }
+
+    if let (Some(off), Some(ten)) = (baseline_099, at_ten_pct_099) {
+        println!(
+            "\nspeedup at Zipf 0.99 with a cache sized at 10% of the dataset: {:.2}x",
+            ten / off.max(1e-9)
+        );
+    }
+}

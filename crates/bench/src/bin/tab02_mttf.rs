@@ -8,7 +8,15 @@ fn main() {
     let model = MttfModel::default();
     print_header(
         "Table 2: MTTF of a SSTable / storage layer (StoC MTTF 4.3 months, repair 1 hour, β=10)",
-        &["rho", "SSTable R=1", "SSTable parity", "storage R=1", "storage parity", "overhead R=1", "overhead parity"],
+        &[
+            "rho",
+            "SSTable R=1",
+            "SSTable parity",
+            "storage R=1",
+            "storage parity",
+            "overhead R=1",
+            "overhead parity",
+        ],
     );
     for row in model.table2() {
         print_row(&[

@@ -12,7 +12,16 @@ fn main() {
         &["memory", "alpha", "delta", "ops/s"],
     );
     // (α, δ) pairs from the paper's table; memory = δ × τ.
-    for (alpha, delta) in [(1usize, 2usize), (2, 4), (4, 8), (8, 16), (16, 32), (32, 64), (64, 128), (64, 256)] {
+    for (alpha, delta) in [
+        (1usize, 2usize),
+        (2, 4),
+        (4, 8),
+        (8, 16),
+        (16, 32),
+        (32, 64),
+        (64, 128),
+        (64, 256),
+    ] {
         let mut config = presets::shared_disk(1, 10, 1, scale.num_keys);
         config.range.active_memtables = alpha;
         config.range.num_dranges = alpha;

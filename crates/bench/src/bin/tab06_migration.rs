@@ -10,7 +10,13 @@ fn main() {
     let scale = BenchScale::from_args();
     print_header(
         "Table 6: throughput before/after range migration (Zipfian, η=5, β=10, ω=8)",
-        &["workload", "before kops", "after kops", "improvement", "ranges migrated"],
+        &[
+            "workload",
+            "before kops",
+            "after kops",
+            "improvement",
+            "ranges migrated",
+        ],
     );
     for mix in [Mix::Rw50, Mix::Sw50, Mix::W100] {
         let mut config = presets::shared_disk(5, 10, 1, scale.num_keys);

@@ -11,7 +11,9 @@ fn main() {
     // "These experiments quantify response time with a low system load":
     // a handful of client threads.
     scale.threads = 2;
-    let memtable_bytes = presets::scaled_experiment(scale.num_keys).range.memtable_size_bytes;
+    let memtable_bytes = presets::scaled_experiment(scale.num_keys)
+        .range
+        .memtable_size_bytes;
     print_header(
         "Table 7: response time (ms) with Zipfian, low load, 10 servers",
         &["workload", "system", "avg", "p95", "p99"],

@@ -143,7 +143,12 @@ pub fn nova_store(mut config: ClusterConfig, scale: &BenchScale) -> StoreHandle 
 }
 
 /// Start a baseline cluster and pre-load it.
-pub fn baseline_store(kind: BaselineKind, num_servers: usize, memtable_bytes: usize, scale: &BenchScale) -> StoreHandle {
+pub fn baseline_store(
+    kind: BaselineKind,
+    num_servers: usize,
+    memtable_bytes: usize,
+    scale: &BenchScale,
+) -> StoreHandle {
     let cluster = BaselineCluster::start(kind, num_servers, scale.num_keys, memtable_bytes, scale.disk)
         .expect("start baseline cluster");
     let handle = StoreHandle::Baseline(cluster);
@@ -152,7 +157,12 @@ pub fn baseline_store(kind: BaselineKind, num_servers: usize, memtable_bytes: us
 }
 
 /// Run one workload against a store.
-pub fn run_workload(store: &StoreHandle, mix: Mix, distribution: Distribution, scale: &BenchScale) -> RunReport {
+pub fn run_workload(
+    store: &StoreHandle,
+    mix: Mix,
+    distribution: Distribution,
+    scale: &BenchScale,
+) -> RunReport {
     let workload = Workload::new(mix, distribution, scale.num_keys, scale.value_size);
     nova_ycsb::run(store, &workload, &scale.driver())
 }
@@ -175,7 +185,17 @@ mod tests {
 
     #[test]
     fn nova_store_round_trips_through_the_driver_interface() {
-        let scale = BenchScale { num_keys: 500, value_size: 16, threads: 2, run_secs: 1, disk: DiskConfig { bandwidth_bytes_per_sec: u64::MAX / 2, seek_micros: 0, accounting_only: true } };
+        let scale = BenchScale {
+            num_keys: 500,
+            value_size: 16,
+            threads: 2,
+            run_secs: 1,
+            disk: DiskConfig {
+                bandwidth_bytes_per_sec: u64::MAX / 2,
+                seek_micros: 0,
+                accounting_only: true,
+            },
+        };
         let store = nova_store(presets::test_cluster(1, 2, scale.num_keys), &scale);
         assert!(store.nova().is_some());
         assert!(store.get(&nova_common::keyspace::encode_key(5)).unwrap());
@@ -193,7 +213,17 @@ mod tests {
 
     #[test]
     fn baseline_store_round_trips_through_the_driver_interface() {
-        let scale = BenchScale { num_keys: 400, value_size: 16, threads: 2, run_secs: 1, disk: DiskConfig { bandwidth_bytes_per_sec: u64::MAX / 2, seek_micros: 0, accounting_only: true } };
+        let scale = BenchScale {
+            num_keys: 400,
+            value_size: 16,
+            threads: 2,
+            run_secs: 1,
+            disk: DiskConfig {
+                bandwidth_bytes_per_sec: u64::MAX / 2,
+                seek_micros: 0,
+                accounting_only: true,
+            },
+        };
         let store = baseline_store(BaselineKind::LevelDbStar, 2, 16 * 1024, &scale);
         assert!(store.nova().is_none());
         assert!(store.get(&nova_common::keyspace::encode_key(3)).unwrap());

@@ -1,0 +1,197 @@
+//! A caching [`BlockFetcher`] decorator: resolves a table-relative
+//! [`BlockLocation`] to its physical `(StocFileId, offset)` identity via the
+//! table's [`SstableMeta`], consults the shared [`BlockCache`], and delegates
+//! to the wrapped fetcher (normally the StoC read path) only on a miss.
+
+use crate::{BlockCache, BlockKey};
+use bytes::Bytes;
+use nova_common::Result;
+use nova_sstable::{BlockFetcher, BlockLocation, SstableMeta};
+
+/// Wraps any [`BlockFetcher`] with a shared [`BlockCache`].
+pub struct CachingFetcher<'a> {
+    inner: &'a dyn BlockFetcher,
+    cache: &'a BlockCache,
+    meta: &'a SstableMeta,
+}
+
+impl<'a> CachingFetcher<'a> {
+    /// Wrap `inner`, caching blocks of the table described by `meta`.
+    pub fn new(inner: &'a dyn BlockFetcher, cache: &'a BlockCache, meta: &'a SstableMeta) -> Self {
+        CachingFetcher { inner, cache, meta }
+    }
+
+    /// The physical cache key for a logical block location, if the fragment
+    /// has a placed primary replica. Blocks of unplaced fragments (only seen
+    /// in tests building synthetic tables) bypass the cache.
+    fn key_for(&self, location: &BlockLocation) -> Option<BlockKey> {
+        let handle = self.meta.fragments.get(location.fragment as usize)?.primary()?;
+        Some(BlockKey::new(handle.file, handle.offset + location.offset))
+    }
+}
+
+impl BlockFetcher for CachingFetcher<'_> {
+    fn fetch(&self, location: &BlockLocation) -> Result<Bytes> {
+        let Some(key) = self.key_for(location) else {
+            return self.inner.fetch(location);
+        };
+        if let Some(block) = self.cache.get(&key) {
+            return Ok(block);
+        }
+        let block = self.inner.fetch(location)?;
+        self.cache.insert(key, block.clone());
+        Ok(block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nova_common::{StocBlockHandle, StocFileId, StocId};
+    use nova_sstable::{FragmentLocation, MemoryFetcher};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Counts how many fetches reach the wrapped fetcher.
+    struct CountingFetcher {
+        inner: MemoryFetcher,
+        calls: AtomicU64,
+    }
+
+    impl BlockFetcher for CountingFetcher {
+        fn fetch(&self, location: &BlockLocation) -> Result<Bytes> {
+            self.calls.fetch_add(1, Ordering::SeqCst);
+            self.inner.fetch(location)
+        }
+    }
+
+    fn meta_for_fragments(sizes: &[usize]) -> SstableMeta {
+        SstableMeta {
+            fragments: sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &size)| FragmentLocation {
+                    size: size as u64,
+                    replicas: vec![StocBlockHandle {
+                        stoc: StocId(i as u32),
+                        file: StocFileId::new(StocId(i as u32), 100 + i as u32),
+                        offset: 0,
+                        size: size as u32,
+                    }],
+                })
+                .collect(),
+            ..SstableMeta::default()
+        }
+    }
+
+    #[test]
+    fn second_fetch_is_served_from_cache() {
+        let fragment = vec![9u8; 1 << 12];
+        let counting = CountingFetcher {
+            inner: MemoryFetcher::new(vec![fragment]),
+            calls: AtomicU64::new(0),
+        };
+        let cache = BlockCache::new(1 << 20, 2, false);
+        let meta = meta_for_fragments(&[1 << 12]);
+        let caching = CachingFetcher::new(&counting, &cache, &meta);
+        let loc = BlockLocation {
+            fragment: 0,
+            offset: 128,
+            size: 256,
+        };
+        let first = caching.fetch(&loc).unwrap();
+        let second = caching.fetch(&loc).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(
+            counting.calls.load(Ordering::SeqCst),
+            1,
+            "second fetch must not reach the StoC path"
+        );
+        // A different offset within the same fragment is a distinct block.
+        caching
+            .fetch(&BlockLocation {
+                fragment: 0,
+                offset: 512,
+                size: 256,
+            })
+            .unwrap();
+        assert_eq!(counting.calls.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn table_iterator_crosses_block_boundaries_identically_cached_and_uncached() {
+        use nova_common::types::Entry;
+        use nova_sstable::{collect_entries, TableBuilder, TableOptions, TableReader};
+
+        // A small block size against 600 entries forces many data blocks and
+        // three fragments, so iteration crosses block and fragment boundaries.
+        let entries: Vec<Entry> = (0..600u64)
+            .map(|i| {
+                Entry::put(
+                    format!("key-{i:06}").into_bytes(),
+                    i + 1,
+                    format!("value-{i}").into_bytes(),
+                )
+            })
+            .collect();
+        let mut builder = TableBuilder::new(TableOptions {
+            block_size: 256,
+            bloom_bits_per_key: 10,
+            num_fragments: 3,
+        });
+        for e in &entries {
+            builder.add(e);
+        }
+        let built = builder.finish().unwrap();
+        let reader = TableReader::open(&built.meta).unwrap();
+        let sizes: Vec<usize> = built.fragments.iter().map(|f| f.len()).collect();
+        let meta = meta_for_fragments(&sizes);
+
+        let counting = CountingFetcher {
+            inner: MemoryFetcher::new(built.fragments.clone()),
+            calls: AtomicU64::new(0),
+        };
+        let cache = BlockCache::new(1 << 20, 4, false);
+
+        // Uncached pass.
+        let plain = MemoryFetcher::new(built.fragments.clone());
+        let uncached = collect_entries(&mut reader.iter(&plain)).unwrap();
+        assert_eq!(uncached, entries);
+
+        // First cached pass populates the cache; blocks all come from inner.
+        let caching = CachingFetcher::new(&counting, &cache, &meta);
+        let first = collect_entries(&mut reader.iter(&caching)).unwrap();
+        assert_eq!(first, entries, "cached iteration must return identical entries");
+        let cold_fetches = counting.calls.load(Ordering::SeqCst);
+        assert!(cold_fetches > 3, "expected many data blocks, got {cold_fetches}");
+
+        // Second cached pass is served entirely from the cache.
+        let second = collect_entries(&mut reader.iter(&caching)).unwrap();
+        assert_eq!(second, entries);
+        assert_eq!(
+            counting.calls.load(Ordering::SeqCst),
+            cold_fetches,
+            "a warm full scan must not reach the wrapped fetcher"
+        );
+        assert_eq!(cache.stats().hits, cold_fetches);
+    }
+
+    #[test]
+    fn unplaced_fragments_bypass_the_cache() {
+        let counting = CountingFetcher {
+            inner: MemoryFetcher::new(vec![vec![1u8; 1024]]),
+            calls: AtomicU64::new(0),
+        };
+        let cache = BlockCache::new(1 << 20, 2, false);
+        let meta = SstableMeta::default();
+        let caching = CachingFetcher::new(&counting, &cache, &meta);
+        let loc = BlockLocation {
+            fragment: 0,
+            offset: 0,
+            size: 64,
+        };
+        caching.fetch(&loc).unwrap();
+        caching.fetch(&loc).unwrap();
+        assert_eq!(counting.calls.load(Ordering::SeqCst), 2);
+        assert_eq!(cache.stats().insertions, 0);
+    }
+}

@@ -1,0 +1,488 @@
+//! # nova-cache
+//!
+//! A sharded block cache serving the LTC read path.
+//!
+//! In Nova-LSM the LTCs are the memory-rich compute tier while SSTable data
+//! blocks live on disaggregated StoCs; every block read that misses this
+//! cache pays a fabric round-trip plus a (simulated) disk access. The cache
+//! therefore sits between the SSTable reader and the StoC client: a
+//! [`CachingFetcher`] wraps any [`BlockFetcher`](nova_sstable::BlockFetcher)
+//! and consults a shared [`BlockCache`] keyed by `(StocFileId, offset)` —
+//! the physical identity of a block, which is stable across compactions
+//! because StoC file ids are never reused.
+//!
+//! Design:
+//!
+//! * **Sharded**: the key hash picks one of N shards, each guarded by its own
+//!   `parking_lot::Mutex`, so concurrent readers on different blocks do not
+//!   serialize.
+//! * **Capacity-charged LRU**: every entry is charged its block size; shards
+//!   evict from the cold end of an intrusive LRU list until under budget.
+//! * **Optional TinyLFU admission**: a count-min sketch of recent access
+//!   frequencies; when the shard is full, a new block is admitted only if it
+//!   is at least as popular as the eviction victim. This keeps one-touch scan
+//!   blocks from flushing the hot working set.
+//! * **Atomic statistics**: hits, misses, insertions, evictions and byte
+//!   counters are lock-free and exposed as a [`CacheStats`] snapshot.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod lru;
+mod tinylfu;
+
+pub mod fetcher;
+
+pub use fetcher::CachingFetcher;
+
+use bytes::Bytes;
+use lru::LruShard;
+use nova_common::config::CacheConfig;
+use nova_common::StocFileId;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use tinylfu::FrequencySketch;
+
+/// Identity of a cached block: the (globally unique, never reused) StoC file
+/// holding the primary copy of its fragment, plus the byte offset of the
+/// block within that file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockKey {
+    /// StoC file containing the block.
+    pub file: StocFileId,
+    /// Byte offset of the block within the file.
+    pub offset: u64,
+}
+
+impl BlockKey {
+    /// Build a key.
+    pub fn new(file: StocFileId, offset: u64) -> Self {
+        BlockKey { file, offset }
+    }
+
+    fn hash(&self) -> u64 {
+        // FxHash-style mix of the two words; cheap and well distributed for
+        // the (file-id, offset) patterns the LTC produces.
+        const K: u64 = 0x517cc1b727220a95;
+        let mut h = self.file.0.wrapping_mul(K).rotate_left(5) ^ self.offset;
+        h = h.wrapping_mul(K);
+        h ^ (h >> 32)
+    }
+}
+
+/// Point-in-time statistics of a cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to go to the StoC.
+    pub misses: u64,
+    /// Blocks inserted.
+    pub insertions: u64,
+    /// Bytes inserted.
+    pub inserted_bytes: u64,
+    /// Blocks evicted to stay under capacity.
+    pub evictions: u64,
+    /// Blocks rejected by the admission filter.
+    pub admission_rejects: u64,
+    /// Blocks dropped by explicit invalidation (file deletion).
+    pub invalidations: u64,
+    /// Bytes currently resident.
+    pub resident_bytes: u64,
+    /// Blocks currently resident.
+    pub resident_blocks: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    inserted_bytes: AtomicU64,
+    evictions: AtomicU64,
+    admission_rejects: AtomicU64,
+    invalidations: AtomicU64,
+    resident_bytes: AtomicU64,
+    resident_blocks: AtomicU64,
+}
+
+/// A sharded, capacity-charged block cache with LRU eviction and optional
+/// TinyLFU admission.
+pub struct BlockCache {
+    shards: Vec<Mutex<LruShard>>,
+    shard_mask: u64,
+    per_shard_capacity: u64,
+    admission: Option<FrequencySketch>,
+    counters: Counters,
+}
+
+impl std::fmt::Debug for BlockCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlockCache")
+            .field("shards", &self.shards.len())
+            .field("per_shard_capacity", &self.per_shard_capacity)
+            .field("admission", &self.admission.is_some())
+            .finish()
+    }
+}
+
+impl BlockCache {
+    /// Create a cache from the cluster configuration. Returns `None` when
+    /// the configured capacity is zero (caching disabled).
+    pub fn from_config(config: &CacheConfig) -> Option<Arc<BlockCache>> {
+        if !config.enabled() {
+            return None;
+        }
+        Some(Arc::new(BlockCache::new(
+            config.capacity_bytes,
+            config.shards,
+            config.admission,
+        )))
+    }
+
+    /// Create a cache with `capacity_bytes` spread over `shards` shards.
+    pub fn new(capacity_bytes: u64, shards: usize, admission: bool) -> BlockCache {
+        let shards = shards.clamp(1, 1024).next_power_of_two();
+        let per_shard_capacity = (capacity_bytes / shards as u64).max(1);
+        let admission = if admission {
+            // Size the sketch to roughly the number of 4 KB blocks the cache
+            // can hold, with a floor that keeps tiny test caches honest.
+            let blocks = (capacity_bytes / 4096).clamp(1024, 1 << 22) as usize;
+            Some(FrequencySketch::with_capacity(blocks))
+        } else {
+            None
+        };
+        BlockCache {
+            shards: (0..shards).map(|_| Mutex::new(LruShard::new())).collect(),
+            shard_mask: shards as u64 - 1,
+            per_shard_capacity,
+            admission,
+            counters: Counters::default(),
+        }
+    }
+
+    fn shard_of(&self, hash: u64) -> &Mutex<LruShard> {
+        &self.shards[(hash & self.shard_mask) as usize]
+    }
+
+    /// Look up a block, refreshing its recency (and its frequency estimate
+    /// when admission is enabled).
+    pub fn get(&self, key: &BlockKey) -> Option<Bytes> {
+        let hash = key.hash();
+        if let Some(sketch) = &self.admission {
+            sketch.record(hash);
+        }
+        let found = self.shard_of(hash).lock().get(key);
+        match &found {
+            Some(_) => self.counters.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.counters.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Insert a block, evicting cold entries to stay under the shard budget.
+    /// Blocks larger than a whole shard are never cached; when admission
+    /// filtering is on, blocks colder than the would-be victim are rejected.
+    pub fn insert(&self, key: BlockKey, block: Bytes) {
+        let charge = block.len() as u64;
+        if charge == 0 || charge > self.per_shard_capacity {
+            return;
+        }
+        let hash = key.hash();
+        let mut shard = self.shard_of(hash).lock();
+        if shard.contains(&key) {
+            // Another thread cached it between our miss and this insert;
+            // keep the resident copy (identical bytes) and its recency.
+            return;
+        }
+        if let Some(sketch) = &self.admission {
+            // Admission: only displace resident blocks for a newcomer that is
+            // at least as popular as the coldest victim it would evict.
+            if shard.used_bytes() + charge > self.per_shard_capacity {
+                if let Some(victim) = shard.peek_victim() {
+                    if sketch.estimate(hash) < sketch.estimate(victim.hash()) {
+                        self.counters.admission_rejects.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                }
+            }
+        }
+        let evicted = shard.insert_evicting(key, block, self.per_shard_capacity);
+        drop(shard);
+        self.counters.insertions.fetch_add(1, Ordering::Relaxed);
+        self.counters.inserted_bytes.fetch_add(charge, Ordering::Relaxed);
+        self.counters.resident_blocks.fetch_add(1, Ordering::Relaxed);
+        self.counters.resident_bytes.fetch_add(charge, Ordering::Relaxed);
+        if evicted.count > 0 {
+            self.counters
+                .evictions
+                .fetch_add(evicted.count, Ordering::Relaxed);
+            self.counters
+                .resident_blocks
+                .fetch_sub(evicted.count, Ordering::Relaxed);
+            self.counters
+                .resident_bytes
+                .fetch_sub(evicted.bytes, Ordering::Relaxed);
+        }
+    }
+
+    /// Drop every cached block belonging to `file`. Called when a table is
+    /// deleted after compaction so its StoC files' blocks stop occupying
+    /// memory. (Correctness does not depend on this: StoC file ids are never
+    /// reused, so stale entries can only waste space, not serve wrong data.)
+    pub fn invalidate_file(&self, file: StocFileId) {
+        let mut dropped_blocks = 0u64;
+        let mut dropped_bytes = 0u64;
+        for shard in &self.shards {
+            let removed = shard.lock().remove_matching(|k| k.file == file);
+            dropped_blocks += removed.count;
+            dropped_bytes += removed.bytes;
+        }
+        if dropped_blocks > 0 {
+            self.counters
+                .invalidations
+                .fetch_add(dropped_blocks, Ordering::Relaxed);
+            self.counters
+                .resident_blocks
+                .fetch_sub(dropped_blocks, Ordering::Relaxed);
+            self.counters
+                .resident_bytes
+                .fetch_sub(dropped_bytes, Ordering::Relaxed);
+        }
+    }
+
+    /// Drop everything.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let removed = shard.lock().remove_matching(|_| true);
+            self.counters
+                .resident_blocks
+                .fetch_sub(removed.count, Ordering::Relaxed);
+            self.counters
+                .resident_bytes
+                .fetch_sub(removed.bytes, Ordering::Relaxed);
+        }
+    }
+
+    /// Total configured capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.per_shard_capacity * self.shards.len() as u64
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// A consistent-enough snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.counters.hits.load(Ordering::Relaxed),
+            misses: self.counters.misses.load(Ordering::Relaxed),
+            insertions: self.counters.insertions.load(Ordering::Relaxed),
+            inserted_bytes: self.counters.inserted_bytes.load(Ordering::Relaxed),
+            evictions: self.counters.evictions.load(Ordering::Relaxed),
+            admission_rejects: self.counters.admission_rejects.load(Ordering::Relaxed),
+            invalidations: self.counters.invalidations.load(Ordering::Relaxed),
+            resident_bytes: self.counters.resident_bytes.load(Ordering::Relaxed),
+            resident_blocks: self.counters.resident_blocks.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nova_common::StocId;
+
+    fn key(stoc: u32, seq: u32, offset: u64) -> BlockKey {
+        BlockKey::new(StocFileId::new(StocId(stoc), seq), offset)
+    }
+
+    fn block(len: usize, fill: u8) -> Bytes {
+        Bytes::from(vec![fill; len])
+    }
+
+    #[test]
+    fn hit_miss_and_residency_accounting() {
+        let cache = BlockCache::new(1 << 20, 4, false);
+        assert_eq!(cache.get(&key(0, 1, 0)), None);
+        cache.insert(key(0, 1, 0), block(100, 7));
+        assert_eq!(cache.get(&key(0, 1, 0)).unwrap().as_ref(), &vec![7u8; 100][..]);
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.insertions, 1);
+        assert_eq!(stats.inserted_bytes, 100);
+        assert_eq!(stats.resident_blocks, 1);
+        assert_eq!(stats.resident_bytes, 100);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_charging_evicts_in_lru_order() {
+        // One shard, capacity for exactly 4 blocks of 100 bytes.
+        let cache = BlockCache::new(400, 1, false);
+        for i in 0..4u64 {
+            cache.insert(key(0, 1, i * 100), block(100, i as u8));
+        }
+        assert_eq!(cache.stats().resident_blocks, 4);
+        // Touch blocks 0 and 1 so 2 is now the coldest.
+        assert!(cache.get(&key(0, 1, 0)).is_some());
+        assert!(cache.get(&key(0, 1, 100)).is_some());
+        // Inserting a 5th block must evict exactly the coldest (block 2).
+        cache.insert(key(0, 1, 900), block(100, 9));
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(
+            cache.get(&key(0, 1, 200)).is_none(),
+            "coldest block must be the one evicted"
+        );
+        assert!(cache.get(&key(0, 1, 0)).is_some());
+        assert!(cache.get(&key(0, 1, 300)).is_some());
+        assert!(cache.get(&key(0, 1, 900)).is_some());
+        assert_eq!(cache.stats().resident_bytes, 400);
+    }
+
+    #[test]
+    fn oversized_blocks_are_not_cached() {
+        let cache = BlockCache::new(100, 1, false);
+        cache.insert(key(0, 1, 0), block(101, 1));
+        assert_eq!(cache.stats().resident_blocks, 0);
+        cache.insert(key(0, 1, 0), block(100, 1));
+        assert_eq!(cache.stats().resident_blocks, 1);
+    }
+
+    #[test]
+    fn shard_distribution_spreads_keys() {
+        let cache = BlockCache::new(16 << 20, 16, false);
+        assert_eq!(cache.num_shards(), 16);
+        for i in 0..4096u64 {
+            cache.insert(key((i % 8) as u32, (i / 8) as u32, i * 4096), block(64, 0));
+        }
+        let occupancy: Vec<usize> = cache.shards.iter().map(|s| s.lock().len()).collect();
+        assert_eq!(occupancy.iter().sum::<usize>(), 4096);
+        // With 4096 keys over 16 shards every shard should see traffic, and
+        // none should hold a wildly outsized share.
+        assert!(
+            occupancy.iter().all(|&n| n > 0),
+            "some shard got no keys: {occupancy:?}"
+        );
+        assert!(
+            occupancy.iter().all(|&n| n < 4096 / 4),
+            "one shard swallowed a quarter of all keys: {occupancy:?}"
+        );
+    }
+
+    #[test]
+    fn admission_filter_protects_hot_blocks_from_one_touch_scans() {
+        // One shard holding 4 blocks; admission on.
+        let cache = BlockCache::new(400, 1, true);
+        // Establish 4 hot blocks with several accesses each.
+        for i in 0..4u64 {
+            cache.insert(key(0, 1, i * 100), block(100, i as u8));
+        }
+        for _ in 0..8 {
+            for i in 0..4u64 {
+                assert!(cache.get(&key(0, 1, i * 100)).is_some());
+            }
+        }
+        // A stream of one-touch blocks (a scan) must not displace them.
+        for i in 10..30u64 {
+            let k = key(0, 2, i * 100);
+            assert!(cache.get(&k).is_none());
+            cache.insert(k, block(100, 0));
+        }
+        for i in 0..4u64 {
+            assert!(
+                cache.get(&key(0, 1, i * 100)).is_some(),
+                "hot block {i} was displaced by one-touch traffic"
+            );
+        }
+        assert!(cache.stats().admission_rejects > 0);
+    }
+
+    #[test]
+    fn repeated_cold_blocks_are_eventually_admitted() {
+        let cache = BlockCache::new(200, 1, true);
+        cache.insert(key(0, 1, 0), block(100, 1));
+        cache.insert(key(0, 1, 100), block(100, 2));
+        let newcomer = key(0, 9, 0);
+        // Each get records a frequency sample; after a few rounds the
+        // newcomer outranks the resident victims and gets in.
+        for _ in 0..4 {
+            let _ = cache.get(&newcomer);
+        }
+        cache.insert(newcomer, block(100, 3));
+        assert!(
+            cache.get(&newcomer).is_some(),
+            "popular newcomer must eventually be admitted"
+        );
+    }
+
+    #[test]
+    fn invalidate_file_drops_only_that_file() {
+        let cache = BlockCache::new(1 << 20, 4, false);
+        for i in 0..10u64 {
+            cache.insert(key(0, 1, i * 4096), block(100, 0));
+            cache.insert(key(0, 2, i * 4096), block(100, 1));
+        }
+        cache.invalidate_file(StocFileId::new(StocId(0), 1));
+        assert_eq!(cache.stats().resident_blocks, 10);
+        assert_eq!(cache.stats().invalidations, 10);
+        for i in 0..10u64 {
+            assert!(cache.get(&key(0, 1, i * 4096)).is_none());
+            assert!(cache.get(&key(0, 2, i * 4096)).is_some());
+        }
+        cache.clear();
+        assert_eq!(cache.stats().resident_blocks, 0);
+        assert_eq!(cache.stats().resident_bytes, 0);
+    }
+
+    #[test]
+    fn concurrent_hit_miss_counting_is_exact() {
+        let cache = Arc::new(BlockCache::new(4 << 20, 8, false));
+        // Pre-populate 64 blocks.
+        for i in 0..64u64 {
+            cache.insert(key(0, 1, i * 4096), block(128, 0));
+        }
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    for round in 0..1000u64 {
+                        // Half the lookups hit (resident), half miss.
+                        let hit = key(0, 1, ((round + t) % 64) * 4096);
+                        let miss = key(9, 9, round * 4096);
+                        assert!(cache.get(&hit).is_some());
+                        assert!(cache.get(&miss).is_none());
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 8 * 1000);
+        assert_eq!(stats.misses, 8 * 1000);
+    }
+
+    #[test]
+    fn zero_capacity_disables_cache_construction() {
+        assert!(BlockCache::from_config(&CacheConfig::disabled()).is_none());
+        assert!(BlockCache::from_config(&CacheConfig::default()).is_some());
+    }
+}

@@ -1,0 +1,214 @@
+//! One cache shard: a hash map over an intrusive doubly-linked LRU list
+//! stored in a slab, so get/insert/evict are O(1) with no per-entry
+//! allocation beyond the slab slot.
+
+use crate::BlockKey;
+use bytes::Bytes;
+use std::collections::HashMap;
+
+const NIL: usize = usize::MAX;
+
+struct Node {
+    key: BlockKey,
+    value: Bytes,
+    charge: u64,
+    prev: usize,
+    next: usize,
+}
+
+/// Blocks and bytes removed by an eviction or invalidation pass.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct Removed {
+    pub count: u64,
+    pub bytes: u64,
+}
+
+/// A single LRU shard. Not thread-safe; the cache wraps each shard in a
+/// mutex.
+pub(crate) struct LruShard {
+    map: HashMap<BlockKey, usize>,
+    slab: Vec<Node>,
+    free: Vec<usize>,
+    /// Most recently used entry, or NIL.
+    head: usize,
+    /// Least recently used entry, or NIL.
+    tail: usize,
+    used_bytes: u64,
+}
+
+impl LruShard {
+    pub fn new() -> Self {
+        LruShard {
+            map: HashMap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            used_bytes: 0,
+        }
+    }
+
+    /// Number of resident entries (used by shard-distribution tests).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    pub fn contains(&self, key: &BlockKey) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// The key that would be evicted next, if any.
+    pub fn peek_victim(&self) -> Option<BlockKey> {
+        if self.tail == NIL {
+            None
+        } else {
+            Some(self.slab[self.tail].key)
+        }
+    }
+
+    /// Look up and move to the MRU position.
+    pub fn get(&mut self, key: &BlockKey) -> Option<Bytes> {
+        let idx = *self.map.get(key)?;
+        self.unlink(idx);
+        self.push_front(idx);
+        Some(self.slab[idx].value.clone())
+    }
+
+    /// Insert a new entry, evicting from the LRU end until `capacity` is
+    /// respected. The caller has already checked `!contains(key)` and that
+    /// the charge fits in an empty shard.
+    pub fn insert_evicting(&mut self, key: BlockKey, value: Bytes, capacity: u64) -> Removed {
+        let charge = value.len() as u64;
+        let mut removed = Removed::default();
+        while self.used_bytes + charge > capacity {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL, "over budget with an empty shard");
+            if victim == NIL {
+                break;
+            }
+            let bytes = self.slab[victim].charge;
+            self.remove_index(victim);
+            removed.count += 1;
+            removed.bytes += bytes;
+        }
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                self.slab[idx] = Node {
+                    key,
+                    value,
+                    charge,
+                    prev: NIL,
+                    next: NIL,
+                };
+                idx
+            }
+            None => {
+                self.slab.push(Node {
+                    key,
+                    value,
+                    charge,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slab.len() - 1
+            }
+        };
+        self.map.insert(key, idx);
+        self.push_front(idx);
+        self.used_bytes += charge;
+        removed
+    }
+
+    /// Remove every entry whose key matches `pred`.
+    pub fn remove_matching(&mut self, pred: impl Fn(&BlockKey) -> bool) -> Removed {
+        let victims: Vec<usize> = self
+            .map
+            .iter()
+            .filter(|(k, _)| pred(k))
+            .map(|(_, &i)| i)
+            .collect();
+        let mut removed = Removed::default();
+        for idx in victims {
+            removed.count += 1;
+            removed.bytes += self.slab[idx].charge;
+            self.remove_index(idx);
+        }
+        removed
+    }
+
+    fn remove_index(&mut self, idx: usize) {
+        self.unlink(idx);
+        let node = &mut self.slab[idx];
+        self.used_bytes -= node.charge;
+        node.value = Bytes::new();
+        let key = node.key;
+        self.map.remove(&key);
+        self.free.push(idx);
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else if self.head == idx {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else if self.tail == idx {
+            self.tail = prev;
+        }
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = NIL;
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nova_common::{StocFileId, StocId};
+
+    fn key(seq: u32, offset: u64) -> BlockKey {
+        BlockKey::new(StocFileId::new(StocId(0), seq), offset)
+    }
+
+    #[test]
+    fn lru_order_and_slab_reuse() {
+        let mut shard = LruShard::new();
+        for i in 0..3u64 {
+            shard.insert_evicting(key(1, i), Bytes::from(vec![0u8; 10]), 30);
+        }
+        assert_eq!(shard.len(), 3);
+        assert_eq!(shard.peek_victim(), Some(key(1, 0)));
+        // Touch the victim; the next-coldest becomes the victim.
+        assert!(shard.get(&key(1, 0)).is_some());
+        assert_eq!(shard.peek_victim(), Some(key(1, 1)));
+        // Over-budget insert evicts exactly one.
+        let removed = shard.insert_evicting(key(1, 3), Bytes::from(vec![0u8; 10]), 30);
+        assert_eq!(removed.count, 1);
+        assert!(!shard.contains(&key(1, 1)));
+        assert_eq!(shard.used_bytes(), 30);
+        // Freed slab slot is reused rather than growing the slab.
+        let slots = shard.slab.len();
+        shard.remove_matching(|k| *k == key(1, 2));
+        shard.insert_evicting(key(1, 9), Bytes::from(vec![0u8; 10]), 30);
+        assert_eq!(shard.slab.len(), slots);
+    }
+}

@@ -1,0 +1,118 @@
+//! A TinyLFU-style frequency sketch: a 4-row count-min sketch of 4-bit
+//! counters with periodic halving, giving an O(1), lock-free estimate of how
+//! often a block has been touched recently. Used by the cache's admission
+//! policy to keep one-touch blocks (scans) from displacing the hot set.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+const ROWS: usize = 4;
+const COUNTER_MAX: u8 = 15;
+
+/// A count-min sketch of recent access frequencies.
+pub(crate) struct FrequencySketch {
+    /// One flat table per row; each slot is a 4-bit-saturating counter stored
+    /// in its own byte (simpler than packing and still 4 bytes per tracked
+    /// block).
+    rows: Vec<Vec<AtomicU8>>,
+    mask: u64,
+    /// Total increments since the last halving.
+    samples: AtomicU64,
+    /// Halve all counters once this many increments accumulate, so the
+    /// sketch tracks *recent* popularity.
+    sample_limit: u64,
+}
+
+impl FrequencySketch {
+    /// A sketch sized for roughly `entries` concurrently tracked blocks.
+    pub fn with_capacity(entries: usize) -> FrequencySketch {
+        let width = entries.next_power_of_two().max(64);
+        FrequencySketch {
+            rows: (0..ROWS)
+                .map(|_| (0..width).map(|_| AtomicU8::new(0)).collect())
+                .collect(),
+            mask: width as u64 - 1,
+            samples: AtomicU64::new(0),
+            sample_limit: (entries as u64 * 8).max(1024),
+        }
+    }
+
+    fn slots(&self, hash: u64) -> [usize; ROWS] {
+        // Derive one index per row from independent mixes of the hash.
+        let mut out = [0usize; ROWS];
+        let mut h = hash | 1;
+        for (i, slot) in out.iter_mut().enumerate() {
+            h = h.wrapping_mul(0x9e3779b97f4a7c15).rotate_left(17 + i as u32);
+            *slot = (h & self.mask) as usize;
+        }
+        out
+    }
+
+    /// Record one access.
+    pub fn record(&self, hash: u64) {
+        for (row, slot) in self.rows.iter().zip(self.slots(hash)) {
+            // Saturating increment; a lost race undercounts by at most one.
+            let current = row[slot].load(Ordering::Relaxed);
+            if current < COUNTER_MAX {
+                let _ = row[slot].compare_exchange_weak(
+                    current,
+                    current + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                );
+            }
+        }
+        if self.samples.fetch_add(1, Ordering::Relaxed) + 1 >= self.sample_limit {
+            self.halve();
+        }
+    }
+
+    /// Estimate the recent access count of a block (min across rows).
+    pub fn estimate(&self, hash: u64) -> u8 {
+        self.rows
+            .iter()
+            .zip(self.slots(hash))
+            .map(|(row, slot)| row[slot].load(Ordering::Relaxed))
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Age the sketch: halve every counter and reset the sample clock.
+    fn halve(&self) {
+        self.samples.store(0, Ordering::Relaxed);
+        for row in &self.rows {
+            for counter in row {
+                // fetch_update keeps concurrent increments from being lost
+                // beyond a factor-of-two error, which the policy tolerates.
+                let _ = counter.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |c| Some(c / 2));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimates_track_recorded_frequency() {
+        let sketch = FrequencySketch::with_capacity(1024);
+        for _ in 0..10 {
+            sketch.record(42);
+        }
+        sketch.record(7);
+        assert!(sketch.estimate(42) >= 8, "hot key must estimate high");
+        assert!(sketch.estimate(7) <= 2, "cold key must estimate low");
+        assert_eq!(sketch.estimate(999_999), 0);
+    }
+
+    #[test]
+    fn counters_saturate_and_halve() {
+        let sketch = FrequencySketch::with_capacity(64);
+        for _ in 0..100 {
+            sketch.record(1);
+        }
+        assert_eq!(sketch.estimate(1), COUNTER_MAX);
+        sketch.halve();
+        assert_eq!(sketch.estimate(1), COUNTER_MAX / 2);
+    }
+}

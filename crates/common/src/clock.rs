@@ -35,7 +35,9 @@ impl Default for SystemClock {
 impl SystemClock {
     /// Create a clock anchored at the moment of construction.
     pub fn new() -> Self {
-        SystemClock { origin: Instant::now() }
+        SystemClock {
+            origin: Instant::now(),
+        }
     }
 }
 

@@ -109,14 +109,19 @@ impl LogPolicy {
     /// Number of in-memory replicas maintained.
     pub fn memory_replicas(&self) -> u32 {
         match self {
-            LogPolicy::InMemoryReplicated { replicas } | LogPolicy::PersistentWithMemory { replicas } => *replicas,
+            LogPolicy::InMemoryReplicated { replicas } | LogPolicy::PersistentWithMemory { replicas } => {
+                *replicas
+            }
             _ => 0,
         }
     }
 
     /// True if records are also written to persistent storage.
     pub fn durable(&self) -> bool {
-        matches!(self, LogPolicy::Persistent | LogPolicy::PersistentWithMemory { .. })
+        matches!(
+            self,
+            LogPolicy::Persistent | LogPolicy::PersistentWithMemory { .. }
+        )
     }
 }
 
@@ -296,7 +301,11 @@ impl DiskConfig {
     /// An in-memory (tmpfs-like) profile used by the Figure 19 experiment:
     /// effectively infinite bandwidth and no positioning time.
     pub fn tmpfs() -> Self {
-        DiskConfig { bandwidth_bytes_per_sec: 20_000 * 1000 * 1000, seek_micros: 0, accounting_only: false }
+        DiskConfig {
+            bandwidth_bytes_per_sec: 20_000 * 1000 * 1000,
+            seek_micros: 0,
+            accounting_only: false,
+        }
     }
 
     /// A scaled-down disk used by the experiment harness so runs finish in
@@ -337,6 +346,56 @@ impl Default for FabricConfig {
     }
 }
 
+/// Configuration of the per-LTC block cache (the `nova-cache` crate).
+///
+/// The cache sits between the SSTable readers and the StoC read path: data
+/// blocks fetched over the fabric are retained at the LTC, keyed by their
+/// physical `(StocFileId, offset)` identity, so re-reads of hot blocks skip
+/// the fabric round-trip and the StoC disk entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total cache capacity per LTC in bytes. Zero disables the cache.
+    pub capacity_bytes: u64,
+    /// Number of independently locked shards (rounded up to a power of two).
+    pub shards: usize,
+    /// Enable the TinyLFU frequency-based admission filter, which keeps
+    /// one-touch scan blocks from displacing the hot working set.
+    pub admission: bool,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            capacity_bytes: 64 << 20,
+            shards: 16,
+            admission: true,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// A configuration with caching turned off.
+    pub fn disabled() -> Self {
+        CacheConfig {
+            capacity_bytes: 0,
+            ..Default::default()
+        }
+    }
+
+    /// True if a cache should be constructed at all.
+    pub fn enabled(&self) -> bool {
+        self.capacity_bytes > 0
+    }
+
+    /// Validate invariants between knobs.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.enabled() && self.shards == 0 {
+            return Err("block cache shards must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
 /// Cluster-wide deployment configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClusterConfig {
@@ -352,6 +411,8 @@ pub struct ClusterConfig {
     pub disk: DiskConfig,
     /// Fabric (simulated RDMA) configuration.
     pub fabric: FabricConfig,
+    /// Per-LTC block cache configuration.
+    pub block_cache: CacheConfig,
     /// Worker threads per StoC that execute storage requests.
     pub stoc_storage_threads: usize,
     /// Worker threads per StoC dedicated to offloaded compactions.
@@ -373,6 +434,7 @@ impl Default for ClusterConfig {
             range: RangeConfig::default(),
             disk: DiskConfig::default(),
             fabric: FabricConfig::default(),
+            block_cache: CacheConfig::default(),
             stoc_storage_threads: 4,
             stoc_compaction_threads: 2,
             lease_millis: 1_000,
@@ -407,6 +469,7 @@ impl ClusterConfig {
         if self.num_keys == 0 {
             return Err("num_keys must be non-zero".into());
         }
+        self.block_cache.validate()?;
         self.range.validate()
     }
 }
@@ -423,24 +486,32 @@ mod tests {
 
     #[test]
     fn invalid_range_configs_are_rejected() {
-        let mut c = RangeConfig::default();
-        c.num_dranges = 0;
+        let c = RangeConfig {
+            num_dranges: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = RangeConfig::default();
-        c.max_memtables = 1;
-        c.active_memtables = 2;
+        let c = RangeConfig {
+            max_memtables: 1,
+            active_memtables: 2,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = RangeConfig::default();
-        c.scatter_width = 0;
+        let c = RangeConfig {
+            scatter_width: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
     }
 
     #[test]
     fn cluster_validation_checks_scatter_width_against_stocs() {
-        let mut c = ClusterConfig::default();
-        c.num_stocs = 2;
+        let mut c = ClusterConfig {
+            num_stocs: 2,
+            ..Default::default()
+        };
         c.range.scatter_width = 3;
         assert!(c.validate().is_err());
         c.range.scatter_width = 2;
@@ -448,8 +519,29 @@ mod tests {
     }
 
     #[test]
+    fn cache_config_accessors_and_validation() {
+        let c = CacheConfig::default();
+        assert!(c.enabled());
+        assert!(c.validate().is_ok());
+        assert!(!CacheConfig::disabled().enabled());
+        assert!(CacheConfig::disabled().validate().is_ok());
+        let bad = CacheConfig {
+            shards: 0,
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err());
+        let mut cluster = ClusterConfig::default();
+        cluster.block_cache.shards = 0;
+        assert!(cluster.validate().is_err());
+    }
+
+    #[test]
     fn level_sizes_grow_by_multiplier() {
-        let c = RangeConfig { level1_max_bytes: 10, level_size_multiplier: 10, ..Default::default() };
+        let c = RangeConfig {
+            level1_max_bytes: 10,
+            level_size_multiplier: 10,
+            ..Default::default()
+        };
         assert_eq!(c.max_bytes_for_level(1), 10);
         assert_eq!(c.max_bytes_for_level(2), 100);
         assert_eq!(c.max_bytes_for_level(3), 1000);
@@ -457,9 +549,17 @@ mod tests {
 
     #[test]
     fn memtables_per_drange_is_never_zero() {
-        let c = RangeConfig { num_dranges: 64, max_memtables: 8, ..Default::default() };
+        let c = RangeConfig {
+            num_dranges: 64,
+            max_memtables: 8,
+            ..Default::default()
+        };
         assert_eq!(c.memtables_per_drange(), 1);
-        let c = RangeConfig { num_dranges: 4, max_memtables: 32, ..Default::default() };
+        let c = RangeConfig {
+            num_dranges: 4,
+            max_memtables: 32,
+            ..Default::default()
+        };
         assert_eq!(c.memtables_per_drange(), 8);
     }
 
@@ -483,7 +583,11 @@ mod tests {
 
     #[test]
     fn memory_budget_is_delta_times_tau() {
-        let c = RangeConfig { max_memtables: 4, memtable_size_bytes: 1024, ..Default::default() };
+        let c = RangeConfig {
+            max_memtables: 4,
+            memtable_size_bytes: 1024,
+            ..Default::default()
+        };
         assert_eq!(c.memory_budget_bytes(), 4096);
     }
 

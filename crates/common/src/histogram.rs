@@ -112,7 +112,9 @@ impl Histogram {
         for (idx, &c) in self.buckets.iter().enumerate() {
             seen += c as f64;
             if seen >= threshold {
-                return bucket_representative(idx).min(self.max_micros as f64).max(self.min_micros as f64);
+                return bucket_representative(idx)
+                    .min(self.max_micros as f64)
+                    .max(self.min_micros as f64);
             }
         }
         self.max_micros as f64
@@ -151,7 +153,9 @@ pub struct SharedHistogram {
 impl SharedHistogram {
     /// Create an empty shared histogram.
     pub fn new() -> Self {
-        SharedHistogram { inner: Mutex::new(Histogram::new()) }
+        SharedHistogram {
+            inner: Mutex::new(Histogram::new()),
+        }
     }
 
     /// Record an observation.

@@ -35,13 +35,19 @@ pub struct KeyInterval {
 impl KeyInterval {
     /// Construct an interval; `lower` must not exceed `upper`.
     pub fn new(lower: u64, upper: u64) -> Self {
-        assert!(lower <= upper, "interval lower bound {lower} exceeds upper bound {upper}");
+        assert!(
+            lower <= upper,
+            "interval lower bound {lower} exceeds upper bound {upper}"
+        );
         KeyInterval { lower, upper }
     }
 
     /// The whole `u64` keyspace.
     pub fn all() -> Self {
-        KeyInterval { lower: 0, upper: u64::MAX }
+        KeyInterval {
+            lower: 0,
+            upper: u64::MAX,
+        }
     }
 
     /// True if `key` falls inside the interval.

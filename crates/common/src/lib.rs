@@ -25,8 +25,8 @@ pub mod varint;
 
 pub use error::{Error, Result};
 pub use types::{
-    FileNumber, InternalKey, Key, LtcId, MemtableId, NodeId, RangeId, SequenceNumber,
-    StocBlockHandle, StocFileId, StocId, Value, ValueType,
+    FileNumber, InternalKey, Key, LtcId, MemtableId, NodeId, RangeId, SequenceNumber, StocBlockHandle,
+    StocFileId, StocId, Value, ValueType,
 };
 
 /// The default size, in bytes, of a memtable / SSTable (paper notation τ).

@@ -130,7 +130,12 @@ impl StocBlockHandle {
     /// A handle describing an empty extent on a (nonexistent) StoC, useful as
     /// a placeholder during construction.
     pub fn empty() -> Self {
-        StocBlockHandle { stoc: StocId(u32::MAX), file: StocFileId(u64::MAX), offset: 0, size: 0 }
+        StocBlockHandle {
+            stoc: StocId(u32::MAX),
+            file: StocFileId(u64::MAX),
+            offset: 0,
+            size: 0,
+        }
     }
 
     /// True if this handle does not reference any stored bytes.
@@ -176,7 +181,9 @@ impl InternalKey {
         let mut buf = Vec::with_capacity(user_key.len() + 8);
         buf.extend_from_slice(user_key);
         buf.extend_from_slice(&pack_trailer(seq, vt).to_le_bytes());
-        InternalKey { encoded: Bytes::from(buf) }
+        InternalKey {
+            encoded: Bytes::from(buf),
+        }
     }
 
     /// Reconstruct an internal key from its encoded representation.
@@ -186,7 +193,9 @@ impl InternalKey {
         if encoded.len() < 8 {
             return None;
         }
-        Some(InternalKey { encoded: Bytes::copy_from_slice(encoded) })
+        Some(InternalKey {
+            encoded: Bytes::copy_from_slice(encoded),
+        })
     }
 
     /// The full encoded representation (user key followed by the trailer).
@@ -256,7 +265,10 @@ impl Ord for InternalKey {
 /// Compare two *encoded* internal keys: ascending by user key, then
 /// descending by sequence number (so the most recent version sorts first).
 pub fn compare_internal_keys(a: &[u8], b: &[u8]) -> Ordering {
-    debug_assert!(a.len() >= 8 && b.len() >= 8, "internal keys must contain an 8-byte trailer");
+    debug_assert!(
+        a.len() >= 8 && b.len() >= 8,
+        "internal keys must contain an 8-byte trailer"
+    );
     let (ua, ta) = a.split_at(a.len() - 8);
     let (ub, tb) = b.split_at(b.len() - 8);
     match ua.cmp(ub) {
@@ -286,12 +298,22 @@ pub struct Entry {
 impl Entry {
     /// Construct a live (non-tombstone) entry.
     pub fn put(key: impl Into<Key>, sequence: SequenceNumber, value: impl Into<Value>) -> Self {
-        Entry { key: key.into(), sequence, value_type: ValueType::Value, value: value.into() }
+        Entry {
+            key: key.into(),
+            sequence,
+            value_type: ValueType::Value,
+            value: value.into(),
+        }
     }
 
     /// Construct a deletion tombstone.
     pub fn delete(key: impl Into<Key>, sequence: SequenceNumber) -> Self {
-        Entry { key: key.into(), sequence, value_type: ValueType::Deletion, value: Bytes::new() }
+        Entry {
+            key: key.into(),
+            sequence,
+            value_type: ValueType::Deletion,
+            value: Bytes::new(),
+        }
     }
 
     /// True if the entry is a deletion tombstone.

@@ -62,7 +62,9 @@ pub fn decode_length_prefixed_slice(src: &[u8]) -> Result<(&[u8], usize)> {
     let (len, n) = decode_varint64(src)?;
     let len = len as usize;
     if src.len() < n + len {
-        return Err(Error::Corruption("length-prefixed slice extends past buffer".into()));
+        return Err(Error::Corruption(
+            "length-prefixed slice extends past buffer".into(),
+        ));
     }
     Ok((&src[n..n + len], n + len))
 }

@@ -38,8 +38,12 @@ impl Configuration {
 
     /// Ranges served by `ltc`, in id order.
     pub fn ranges_of(&self, ltc: LtcId) -> Vec<RangeId> {
-        let mut out: Vec<RangeId> =
-            self.range_assignment.iter().filter(|(_, l)| **l == ltc).map(|(r, _)| *r).collect();
+        let mut out: Vec<RangeId> = self
+            .range_assignment
+            .iter()
+            .filter(|(_, l)| **l == ltc)
+            .map(|(r, _)| *r)
+            .collect();
         out.sort();
         out
     }
@@ -131,8 +135,12 @@ impl Coordinator {
     /// or [`Coordinator::plan_failover`]).
     pub fn deregister_ltc(&self, ltc: LtcId) -> Vec<RangeId> {
         let mut c = self.config.write();
-        let orphaned: Vec<RangeId> =
-            c.range_assignment.iter().filter(|(_, l)| **l == ltc).map(|(r, _)| *r).collect();
+        let orphaned: Vec<RangeId> = c
+            .range_assignment
+            .iter()
+            .filter(|(_, l)| **l == ltc)
+            .map(|(r, _)| *r)
+            .collect();
         if c.ltcs.remove(&ltc).is_some() {
             c.epoch += 1;
         }
@@ -179,7 +187,7 @@ impl Coordinator {
         if ltcs.is_empty() {
             return Err(nova_common::Error::Unavailable("no LTCs registered".into()));
         }
-        let per_ltc = (num_ranges + ltcs.len() - 1) / ltcs.len();
+        let per_ltc = num_ranges.div_ceil(ltcs.len());
         let mut c = self.config.write();
         for r in 0..num_ranges {
             let ltc = ltcs[(r / per_ltc).min(ltcs.len() - 1)];
@@ -202,7 +210,11 @@ impl Coordinator {
         }
         let mut plans = Vec::new();
         for (i, range) in c.ranges_of(failed).into_iter().enumerate() {
-            plans.push(MigrationPlan { range, from: failed, to: survivors[i % survivors.len()] });
+            plans.push(MigrationPlan {
+                range,
+                from: failed,
+                to: survivors[i % survivors.len()],
+            });
         }
         plans
     }
@@ -261,7 +273,11 @@ impl Coordinator {
                 Some(x) => x,
                 None => break,
             };
-            plans.push(MigrationPlan { range, from: donor, to });
+            plans.push(MigrationPlan {
+                range,
+                from: donor,
+                to,
+            });
             projected_donor -= range_load;
             *receiver_loads.entry(to).or_insert(0.0) += range_load;
         }

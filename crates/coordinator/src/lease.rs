@@ -40,14 +40,20 @@ pub struct LeaseTable {
 
 impl std::fmt::Debug for LeaseTable {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("LeaseTable").field("leases", &self.leases.lock().len()).finish()
+        f.debug_struct("LeaseTable")
+            .field("leases", &self.leases.lock().len())
+            .finish()
     }
 }
 
 impl LeaseTable {
     /// Create a lease table granting leases of `duration`.
     pub fn new(clock: ClockRef, duration: Duration) -> Self {
-        LeaseTable { clock, duration, leases: Mutex::new(HashMap::new()) }
+        LeaseTable {
+            clock,
+            duration,
+            leases: Mutex::new(HashMap::new()),
+        }
     }
 
     /// Grant (or renew) a lease to `holder`, returning it. Renewals are

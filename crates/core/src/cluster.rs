@@ -2,6 +2,7 @@
 //! η LTCs with ω ranges each, the coordinator, and the elasticity operations
 //! of Section 9 (adding/removing LTCs and StoCs, migrating ranges).
 
+use nova_cache::BlockCache;
 use nova_common::clock::system_clock;
 use nova_common::config::ClusterConfig;
 use nova_common::keyspace::KeyspacePartition;
@@ -76,12 +77,16 @@ impl NovaCluster {
         for i in 0..config.num_ltcs {
             let ltc_id = LtcId(i as u32);
             let node = NodeId(i as u32);
-            let ltc = Ltc::new(ltc_id, node);
+            // One block cache per LTC: its ranges share the budget, and hit
+            // rates surface through `LtcStats`.
+            let ltc = Ltc::with_block_cache(ltc_id, node, BlockCache::from_config(&config.block_cache));
             cluster.ltcs.write().insert(ltc_id, ltc);
             cluster.ltc_nodes.write().insert(ltc_id, node);
             cluster.coordinator.register_ltc(ltc_id, node);
         }
-        cluster.coordinator.assign_ranges_round_robin(config.total_ranges())?;
+        cluster
+            .coordinator
+            .assign_ranges_round_robin(config.total_ranges())?;
 
         // Create the range engines on their assigned LTCs.
         let assignment = cluster.coordinator.configuration();
@@ -112,11 +117,7 @@ impl NovaCluster {
     }
 
     fn build_range_engine(&self, range: RangeId, ltc: LtcId, recover: bool) -> Result<Arc<RangeEngine>> {
-        let node = *self
-            .ltc_nodes
-            .read()
-            .get(&ltc)
-            .ok_or(Error::UnknownLtc(ltc))?;
+        let node = *self.ltc_nodes.read().get(&ltc).ok_or(Error::UnknownLtc(ltc))?;
         let endpoint = self.fabric.endpoint(node);
         let client = StocClient::new(endpoint, self.directory.clone());
         let range_config = self.config.range.clone();
@@ -138,10 +139,31 @@ impl NovaCluster {
         let manifest_stoc = StocId(range.0 % self.directory.len().max(1) as u32);
         let manifest = Manifest::new(manifest_stoc, &format!("range-{}", range.0));
         let interval = self.partition.interval(range);
+        // Read through the owning LTC's block cache.
+        let block_cache = self.ltcs.read().get(&ltc).and_then(|l| l.block_cache().cloned());
         if recover {
-            RangeEngine::recover(range, interval, range_config, client, logc, placer, manifest, 8)
+            RangeEngine::recover(
+                range,
+                interval,
+                range_config,
+                client,
+                logc,
+                placer,
+                manifest,
+                block_cache,
+                8,
+            )
         } else {
-            RangeEngine::new(range, interval, range_config, client, logc, placer, manifest)
+            RangeEngine::new(
+                range,
+                interval,
+                range_config,
+                client,
+                logc,
+                placer,
+                manifest,
+                block_cache,
+            )
         }
     }
 
@@ -178,7 +200,9 @@ impl NovaCluster {
 
     /// Ids of the StoCs currently in the configuration.
     pub fn stoc_ids(&self) -> Vec<StocId> {
-        self.directory.all()
+        // The *active* configuration: draining StoCs (removed from placement
+        // but still serving their existing blocks) are not listed.
+        self.directory.placeable()
     }
 
     /// The LTC object with `id`.
@@ -199,7 +223,11 @@ impl NovaCluster {
 
     /// Per-LTC statistics, keyed by LTC id.
     pub fn ltc_stats(&self) -> HashMap<LtcId, LtcStats> {
-        self.ltcs.read().iter().map(|(id, ltc)| (*id, ltc.stats())).collect()
+        self.ltcs
+            .read()
+            .iter()
+            .map(|(id, ltc)| (*id, ltc.stats()))
+            .collect()
     }
 
     /// Per-StoC statistics (disk bytes, queue depth), keyed by StoC id.
@@ -211,6 +239,30 @@ impl NovaCluster {
             .into_iter()
             .map(|s| (s, client.stats(s).unwrap_or_default()))
             .collect()
+    }
+
+    /// Per-LTC block-cache statistics, keyed by LTC id. LTCs whose cache is
+    /// disabled are omitted.
+    pub fn block_cache_stats(&self) -> HashMap<LtcId, nova_cache::CacheStats> {
+        self.ltcs
+            .read()
+            .iter()
+            .filter_map(|(id, ltc)| ltc.block_cache().map(|c| (*id, c.stats())))
+            .collect()
+    }
+
+    /// Cluster-wide block-cache hit rate (0 when caching is disabled).
+    pub fn block_cache_hit_rate(&self) -> f64 {
+        let (mut hits, mut misses) = (0u64, 0u64);
+        for stats in self.block_cache_stats().values() {
+            hits += stats.hits;
+            misses += stats.misses;
+        }
+        if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        }
     }
 
     /// Aggregate write-stall statistics across every range.
@@ -240,20 +292,22 @@ impl NovaCluster {
         Ok(stoc)
     }
 
-    /// Remove a StoC from the configuration. Existing SSTable fragments on it
-    /// remain readable (the paper keeps such replicas around because disk
-    /// space is cheap); new SSTables simply stop being placed there.
+    /// Remove a StoC from the placement configuration. Existing SSTable
+    /// fragments on it remain readable (the paper keeps such replicas around
+    /// because disk space is cheap), so the directory entry stays resolvable
+    /// in a draining state; new SSTables simply stop being placed there.
     pub fn remove_stoc(&self, stoc: StocId) -> Result<()> {
-        if self.directory.len() <= 1 {
+        let placeable = self.directory.num_placeable();
+        if placeable <= 1 {
             return Err(Error::InvalidArgument("cannot remove the last StoC".into()));
         }
-        if self.config.range.scatter_width > self.directory.len() - 1 {
+        if self.config.range.scatter_width > placeable - 1 {
             return Err(Error::InvalidArgument(format!(
                 "removing {stoc} would leave fewer StoCs than the scatter width ρ={}",
                 self.config.range.scatter_width
             )));
         }
-        self.directory.remove(stoc);
+        self.directory.set_placeable(stoc, false);
         self.coordinator.deregister_stoc(stoc);
         Ok(())
     }
@@ -264,7 +318,7 @@ impl NovaCluster {
     pub fn add_ltc(&self) -> Result<LtcId> {
         let ltc_id = LtcId(self.next_ltc_id.fetch_add(1, Ordering::SeqCst));
         let node = self.fabric.add_node();
-        let ltc = Ltc::new(ltc_id, node);
+        let ltc = Ltc::with_block_cache(ltc_id, node, BlockCache::from_config(&self.config.block_cache));
         self.ltcs.write().insert(ltc_id, ltc);
         self.ltc_nodes.write().insert(ltc_id, node);
         self.coordinator.register_ltc(ltc_id, node);
@@ -303,7 +357,11 @@ impl NovaCluster {
         let snapshot = engine.export_for_migration()?;
 
         // Rebuild the range on the destination LTC's node.
-        let node = *self.ltc_nodes.read().get(&destination).ok_or(Error::UnknownLtc(destination))?;
+        let node = *self
+            .ltc_nodes
+            .read()
+            .get(&destination)
+            .ok_or(Error::UnknownLtc(destination))?;
         let client = StocClient::new(self.fabric.endpoint(node), self.directory.clone());
         let range_config = self.config.range.clone();
         let logc = Arc::new(LogC::new(
@@ -320,18 +378,26 @@ impl NovaCluster {
         );
         let manifest_stoc = StocId(range.0 % self.directory.len().max(1) as u32);
         let manifest = Manifest::new(manifest_stoc, &format!("range-{}", range.0));
-        let new_engine =
-            RangeEngine::import_from_migration(snapshot, range_config, client, logc, placer, manifest)?;
+        let new_engine = RangeEngine::import_from_migration(
+            snapshot,
+            range_config,
+            client,
+            logc,
+            placer,
+            manifest,
+            dest.block_cache().cloned(),
+        )?;
 
         dest.add_range(new_engine);
         if let Some(old) = source.remove_range(range) {
             old.shutdown();
         }
-        self.coordinator.commit_migration(&nova_coordinator::MigrationPlan {
-            range,
-            from: source_id,
-            to: destination,
-        })?;
+        self.coordinator
+            .commit_migration(&nova_coordinator::MigrationPlan {
+                range,
+                from: source_id,
+                to: destination,
+            })?;
         Ok(())
     }
 
@@ -340,8 +406,10 @@ impl NovaCluster {
     /// number of ranges migrated.
     pub fn rebalance(&self) -> Result<usize> {
         let stats = self.ltc_stats();
-        let ltc_load: HashMap<LtcId, f64> =
-            stats.iter().map(|(id, s)| (*id, (s.writes + s.gets + s.scans) as f64)).collect();
+        let ltc_load: HashMap<LtcId, f64> = stats
+            .iter()
+            .map(|(id, s)| (*id, (s.writes + s.gets + s.scans) as f64))
+            .collect();
         // Per-range load: approximate by splitting each LTC's load across its
         // ranges weighted by range write counts (we only track per-LTC here,
         // so weight evenly).

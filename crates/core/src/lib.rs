@@ -52,6 +52,7 @@ pub use mttf::{MttfModel, MttfRow};
 // Re-export the component crates so downstream users need a single
 // dependency.
 pub use nova_baseline as baseline;
+pub use nova_cache as cache;
 pub use nova_common as common;
 pub use nova_coordinator as coordinator;
 pub use nova_fabric as fabric;

@@ -23,7 +23,11 @@ pub struct MttfModel {
 
 impl Default for MttfModel {
     fn default() -> Self {
-        MttfModel { stoc_mttf_hours: 4.3 * HOURS_PER_MONTH, repair_hours: 1.0, num_stocs: 10 }
+        MttfModel {
+            stoc_mttf_hours: 4.3 * HOURS_PER_MONTH,
+            repair_hours: 1.0,
+            num_stocs: 10,
+        }
     }
 }
 
@@ -124,9 +128,15 @@ mod tests {
         assert!((r1.sstable_single_copy_hours / HOURS_PER_MONTH - 4.3).abs() < 0.01);
         assert!((r1.storage_single_copy_hours / 24.0 - 12.9).abs() < 0.5);
         let parity_years = r1.sstable_parity_hours / HOURS_PER_YEAR;
-        assert!((400.0..700.0).contains(&parity_years), "ρ=1 parity SSTable MTTF {parity_years} years");
+        assert!(
+            (400.0..700.0).contains(&parity_years),
+            "ρ=1 parity SSTable MTTF {parity_years} years"
+        );
         let storage_parity_years = r1.storage_parity_hours / HOURS_PER_YEAR;
-        assert!((40.0..70.0).contains(&storage_parity_years), "ρ=1 parity storage MTTF {storage_parity_years} years");
+        assert!(
+            (40.0..70.0).contains(&storage_parity_years),
+            "ρ=1 parity storage MTTF {storage_parity_years} years"
+        );
 
         // ρ=3 and ρ=5: MTTF of a SSTable decreases with ρ, parity overhead
         // decreases with ρ.
@@ -134,13 +144,25 @@ mod tests {
         assert!(rows[2].sstable_single_copy_hours < rows[1].sstable_single_copy_hours);
         assert!(rows[1].parity_space_overhead < rows[0].parity_space_overhead);
         let r3_years = rows[1].sstable_parity_hours / HOURS_PER_YEAR;
-        assert!((70.0..110.0).contains(&r3_years), "ρ=3 parity SSTable MTTF {r3_years} years (paper: 91)");
+        assert!(
+            (70.0..110.0).contains(&r3_years),
+            "ρ=3 parity SSTable MTTF {r3_years} years (paper: 91)"
+        );
         let r5_years = rows[2].sstable_parity_hours / HOURS_PER_YEAR;
-        assert!((28.0..45.0).contains(&r5_years), "ρ=5 parity SSTable MTTF {r5_years} years (paper: 36)");
+        assert!(
+            (28.0..45.0).contains(&r5_years),
+            "ρ=5 parity SSTable MTTF {r5_years} years (paper: 36)"
+        );
         let r5_storage = rows[2].storage_parity_hours / HOURS_PER_YEAR;
-        assert!((14.0..23.0).contains(&r5_storage), "ρ=5 parity storage MTTF {r5_storage} years (paper: 18.5)");
+        assert!(
+            (14.0..23.0).contains(&r5_storage),
+            "ρ=5 parity storage MTTF {r5_storage} years (paper: 18.5)"
+        );
         // Storage-layer MTTF without redundancy is independent of ρ.
-        assert_eq!(rows[0].storage_single_copy_hours, rows[2].storage_single_copy_hours);
+        assert_eq!(
+            rows[0].storage_single_copy_hours,
+            rows[2].storage_single_copy_hours
+        );
         // Space overheads match Table 2's last column.
         assert_eq!(rows[0].single_copy_space_overhead, 0.0);
         assert!((rows[0].parity_space_overhead - 1.0).abs() < 1e-9);

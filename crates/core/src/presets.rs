@@ -9,7 +9,8 @@
 //!   smaller values, a scaled-down disk, identical ratios.
 
 use nova_common::config::{
-    AvailabilityPolicy, ClusterConfig, DiskConfig, FabricConfig, LogPolicy, PlacementPolicy, RangeConfig,
+    AvailabilityPolicy, CacheConfig, ClusterConfig, DiskConfig, FabricConfig, LogPolicy, PlacementPolicy,
+    RangeConfig,
 };
 
 /// Build the paper's shared-disk configuration: η LTCs, β StoCs, SSTables
@@ -69,6 +70,14 @@ pub fn scaled_experiment(num_keys: u64) -> ClusterConfig {
         },
         disk: DiskConfig::scaled(40, 2_000),
         fabric: FabricConfig::default(),
+        // Scaled like the rest of the knobs: 2 MB of LTC block cache against
+        // the ~6 MB databases the harness loads (the paper's LTCs would hold
+        // a comparable fraction of their 1 TB disks in DRAM).
+        block_cache: CacheConfig {
+            capacity_bytes: 2 << 20,
+            shards: 16,
+            admission: true,
+        },
         stoc_storage_threads: 4,
         stoc_compaction_threads: 2,
         lease_millis: 1_000,
@@ -88,7 +97,11 @@ pub fn test_cluster(num_ltcs: usize, num_stocs: usize, num_keys: u64) -> Cluster
     config.range.num_dranges = 4;
     config.range.level0_stall_bytes = 512 * 1024;
     config.range.level1_max_bytes = 1 << 20;
-    config.disk = DiskConfig { bandwidth_bytes_per_sec: u64::MAX / 2, seek_micros: 0, accounting_only: true };
+    config.disk = DiskConfig {
+        bandwidth_bytes_per_sec: u64::MAX / 2,
+        seek_micros: 0,
+        accounting_only: true,
+    };
     config
 }
 

@@ -53,7 +53,9 @@ pub struct Fabric {
 
 impl std::fmt::Debug for Fabric {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Fabric").field("nodes", &self.nodes.read().len()).finish()
+        f.debug_struct("Fabric")
+            .field("nodes", &self.nodes.read().len())
+            .finish()
     }
 }
 
@@ -92,7 +94,10 @@ impl Fabric {
             (node.0 as usize) < self.num_nodes(),
             "node {node} is not attached to this fabric"
         );
-        Endpoint { fabric: Arc::clone(self), node }
+        Endpoint {
+            fabric: Arc::clone(self),
+            node,
+        }
     }
 
     /// Mark a node as failed: all verbs targeting it fail until it recovers.
@@ -111,7 +116,11 @@ impl Fabric {
 
     /// True if the node is currently reachable.
     pub fn is_alive(&self, node: NodeId) -> bool {
-        self.nodes.read().get(node.0 as usize).map(|n| n.alive.load(Ordering::SeqCst)).unwrap_or(false)
+        self.nodes
+            .read()
+            .get(node.0 as usize)
+            .map(|n| n.alive.load(Ordering::SeqCst))
+            .unwrap_or(false)
     }
 
     fn node(&self, node: NodeId) -> Result<Arc<Node>> {
@@ -244,7 +253,10 @@ impl Endpoint {
         issuer.stats.bytes_written.add(payload.len() as u64);
         self.fabric.charge(&issuer, payload.len());
         peer.inbox_tx
-            .send(Delivery::Message { from: self.node, payload })
+            .send(Delivery::Message {
+                from: self.node,
+                payload,
+            })
             .map_err(|_| Error::FabricUnavailable(format!("{target} inbox closed")))
     }
 
@@ -291,7 +303,11 @@ impl Endpoint {
         self.fabric.charge(&issuer, payload.len());
         let sent = peer
             .inbox_tx
-            .send(Delivery::Request { from: self.node, call_id, payload })
+            .send(Delivery::Request {
+                from: self.node,
+                call_id,
+                payload,
+            })
             .map_err(|_| Error::FabricUnavailable(format!("{target} inbox closed")));
         if let Err(e) = sent {
             issuer.pending_calls.lock().remove(&call_id);
@@ -301,7 +317,9 @@ impl Endpoint {
             Ok(result) => result,
             Err(_) => {
                 issuer.pending_calls.lock().remove(&call_id);
-                Err(Error::FabricUnavailable(format!("call {call_id} to {target} timed out")))
+                Err(Error::FabricUnavailable(format!(
+                    "call {call_id} to {target} timed out"
+                )))
             }
         }
     }
@@ -319,7 +337,9 @@ impl Endpoint {
                 let _ = tx.send(payload);
                 Ok(())
             }
-            None => Err(Error::InvalidArgument(format!("no pending call {call_id} on {target}"))),
+            None => Err(Error::InvalidArgument(format!(
+                "no pending call {call_id} on {target}"
+            ))),
         }
     }
 
@@ -327,17 +347,26 @@ impl Endpoint {
 
     /// Bytes this node has read with one-sided READs.
     pub fn bytes_read(&self) -> u64 {
-        self.fabric.node(self.node).map(|n| n.stats.bytes_read.get()).unwrap_or(0)
+        self.fabric
+            .node(self.node)
+            .map(|n| n.stats.bytes_read.get())
+            .unwrap_or(0)
     }
 
     /// Bytes this node has written with WRITE / SEND / replies.
     pub fn bytes_written(&self) -> u64 {
-        self.fabric.node(self.node).map(|n| n.stats.bytes_written.get()).unwrap_or(0)
+        self.fabric
+            .node(self.node)
+            .map(|n| n.stats.bytes_written.get())
+            .unwrap_or(0)
     }
 
     /// Simulated network busy time charged to this node, in nanoseconds.
     pub fn network_busy_nanos(&self) -> u64 {
-        self.fabric.node(self.node).map(|n| n.stats.cpu.busy_nanos()).unwrap_or(0)
+        self.fabric
+            .node(self.node)
+            .map(|n| n.stats.cpu.busy_nanos())
+            .unwrap_or(0)
     }
 }
 
@@ -368,7 +397,13 @@ mod tests {
         let region = b.register_region(64);
         a.rdma_write(NodeId(1), region, 0, b"block", Some(42)).unwrap();
         match b.recv().unwrap() {
-            Delivery::WriteImmediate { from, region: r, offset, len, immediate } => {
+            Delivery::WriteImmediate {
+                from,
+                region: r,
+                offset,
+                len,
+                immediate,
+            } => {
                 assert_eq!(from, NodeId(0));
                 assert_eq!(r, region);
                 assert_eq!(offset, 0);
@@ -401,7 +436,11 @@ mod tests {
         let client = fabric.endpoint(NodeId(0));
         let server = fabric.endpoint(NodeId(1));
         let handle = std::thread::spawn(move || match server.recv().unwrap() {
-            Delivery::Request { from, call_id, payload } => {
+            Delivery::Request {
+                from,
+                call_id,
+                payload,
+            } => {
                 let mut response = payload.to_vec();
                 response.reverse();
                 server.reply(from, call_id, Ok(Bytes::from(response))).unwrap();

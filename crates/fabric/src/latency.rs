@@ -26,7 +26,11 @@ impl LatencyModel {
 
     /// An instantaneous fabric (useful in unit tests).
     pub fn instant() -> Self {
-        LatencyModel { base: Duration::ZERO, bandwidth_bytes_per_sec: u64::MAX, simulate_delay: false }
+        LatencyModel {
+            base: Duration::ZERO,
+            bandwidth_bytes_per_sec: u64::MAX,
+            simulate_delay: false,
+        }
     }
 
     /// The modelled time to move `bytes` across the link.

@@ -66,11 +66,24 @@ mod tests {
 
     #[test]
     fn delivery_reports_sender() {
-        let m = Delivery::Message { from: NodeId(1), payload: Bytes::from_static(b"x") };
+        let m = Delivery::Message {
+            from: NodeId(1),
+            payload: Bytes::from_static(b"x"),
+        };
         assert_eq!(m.from(), NodeId(1));
-        let r = Delivery::Request { from: NodeId(2), call_id: 9, payload: Bytes::new() };
+        let r = Delivery::Request {
+            from: NodeId(2),
+            call_id: 9,
+            payload: Bytes::new(),
+        };
         assert_eq!(r.from(), NodeId(2));
-        let w = Delivery::WriteImmediate { from: NodeId(3), region: RegionId(0), offset: 0, len: 4, immediate: 7 };
+        let w = Delivery::WriteImmediate {
+            from: NodeId(3),
+            region: RegionId(0),
+            offset: 0,
+            len: 4,
+            immediate: 7,
+        };
         assert_eq!(w.from(), NodeId(3));
     }
 }

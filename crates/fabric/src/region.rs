@@ -20,7 +20,10 @@ pub struct Region {
 
 impl Region {
     fn new(capacity: usize) -> Self {
-        Region { data: RwLock::new(vec![0; capacity]), capacity }
+        Region {
+            data: RwLock::new(vec![0; capacity]),
+            capacity,
+        }
     }
 
     /// The fixed capacity of the region in bytes.
@@ -31,9 +34,9 @@ impl Region {
     /// Copy `src` into the region at `offset`.
     pub fn write(&self, offset: u64, src: &[u8]) -> Result<()> {
         let offset = offset as usize;
-        let end = offset.checked_add(src.len()).ok_or_else(|| {
-            Error::InvalidArgument("region write overflows address space".into())
-        })?;
+        let end = offset
+            .checked_add(src.len())
+            .ok_or_else(|| Error::InvalidArgument("region write overflows address space".into()))?;
         if end > self.capacity {
             return Err(Error::InvalidArgument(format!(
                 "region write [{offset}, {end}) exceeds capacity {}",
@@ -47,9 +50,9 @@ impl Region {
     /// Read `len` bytes starting at `offset`.
     pub fn read(&self, offset: u64, len: usize) -> Result<Vec<u8>> {
         let offset = offset as usize;
-        let end = offset.checked_add(len).ok_or_else(|| {
-            Error::InvalidArgument("region read overflows address space".into())
-        })?;
+        let end = offset
+            .checked_add(len)
+            .ok_or_else(|| Error::InvalidArgument("region read overflows address space".into()))?;
         if end > self.capacity {
             return Err(Error::InvalidArgument(format!(
                 "region read [{offset}, {end}) exceeds capacity {}",

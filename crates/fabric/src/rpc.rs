@@ -28,7 +28,14 @@ pub trait RpcHandler: Send + Sync + 'static {
     }
 
     /// Handle a write-with-immediate notification. Default: ignore.
-    fn handle_write_immediate(&self, from: NodeId, region: crate::message::RegionId, offset: u64, len: u64, immediate: u32) {
+    fn handle_write_immediate(
+        &self,
+        from: NodeId,
+        region: crate::message::RegionId,
+        offset: u64,
+        len: u64,
+        immediate: u32,
+    ) {
         let _ = (from, region, offset, len, immediate);
     }
 }
@@ -42,7 +49,9 @@ pub struct RpcServer {
 
 impl std::fmt::Debug for RpcServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("RpcServer").field("threads", &self.threads.len()).finish()
+        f.debug_struct("RpcServer")
+            .field("threads", &self.threads.len())
+            .finish()
     }
 }
 
@@ -150,16 +159,24 @@ impl Drop for RpcServer {
 
 fn dispatch(endpoint: &Endpoint, handler: &dyn RpcHandler, delivery: Delivery) {
     match delivery {
-        Delivery::Request { from, call_id, payload } => {
+        Delivery::Request {
+            from,
+            call_id,
+            payload,
+        } => {
             let response = handler.handle_request(from, payload);
             // If the caller has given up (timed out) the reply fails; that is
             // not an error for the server.
             let _ = endpoint.reply(from, call_id, response);
         }
         Delivery::Message { from, payload } => handler.handle_message(from, payload),
-        Delivery::WriteImmediate { from, region, offset, len, immediate } => {
-            handler.handle_write_immediate(from, region, offset, len, immediate)
-        }
+        Delivery::WriteImmediate {
+            from,
+            region,
+            offset,
+            len,
+            immediate,
+        } => handler.handle_write_immediate(from, region, offset, len, immediate),
     }
 }
 
@@ -187,13 +204,23 @@ mod tests {
             self.messages_seen.fetch_add(1, Ordering::SeqCst);
         }
 
-        fn handle_write_immediate(&self, _from: NodeId, _r: crate::message::RegionId, _o: u64, _l: u64, _i: u32) {
+        fn handle_write_immediate(
+            &self,
+            _from: NodeId,
+            _r: crate::message::RegionId,
+            _o: u64,
+            _l: u64,
+            _i: u32,
+        ) {
             self.immediates_seen.fetch_add(1, Ordering::SeqCst);
         }
     }
 
     fn new_echo() -> Arc<EchoHandler> {
-        Arc::new(EchoHandler { messages_seen: AtomicU64::new(0), immediates_seen: AtomicU64::new(0) })
+        Arc::new(EchoHandler {
+            messages_seen: AtomicU64::new(0),
+            immediates_seen: AtomicU64::new(0),
+        })
     }
 
     #[test]

@@ -61,7 +61,12 @@ impl std::fmt::Debug for LogC {
 impl LogC {
     /// Create a logging component.
     pub fn new(client: StocClient, policy: LogPolicy, log_file_size: u64) -> Self {
-        LogC { client, policy, log_file_size, open: Mutex::new(HashMap::new()) }
+        LogC {
+            client,
+            policy,
+            log_file_size,
+            open: Mutex::new(HashMap::new()),
+        }
     }
 
     /// The configured policy.
@@ -73,12 +78,16 @@ impl LogC {
     /// spread deterministically by hashing the (range, memtable) pair so that
     /// different memtables use different StoCs.
     fn replica_stocs(&self, range: RangeId, memtable: MemtableId, count: u32) -> Result<Vec<StocId>> {
-        let all = self.client.directory().all();
+        // Only placement-eligible StoCs: new log files must not land on a
+        // draining StoC that is about to be decommissioned.
+        let all = self.client.directory().placeable();
         if all.is_empty() {
             return Err(Error::Unavailable("no StoCs registered for logging".into()));
         }
         let start = (range.0 as u64 * 1_000_003 + memtable.0) as usize % all.len();
-        Ok((0..count as usize).map(|i| all[(start + i) % all.len()]).collect())
+        Ok((0..count as usize)
+            .map(|i| all[(start + i) % all.len()])
+            .collect())
     }
 
     /// Create the log file(s) for a new memtable. A no-op when logging is
@@ -102,7 +111,12 @@ impl LogC {
         };
         self.open.lock().insert(
             (range, memtable),
-            OpenLog { replicas, persistent, offset: 0, capacity: self.log_file_size },
+            OpenLog {
+                replicas,
+                persistent,
+                offset: 0,
+                capacity: self.log_file_size,
+            },
         );
         Ok(())
     }
@@ -116,9 +130,9 @@ impl LogC {
         let key = (range, record.memtable_id);
         let encoded = record.encode();
         let mut open = self.open.lock();
-        let log = open
-            .get_mut(&key)
-            .ok_or_else(|| Error::InvalidArgument(format!("no open log file for {} {}", range, record.memtable_id)))?;
+        let log = open.get_mut(&key).ok_or_else(|| {
+            Error::InvalidArgument(format!("no open log file for {} {}", range, record.memtable_id))
+        })?;
         if log.offset + encoded.len() as u64 > log.capacity {
             // The in-memory region is full; in practice the memtable fills
             // first because records mirror memtable inserts, but guard anyway.
@@ -128,7 +142,8 @@ impl LogC {
             self.client.write_mem(replica, log.offset, &encoded)?;
         }
         if let Some(stoc) = log.persistent {
-            self.client.append_log(stoc, &log_file_name(range, record.memtable_id), &encoded)?;
+            self.client
+                .append_log(stoc, &log_file_name(range, record.memtable_id), &encoded)?;
         }
         log.offset += encoded.len() as u64;
         Ok(())
@@ -160,7 +175,11 @@ impl LogC {
     /// Bytes appended to the in-memory replica of a specific log file so far
     /// (for tests and statistics).
     pub fn log_bytes(&self, range: RangeId, memtable: MemtableId) -> u64 {
-        self.open.lock().get(&(range, memtable)).map(|l| l.offset).unwrap_or(0)
+        self.open
+            .lock()
+            .get(&(range, memtable))
+            .map(|l| l.offset)
+            .unwrap_or(0)
     }
 
     /// Recover every log record for a range by querying all StoCs for its log
@@ -224,7 +243,10 @@ impl LogC {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("recovery thread panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("recovery thread panicked"))
+                .collect()
         });
         for r in results {
             all_records.extend(r?);
@@ -262,7 +284,15 @@ mod tests {
                     seek_micros: 0,
                     accounting_only: true,
                 }));
-                StocServer::start(StocId(i as u32), NodeId(i as u32 + 1), &fabric, directory.clone(), medium, 2, 1)
+                StocServer::start(
+                    StocId(i as u32),
+                    NodeId(i as u32 + 1),
+                    &fabric,
+                    directory.clone(),
+                    medium,
+                    2,
+                    1,
+                )
             })
             .collect();
         let client = StocClient::new(fabric.endpoint(NodeId(0)), directory);
@@ -270,7 +300,11 @@ mod tests {
     }
 
     fn entry(i: u64) -> Entry {
-        Entry::put(format!("key-{i:04}").into_bytes(), i + 1, format!("value-{i}").into_bytes())
+        Entry::put(
+            format!("key-{i:04}").into_bytes(),
+            i + 1,
+            format!("value-{i}").into_bytes(),
+        )
     }
 
     #[test]
@@ -278,7 +312,8 @@ mod tests {
         let (_f, servers, client) = cluster(1);
         let logc = LogC::new(client, LogPolicy::Disabled, 1 << 16);
         logc.create_log_file(RangeId(0), MemtableId(1)).unwrap();
-        logc.append(RangeId(0), &LogRecord::from_entry(MemtableId(1), &entry(0))).unwrap();
+        logc.append(RangeId(0), &LogRecord::from_entry(MemtableId(1), &entry(0)))
+            .unwrap();
         assert_eq!(logc.open_files(), 0);
         assert!(logc.recover_range(RangeId(0), 1).unwrap().is_empty());
         for s in servers {
@@ -295,7 +330,8 @@ mod tests {
         logc.create_log_file(range, MemtableId(2)).unwrap();
         for i in 0..50u64 {
             let mid = MemtableId(1 + i % 2);
-            logc.append(range, &LogRecord::from_entry(mid, &entry(i))).unwrap();
+            logc.append(range, &LogRecord::from_entry(mid, &entry(i)))
+                .unwrap();
         }
         assert!(logc.log_bytes(range, MemtableId(1)) > 0);
         let recovered = logc.recover_range(range, 4).unwrap();
@@ -318,8 +354,10 @@ mod tests {
         let range = RangeId(1);
         logc.create_log_file(range, MemtableId(1)).unwrap();
         logc.create_log_file(range, MemtableId(2)).unwrap();
-        logc.append(range, &LogRecord::from_entry(MemtableId(1), &entry(1))).unwrap();
-        logc.append(range, &LogRecord::from_entry(MemtableId(2), &entry(2))).unwrap();
+        logc.append(range, &LogRecord::from_entry(MemtableId(1), &entry(1)))
+            .unwrap();
+        logc.append(range, &LogRecord::from_entry(MemtableId(2), &entry(2)))
+            .unwrap();
         logc.delete_log_file(range, MemtableId(1)).unwrap();
         assert_eq!(logc.open_files(), 1);
         let recovered = logc.recover_range(range, 1).unwrap();
@@ -333,11 +371,16 @@ mod tests {
     #[test]
     fn persistent_logging_survives_memory_replica_loss() {
         let (fabric, servers, client) = cluster(2);
-        let logc = LogC::new(client.clone(), LogPolicy::PersistentWithMemory { replicas: 1 }, 1 << 16);
+        let logc = LogC::new(
+            client.clone(),
+            LogPolicy::PersistentWithMemory { replicas: 1 },
+            1 << 16,
+        );
         let range = RangeId(3);
         logc.create_log_file(range, MemtableId(9)).unwrap();
         for i in 0..10u64 {
-            logc.append(range, &LogRecord::from_entry(MemtableId(9), &entry(i))).unwrap();
+            logc.append(range, &LogRecord::from_entry(MemtableId(9), &entry(i)))
+                .unwrap();
         }
         // Recovery sees records even when only the persistent copy is used.
         let recovered = logc.recover_range(range, 2).unwrap();
@@ -352,7 +395,9 @@ mod tests {
     fn appends_to_unknown_log_file_fail() {
         let (_f, servers, client) = cluster(1);
         let logc = LogC::new(client, LogPolicy::InMemoryReplicated { replicas: 1 }, 1 << 16);
-        let err = logc.append(RangeId(0), &LogRecord::from_entry(MemtableId(5), &entry(0))).unwrap_err();
+        let err = logc
+            .append(RangeId(0), &LogRecord::from_entry(MemtableId(5), &entry(0)))
+            .unwrap_err();
         assert!(matches!(err, Error::InvalidArgument(_)));
         for s in servers {
             s.stop();
@@ -366,7 +411,9 @@ mod tests {
         let range = RangeId(0);
         logc.create_log_file(range, MemtableId(1)).unwrap();
         let big = Entry::put(&b"key"[..], 1, vec![0u8; 128]);
-        let err = logc.append(range, &LogRecord::from_entry(MemtableId(1), &big)).unwrap_err();
+        let err = logc
+            .append(range, &LogRecord::from_entry(MemtableId(1), &big))
+            .unwrap_err();
         assert!(matches!(err, Error::Unavailable(_)));
         for s in servers {
             s.stop();

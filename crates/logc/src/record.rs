@@ -9,8 +9,8 @@
 use nova_common::checksum;
 use nova_common::types::Entry;
 use nova_common::varint::{
-    decode_fixed32, decode_length_prefixed_slice, decode_varint64, put_fixed32,
-    put_length_prefixed_slice, put_varint64,
+    decode_fixed32, decode_length_prefixed_slice, decode_varint64, put_fixed32, put_length_prefixed_slice,
+    put_varint64,
 };
 use nova_common::{Error, MemtableId, Result, SequenceNumber, ValueType};
 
@@ -106,7 +106,13 @@ impl LogRecord {
         n += c;
         let (sequence, _) = decode_varint64(&payload[n..])?;
         Ok(Some((
-            LogRecord { memtable_id: MemtableId(mid), key, value, sequence, value_type: vt },
+            LogRecord {
+                memtable_id: MemtableId(mid),
+                key,
+                value,
+                sequence,
+                value_type: vt,
+            },
             8 + size,
         )))
     }
@@ -140,7 +146,11 @@ mod tests {
             key: format!("key-{i}").into_bytes(),
             value: format!("value-{i}").into_bytes(),
             sequence: i,
-            value_type: if i % 5 == 0 { ValueType::Deletion } else { ValueType::Value },
+            value_type: if i.is_multiple_of(5) {
+                ValueType::Deletion
+            } else {
+                ValueType::Value
+            },
         }
     }
 

@@ -46,7 +46,10 @@ fn build_jobs(engine: &RangeEngine, version: &Version, level: usize) -> Vec<Vec<
             let overlapping = version.overlapping(next_level, &smallest, &largest);
             let overlap_ids: Vec<u64> = overlapping.iter().map(|t| t.file_number).collect();
             // Does this group share a next-level table with an existing job?
-            if let Some(existing) = jobs.iter_mut().find(|(_, ids)| ids.iter().any(|id| overlap_ids.contains(id))) {
+            if let Some(existing) = jobs
+                .iter_mut()
+                .find(|(_, ids)| ids.iter().any(|id| overlap_ids.contains(id)))
+            {
                 existing.0.extend(group);
                 for t in overlapping {
                     if !existing.1.contains(&t.file_number) {
@@ -78,7 +81,11 @@ fn build_jobs(engine: &RangeEngine, version: &Version, level: usize) -> Vec<Vec<
         if inputs.is_empty() {
             return Vec::new();
         }
-        let smallest = inputs.iter().map(|t| t.smallest.clone()).min().unwrap_or_default();
+        let smallest = inputs
+            .iter()
+            .map(|t| t.smallest.clone())
+            .min()
+            .unwrap_or_default();
         let largest = inputs.iter().map(|t| t.largest.clone()).max().unwrap_or_default();
         inputs.extend(version.overlapping(next_level, &smallest, &largest));
         vec![inputs]
@@ -108,8 +115,13 @@ pub(crate) fn run_compaction(engine: &Arc<RangeEngine>) -> Result<()> {
     // deployments keep compaction outputs on the local disk, shared-disk
     // deployments spread them across all StoCs.
     let all_stocs = match engine.placer().policy() {
-        nova_common::config::PlacementPolicy::LocalOnly => engine.placer().choose_stocs(1).unwrap_or_default(),
-        _ => engine.stoc_client().directory().all(),
+        nova_common::config::PlacementPolicy::LocalOnly => {
+            engine.placer().choose_stocs(1).unwrap_or_default()
+        }
+        // Placement-eligible StoCs only: a draining StoC (removed via
+        // `remove_stoc`) keeps serving reads but must stop receiving
+        // compaction outputs or it never drains.
+        _ => engine.stoc_client().directory().placeable(),
     };
 
     for inputs in jobs {
@@ -126,7 +138,11 @@ pub(crate) fn run_compaction(engine: &Arc<RangeEngine>) -> Result<()> {
                 }
             }
         }
-        let output_placement = if all_stocs.is_empty() { vec![StocId(0)] } else { all_stocs.clone() };
+        let output_placement = if all_stocs.is_empty() {
+            vec![StocId(0)]
+        } else {
+            all_stocs.clone()
+        };
         let job = CompactionJob {
             range_id: engine.range_id().0,
             inputs: inputs.clone(),
@@ -151,7 +167,10 @@ pub(crate) fn run_compaction(engine: &Arc<RangeEngine>) -> Result<()> {
 
     // More work may remain (e.g. the next level is now over budget).
     let version = engine.version_snapshot();
-    if version.pick_compaction_level(|l| config.max_bytes_for_level(l)).is_some() {
+    if version
+        .pick_compaction_level(|l| config.max_bytes_for_level(l))
+        .is_some()
+    {
         engine.schedule_compaction();
     }
     Ok(())

@@ -112,7 +112,11 @@ impl Drange {
     /// Create a Drange from its Tranges.
     pub fn new(index: usize, tranges: Vec<Trange>, duplicated: bool) -> Self {
         debug_assert!(!tranges.is_empty(), "a Drange needs at least one Trange");
-        Drange { index, tranges, duplicated }
+        Drange {
+            index,
+            tranges,
+            duplicated,
+        }
     }
 
     /// The interval covered: `[first Trange lower, last Trange upper)`.
@@ -190,16 +194,27 @@ impl DrangeSet {
         let theta = theta.max(1);
         let gamma = gamma.max(1);
         let dranges = Self::uniform_layout(range, theta, gamma);
-        DrangeSet { range, theta, gamma, dranges, stats: ReorgStats::default(), generation: 0 }
+        DrangeSet {
+            range,
+            theta,
+            gamma,
+            dranges,
+            stats: ReorgStats::default(),
+            generation: 0,
+        }
     }
 
     fn uniform_layout(range: KeyInterval, theta: usize, gamma: usize) -> Vec<Drange> {
         let total = range.len().max(1);
-        let per_drange = (total + theta as u64 - 1) / theta as u64;
+        let per_drange = total.div_ceil(theta as u64);
         let mut dranges = Vec::with_capacity(theta);
         let mut lower = range.lower;
         for d in 0..theta {
-            let upper = if d + 1 == theta { range.upper } else { (lower + per_drange).min(range.upper) };
+            let upper = if d + 1 == theta {
+                range.upper
+            } else {
+                (lower + per_drange).min(range.upper)
+            };
             let tranges = Self::split_into_tranges(KeyInterval::new(lower, upper.max(lower)), gamma);
             dranges.push(Drange::new(d, tranges, false));
             lower = upper;
@@ -213,11 +228,15 @@ impl DrangeSet {
             return vec![Trange::new(interval)];
         }
         let gamma = gamma.min(total.max(1) as usize).max(1);
-        let per = (total + gamma as u64 - 1) / gamma as u64;
+        let per = total.div_ceil(gamma as u64);
         let mut tranges = Vec::with_capacity(gamma);
         let mut lower = interval.lower;
         for t in 0..gamma {
-            let upper = if t + 1 == gamma { interval.upper } else { (lower + per).min(interval.upper) };
+            let upper = if t + 1 == gamma {
+                interval.upper
+            } else {
+                (lower + per).min(interval.upper)
+            };
             tranges.push(Trange::new(KeyInterval::new(lower, upper.max(lower))));
             lower = upper;
         }
@@ -257,7 +276,10 @@ impl DrangeSet {
 
     /// Reorganisation statistics.
     pub fn stats(&self) -> ReorgStats {
-        ReorgStats { duplicated_dranges: self.dranges.iter().filter(|d| d.duplicated).count(), ..self.stats }
+        ReorgStats {
+            duplicated_dranges: self.dranges.iter().filter(|d| d.duplicated).count(),
+            ..self.stats
+        }
     }
 
     /// The index of the Drange that should absorb a write to `key`.
@@ -332,7 +354,9 @@ impl DrangeSet {
             return false;
         }
         let threshold = 1.0 / self.theta as f64 + epsilon;
-        self.dranges.iter().any(|d| (d.writes() as f64 / total as f64) > threshold)
+        self.dranges
+            .iter()
+            .any(|d| (d.writes() as f64 / total as f64) > threshold)
     }
 
     /// Perform a reorganisation. A *minor* reorganisation shifts Tranges from
@@ -466,11 +490,7 @@ impl DrangeSet {
                 // Number of duplicates proportional to how hot the key is.
                 let duplicates = ((writes as f64 / average).round() as usize).clamp(2, self.theta.max(2));
                 for _ in 0..duplicates {
-                    new_dranges.push(Drange::new(
-                        new_dranges.len(),
-                        vec![Trange::new(interval)],
-                        true,
-                    ));
+                    new_dranges.push(Drange::new(new_dranges.len(), vec![Trange::new(interval)], true));
                 }
                 continue;
             }
@@ -500,7 +520,12 @@ impl DrangeSet {
     }
 
     /// Rebuild a DrangeSet from persisted boundaries (crash recovery).
-    pub fn from_boundaries(range: KeyInterval, theta: usize, gamma: usize, boundaries: &[KeyInterval]) -> Self {
+    pub fn from_boundaries(
+        range: KeyInterval,
+        theta: usize,
+        gamma: usize,
+        boundaries: &[KeyInterval],
+    ) -> Self {
         if boundaries.is_empty() {
             return Self::new(range, theta, gamma);
         }
@@ -508,10 +533,21 @@ impl DrangeSet {
         let mut previous: Option<KeyInterval> = None;
         for (i, interval) in boundaries.iter().enumerate() {
             let duplicated = previous == Some(*interval);
-            dranges.push(Drange::new(i, Self::split_into_tranges(*interval, gamma), duplicated));
+            dranges.push(Drange::new(
+                i,
+                Self::split_into_tranges(*interval, gamma),
+                duplicated,
+            ));
             previous = Some(*interval);
         }
-        DrangeSet { range, theta, gamma, dranges, stats: ReorgStats::default(), generation: 0 }
+        DrangeSet {
+            range,
+            theta,
+            gamma,
+            dranges,
+            stats: ReorgStats::default(),
+            generation: 0,
+        }
     }
 }
 
@@ -581,7 +617,10 @@ mod tests {
         s.force_major_reorganization();
         let stats = s.stats();
         assert!(stats.major_reorgs >= 1);
-        assert!(stats.duplicated_dranges >= 2, "hot key should be duplicated, got {stats:?}");
+        assert!(
+            stats.duplicated_dranges >= 2,
+            "hot key should be duplicated, got {stats:?}"
+        );
         // Writes to the hot key can now go to more than one Drange.
         let candidates = s.candidates_for(0);
         assert!(candidates.len() >= 2);
@@ -601,7 +640,11 @@ mod tests {
         // Drange 2 is hot but not a single point: all its keys are written.
         let hot = s.dranges()[2].interval();
         for i in 0..8_000u64 {
-            let key = if i % 4 == 0 { i % 800 } else { hot.lower + i % hot.len() };
+            let key = if i % 4 == 0 {
+                i % 800
+            } else {
+                hot.lower + i % hot.len()
+            };
             let d = s.drange_for_write(key, i);
             s.record_write(d, key);
         }
@@ -631,7 +674,7 @@ mod tests {
     fn small_keyspaces_are_handled() {
         // Fewer keys than θ.
         let s = DrangeSet::new(KeyInterval::new(0, 3), 8, 4);
-        assert!(s.len() >= 1);
+        assert!(!s.is_empty());
         for key in 0..3u64 {
             let d = s.drange_for_write(key, key);
             s.record_write(d, key);

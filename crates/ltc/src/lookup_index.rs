@@ -42,7 +42,9 @@ impl LookupIndex {
 
     /// Register a live memtable so keys can point at it.
     pub fn register_memtable(&self, memtable: &Arc<Memtable>) {
-        self.mid_to_table.write().insert(memtable.id(), TableLocation::Memtable(Arc::clone(memtable)));
+        self.mid_to_table
+            .write()
+            .insert(memtable.id(), TableLocation::Memtable(Arc::clone(memtable)));
     }
 
     /// Record that `key`'s latest value now lives in `mid`. Called by every
@@ -75,12 +77,16 @@ impl LookupIndex {
     /// MIDToTable to store the file number of the SSTable and marks the
     /// pointer to the memtable as invalid").
     pub fn memtable_flushed(&self, mid: MemtableId, file: FileNumber) {
-        self.mid_to_table.write().insert(mid, TableLocation::Level0Sstable(file));
+        self.mid_to_table
+            .write()
+            .insert(mid, TableLocation::Level0Sstable(file));
     }
 
     /// Record that `mid` was merged into `target` (small-memtable merge).
     pub fn memtable_merged(&self, mid: MemtableId, target: MemtableId) {
-        self.mid_to_table.write().insert(mid, TableLocation::Merged(target));
+        self.mid_to_table
+            .write()
+            .insert(mid, TableLocation::Merged(target));
     }
 
     /// Remove keys that were compacted out of Level 0: "once a SSTable at
@@ -123,7 +129,7 @@ impl LookupIndex {
     /// number.
     pub fn approximate_bytes(&self) -> usize {
         let keys = self.keys.read();
-        keys.iter().map(|(k, _)| k.len() + 4 + 8).sum()
+        keys.keys().map(|k| k.len() + 4 + 8).sum()
     }
 
     /// Remove every key (used when a range is migrated away).
@@ -206,7 +212,10 @@ mod tests {
         // points at file 200.
         index.remove_keys_of_level0_file(&[b"a".to_vec(), b"b".to_vec()], 100);
         assert!(index.lookup(b"a").is_none());
-        assert!(matches!(index.lookup(b"b"), Some(TableLocation::Level0Sstable(200))));
+        assert!(matches!(
+            index.lookup(b"b"),
+            Some(TableLocation::Level0Sstable(200))
+        ));
         index.forget_memtable(MemtableId(1));
         assert_eq!(index.len(), 1);
     }

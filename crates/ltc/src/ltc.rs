@@ -5,6 +5,7 @@
 
 use crate::range::RangeEngine;
 use bytes::Bytes;
+use nova_cache::BlockCache;
 use nova_common::{Error, LtcId, NodeId, RangeId, Result};
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -37,6 +38,27 @@ pub struct LtcStats {
     pub reorganizations: u64,
     /// Number of ranges currently served.
     pub ranges: usize,
+    /// Block-cache hits across the LTC's read path.
+    pub block_cache_hits: u64,
+    /// Block-cache misses (reads that went to a StoC).
+    pub block_cache_misses: u64,
+    /// Blocks evicted from the block cache.
+    pub block_cache_evictions: u64,
+    /// Bytes currently resident in the block cache.
+    pub block_cache_resident_bytes: u64,
+}
+
+impl LtcStats {
+    /// Fraction of data-block reads served by the block cache (0 when the
+    /// cache is disabled or idle).
+    pub fn block_cache_hit_rate(&self) -> f64 {
+        let total = self.block_cache_hits + self.block_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.block_cache_hits as f64 / total as f64
+        }
+    }
 }
 
 /// One LSM-tree component.
@@ -44,6 +66,9 @@ pub struct Ltc {
     id: LtcId,
     node: NodeId,
     ranges: RwLock<HashMap<RangeId, Arc<RangeEngine>>>,
+    /// The LTC-wide block cache shared by every range engine on this LTC
+    /// (Section 3: LTCs are the memory-rich tier). `None` when disabled.
+    block_cache: Option<Arc<BlockCache>>,
 }
 
 impl std::fmt::Debug for Ltc {
@@ -57,9 +82,25 @@ impl std::fmt::Debug for Ltc {
 }
 
 impl Ltc {
-    /// Create an LTC with no ranges assigned yet.
+    /// Create an LTC with no ranges assigned yet and no block cache.
     pub fn new(id: LtcId, node: NodeId) -> Arc<Self> {
-        Arc::new(Ltc { id, node, ranges: RwLock::new(HashMap::new()) })
+        Self::with_block_cache(id, node, None)
+    }
+
+    /// Create an LTC that reads SSTable blocks through `block_cache`.
+    pub fn with_block_cache(id: LtcId, node: NodeId, block_cache: Option<Arc<BlockCache>>) -> Arc<Self> {
+        Arc::new(Ltc {
+            id,
+            node,
+            ranges: RwLock::new(HashMap::new()),
+            block_cache,
+        })
+    }
+
+    /// The LTC-wide block cache, if enabled. Range engines created for this
+    /// LTC should read through it.
+    pub fn block_cache(&self) -> Option<&Arc<BlockCache>> {
+        self.block_cache.as_ref()
     }
 
     /// This LTC's id.
@@ -84,7 +125,11 @@ impl Ltc {
 
     /// The engine serving `range`.
     pub fn range(&self, range: RangeId) -> Result<Arc<RangeEngine>> {
-        self.ranges.read().get(&range).cloned().ok_or(Error::WrongRange(range))
+        self.ranges
+            .read()
+            .get(&range)
+            .cloned()
+            .ok_or(Error::WrongRange(range))
     }
 
     /// Ranges currently assigned, in id order.
@@ -115,14 +160,22 @@ impl Ltc {
     }
 
     /// Scan up to `limit` entries of `range` starting at `start_key`.
-    pub fn scan(&self, range: RangeId, start_key: &[u8], limit: usize) -> Result<Vec<nova_common::types::Entry>> {
+    pub fn scan(
+        &self,
+        range: RangeId,
+        start_key: &[u8],
+        limit: usize,
+    ) -> Result<Vec<nova_common::types::Entry>> {
         self.range(range)?.scan(start_key, limit)
     }
 
     /// Aggregate statistics across every range.
     pub fn stats(&self) -> LtcStats {
         let ranges = self.ranges.read();
-        let mut out = LtcStats { ranges: ranges.len(), ..Default::default() };
+        let mut out = LtcStats {
+            ranges: ranges.len(),
+            ..Default::default()
+        };
         for engine in ranges.values() {
             let s = engine.stats();
             out.writes += s.writes.get();
@@ -136,6 +189,13 @@ impl Ltc {
             out.flushes += s.flushes.get();
             out.compactions += s.compactions.get();
             out.reorganizations += s.reorganizations.get();
+        }
+        if let Some(cache) = &self.block_cache {
+            let c = cache.stats();
+            out.block_cache_hits = c.hits;
+            out.block_cache_misses = c.misses;
+            out.block_cache_evictions = c.evictions;
+            out.block_cache_resident_bytes = c.resident_bytes;
         }
         out
     }
@@ -168,11 +228,40 @@ mod tests {
         assert_eq!(ltc.id(), LtcId(0));
         assert_eq!(ltc.node(), NodeId(0));
         assert_eq!(ltc.num_ranges(), 0);
-        assert!(matches!(ltc.put(RangeId(1), b"k", b"v"), Err(Error::WrongRange(_))));
+        assert!(matches!(
+            ltc.put(RangeId(1), b"k", b"v"),
+            Err(Error::WrongRange(_))
+        ));
         assert!(matches!(ltc.get(RangeId(1), b"k"), Err(Error::WrongRange(_))));
-        assert!(matches!(ltc.scan(RangeId(1), b"k", 10), Err(Error::WrongRange(_))));
+        assert!(matches!(
+            ltc.scan(RangeId(1), b"k", 10),
+            Err(Error::WrongRange(_))
+        ));
         let stats = ltc.stats();
         assert_eq!(stats.ranges, 0);
         assert_eq!(stats.writes, 0);
+    }
+
+    #[test]
+    fn block_cache_stats_surface_in_ltc_stats() {
+        use nova_cache::BlockKey;
+        use nova_common::{StocFileId, StocId};
+
+        // Without a cache the hit-rate is zero and the fields stay zero.
+        let plain = Ltc::new(LtcId(0), NodeId(0));
+        assert!(plain.block_cache().is_none());
+        assert_eq!(plain.stats().block_cache_hit_rate(), 0.0);
+
+        let cache = Arc::new(BlockCache::new(1 << 20, 2, false));
+        let ltc = Ltc::with_block_cache(LtcId(1), NodeId(1), Some(Arc::clone(&cache)));
+        let key = BlockKey::new(StocFileId::new(StocId(0), 1), 0);
+        assert!(cache.get(&key).is_none()); // miss
+        cache.insert(key, bytes::Bytes::from(vec![0u8; 64]));
+        assert!(cache.get(&key).is_some()); // hit
+        let stats = ltc.stats();
+        assert_eq!(stats.block_cache_hits, 1);
+        assert_eq!(stats.block_cache_misses, 1);
+        assert_eq!(stats.block_cache_resident_bytes, 64);
+        assert!((stats.block_cache_hit_rate() - 0.5).abs() < 1e-9);
     }
 }

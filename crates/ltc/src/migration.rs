@@ -93,6 +93,7 @@ impl RangeEngine {
         logc: Arc<LogC>,
         placer: Placer,
         manifest: Manifest,
+        block_cache: Option<Arc<nova_cache::BlockCache>>,
     ) -> Result<Arc<Self>> {
         let engine = RangeEngine::import_snapshot_internal(
             snapshot.range_id,
@@ -102,6 +103,7 @@ impl RangeEngine {
             logc,
             placer,
             manifest,
+            block_cache,
             snapshot.manifest,
             snapshot.memtable_entries,
         )?;
@@ -124,6 +126,9 @@ mod tests {
         };
         assert!(snapshot.metadata_bytes() > 0);
         assert!(snapshot.memtable_bytes() > 100);
-        assert_eq!(snapshot.total_bytes(), snapshot.metadata_bytes() + snapshot.memtable_bytes());
+        assert_eq!(
+            snapshot.total_bytes(),
+            snapshot.metadata_bytes() + snapshot.memtable_bytes()
+        );
     }
 }

@@ -45,7 +45,13 @@ impl Placer {
         local_stoc: Option<StocId>,
         seed: u64,
     ) -> Self {
-        Placer { client, policy, availability, local_stoc, rng: Mutex::new(StdRng::seed_from_u64(seed)) }
+        Placer {
+            client,
+            policy,
+            availability,
+            local_stoc,
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+        }
     }
 
     /// The configured placement policy.
@@ -58,11 +64,15 @@ impl Placer {
         self.availability
     }
 
-    /// Pick `rho` StoCs for the fragments of one SSTable.
+    /// Pick `rho` StoCs for the fragments of one SSTable. Only
+    /// placement-eligible StoCs are considered: a draining StoC keeps
+    /// serving reads of its existing blocks but receives no new tables.
     pub fn choose_stocs(&self, rho: usize) -> Result<Vec<StocId>> {
-        let all = self.client.directory().all();
+        let all = self.client.directory().placeable();
         if all.is_empty() {
-            return Err(Error::Unavailable("no StoCs registered".into()));
+            return Err(Error::Unavailable(
+                "no placement-eligible StoCs registered".into(),
+            ));
         }
         let rho = rho.clamp(1, all.len());
         match self.policy {
@@ -106,9 +116,11 @@ impl Placer {
         drange: Option<u32>,
         num_fragments: usize,
     ) -> Result<TableWriteSpec> {
-        let all = self.client.directory().all();
+        let all = self.client.directory().placeable();
         if all.is_empty() {
-            return Err(Error::Unavailable("no StoCs registered".into()));
+            return Err(Error::Unavailable(
+                "no placement-eligible StoCs registered".into(),
+            ));
         }
         let primaries = self.choose_stocs(num_fragments)?;
         let data_copies = self.availability.data_copies() as usize;
@@ -134,15 +146,23 @@ impl Placer {
 
         // Metadata block replicas: small, so the Hybrid policy replicates
         // them 3× (Section 4.4.1).
-        let meta_copies = (self.availability.metadata_replicas() as usize).min(all.len()).max(1);
+        let meta_copies = (self.availability.metadata_replicas() as usize)
+            .min(all.len())
+            .max(1);
         let meta_start = all.iter().position(|&s| s == primaries[0]).unwrap_or(0);
-        let meta_placement: Vec<StocId> = (0..meta_copies).map(|i| all[(meta_start + i) % all.len()]).collect();
+        let meta_placement: Vec<StocId> = (0..meta_copies)
+            .map(|i| all[(meta_start + i) % all.len()])
+            .collect();
 
         // Parity goes to a StoC not already holding a data fragment when
         // possible.
         let parity_placement = if self.availability.uses_parity() {
             let used: Vec<StocId> = fragment_placement.iter().flatten().copied().collect();
-            let candidate = all.iter().copied().find(|s| !used.contains(s)).unwrap_or(all[(meta_start + 1) % all.len()]);
+            let candidate = all
+                .iter()
+                .copied()
+                .find(|s| !used.contains(s))
+                .unwrap_or(all[(meta_start + 1) % all.len()]);
             Some(candidate)
         } else {
             None
@@ -178,7 +198,15 @@ mod tests {
                     seek_micros: 0,
                     accounting_only: true,
                 }));
-                StocServer::start(StocId(i as u32), NodeId(i as u32 + 1), &fabric, directory.clone(), medium, 2, 1)
+                StocServer::start(
+                    StocId(i as u32),
+                    NodeId(i as u32 + 1),
+                    &fabric,
+                    directory.clone(),
+                    medium,
+                    2,
+                    1,
+                )
             })
             .collect();
         let client = StocClient::new(fabric.endpoint(NodeId(0)), directory);
@@ -188,8 +216,17 @@ mod tests {
     #[test]
     fn local_only_uses_the_local_stoc() {
         let (_f, servers, client) = cluster(4);
-        let placer = Placer::new(client, PlacementPolicy::LocalOnly, AvailabilityPolicy::None, Some(StocId(2)), 1);
-        assert_eq!(placer.choose_stocs(3).unwrap(), vec![StocId(2), StocId(2), StocId(2)]);
+        let placer = Placer::new(
+            client,
+            PlacementPolicy::LocalOnly,
+            AvailabilityPolicy::None,
+            Some(StocId(2)),
+            1,
+        );
+        assert_eq!(
+            placer.choose_stocs(3).unwrap(),
+            vec![StocId(2), StocId(2), StocId(2)]
+        );
         assert_eq!(placer.policy(), PlacementPolicy::LocalOnly);
         for s in servers {
             s.stop();
@@ -199,7 +236,13 @@ mod tests {
     #[test]
     fn random_placement_picks_distinct_stocs() {
         let (_f, servers, client) = cluster(6);
-        let placer = Placer::new(client, PlacementPolicy::Random, AvailabilityPolicy::None, None, 42);
+        let placer = Placer::new(
+            client,
+            PlacementPolicy::Random,
+            AvailabilityPolicy::None,
+            None,
+            42,
+        );
         for _ in 0..10 {
             let chosen = placer.choose_stocs(3).unwrap();
             assert_eq!(chosen.len(), 3);
@@ -229,7 +272,13 @@ mod tests {
         // Make StoC 0 appear busy by loading it with large writes through a
         // slow disk? Instead, simply verify the mechanism returns the
         // requested number of distinct StoCs and consults queue depths.
-        let placer = Placer::new(client, PlacementPolicy::PowerOfD, AvailabilityPolicy::None, None, 3);
+        let placer = Placer::new(
+            client,
+            PlacementPolicy::PowerOfD,
+            AvailabilityPolicy::None,
+            None,
+            3,
+        );
         let chosen = placer.choose_stocs(2).unwrap();
         assert_eq!(chosen.len(), 2);
         let mut unique = chosen.clone();
@@ -244,7 +293,13 @@ mod tests {
     #[test]
     fn replication_spec_gives_each_fragment_distinct_copies() {
         let (_f, servers, client) = cluster(5);
-        let placer = Placer::new(client, PlacementPolicy::Random, AvailabilityPolicy::Replicate(3), None, 11);
+        let placer = Placer::new(
+            client,
+            PlacementPolicy::Random,
+            AvailabilityPolicy::Replicate(3),
+            None,
+            11,
+        );
         let spec = placer.build_spec(9, 0, Some(1), 2).unwrap();
         assert_eq!(spec.fragment_placement.len(), 2);
         for replicas in &spec.fragment_placement {
@@ -266,13 +321,25 @@ mod tests {
     #[test]
     fn hybrid_spec_has_parity_and_replicated_metadata() {
         let (_f, servers, client) = cluster(6);
-        let placer = Placer::new(client, PlacementPolicy::PowerOfD, AvailabilityPolicy::Hybrid, None, 5);
+        let placer = Placer::new(
+            client,
+            PlacementPolicy::PowerOfD,
+            AvailabilityPolicy::Hybrid,
+            None,
+            5,
+        );
         let spec = placer.build_spec(3, 0, None, 3).unwrap();
         assert_eq!(spec.fragment_placement.len(), 3);
-        assert!(spec.fragment_placement.iter().all(|r| r.len() == 1), "hybrid does not replicate data fragments");
+        assert!(
+            spec.fragment_placement.iter().all(|r| r.len() == 1),
+            "hybrid does not replicate data fragments"
+        );
         let parity = spec.parity_placement.expect("hybrid computes a parity block");
         let primaries: Vec<StocId> = spec.fragment_placement.iter().map(|r| r[0]).collect();
-        assert!(!primaries.contains(&parity), "parity should avoid the data fragments' StoCs");
+        assert!(
+            !primaries.contains(&parity),
+            "parity should avoid the data fragments' StoCs"
+        );
         assert_eq!(spec.meta_placement.len(), 3);
         for s in servers {
             s.stop();

@@ -11,6 +11,7 @@ use crate::range_index::RangeIndex;
 use crate::version::{Manifest, ManifestData, Version};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use nova_cache::{BlockCache, CachingFetcher};
 use nova_common::config::RangeConfig;
 use nova_common::keyspace::{decode_key, KeyInterval};
 use nova_common::rate::{BusyTime, Counter};
@@ -19,7 +20,7 @@ use nova_common::{Error, FileNumber, MemtableId, RangeId, Result, SequenceNumber
 use nova_logc::{LogC, LogRecord};
 use nova_memtable::{LookupResult, Memtable};
 use nova_sstable::{
-    compact_entries, EntryIterator, MergingIterator, SstableMeta, TableBuilder, TableLookup,
+    compact_entries, BlockFetcher, EntryIterator, MergingIterator, SstableMeta, TableBuilder, TableLookup,
     TableOptions, TableReader, VecIterator,
 };
 use nova_stoc::{delete_table, read_meta_block, write_table, ScatteredBlockFetcher, StocClient};
@@ -104,6 +105,9 @@ pub struct RangeEngine {
     range_index: RangeIndex,
     version: Mutex<Version>,
     table_cache: Mutex<HashMap<FileNumber, Arc<TableReader>>>,
+    /// The LTC-wide data-block cache, shared by every range of the LTC.
+    /// `None` when caching is disabled in the cluster configuration.
+    block_cache: Option<Arc<BlockCache>>,
     /// Memtables that a background task has claimed for flushing (or already
     /// flushed). Duplicate flush tasks — the stall loop re-nudges the queue —
     /// become cheap no-ops instead of producing duplicate SSTables.
@@ -135,6 +139,7 @@ impl std::fmt::Debug for RangeEngine {
 
 impl RangeEngine {
     /// Create a new, empty range engine and start its background threads.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         range_id: RangeId,
         interval: KeyInterval,
@@ -143,13 +148,29 @@ impl RangeEngine {
         logc: Arc<LogC>,
         placer: Placer,
         manifest: Manifest,
+        block_cache: Option<Arc<BlockCache>>,
     ) -> Result<Arc<Self>> {
         config.validate().map_err(Error::InvalidArgument)?;
         let dranges = DrangeSet::new(interval, config.num_dranges, config.tranges_per_drange);
-        Self::build(range_id, interval, config, client, logc, placer, manifest, dranges, Version::new(4), 1, 0, Vec::new())
+        Self::build(
+            range_id,
+            interval,
+            config,
+            client,
+            logc,
+            placer,
+            manifest,
+            block_cache,
+            dranges,
+            Version::new(4),
+            1,
+            0,
+            Vec::new(),
+        )
     }
 
     /// Recover a range engine from its MANIFEST and log records (Section 4.5).
+    #[allow(clippy::too_many_arguments)]
     pub fn recover(
         range_id: RangeId,
         interval: KeyInterval,
@@ -158,6 +179,7 @@ impl RangeEngine {
         logc: Arc<LogC>,
         placer: Placer,
         manifest: Manifest,
+        block_cache: Option<Arc<BlockCache>>,
         recovery_threads: usize,
     ) -> Result<Arc<Self>> {
         config.validate().map_err(Error::InvalidArgument)?;
@@ -165,9 +187,18 @@ impl RangeEngine {
         let dranges = if data.drange_boundaries.is_empty() {
             DrangeSet::new(interval, config.num_dranges, config.tranges_per_drange)
         } else {
-            DrangeSet::from_boundaries(interval, config.num_dranges, config.tranges_per_drange, &data.drange_boundaries)
+            DrangeSet::from_boundaries(
+                interval,
+                config.num_dranges,
+                config.tranges_per_drange,
+                &data.drange_boundaries,
+            )
         };
-        let version = if data.version.num_tables() > 0 { data.version.clone() } else { Version::new(config.num_levels) };
+        let version = if data.version.num_tables() > 0 {
+            data.version.clone()
+        } else {
+            Version::new(config.num_levels)
+        };
         let recovered_logs = logc.recover_range(range_id, recovery_threads)?;
         let mut entries: Vec<Entry> = Vec::new();
         let mut max_seq = data.last_sequence;
@@ -185,6 +216,7 @@ impl RangeEngine {
             logc,
             placer,
             manifest,
+            block_cache,
             dranges,
             version,
             data.next_file_number.max(1),
@@ -203,6 +235,7 @@ impl RangeEngine {
         logc: Arc<LogC>,
         placer: Placer,
         manifest: Manifest,
+        block_cache: Option<Arc<BlockCache>>,
         dranges: DrangeSet,
         version: Version,
         next_file_number: u64,
@@ -220,7 +253,10 @@ impl RangeEngine {
             logc,
             placer,
             manifest,
-            write_state: RwLock::new(WriteState { dranges, states: Vec::new() }),
+            write_state: RwLock::new(WriteState {
+                dranges,
+                states: Vec::new(),
+            }),
             sequence: AtomicU64::new(last_sequence),
             next_memtable_id: AtomicU64::new(1),
             next_file_number: AtomicU64::new(next_file_number),
@@ -228,6 +264,7 @@ impl RangeEngine {
             range_index,
             version: Mutex::new(version),
             table_cache: Mutex::new(HashMap::new()),
+            block_cache,
             claimed_flushes: Mutex::new(std::collections::HashSet::new()),
             task_tx,
             task_rx,
@@ -249,7 +286,10 @@ impl RangeEngine {
                 engine.lookup_index.register_memtable(&memtable);
                 engine.range_index.add_memtable(*boundary, &memtable);
                 let _ = engine.logc.create_log_file(range_id, memtable.id());
-                state.states.push(DrangeState { active: memtable, immutables: Vec::new() });
+                state.states.push(DrangeState {
+                    active: memtable,
+                    immutables: Vec::new(),
+                });
                 let _ = i;
             }
         }
@@ -288,7 +328,8 @@ impl RangeEngine {
         for meta in level0 {
             // Register the file in the range index.
             if let (Some(lo), Some(hi)) = (decode_key(&meta.smallest), decode_key(&meta.largest)) {
-                self.range_index.add_level0_file(KeyInterval::new(lo, hi + 1), meta.file_number);
+                self.range_index
+                    .add_level0_file(KeyInterval::new(lo, hi + 1), meta.file_number);
             } else {
                 self.range_index.add_level0_file(self.interval, meta.file_number);
             }
@@ -500,7 +541,11 @@ impl RangeEngine {
                     let _ = self.logc.create_log_file(self.range_id, fresh.id());
                     state.states[drange_idx].active = fresh;
                     drop(state);
-                    let _ = self.task_tx.send(BackgroundTask::Flush { drange: drange_idx, memtable: old, force: false });
+                    let _ = self.task_tx.send(BackgroundTask::Flush {
+                        drange: drange_idx,
+                        memtable: old,
+                        force: false,
+                    });
                     if stalled {
                         self.stats.stall_time.add(stall_start.elapsed());
                     }
@@ -541,10 +586,15 @@ impl RangeEngine {
     /// (Section 4.1).
     fn maybe_reorganize(&self) {
         let n = self.writes_since_reorg_check.fetch_add(1, Ordering::Relaxed) + 1;
-        if n % self.config.reorg_check_interval != 0 {
+        if !n.is_multiple_of(self.config.reorg_check_interval) {
             return;
         }
-        let needs = { self.write_state.read().dranges.needs_reorganization(self.config.reorg_epsilon) };
+        let needs = {
+            self.write_state
+                .read()
+                .dranges
+                .needs_reorganization(self.config.reorg_epsilon)
+        };
         if !needs {
             return;
         }
@@ -559,12 +609,20 @@ impl RangeEngine {
         for (idx, old) in old_states.into_iter().enumerate() {
             old.active.mark_immutable();
             if !old.active.is_empty() {
-                let _ = self.task_tx.send(BackgroundTask::Flush { drange: idx, memtable: Arc::clone(&old.active), force: true });
+                let _ = self.task_tx.send(BackgroundTask::Flush {
+                    drange: idx,
+                    memtable: Arc::clone(&old.active),
+                    force: true,
+                });
             } else {
                 self.range_index.remove_memtable(old.active.id());
             }
             for immutable in old.immutables {
-                let _ = self.task_tx.send(BackgroundTask::Flush { drange: idx, memtable: immutable, force: true });
+                let _ = self.task_tx.send(BackgroundTask::Flush {
+                    drange: idx,
+                    memtable: immutable,
+                    force: true,
+                });
             }
         }
         let generation = state.dranges.reorganize(self.config.reorg_epsilon);
@@ -575,7 +633,10 @@ impl RangeEngine {
             self.lookup_index.register_memtable(&fresh);
             self.range_index.add_memtable(*boundary, &fresh);
             let _ = self.logc.create_log_file(self.range_id, fresh.id());
-            state.states.push(DrangeState { active: fresh, immutables: Vec::new() });
+            state.states.push(DrangeState {
+                active: fresh,
+                immutables: Vec::new(),
+            });
         }
         self.stats.reorganizations.incr();
     }
@@ -587,7 +648,11 @@ impl RangeEngine {
     fn background_loop(self: Arc<Self>) {
         loop {
             match self.task_rx.recv_timeout(Duration::from_millis(100)) {
-                Ok(BackgroundTask::Flush { drange, memtable, force }) => {
+                Ok(BackgroundTask::Flush {
+                    drange,
+                    memtable,
+                    force,
+                }) => {
                     if let Err(e) = self.flush_memtable(drange, &memtable, force) {
                         // A failed flush leaves the memtable immutable and in
                         // place; release the claim so a later force flush can
@@ -673,7 +738,9 @@ impl RangeEngine {
         }
         let built = builder.finish()?;
         let file_number = self.allocate_file_number();
-        let spec = self.placer.build_spec(file_number, 0, Some(drange_idx as u32), built.fragments.len())?;
+        let spec = self
+            .placer
+            .build_spec(file_number, 0, Some(drange_idx as u32), built.fragments.len())?;
         let meta = write_table(&self.client, &built, &spec)?;
         self.stats.bytes_flushed.add(meta.data_size);
         self.stats.flushes.incr();
@@ -743,7 +810,10 @@ impl RangeEngine {
                 claimed.insert(m.id());
             }
         }
-        let children: Vec<VecIterator> = small.iter().map(|m| VecIterator::new(m.iter().collect())).collect();
+        let children: Vec<VecIterator> = small
+            .iter()
+            .map(|m| VecIterator::new(m.iter().collect()))
+            .collect();
         let mut merged_iter = MergingIterator::new(children);
         let survivors = compact_entries(&mut merged_iter, MAX_SEQUENCE_NUMBER, false)?;
 
@@ -775,7 +845,12 @@ impl RangeEngine {
                 let _ = self.logc.append(self.range_id, &record);
             }
         }
-        let boundary = state.dranges.dranges().get(drange_idx).map(|d| d.interval()).unwrap_or(self.interval);
+        let boundary = state
+            .dranges
+            .dranges()
+            .get(drange_idx)
+            .map(|d| d.interval())
+            .unwrap_or(self.interval);
         self.range_index.add_memtable(boundary, &merged);
         state.states[drange_idx].immutables.push(merged);
         self.stats.memtable_merges.add(small.len() as u64);
@@ -791,9 +866,18 @@ impl RangeEngine {
 
     /// Persist the MANIFEST (called after every metadata mutation).
     pub(crate) fn persist_manifest(&self) -> Result<()> {
+        // Snapshot the version and the Drange boundaries in two separate
+        // statements. Building `ManifestData` in a single expression kept the
+        // `version` mutex guard alive (temporaries live to the end of the
+        // full expression) while acquiring `write_state`, inverting the
+        // write_state -> version order used by the write path
+        // (`rotate_memtable` holds `write_state.write()` and then calls
+        // `level0_bytes()`), which deadlocked writers against flush workers.
+        let version = self.version.lock().clone();
+        let drange_boundaries = self.write_state.read().dranges.boundaries();
         let data = ManifestData {
-            version: self.version.lock().clone(),
-            drange_boundaries: self.write_state.read().dranges.boundaries(),
+            version,
+            drange_boundaries,
             next_file_number: self.next_file_number.load(Ordering::SeqCst),
             last_sequence: self.sequence.load(Ordering::SeqCst),
         };
@@ -820,9 +904,23 @@ impl RangeEngine {
         for input in inputs {
             if input.level == 0 {
                 self.range_index.remove_level0_file(input.file_number);
-                self.lookup_index.remove_keys_of_level0_file(level0_input_keys, input.file_number);
+                self.lookup_index
+                    .remove_keys_of_level0_file(level0_input_keys, input.file_number);
             }
             self.table_cache.lock().remove(&input.file_number);
+            // Drop the table's data blocks from the block cache before its
+            // StoC files are deleted. Only the primary replica matters:
+            // `CachingFetcher` keys every block by the primary's file id.
+            // (Stale entries could never be *served* — StoC file ids are
+            // unique forever — but they would waste cache capacity until
+            // evicted.)
+            if let Some(cache) = &self.block_cache {
+                for fragment in &input.fragments {
+                    if let Some(primary) = fragment.primary() {
+                        cache.invalidate_file(primary.file);
+                    }
+                }
+            }
             delete_table(&self.client, input);
         }
         self.stats.compactions.incr();
@@ -840,18 +938,32 @@ impl RangeEngine {
         }
         let bytes = read_meta_block(&self.client, meta)?;
         let reader = Arc::new(TableReader::open(&bytes)?);
-        self.table_cache.lock().insert(meta.file_number, Arc::clone(&reader));
+        self.table_cache
+            .lock()
+            .insert(meta.file_number, Arc::clone(&reader));
         Ok(reader)
     }
 
     fn get_from_table(&self, meta: &SstableMeta, key: &[u8]) -> Result<Option<Option<Bytes>>> {
         let reader = self.table_reader(meta)?;
         let fetcher = ScatteredBlockFetcher::new(&self.client, meta);
-        match reader.get(&fetcher, key, MAX_SEQUENCE_NUMBER)? {
+        let lookup = match &self.block_cache {
+            Some(cache) => {
+                let caching = CachingFetcher::new(&fetcher, cache, meta);
+                reader.get(&caching, key, MAX_SEQUENCE_NUMBER)?
+            }
+            None => reader.get(&fetcher, key, MAX_SEQUENCE_NUMBER)?,
+        };
+        match lookup {
             TableLookup::Found(e) => Ok(Some(Some(e.value))),
             TableLookup::Deleted(_) => Ok(Some(None)),
             TableLookup::NotFound => Ok(None),
         }
+    }
+
+    /// The LTC-wide block cache this range reads through, if enabled.
+    pub fn block_cache(&self) -> Option<&Arc<BlockCache>> {
+        self.block_cache.as_ref()
     }
 
     /// Get the latest value of `key`, or `Err(NotFound)`.
@@ -868,7 +980,13 @@ impl RangeEngine {
                         LookupResult::NotFound => { /* fall through to levels */ }
                     },
                     TableLocation::Level0Sstable(file) => {
-                        let meta = self.version.lock().level_tables(0).iter().find(|t| t.file_number == file).cloned();
+                        let meta = self
+                            .version
+                            .lock()
+                            .level_tables(0)
+                            .iter()
+                            .find(|t| t.file_number == file)
+                            .cloned();
                         if let Some(meta) = meta {
                             if let Some(result) = self.get_from_table(&meta, key)? {
                                 return result.ok_or(Error::NotFound);
@@ -909,7 +1027,7 @@ impl RangeEngine {
             let level0 = self.version.lock().tables_for_key(0, key);
             // Newest Level-0 tables have the highest file numbers.
             let mut level0 = level0;
-            level0.sort_by(|a, b| b.file_number.cmp(&a.file_number));
+            level0.sort_by_key(|t| std::cmp::Reverse(t.file_number));
             for meta in level0 {
                 if let Some(result) = self.get_from_table(&meta, key)? {
                     return result.ok_or(Error::NotFound);
@@ -939,7 +1057,9 @@ impl RangeEngine {
         // Gather candidate memtables and Level-0 tables from the range index
         // (only partitions at or after the scan start).
         let (memtables, level0_files) = if self.config.enable_range_index {
-            let partitions = self.range_index.partitions_overlapping(start_numeric, self.interval.upper);
+            let partitions = self
+                .range_index
+                .partitions_overlapping(start_numeric, self.interval.upper);
             let mut memtables: Vec<Arc<Memtable>> = Vec::new();
             let mut files: Vec<FileNumber> = Vec::new();
             for p in partitions {
@@ -962,7 +1082,13 @@ impl RangeEngine {
                 memtables.push(Arc::clone(&s.active));
                 memtables.extend(s.immutables.iter().cloned());
             }
-            let files = self.version.lock().level_tables(0).iter().map(|t| t.file_number).collect();
+            let files = self
+                .version
+                .lock()
+                .level_tables(0)
+                .iter()
+                .map(|t| t.file_number)
+                .collect();
             (memtables, files)
         };
 
@@ -983,8 +1109,20 @@ impl RangeEngine {
             .iter()
             .map(|m| self.table_reader(m).map(|r| (r, m.clone())))
             .collect::<Result<Vec<_>>>()?;
-        let fetchers: Vec<ScatteredBlockFetcher<'_>> =
-            readers.iter().map(|(_, m)| ScatteredBlockFetcher::new(&self.client, m)).collect();
+        let fetchers: Vec<ScatteredBlockFetcher<'_>> = readers
+            .iter()
+            .map(|(_, m)| ScatteredBlockFetcher::new(&self.client, m))
+            .collect();
+        // When the block cache is enabled, wrap every table's StoC fetcher so
+        // scan block reads hit (and populate) the cache too.
+        let caching_fetchers: Vec<CachingFetcher<'_>> = match &self.block_cache {
+            Some(cache) => readers
+                .iter()
+                .zip(fetchers.iter())
+                .map(|((_, m), f)| CachingFetcher::new(f, cache, m))
+                .collect(),
+            None => Vec::new(),
+        };
 
         enum Child<'a> {
             Mem(VecIterator),
@@ -1027,7 +1165,11 @@ impl RangeEngine {
         for memtable in &memtables {
             children.push(Child::Mem(VecIterator::new(memtable.iter().collect())));
         }
-        for ((reader, _), fetcher) in readers.iter().zip(fetchers.iter()) {
+        for (i, (reader, _)) in readers.iter().enumerate() {
+            let fetcher: &dyn BlockFetcher = match caching_fetchers.get(i) {
+                Some(caching) => caching,
+                None => &fetchers[i],
+            };
             children.push(Child::Table(reader.iter(fetcher)));
         }
         let mut merged = MergingIterator::new(children);
@@ -1092,6 +1234,7 @@ impl RangeEngine {
         logc: Arc<LogC>,
         placer: Placer,
         manifest: Manifest,
+        block_cache: Option<Arc<BlockCache>>,
         data: ManifestData,
         replay: Vec<Entry>,
     ) -> Result<Arc<Self>> {
@@ -1099,9 +1242,18 @@ impl RangeEngine {
         let dranges = if data.drange_boundaries.is_empty() {
             DrangeSet::new(interval, config.num_dranges, config.tranges_per_drange)
         } else {
-            DrangeSet::from_boundaries(interval, config.num_dranges, config.tranges_per_drange, &data.drange_boundaries)
+            DrangeSet::from_boundaries(
+                interval,
+                config.num_dranges,
+                config.tranges_per_drange,
+                &data.drange_boundaries,
+            )
         };
-        let version = if data.version.num_tables() > 0 { data.version.clone() } else { Version::new(config.num_levels) };
+        let version = if data.version.num_tables() > 0 {
+            data.version.clone()
+        } else {
+            Version::new(config.num_levels)
+        };
         Self::build(
             range_id,
             interval,
@@ -1110,6 +1262,7 @@ impl RangeEngine {
             logc,
             placer,
             manifest,
+            block_cache,
             dranges,
             version,
             data.next_file_number.max(1),
@@ -1152,12 +1305,20 @@ impl RangeEngine {
                 self.range_index.add_memtable(boundary, &fresh);
                 let _ = self.logc.create_log_file(self.range_id, fresh.id());
                 s.active = fresh;
-                let _ = self.task_tx.send(BackgroundTask::Flush { drange: idx, memtable: old, force: true });
+                let _ = self.task_tx.send(BackgroundTask::Flush {
+                    drange: idx,
+                    memtable: old,
+                    force: true,
+                });
             }
             // Also force-flush existing immutables.
             for (idx, s) in state.states.iter().enumerate() {
                 for m in &s.immutables {
-                    let _ = self.task_tx.send(BackgroundTask::Flush { drange: idx, memtable: Arc::clone(m), force: true });
+                    let _ = self.task_tx.send(BackgroundTask::Flush {
+                        drange: idx,
+                        memtable: Arc::clone(m),
+                        force: true,
+                    });
                 }
             }
         }
@@ -1168,8 +1329,13 @@ impl RangeEngine {
     pub fn wait_for_background_idle(&self, timeout: Duration) -> Result<()> {
         let deadline = Instant::now() + timeout;
         loop {
-            let pending_immutables: usize =
-                self.write_state.read().states.iter().map(|s| s.immutables.len()).sum();
+            let pending_immutables: usize = self
+                .write_state
+                .read()
+                .states
+                .iter()
+                .map(|s| s.immutables.len())
+                .sum();
             if pending_immutables == 0 && self.task_rx.is_empty() {
                 return Ok(());
             }
@@ -1255,7 +1421,11 @@ mod tests {
                 })
                 .collect();
             let client = StocClient::new(fabric.endpoint(NodeId(0)), directory);
-            TestCluster { _fabric: fabric, servers, client }
+            TestCluster {
+                _fabric: fabric,
+                servers,
+                client,
+            }
         }
 
         fn stop(self) {
@@ -1294,7 +1464,20 @@ mod tests {
     }
 
     fn engine_with(cluster: &TestCluster, config: RangeConfig, num_keys: u64) -> Arc<RangeEngine> {
-        let logc = Arc::new(LogC::new(cluster.client.clone(), config.log_policy, config.memtable_size_bytes as u64 * 4));
+        engine_with_cache(cluster, config, num_keys, None)
+    }
+
+    fn engine_with_cache(
+        cluster: &TestCluster,
+        config: RangeConfig,
+        num_keys: u64,
+        block_cache: Option<Arc<BlockCache>>,
+    ) -> Arc<RangeEngine> {
+        let logc = Arc::new(LogC::new(
+            cluster.client.clone(),
+            config.log_policy,
+            config.memtable_size_bytes as u64 * 4,
+        ));
         let placer = Placer::new(
             cluster.client.clone(),
             config.placement,
@@ -1311,6 +1494,7 @@ mod tests {
             logc,
             placer,
             manifest,
+            block_cache,
         )
         .unwrap()
     }
@@ -1320,10 +1504,15 @@ mod tests {
         let cluster = TestCluster::new(1);
         let engine = engine_with(&cluster, small_config(), 10_000);
         for i in 0..500u64 {
-            engine.put(&encode_key(i), format!("value-{i}").as_bytes()).unwrap();
+            engine
+                .put(&encode_key(i), format!("value-{i}").as_bytes())
+                .unwrap();
         }
         for i in 0..500u64 {
-            assert_eq!(engine.get(&encode_key(i)).unwrap().as_ref(), format!("value-{i}").as_bytes());
+            assert_eq!(
+                engine.get(&encode_key(i)).unwrap().as_ref(),
+                format!("value-{i}").as_bytes()
+            );
         }
         assert!(engine.get(&encode_key(9_999)).is_err());
         engine.delete(&encode_key(42)).unwrap();
@@ -1342,7 +1531,9 @@ mod tests {
         let engine = engine_with(&cluster, small_config(), 100_000);
         // Write enough data (with values big enough) to force many flushes.
         for i in 0..3_000u64 {
-            engine.put(&encode_key(i % 1_000), vec![b'x'; 100].as_slice()).unwrap();
+            engine
+                .put(&encode_key(i % 1_000), vec![b'x'; 100].as_slice())
+                .unwrap();
         }
         engine.flush_all().unwrap();
         assert!(engine.num_tables() > 0, "flushes must have produced SSTables");
@@ -1475,7 +1666,10 @@ mod tests {
                 Err(other) => panic!("unexpected error {other}"),
             }
         }
-        assert!(stalled, "the engine must report write stalls when configured not to block");
+        assert!(
+            stalled,
+            "the engine must report write stalls when configured not to block"
+        );
         assert!(engine.stats().stalls.get() > 0);
         engine.shutdown();
         cluster.stop();
@@ -1512,7 +1706,13 @@ mod tests {
         config.memtable_size_bytes = 64 * 1024;
 
         let logc = Arc::new(LogC::new(cluster.client.clone(), config.log_policy, 1 << 20));
-        let placer = Placer::new(cluster.client.clone(), config.placement, config.availability, None, 3);
+        let placer = Placer::new(
+            cluster.client.clone(),
+            config.placement,
+            config.availability,
+            None,
+            3,
+        );
         let manifest = Manifest::new(StocId(0), "range-crash");
         let engine = RangeEngine::new(
             RangeId(0),
@@ -1522,17 +1722,26 @@ mod tests {
             logc,
             placer,
             manifest,
+            None,
         )
         .unwrap();
         for i in 0..200u64 {
-            engine.put(&encode_key(i), format!("durable-{i}").as_bytes()).unwrap();
+            engine
+                .put(&encode_key(i), format!("durable-{i}").as_bytes())
+                .unwrap();
         }
         // Simulate an LTC crash: drop the engine without flushing.
         engine.shutdown();
         drop(engine);
 
         let logc = Arc::new(LogC::new(cluster.client.clone(), config.log_policy, 1 << 20));
-        let placer = Placer::new(cluster.client.clone(), config.placement, config.availability, None, 3);
+        let placer = Placer::new(
+            cluster.client.clone(),
+            config.placement,
+            config.availability,
+            None,
+            3,
+        );
         let manifest = Manifest::new(StocId(0), "range-crash");
         let recovered = RangeEngine::recover(
             RangeId(0),
@@ -1542,6 +1751,7 @@ mod tests {
             logc,
             placer,
             manifest,
+            None,
             4,
         )
         .unwrap();
@@ -1571,12 +1781,21 @@ mod tests {
 
         let snapshot = engine.export_for_migration().unwrap();
         assert!(engine.is_frozen());
-        assert!(matches!(engine.put(&encode_key(1), b"x"), Err(Error::Migrating(_))));
+        assert!(matches!(
+            engine.put(&encode_key(1), b"x"),
+            Err(Error::Migrating(_))
+        ));
         assert!(snapshot.metadata_bytes() > 0);
         assert!(snapshot.memtable_bytes() > 0);
 
         let logc = Arc::new(LogC::new(cluster.client.clone(), config.log_policy, 1 << 20));
-        let placer = Placer::new(cluster.client.clone(), config.placement, config.availability, None, 9);
+        let placer = Placer::new(
+            cluster.client.clone(),
+            config.placement,
+            config.availability,
+            None,
+            9,
+        );
         let manifest = Manifest::new(StocId(1), "range-0-migrated");
         let destination = RangeEngine::import_from_migration(
             snapshot,
@@ -1585,6 +1804,7 @@ mod tests {
             logc,
             placer,
             manifest,
+            None,
         )
         .unwrap();
         for i in (0..1_700u64).step_by(61) {
@@ -1596,7 +1816,10 @@ mod tests {
         }
         // The destination accepts new writes; the source stays frozen.
         destination.put(&encode_key(1_800), b"after-migration").unwrap();
-        assert_eq!(destination.get(&encode_key(1_800)).unwrap().as_ref(), b"after-migration");
+        assert_eq!(
+            destination.get(&encode_key(1_800)).unwrap().as_ref(),
+            b"after-migration"
+        );
         engine.shutdown();
         destination.shutdown();
         cluster.stop();
@@ -1626,7 +1849,10 @@ mod tests {
                 readable += 1;
             }
         }
-        assert!(readable >= 18, "most keys must stay readable with one failed StoC, got {readable}");
+        assert!(
+            readable >= 18,
+            "most keys must stay readable with one failed StoC, got {readable}"
+        );
         cluster._fabric.recover_node(victim_node);
         engine.shutdown();
         cluster.stop();
@@ -1644,7 +1870,9 @@ mod tests {
                 std::thread::spawn(move || {
                     for i in 0..2_000u64 {
                         let key = t * 10_000 + i;
-                        engine.put(&encode_key(key), format!("t{t}-{i}").as_bytes()).unwrap();
+                        engine
+                            .put(&encode_key(key), format!("t{t}-{i}").as_bytes())
+                            .unwrap();
                     }
                 })
             })
@@ -1670,6 +1898,119 @@ mod tests {
             assert_eq!(
                 engine.get(&encode_key(t * 10_000 + 1_999)).unwrap().as_ref(),
                 format!("t{t}-1999").as_bytes()
+            );
+        }
+        engine.shutdown();
+        cluster.stop();
+    }
+
+    fn stoc_bytes_read(cluster: &TestCluster) -> u64 {
+        cluster
+            .client
+            .directory()
+            .all()
+            .into_iter()
+            .map(|s| cluster.client.stats(s).map(|st| st.bytes_read).unwrap_or(0))
+            .sum()
+    }
+
+    #[test]
+    fn second_get_of_same_key_skips_the_stoc_round_trip() {
+        let cluster = TestCluster::new(1);
+        let cache = Arc::new(BlockCache::new(1 << 20, 4, false));
+        let engine = engine_with_cache(&cluster, small_config(), 10_000, Some(Arc::clone(&cache)));
+        for i in 0..2_000u64 {
+            engine
+                .put(&encode_key(i), format!("cached-{i}").as_bytes())
+                .unwrap();
+        }
+        engine.flush_all().unwrap();
+        assert!(
+            engine.num_tables() > 0,
+            "data must be in SSTables for the cache to matter"
+        );
+
+        // First read: goes to the StoC and populates the cache.
+        assert_eq!(engine.get(&encode_key(777)).unwrap().as_ref(), b"cached-777");
+        let bytes_read_before = stoc_bytes_read(&cluster);
+        let hits_before = cache.stats().hits;
+
+        // Second read of the same key: served from the block cache, so the
+        // StoCs see no additional medium reads.
+        assert_eq!(engine.get(&encode_key(777)).unwrap().as_ref(), b"cached-777");
+        assert_eq!(
+            stoc_bytes_read(&cluster),
+            bytes_read_before,
+            "a cached get must not touch the StoCs"
+        );
+        assert!(
+            cache.stats().hits > hits_before,
+            "the second get must hit the cache"
+        );
+        engine.shutdown();
+        cluster.stop();
+    }
+
+    #[test]
+    fn scans_read_through_the_block_cache() {
+        let cluster = TestCluster::new(1);
+        let cache = Arc::new(BlockCache::new(1 << 20, 4, false));
+        let engine = engine_with_cache(&cluster, small_config(), 10_000, Some(Arc::clone(&cache)));
+        for i in 0..2_000u64 {
+            engine.put(&encode_key(i), format!("s{i}").as_bytes()).unwrap();
+        }
+        engine.flush_all().unwrap();
+
+        let first = engine.scan(&encode_key(100), 50).unwrap();
+        assert_eq!(first.len(), 50);
+        assert!(cache.stats().insertions > 0, "scan must populate the cache");
+        let bytes_read_before = stoc_bytes_read(&cluster);
+        let second = engine.scan(&encode_key(100), 50).unwrap();
+        assert_eq!(first, second, "cached and uncached scans must agree");
+        assert_eq!(
+            stoc_bytes_read(&cluster),
+            bytes_read_before,
+            "a fully cached scan must not touch the StoCs"
+        );
+        engine.shutdown();
+        cluster.stop();
+    }
+
+    #[test]
+    fn compaction_invalidates_cached_blocks_of_deleted_tables() {
+        let cluster = TestCluster::new(2);
+        let cache = Arc::new(BlockCache::new(4 << 20, 4, false));
+        let mut config = small_config();
+        config.level0_stall_bytes = 48 * 1024;
+        let engine = engine_with_cache(&cluster, config, 100_000, Some(Arc::clone(&cache)));
+        for round in 0..6u64 {
+            for i in 0..1_000u64 {
+                engine
+                    .put(&encode_key(i), format!("r{round}-{i}").as_bytes())
+                    .unwrap();
+            }
+            // Read between rounds so Level-0 blocks enter the cache before
+            // compaction deletes their tables.
+            for i in (0..1_000u64).step_by(101) {
+                let _ = engine.get(&encode_key(i));
+            }
+        }
+        engine.flush_all().unwrap();
+        engine.schedule_compaction();
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while Instant::now() < deadline && engine.stats().compactions.get() == 0 {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert!(engine.stats().compactions.get() > 0, "compaction must have run");
+        assert!(
+            cache.stats().invalidations > 0,
+            "compaction must invalidate cached blocks of its input tables"
+        );
+        // Reads after invalidation still return the newest values.
+        for i in (0..1_000u64).step_by(37) {
+            assert_eq!(
+                engine.get(&encode_key(i)).unwrap().as_ref(),
+                format!("r5-{i}").as_bytes()
             );
         }
         engine.shutdown();

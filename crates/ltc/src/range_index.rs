@@ -26,7 +26,11 @@ pub struct RangeIndexPartition {
 
 impl RangeIndexPartition {
     fn new(interval: KeyInterval) -> Self {
-        RangeIndexPartition { interval, memtables: Vec::new(), level0_files: Vec::new() }
+        RangeIndexPartition {
+            interval,
+            memtables: Vec::new(),
+            level0_files: Vec::new(),
+        }
     }
 }
 
@@ -110,7 +114,12 @@ impl RangeIndex {
     /// Every partition overlapping `[start, end)`, in key order.
     pub fn partitions_overlapping(&self, start: u64, end: u64) -> Vec<RangeIndexPartition> {
         let query = KeyInterval::new(start, end.max(start));
-        self.partitions.read().iter().filter(|p| p.interval.overlaps(&query)).cloned().collect()
+        self.partitions
+            .read()
+            .iter()
+            .filter(|p| p.interval.overlaps(&query))
+            .cloned()
+            .collect()
     }
 
     /// Split partitions along new Drange boundaries after a reorganisation;
@@ -152,7 +161,10 @@ impl RangeIndex {
     /// Approximate memory used by the index (the paper reports ~6 KB).
     pub fn approximate_bytes(&self) -> usize {
         let partitions = self.partitions.read();
-        partitions.iter().map(|p| 16 + p.memtables.len() * 8 + p.level0_files.len() * 8).sum()
+        partitions
+            .iter()
+            .map(|p| 16 + p.memtables.len() * 8 + p.level0_files.len() * 8)
+            .sum()
     }
 }
 
@@ -196,7 +208,11 @@ mod tests {
         assert_eq!(p0.level0_files, vec![7]);
         let p1 = index.partition_for(150);
         assert!(p1.memtables.is_empty());
-        assert_eq!(p1.level0_files, vec![7], "file spanning both partitions appears in both");
+        assert_eq!(
+            p1.level0_files,
+            vec![7],
+            "file spanning both partitions appears in both"
+        );
 
         index.remove_memtable(MemtableId(1));
         index.remove_level0_file(7);

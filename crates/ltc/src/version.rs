@@ -7,8 +7,8 @@
 
 use nova_common::keyspace::KeyInterval;
 use nova_common::varint::{
-    decode_length_prefixed_slice, decode_varint32, decode_varint64, put_length_prefixed_slice,
-    put_varint32, put_varint64,
+    decode_length_prefixed_slice, decode_varint32, decode_varint64, put_length_prefixed_slice, put_varint32,
+    put_varint64,
 };
 use nova_common::{checksum, Error, FileNumber, Result, SequenceNumber, StocId};
 use nova_sstable::SstableMeta;
@@ -23,7 +23,9 @@ pub struct Version {
 impl Version {
     /// Create an empty version with `num_levels` levels.
     pub fn new(num_levels: usize) -> Self {
-        Version { levels: vec![Vec::new(); num_levels.max(2)] }
+        Version {
+            levels: vec![Vec::new(); num_levels.max(2)],
+        }
     }
 
     /// Number of levels.
@@ -78,7 +80,11 @@ impl Version {
 
     /// Tables at `level` overlapping the user-key range `[smallest, largest]`.
     pub fn overlapping(&self, level: usize, smallest: &[u8], largest: &[u8]) -> Vec<SstableMeta> {
-        self.level_tables(level).iter().filter(|t| t.overlaps(smallest, largest)).cloned().collect()
+        self.level_tables(level)
+            .iter()
+            .filter(|t| t.overlaps(smallest, largest))
+            .cloned()
+            .collect()
     }
 
     /// Tables that might contain `user_key` at `level`. At Level 0 every
@@ -217,7 +223,12 @@ impl ManifestData {
         let (next_file_number, c) = decode_varint64(&src[n..])?;
         n += c;
         let (last_sequence, _) = decode_varint64(&src[n..])?;
-        Ok(ManifestData { version, drange_boundaries, next_file_number, last_sequence })
+        Ok(ManifestData {
+            version,
+            drange_boundaries,
+            next_file_number,
+            last_sequence,
+        })
     }
 }
 
@@ -233,7 +244,10 @@ pub struct Manifest {
 impl Manifest {
     /// Create a manifest handle for `range_name` stored on `stoc`.
     pub fn new(stoc: StocId, range_name: &str) -> Self {
-        Manifest { stoc, name: format!("manifest/{range_name}") }
+        Manifest {
+            stoc,
+            name: format!("manifest/{range_name}"),
+        }
     }
 
     /// The StoC holding this manifest.
@@ -266,8 +280,9 @@ impl Manifest {
             if size == 0 || offset + 8 + size > buffer.len() {
                 break;
             }
-            let stored_crc =
-                checksum::unmask(u32::from_le_bytes(buffer[offset + 4..offset + 8].try_into().expect("4 bytes")));
+            let stored_crc = checksum::unmask(u32::from_le_bytes(
+                buffer[offset + 4..offset + 8].try_into().expect("4 bytes"),
+            ));
             let payload = &buffer[offset + 8..offset + 8 + size];
             if checksum::crc32c(payload) == stored_crc {
                 if let Ok(data) = ManifestData::decode(payload) {

@@ -98,7 +98,10 @@ impl Memtable {
 
     /// Insert a write (put or delete).
     pub fn add(&self, seq: SequenceNumber, vt: ValueType, user_key: &[u8], value: &[u8]) {
-        debug_assert!(!self.is_immutable(), "writes must not target an immutable memtable");
+        debug_assert!(
+            !self.is_immutable(),
+            "writes must not target an immutable memtable"
+        );
         let key = encode_skiplist_key(user_key, seq, vt);
         let inserted = self.table.insert(&key, value);
         debug_assert!(inserted, "sequence numbers make internal keys unique");
@@ -160,7 +163,10 @@ impl Memtable {
 
     /// Iterate over every version in internal-key order.
     pub fn iter(&self) -> MemtableIterator<'_> {
-        MemtableIterator { inner: self.table.iter(), started: false }
+        MemtableIterator {
+            inner: self.table.iter(),
+            started: false,
+        }
     }
 
     /// The number of distinct user keys, and the smallest/largest user keys.
@@ -186,7 +192,11 @@ impl Memtable {
             }
             it.next();
         }
-        KeyStatistics { unique_keys: unique, smallest, largest }
+        KeyStatistics {
+            unique_keys: unique,
+            smallest,
+            largest,
+        }
     }
 }
 
@@ -211,7 +221,11 @@ pub struct MemtableIterator<'a> {
 impl MemtableIterator<'_> {
     /// Position at the first entry whose user key is `>= user_key`.
     pub fn seek(&mut self, user_key: &[u8]) {
-        let seek_key = encode_skiplist_key(user_key, nova_common::types::MAX_SEQUENCE_NUMBER, ValueType::Value);
+        let seek_key = encode_skiplist_key(
+            user_key,
+            nova_common::types::MAX_SEQUENCE_NUMBER,
+            ValueType::Value,
+        );
         self.inner.seek(&seek_key);
         self.started = true;
     }
@@ -275,9 +289,15 @@ mod tests {
         m.add(1, ValueType::Value, b"k", b"v1");
         m.add(5, ValueType::Value, b"k", b"v2");
         m.add(3, ValueType::Value, b"k", b"ignored");
-        assert_eq!(m.get(b"k", MAX_SEQUENCE_NUMBER), LookupResult::Found(Bytes::from_static(b"v2")));
+        assert_eq!(
+            m.get(b"k", MAX_SEQUENCE_NUMBER),
+            LookupResult::Found(Bytes::from_static(b"v2"))
+        );
         // Snapshot reads see the version visible at that sequence.
-        assert_eq!(m.get(b"k", 4), LookupResult::Found(Bytes::from_static(b"ignored")));
+        assert_eq!(
+            m.get(b"k", 4),
+            LookupResult::Found(Bytes::from_static(b"ignored"))
+        );
         assert_eq!(m.get(b"k", 2), LookupResult::Found(Bytes::from_static(b"v1")));
         assert_eq!(m.get(b"missing", MAX_SEQUENCE_NUMBER), LookupResult::NotFound);
     }
@@ -297,7 +317,10 @@ mod tests {
         m.add(1, ValueType::Value, b"aa", b"1");
         m.add(2, ValueType::Value, b"ab", b"2");
         assert_eq!(m.get(b"a", MAX_SEQUENCE_NUMBER), LookupResult::NotFound);
-        assert_eq!(m.get(b"aa", MAX_SEQUENCE_NUMBER), LookupResult::Found(Bytes::from_static(b"1")));
+        assert_eq!(
+            m.get(b"aa", MAX_SEQUENCE_NUMBER),
+            LookupResult::Found(Bytes::from_static(b"1"))
+        );
         assert_eq!(m.get(b"aaa", MAX_SEQUENCE_NUMBER), LookupResult::NotFound);
     }
 
@@ -381,7 +404,12 @@ mod tests {
         let m2 = Arc::clone(&m);
         let writer = std::thread::spawn(move || {
             for i in 0..10_000u64 {
-                m2.add(i + 1, ValueType::Value, format!("k{:06}", i % 1000).as_bytes(), b"v");
+                m2.add(
+                    i + 1,
+                    ValueType::Value,
+                    format!("k{:06}", i % 1000).as_bytes(),
+                    b"v",
+                );
             }
         });
         for _ in 0..50 {

@@ -34,7 +34,11 @@ impl Node {
         for _ in 0..height {
             next.push(AtomicPtr::new(std::ptr::null_mut()));
         }
-        Box::into_raw(Box::new(Node { key: key.into(), value: value.into(), next }))
+        Box::into_raw(Box::new(Node {
+            key: key.into(),
+            value: value.into(),
+            next,
+        }))
     }
 
     fn head() -> *mut Node {
@@ -113,7 +117,7 @@ impl SkipList {
 
     fn random_height(rng: &mut SplitMix64) -> usize {
         let mut height = 1;
-        while height < MAX_HEIGHT && (rng.next() % BRANCHING as u64) == 0 {
+        while height < MAX_HEIGHT && rng.next().is_multiple_of(BRANCHING as u64) {
             height += 1;
         }
         height
@@ -143,6 +147,7 @@ impl SkipList {
         }
 
         let node = Node::new(key, value, height);
+        #[allow(clippy::needless_range_loop)] // `level` indexes both `prev` and the node's towers
         for level in 0..height {
             // SAFETY: prev[level] is head or a node found during the search;
             // both are valid and never freed while the list lives.
@@ -153,7 +158,8 @@ impl SkipList {
         }
 
         self.len.fetch_add(1, Ordering::Relaxed);
-        self.approximate_bytes.fetch_add(key.len() + value.len() + 64, Ordering::Relaxed);
+        self.approximate_bytes
+            .fetch_add(key.len() + value.len() + 64, Ordering::Relaxed);
         true
     }
 
@@ -233,7 +239,10 @@ impl SkipList {
 
     /// Create an iterator positioned before the first entry.
     pub fn iter(&self) -> SkipListIter<'_> {
-        SkipListIter { list: self, node: std::ptr::null_mut() }
+        SkipListIter {
+            list: self,
+            node: std::ptr::null_mut(),
+        }
     }
 }
 
@@ -294,7 +303,11 @@ impl<'a> SkipListIter<'a> {
     /// Position at the last entry.
     pub fn seek_to_last(&mut self) {
         let last = self.list.find_last();
-        self.node = if last == self.list.head { std::ptr::null_mut() } else { last };
+        self.node = if last == self.list.head {
+            std::ptr::null_mut()
+        } else {
+            last
+        };
     }
 
     /// Advance to the next entry.
@@ -309,7 +322,11 @@ impl<'a> SkipListIter<'a> {
         assert!(self.valid(), "cannot retreat an invalid iterator");
         let key = self.key().to_vec();
         let prev = self.list.find_less_than(&key);
-        self.node = if prev == self.list.head { std::ptr::null_mut() } else { prev };
+        self.node = if prev == self.list.head {
+            std::ptr::null_mut()
+        } else {
+            prev
+        };
     }
 }
 

@@ -8,9 +8,7 @@
 
 use nova_common::checksum;
 use nova_common::types::compare_internal_keys;
-use nova_common::varint::{
-    decode_fixed32, decode_varint32, put_fixed32, put_varint32,
-};
+use nova_common::varint::{decode_fixed32, decode_varint32, put_fixed32, put_varint32};
 use nova_common::{Error, Result};
 
 /// Number of keys between restart points.
@@ -130,7 +128,11 @@ impl Block {
         let restarts_offset = payload_len
             .checked_sub(4 + num_restarts * 4)
             .ok_or_else(|| Error::Corruption("restart array larger than block".into()))?;
-        Ok(Block { data: data[..payload_len].to_vec(), restarts_offset, num_restarts })
+        Ok(Block {
+            data: data[..payload_len].to_vec(),
+            restarts_offset,
+            num_restarts,
+        })
     }
 
     fn restart_point(&self, index: usize) -> usize {
@@ -200,7 +202,7 @@ impl<'a> BlockIterator<'a> {
         let mut left = 0usize;
         let mut right = self.block.num_restarts.saturating_sub(1);
         while left < right {
-            let mid = (left + right + 1) / 2;
+            let mid = (left + right).div_ceil(2);
             let offset = self.block.restart_point(mid);
             let key = self.key_at_restart(offset)?;
             if compare_internal_keys(&key, target) == std::cmp::Ordering::Less {
@@ -225,6 +227,7 @@ impl<'a> BlockIterator<'a> {
     }
 
     /// Advance to the next entry.
+    #[allow(clippy::should_implement_trait)] // fallible cursor advance, not an Iterator
     pub fn next(&mut self) -> Result<()> {
         debug_assert!(self.valid);
         self.parse_next()
@@ -301,7 +304,9 @@ mod tests {
     #[test]
     fn build_and_iterate() {
         let mut b = BlockBuilder::new();
-        let keys: Vec<Vec<u8>> = (0..100).map(|i| ikey(format!("key-{i:04}").as_bytes(), 1)).collect();
+        let keys: Vec<Vec<u8>> = (0..100)
+            .map(|i| ikey(format!("key-{i:04}").as_bytes(), 1))
+            .collect();
         for (i, k) in keys.iter().enumerate() {
             b.add(k, format!("value-{i}").as_bytes());
         }

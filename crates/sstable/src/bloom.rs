@@ -36,7 +36,7 @@ impl BloomFilter {
         if num_bits < 64 {
             num_bits = 64;
         }
-        let num_bytes = (num_bits + 7) / 8;
+        let num_bytes = num_bits.div_ceil(8);
         let num_bits = num_bytes * 8;
         let mut bits = vec![0u8; num_bytes];
         for key in keys {
@@ -87,7 +87,10 @@ impl BloomFilter {
         if num_probes == 0 || num_probes > 30 {
             return None;
         }
-        Some(BloomFilter { bits: bits.to_vec(), num_probes })
+        Some(BloomFilter {
+            bits: bits.to_vec(),
+            num_probes,
+        })
     }
 
     /// Size of the encoded filter in bytes.
@@ -111,7 +114,10 @@ mod tests {
         let refs: Vec<&[u8]> = owned.iter().map(|k| k.as_slice()).collect();
         let filter = BloomFilter::build(&refs, 10);
         for k in &owned {
-            assert!(filter.may_contain(k), "bloom filters must never produce false negatives");
+            assert!(
+                filter.may_contain(k),
+                "bloom filters must never produce false negatives"
+            );
         }
     }
 

@@ -17,8 +17,8 @@ use crate::bloom::BloomFilter;
 use crate::handle::BlockLocation;
 use nova_common::types::Entry;
 use nova_common::varint::{
-    decode_fixed32, decode_fixed64, decode_length_prefixed_slice, decode_varint64, put_fixed32,
-    put_fixed64, put_length_prefixed_slice, put_varint64,
+    decode_fixed32, decode_fixed64, decode_length_prefixed_slice, decode_varint64, put_fixed32, put_fixed64,
+    put_length_prefixed_slice, put_varint64,
 };
 use nova_common::{Error, Result};
 
@@ -38,7 +38,11 @@ pub struct TableOptions {
 
 impl Default for TableOptions {
     fn default() -> Self {
-        TableOptions { block_size: 4096, bloom_bits_per_key: 10, num_fragments: 1 }
+        TableOptions {
+            block_size: 4096,
+            bloom_bits_per_key: 10,
+            num_fragments: 1,
+        }
     }
 }
 
@@ -97,7 +101,14 @@ impl TableProperties {
             fragment_sizes.push(s);
             n += c;
         }
-        Ok(TableProperties { num_entries, data_size, num_data_blocks, smallest, largest, fragment_sizes })
+        Ok(TableProperties {
+            num_entries,
+            data_size,
+            num_data_blocks,
+            smallest,
+            largest,
+            fragment_sizes,
+        })
     }
 }
 
@@ -137,7 +148,11 @@ pub fn parity_of<T: AsRef<[u8]>>(fragments: &[T]) -> Vec<u8> {
 
 /// Reconstruct a missing fragment of length `missing_len` from the parity
 /// block and the surviving fragments.
-pub fn reconstruct_from_parity<T: AsRef<[u8]>>(parity: &[u8], survivors: &[T], missing_len: usize) -> Vec<u8> {
+pub fn reconstruct_from_parity<T: AsRef<[u8]>>(
+    parity: &[u8],
+    survivors: &[T],
+    missing_len: usize,
+) -> Vec<u8> {
     let mut out = parity.to_vec();
     for f in survivors {
         for (o, &b) in out.iter_mut().zip(f.as_ref().iter()) {
@@ -230,7 +245,7 @@ impl TableBuilder {
         // Split the data blocks into `num_fragments` contiguous groups of
         // roughly equal byte size.
         let num_fragments = self.options.num_fragments.min(self.finished.len()).max(1);
-        let target = (total_bytes + num_fragments - 1) / num_fragments;
+        let target = total_bytes.div_ceil(num_fragments);
         let mut fragments: Vec<Vec<u8>> = vec![Vec::new(); num_fragments];
         let mut index = BlockBuilder::new();
         let mut fragment_idx = 0usize;
@@ -277,7 +292,11 @@ impl TableBuilder {
         put_fixed32(&mut meta, props.len() as u32);
         put_fixed64(&mut meta, META_MAGIC);
 
-        Ok(BuiltTable { fragments, meta, properties: self.properties })
+        Ok(BuiltTable {
+            fragments,
+            meta,
+            properties: self.properties,
+        })
     }
 }
 
@@ -330,7 +349,15 @@ mod tests {
     use super::*;
 
     fn entries(n: u64) -> Vec<Entry> {
-        (0..n).map(|i| Entry::put(format!("key-{i:06}").into_bytes(), i + 1, format!("value-{i}").into_bytes())).collect()
+        (0..n)
+            .map(|i| {
+                Entry::put(
+                    format!("key-{i:06}").into_bytes(),
+                    i + 1,
+                    format!("value-{i}").into_bytes(),
+                )
+            })
+            .collect()
     }
 
     fn build(n: u64, options: TableOptions) -> BuiltTable {
@@ -343,7 +370,14 @@ mod tests {
 
     #[test]
     fn builder_produces_fragments_and_meta() {
-        let t = build(1000, TableOptions { block_size: 1024, bloom_bits_per_key: 10, num_fragments: 3 });
+        let t = build(
+            1000,
+            TableOptions {
+                block_size: 1024,
+                bloom_bits_per_key: 10,
+                num_fragments: 3,
+            },
+        );
         assert_eq!(t.fragments.len(), 3);
         assert_eq!(t.properties.num_entries, 1000);
         assert_eq!(t.properties.smallest, b"key-000000".to_vec());
@@ -354,7 +388,11 @@ mod tests {
         // Fragments are roughly balanced (within a block of one another).
         let min = *t.properties.fragment_sizes.iter().min().unwrap();
         let max = *t.properties.fragment_sizes.iter().max().unwrap();
-        assert!(max - min <= 2048, "fragments unbalanced: {:?}", t.properties.fragment_sizes);
+        assert!(
+            max - min <= 2048,
+            "fragments unbalanced: {:?}",
+            t.properties.fragment_sizes
+        );
     }
 
     #[test]
@@ -365,14 +403,28 @@ mod tests {
 
     #[test]
     fn more_fragments_than_blocks_is_clamped() {
-        let t = build(3, TableOptions { block_size: 1 << 20, bloom_bits_per_key: 10, num_fragments: 8 });
+        let t = build(
+            3,
+            TableOptions {
+                block_size: 1 << 20,
+                bloom_bits_per_key: 10,
+                num_fragments: 8,
+            },
+        );
         // Only one data block exists, so only one fragment can be produced.
         assert_eq!(t.fragments.len(), 1);
     }
 
     #[test]
     fn footer_and_properties_round_trip() {
-        let t = build(500, TableOptions { block_size: 512, bloom_bits_per_key: 8, num_fragments: 2 });
+        let t = build(
+            500,
+            TableOptions {
+                block_size: 512,
+                bloom_bits_per_key: 8,
+                num_fragments: 2,
+            },
+        );
         let footer = MetaFooter::decode(&t.meta).unwrap();
         assert!(footer.index.1 > 0);
         assert!(footer.filter.1 > 0);
@@ -392,13 +444,28 @@ mod tests {
 
     #[test]
     fn parity_reconstructs_any_single_fragment() {
-        let t = build(2000, TableOptions { block_size: 512, bloom_bits_per_key: 10, num_fragments: 4 });
+        let t = build(
+            2000,
+            TableOptions {
+                block_size: 512,
+                bloom_bits_per_key: 10,
+                num_fragments: 4,
+            },
+        );
         let parity = t.parity_block();
         for missing in 0..t.fragments.len() {
-            let survivors: Vec<&Vec<u8>> =
-                t.fragments.iter().enumerate().filter(|(i, _)| *i != missing).map(|(_, f)| f).collect();
+            let survivors: Vec<&Vec<u8>> = t
+                .fragments
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != missing)
+                .map(|(_, f)| f)
+                .collect();
             let rebuilt = reconstruct_from_parity(&parity, &survivors, t.fragments[missing].len());
-            assert_eq!(rebuilt, t.fragments[missing], "fragment {missing} must be reconstructible");
+            assert_eq!(
+                rebuilt, t.fragments[missing],
+                "fragment {missing} must be reconstructible"
+            );
         }
     }
 
@@ -415,7 +482,14 @@ mod tests {
 
     #[test]
     fn single_fragment_layout() {
-        let t = build(200, TableOptions { block_size: 1024, bloom_bits_per_key: 0, num_fragments: 1 });
+        let t = build(
+            200,
+            TableOptions {
+                block_size: 1024,
+                bloom_bits_per_key: 0,
+                num_fragments: 1,
+            },
+        );
         assert_eq!(t.fragments.len(), 1);
         assert_eq!(t.properties.fragment_sizes[0] as usize, t.fragments[0].len());
         // Bloom disabled: the filter extent is empty but the footer still parses.

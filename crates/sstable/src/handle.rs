@@ -8,8 +8,8 @@
 //! replicas) physically lives as [`StocBlockHandle`]s.
 
 use nova_common::varint::{
-    decode_length_prefixed_slice, decode_varint32, decode_varint64, put_length_prefixed_slice,
-    put_varint32, put_varint64,
+    decode_length_prefixed_slice, decode_varint32, decode_varint64, put_length_prefixed_slice, put_varint32,
+    put_varint64,
 };
 use nova_common::{Error, FileNumber, Result, StocBlockHandle, StocFileId, StocId};
 
@@ -45,7 +45,14 @@ impl BlockLocation {
         let (fragment, a) = decode_varint32(src)?;
         let (offset, b) = decode_varint64(&src[a..])?;
         let (size, c) = decode_varint32(&src[a + b..])?;
-        Ok((BlockLocation { fragment, offset, size }, a + b + c))
+        Ok((
+            BlockLocation {
+                fragment,
+                offset,
+                size,
+            },
+            a + b + c,
+        ))
     }
 }
 
@@ -64,7 +71,12 @@ pub fn decode_stoc_handle(src: &[u8]) -> Result<(StocBlockHandle, usize)> {
     let (offset, c) = decode_varint64(&src[a + b..])?;
     let (size, d) = decode_varint32(&src[a + b + c..])?;
     Ok((
-        StocBlockHandle { stoc: StocId(stoc), file: StocFileId(file), offset, size },
+        StocBlockHandle {
+            stoc: StocId(stoc),
+            file: StocFileId(file),
+            offset,
+            size,
+        },
         a + b + c + d,
     ))
 }
@@ -150,8 +162,11 @@ impl SstableMeta {
 
     /// Total physical bytes consumed including replicas and parity.
     pub fn physical_bytes(&self) -> u64 {
-        let fragment_bytes: u64 =
-            self.fragments.iter().map(|f| f.size * f.replicas.len().max(1) as u64).sum();
+        let fragment_bytes: u64 = self
+            .fragments
+            .iter()
+            .map(|f| f.size * f.replicas.len().max(1) as u64)
+            .sum();
         let parity_bytes = self.parity.map(|p| p.size as u64).unwrap_or(0);
         let meta_bytes: u64 = self.meta_blocks.iter().map(|m| m.size as u64).sum();
         fragment_bytes + parity_bytes + meta_bytes
@@ -238,7 +253,9 @@ impl SstableMeta {
             meta_blocks.push(h);
             n += c;
         }
-        let flag = *src.get(n).ok_or_else(|| Error::Corruption("truncated SstableMeta".into()))?;
+        let flag = *src
+            .get(n)
+            .ok_or_else(|| Error::Corruption("truncated SstableMeta".into()))?;
         n += 1;
         let parity = if flag == 1 {
             let (h, c) = decode_stoc_handle(&src[n..])?;
@@ -247,7 +264,9 @@ impl SstableMeta {
         } else {
             None
         };
-        let flag = *src.get(n).ok_or_else(|| Error::Corruption("truncated SstableMeta".into()))?;
+        let flag = *src
+            .get(n)
+            .ok_or_else(|| Error::Corruption("truncated SstableMeta".into()))?;
         n += 1;
         let drange = if flag == 1 {
             let (d, c) = decode_varint32(&src[n..])?;
@@ -280,7 +299,12 @@ mod tests {
     use proptest::prelude::*;
 
     fn handle(stoc: u32, seq: u32, offset: u64, size: u32) -> StocBlockHandle {
-        StocBlockHandle { stoc: StocId(stoc), file: StocFileId::new(StocId(stoc), seq), offset, size }
+        StocBlockHandle {
+            stoc: StocId(stoc),
+            file: StocFileId::new(StocId(stoc), seq),
+            offset,
+            size,
+        }
     }
 
     fn sample_meta() -> SstableMeta {
@@ -292,7 +316,10 @@ mod tests {
             num_entries: 1000,
             data_size: 1 << 20,
             fragments: vec![
-                FragmentLocation { size: 512 << 10, replicas: vec![handle(0, 1, 0, 512 << 10)] },
+                FragmentLocation {
+                    size: 512 << 10,
+                    replicas: vec![handle(0, 1, 0, 512 << 10)],
+                },
                 FragmentLocation {
                     size: 512 << 10,
                     replicas: vec![handle(1, 7, 0, 512 << 10), handle(2, 3, 0, 512 << 10)],
@@ -306,7 +333,11 @@ mod tests {
 
     #[test]
     fn block_location_round_trips() {
-        let loc = BlockLocation { fragment: 3, offset: 123456, size: 4096 };
+        let loc = BlockLocation {
+            fragment: 3,
+            offset: 123456,
+            size: 4096,
+        };
         let encoded = loc.encode();
         let (decoded, n) = BlockLocation::decode(&encoded).unwrap();
         assert_eq!(decoded, loc);
@@ -370,7 +401,10 @@ mod tests {
     fn truncated_meta_is_rejected() {
         let encoded = sample_meta().encode();
         for cut in [1usize, 5, encoded.len() / 2, encoded.len() - 1] {
-            assert!(SstableMeta::decode(&encoded[..cut]).is_err(), "cut at {cut} must fail");
+            assert!(
+                SstableMeta::decode(&encoded[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
         }
     }
 

@@ -43,16 +43,26 @@ impl VecIterator {
     /// internal key.
     pub fn new(entries: Vec<Entry>) -> Self {
         debug_assert!(
-            entries.windows(2).all(|w| w[0].internal_key() <= w[1].internal_key()),
+            entries
+                .windows(2)
+                .all(|w| w[0].internal_key() <= w[1].internal_key()),
             "VecIterator input must be sorted by internal key"
         );
-        VecIterator { entries, pos: 0, started: false }
+        VecIterator {
+            entries,
+            pos: 0,
+            started: false,
+        }
     }
 
     /// Sort `entries` by internal key and create an iterator.
     pub fn from_unsorted(mut entries: Vec<Entry>) -> Self {
-        entries.sort_by(|a, b| a.internal_key().cmp(&b.internal_key()));
-        VecIterator { entries, pos: 0, started: false }
+        entries.sort_by_key(|a| a.internal_key());
+        VecIterator {
+            entries,
+            pos: 0,
+            started: false,
+        }
     }
 }
 

@@ -27,7 +27,9 @@ pub mod reader;
 
 pub use block::{Block, BlockBuilder, BlockIterator};
 pub use bloom::BloomFilter;
-pub use builder::{parity_of, reconstruct_from_parity, BuiltTable, TableBuilder, TableOptions, TableProperties};
+pub use builder::{
+    parity_of, reconstruct_from_parity, BuiltTable, TableBuilder, TableOptions, TableProperties,
+};
 pub use handle::{BlockLocation, FragmentLocation, SstableMeta};
 pub use iter::{collect_entries, EntryIterator, VecIterator};
 pub use merge::{compact_entries, BoxedIterator, MergingIterator};

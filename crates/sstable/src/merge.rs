@@ -16,7 +16,10 @@ pub struct MergingIterator<I> {
 impl<I: EntryIterator> MergingIterator<I> {
     /// Build a merging iterator over `children`.
     pub fn new(children: Vec<I>) -> Self {
-        MergingIterator { children, current: None }
+        MergingIterator {
+            children,
+            current: None,
+        }
     }
 
     fn find_smallest(&mut self) {
@@ -153,12 +156,21 @@ mod tests {
 
     #[test]
     fn merge_interleaves_sorted_children() {
-        let a = it(vec![Entry::put(&b"a"[..], 1, &b"1"[..]), Entry::put(&b"c"[..], 2, &b"2"[..])]);
-        let b = it(vec![Entry::put(&b"b"[..], 3, &b"3"[..]), Entry::put(&b"d"[..], 4, &b"4"[..])]);
+        let a = it(vec![
+            Entry::put(&b"a"[..], 1, &b"1"[..]),
+            Entry::put(&b"c"[..], 2, &b"2"[..]),
+        ]);
+        let b = it(vec![
+            Entry::put(&b"b"[..], 3, &b"3"[..]),
+            Entry::put(&b"d"[..], 4, &b"4"[..]),
+        ]);
         let mut m = MergingIterator::new(vec![a, b]);
         let collected = collect_entries(&mut m).unwrap();
         let keys: Vec<&[u8]> = collected.iter().map(|e| e.key.as_ref()).collect();
-        assert_eq!(keys, vec![b"a".as_ref(), b"b".as_ref(), b"c".as_ref(), b"d".as_ref()]);
+        assert_eq!(
+            keys,
+            vec![b"a".as_ref(), b"b".as_ref(), b"c".as_ref(), b"d".as_ref()]
+        );
     }
 
     #[test]
@@ -174,8 +186,14 @@ mod tests {
 
     #[test]
     fn merge_seek_positions_all_children() {
-        let a = it(vec![Entry::put(&b"a"[..], 1, &b""[..]), Entry::put(&b"m"[..], 1, &b""[..])]);
-        let b = it(vec![Entry::put(&b"c"[..], 1, &b""[..]), Entry::put(&b"z"[..], 1, &b""[..])]);
+        let a = it(vec![
+            Entry::put(&b"a"[..], 1, &b""[..]),
+            Entry::put(&b"m"[..], 1, &b""[..]),
+        ]);
+        let b = it(vec![
+            Entry::put(&b"c"[..], 1, &b""[..]),
+            Entry::put(&b"z"[..], 1, &b""[..]),
+        ]);
         let mut m = MergingIterator::new(vec![a, b]);
         m.seek(b"d").unwrap();
         assert!(m.valid());

@@ -33,16 +33,17 @@ pub struct MemoryFetcher {
 impl MemoryFetcher {
     /// Wrap a set of fragment payloads.
     pub fn new<T: Into<Bytes>>(fragments: Vec<T>) -> Self {
-        MemoryFetcher { fragments: fragments.into_iter().map(Into::into).collect() }
+        MemoryFetcher {
+            fragments: fragments.into_iter().map(Into::into).collect(),
+        }
     }
 }
 
 impl BlockFetcher for MemoryFetcher {
     fn fetch(&self, location: &BlockLocation) -> Result<Bytes> {
-        let fragment = self
-            .fragments
-            .get(location.fragment as usize)
-            .ok_or_else(|| Error::InvalidArgument(format!("fragment {} does not exist", location.fragment)))?;
+        let fragment = self.fragments.get(location.fragment as usize).ok_or_else(|| {
+            Error::InvalidArgument(format!("fragment {} does not exist", location.fragment))
+        })?;
         let start = location.offset as usize;
         let end = start + location.size as usize;
         if end > fragment.len() {
@@ -93,7 +94,11 @@ impl TableReader {
             BloomFilter::decode(&meta[foff..foff + flen])
         };
         let properties = decode_properties(meta)?;
-        Ok(TableReader { index, filter, properties })
+        Ok(TableReader {
+            index,
+            filter,
+            properties,
+        })
     }
 
     /// The table's properties.
@@ -103,7 +108,10 @@ impl TableReader {
 
     /// True if the bloom filter admits the key (or there is no filter).
     pub fn may_contain(&self, user_key: &[u8]) -> bool {
-        self.filter.as_ref().map(|f| f.may_contain(user_key)).unwrap_or(true)
+        self.filter
+            .as_ref()
+            .map(|f| f.may_contain(user_key))
+            .unwrap_or(true)
     }
 
     /// Point lookup: find the newest version of `user_key` visible at
@@ -308,7 +316,11 @@ mod tests {
                 if i % 10 == 9 {
                     Entry::delete(format!("key-{i:06}").into_bytes(), i + 1)
                 } else {
-                    Entry::put(format!("key-{i:06}").into_bytes(), i + 1, format!("value-{i}").into_bytes())
+                    Entry::put(
+                        format!("key-{i:06}").into_bytes(),
+                        i + 1,
+                        format!("value-{i}").into_bytes(),
+                    )
                 }
             })
             .collect();
@@ -337,8 +349,14 @@ mod tests {
             TableLookup::Deleted(e) => assert_eq!(e.sequence, 10),
             other => panic!("unexpected {other:?}"),
         }
-        assert_eq!(reader.get(&fetcher, b"key-999999", MAX_SEQUENCE_NUMBER).unwrap(), TableLookup::NotFound);
-        assert_eq!(reader.get(&fetcher, b"zzz", MAX_SEQUENCE_NUMBER).unwrap(), TableLookup::NotFound);
+        assert_eq!(
+            reader.get(&fetcher, b"key-999999", MAX_SEQUENCE_NUMBER).unwrap(),
+            TableLookup::NotFound
+        );
+        assert_eq!(
+            reader.get(&fetcher, b"zzz", MAX_SEQUENCE_NUMBER).unwrap(),
+            TableLookup::NotFound
+        );
     }
 
     #[test]
@@ -406,7 +424,10 @@ mod tests {
         }
         let missing = b"definitely-not-present-key-xyz";
         if !reader.may_contain(missing) {
-            assert_eq!(reader.get(&PanicFetcher, missing, MAX_SEQUENCE_NUMBER).unwrap(), TableLookup::NotFound);
+            assert_eq!(
+                reader.get(&PanicFetcher, missing, MAX_SEQUENCE_NUMBER).unwrap(),
+                TableLookup::NotFound
+            );
         }
     }
 
@@ -419,8 +440,26 @@ mod tests {
     #[test]
     fn memory_fetcher_bounds_checks() {
         let f = MemoryFetcher::new(vec![vec![0u8; 10]]);
-        assert!(f.fetch(&BlockLocation { fragment: 1, offset: 0, size: 1 }).is_err());
-        assert!(f.fetch(&BlockLocation { fragment: 0, offset: 8, size: 4 }).is_err());
-        assert!(f.fetch(&BlockLocation { fragment: 0, offset: 0, size: 10 }).is_ok());
+        assert!(f
+            .fetch(&BlockLocation {
+                fragment: 1,
+                offset: 0,
+                size: 1
+            })
+            .is_err());
+        assert!(f
+            .fetch(&BlockLocation {
+                fragment: 0,
+                offset: 8,
+                size: 4
+            })
+            .is_err());
+        assert!(f
+            .fetch(&BlockLocation {
+                fragment: 0,
+                offset: 0,
+                size: 10
+            })
+            .is_ok());
     }
 }

@@ -15,7 +15,17 @@ use std::sync::Arc;
 /// (Section 9).
 #[derive(Debug, Clone, Default)]
 pub struct StocDirectory {
-    inner: Arc<RwLock<HashMap<StocId, NodeId>>>,
+    inner: Arc<RwLock<HashMap<StocId, DirectoryEntry>>>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct DirectoryEntry {
+    node: NodeId,
+    /// False once the StoC is draining: existing blocks stay readable (the
+    /// entry still resolves) but placement policies stop choosing it for new
+    /// SSTables. Removing the entry outright would strand every fragment
+    /// still stored there and wedge compactions that need to read them.
+    placeable: bool,
 }
 
 impl StocDirectory {
@@ -24,29 +34,69 @@ impl StocDirectory {
         Self::default()
     }
 
-    /// Register (or update) the node hosting a StoC.
+    /// Register (or update) the node hosting a StoC. (Re)registering marks
+    /// the StoC placeable.
     pub fn register(&self, stoc: StocId, node: NodeId) {
-        self.inner.write().insert(stoc, node);
+        self.inner.write().insert(
+            stoc,
+            DirectoryEntry {
+                node,
+                placeable: true,
+            },
+        );
     }
 
-    /// Remove a StoC from the directory.
+    /// Remove a StoC from the directory entirely. Blocks stored there become
+    /// unreadable; callers that only want to stop *new* placements should use
+    /// [`StocDirectory::set_placeable`] instead.
     pub fn remove(&self, stoc: StocId) {
         self.inner.write().remove(&stoc);
     }
 
-    /// The node hosting `stoc`.
-    pub fn node_of(&self, stoc: StocId) -> Result<NodeId> {
-        self.inner.read().get(&stoc).copied().ok_or(Error::UnknownStoc(stoc))
+    /// Mark a StoC as (non-)placeable. A draining StoC keeps serving reads
+    /// of its existing blocks but receives no new SSTable fragments.
+    pub fn set_placeable(&self, stoc: StocId, placeable: bool) {
+        if let Some(entry) = self.inner.write().get_mut(&stoc) {
+            entry.placeable = placeable;
+        }
     }
 
-    /// Every StoC currently registered, in id order.
+    /// The node hosting `stoc`.
+    pub fn node_of(&self, stoc: StocId) -> Result<NodeId> {
+        self.inner
+            .read()
+            .get(&stoc)
+            .map(|e| e.node)
+            .ok_or(Error::UnknownStoc(stoc))
+    }
+
+    /// Every StoC currently registered (including draining ones), in id
+    /// order.
     pub fn all(&self) -> Vec<StocId> {
         let mut v: Vec<StocId> = self.inner.read().keys().copied().collect();
         v.sort();
         v
     }
 
-    /// Number of registered StoCs (the paper's β).
+    /// The StoCs placement policies may choose for new SSTables, in id order.
+    pub fn placeable(&self) -> Vec<StocId> {
+        let mut v: Vec<StocId> = self
+            .inner
+            .read()
+            .iter()
+            .filter(|(_, e)| e.placeable)
+            .map(|(s, _)| *s)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Number of placement-eligible StoCs (the paper's β).
+    pub fn num_placeable(&self) -> usize {
+        self.inner.read().values().filter(|e| e.placeable).count()
+    }
+
+    /// Number of registered StoCs, including draining ones.
     pub fn len(&self) -> usize {
         self.inner.read().len()
     }
@@ -122,18 +172,35 @@ impl StocClient {
     /// into the region with immediate data, then seal the file to disk.
     pub fn write_block(&self, stoc: StocId, data: &[u8]) -> Result<StocBlockHandle> {
         let node = self.directory.node_of(stoc)?;
-        let opened = self.call(stoc, &StocRequest::OpenFileForWrite { size: data.len() as u64 })?;
+        let opened = self.call(
+            stoc,
+            &StocRequest::OpenFileForWrite {
+                size: data.len() as u64,
+            },
+        )?;
         let (file, region) = match opened {
             StocResponse::Opened { file, region } => (file, region),
-            other => return Err(Error::Corruption(format!("unexpected response to open: {other:?}"))),
+            other => {
+                return Err(Error::Corruption(format!(
+                    "unexpected response to open: {other:?}"
+                )))
+            }
         };
-        self.endpoint.rdma_write(node, RegionId(region), 0, data, Some(file.seq()))?;
+        self.endpoint
+            .rdma_write(node, RegionId(region), 0, data, Some(file.seq()))?;
         match self.call(stoc, &StocRequest::SealFile { file })? {
             StocResponse::Sealed { size } => {
                 debug_assert_eq!(size as usize, data.len());
-                Ok(StocBlockHandle { stoc, file, offset: 0, size: data.len() as u32 })
+                Ok(StocBlockHandle {
+                    stoc,
+                    file,
+                    offset: 0,
+                    size: data.len() as u32,
+                })
             }
-            other => Err(Error::Corruption(format!("unexpected response to seal: {other:?}"))),
+            other => Err(Error::Corruption(format!(
+                "unexpected response to seal: {other:?}"
+            ))),
         }
     }
 
@@ -146,19 +213,22 @@ impl StocClient {
     /// data into a locally registered region via one-sided write.
     pub fn read_block_at(&self, stoc: StocId, file: StocFileId, offset: u64, len: usize) -> Result<Bytes> {
         let client_region = self.endpoint.register_region(len.max(1));
-        let result = (|| {
-            match self.call(stoc, &StocRequest::ReadBlock {
+        let result = (|| match self.call(
+            stoc,
+            &StocRequest::ReadBlock {
                 file,
                 offset,
                 len: len as u64,
                 client_region: client_region.0,
-            })? {
-                StocResponse::BlockRead => {
-                    let region = self.endpoint.local_region(client_region)?;
-                    Ok(Bytes::from(region.read(0, len)?))
-                }
-                other => Err(Error::Corruption(format!("unexpected response to read: {other:?}"))),
+            },
+        )? {
+            StocResponse::BlockRead => {
+                let region = self.endpoint.local_region(client_region)?;
+                Ok(Bytes::from(region.read(0, len)?))
             }
+            other => Err(Error::Corruption(format!(
+                "unexpected response to read: {other:?}"
+            ))),
         })();
         self.endpoint.deregister_region(client_region);
         result
@@ -168,7 +238,9 @@ impl StocClient {
     pub fn delete_file(&self, stoc: StocId, file: StocFileId) -> Result<()> {
         match self.call(stoc, &StocRequest::DeleteFile { file })? {
             StocResponse::Ok => Ok(()),
-            other => Err(Error::Corruption(format!("unexpected response to delete: {other:?}"))),
+            other => Err(Error::Corruption(format!(
+                "unexpected response to delete: {other:?}"
+            ))),
         }
     }
 
@@ -176,7 +248,9 @@ impl StocClient {
     pub fn file_size(&self, stoc: StocId, file: StocFileId) -> Result<u64> {
         match self.call(stoc, &StocRequest::FileSize { file })? {
             StocResponse::Size { size } => Ok(size),
-            other => Err(Error::Corruption(format!("unexpected response to size: {other:?}"))),
+            other => Err(Error::Corruption(format!(
+                "unexpected response to size: {other:?}"
+            ))),
         }
     }
 
@@ -184,7 +258,9 @@ impl StocClient {
     pub fn list_files(&self, stoc: StocId) -> Result<Vec<StocFileId>> {
         match self.call(stoc, &StocRequest::ListFiles)? {
             StocResponse::Files { files } => Ok(files),
-            other => Err(Error::Corruption(format!("unexpected response to list: {other:?}"))),
+            other => Err(Error::Corruption(format!(
+                "unexpected response to list: {other:?}"
+            ))),
         }
     }
 
@@ -192,17 +268,31 @@ impl StocClient {
     pub fn queue_depth(&self, stoc: StocId) -> Result<u64> {
         match self.call(stoc, &StocRequest::QueueDepth)? {
             StocResponse::Depth { depth } => Ok(depth),
-            other => Err(Error::Corruption(format!("unexpected response to depth: {other:?}"))),
+            other => Err(Error::Corruption(format!(
+                "unexpected response to depth: {other:?}"
+            ))),
         }
     }
 
     /// Cumulative statistics for a StoC.
     pub fn stats(&self, stoc: StocId) -> Result<StocStats> {
         match self.call(stoc, &StocRequest::Stats)? {
-            StocResponse::Stats { queue_depth, bytes_written, bytes_read, disk_busy_nanos, num_files } => {
-                Ok(StocStats { queue_depth, bytes_written, bytes_read, disk_busy_nanos, num_files })
-            }
-            other => Err(Error::Corruption(format!("unexpected response to stats: {other:?}"))),
+            StocResponse::Stats {
+                queue_depth,
+                bytes_written,
+                bytes_read,
+                disk_busy_nanos,
+                num_files,
+            } => Ok(StocStats {
+                queue_depth,
+                bytes_written,
+                bytes_read,
+                disk_busy_nanos,
+                num_files,
+            }),
+            other => Err(Error::Corruption(format!(
+                "unexpected response to stats: {other:?}"
+            ))),
         }
     }
 
@@ -210,34 +300,78 @@ impl StocClient {
 
     /// Open (or reopen) a named in-memory StoC file.
     pub fn open_mem_file(&self, stoc: StocId, name: &str, size: u64) -> Result<MemFileHandle> {
-        match self.call(stoc, &StocRequest::OpenMemFile { name: name.to_string(), size })? {
-            StocResponse::MemFile { file, region, size } => Ok(MemFileHandle { stoc, file, region, size }),
-            StocResponse::Opened { file, region } => Ok(MemFileHandle { stoc, file, region, size }),
-            other => Err(Error::Corruption(format!("unexpected response to open mem file: {other:?}"))),
+        match self.call(
+            stoc,
+            &StocRequest::OpenMemFile {
+                name: name.to_string(),
+                size,
+            },
+        )? {
+            StocResponse::MemFile { file, region, size } => Ok(MemFileHandle {
+                stoc,
+                file,
+                region,
+                size,
+            }),
+            StocResponse::Opened { file, region } => Ok(MemFileHandle {
+                stoc,
+                file,
+                region,
+                size,
+            }),
+            other => Err(Error::Corruption(format!(
+                "unexpected response to open mem file: {other:?}"
+            ))),
         }
     }
 
     /// Look up an existing in-memory file by name.
     pub fn get_mem_file(&self, stoc: StocId, name: &str) -> Result<MemFileHandle> {
-        match self.call(stoc, &StocRequest::GetMemFile { name: name.to_string() })? {
-            StocResponse::MemFile { file, region, size } => Ok(MemFileHandle { stoc, file, region, size }),
-            other => Err(Error::Corruption(format!("unexpected response to get mem file: {other:?}"))),
+        match self.call(
+            stoc,
+            &StocRequest::GetMemFile {
+                name: name.to_string(),
+            },
+        )? {
+            StocResponse::MemFile { file, region, size } => Ok(MemFileHandle {
+                stoc,
+                file,
+                region,
+                size,
+            }),
+            other => Err(Error::Corruption(format!(
+                "unexpected response to get mem file: {other:?}"
+            ))),
         }
     }
 
     /// List in-memory files with a given name prefix.
     pub fn list_mem_files(&self, stoc: StocId, prefix: &str) -> Result<Vec<String>> {
-        match self.call(stoc, &StocRequest::ListMemFiles { prefix: prefix.to_string() })? {
+        match self.call(
+            stoc,
+            &StocRequest::ListMemFiles {
+                prefix: prefix.to_string(),
+            },
+        )? {
             StocResponse::MemFiles { names } => Ok(names),
-            other => Err(Error::Corruption(format!("unexpected response to list mem files: {other:?}"))),
+            other => Err(Error::Corruption(format!(
+                "unexpected response to list mem files: {other:?}"
+            ))),
         }
     }
 
     /// Delete a named in-memory file.
     pub fn delete_mem_file(&self, stoc: StocId, name: &str) -> Result<()> {
-        match self.call(stoc, &StocRequest::DeleteMemFile { name: name.to_string() })? {
+        match self.call(
+            stoc,
+            &StocRequest::DeleteMemFile {
+                name: name.to_string(),
+            },
+        )? {
             StocResponse::Ok => Ok(()),
-            other => Err(Error::Corruption(format!("unexpected response to delete mem file: {other:?}"))),
+            other => Err(Error::Corruption(format!(
+                "unexpected response to delete mem file: {other:?}"
+            ))),
         }
     }
 
@@ -245,14 +379,16 @@ impl StocClient {
     /// write. The StoC's CPU is not involved (Section 6.1).
     pub fn write_mem(&self, handle: &MemFileHandle, offset: u64, data: &[u8]) -> Result<()> {
         let node = self.directory.node_of(handle.stoc)?;
-        self.endpoint.rdma_write(node, RegionId(handle.region), offset, data, None)
+        self.endpoint
+            .rdma_write(node, RegionId(handle.region), offset, data, None)
     }
 
     /// Read `len` bytes at `offset` of an in-memory file using a one-sided
     /// read.
     pub fn read_mem(&self, handle: &MemFileHandle, offset: u64, len: usize) -> Result<Bytes> {
         let node = self.directory.node_of(handle.stoc)?;
-        self.endpoint.rdma_read(node, RegionId(handle.region), offset, len)
+        self.endpoint
+            .rdma_read(node, RegionId(handle.region), offset, len)
     }
 
     // ---- persistent log interface -------------------------------------------
@@ -260,33 +396,62 @@ impl StocClient {
     /// Append serialized log records to a named persistent log file
     /// (durability mode of LogC, Section 5). Charged to the StoC's disk.
     pub fn append_log(&self, stoc: StocId, name: &str, data: &[u8]) -> Result<()> {
-        match self.call(stoc, &StocRequest::AppendLog { name: name.to_string(), data: data.to_vec() })? {
+        match self.call(
+            stoc,
+            &StocRequest::AppendLog {
+                name: name.to_string(),
+                data: data.to_vec(),
+            },
+        )? {
             StocResponse::Ok => Ok(()),
-            other => Err(Error::Corruption(format!("unexpected response to append log: {other:?}"))),
+            other => Err(Error::Corruption(format!(
+                "unexpected response to append log: {other:?}"
+            ))),
         }
     }
 
     /// Read the full contents of a named persistent log file.
     pub fn read_log(&self, stoc: StocId, name: &str) -> Result<Vec<u8>> {
-        match self.call(stoc, &StocRequest::ReadLog { name: name.to_string() })? {
+        match self.call(
+            stoc,
+            &StocRequest::ReadLog {
+                name: name.to_string(),
+            },
+        )? {
             StocResponse::LogContent { data } => Ok(data),
-            other => Err(Error::Corruption(format!("unexpected response to read log: {other:?}"))),
+            other => Err(Error::Corruption(format!(
+                "unexpected response to read log: {other:?}"
+            ))),
         }
     }
 
     /// List persistent log files with a name prefix.
     pub fn list_logs(&self, stoc: StocId, prefix: &str) -> Result<Vec<String>> {
-        match self.call(stoc, &StocRequest::ListLogs { prefix: prefix.to_string() })? {
+        match self.call(
+            stoc,
+            &StocRequest::ListLogs {
+                prefix: prefix.to_string(),
+            },
+        )? {
             StocResponse::MemFiles { names } => Ok(names),
-            other => Err(Error::Corruption(format!("unexpected response to list logs: {other:?}"))),
+            other => Err(Error::Corruption(format!(
+                "unexpected response to list logs: {other:?}"
+            ))),
         }
     }
 
     /// Delete a named persistent log file.
     pub fn delete_log(&self, stoc: StocId, name: &str) -> Result<()> {
-        match self.call(stoc, &StocRequest::DeleteLog { name: name.to_string() })? {
+        match self.call(
+            stoc,
+            &StocRequest::DeleteLog {
+                name: name.to_string(),
+            },
+        )? {
             StocResponse::Ok => Ok(()),
-            other => Err(Error::Corruption(format!("unexpected response to delete log: {other:?}"))),
+            other => Err(Error::Corruption(format!(
+                "unexpected response to delete log: {other:?}"
+            ))),
         }
     }
 
@@ -301,7 +466,9 @@ impl StocClient {
     ) -> Result<Vec<SstableMeta>> {
         match self.call(stoc, &StocRequest::Compaction(job))? {
             StocResponse::CompactionDone { outputs } => Ok(outputs),
-            other => Err(Error::Corruption(format!("unexpected response to compaction: {other:?}"))),
+            other => Err(Error::Corruption(format!(
+                "unexpected response to compaction: {other:?}"
+            ))),
         }
     }
 }
@@ -330,5 +497,25 @@ mod tests {
         let d2 = d.clone();
         d.register(StocId(3), NodeId(1));
         assert_eq!(d2.node_of(StocId(3)).unwrap(), NodeId(1));
+    }
+
+    #[test]
+    fn draining_stoc_resolves_but_is_not_placeable() {
+        let d = StocDirectory::new();
+        d.register(StocId(0), NodeId(1));
+        d.register(StocId(1), NodeId(2));
+        assert_eq!(d.placeable(), vec![StocId(0), StocId(1)]);
+
+        d.set_placeable(StocId(1), false);
+        // Existing blocks stay readable: the node still resolves…
+        assert_eq!(d.node_of(StocId(1)).unwrap(), NodeId(2));
+        assert_eq!(d.all(), vec![StocId(0), StocId(1)]);
+        // …but placement stops choosing it.
+        assert_eq!(d.placeable(), vec![StocId(0)]);
+        assert_eq!(d.num_placeable(), 1);
+
+        // Re-registering brings it back.
+        d.register(StocId(1), NodeId(2));
+        assert_eq!(d.placeable(), vec![StocId(0), StocId(1)]);
     }
 }

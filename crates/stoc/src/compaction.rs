@@ -11,15 +11,15 @@
 
 use crate::client::StocClient;
 use crate::table_io::{read_fragment, read_meta_block, write_table, TableWriteSpec};
+use nova_common::types::Entry;
 use nova_common::varint::{
-    decode_length_prefixed_slice, decode_varint32, decode_varint64, put_length_prefixed_slice,
-    put_varint32, put_varint64,
+    decode_length_prefixed_slice, decode_varint32, decode_varint64, put_length_prefixed_slice, put_varint32,
+    put_varint64,
 };
 use nova_common::{Error, Result, SequenceNumber, StocId};
-use nova_common::types::Entry;
 use nova_sstable::{
-    collect_entries, MemoryFetcher, MergingIterator, SstableMeta, TableBuilder, TableOptions,
-    TableReader, VecIterator,
+    collect_entries, MemoryFetcher, MergingIterator, SstableMeta, TableBuilder, TableOptions, TableReader,
+    VecIterator,
 };
 
 /// A self-contained description of one compaction job, shippable to a StoC.
@@ -170,7 +170,9 @@ pub fn execute_compaction(client: &StocClient, job: &CompactionJob) -> Result<Ve
         return Ok(Vec::new());
     }
     if job.output_placement.is_empty() {
-        return Err(Error::InvalidArgument("compaction job has no output placement".into()));
+        return Err(Error::InvalidArgument(
+            "compaction job has no output placement".into(),
+        ));
     }
     // Pre-fetch and wrap each input.
     let mut children = Vec::with_capacity(job.inputs.len());
@@ -178,8 +180,7 @@ pub fn execute_compaction(client: &StocClient, job: &CompactionJob) -> Result<Ve
         children.push(VecIterator::new(load_table_entries(client, meta)?));
     }
     let mut merged = MergingIterator::new(children);
-    let survivors =
-        nova_sstable::compact_entries(&mut merged, SequenceNumber::MAX, job.drop_tombstones)?;
+    let survivors = nova_sstable::compact_entries(&mut merged, SequenceNumber::MAX, job.drop_tombstones)?;
     if survivors.is_empty() {
         return Ok(Vec::new());
     }
@@ -192,9 +193,9 @@ pub fn execute_compaction(client: &StocClient, job: &CompactionJob) -> Result<Ve
     let mut current_bytes = 0u64;
 
     let finish_current = |builder: &mut Option<TableBuilder>,
-                              next_file: &mut usize,
-                              next_placement: &mut usize,
-                              outputs: &mut Vec<SstableMeta>|
+                          next_file: &mut usize,
+                          next_placement: &mut usize,
+                          outputs: &mut Vec<SstableMeta>|
      -> Result<()> {
         if let Some(b) = builder.take() {
             if b.num_entries() == 0 {

@@ -343,7 +343,11 @@ mod tests {
     }
 
     fn fast_disk() -> SimDisk {
-        SimDisk::new(DiskConfig { bandwidth_bytes_per_sec: u64::MAX / 2, seek_micros: 0, accounting_only: true })
+        SimDisk::new(DiskConfig {
+            bandwidth_bytes_per_sec: u64::MAX / 2,
+            seek_micros: 0,
+            accounting_only: true,
+        })
     }
 
     #[test]
@@ -412,7 +416,10 @@ mod tests {
 
     #[test]
     fn utilization_is_bounded() {
-        let stats = DiskStats { busy_nanos: 2_000_000_000, ..Default::default() };
+        let stats = DiskStats {
+            busy_nanos: 2_000_000_000,
+            ..Default::default()
+        };
         assert_eq!(stats.utilization(Duration::from_secs(1)), 1.0);
         assert_eq!(stats.utilization(Duration::ZERO), 0.0);
     }

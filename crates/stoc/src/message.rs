@@ -9,8 +9,8 @@
 
 use crate::compaction::CompactionJob;
 use nova_common::varint::{
-    decode_length_prefixed_slice, decode_varint32, decode_varint64, put_length_prefixed_slice,
-    put_varint32, put_varint64,
+    decode_length_prefixed_slice, decode_varint32, decode_varint64, put_length_prefixed_slice, put_varint32,
+    put_varint64,
 };
 use nova_common::{Error, Result, StocFileId};
 use nova_sstable::SstableMeta;
@@ -213,7 +213,12 @@ impl StocRequest {
                 out.push(2);
                 put_varint64(&mut out, file.0);
             }
-            StocRequest::ReadBlock { file, offset, len, client_region } => {
+            StocRequest::ReadBlock {
+                file,
+                offset,
+                len,
+                client_region,
+            } => {
                 out.push(3);
                 put_varint64(&mut out, file.0);
                 put_varint64(&mut out, *offset);
@@ -276,7 +281,9 @@ impl StocRequest {
 
     /// Deserialize a request.
     pub fn decode(src: &[u8]) -> Result<StocRequest> {
-        let tag = *src.first().ok_or_else(|| Error::Corruption("empty StoC request".into()))?;
+        let tag = *src
+            .first()
+            .ok_or_else(|| Error::Corruption("empty StoC request".into()))?;
         let body = &src[1..];
         Ok(match tag {
             1 => {
@@ -285,22 +292,33 @@ impl StocRequest {
             }
             2 => {
                 let (file, _) = decode_varint64(body)?;
-                StocRequest::SealFile { file: StocFileId(file) }
+                StocRequest::SealFile {
+                    file: StocFileId(file),
+                }
             }
             3 => {
                 let (file, a) = decode_varint64(body)?;
                 let (offset, b) = decode_varint64(&body[a..])?;
                 let (len, c) = decode_varint64(&body[a + b..])?;
                 let (client_region, _) = decode_varint64(&body[a + b + c..])?;
-                StocRequest::ReadBlock { file: StocFileId(file), offset, len, client_region }
+                StocRequest::ReadBlock {
+                    file: StocFileId(file),
+                    offset,
+                    len,
+                    client_region,
+                }
             }
             4 => {
                 let (file, _) = decode_varint64(body)?;
-                StocRequest::DeleteFile { file: StocFileId(file) }
+                StocRequest::DeleteFile {
+                    file: StocFileId(file),
+                }
             }
             5 => {
                 let (file, _) = decode_varint64(body)?;
-                StocRequest::FileSize { file: StocFileId(file) }
+                StocRequest::FileSize {
+                    file: StocFileId(file),
+                }
             }
             6 => StocRequest::QueueDepth,
             7 => StocRequest::ListFiles,
@@ -329,7 +347,10 @@ impl StocRequest {
             14 => {
                 let (name, n) = get_string(body)?;
                 let (data, _) = decode_length_prefixed_slice(&body[n..])?;
-                StocRequest::AppendLog { name, data: data.to_vec() }
+                StocRequest::AppendLog {
+                    name,
+                    data: data.to_vec(),
+                }
             }
             15 => {
                 let (name, _) = get_string(body)?;
@@ -400,7 +421,13 @@ impl StocResponse {
                     put_length_prefixed_slice(&mut out, &encoded);
                 }
             }
-            StocResponse::Stats { queue_depth, bytes_written, bytes_read, disk_busy_nanos, num_files } => {
+            StocResponse::Stats {
+                queue_depth,
+                bytes_written,
+                bytes_read,
+                disk_busy_nanos,
+                num_files,
+            } => {
                 out.push(11);
                 put_varint64(&mut out, *queue_depth);
                 put_varint64(&mut out, *bytes_written);
@@ -418,13 +445,18 @@ impl StocResponse {
 
     /// Deserialize a response.
     pub fn decode(src: &[u8]) -> Result<StocResponse> {
-        let tag = *src.first().ok_or_else(|| Error::Corruption("empty StoC response".into()))?;
+        let tag = *src
+            .first()
+            .ok_or_else(|| Error::Corruption("empty StoC response".into()))?;
         let body = &src[1..];
         Ok(match tag {
             1 => {
                 let (file, a) = decode_varint64(body)?;
                 let (region, _) = decode_varint64(&body[a..])?;
-                StocResponse::Opened { file: StocFileId(file), region }
+                StocResponse::Opened {
+                    file: StocFileId(file),
+                    region,
+                }
             }
             2 => {
                 let (size, _) = decode_varint64(body)?;
@@ -454,7 +486,11 @@ impl StocResponse {
                 let (file, a) = decode_varint64(body)?;
                 let (region, b) = decode_varint64(&body[a..])?;
                 let (size, _) = decode_varint64(&body[a + b..])?;
-                StocResponse::MemFile { file: StocFileId(file), region, size }
+                StocResponse::MemFile {
+                    file: StocFileId(file),
+                    region,
+                    size,
+                }
             }
             9 => {
                 let (count, mut n) = decode_varint32(body)?;
@@ -483,7 +519,13 @@ impl StocResponse {
                 let (bytes_read, c) = decode_varint64(&body[a + b..])?;
                 let (disk_busy_nanos, d) = decode_varint64(&body[a + b + c..])?;
                 let (num_files, _) = decode_varint64(&body[a + b + c + d..])?;
-                StocResponse::Stats { queue_depth, bytes_written, bytes_read, disk_busy_nanos, num_files }
+                StocResponse::Stats {
+                    queue_depth,
+                    bytes_written,
+                    bytes_read,
+                    disk_busy_nanos,
+                    num_files,
+                }
             }
             12 => {
                 let (data, _) = decode_length_prefixed_slice(body)?;
@@ -524,15 +566,33 @@ mod tests {
         round_trip_request(StocRequest::FileSize { file: StocFileId(2) });
         round_trip_request(StocRequest::QueueDepth);
         round_trip_request(StocRequest::ListFiles);
-        round_trip_request(StocRequest::OpenMemFile { name: "log/3/17".into(), size: 1 << 16 });
-        round_trip_request(StocRequest::GetMemFile { name: "log/3/17".into() });
-        round_trip_request(StocRequest::ListMemFiles { prefix: "log/3/".into() });
-        round_trip_request(StocRequest::DeleteMemFile { name: "log/3/17".into() });
+        round_trip_request(StocRequest::OpenMemFile {
+            name: "log/3/17".into(),
+            size: 1 << 16,
+        });
+        round_trip_request(StocRequest::GetMemFile {
+            name: "log/3/17".into(),
+        });
+        round_trip_request(StocRequest::ListMemFiles {
+            prefix: "log/3/".into(),
+        });
+        round_trip_request(StocRequest::DeleteMemFile {
+            name: "log/3/17".into(),
+        });
         round_trip_request(StocRequest::Stats);
-        round_trip_request(StocRequest::AppendLog { name: "log/3/17".into(), data: vec![1, 2, 3] });
-        round_trip_request(StocRequest::ReadLog { name: "log/3/17".into() });
-        round_trip_request(StocRequest::ListLogs { prefix: "log/3/".into() });
-        round_trip_request(StocRequest::DeleteLog { name: "log/3/17".into() });
+        round_trip_request(StocRequest::AppendLog {
+            name: "log/3/17".into(),
+            data: vec![1, 2, 3],
+        });
+        round_trip_request(StocRequest::ReadLog {
+            name: "log/3/17".into(),
+        });
+        round_trip_request(StocRequest::ListLogs {
+            prefix: "log/3/".into(),
+        });
+        round_trip_request(StocRequest::DeleteLog {
+            name: "log/3/17".into(),
+        });
     }
 
     #[test]
@@ -574,15 +634,26 @@ mod tests {
 
     #[test]
     fn responses_round_trip() {
-        round_trip_response(StocResponse::Opened { file: StocFileId(1), region: 2 });
+        round_trip_response(StocResponse::Opened {
+            file: StocFileId(1),
+            region: 2,
+        });
         round_trip_response(StocResponse::Sealed { size: 12345 });
         round_trip_response(StocResponse::BlockRead);
         round_trip_response(StocResponse::Ok);
         round_trip_response(StocResponse::Size { size: 1 });
         round_trip_response(StocResponse::Depth { depth: 7 });
-        round_trip_response(StocResponse::Files { files: vec![StocFileId(1), StocFileId(2)] });
-        round_trip_response(StocResponse::MemFile { file: StocFileId(3), region: 4, size: 5 });
-        round_trip_response(StocResponse::MemFiles { names: vec!["a".into(), "b".into()] });
+        round_trip_response(StocResponse::Files {
+            files: vec![StocFileId(1), StocFileId(2)],
+        });
+        round_trip_response(StocResponse::MemFile {
+            file: StocFileId(3),
+            region: 4,
+            size: 5,
+        });
+        round_trip_response(StocResponse::MemFiles {
+            names: vec!["a".into(), "b".into()],
+        });
         round_trip_response(StocResponse::CompactionDone { outputs: vec![] });
         round_trip_response(StocResponse::Stats {
             queue_depth: 1,

@@ -47,7 +47,10 @@ pub struct StocState {
 
 impl std::fmt::Debug for StocState {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("StocState").field("id", &self.id).field("node", &self.node).finish()
+        f.debug_struct("StocState")
+            .field("id", &self.id)
+            .field("node", &self.node)
+            .finish()
     }
 }
 
@@ -79,8 +82,13 @@ impl StocState {
     fn open_file_for_write(&self, size: u64) -> Result<StocResponse> {
         let file = self.allocate_file_id();
         let region = self.endpoint.register_region(size.max(1) as usize);
-        self.pending_writes.lock().insert(file, PendingWrite { region, size });
-        Ok(StocResponse::Opened { file, region: region.0 })
+        self.pending_writes
+            .lock()
+            .insert(file, PendingWrite { region, size });
+        Ok(StocResponse::Opened {
+            file,
+            region: region.0,
+        })
     }
 
     fn seal_file(&self, file: StocFileId) -> Result<StocResponse> {
@@ -89,17 +97,28 @@ impl StocState {
             .lock()
             .remove(&file)
             .ok_or_else(|| Error::UnknownFile(format!("{file} has no pending write buffer")))?;
-        let data = self.endpoint.local_region(pending.region)?.read(0, pending.size as usize)?;
+        let data = self
+            .endpoint
+            .local_region(pending.region)?
+            .read(0, pending.size as usize)?;
         self.endpoint.deregister_region(pending.region);
         self.medium.append(file, &data)?;
         Ok(StocResponse::Sealed { size: pending.size })
     }
 
-    fn read_block(&self, from: NodeId, file: StocFileId, offset: u64, len: u64, client_region: u64) -> Result<StocResponse> {
+    fn read_block(
+        &self,
+        from: NodeId,
+        file: StocFileId,
+        offset: u64,
+        len: u64,
+        client_region: u64,
+    ) -> Result<StocResponse> {
         let data = self.medium.read(file, offset, len as usize)?;
         // Push the block into the client's memory with a one-sided write
         // (Section 6.2): the client's CPU is not involved in the transfer.
-        self.endpoint.rdma_write(from, RegionId(client_region), 0, &data, None)?;
+        self.endpoint
+            .rdma_write(from, RegionId(client_region), 0, &data, None)?;
         Ok(StocResponse::BlockRead)
     }
 
@@ -115,7 +134,11 @@ impl StocState {
         let file = self.allocate_file_id();
         let region = self.endpoint.register_region(size.max(1) as usize);
         mem_files.insert(name.to_string(), MemFileEntry { file, region, size });
-        Ok(StocResponse::MemFile { file, region: region.0, size })
+        Ok(StocResponse::MemFile {
+            file,
+            region: region.0,
+            size,
+        })
     }
 
     fn get_mem_file(&self, name: &str) -> Result<StocResponse> {
@@ -123,12 +146,21 @@ impl StocState {
         let entry = mem_files
             .get(name)
             .ok_or_else(|| Error::UnknownFile(format!("in-memory file {name:?} does not exist")))?;
-        Ok(StocResponse::MemFile { file: entry.file, region: entry.region.0, size: entry.size })
+        Ok(StocResponse::MemFile {
+            file: entry.file,
+            region: entry.region.0,
+            size: entry.size,
+        })
     }
 
     fn list_mem_files(&self, prefix: &str) -> StocResponse {
-        let mut names: Vec<String> =
-            self.mem_files.lock().keys().filter(|n| n.starts_with(prefix)).cloned().collect();
+        let mut names: Vec<String> = self
+            .mem_files
+            .lock()
+            .keys()
+            .filter(|n| n.starts_with(prefix))
+            .cloned()
+            .collect();
         names.sort();
         StocResponse::MemFiles { names }
     }
@@ -166,8 +198,13 @@ impl StocState {
     }
 
     fn list_logs(&self, prefix: &str) -> StocResponse {
-        let mut names: Vec<String> =
-            self.persistent_logs.lock().keys().filter(|n| n.starts_with(prefix)).cloned().collect();
+        let mut names: Vec<String> = self
+            .persistent_logs
+            .lock()
+            .keys()
+            .filter(|n| n.starts_with(prefix))
+            .cloned()
+            .collect();
         names.sort();
         StocResponse::MemFiles { names }
     }
@@ -197,16 +234,25 @@ impl StocState {
         match request {
             StocRequest::OpenFileForWrite { size } => self.open_file_for_write(size),
             StocRequest::SealFile { file } => self.seal_file(file),
-            StocRequest::ReadBlock { file, offset, len, client_region } => {
-                self.read_block(from, file, offset, len, client_region)
-            }
+            StocRequest::ReadBlock {
+                file,
+                offset,
+                len,
+                client_region,
+            } => self.read_block(from, file, offset, len, client_region),
             StocRequest::DeleteFile { file } => {
                 self.medium.delete(file)?;
                 Ok(StocResponse::Ok)
             }
-            StocRequest::FileSize { file } => Ok(StocResponse::Size { size: self.medium.file_size(file)? }),
-            StocRequest::QueueDepth => Ok(StocResponse::Depth { depth: self.medium.queue_depth() as u64 }),
-            StocRequest::ListFiles => Ok(StocResponse::Files { files: self.medium.list_files() }),
+            StocRequest::FileSize { file } => Ok(StocResponse::Size {
+                size: self.medium.file_size(file)?,
+            }),
+            StocRequest::QueueDepth => Ok(StocResponse::Depth {
+                depth: self.medium.queue_depth() as u64,
+            }),
+            StocRequest::ListFiles => Ok(StocResponse::Files {
+                files: self.medium.list_files(),
+            }),
             StocRequest::OpenMemFile { name, size } => self.open_mem_file(&name, size),
             StocRequest::GetMemFile { name } => self.get_mem_file(&name),
             StocRequest::ListMemFiles { prefix } => Ok(self.list_mem_files(&prefix)),
@@ -280,9 +326,14 @@ impl StocServer {
             compactions_executed: Counter::new(),
         });
         directory.register(id, node);
-        let handler = Arc::new(StocHandler { state: Arc::clone(&state) });
+        let handler = Arc::new(StocHandler {
+            state: Arc::clone(&state),
+        });
         let rpc = RpcServer::start(endpoint, handler, xchg_threads.max(1), storage_threads);
-        StocServer { state, rpc: Some(rpc) }
+        StocServer {
+            state,
+            rpc: Some(rpc),
+        }
     }
 
     /// The StoC's shared state (for statistics and tests).
@@ -315,7 +366,11 @@ mod tests {
     use nova_common::config::DiskConfig;
 
     fn fast_disk() -> Arc<dyn StorageMedium> {
-        Arc::new(SimDisk::new(DiskConfig { bandwidth_bytes_per_sec: u64::MAX / 2, seek_micros: 0, accounting_only: true }))
+        Arc::new(SimDisk::new(DiskConfig {
+            bandwidth_bytes_per_sec: u64::MAX / 2,
+            seek_micros: 0,
+            accounting_only: true,
+        }))
     }
 
     fn cluster(num_stocs: usize) -> (Arc<Fabric>, StocDirectory, Vec<StocServer>, StocClient) {
@@ -380,14 +435,23 @@ mod tests {
         let handle = client.open_mem_file(StocId(0), "log/1/42", 4096).unwrap();
         client.write_mem(&handle, 0, b"record-a").unwrap();
         client.write_mem(&handle, 8, b"record-b").unwrap();
-        assert_eq!(client.read_mem(&handle, 0, 16).unwrap().as_ref(), b"record-arecord-b");
+        assert_eq!(
+            client.read_mem(&handle, 0, 16).unwrap().as_ref(),
+            b"record-arecord-b"
+        );
         // Reopening by name returns the same file.
         let again = client.open_mem_file(StocId(0), "log/1/42", 4096).unwrap();
         assert_eq!(again.file, handle.file);
         let found = client.get_mem_file(StocId(0), "log/1/42").unwrap();
         assert_eq!(found.region, handle.region);
-        assert_eq!(client.list_mem_files(StocId(0), "log/1/").unwrap(), vec!["log/1/42".to_string()]);
-        assert_eq!(client.list_mem_files(StocId(0), "log/2/").unwrap(), Vec::<String>::new());
+        assert_eq!(
+            client.list_mem_files(StocId(0), "log/1/").unwrap(),
+            vec!["log/1/42".to_string()]
+        );
+        assert_eq!(
+            client.list_mem_files(StocId(0), "log/2/").unwrap(),
+            Vec::<String>::new()
+        );
         client.delete_mem_file(StocId(0), "log/1/42").unwrap();
         assert!(client.get_mem_file(StocId(0), "log/1/42").is_err());
         for s in servers {
@@ -411,7 +475,10 @@ mod tests {
     #[test]
     fn unknown_stoc_is_an_error() {
         let (_fabric, _dir, servers, client) = cluster(1);
-        assert!(matches!(client.write_block(StocId(9), b"x"), Err(Error::UnknownStoc(_))));
+        assert!(matches!(
+            client.write_block(StocId(9), b"x"),
+            Err(Error::UnknownStoc(_))
+        ));
         for s in servers {
             s.stop();
         }
@@ -426,7 +493,7 @@ mod tests {
             joins.push(std::thread::spawn(move || {
                 for i in 0..20u32 {
                     let data = format!("thread {t} block {i}").into_bytes();
-                    let stoc = StocId((i % 2) as u32);
+                    let stoc = StocId(i % 2);
                     let handle = client.write_block(stoc, &data).unwrap();
                     assert_eq!(client.read_block(&handle).unwrap().as_ref(), &data[..]);
                 }

@@ -46,13 +46,18 @@ pub fn write_table(client: &StocClient, built: &BuiltTable, spec: &TableWriteSpe
     let mut fragments = Vec::with_capacity(built.fragments.len());
     for (payload, stocs) in built.fragments.iter().zip(spec.fragment_placement.iter()) {
         if stocs.is_empty() {
-            return Err(Error::InvalidArgument("every fragment needs at least one StoC".into()));
+            return Err(Error::InvalidArgument(
+                "every fragment needs at least one StoC".into(),
+            ));
         }
         let mut replicas = Vec::with_capacity(stocs.len());
         for &stoc in stocs {
             replicas.push(client.write_block(stoc, payload)?);
         }
-        fragments.push(FragmentLocation { size: payload.len() as u64, replicas });
+        fragments.push(FragmentLocation {
+            size: payload.len() as u64,
+            replicas,
+        });
     }
 
     let parity = match spec.parity_placement {
@@ -138,7 +143,11 @@ pub fn read_fragment(client: &StocClient, meta: &SstableMeta, index: usize) -> R
                 }
             }
         }
-        return Ok(Bytes::from(reconstruct_from_parity(&parity, &survivors, fragment.size as usize)));
+        return Ok(Bytes::from(reconstruct_from_parity(
+            &parity,
+            &survivors,
+            fragment.size as usize,
+        )));
     }
     Err(last_err)
 }
@@ -164,10 +173,17 @@ impl BlockFetcher for ScatteredBlockFetcher<'_> {
             .meta
             .fragments
             .get(location.fragment as usize)
-            .ok_or_else(|| Error::Corruption(format!("block references unknown fragment {}", location.fragment)))?;
+            .ok_or_else(|| {
+                Error::Corruption(format!("block references unknown fragment {}", location.fragment))
+            })?;
         let mut last_err = Error::Unavailable("fragment has no replicas".into());
         for handle in &fragment.replicas {
-            match self.client.read_block_at(handle.stoc, handle.file, handle.offset + location.offset, location.size as usize) {
+            match self.client.read_block_at(
+                handle.stoc,
+                handle.file,
+                handle.offset + location.offset,
+                location.size as usize,
+            ) {
                 Ok(bytes) => return Ok(bytes),
                 Err(e) => last_err = e,
             }
@@ -178,7 +194,9 @@ impl BlockFetcher for ScatteredBlockFetcher<'_> {
             let start = location.offset as usize;
             let end = start + location.size as usize;
             if end > fragment_bytes.len() {
-                return Err(Error::Corruption("block extends past reconstructed fragment".into()));
+                return Err(Error::Corruption(
+                    "block extends past reconstructed fragment".into(),
+                ));
             }
             return Ok(fragment_bytes.slice(start..end));
         }
@@ -204,7 +222,13 @@ pub fn delete_table(client: &StocClient, meta: &SstableMeta) {
 
 /// A helper used by tests and by single-node deployments: a write spec that
 /// stores every fragment, the metadata block and no parity on one StoC.
-pub fn local_spec(file_number: FileNumber, level: u32, drange: Option<u32>, num_fragments: usize, stoc: StocId) -> TableWriteSpec {
+pub fn local_spec(
+    file_number: FileNumber,
+    level: u32,
+    drange: Option<u32>,
+    num_fragments: usize,
+    stoc: StocId,
+) -> TableWriteSpec {
     TableWriteSpec {
         file_number,
         level,

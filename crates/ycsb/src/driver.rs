@@ -65,7 +65,12 @@ impl Default for DriverConfig {
 
 /// Load the database: write every key in `[0, num_keys)` once, split across
 /// `threads` loader threads.
-pub fn load<S: KvInterface + ?Sized>(store: &S, num_keys: u64, value_size: usize, threads: usize) -> Result<()> {
+pub fn load<S: KvInterface + ?Sized>(
+    store: &S,
+    num_keys: u64,
+    value_size: usize,
+    threads: usize,
+) -> Result<()> {
     let threads = threads.max(1);
     let value = vec![b'v'; value_size];
     let failed = AtomicBool::new(false);
@@ -176,7 +181,10 @@ pub fn run<S: KvInterface + ?Sized>(store: &S, workload: &Workload, config: &Dri
                     let count = completed.load(Ordering::Relaxed);
                     let elapsed = now.duration_since(last_time).as_secs_f64();
                     if elapsed > 0.0 {
-                        series.push(start.elapsed().as_secs_f64(), (count - last_count) as f64 / elapsed);
+                        series.push(
+                            start.elapsed().as_secs_f64(),
+                            (count - last_count) as f64 / elapsed,
+                        );
                     }
                     last_count = count;
                     last_time = now;
@@ -203,7 +211,16 @@ pub fn run<S: KvInterface + ?Sized>(store: &S, workload: &Workload, config: &Dri
         puts.merge(p);
         scans.merge(s);
     }
-    RunReport::new(workload.label(), completed_ops.load(Ordering::SeqCst), errors, elapsed, gets, puts, scans, series)
+    RunReport::new(
+        workload.label(),
+        completed_ops.load(Ordering::SeqCst),
+        errors,
+        elapsed,
+        gets,
+        puts,
+        scans,
+        series,
+    )
 }
 
 #[cfg(test)]

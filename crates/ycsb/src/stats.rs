@@ -38,7 +38,16 @@ impl RunReport {
         scans: Histogram,
         series: ThroughputSeries,
     ) -> Self {
-        RunReport { workload, operations, errors, elapsed, gets, puts, scans, series }
+        RunReport {
+            workload,
+            operations,
+            errors,
+            elapsed,
+            gets,
+            puts,
+            scans,
+            series,
+        }
     }
 
     /// Overall throughput in operations per second.

@@ -108,7 +108,13 @@ pub struct Workload {
 impl Workload {
     /// Create a workload over `num_keys` records.
     pub fn new(mix: Mix, distribution: Distribution, num_keys: u64, value_size: usize) -> Self {
-        Workload { mix, distribution, num_keys, value_size, scan_length: 10 }
+        Workload {
+            mix,
+            distribution,
+            num_keys,
+            value_size,
+            scan_length: 10,
+        }
     }
 
     /// The label used in the paper's figures, e.g. `"RW50 Zipfian"`.
@@ -132,7 +138,11 @@ impl OperationGenerator {
             Distribution::Uniform => None,
             Distribution::Zipfian(theta) => Some(Zipfian::new(workload.num_keys, theta)),
         };
-        OperationGenerator { workload, zipf, rng: StdRng::seed_from_u64(seed) }
+        OperationGenerator {
+            workload,
+            zipf,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// The workload this generator draws from.
@@ -150,7 +160,10 @@ impl OperationGenerator {
     /// Draw the next operation.
     pub fn next_operation(&mut self) -> Operation {
         let key = self.next_key();
-        let write = Operation::Put { key, value_size: self.workload.value_size };
+        let write = Operation::Put {
+            key,
+            value_size: self.workload.value_size,
+        };
         match self.workload.mix {
             Mix::W100 => write,
             Mix::R100 => Operation::Get { key },
@@ -163,7 +176,10 @@ impl OperationGenerator {
             }
             Mix::Sw50 => {
                 if self.rng.gen_bool(0.5) {
-                    Operation::Scan { start_key: key, count: self.workload.scan_length }
+                    Operation::Scan {
+                        start_key: key,
+                        count: self.workload.scan_length,
+                    }
                 } else {
                     write
                 }

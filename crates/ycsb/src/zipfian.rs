@@ -43,7 +43,13 @@ impl Zipfian {
         let zeta2theta = zeta(2, theta);
         let alpha = 1.0 / (1.0 - theta);
         let eta = (1.0 - (2.0 / items as f64).powf(1.0 - theta)) / (1.0 - zeta2theta / zetan);
-        Zipfian { items, theta, alpha, zetan, eta }
+        Zipfian {
+            items,
+            theta,
+            alpha,
+            zetan,
+            eta,
+        }
     }
 
     /// The YCSB default (constant 0.99).
@@ -81,7 +87,6 @@ impl Zipfian {
     pub fn mass_of_top(&self, top: u64) -> f64 {
         zeta(top.min(self.items), self.theta) / self.zetan
     }
-
 }
 
 #[cfg(test)]
@@ -106,7 +111,10 @@ mod tests {
         // Roughly 85% of requests hit the top 10% of items (paper, Section 8.1).
         let top10: u64 = counts[..1000].iter().sum();
         let frac = top10 as f64 / 200_000.0;
-        assert!(frac > 0.75 && frac < 0.95, "top-10% mass {frac} out of expected band");
+        assert!(
+            frac > 0.75 && frac < 0.95,
+            "top-10% mass {frac} out of expected band"
+        );
     }
 
     #[test]
@@ -125,19 +133,28 @@ mod tests {
         };
         let strong_hot = count_hot(&strong, &mut rng);
         let weak_hot = count_hot(&weak, &mut rng);
-        assert!(strong_hot > weak_hot, "theta=0.99 must be more skewed than theta=0.27");
+        assert!(
+            strong_hot > weak_hot,
+            "theta=0.99 must be more skewed than theta=0.27"
+        );
         // Zipf 0.73 directs roughly half the requests to the top 10% (the
         // paper quotes 53%).
         let mid = Zipfian::new(10_000, 0.73);
         let mid_hot = count_hot(&mid, &mut rng) as f64 / 50_000.0;
-        assert!(mid_hot > 0.4 && mid_hot < 0.65, "theta=0.73 hot fraction {mid_hot}");
+        assert!(
+            mid_hot > 0.4 && mid_hot < 0.65,
+            "theta=0.73 hot fraction {mid_hot}"
+        );
     }
 
     #[test]
     fn analytic_mass_matches_sampling() {
         let z = Zipfian::ycsb_default(100_000);
         let analytic = z.mass_of_top(10_000);
-        assert!(analytic > 0.75 && analytic < 0.95, "analytic top-10% mass {analytic}");
+        assert!(
+            analytic > 0.75 && analytic < 0.95,
+            "analytic top-10% mass {analytic}"
+        );
         assert_eq!(z.items(), 100_000);
         assert!((z.theta() - 0.99).abs() < 1e-12);
     }

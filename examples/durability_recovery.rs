@@ -41,7 +41,10 @@ fn main() {
             missing += 1;
         }
     }
-    println!("verification: {} / 5000 orders readable after recovery", 5_000 - missing);
+    println!(
+        "verification: {} / 5000 orders readable after recovery",
+        5_000 - missing
+    );
     assert_eq!(missing, 0, "no orders may be lost");
 
     cluster.shutdown();

@@ -9,7 +9,9 @@ use nova_lsm::{presets, NovaClient, NovaCluster};
 fn run_burst(client: &NovaClient, keys: u64, tag: &str) -> f64 {
     let start = std::time::Instant::now();
     for i in 0..keys {
-        client.put_numeric(i % keys, format!("{tag}-{i}").as_bytes()).expect("put");
+        client
+            .put_numeric(i % keys, format!("{tag}-{i}").as_bytes())
+            .expect("put");
     }
     let throughput = keys as f64 / start.elapsed().as_secs_f64();
     println!("{tag:<18} {throughput:>10.0} writes/s");

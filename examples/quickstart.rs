@@ -14,7 +14,11 @@ fn main() {
     let cluster = NovaCluster::start(config).expect("start cluster");
     let client = NovaClient::new(cluster.clone());
 
-    println!("cluster: {} LTC(s), {} StoC(s)", cluster.ltc_ids().len(), cluster.stoc_ids().len());
+    println!(
+        "cluster: {} LTC(s), {} StoC(s)",
+        cluster.ltc_ids().len(),
+        cluster.stoc_ids().len()
+    );
 
     // Write a batch of user records.
     for user in 0..10_000u64 {
@@ -31,7 +35,11 @@ fn main() {
     let page = client.scan(&encode_key(100), 5).expect("scan");
     println!("5 users starting at 100:");
     for entry in &page {
-        println!("  {} -> {}", String::from_utf8_lossy(&entry.key), String::from_utf8_lossy(&entry.value));
+        println!(
+            "  {} -> {}",
+            String::from_utf8_lossy(&entry.key),
+            String::from_utf8_lossy(&entry.value)
+        );
     }
 
     // Deletes.
@@ -47,7 +55,10 @@ fn main() {
         );
     }
     for (id, stats) in cluster.stoc_stats() {
-        println!("{id}: {} bytes written, {} files", stats.bytes_written, stats.num_files);
+        println!(
+            "{id}: {} bytes written, {} files",
+            stats.bytes_written, stats.num_files
+        );
     }
 
     cluster.shutdown();

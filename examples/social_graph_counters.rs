@@ -32,7 +32,9 @@ fn main() {
     for i in 0..updates {
         let account = zipf.next(&mut rng);
         let payload = format!("{{\"account\":{account},\"followers\":{i}}}");
-        client.put_numeric(account, payload.as_bytes()).expect("update counter");
+        client
+            .put_numeric(account, payload.as_bytes())
+            .expect("update counter");
     }
     let elapsed = start.elapsed();
     println!(
@@ -53,7 +55,14 @@ fn main() {
             stats.reorganizations, stats.memtable_merges, stats.flushes, stats.bytes_flushed
         );
     }
-    let range = cluster.coordinator().configuration().range_assignment.keys().copied().next().unwrap();
+    let range = cluster
+        .coordinator()
+        .configuration()
+        .range_assignment
+        .keys()
+        .copied()
+        .next()
+        .unwrap();
     let engine = cluster.ltc(cluster.ltc_ids()[0]).unwrap().range(range).unwrap();
     let drange_stats = engine.drange_stats();
     println!(

@@ -19,7 +19,10 @@ fn put_get_scan_across_multiple_ltcs_and_stocs() {
     }
     // Reads hit every LTC (keys span all 4 ranges).
     for i in (0..3_000u64).step_by(97) {
-        assert_eq!(client.get_numeric(i).unwrap().as_ref(), format!("value-{i}").as_bytes());
+        assert_eq!(
+            client.get_numeric(i).unwrap().as_ref(),
+            format!("value-{i}").as_bytes()
+        );
     }
     assert!(matches!(client.get_numeric(9_999), Err(Error::NotFound)));
 
@@ -27,7 +30,10 @@ fn put_get_scan_across_multiple_ltcs_and_stocs() {
     // one starts in range 0 and finishes in range 1).
     let result = client.scan(&encode_key(2_495), 10).unwrap();
     assert_eq!(result.len(), 10);
-    let keys: Vec<u64> = result.iter().map(|e| nova_common::keyspace::decode_key(&e.key).unwrap()).collect();
+    let keys: Vec<u64> = result
+        .iter()
+        .map(|e| nova_common::keyspace::decode_key(&e.key).unwrap())
+        .collect();
     assert_eq!(keys, (2_495..2_505).collect::<Vec<_>>());
 
     // Deletes are visible cluster-wide.
@@ -56,7 +62,9 @@ fn data_survives_flushes_and_compactions_under_load() {
     // Several overwrite rounds force flushes and at least one compaction.
     for round in 0..4u64 {
         for i in 0..2_000u64 {
-            client.put_numeric(i, format!("round-{round}-{i}").as_bytes()).unwrap();
+            client
+                .put_numeric(i, format!("round-{round}-{i}").as_bytes())
+                .unwrap();
         }
     }
     cluster.flush_all().unwrap();
@@ -70,7 +78,10 @@ fn data_survives_flushes_and_compactions_under_load() {
     // SSTables were written to more than one StoC (shared-disk behaviour).
     let stoc_stats = cluster.stoc_stats();
     let busy = stoc_stats.values().filter(|s| s.bytes_written > 0).count();
-    assert!(busy >= 2, "scatter_width=2 must spread bytes across StoCs, only {busy} were written");
+    assert!(
+        busy >= 2,
+        "scatter_width=2 must spread bytes across StoCs, only {busy} were written"
+    );
     cluster.shutdown();
 }
 
@@ -147,7 +158,14 @@ fn elastic_scale_out_and_in_of_stocs_and_ltcs() {
     // Scale out LTCs and rebalance ranges onto the new one.
     let new_ltc = cluster.add_ltc().unwrap();
     assert!(cluster.ltc_ids().contains(&new_ltc));
-    let range = cluster.coordinator().configuration().range_assignment.keys().copied().next().unwrap();
+    let range = cluster
+        .coordinator()
+        .configuration()
+        .range_assignment
+        .keys()
+        .copied()
+        .next()
+        .unwrap();
     cluster.migrate_range(range, new_ltc).unwrap();
     assert_eq!(cluster.coordinator().configuration().ltc_of(range), Some(new_ltc));
     for i in (0..500u64).step_by(7) {

@@ -43,8 +43,14 @@ fn check_against_model(client: &NovaClient, model: &BTreeMap<u64, Vec<u8>>, op: 
         Op::Get(k) => {
             let expected = model.get(k);
             match client.get_numeric(*k) {
-                Ok(v) => assert_eq!(Some(v.as_ref()), expected.map(|e| e.as_slice()), "get({k}) mismatch"),
-                Err(nova_common::Error::NotFound) => assert!(expected.is_none(), "get({k}) should have found a value"),
+                Ok(v) => assert_eq!(
+                    Some(v.as_ref()),
+                    expected.map(|e| e.as_slice()),
+                    "get({k}) mismatch"
+                ),
+                Err(nova_common::Error::NotFound) => {
+                    assert!(expected.is_none(), "get({k}) should have found a value")
+                }
                 Err(e) => panic!("get({k}) failed: {e}"),
             }
         }
@@ -102,13 +108,19 @@ fn nova_and_baseline_agree_on_results() {
         2,
         num_keys,
         16 * 1024,
-        nova_common::config::DiskConfig { bandwidth_bytes_per_sec: u64::MAX / 2, seek_micros: 0, accounting_only: true },
+        nova_common::config::DiskConfig {
+            bandwidth_bytes_per_sec: u64::MAX / 2,
+            seek_micros: 0,
+            accounting_only: true,
+        },
     )
     .unwrap();
 
     let mut state = 99u64;
     for i in 0..4_000u64 {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let key = state % num_keys;
         let value = format!("v-{i}");
         nova_client.put_numeric(key, value.as_bytes()).unwrap();

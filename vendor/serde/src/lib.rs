@@ -1,0 +1,7 @@
+//! A minimal stand-in for `serde`: the derive macros expand to nothing and
+//! the traits carry no methods. The workspace tags types with
+//! `#[derive(Serialize, Deserialize)]` for forward compatibility but does not
+//! serialize anything yet; swapping in the real `serde` later requires no
+//! source changes.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,17 @@
+//! No-op derive macros standing in for `serde_derive`. The workspace tags
+//! config and id types with `#[derive(Serialize, Deserialize)]` for forward
+//! compatibility but never serializes them, so the derives expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
