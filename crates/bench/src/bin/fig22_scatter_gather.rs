@@ -1,0 +1,299 @@
+//! Figure 22 (repo extension): scatter-gather StoC I/O vs the serial
+//! baseline.
+//!
+//! Nova-LSM's performance model assumes the ρ fragments of an SSTable move
+//! to/from StoCs concurrently (Section 4.4, Figure 10), so a flush costs
+//! ~max(fragment transfer) instead of sum(fragment transfers). This
+//! experiment turns `simulate_delay` on (every verb sleeps for its simulated
+//! network time) and measures, at growing scatter width ρ:
+//!
+//! * **flush** — `write_table` latency, serial client (I/O parallelism 1)
+//!   vs scatter-gather client, with and without 3-way replication;
+//! * **degraded read** — parity reconstruction of a fragment on a failed
+//!   StoC (parity + ρ−1 survivors, serial vs concurrent);
+//! * **scan** — full `TableIterator` pass over a scattered table with
+//!   readahead 0 vs a prefetch window.
+//!
+//! Results are printed as a table and appended to `BENCH_scatter.json` so CI
+//! can track the perf trajectory.
+
+use nova_bench::{print_header, print_row};
+use nova_common::config::{DiskConfig, FabricConfig};
+use nova_common::types::Entry;
+use nova_common::{NodeId, StocId};
+use nova_fabric::Fabric;
+use nova_sstable::{collect_entries, BuiltTable, TableBuilder, TableOptions, TableReader};
+use nova_stoc::{
+    delete_table, read_fragment, read_meta_block, write_table, ScatteredBlockFetcher, SimDisk, StocClient,
+    StocDirectory, StocServer, StorageMedium, TableWriteSpec,
+};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One-way verb latency for the simulated fabric. Large enough that network
+/// round trips dominate thread-spawn overhead, as in the paper's setup where
+/// the network, not the client CPU, prices every transfer.
+const LATENCY_NANOS: u64 = 100_000;
+
+const NUM_STOCS: usize = 8;
+
+struct TestBed {
+    fabric: Arc<Fabric>,
+    directory: StocDirectory,
+    servers: Vec<StocServer>,
+}
+
+impl TestBed {
+    fn start() -> TestBed {
+        let fabric_config = FabricConfig {
+            latency_nanos: LATENCY_NANOS,
+            simulate_delay: true,
+            ..FabricConfig::default()
+        };
+        let fabric = Fabric::new(NUM_STOCS + 1, &fabric_config);
+        let directory = StocDirectory::new();
+        let servers: Vec<StocServer> = (0..NUM_STOCS)
+            .map(|i| {
+                // Accounting-only disks: this experiment isolates the network
+                // path, the disk model is exercised by fig13/fig19.
+                let medium: Arc<dyn StorageMedium> = Arc::new(SimDisk::new(DiskConfig {
+                    bandwidth_bytes_per_sec: u64::MAX / 2,
+                    seek_micros: 0,
+                    accounting_only: true,
+                }));
+                StocServer::start(
+                    StocId(i as u32),
+                    NodeId(i as u32 + 1),
+                    &fabric,
+                    directory.clone(),
+                    medium,
+                    8,
+                    2,
+                )
+            })
+            .collect();
+        TestBed {
+            fabric,
+            directory,
+            servers,
+        }
+    }
+
+    fn client(&self, io_parallelism: usize) -> StocClient {
+        StocClient::new(self.fabric.endpoint(NodeId(0)), self.directory.clone())
+            .with_io_parallelism(io_parallelism)
+    }
+
+    fn stop(self) {
+        for s in self.servers {
+            s.stop();
+        }
+    }
+}
+
+/// Build a table of `rho` fragments totalling roughly `total_bytes` of
+/// entries.
+fn build_table(rho: usize, total_bytes: usize) -> BuiltTable {
+    let value = vec![b'v'; 100];
+    let per_entry = 16 + value.len();
+    let count = (total_bytes / per_entry).max(rho * 8) as u64;
+    let mut builder = TableBuilder::new(TableOptions {
+        block_size: 1024,
+        bloom_bits_per_key: 10,
+        num_fragments: rho,
+    });
+    for i in 0..count {
+        builder.add(&Entry::put(
+            format!("key-{i:08}").into_bytes(),
+            i + 1,
+            value.clone(),
+        ));
+    }
+    builder.finish().expect("build table")
+}
+
+/// Scatter `rho` fragments over distinct StoCs with `replicas` copies each,
+/// parity on the next free StoC, metadata co-located with fragment 0.
+fn scatter_spec(rho: usize, replicas: usize) -> TableWriteSpec {
+    let fragment_placement = (0..rho)
+        .map(|i| {
+            (0..replicas)
+                .map(|r| StocId(((i + r * rho + r) % NUM_STOCS) as u32))
+                .collect()
+        })
+        .collect();
+    TableWriteSpec {
+        file_number: 1,
+        level: 0,
+        drange: None,
+        fragment_placement,
+        meta_placement: vec![StocId(0)],
+        parity_placement: Some(StocId((rho % NUM_STOCS) as u32)),
+    }
+}
+
+fn median(mut samples: Vec<Duration>) -> Duration {
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+fn time_flush(client: &StocClient, built: &BuiltTable, spec: &TableWriteSpec, iters: usize) -> Duration {
+    let samples: Vec<Duration> = (0..iters)
+        .map(|_| {
+            let start = Instant::now();
+            let meta = write_table(client, built, spec).expect("write table");
+            let elapsed = start.elapsed();
+            delete_table(client, &meta);
+            elapsed
+        })
+        .collect();
+    median(samples)
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let iters = if quick { 3 } else { 7 };
+    let fragment_bytes = if quick { 8 << 10 } else { 32 << 10 };
+
+    let mut json_rows: Vec<String> = Vec::new();
+
+    // ---- flush latency vs scatter width --------------------------------
+    print_header(
+        "Figure 22: scatter-gather StoC I/O (simulate_delay on, β=8)",
+        &["rho", "replicas", "serial ms", "parallel ms", "speedup"],
+    );
+    let mut speedup_at_4 = 0.0f64;
+    for rho in [1usize, 2, 4, 8] {
+        for replicas in [1usize, 3] {
+            if replicas > 1 && rho > 4 {
+                continue; // 8 fragments × 3 replicas oversubscribes 8 StoCs
+            }
+            let bed = TestBed::start();
+            let built = build_table(rho, rho * fragment_bytes);
+            let spec = scatter_spec(rho, replicas);
+            let serial = time_flush(&bed.client(1), &built, &spec, iters);
+            let parallel = time_flush(&bed.client(16), &built, &spec, iters);
+            let speedup = ms(serial) / ms(parallel).max(1e-9);
+            if rho == 4 && replicas == 1 {
+                speedup_at_4 = speedup;
+            }
+            print_row(&[
+                rho.to_string(),
+                replicas.to_string(),
+                format!("{:.2}", ms(serial)),
+                format!("{:.2}", ms(parallel)),
+                format!("{speedup:.2}x"),
+            ]);
+            json_rows.push(format!(
+                "{{\"bench\":\"flush\",\"rho\":{rho},\"replicas\":{replicas},\"serial_ms\":{:.3},\"parallel_ms\":{:.3},\"speedup\":{speedup:.3}}}",
+                ms(serial),
+                ms(parallel)
+            ));
+            bed.stop();
+        }
+    }
+
+    // ---- degraded read: parity reconstruction --------------------------
+    {
+        // ρ < β so the parity block lands on a StoC that holds no data
+        // fragment; failing fragment 0's StoC must leave parity reachable.
+        let rho = if quick { 4 } else { 7 };
+        let bed = TestBed::start();
+        let built = build_table(rho, rho * fragment_bytes);
+        let spec = scatter_spec(rho, 1);
+        let writer = bed.client(16);
+        let meta = write_table(&writer, &built, &spec).expect("write table");
+        // Fail the StoC holding fragment 0: reads of it must reconstruct
+        // from the parity block and the ρ−1 survivors.
+        bed.fabric.fail_node(NodeId(1));
+        let time_reconstruct = |client: &StocClient| {
+            let samples: Vec<Duration> = (0..iters)
+                .map(|_| {
+                    let start = Instant::now();
+                    let bytes = read_fragment(client, &meta, 0).expect("degraded read");
+                    assert_eq!(bytes.as_ref(), &built.fragments[0][..]);
+                    start.elapsed()
+                })
+                .collect();
+            median(samples)
+        };
+        let serial = time_reconstruct(&bed.client(1));
+        let parallel = time_reconstruct(&bed.client(16));
+        let speedup = ms(serial) / ms(parallel).max(1e-9);
+        print_header(
+            "Degraded read: parity reconstruction of one fragment",
+            &["rho", "serial ms", "parallel ms", "speedup"],
+        );
+        print_row(&[
+            rho.to_string(),
+            format!("{:.2}", ms(serial)),
+            format!("{:.2}", ms(parallel)),
+            format!("{speedup:.2}x"),
+        ]);
+        json_rows.push(format!(
+            "{{\"bench\":\"degraded_read\",\"rho\":{rho},\"serial_ms\":{:.3},\"parallel_ms\":{:.3},\"speedup\":{speedup:.3}}}",
+            ms(serial),
+            ms(parallel)
+        ));
+        bed.stop();
+    }
+
+    // ---- scan readahead ------------------------------------------------
+    {
+        let rho = 4;
+        let bed = TestBed::start();
+        let built = build_table(rho, rho * fragment_bytes);
+        let spec = scatter_spec(rho, 1);
+        let writer = bed.client(16);
+        let meta = write_table(&writer, &built, &spec).expect("write table");
+        let meta_block = read_meta_block(&writer, &meta).expect("meta block");
+        let reader = TableReader::open(&meta_block).expect("open reader");
+        let time_scan = |client: &StocClient, readahead: usize| {
+            let fetcher = ScatteredBlockFetcher::new(client, &meta);
+            let samples: Vec<Duration> = (0..iters)
+                .map(|_| {
+                    let start = Instant::now();
+                    let entries =
+                        collect_entries(&mut reader.iter_with_readahead(&fetcher, readahead)).expect("scan");
+                    assert_eq!(entries.len() as u64, meta.num_entries);
+                    start.elapsed()
+                })
+                .collect();
+            median(samples)
+        };
+        let on_demand = time_scan(&bed.client(1), 0);
+        let prefetched = time_scan(&bed.client(16), 8);
+        let speedup = ms(on_demand) / ms(prefetched).max(1e-9);
+        print_header(
+            "Scan: block readahead through fetch_many",
+            &["rho", "on-demand ms", "readahead-8 ms", "speedup"],
+        );
+        print_row(&[
+            rho.to_string(),
+            format!("{:.2}", ms(on_demand)),
+            format!("{:.2}", ms(prefetched)),
+            format!("{speedup:.2}x"),
+        ]);
+        json_rows.push(format!(
+            "{{\"bench\":\"scan\",\"rho\":{rho},\"serial_ms\":{:.3},\"parallel_ms\":{:.3},\"speedup\":{speedup:.3}}}",
+            ms(on_demand),
+            ms(prefetched)
+        ));
+        bed.stop();
+    }
+
+    println!("\nflush speedup at rho=4 (scatter-gather vs serial): {speedup_at_4:.2}x");
+
+    let json = format!(
+        "{{\"experiment\":\"fig22_scatter_gather\",\"quick\":{quick},\"latency_nanos\":{LATENCY_NANOS},\"rows\":[{}]}}\n",
+        json_rows.join(",")
+    );
+    match std::fs::write("BENCH_scatter.json", &json) {
+        Ok(()) => println!("wrote BENCH_scatter.json"),
+        Err(e) => eprintln!("could not write BENCH_scatter.json: {e}"),
+    }
+}

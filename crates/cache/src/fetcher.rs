@@ -42,6 +42,40 @@ impl BlockFetcher for CachingFetcher<'_> {
         self.cache.insert(key, block.clone());
         Ok(block)
     }
+
+    /// Serve what the cache holds, then fetch only the misses through the
+    /// wrapped fetcher's own `fetch_many` (one concurrent batch against the
+    /// StoCs) and batch-fill the cache with the results. Admission still
+    /// applies per block, so one-touch readahead traffic cannot flush the
+    /// hot set.
+    fn fetch_many(&self, locations: &[BlockLocation]) -> Vec<Result<Bytes>> {
+        let mut out: Vec<Option<Result<Bytes>>> = Vec::with_capacity(locations.len());
+        let mut miss_locations: Vec<BlockLocation> = Vec::new();
+        let mut miss_slots: Vec<(usize, Option<BlockKey>)> = Vec::new();
+        for (i, location) in locations.iter().enumerate() {
+            let key = self.key_for(location);
+            match key.and_then(|k| self.cache.get(&k)) {
+                Some(block) => out.push(Some(Ok(block))),
+                None => {
+                    out.push(None);
+                    miss_locations.push(*location);
+                    miss_slots.push((i, key));
+                }
+            }
+        }
+        if !miss_locations.is_empty() {
+            let fetched = self.inner.fetch_many(&miss_locations);
+            for ((slot, key), result) in miss_slots.into_iter().zip(fetched) {
+                if let (Some(key), Ok(block)) = (key, &result) {
+                    self.cache.insert(key, block.clone());
+                }
+                out[slot] = Some(result);
+            }
+        }
+        out.into_iter()
+            .map(|r| r.expect("every slot filled by hit or miss path"))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -173,6 +207,47 @@ mod tests {
             "a warm full scan must not reach the wrapped fetcher"
         );
         assert_eq!(cache.stats().hits, cold_fetches);
+    }
+
+    #[test]
+    fn fetch_many_serves_hits_and_batch_fills_misses() {
+        let fragment = vec![5u8; 1 << 12];
+        let counting = CountingFetcher {
+            inner: MemoryFetcher::new(vec![fragment]),
+            calls: AtomicU64::new(0),
+        };
+        let cache = BlockCache::new(1 << 20, 2, false);
+        let meta = meta_for_fragments(&[1 << 12]);
+        let caching = CachingFetcher::new(&counting, &cache, &meta);
+        let locations: Vec<BlockLocation> = (0..8)
+            .map(|i| BlockLocation {
+                fragment: 0,
+                offset: i * 256,
+                size: 256,
+            })
+            .collect();
+
+        // Warm up two of the eight blocks through the single-fetch path.
+        caching.fetch(&locations[1]).unwrap();
+        caching.fetch(&locations[4]).unwrap();
+        let warm_calls = counting.calls.load(Ordering::SeqCst);
+        assert_eq!(warm_calls, 2);
+
+        // The batch serves those two from cache and fetches only the misses.
+        let first = caching.fetch_many(&locations);
+        assert!(first.iter().all(|r| r.is_ok()));
+        assert_eq!(counting.calls.load(Ordering::SeqCst), warm_calls + 6);
+
+        // A repeat batch is served entirely from the cache.
+        let second = caching.fetch_many(&locations);
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.as_ref().unwrap(), b.as_ref().unwrap());
+        }
+        assert_eq!(
+            counting.calls.load(Ordering::SeqCst),
+            warm_calls + 6,
+            "warm prefetch window must not reach the StoC path"
+        );
     }
 
     #[test]

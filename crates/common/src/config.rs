@@ -413,6 +413,12 @@ pub struct ClusterConfig {
     pub fabric: FabricConfig,
     /// Per-LTC block cache configuration.
     pub block_cache: CacheConfig,
+    /// Fan-out width of each component's scatter-gather StoC I/O pool: how
+    /// many block transfers (fragment writes/reads, replicas, parity,
+    /// metadata, scan readahead) one flush/read may keep in flight
+    /// concurrently. Width 1 forces the serial fragment-by-fragment
+    /// behaviour (useful as a benchmark baseline).
+    pub stoc_io_parallelism: usize,
     /// Worker threads per StoC that execute storage requests.
     pub stoc_storage_threads: usize,
     /// Worker threads per StoC dedicated to offloaded compactions.
@@ -435,6 +441,7 @@ impl Default for ClusterConfig {
             disk: DiskConfig::default(),
             fabric: FabricConfig::default(),
             block_cache: CacheConfig::default(),
+            stoc_io_parallelism: 8,
             stoc_storage_threads: 4,
             stoc_compaction_threads: 2,
             lease_millis: 1_000,
@@ -468,6 +475,9 @@ impl ClusterConfig {
         }
         if self.num_keys == 0 {
             return Err("num_keys must be non-zero".into());
+        }
+        if self.stoc_io_parallelism == 0 {
+            return Err("stoc_io_parallelism must be at least 1 (1 = serial I/O)".into());
         }
         self.block_cache.validate()?;
         self.range.validate()
@@ -504,6 +514,20 @@ mod tests {
             ..Default::default()
         };
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn zero_io_parallelism_is_rejected() {
+        let c = ClusterConfig {
+            stoc_io_parallelism: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = ClusterConfig {
+            stoc_io_parallelism: 1,
+            ..Default::default()
+        };
+        assert!(c.validate().is_ok());
     }
 
     #[test]

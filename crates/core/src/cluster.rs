@@ -102,7 +102,7 @@ impl NovaCluster {
 
     fn start_stoc_on(&self, stoc: StocId, node: NodeId) -> Result<()> {
         let medium: Arc<dyn StorageMedium> = Arc::new(SimDisk::new(self.config.disk));
-        let server = StocServer::start(
+        let server = StocServer::start_with_io_parallelism(
             stoc,
             node,
             &self.fabric,
@@ -110,6 +110,7 @@ impl NovaCluster {
             medium,
             self.config.stoc_storage_threads + self.config.stoc_compaction_threads,
             self.config.fabric.xchg_threads_per_node,
+            self.config.stoc_io_parallelism,
         );
         self.coordinator.register_stoc(stoc, node);
         self.stoc_servers.lock().insert(stoc, server);
@@ -119,7 +120,8 @@ impl NovaCluster {
     fn build_range_engine(&self, range: RangeId, ltc: LtcId, recover: bool) -> Result<Arc<RangeEngine>> {
         let node = *self.ltc_nodes.read().get(&ltc).ok_or(Error::UnknownLtc(ltc))?;
         let endpoint = self.fabric.endpoint(node);
-        let client = StocClient::new(endpoint, self.directory.clone());
+        let client = StocClient::new(endpoint, self.directory.clone())
+            .with_io_parallelism(self.config.stoc_io_parallelism);
         let range_config = self.config.range.clone();
         let logc = Arc::new(LogC::new(
             client.clone(),
@@ -202,7 +204,7 @@ impl NovaCluster {
     pub fn stoc_ids(&self) -> Vec<StocId> {
         // The *active* configuration: draining StoCs (removed from placement
         // but still serving their existing blocks) are not listed.
-        self.directory.placeable()
+        self.directory.placeable().as_ref().clone()
     }
 
     /// The LTC object with `id`.
@@ -362,7 +364,8 @@ impl NovaCluster {
             .read()
             .get(&destination)
             .ok_or(Error::UnknownLtc(destination))?;
-        let client = StocClient::new(self.fabric.endpoint(node), self.directory.clone());
+        let client = StocClient::new(self.fabric.endpoint(node), self.directory.clone())
+            .with_io_parallelism(self.config.stoc_io_parallelism);
         let range_config = self.config.range.clone();
         let logc = Arc::new(LogC::new(
             client.clone(),

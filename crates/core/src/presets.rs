@@ -78,6 +78,7 @@ pub fn scaled_experiment(num_keys: u64) -> ClusterConfig {
             shards: 16,
             admission: true,
         },
+        stoc_io_parallelism: 8,
         stoc_storage_threads: 4,
         stoc_compaction_threads: 2,
         lease_millis: 1_000,

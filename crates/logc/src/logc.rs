@@ -213,44 +213,28 @@ impl LogC {
         sources.sort_by(|a, b| a.1.cmp(&b.1).then(a.2.cmp(&b.2)));
         sources.dedup_by(|a, b| a.1 == b.1);
 
-        let threads = recovery_threads.max(1);
-        let chunks: Vec<Vec<(StocId, String, bool)>> = {
-            let mut chunks = vec![Vec::new(); threads];
-            for (i, source) in sources.into_iter().enumerate() {
-                chunks[i % threads].push(source);
-            }
-            chunks
-        };
-
+        // One fetch job per log file, fanned out over a pool sized by the
+        // experiment's recovery-thread knob (Figure 17b), not the client's
+        // steady-state I/O width.
         let client = &self.client;
-        let mut all_records: Vec<LogRecord> = Vec::new();
-        let results: Vec<Result<Vec<LogRecord>>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = chunks
+        let pool = nova_stoc::IoPool::new(recovery_threads);
+        let fetched = pool.run_all(
+            sources
                 .into_iter()
-                .map(|chunk| {
-                    scope.spawn(move || -> Result<Vec<LogRecord>> {
-                        let mut records = Vec::new();
-                        for (stoc, name, persistent) in chunk {
-                            let buffer = if persistent {
-                                client.read_log(stoc, &name)?
-                            } else {
-                                let handle = client.get_mem_file(stoc, &name)?;
-                                client.read_mem(&handle, 0, handle.size as usize)?.to_vec()
-                            };
-                            records.extend(parse_records(&buffer)?);
-                        }
-                        Ok(records)
-                    })
+                .map(|(stoc, name, persistent)| {
+                    move || -> Result<Vec<LogRecord>> {
+                        let buffer = if persistent {
+                            client.read_log(stoc, &name)?
+                        } else {
+                            let handle = client.get_mem_file(stoc, &name)?;
+                            client.read_mem(&handle, 0, handle.size as usize)?.to_vec()
+                        };
+                        parse_records(&buffer)
+                    }
                 })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("recovery thread panicked"))
-                .collect()
-        });
-        for r in results {
-            all_records.extend(r?);
-        }
+                .collect(),
+        )?;
+        let all_records: Vec<LogRecord> = fetched.into_iter().flatten().collect();
 
         let mut grouped: HashMap<MemtableId, Vec<LogRecord>> = HashMap::new();
         for record in all_records {

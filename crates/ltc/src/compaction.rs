@@ -114,9 +114,11 @@ pub(crate) fn run_compaction(engine: &Arc<RangeEngine>) -> Result<()> {
     // Output placement respects the engine's placement policy: shared-nothing
     // deployments keep compaction outputs on the local disk, shared-disk
     // deployments spread them across all StoCs.
-    let all_stocs = match engine.placer().policy() {
+    // Hold the directory's cached snapshot (`Arc`) instead of copying it;
+    // the per-job `output_placement` below clones only when a job is built.
+    let all_stocs: std::sync::Arc<Vec<StocId>> = match engine.placer().policy() {
         nova_common::config::PlacementPolicy::LocalOnly => {
-            engine.placer().choose_stocs(1).unwrap_or_default()
+            std::sync::Arc::new(engine.placer().choose_stocs(1).unwrap_or_default())
         }
         // Placement-eligible StoCs only: a draining StoC (removed via
         // `remove_stoc`) keeps serving reads but must stop receiving
@@ -141,7 +143,7 @@ pub(crate) fn run_compaction(engine: &Arc<RangeEngine>) -> Result<()> {
         let output_placement = if all_stocs.is_empty() {
             vec![StocId(0)]
         } else {
-            all_stocs.clone()
+            (*all_stocs).clone()
         };
         let job = CompactionJob {
             range_id: engine.range_id().0,

@@ -82,7 +82,7 @@ impl Placer {
             }
             PlacementPolicy::Random => {
                 let mut rng = self.rng.lock();
-                let mut candidates = all;
+                let mut candidates = (*all).clone();
                 candidates.shuffle(&mut *rng);
                 Ok(candidates.into_iter().take(rho).collect())
             }
@@ -90,7 +90,7 @@ impl Placer {
                 // Peek at the queues of d = 2ρ randomly selected StoCs and
                 // keep the ρ shortest (Section 4.4).
                 let d = (rho * 2).min(all.len());
-                let mut candidates = all;
+                let mut candidates = (*all).clone();
                 {
                     let mut rng = self.rng.lock();
                     candidates.shuffle(&mut *rng);

@@ -60,6 +60,11 @@ pub struct RangeStats {
 /// The result of a scan: at most `limit` live entries in key order.
 pub type ScanResult = Vec<Entry>;
 
+/// Upper bound on how many data blocks a scan prefetches past its cursor per
+/// table; the effective window is the smaller of this and the StoC client's
+/// I/O parallelism. Bounds wasted reads when a scan stops early.
+const MAX_SCAN_READAHEAD_BLOCKS: usize = 8;
+
 /// State owned by one Drange: its active memtable and immutable memtables.
 #[derive(Debug)]
 struct DrangeState {
@@ -116,6 +121,11 @@ pub struct RangeEngine {
     task_tx: Sender<BackgroundTask>,
     task_rx: Receiver<BackgroundTask>,
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Generation counter + condvar that wake stalled writers the moment a
+    /// flush or compaction completes, instead of a sleep-poll loop. Uses the
+    /// std primitives because the vendored `parking_lot` shim has no condvar.
+    progress_gate: std::sync::Mutex<u64>,
+    progress_cv: std::sync::Condvar,
     shutdown: AtomicBool,
     compaction_scheduled: AtomicBool,
     /// Serializes compaction rounds: two concurrent rounds would compute
@@ -269,6 +279,8 @@ impl RangeEngine {
             task_tx,
             task_rx,
             workers: Mutex::new(Vec::new()),
+            progress_gate: std::sync::Mutex::new(0),
+            progress_cv: std::sync::Condvar::new(),
             shutdown: AtomicBool::new(false),
             compaction_scheduled: AtomicBool::new(false),
             compaction_mutex: Mutex::new(()),
@@ -509,6 +521,11 @@ impl RangeEngine {
         let stall_start = Instant::now();
         let mut stalled = false;
         loop {
+            // Snapshot the progress generation before inspecting state: if a
+            // flush or compaction completes between the inspection below and
+            // the wait, the generation has moved and the wait returns
+            // immediately instead of missing the wakeup.
+            let observed_progress = *self.progress_gate.lock().expect("progress gate poisoned");
             {
                 let mut state = self.write_state.write();
                 if drange_idx >= state.states.len() {
@@ -578,8 +595,32 @@ impl RangeEngine {
             if self.shutdown.load(Ordering::SeqCst) {
                 return Err(Error::ShuttingDown);
             }
-            std::thread::sleep(Duration::from_micros(500));
+            self.wait_for_progress(observed_progress);
         }
+    }
+
+    /// Block until the progress generation advances past `observed` (a flush
+    /// or compaction completed, or shutdown began). The timeout is a safety
+    /// net, not a poll interval: in the normal case the notify wakes the
+    /// writer immediately.
+    fn wait_for_progress(&self, observed: u64) {
+        let mut gen = self.progress_gate.lock().expect("progress gate poisoned");
+        while *gen == observed && !self.shutdown.load(Ordering::SeqCst) {
+            let (guard, timeout) = self
+                .progress_cv
+                .wait_timeout(gen, Duration::from_millis(20))
+                .expect("progress gate poisoned");
+            gen = guard;
+            if timeout.timed_out() {
+                break;
+            }
+        }
+    }
+
+    /// Record that background work finished and wake every stalled writer.
+    fn notify_progress(&self) {
+        *self.progress_gate.lock().expect("progress gate poisoned") += 1;
+        self.progress_cv.notify_all();
     }
 
     /// Periodically check whether the Drange layout needs rebalancing
@@ -662,6 +703,8 @@ impl RangeEngine {
                             eprintln!("nova-ltc: flush of {} failed: {e}", memtable.id());
                         }
                     }
+                    // Immutable quota may have freed up; wake stalled writers.
+                    self.notify_progress();
                 }
                 Ok(BackgroundTask::Compaction) => {
                     self.compaction_scheduled.store(false, Ordering::SeqCst);
@@ -670,6 +713,8 @@ impl RangeEngine {
                             eprintln!("nova-ltc: compaction failed: {e}");
                         }
                     }
+                    // Level 0 may have shrunk below the stall threshold.
+                    self.notify_progress();
                 }
                 Ok(BackgroundTask::Shutdown) => return,
                 Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
@@ -1165,12 +1210,21 @@ impl RangeEngine {
         for memtable in &memtables {
             children.push(Child::Mem(VecIterator::new(memtable.iter().collect())));
         }
+        // Prefetch ahead of each table's cursor so scan block reads travel
+        // to the StoCs as one concurrent batch (and pre-populate the block
+        // cache when it is enabled). Width follows the client's I/O pool; at
+        // width 1 the batch would be fetched serially anyway, so stay on
+        // strict on-demand fetching.
+        let readahead = match self.client.io_parallelism() {
+            0 | 1 => 0,
+            parallelism => parallelism.min(MAX_SCAN_READAHEAD_BLOCKS),
+        };
         for (i, (reader, _)) in readers.iter().enumerate() {
             let fetcher: &dyn BlockFetcher = match caching_fetchers.get(i) {
                 Some(caching) => caching,
                 None => &fetchers[i],
             };
-            children.push(Child::Table(reader.iter(fetcher)));
+            children.push(Child::Table(reader.iter_with_readahead(fetcher, readahead)));
         }
         let mut merged = MergingIterator::new(children);
         merged.seek(start_key)?;
@@ -1365,6 +1419,9 @@ impl RangeEngine {
     /// and logs allow recovery).
     pub fn shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock writers waiting in the stall loop so they can observe the
+        // shutdown flag.
+        self.notify_progress();
         for _ in 0..self.config.compaction_threads.max(1) {
             let _ = self.task_tx.send(BackgroundTask::Shutdown);
         }
@@ -1671,6 +1728,41 @@ mod tests {
             "the engine must report write stalls when configured not to block"
         );
         assert!(engine.stats().stalls.get() > 0);
+        engine.shutdown();
+        cluster.stop();
+    }
+
+    #[test]
+    fn stalled_writers_are_woken_by_flush_completion() {
+        let cluster = TestCluster::new(2);
+        let mut config = small_config();
+        // One active + one immutable memtable per Drange: rotation stalls as
+        // soon as a flush falls behind, so writers exercise the condvar wait
+        // path instead of returning immediately.
+        config.num_dranges = 2;
+        config.active_memtables = 2;
+        config.max_memtables = 4;
+        config.memtable_size_bytes = 4 * 1024;
+        config.unique_key_flush_threshold = 1;
+        let engine = engine_with(&cluster, config, 100_000);
+        let start = Instant::now();
+        for i in 0..4_000u64 {
+            engine
+                .put(&encode_key(i % 500), vec![b'y'; 64].as_slice())
+                .unwrap();
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(20),
+            "writers stalled without being woken"
+        );
+        assert!(
+            engine.stats().stalls.get() > 0,
+            "configuration was expected to force at least one stall"
+        );
+        // Every write is still readable after the stalls.
+        for i in 0..500u64 {
+            assert!(engine.get(&encode_key(i)).is_ok());
+        }
         engine.shutdown();
         cluster.stop();
     }

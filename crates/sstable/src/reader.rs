@@ -21,6 +21,15 @@ use nova_common::{Error, Result, SequenceNumber, ValueType};
 pub trait BlockFetcher: Send + Sync {
     /// Fetch the raw bytes of the block at `location`.
     fn fetch(&self, location: &BlockLocation) -> Result<Bytes>;
+
+    /// Fetch a batch of blocks, returning each block's individual outcome in
+    /// input order. The default fetches serially; fetchers backed by remote
+    /// storage override this to issue the batch concurrently (scans use it
+    /// to read ahead of the cursor), and caching decorators override it to
+    /// batch-fill the cache on miss.
+    fn fetch_many(&self, locations: &[BlockLocation]) -> Vec<Result<Bytes>> {
+        locations.iter().map(|location| self.fetch(location)).collect()
+    }
 }
 
 /// A [`BlockFetcher`] over in-memory fragments — used by tests, by
@@ -159,12 +168,28 @@ impl TableReader {
 
     /// Create an iterator over the whole table.
     pub fn iter<'a>(&'a self, fetcher: &'a dyn BlockFetcher) -> TableIterator<'a> {
+        self.iter_with_readahead(fetcher, 0)
+    }
+
+    /// Create an iterator that prefetches up to `readahead` data blocks past
+    /// the cursor through [`BlockFetcher::fetch_many`]. With a scatter-
+    /// gather fetcher the window's blocks are fetched concurrently, so a
+    /// sequential scan pays ~one round trip per window instead of one per
+    /// block; with a caching fetcher the window also lands in the block
+    /// cache. `readahead == 0` fetches strictly on demand.
+    pub fn iter_with_readahead<'a>(
+        &'a self,
+        fetcher: &'a dyn BlockFetcher,
+        readahead: usize,
+    ) -> TableIterator<'a> {
         TableIterator {
             reader: self,
             fetcher,
             index_iter_pos: None,
             current: Vec::new(),
             current_pos: 0,
+            readahead,
+            prefetched: Vec::new(),
         }
     }
 }
@@ -179,24 +204,63 @@ pub struct TableIterator<'a> {
     index_iter_pos: Option<usize>,
     current: Vec<Entry>,
     current_pos: usize,
+    /// How many blocks past the cursor to prefetch (0 = on demand).
+    readahead: usize,
+    /// Raw prefetched blocks keyed by ordinal, awaiting consumption.
+    prefetched: Vec<(usize, Bytes)>,
 }
 
 impl<'a> TableIterator<'a> {
-    fn load_block_at_index(&mut self, ordinal: usize) -> Result<bool> {
+    /// The block locations for ordinals `[start, start + count)`, in order
+    /// (shorter when the table ends first).
+    fn locations_from(&self, start: usize, count: usize) -> Result<Vec<BlockLocation>> {
+        let mut out = Vec::with_capacity(count);
         let mut it = self.reader.index.iter();
         it.seek_to_first()?;
         let mut i = 0;
-        while it.valid() && i < ordinal {
+        while it.valid() && out.len() < count {
+            if i >= start {
+                let (location, _) = BlockLocation::decode(it.value())?;
+                out.push(location);
+            }
             it.next()?;
             i += 1;
         }
-        if !it.valid() {
-            self.current.clear();
-            self.current_pos = 0;
-            return Ok(false);
-        }
-        let (location, _) = BlockLocation::decode(it.value())?;
-        let bytes = self.fetcher.fetch(&location)?;
+        Ok(out)
+    }
+
+    /// Load the data block at `ordinal`. `sequential` is true when the
+    /// cursor advanced into this block from its predecessor — only then is
+    /// the readahead window opened, so a seek for a short limited scan pays
+    /// one block read, not a speculative window per table.
+    fn load_block_at_index(&mut self, ordinal: usize, sequential: bool) -> Result<bool> {
+        let bytes = match self
+            .prefetched
+            .iter()
+            .position(|&(prefetched_ordinal, _)| prefetched_ordinal == ordinal)
+        {
+            Some(pos) => self.prefetched.swap_remove(pos).1,
+            None => {
+                let want = if sequential { 1 + self.readahead } else { 1 };
+                let locations = self.locations_from(ordinal, want)?;
+                if locations.is_empty() {
+                    self.current.clear();
+                    self.current_pos = 0;
+                    return Ok(false);
+                }
+                let mut results = self.fetcher.fetch_many(&locations).into_iter();
+                let first = results.next().expect("one result per location")?;
+                // Stash the rest of the window; a prefetch failure is not an
+                // error until (unless) the cursor actually reaches the block.
+                self.prefetched.clear();
+                for (offset, result) in results.enumerate() {
+                    if let Ok(block) = result {
+                        self.prefetched.push((ordinal + 1 + offset, block));
+                    }
+                }
+                first
+            }
+        };
         let block = Block::decode(&bytes)?;
         self.current = decode_block_entries(&block)?;
         self.current_pos = 0;
@@ -241,7 +305,7 @@ impl EntryIterator for TableIterator<'_> {
 
     fn seek_to_first(&mut self) -> Result<()> {
         self.index_iter_pos = Some(0);
-        self.load_block_at_index(0)?;
+        self.load_block_at_index(0, false)?;
         Ok(())
     }
 
@@ -267,7 +331,7 @@ impl EntryIterator for TableIterator<'_> {
             return Ok(());
         }
         self.index_iter_pos = Some(ordinal);
-        self.load_block_at_index(ordinal)?;
+        self.load_block_at_index(ordinal, false)?;
         self.current_pos = self.current.partition_point(|e| e.key.as_ref() < user_key);
         if self.current_pos >= self.current.len() {
             // The target falls after every key in this block; advance.
@@ -299,7 +363,7 @@ impl TableIterator<'_> {
             return Ok(());
         }
         self.index_iter_pos = Some(pos);
-        self.load_block_at_index(pos)?;
+        self.load_block_at_index(pos, true)?;
         Ok(())
     }
 }
@@ -407,6 +471,103 @@ mod tests {
         it.seek(b"a").unwrap();
         assert!(it.valid());
         assert_eq!(it.entry().key.as_ref(), b"key-000000");
+    }
+
+    /// Delegates to a [`MemoryFetcher`] while recording the size of every
+    /// batch that reaches `fetch_many` (a plain `fetch` records a batch of
+    /// one).
+    struct BatchRecordingFetcher {
+        inner: MemoryFetcher,
+        batches: std::sync::Mutex<Vec<usize>>,
+    }
+
+    impl BlockFetcher for BatchRecordingFetcher {
+        fn fetch(&self, location: &BlockLocation) -> Result<Bytes> {
+            self.batches.lock().unwrap().push(1);
+            self.inner.fetch(location)
+        }
+
+        fn fetch_many(&self, locations: &[BlockLocation]) -> Vec<Result<Bytes>> {
+            self.batches.lock().unwrap().push(locations.len());
+            self.inner.fetch_many(locations)
+        }
+    }
+
+    #[test]
+    fn readahead_scan_matches_on_demand_scan_across_block_boundaries() {
+        let (reader, fetcher, entries) = build_table(1000, 4);
+        let on_demand = collect_entries(&mut reader.iter(&fetcher)).unwrap();
+        assert_eq!(on_demand, entries);
+        for readahead in [1usize, 3, 7, 64] {
+            let prefetched = collect_entries(&mut reader.iter_with_readahead(&fetcher, readahead)).unwrap();
+            assert_eq!(prefetched, entries, "readahead {readahead} changed scan results");
+        }
+    }
+
+    #[test]
+    fn readahead_seek_and_resume_stays_correct() {
+        let (reader, fetcher, _) = build_table(1000, 4);
+        let mut it = reader.iter_with_readahead(&fetcher, 4);
+        it.seek(b"key-000500").unwrap();
+        for i in 500..520 {
+            assert!(it.valid());
+            assert_eq!(it.entry().key.as_ref(), format!("key-{i:06}").as_bytes());
+            it.next().unwrap();
+        }
+        // Seeking backwards discards the stale prefetch window.
+        it.seek(b"key-000010").unwrap();
+        assert_eq!(it.entry().key.as_ref(), b"key-000010");
+        it.seek(b"zzz").unwrap();
+        assert!(!it.valid());
+    }
+
+    #[test]
+    fn readahead_batches_block_fetches_instead_of_fetching_one_by_one() {
+        let (_, fetcher, entries) = build_table(1000, 4);
+        let recording = BatchRecordingFetcher {
+            inner: fetcher,
+            batches: std::sync::Mutex::new(Vec::new()),
+        };
+        // Rebuild a reader over the same fragments.
+        let (reader, _, _) = build_table(1000, 4);
+
+        let collected = collect_entries(&mut reader.iter(&recording)).unwrap();
+        assert_eq!(collected, entries);
+        let on_demand_batches = std::mem::take(&mut *recording.batches.lock().unwrap());
+        let num_blocks = on_demand_batches.len();
+        assert!(num_blocks > 8, "table too small to exercise readahead");
+        // On-demand iteration touches the fetcher once per block…
+        assert!(on_demand_batches.iter().all(|&batch| batch == 1));
+
+        let readahead = 4usize;
+        let collected = collect_entries(&mut reader.iter_with_readahead(&recording, readahead)).unwrap();
+        assert_eq!(collected, entries);
+        let prefetch_batches = std::mem::take(&mut *recording.batches.lock().unwrap());
+        // …while readahead asks for full windows and therefore issues far
+        // fewer fetch round trips.
+        assert!(
+            prefetch_batches.len() <= num_blocks / readahead + 2,
+            "expected ~1 batch per {} blocks, got {} batches for {} blocks",
+            readahead + 1,
+            prefetch_batches.len(),
+            num_blocks
+        );
+        assert!(prefetch_batches.iter().any(|&batch| batch == readahead + 1));
+        assert_eq!(prefetch_batches.iter().sum::<usize>(), num_blocks);
+        // The first load (a seek, not a sequential advance) must not open a
+        // speculative window: short limited scans pay one block per table.
+        assert_eq!(prefetch_batches[0], 1);
+
+        // A short seek-then-read-a-few scan stays cheap under readahead.
+        let mut it = reader.iter_with_readahead(&recording, readahead);
+        it.seek(b"key-000100").unwrap();
+        assert!(it.valid());
+        let seek_batches = std::mem::take(&mut *recording.batches.lock().unwrap());
+        assert_eq!(
+            seek_batches,
+            vec![1],
+            "a seek must fetch exactly the sought block"
+        );
     }
 
     #[test]

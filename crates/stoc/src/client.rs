@@ -1,13 +1,15 @@
 //! The StoC client used by LTCs, LogCs and by StoCs themselves (during
 //! offloaded compaction) to store, retrieve and manage blocks.
 
+use crate::io_pool::IoPool;
 use crate::message::{StocRequest, StocResponse};
 use bytes::Bytes;
 use nova_common::{Error, NodeId, Result, StocBlockHandle, StocFileId, StocId};
 use nova_fabric::{Endpoint, RegionId};
 use nova_sstable::SstableMeta;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Maps StoC ids to the fabric nodes hosting them. Shared by every component
@@ -16,6 +18,13 @@ use std::sync::Arc;
 #[derive(Debug, Clone, Default)]
 pub struct StocDirectory {
     inner: Arc<RwLock<HashMap<StocId, DirectoryEntry>>>,
+    /// Bumped on every membership mutation; invalidates `placeable_cache`.
+    generation: Arc<AtomicU64>,
+    /// The placement-eligible StoC list is consulted on every placement
+    /// decision (flush, compaction output, log-file creation) but mutates
+    /// only when the cluster scales, so it is computed once per membership
+    /// generation instead of allocate-and-sort per call.
+    placeable_cache: Arc<Mutex<(u64, Arc<Vec<StocId>>)>>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -44,6 +53,7 @@ impl StocDirectory {
                 placeable: true,
             },
         );
+        self.generation.fetch_add(1, Ordering::Release);
     }
 
     /// Remove a StoC from the directory entirely. Blocks stored there become
@@ -51,6 +61,7 @@ impl StocDirectory {
     /// [`StocDirectory::set_placeable`] instead.
     pub fn remove(&self, stoc: StocId) {
         self.inner.write().remove(&stoc);
+        self.generation.fetch_add(1, Ordering::Release);
     }
 
     /// Mark a StoC as (non-)placeable. A draining StoC keeps serving reads
@@ -59,6 +70,7 @@ impl StocDirectory {
         if let Some(entry) = self.inner.write().get_mut(&stoc) {
             entry.placeable = placeable;
         }
+        self.generation.fetch_add(1, Ordering::Release);
     }
 
     /// The node hosting `stoc`.
@@ -78,8 +90,19 @@ impl StocDirectory {
         v
     }
 
-    /// The StoCs placement policies may choose for new SSTables, in id order.
-    pub fn placeable(&self) -> Vec<StocId> {
+    /// The StoCs placement policies may choose for new SSTables, in id
+    /// order. Cached per membership generation: placement decisions happen
+    /// on every flush and compaction while membership changes only when the
+    /// cluster scales, so this is a cache hit (one lock, one `Arc` clone)
+    /// almost always.
+    pub fn placeable(&self) -> Arc<Vec<StocId>> {
+        let generation = self.generation.load(Ordering::Acquire);
+        {
+            let cached = self.placeable_cache.lock();
+            if cached.0 == generation {
+                return Arc::clone(&cached.1);
+            }
+        }
         let mut v: Vec<StocId> = self
             .inner
             .read()
@@ -88,7 +111,14 @@ impl StocDirectory {
             .map(|(s, _)| *s)
             .collect();
         v.sort();
-        v
+        let fresh = Arc::new(v);
+        let mut cached = self.placeable_cache.lock();
+        // Another thread may have rebuilt for a newer generation while we
+        // sorted; keep whichever snapshot is newest.
+        if cached.0 <= generation {
+            *cached = (generation, Arc::clone(&fresh));
+        }
+        fresh
     }
 
     /// Number of placement-eligible StoCs (the paper's β).
@@ -135,18 +165,70 @@ pub struct StocStats {
     pub num_files: u64,
 }
 
+/// A pool of pre-registered scratch regions reused across block reads.
+///
+/// Registering a fabric region takes the node's region-table lock and
+/// allocates a zeroed buffer; doing that (plus the matching deregister) on
+/// every single `read_block_at` — cached or not — was measurable directory
+/// churn on the hot read path. Instead each client keeps a small pool of
+/// registered regions and checks one out per in-flight read. When the last
+/// clone of the owning client drops, the pooled regions are deregistered so
+/// client churn (range migration, LTC removal) cannot strand registered
+/// memory on the node.
+#[derive(Debug)]
+struct ScratchRegions {
+    endpoint: Endpoint,
+    free: Mutex<Vec<(RegionId, usize)>>,
+}
+
+impl Drop for ScratchRegions {
+    fn drop(&mut self) {
+        for (region, _) in self.free.get_mut().drain(..) {
+            self.endpoint.deregister_region(region);
+        }
+    }
+}
+
+/// Scratch regions are registered with at least this capacity so that the
+/// common case (data blocks ≤ a few times the configured block size) always
+/// reuses a pooled region instead of growing a fresh one.
+const MIN_SCRATCH_BYTES: usize = 64 << 10;
+
+/// Upper bound on pooled scratch regions per client. Covers the deepest
+/// fan-out a single batch issues; excess regions are deregistered on release.
+const MAX_POOLED_SCRATCH: usize = 32;
+
 /// A client for issuing block operations against StoCs.
 #[derive(Debug, Clone)]
 pub struct StocClient {
     endpoint: Endpoint,
     directory: StocDirectory,
+    io: IoPool,
+    scratch: Arc<ScratchRegions>,
 }
 
 impl StocClient {
     /// Create a client that issues verbs through `endpoint` and resolves
-    /// StoCs through `directory`.
+    /// StoCs through `directory`, with the default I/O fan-out width.
     pub fn new(endpoint: Endpoint, directory: StocDirectory) -> Self {
-        StocClient { endpoint, directory }
+        let scratch = Arc::new(ScratchRegions {
+            endpoint: endpoint.clone(),
+            free: Mutex::new(Vec::new()),
+        });
+        StocClient {
+            endpoint,
+            directory,
+            io: IoPool::default(),
+            scratch,
+        }
+    }
+
+    /// Set the scatter-gather fan-out width used by the batch APIs
+    /// ([`StocClient::write_blocks`], [`StocClient::read_blocks`], …).
+    /// Width 1 makes every batch run serially in submission order.
+    pub fn with_io_parallelism(mut self, parallelism: usize) -> Self {
+        self.io = IoPool::new(parallelism);
+        self
     }
 
     /// The directory used to resolve StoC locations.
@@ -157,6 +239,42 @@ impl StocClient {
     /// The fabric endpoint this client issues verbs through.
     pub fn endpoint(&self) -> &Endpoint {
         &self.endpoint
+    }
+
+    /// The fan-out pool used for scatter-gather batches.
+    pub fn io_pool(&self) -> &IoPool {
+        &self.io
+    }
+
+    /// The configured fan-out width.
+    pub fn io_parallelism(&self) -> usize {
+        self.io.parallelism()
+    }
+
+    /// Check a registered scratch region of at least `len` bytes out of the
+    /// pool, registering a fresh one only when the pool has none big enough.
+    fn acquire_scratch(&self, len: usize) -> (RegionId, usize) {
+        {
+            let mut free = self.scratch.free.lock();
+            if let Some(pos) = free.iter().position(|&(_, capacity)| capacity >= len) {
+                return free.swap_remove(pos);
+            }
+        }
+        let capacity = len.max(MIN_SCRATCH_BYTES).next_power_of_two();
+        (self.endpoint.register_region(capacity), capacity)
+    }
+
+    /// Return a scratch region to the pool (or deregister it when the pool
+    /// is full).
+    fn release_scratch(&self, region: RegionId, capacity: usize) {
+        {
+            let mut free = self.scratch.free.lock();
+            if free.len() < MAX_POOLED_SCRATCH {
+                free.push((region, capacity));
+                return;
+            }
+        }
+        self.endpoint.deregister_region(region);
     }
 
     fn call(&self, stoc: StocId, request: &StocRequest) -> Result<StocResponse> {
@@ -210,9 +328,10 @@ impl StocClient {
     }
 
     /// Read `len` bytes at `offset` of `file` on `stoc`. The StoC pushes the
-    /// data into a locally registered region via one-sided write.
+    /// data into a locally registered scratch region (reused across reads)
+    /// via one-sided write.
     pub fn read_block_at(&self, stoc: StocId, file: StocFileId, offset: u64, len: usize) -> Result<Bytes> {
-        let client_region = self.endpoint.register_region(len.max(1));
+        let (client_region, capacity) = self.acquire_scratch(len.max(1));
         let result = (|| match self.call(
             stoc,
             &StocRequest::ReadBlock {
@@ -230,8 +349,73 @@ impl StocClient {
                 "unexpected response to read: {other:?}"
             ))),
         })();
-        self.endpoint.deregister_region(client_region);
+        match &result {
+            // A successful reply proves the server's one-sided write landed
+            // before it responded, so the region is quiescent and safe to
+            // pool.
+            Ok(_) => self.release_scratch(client_region, capacity),
+            // After a failure (e.g. an RPC timeout) the server may still be
+            // mid-request and write into this region later. Deregister it —
+            // never pool it — so a late write lands on an unknown region
+            // (harmless error at the server) instead of corrupting whichever
+            // read reacquired the region.
+            Err(_) => {
+                self.endpoint.deregister_region(client_region);
+            }
+        }
         result
+    }
+
+    // ---- scatter-gather batch interface ------------------------------------
+
+    /// Write a batch of blocks concurrently, one [`StocClient::write_block`]
+    /// workflow per entry, fanned out across the I/O pool. Handles come back
+    /// in submission order; the first failure fails the batch fast — writes
+    /// already started run to completion (nothing is abandoned mid-verb),
+    /// no new write starts once the failure is recorded, and nothing is
+    /// left in flight when the error returns.
+    pub fn write_blocks(&self, writes: &[(StocId, &[u8])]) -> Result<Vec<StocBlockHandle>> {
+        self.io.run_all(
+            writes
+                .iter()
+                .map(|&(stoc, data)| move || self.write_block(stoc, data))
+                .collect(),
+        )
+    }
+
+    /// Read a batch of blocks concurrently through their handles, in
+    /// submission order, failing fast like [`StocClient::write_blocks`].
+    pub fn read_blocks(&self, handles: &[StocBlockHandle]) -> Result<Vec<Bytes>> {
+        self.io.run_all(
+            handles
+                .iter()
+                .map(|handle| move || self.read_block(handle))
+                .collect(),
+        )
+    }
+
+    /// Read a batch of byte ranges concurrently, returning each range's
+    /// individual outcome (prefetchers tolerate per-block failures where a
+    /// whole-batch error would be wrong).
+    pub fn read_blocks_at(&self, reads: &[(StocId, StocFileId, u64, usize)]) -> Vec<Result<Bytes>> {
+        self.io.run(
+            reads
+                .iter()
+                .map(|&(stoc, file, offset, len)| move || self.read_block_at(stoc, file, offset, len))
+                .collect(),
+        )
+    }
+
+    /// Delete a batch of persistent files concurrently. Best-effort like the
+    /// single-file path's callers expect: individual failures are reported,
+    /// not short-circuited.
+    pub fn delete_files(&self, files: &[(StocId, StocFileId)]) -> Vec<Result<()>> {
+        self.io.run(
+            files
+                .iter()
+                .map(|&(stoc, file)| move || self.delete_file(stoc, file))
+                .collect(),
+        )
     }
 
     /// Delete a persistent file.
@@ -504,18 +688,40 @@ mod tests {
         let d = StocDirectory::new();
         d.register(StocId(0), NodeId(1));
         d.register(StocId(1), NodeId(2));
-        assert_eq!(d.placeable(), vec![StocId(0), StocId(1)]);
+        assert_eq!(*d.placeable(), vec![StocId(0), StocId(1)]);
 
         d.set_placeable(StocId(1), false);
         // Existing blocks stay readable: the node still resolves…
         assert_eq!(d.node_of(StocId(1)).unwrap(), NodeId(2));
         assert_eq!(d.all(), vec![StocId(0), StocId(1)]);
         // …but placement stops choosing it.
-        assert_eq!(d.placeable(), vec![StocId(0)]);
+        assert_eq!(*d.placeable(), vec![StocId(0)]);
         assert_eq!(d.num_placeable(), 1);
 
         // Re-registering brings it back.
         d.register(StocId(1), NodeId(2));
-        assert_eq!(d.placeable(), vec![StocId(0), StocId(1)]);
+        assert_eq!(*d.placeable(), vec![StocId(0), StocId(1)]);
+    }
+
+    #[test]
+    fn placeable_cache_tracks_membership_generations() {
+        let d = StocDirectory::new();
+        assert!(d.placeable().is_empty());
+        d.register(StocId(2), NodeId(1));
+        d.register(StocId(0), NodeId(2));
+        let first = d.placeable();
+        assert_eq!(*first, vec![StocId(0), StocId(2)]);
+        // A repeated call at the same generation returns the same snapshot.
+        assert!(Arc::ptr_eq(&first, &d.placeable()));
+        // Every mutation invalidates: register, set_placeable, remove.
+        d.set_placeable(StocId(2), false);
+        assert_eq!(*d.placeable(), vec![StocId(0)]);
+        d.register(StocId(1), NodeId(3));
+        assert_eq!(*d.placeable(), vec![StocId(0), StocId(1)]);
+        d.remove(StocId(0));
+        assert_eq!(*d.placeable(), vec![StocId(1)]);
+        // Clones observe the same cache.
+        let clone = d.clone();
+        assert!(Arc::ptr_eq(&d.placeable(), &clone.placeable()));
     }
 }

@@ -145,14 +145,17 @@ impl CompactionJob {
 }
 
 /// Read every entry of an input table into memory (the "pre-fetch" step of
-/// the paper's offloaded compaction).
+/// the paper's offloaded compaction). The table's ρ fragments live on
+/// distinct StoCs, so they are gathered concurrently through the client's
+/// I/O pool.
 pub fn load_table_entries(client: &StocClient, meta: &SstableMeta) -> Result<Vec<Entry>> {
     let meta_block = read_meta_block(client, meta)?;
     let reader = TableReader::open(&meta_block)?;
-    let mut fragments = Vec::with_capacity(meta.fragments.len());
-    for i in 0..meta.fragments.len() {
-        fragments.push(read_fragment(client, meta, i)?);
-    }
+    let fragments = client.io_pool().run_all(
+        (0..meta.fragments.len())
+            .map(|i| move || read_fragment(client, meta, i))
+            .collect(),
+    )?;
     let fetcher = MemoryFetcher::new(fragments);
     let mut iter = reader.iter(&fetcher);
     collect_entries(&mut iter)
@@ -174,7 +177,12 @@ pub fn execute_compaction(client: &StocClient, job: &CompactionJob) -> Result<Ve
             "compaction job has no output placement".into(),
         ));
     }
-    // Pre-fetch and wrap each input.
+    // Pre-fetch and wrap each input, in the job's newer-shadows-older order.
+    // Inputs are loaded one at a time on purpose: `load_table_entries`
+    // already fans each table's fragments out across the I/O pool, and
+    // fanning out here too would multiply in-flight transfers to
+    // parallelism², blowing past the `stoc_io_parallelism` bound and
+    // spiking the disk queues that power-of-d placement samples.
     let mut children = Vec::with_capacity(job.inputs.len());
     for meta in &job.inputs {
         children.push(VecIterator::new(load_table_entries(client, meta)?));

@@ -1,0 +1,335 @@
+//! A small scoped-thread fan-out pool for scatter-gather StoC I/O.
+//!
+//! Nova-LSM's performance model (Section 4.4, Figure 10) assumes the ρ
+//! fragments of an SSTable move to/from StoCs *concurrently*, so the latency
+//! of a flush approaches `max(fragment transfer)` instead of
+//! `sum(fragment transfers)`. The fabric and StoC servers are already fully
+//! concurrent; what serialized transfers was the client looping over blocks
+//! one RPC at a time. [`IoPool`] closes that gap: callers hand it a batch of
+//! independent I/O jobs and it fans them out across scoped threads (the same
+//! pattern `LogC::recover_range` uses for parallel log fetch), returning the
+//! per-job results in submission order.
+//!
+//! There is no async runtime available (the build is fully offline), and the
+//! simulated RDMA verbs block the calling thread when `simulate_delay` is on,
+//! so real threads are the correct concurrency primitive here. Threads are
+//! scoped — spawned for the duration of one batch — which keeps the pool
+//! trivially correct (no work queue to shut down, borrows of the caller's
+//! stack are allowed in jobs) at the cost of a thread spawn per concurrent
+//! job, which is noise next to even one simulated network round trip.
+
+use nova_common::Result;
+
+/// Default fan-out width used when a client is constructed without an
+/// explicit [`ClusterConfig::stoc_io_parallelism`](nova_common::config::ClusterConfig)
+/// value.
+pub const DEFAULT_IO_PARALLELISM: usize = 8;
+
+/// A fixed-width fan-out pool for independent, blocking I/O jobs.
+///
+/// `parallelism == 1` degenerates to running the jobs inline, in submission
+/// order, on the caller's thread — exactly the serial behaviour the batch
+/// APIs replaced. Benchmarks and equivalence tests use that to compare the
+/// serial and parallel paths through one code path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IoPool {
+    parallelism: usize,
+}
+
+impl Default for IoPool {
+    fn default() -> Self {
+        IoPool::new(DEFAULT_IO_PARALLELISM)
+    }
+}
+
+impl IoPool {
+    /// Create a pool that runs at most `parallelism` jobs concurrently
+    /// (clamped to at least 1).
+    pub fn new(parallelism: usize) -> Self {
+        IoPool {
+            parallelism: parallelism.max(1),
+        }
+    }
+
+    /// The configured fan-out width.
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
+    }
+
+    /// Run every job, returning the results in submission order.
+    ///
+    /// Every job runs even when a sibling fails: the callers of this method
+    /// (prefetch, batch delete) want the complete per-job outcome, not an
+    /// abort. Use [`IoPool::run_all`] for all-or-nothing batches.
+    pub fn run<T, F>(&self, jobs: Vec<F>) -> Vec<Result<T>>
+    where
+        T: Send,
+        F: FnOnce() -> Result<T> + Send,
+    {
+        let n = jobs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = self.parallelism.min(n);
+        if workers <= 1 {
+            return jobs.into_iter().map(|job| job()).collect();
+        }
+        let slots = self.fan_out(jobs, workers, None);
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("every job ran to completion"))
+            .collect()
+    }
+
+    /// Run the jobs and collect the results, failing fast on the first
+    /// error: jobs already started run to completion (no half-issued
+    /// transfer is abandoned mid-verb), but no *new* job starts once a
+    /// failure is recorded. The first error in submission order is
+    /// returned; there is nothing left in flight when it is.
+    pub fn run_all<T, F>(&self, jobs: Vec<F>) -> Result<Vec<T>>
+    where
+        T: Send,
+        F: FnOnce() -> Result<T> + Send,
+    {
+        let n = jobs.len();
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        let workers = self.parallelism.min(n);
+        if workers <= 1 {
+            let mut out = Vec::with_capacity(n);
+            for job in jobs {
+                out.push(job()?);
+            }
+            return Ok(out);
+        }
+        let failed = std::sync::atomic::AtomicBool::new(false);
+        let slots = self.fan_out(jobs, workers, Some(&failed));
+        let mut out = Vec::with_capacity(n);
+        for slot in slots {
+            match slot.into_inner() {
+                Some(Ok(value)) => out.push(value),
+                Some(Err(e)) => return Err(e),
+                // Only a suffix of never-started jobs can be empty, and only
+                // after an earlier slot recorded the error returned above.
+                None => {
+                    return Err(nova_common::Error::Unavailable(
+                        "batch aborted after a sibling I/O failure".into(),
+                    ))
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Fan `jobs` out over `workers` scoped threads, filling one result slot
+    /// per job. When `abort` is provided, a failed job sets it and workers
+    /// stop pulling new jobs (started jobs always finish).
+    fn fan_out<T, F>(
+        &self,
+        jobs: Vec<F>,
+        workers: usize,
+        abort: Option<&std::sync::atomic::AtomicBool>,
+    ) -> Vec<parking_lot::Mutex<Option<Result<T>>>>
+    where
+        T: Send,
+        F: FnOnce() -> Result<T> + Send,
+    {
+        use std::sync::atomic::Ordering;
+        let n = jobs.len();
+        // Feed (index, job) pairs through a shared queue so fast workers
+        // steal remaining jobs instead of idling behind a static partition.
+        let (tx, rx) = crossbeam::channel::unbounded();
+        for pair in jobs.into_iter().enumerate() {
+            let _ = tx.send(pair);
+        }
+        drop(tx);
+
+        let slots: Vec<parking_lot::Mutex<Option<Result<T>>>> =
+            (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let rx = rx.clone();
+                let slots = &slots;
+                scope.spawn(move || {
+                    while !abort.is_some_and(|flag| flag.load(Ordering::Acquire)) {
+                        let Ok((index, job)) = rx.try_recv() else { break };
+                        let result = job();
+                        if result.is_err() {
+                            if let Some(flag) = abort {
+                                flag.store(true, Ordering::Release);
+                            }
+                        }
+                        *slots[index].lock() = Some(result);
+                    }
+                });
+            }
+        });
+        slots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nova_common::Error;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let pool = IoPool::new(4);
+        let jobs: Vec<_> = (0..32)
+            .map(|i| {
+                move || {
+                    // Finish out of order on purpose.
+                    std::thread::sleep(Duration::from_micros((32 - i) * 50));
+                    Ok(i)
+                }
+            })
+            .collect();
+        let results = pool.run_all(jobs).unwrap();
+        assert_eq!(results, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallelism_one_runs_inline_in_order() {
+        let pool = IoPool::new(1);
+        let order = AtomicUsize::new(0);
+        let jobs: Vec<_> = (0..8)
+            .map(|i| {
+                let order = &order;
+                move || {
+                    assert_eq!(order.fetch_add(1, Ordering::SeqCst), i);
+                    Ok(i)
+                }
+            })
+            .collect();
+        assert_eq!(pool.run_all(jobs).unwrap().len(), 8);
+    }
+
+    #[test]
+    fn run_reports_per_job_outcomes_and_runs_every_job() {
+        let pool = IoPool::new(4);
+        let ran = AtomicUsize::new(0);
+        let jobs: Vec<_> = (0..16)
+            .map(|i| {
+                let ran = &ran;
+                move || {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                    if i == 5 {
+                        Err(Error::Unavailable("injected".into()))
+                    } else {
+                        Ok(i)
+                    }
+                }
+            })
+            .collect();
+        let results = pool.run(jobs);
+        assert_eq!(ran.load(Ordering::SeqCst), 16, "run() must not abandon siblings");
+        assert_eq!(results.iter().filter(|r| r.is_err()).count(), 1);
+        assert!(results[5].is_err());
+    }
+
+    #[test]
+    fn run_all_fails_fast_without_hanging() {
+        // Width 1 (the serial baseline) stops at the failing job, like the
+        // old serial loops did.
+        let pool = IoPool::new(1);
+        let ran = AtomicUsize::new(0);
+        let jobs: Vec<_> = (0..16)
+            .map(|i| {
+                let ran = &ran;
+                move || {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                    if i == 5 {
+                        Err(Error::Unavailable("injected".into()))
+                    } else {
+                        Ok(i)
+                    }
+                }
+            })
+            .collect();
+        assert!(pool.run_all(jobs).is_err());
+        assert_eq!(
+            ran.load(Ordering::SeqCst),
+            6,
+            "serial run_all must stop at the failure"
+        );
+
+        // Fanned out: the error propagates, started jobs finish, no new
+        // jobs start once the failure is recorded, and nothing hangs.
+        let pool = IoPool::new(4);
+        let ran = AtomicUsize::new(0);
+        let jobs: Vec<_> = (0..64)
+            .map(|i| {
+                let ran = &ran;
+                move || {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                    if i == 5 {
+                        Err(Error::Unavailable("injected".into()))
+                    } else {
+                        std::thread::sleep(Duration::from_micros(200));
+                        Ok(i)
+                    }
+                }
+            })
+            .collect();
+        let err = pool.run_all(jobs).unwrap_err();
+        assert!(matches!(err, Error::Unavailable(_)));
+        assert!(
+            ran.load(Ordering::SeqCst) < 64,
+            "workers must stop pulling jobs after a recorded failure"
+        );
+    }
+
+    #[test]
+    fn first_error_by_submission_order_wins() {
+        let pool = IoPool::new(8);
+        let jobs: Vec<_> = (0..8)
+            .map(|i| {
+                move || -> Result<usize> {
+                    if i >= 3 {
+                        Err(Error::Unavailable(format!("job {i}")))
+                    } else {
+                        Ok(i)
+                    }
+                }
+            })
+            .collect();
+        match pool.run_all(jobs) {
+            Err(Error::Unavailable(msg)) => assert_eq!(msg, "job 3"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fan_out_overlaps_blocking_jobs() {
+        let pool = IoPool::new(8);
+        let start = Instant::now();
+        let jobs: Vec<_> = (0..8)
+            .map(|_| {
+                move || {
+                    std::thread::sleep(Duration::from_millis(25));
+                    Ok(())
+                }
+            })
+            .collect();
+        pool.run_all(jobs).unwrap();
+        // Serial execution would take 200ms; allow generous scheduling slack.
+        assert!(
+            start.elapsed() < Duration::from_millis(150),
+            "jobs did not overlap: {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let pool = IoPool::default();
+        let results: Vec<Result<()>> = pool.run(Vec::<fn() -> Result<()>>::new());
+        assert!(results.is_empty());
+        assert_eq!(pool.parallelism(), DEFAULT_IO_PARALLELISM);
+        assert_eq!(IoPool::new(0).parallelism(), 1);
+    }
+}

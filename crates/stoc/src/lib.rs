@@ -22,6 +22,7 @@
 
 pub mod client;
 pub mod compaction;
+pub mod io_pool;
 pub mod medium;
 pub mod message;
 pub mod server;
@@ -29,6 +30,7 @@ pub mod table_io;
 
 pub use client::{MemFileHandle, StocClient, StocDirectory, StocStats};
 pub use compaction::{execute_compaction, load_table_entries, CompactionJob};
+pub use io_pool::{IoPool, DEFAULT_IO_PARALLELISM};
 pub use medium::{DiskStats, FsDisk, SimDisk, StorageMedium};
 pub use message::{StocRequest, StocResponse};
 pub use server::{StocServer, StocState};

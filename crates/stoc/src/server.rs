@@ -311,8 +311,34 @@ impl StocServer {
         storage_threads: usize,
         xchg_threads: usize,
     ) -> StocServer {
+        Self::start_with_io_parallelism(
+            id,
+            node,
+            fabric,
+            directory,
+            medium,
+            storage_threads,
+            xchg_threads,
+            crate::io_pool::DEFAULT_IO_PARALLELISM,
+        )
+    }
+
+    /// [`StocServer::start`] with an explicit scatter-gather fan-out width
+    /// for the StoC's own client (used by offloaded compactions to gather
+    /// input fragments and scatter output tables).
+    #[allow(clippy::too_many_arguments)]
+    pub fn start_with_io_parallelism(
+        id: StocId,
+        node: NodeId,
+        fabric: &Arc<Fabric>,
+        directory: StocDirectory,
+        medium: Arc<dyn StorageMedium>,
+        storage_threads: usize,
+        xchg_threads: usize,
+        io_parallelism: usize,
+    ) -> StocServer {
         let endpoint = fabric.endpoint(node);
-        let client = StocClient::new(endpoint.clone(), directory.clone());
+        let client = StocClient::new(endpoint.clone(), directory.clone()).with_io_parallelism(io_parallelism);
         let state = Arc::new(StocState {
             id,
             node,
@@ -478,6 +504,97 @@ mod tests {
         assert!(matches!(
             client.write_block(StocId(9), b"x"),
             Err(Error::UnknownStoc(_))
+        ));
+        for s in servers {
+            s.stop();
+        }
+    }
+
+    #[test]
+    fn block_reads_reuse_pooled_scratch_regions() {
+        let (_fabric, _dir, servers, client) = cluster(1);
+        let data = vec![3u8; 8192];
+        let handle = client.write_block(StocId(0), &data).unwrap();
+        for _ in 0..50 {
+            assert_eq!(client.read_block(&handle).unwrap().as_ref(), &data[..]);
+        }
+        // Sequential reads check one scratch region in and out of the pool;
+        // without reuse this node would have churned through 50 registrations.
+        let pooled = client.endpoint().registered_bytes();
+        assert!(
+            pooled > 0 && pooled <= 128 << 10,
+            "expected one pooled scratch region, found {pooled} registered bytes"
+        );
+        // Concurrent batch reads grow the pool at most to the fan-out width.
+        let handles = vec![handle; 16];
+        client.read_blocks(&handles).unwrap();
+        client.read_blocks(&handles).unwrap();
+        let pooled = client.endpoint().registered_bytes();
+        assert!(
+            pooled <= 16 * (64 << 10),
+            "pool exceeded the fan-out width: {pooled} bytes"
+        );
+        // Dropping the last clone of the client deregisters the pool, so
+        // client churn (e.g. range migration) cannot strand registered
+        // memory on the node.
+        let endpoint = client.endpoint().clone();
+        drop(client);
+        assert_eq!(
+            endpoint.registered_bytes(),
+            0,
+            "scratch regions must be deregistered when the client drops"
+        );
+        for s in servers {
+            s.stop();
+        }
+    }
+
+    #[test]
+    fn batch_write_and_read_round_trip_in_order() {
+        let (_fabric, _dir, servers, client) = cluster(3);
+        let payloads: Vec<Vec<u8>> = (0..12u8).map(|i| vec![i; 1024 + i as usize]).collect();
+        let writes: Vec<(StocId, &[u8])> = payloads
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (StocId(i as u32 % 3), p.as_slice()))
+            .collect();
+        let handles = client.write_blocks(&writes).unwrap();
+        assert_eq!(handles.len(), payloads.len());
+        for (handle, (stoc, _)) in handles.iter().zip(&writes) {
+            assert_eq!(handle.stoc, *stoc);
+        }
+        let read_back = client.read_blocks(&handles).unwrap();
+        for (bytes, payload) in read_back.iter().zip(&payloads) {
+            assert_eq!(bytes.as_ref(), &payload[..]);
+        }
+        // Partial-range batch with per-item outcomes.
+        let ranged: Vec<(StocId, nova_common::StocFileId, u64, usize)> =
+            handles.iter().map(|h| (h.stoc, h.file, 1, 16)).collect();
+        for (result, payload) in client.read_blocks_at(&ranged).into_iter().zip(&payloads) {
+            assert_eq!(result.unwrap().as_ref(), &payload[1..17]);
+        }
+        // Batch delete is best-effort per file.
+        let files: Vec<(StocId, nova_common::StocFileId)> =
+            handles.iter().map(|h| (h.stoc, h.file)).collect();
+        let outcomes = client.delete_files(&files);
+        assert!(outcomes.iter().all(|r| r.is_ok()));
+        let outcomes = client.delete_files(&files);
+        assert!(
+            outcomes.iter().all(|r| r.is_err()),
+            "second delete reports per-file errors"
+        );
+        for s in servers {
+            s.stop();
+        }
+    }
+
+    #[test]
+    fn batch_write_fails_whole_batch_on_unknown_stoc() {
+        let (_fabric, _dir, servers, client) = cluster(2);
+        let writes: Vec<(StocId, &[u8])> = vec![(StocId(0), b"ok"), (StocId(9), b"bad"), (StocId(1), b"ok")];
+        assert!(matches!(
+            client.write_blocks(&writes),
+            Err(Error::UnknownStoc(StocId(9)))
         ));
         for s in servers {
             s.stop();
