@@ -68,6 +68,7 @@ impl BenchScale {
             run_length: RunLength::Duration(Duration::from_secs(self.run_secs)),
             sample_interval: Duration::from_millis(250),
             seed: 42,
+            retry_budget: 8,
         }
     }
 }
@@ -126,6 +127,15 @@ impl StoreHandle {
     pub fn nova(&self) -> Option<&Arc<NovaCluster>> {
         match self {
             StoreHandle::Nova { cluster, .. } => Some(cluster),
+            StoreHandle::Baseline(_) => None,
+        }
+    }
+
+    /// The Nova client, if this handle wraps one (exposes the
+    /// stale-configuration retry counter for elasticity experiments).
+    pub fn nova_client(&self) -> Option<&NovaClient> {
+        match self {
+            StoreHandle::Nova { client, .. } => Some(client),
             StoreHandle::Baseline(_) => None,
         }
     }

@@ -425,6 +425,12 @@ pub struct ClusterConfig {
     pub stoc_compaction_threads: usize,
     /// Lease duration granted by the coordinator, in milliseconds.
     pub lease_millis: u64,
+    /// Upper bound on how many times a client refreshes its cached
+    /// configuration and retries an operation that hit a stale-configuration
+    /// window (range migration, LTC failover). Each retry re-routes through
+    /// the coordinator's current configuration; once the bound is exhausted
+    /// the last error surfaces to the application.
+    pub client_retries: usize,
     /// Total keyspace: keys are `0..num_keys` formatted as zero-padded
     /// strings, range-partitioned uniformly across `num_ltcs × ranges_per_ltc`
     /// ranges.
@@ -445,6 +451,7 @@ impl Default for ClusterConfig {
             stoc_storage_threads: 4,
             stoc_compaction_threads: 2,
             lease_millis: 1_000,
+            client_retries: 64,
             num_keys: 100_000,
         }
     }
@@ -478,6 +485,9 @@ impl ClusterConfig {
         }
         if self.stoc_io_parallelism == 0 {
             return Err("stoc_io_parallelism must be at least 1 (1 = serial I/O)".into());
+        }
+        if self.client_retries == 0 {
+            return Err("client_retries must be at least 1".into());
         }
         self.block_cache.validate()?;
         self.range.validate()

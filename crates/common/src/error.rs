@@ -41,9 +41,15 @@ pub enum Error {
     /// An availability configuration could not be satisfied, e.g. parity
     /// reconstruction failed because too many fragments are missing.
     Unavailable(String),
-    /// A migration or elasticity operation is in progress and the request
-    /// must be retried against the new owner.
-    Migrating(RangeId),
+    /// The caller's cached cluster configuration is stale: a migration or
+    /// elasticity operation has (or is about to) become visible at `epoch`.
+    /// Retriable: refresh the configuration until its epoch is at least
+    /// `epoch`, re-route and retry.
+    StaleConfig {
+        /// The minimum configuration epoch the caller must observe before
+        /// retrying.
+        epoch: u64,
+    },
 }
 
 impl fmt::Display for Error {
@@ -62,7 +68,9 @@ impl fmt::Display for Error {
             Error::Io(msg) => write!(f, "i/o error: {msg}"),
             Error::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
             Error::Unavailable(msg) => write!(f, "unavailable: {msg}"),
-            Error::Migrating(id) => write!(f, "range {id} is migrating; retry against new owner"),
+            Error::StaleConfig { epoch } => {
+                write!(f, "configuration is stale; refresh to epoch >= {epoch} and retry")
+            }
         }
     }
 }
@@ -85,7 +93,22 @@ impl Error {
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
-            Error::WriteStalled | Error::Migrating(_) | Error::FabricUnavailable(_) | Error::LeaseExpired(_)
+            Error::WriteStalled
+                | Error::StaleConfig { .. }
+                | Error::FabricUnavailable(_)
+                | Error::LeaseExpired(_)
+        )
+    }
+
+    /// True if the error indicates the caller routed with a stale cluster
+    /// configuration and should refresh it and re-route before retrying:
+    /// the owner changed mid-migration, the range moved, or the
+    /// configuration still names an LTC that has been deregistered (the
+    /// reassignment window of a failover).
+    pub fn needs_config_refresh(&self) -> bool {
+        matches!(
+            self,
+            Error::StaleConfig { .. } | Error::WrongRange(_) | Error::UnknownLtc(_)
         )
     }
 }
@@ -110,7 +133,7 @@ mod tests {
             Error::Io("io".into()),
             Error::InvalidArgument("a".into()),
             Error::Unavailable("u".into()),
-            Error::Migrating(RangeId(4)),
+            Error::StaleConfig { epoch: 4 },
         ];
         for v in variants {
             assert!(!v.to_string().is_empty());
@@ -122,8 +145,12 @@ mod tests {
         assert!(Error::NotFound.is_not_found());
         assert!(!Error::ShuttingDown.is_not_found());
         assert!(Error::WriteStalled.is_retryable());
-        assert!(Error::Migrating(RangeId(0)).is_retryable());
+        assert!(Error::StaleConfig { epoch: 7 }.is_retryable());
         assert!(!Error::Corruption("x".into()).is_retryable());
+        assert!(Error::StaleConfig { epoch: 7 }.needs_config_refresh());
+        assert!(Error::WrongRange(RangeId(0)).needs_config_refresh());
+        assert!(Error::UnknownLtc(LtcId(1)).needs_config_refresh());
+        assert!(!Error::WriteStalled.needs_config_refresh());
     }
 
     #[test]

@@ -28,12 +28,22 @@ pub struct Configuration {
     pub ltcs: HashMap<LtcId, NodeId>,
     /// StoCs currently in the configuration, with their nodes.
     pub stocs: HashMap<StocId, NodeId>,
+    /// The StoC that holds each range's MANIFEST, pinned once when the range
+    /// is created. Recovery, migration and manifest persistence all resolve
+    /// the MANIFEST through this map, so later `add_stoc`/`remove_stoc`
+    /// calls can never silently move where a range's metadata lives.
+    pub manifest_homes: HashMap<RangeId, StocId>,
 }
 
 impl Configuration {
     /// The LTC serving `range`, if assigned.
     pub fn ltc_of(&self, range: RangeId) -> Option<LtcId> {
         self.range_assignment.get(&range).copied()
+    }
+
+    /// The StoC pinned as `range`'s MANIFEST home, if the range exists.
+    pub fn manifest_home(&self, range: RangeId) -> Option<StocId> {
+        self.manifest_homes.get(&range).copied()
     }
 
     /// Ranges served by `ltc`, in id order.
@@ -87,6 +97,7 @@ impl Coordinator {
                 range_assignment: HashMap::new(),
                 ltcs: HashMap::new(),
                 stocs: HashMap::new(),
+                manifest_homes: HashMap::new(),
             }),
             leases: LeaseTable::new(clock, lease_duration),
         }
@@ -100,6 +111,15 @@ impl Coordinator {
     /// The current epoch.
     pub fn epoch(&self) -> u64 {
         self.config.read().epoch
+    }
+
+    /// Resolve the LTC serving `range` together with the epoch of that
+    /// decision, without cloning the configuration. This is the data-path
+    /// routing primitive: every client operation calls it, so it must stay
+    /// allocation-free.
+    pub fn route_of(&self, range: RangeId) -> (Option<LtcId>, u64) {
+        let c = self.config.read();
+        (c.ltc_of(range), c.epoch)
     }
 
     /// Register an LTC (also grants its initial lease).
@@ -164,15 +184,30 @@ impl Coordinator {
         self.leases.expired()
     }
 
-    /// Assign (or reassign) a range to an LTC, bumping the epoch.
-    pub fn assign_range(&self, range: RangeId, ltc: LtcId) -> Result<()> {
+    /// Assign (or reassign) a range to an LTC, bumping the epoch. Returns
+    /// the new epoch: the first epoch at which clients observe the
+    /// assignment.
+    pub fn assign_range(&self, range: RangeId, ltc: LtcId) -> Result<u64> {
         let mut c = self.config.write();
         if !c.ltcs.contains_key(&ltc) {
             return Err(nova_common::Error::UnknownLtc(ltc));
         }
         c.range_assignment.insert(range, ltc);
         c.epoch += 1;
-        Ok(())
+        Ok(c.epoch)
+    }
+
+    /// Pin `range`'s MANIFEST to a StoC. The first pin wins: repeated calls
+    /// (range re-creation after failover, migration) return the original
+    /// home so every component keeps resolving the same MANIFEST location.
+    pub fn pin_manifest_home(&self, range: RangeId, stoc: StocId) -> StocId {
+        let mut c = self.config.write();
+        *c.manifest_homes.entry(range).or_insert(stoc)
+    }
+
+    /// The pinned MANIFEST home of `range`, if any.
+    pub fn manifest_home(&self, range: RangeId) -> Option<StocId> {
+        self.config.read().manifest_home(range)
     }
 
     /// Partition `num_ranges` ranges across the registered LTCs round-robin
@@ -284,10 +319,22 @@ impl Coordinator {
         plans
     }
 
-    /// Apply a migration plan to the configuration (the cluster layer calls
-    /// this after the data movement completes).
-    pub fn commit_migration(&self, plan: &MigrationPlan) -> Result<()> {
-        self.assign_range(plan.range, plan.to)
+    /// Atomically commit a migration: verify the range is still owned by the
+    /// plan's source, flip ownership to the destination and bump the epoch.
+    /// Returns the commit epoch — the first epoch at which clients observe
+    /// the new owner. Fails with [`nova_common::Error::StaleConfig`] if the
+    /// range moved since the plan was made (a concurrent migration won).
+    pub fn commit_migration(&self, plan: &MigrationPlan) -> Result<u64> {
+        let mut c = self.config.write();
+        if !c.ltcs.contains_key(&plan.to) {
+            return Err(nova_common::Error::UnknownLtc(plan.to));
+        }
+        if c.ltc_of(plan.range) != Some(plan.from) {
+            return Err(nova_common::Error::StaleConfig { epoch: c.epoch });
+        }
+        c.range_assignment.insert(plan.range, plan.to);
+        c.epoch += 1;
+        Ok(c.epoch)
     }
 }
 
@@ -385,6 +432,49 @@ mod tests {
         // A balanced cluster produces no plans.
         let balanced: HashMap<LtcId, f64> = (0..5u32).map(|i| (LtcId(i), 100.0)).collect();
         assert!(c.plan_load_balancing(&balanced, &range_load, 0.2).is_empty());
+    }
+
+    #[test]
+    fn manifest_home_pins_are_first_write_wins() {
+        let c = coordinator();
+        assert_eq!(c.manifest_home(RangeId(3)), None);
+        assert_eq!(c.pin_manifest_home(RangeId(3), StocId(1)), StocId(1));
+        // A re-pin (range re-creation after failover or migration) must not
+        // move the MANIFEST home.
+        assert_eq!(c.pin_manifest_home(RangeId(3), StocId(9)), StocId(1));
+        assert_eq!(c.manifest_home(RangeId(3)), Some(StocId(1)));
+        assert_eq!(c.configuration().manifest_home(RangeId(3)), Some(StocId(1)));
+    }
+
+    #[test]
+    fn commit_migration_is_a_guarded_atomic_flip() {
+        let c = coordinator();
+        for i in 0..3u32 {
+            c.register_ltc(LtcId(i), NodeId(i));
+        }
+        c.assign_ranges_round_robin(3).unwrap();
+        let plan = MigrationPlan {
+            range: RangeId(0),
+            from: LtcId(0),
+            to: LtcId(1),
+        };
+        let epoch = c.commit_migration(&plan).unwrap();
+        assert_eq!(epoch, c.epoch(), "commit returns the flip's epoch");
+        assert_eq!(c.configuration().ltc_of(RangeId(0)), Some(LtcId(1)));
+        // Replaying the plan fails: the source no longer owns the range, so
+        // a concurrent migration cannot double-commit.
+        assert!(matches!(
+            c.commit_migration(&plan),
+            Err(nova_common::Error::StaleConfig { .. })
+        ));
+        // A plan onto an unknown destination fails without touching state.
+        let bad = MigrationPlan {
+            range: RangeId(1),
+            from: LtcId(1),
+            to: LtcId(9),
+        };
+        assert!(c.commit_migration(&bad).is_err());
+        assert_eq!(c.epoch(), epoch);
     }
 
     #[test]

@@ -1,30 +1,57 @@
 //! The Nova-LSM client: routes requests to the LTC serving each range using
 //! the coordinator's cached configuration (Section 3, Figure 3).
+//!
+//! The configuration carries a monotonically increasing epoch. Every request
+//! is issued at the epoch it was routed with; if the cluster flipped a
+//! range's ownership in the meantime (migration, failover) the LTC rejects
+//! the request with the retriable [`Error::StaleConfig`] and the client
+//! refreshes the configuration and re-routes, up to the bounded
+//! `client_retries` budget from the cluster configuration. Applications
+//! therefore observe a brief retry during elasticity operations, never a
+//! terminal error.
 
 use crate::cluster::NovaCluster;
 use bytes::Bytes;
 use nova_common::keyspace::encode_key;
 use nova_common::types::Entry;
 use nova_common::{Error, Result};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Sleep before retry `attempt`: exponential from 50µs up to a 25.6ms cap,
+/// so the first retries catch a fast ownership flip almost instantly while
+/// the default 64-attempt budget still spans well over a second of handoff
+/// window (a slow destination build replaying many buffered entries).
+fn backoff(attempt: usize) {
+    std::thread::sleep(Duration::from_micros(50u64 << attempt.min(9)));
+}
 
 /// A client handle onto a running cluster. Cheap to clone; every application
 /// thread typically owns one.
 #[derive(Clone)]
 pub struct NovaClient {
     cluster: Arc<NovaCluster>,
+    /// Stale-configuration refresh-and-retry rounds performed, across every
+    /// operation of every clone of this client.
+    config_retries: Arc<AtomicU64>,
 }
 
 impl std::fmt::Debug for NovaClient {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("NovaClient").finish()
+        f.debug_struct("NovaClient")
+            .field("config_retries", &self.config_retries.load(Ordering::Relaxed))
+            .finish()
     }
 }
 
 impl NovaClient {
     /// Create a client for `cluster`.
     pub fn new(cluster: Arc<NovaCluster>) -> Self {
-        NovaClient { cluster }
+        NovaClient {
+            cluster,
+            config_retries: Arc::new(AtomicU64::new(0)),
+        }
     }
 
     /// The cluster this client talks to.
@@ -32,35 +59,68 @@ impl NovaClient {
         &self.cluster
     }
 
+    /// How many stale-configuration retries this client (and its clones)
+    /// performed. During a migration this climbs briefly and then stops —
+    /// client-visible errors stay at zero.
+    pub fn config_retries(&self) -> u64 {
+        self.config_retries.load(Ordering::Relaxed)
+    }
+
+    /// Route `range` and run `op` against its owner, refreshing the cached
+    /// configuration and retrying (bounded) whenever the routing turns out
+    /// to be stale: the LTC rejected our epoch, the range is mid-migration,
+    /// the engine moved before our request arrived, or the assignment still
+    /// names a deregistered LTC (the failover reassignment window).
+    fn with_range_routing<T>(
+        &self,
+        range: nova_common::RangeId,
+        mut op: impl FnMut(&nova_ltc::Ltc, u64) -> Result<T>,
+    ) -> Result<T> {
+        let budget = self.cluster.config().client_retries.max(1);
+        let mut last = Error::Unavailable(format!("{range} is not assigned to any LTC"));
+        for attempt in 0..budget {
+            let result = self
+                .cluster
+                .route_range(range)
+                .and_then(|(ltc, epoch)| op(&ltc, epoch));
+            match result {
+                Err(e) if e.needs_config_refresh() => {
+                    self.config_retries.fetch_add(1, Ordering::Relaxed);
+                    last = e;
+                    // No point sleeping after the final attempt.
+                    if attempt + 1 < budget {
+                        backoff(attempt);
+                    }
+                }
+                other => return other,
+            }
+        }
+        Err(last)
+    }
+
+    /// [`NovaClient::with_range_routing`] addressed by key.
+    fn with_routing<T>(
+        &self,
+        key: &[u8],
+        mut op: impl FnMut(nova_common::RangeId, &nova_ltc::Ltc, u64) -> Result<T>,
+    ) -> Result<T> {
+        let range = self.cluster.partition().range_of_encoded(key);
+        self.with_range_routing(range, |ltc, epoch| op(range, ltc, epoch))
+    }
+
     /// Write a key-value pair.
     pub fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
-        let (range, ltc) = self.cluster.route(key)?;
-        match ltc.put(range, key, value) {
-            // A range that migrated mid-request: refresh the routing once.
-            Err(Error::Migrating(_)) | Err(Error::WrongRange(_)) => {
-                let (range, ltc) = self.cluster.route(key)?;
-                ltc.put(range, key, value)
-            }
-            other => other,
-        }
+        self.with_routing(key, |range, ltc, epoch| ltc.put_at(range, key, value, epoch))
     }
 
     /// Delete a key.
     pub fn delete(&self, key: &[u8]) -> Result<()> {
-        let (range, ltc) = self.cluster.route(key)?;
-        ltc.delete(range, key)
+        self.with_routing(key, |range, ltc, epoch| ltc.delete_at(range, key, epoch))
     }
 
     /// Read the latest value of a key.
     pub fn get(&self, key: &[u8]) -> Result<Bytes> {
-        let (range, ltc) = self.cluster.route(key)?;
-        match ltc.get(range, key) {
-            Err(Error::WrongRange(_)) => {
-                let (range, ltc) = self.cluster.route(key)?;
-                ltc.get(range, key)
-            }
-            other => other,
-        }
+        self.with_routing(key, |range, ltc, epoch| ltc.get_at(range, key, epoch))
     }
 
     /// Scan up to `limit` live entries starting at `start_key`, crossing
@@ -74,12 +134,17 @@ impl NovaClient {
             if out.len() >= limit {
                 break;
             }
-            let ltc_id = match self.cluster.coordinator().configuration().ltc_of(range) {
-                Some(l) => l,
-                None => break,
-            };
-            let ltc = self.cluster.ltc(ltc_id)?;
-            let chunk = ltc.scan(range, &cursor, limit - out.len())?;
+            // An unassigned range is the end of the routable keyspace, not
+            // an error.
+            if self.cluster.coordinator().route_of(range).0.is_none() {
+                break;
+            }
+            // Per-chunk routing with the same bounded refresh-and-retry the
+            // point operations use: a migration between chunks re-routes the
+            // next chunk instead of failing the whole scan.
+            let remaining = limit - out.len();
+            let chunk =
+                self.with_range_routing(range, |ltc, epoch| ltc.scan_at(range, &cursor, remaining, epoch))?;
             out.extend(chunk);
             // Move to the next range.
             let next = range.0 as usize + 1;

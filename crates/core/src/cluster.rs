@@ -30,6 +30,13 @@ pub struct NovaCluster {
     ltc_nodes: RwLock<HashMap<LtcId, NodeId>>,
     next_stoc_id: AtomicU32,
     next_ltc_id: AtomicU32,
+    /// Serializes migrations and failovers: two concurrent ownership flips
+    /// over the same range would race freeze/commit/rollback.
+    elasticity_mutex: Mutex<()>,
+    /// Per-LTC operation counts at the time of the previous `rebalance`
+    /// call, so each rebalance plans from the load observed *since the last
+    /// one* rather than from lifetime-cumulative counters.
+    rebalance_baseline: Mutex<HashMap<LtcId, u64>>,
 }
 
 impl std::fmt::Debug for NovaCluster {
@@ -64,6 +71,8 @@ impl NovaCluster {
             ltc_nodes: RwLock::new(HashMap::new()),
             next_stoc_id: AtomicU32::new(config.num_stocs as u32),
             next_ltc_id: AtomicU32::new(config.num_ltcs as u32),
+            elasticity_mutex: Mutex::new(()),
+            rebalance_baseline: Mutex::new(HashMap::new()),
         });
 
         // StoCs occupy nodes [η, η+β).
@@ -88,12 +97,19 @@ impl NovaCluster {
             .coordinator
             .assign_ranges_round_robin(config.total_ranges())?;
 
-        // Create the range engines on their assigned LTCs.
+        // Create the range engines on their assigned LTCs. Each range's
+        // MANIFEST home is pinned now, while the StoC set is exactly the
+        // configured β, so later add_stoc/remove_stoc calls can never move
+        // where recovery looks for the MANIFEST.
         let assignment = cluster.coordinator.configuration();
         for range_idx in 0..config.total_ranges() {
             let range = RangeId(range_idx as u32);
+            cluster
+                .coordinator
+                .pin_manifest_home(range, StocId(range.0 % config.num_stocs.max(1) as u32));
             let ltc_id = assignment.ltc_of(range).expect("every range was just assigned");
             let engine = cluster.build_range_engine(range, ltc_id, false)?;
+            engine.set_owner_epoch(assignment.epoch);
             cluster.ltcs.read()[&ltc_id].add_range(engine);
         }
 
@@ -138,8 +154,7 @@ impl NovaCluster {
             Some(local_stoc),
             (range.0 as u64 + 1) * 7919,
         );
-        let manifest_stoc = StocId(range.0 % self.directory.len().max(1) as u32);
-        let manifest = Manifest::new(manifest_stoc, &format!("range-{}", range.0));
+        let manifest = Manifest::new(self.manifest_home(range), &format!("range-{}", range.0));
         let interval = self.partition.interval(range);
         // Read through the owning LTC's block cache.
         let block_cache = self.ltcs.read().get(&ltc).and_then(|l| l.block_cache().cloned());
@@ -167,6 +182,16 @@ impl NovaCluster {
                 block_cache,
             )
         }
+    }
+
+    /// The StoC pinned as `range`'s MANIFEST home. Ranges are pinned at
+    /// creation; the fallback (pin-on-first-use from the creation-time rule)
+    /// only triggers for ranges that predate pinning.
+    fn manifest_home(&self, range: RangeId) -> StocId {
+        self.coordinator.manifest_home(range).unwrap_or_else(|| {
+            self.coordinator
+                .pin_manifest_home(range, StocId(range.0 % self.config.num_stocs.max(1) as u32))
+        })
     }
 
     // ------------------------------------------------------------------
@@ -207,20 +232,34 @@ impl NovaCluster {
         self.directory.placeable().as_ref().clone()
     }
 
+    /// The node hosting `stoc` (failure injection in tests and experiments).
+    pub fn stoc_node(&self, stoc: StocId) -> Result<NodeId> {
+        self.directory.node_of(stoc)
+    }
+
     /// The LTC object with `id`.
     pub fn ltc(&self, id: LtcId) -> Result<Arc<Ltc>> {
         self.ltcs.read().get(&id).cloned().ok_or(Error::UnknownLtc(id))
     }
 
-    /// Route a key to the (range, LTC) pair serving it.
-    pub fn route(&self, key: &[u8]) -> Result<(RangeId, Arc<Ltc>)> {
+    /// Route a key to the (range, LTC, epoch) triple serving it. The epoch
+    /// is the configuration epoch the routing decision was made at; pass it
+    /// to the LTC's `*_at` operations so a concurrent ownership flip is
+    /// detected as [`Error::StaleConfig`] instead of silently hitting the
+    /// wrong owner.
+    pub fn route(&self, key: &[u8]) -> Result<(RangeId, Arc<Ltc>, u64)> {
         let range = self.partition.range_of_encoded(key);
-        let ltc_id = self
-            .coordinator
-            .configuration()
-            .ltc_of(range)
-            .ok_or(Error::Unavailable(format!("{range} is not assigned to any LTC")))?;
-        Ok((range, self.ltc(ltc_id)?))
+        let (ltc, epoch) = self.route_range(range)?;
+        Ok((range, ltc, epoch))
+    }
+
+    /// Route a range to the LTC serving it plus the routing epoch, without
+    /// cloning the configuration (the per-operation hot path).
+    pub fn route_range(&self, range: RangeId) -> Result<(Arc<Ltc>, u64)> {
+        let (ltc_id, epoch) = self.coordinator.route_of(range);
+        let ltc_id =
+            ltc_id.ok_or_else(|| Error::Unavailable(format!("{range} is not assigned to any LTC")))?;
+        Ok((self.ltc(ltc_id)?, epoch))
     }
 
     /// Per-LTC statistics, keyed by LTC id.
@@ -347,7 +386,24 @@ impl NovaCluster {
     /// Migrate one range from its current LTC to `destination`
     /// (Sections 8.2.6 and 9). SSTables stay on the StoCs; only metadata and
     /// memtable state move.
+    ///
+    /// The migration is a two-phase, epoch-guarded protocol that is safe to
+    /// run under traffic:
+    ///
+    /// 1. **Prepare** — the source range is frozen (writes bounce with the
+    ///    retriable [`Error::StaleConfig`]; reads keep being served) and a
+    ///    consistent snapshot is cut, from which the destination engine is
+    ///    rebuilt.
+    /// 2. **Commit** — a single atomic ownership flip: the destination is
+    ///    attached, the coordinator bumps the epoch, and clients that refresh
+    ///    observe the new owner. The source engine is then detached and torn
+    ///    down.
+    /// 3. **Abort** — any failure after the freeze unfreezes the source,
+    ///    drops the half-built destination engine and leaves the coordinator
+    ///    configuration untouched, so the source keeps serving reads *and*
+    ///    writes as if the migration had never been attempted.
     pub fn migrate_range(&self, range: RangeId, destination: LtcId) -> Result<()> {
+        let _serial = self.elasticity_mutex.lock();
         let assignment = self.coordinator.configuration();
         let source_id = assignment.ltc_of(range).ok_or(Error::WrongRange(range))?;
         if source_id == destination {
@@ -356,9 +412,89 @@ impl NovaCluster {
         let source = self.ltc(source_id)?;
         let dest = self.ltc(destination)?;
         let engine = source.range(range)?;
-        let snapshot = engine.export_for_migration()?;
 
-        // Rebuild the range on the destination LTC's node.
+        // Phase 1: prepare. Freeze the source and cut the snapshot; rejected
+        // writers are told to refresh to at least the epoch the commit below
+        // will create.
+        let snapshot = engine.export_for_migration(assignment.epoch + 1)?;
+        // The exported file set: anything the source's version accrues
+        // beyond it (a flush racing the freeze) is unreferenced by any
+        // persisted MANIFEST and must be purged at commit.
+        let exported_files: std::collections::HashSet<nova_common::FileNumber> = snapshot
+            .manifest
+            .version
+            .all_tables()
+            .iter()
+            .map(|t| t.file_number)
+            .collect();
+        let new_engine = match self.build_migrated_engine(snapshot, range, destination, &dest) {
+            Ok(e) => e,
+            Err(e) => {
+                // Abort: the destination build failed; the source resumes
+                // serving writes and the configuration is untouched.
+                // Manifest persistence was suppressed during the freeze, so
+                // best-effort re-sync anything a flush completed meanwhile.
+                engine.unfreeze();
+                if let Err(sync) = engine.sync_manifest() {
+                    eprintln!("nova-lsm: manifest re-sync after aborted migration of {range} failed: {sync}");
+                }
+                return Err(e);
+            }
+        };
+
+        // Phase 2: commit. Attach the destination *before* the epoch flip so
+        // a refreshing client never observes an owner with no engine, then
+        // flip ownership atomically at the coordinator.
+        dest.add_range(Arc::clone(&new_engine));
+        let plan = nova_coordinator::MigrationPlan {
+            range,
+            from: source_id,
+            to: destination,
+        };
+        // Fence reads on the source just before the flip: a reader that
+        // resolved the source engine under the old configuration must not be
+        // served data that misses the new owner's writes. Until the commit
+        // lands these readers see the retriable StaleConfig and re-route.
+        engine.retire();
+        match self.coordinator.commit_migration(&plan) {
+            Ok(epoch) => {
+                new_engine.set_owner_epoch(epoch);
+            }
+            Err(e) => {
+                // Abort: the configuration did not change, so the source is
+                // still the owner. Drop the half-built destination and
+                // resume serving from the source (unfreeze also clears the
+                // read fence).
+                dest.remove_range(range);
+                new_engine.shutdown();
+                engine.unfreeze();
+                if let Err(sync) = engine.sync_manifest() {
+                    eprintln!("nova-lsm: manifest re-sync after aborted migration of {range} failed: {sync}");
+                }
+                return Err(e);
+            }
+        }
+        // The flip is visible; detach and tear down the retired source
+        // engine (late readers keep bouncing off its read fence). Shutdown
+        // joins the workers, after which any SSTable a flush installed past
+        // the export snapshot is referenced by nothing — delete it from the
+        // StoCs (its entries migrated through the memtable capture).
+        if let Some(old) = source.remove_range(range) {
+            old.shutdown();
+            old.purge_tables_not_in(&exported_files);
+        }
+        Ok(())
+    }
+
+    /// Rebuild a migrating range on the destination LTC's node from its
+    /// snapshot (the *prepare* half of [`NovaCluster::migrate_range`]).
+    fn build_migrated_engine(
+        &self,
+        snapshot: nova_ltc::RangeSnapshot,
+        range: RangeId,
+        destination: LtcId,
+        dest: &Arc<Ltc>,
+    ) -> Result<Arc<RangeEngine>> {
         let node = *self
             .ltc_nodes
             .read()
@@ -379,9 +515,8 @@ impl NovaCluster {
             Some(StocId(destination.0 % self.config.num_stocs.max(1) as u32)),
             (range.0 as u64 + 1) * 7919 + destination.0 as u64,
         );
-        let manifest_stoc = StocId(range.0 % self.directory.len().max(1) as u32);
-        let manifest = Manifest::new(manifest_stoc, &format!("range-{}", range.0));
-        let new_engine = RangeEngine::import_from_migration(
+        let manifest = Manifest::new(self.manifest_home(range), &format!("range-{}", range.0));
+        RangeEngine::import_from_migration(
             snapshot,
             range_config,
             client,
@@ -389,30 +524,35 @@ impl NovaCluster {
             placer,
             manifest,
             dest.block_cache().cloned(),
-        )?;
-
-        dest.add_range(new_engine);
-        if let Some(old) = source.remove_range(range) {
-            old.shutdown();
-        }
-        self.coordinator
-            .commit_migration(&nova_coordinator::MigrationPlan {
-                range,
-                from: source_id,
-                to: destination,
-            })?;
-        Ok(())
+        )
     }
 
     /// Rebalance ranges across LTCs using the coordinator's load-balancing
-    /// plan, driven by each LTC's observed operation counts. Returns the
+    /// plan, driven by each LTC's observed operation counts *since the
+    /// previous rebalance* (a lifetime-cumulative view would keep reacting
+    /// to historical hotspots long after the load has shifted). Returns the
     /// number of ranges migrated.
     pub fn rebalance(&self) -> Result<usize> {
         let stats = self.ltc_stats();
-        let ltc_load: HashMap<LtcId, f64> = stats
+        let totals: HashMap<LtcId, u64> = stats
             .iter()
-            .map(|(id, s)| (*id, (s.writes + s.gets + s.scans) as f64))
+            .map(|(id, s)| (*id, s.writes + s.gets + s.scans))
             .collect();
+        let ltc_load: HashMap<LtcId, f64> = {
+            let baseline = self.rebalance_baseline.lock();
+            totals
+                .iter()
+                // Saturating: a migrated-away range loses its counters (the
+                // destination engine starts fresh), so an LTC's total can
+                // shrink between rebalances.
+                .map(|(id, t)| {
+                    (
+                        *id,
+                        t.saturating_sub(baseline.get(id).copied().unwrap_or(0)) as f64,
+                    )
+                })
+                .collect()
+        };
         // Per-range load: approximate by splitting each LTC's load across its
         // ranges weighted by range write counts (we only track per-LTC here,
         // so weight evenly).
@@ -425,47 +565,102 @@ impl NovaCluster {
             }
         }
         let plans = self.coordinator.plan_load_balancing(&ltc_load, &range_load, 0.2);
-        let count = plans.len();
+        let mut migrated = 0;
+        let mut first_error = None;
         for plan in plans {
-            self.migrate_range(plan.range, plan.to)?;
+            match self.migrate_range(plan.range, plan.to) {
+                Ok(()) => migrated += 1,
+                Err(e) => {
+                    first_error = Some(e);
+                    break;
+                }
+            }
         }
-        Ok(count)
+        // Re-snapshot the baseline *after* the migrations — even when one
+        // failed part-way: each completed migration reset the moved range's
+        // counters, so a pre-migration (or skipped) snapshot would overstate
+        // the donor's baseline and mask its load (saturating to zero) at the
+        // next rebalance.
+        let baseline: HashMap<LtcId, u64> = self
+            .ltc_stats()
+            .iter()
+            .map(|(id, s)| (*id, s.writes + s.gets + s.scans))
+            .collect();
+        *self.rebalance_baseline.lock() = baseline;
+        match first_error {
+            None => Ok(migrated),
+            Some(e) => Err(e),
+        }
     }
 
     /// Simulate the failure of an LTC and recover its ranges on the surviving
     /// LTCs (Section 4.5): ranges are scattered across the survivors and each
-    /// is rebuilt from its MANIFEST and log records.
+    /// is rebuilt from its MANIFEST (resolved through the pinned
+    /// manifest-home) and log records.
+    /// Recovery is resumable: ranges whose rebuild fails (say their
+    /// manifest-home StoC node is down) are skipped, the rest are recovered,
+    /// and a second `fail_and_recover_ltc(failed)` call — valid even though
+    /// the LTC itself is already gone — retries just the ranges still
+    /// assigned to the dead LTC.
     pub fn fail_and_recover_ltc(&self, failed: LtcId) -> Result<usize> {
+        let _serial = self.elasticity_mutex.lock();
         let plans = self.coordinator.plan_failover(failed);
-        let ltc = self.ltc(failed)?;
-        // The failed LTC's memory is gone: drop its engines without flushing.
-        ltc.shutdown();
-        let orphaned: Vec<RangeId> = ltc.range_ids();
-        for r in &orphaned {
-            ltc.remove_range(*r);
+        // Tear the failed LTC down if it is still around (on a resumed
+        // recovery it is not). Its memory is gone: drop engines unflushed.
+        if let Ok(ltc) = self.ltc(failed) {
+            ltc.shutdown();
+            let orphaned: Vec<RangeId> = ltc.range_ids();
+            for r in &orphaned {
+                ltc.remove_range(*r);
+            }
+            self.ltcs.write().remove(&failed);
+            self.ltc_nodes.write().remove(&failed);
+            self.coordinator.deregister_ltc(failed);
         }
-        self.ltcs.write().remove(&failed);
-        self.ltc_nodes.write().remove(&failed);
-        self.coordinator.deregister_ltc(failed);
 
         let mut recovered = 0;
+        let mut failures: Vec<(RangeId, Error)> = Vec::new();
         for plan in plans {
-            let dest = self.ltc(plan.to)?;
-            let engine = self.build_range_engine(plan.range, plan.to, true)?;
-            dest.add_range(engine);
-            self.coordinator.register_ltc(plan.to, dest.node());
-            self.coordinator.assign_range(plan.range, plan.to)?;
-            recovered += 1;
+            // The surviving destinations are already registered; re-calling
+            // `register_ltc` here would pointlessly bump the epoch and
+            // re-grant leases on every iteration. Only the range assignment
+            // changes.
+            let result = self.ltc(plan.to).and_then(|dest| {
+                let engine = self.build_range_engine(plan.range, plan.to, true)?;
+                // Attach before the epoch flip so a refreshing client never
+                // observes an owner with no engine.
+                dest.add_range(Arc::clone(&engine));
+                let epoch = self.coordinator.assign_range(plan.range, plan.to)?;
+                engine.set_owner_epoch(epoch);
+                Ok(())
+            });
+            match result {
+                Ok(()) => recovered += 1,
+                // Keep going: one unrecoverable range must not strand the
+                // rest on the dead LTC.
+                Err(e) => failures.push((plan.range, e)),
+            }
         }
-        Ok(recovered)
+        if failures.is_empty() {
+            Ok(recovered)
+        } else {
+            Err(Error::Unavailable(format!(
+                "recovered {recovered} ranges from {failed}, but {} could not be rebuilt \
+                 (retry fail_and_recover_ltc once the fault clears): {failures:?}",
+                failures.len()
+            )))
+        }
     }
 
     /// Record a heartbeat for every live component (renewing leases).
+    /// Covers every *registered* StoC — including draining ones removed from
+    /// placement but still serving their existing blocks — so a
+    /// still-serving drained StoC's lease cannot silently expire.
     pub fn heartbeat_all(&self) {
         for ltc in self.ltc_ids() {
             self.coordinator.heartbeat(LeaseHolder::Ltc(ltc.0));
         }
-        for stoc in self.stoc_ids() {
+        for stoc in self.directory.all() {
             self.coordinator.heartbeat(LeaseHolder::Stoc(stoc.0));
         }
     }

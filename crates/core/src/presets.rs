@@ -82,6 +82,7 @@ pub fn scaled_experiment(num_keys: u64) -> ClusterConfig {
         stoc_storage_threads: 4,
         stoc_compaction_threads: 2,
         lease_millis: 1_000,
+        client_retries: 64,
         num_keys,
     }
 }

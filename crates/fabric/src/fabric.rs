@@ -325,14 +325,29 @@ impl Endpoint {
     }
 
     /// Reply to a previously received [`Delivery::Request`].
+    ///
+    /// If this node failed after the request was delivered but before the
+    /// reply, the waiting caller is still unblocked — with a
+    /// [`Error::FabricUnavailable`] instead of the payload, the way a real
+    /// RNIC surfaces a peer death as a completion error. Silently dropping
+    /// the reply would strand the caller for its full call timeout.
     pub fn reply(&self, target: NodeId, call_id: u64, payload: Result<Bytes>) -> Result<()> {
-        let issuer = self.fabric.live_node(self.node)?;
+        // The issuer is resolved even when dead (to unblock its waiting
+        // caller with an error), but a dead *target* still rejects delivery:
+        // a failed caller must not observe successful RPC completions.
+        let issuer = self.fabric.node(self.node)?;
         let peer = self.fabric.live_node(target)?;
-        let bytes = payload.as_ref().map(|b| b.len()).unwrap_or(0);
-        issuer.stats.bytes_written.add(bytes as u64);
-        self.fabric.charge(&issuer, bytes);
+        let issuer_alive = issuer.alive.load(Ordering::SeqCst);
+        let payload = if issuer_alive {
+            let bytes = payload.as_ref().map(|b| b.len()).unwrap_or(0);
+            issuer.stats.bytes_written.add(bytes as u64);
+            self.fabric.charge(&issuer, bytes);
+            payload
+        } else {
+            Err(Error::FabricUnavailable(format!("{} has failed", self.node)))
+        };
         let waiter = peer.pending_calls.lock().remove(&call_id);
-        match waiter {
+        let delivered = match waiter {
             Some(tx) => {
                 let _ = tx.send(payload);
                 Ok(())
@@ -340,7 +355,11 @@ impl Endpoint {
             None => Err(Error::InvalidArgument(format!(
                 "no pending call {call_id} on {target}"
             ))),
+        };
+        if !issuer_alive {
+            return Err(Error::FabricUnavailable(format!("{} has failed", self.node)));
         }
+        delivered
     }
 
     // ----- statistics -------------------------------------------------------
@@ -481,6 +500,37 @@ mod tests {
         fabric.recover_node(NodeId(1));
         assert!(fabric.is_alive(NodeId(1)));
         assert!(a.rdma_read(NodeId(1), region, 0, 1).is_ok());
+    }
+
+    #[test]
+    fn reply_from_a_failed_node_unblocks_the_caller_with_an_error() {
+        // A request delivered just before the responder fails must not
+        // strand the caller for its full call timeout: the responder's
+        // (rejected) reply surfaces as a completion error instead.
+        let fabric = Fabric::with_defaults(2);
+        let client = fabric.endpoint(NodeId(0));
+        let server = fabric.endpoint(NodeId(1));
+        let fabric2 = Arc::clone(&fabric);
+        let handle = std::thread::spawn(move || {
+            if let Delivery::Request { from, call_id, .. } = server.recv().unwrap() {
+                // The responder dies after the request was delivered.
+                fabric2.fail_node(NodeId(1));
+                let err = server
+                    .reply(from, call_id, Ok(Bytes::from_static(b"late")))
+                    .unwrap_err();
+                assert!(matches!(err, Error::FabricUnavailable(_)));
+            }
+        });
+        let start = std::time::Instant::now();
+        let err = client
+            .call_timeout(NodeId(1), Bytes::from_static(b"req"), Duration::from_secs(30))
+            .unwrap_err();
+        assert!(matches!(err, Error::FabricUnavailable(_)));
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "the caller must be unblocked promptly, not wait out the timeout"
+        );
+        handle.join().unwrap();
     }
 
     #[test]

@@ -97,6 +97,12 @@ pub(crate) fn run_compaction(engine: &Arc<RangeEngine>) -> Result<()> {
     // One round at a time: concurrent rounds would work off stale version
     // snapshots and install overlapping Level-1 outputs.
     let _guard = engine.compaction_guard();
+    // Re-check after acquiring the guard: a migration may have frozen the
+    // range (and snapshotted its version) while this round waited. Deleting
+    // input files now would invalidate the exported version's references.
+    if engine.is_frozen() || engine.is_retired() {
+        return Ok(());
+    }
     let config = engine.config().clone();
     let version = engine.version_snapshot();
     let level = match version.pick_compaction_level(|l| config.max_bytes_for_level(l)) {

@@ -169,6 +169,49 @@ impl Ltc {
         self.range(range)?.scan(start_key, limit)
     }
 
+    // ------------------------------------------------------------------
+    // Epoch-validated operations (the paper's "stale clients can be
+    // rejected"): each takes the configuration epoch the caller routed
+    // with and rejects it with the retriable `Error::StaleConfig` if the
+    // range changed hands since that epoch.
+    // ------------------------------------------------------------------
+
+    /// [`Ltc::put`] validating the caller's configuration epoch.
+    pub fn put_at(&self, range: RangeId, key: &[u8], value: &[u8], epoch: u64) -> Result<()> {
+        let engine = self.range(range)?;
+        engine.check_epoch(epoch)?;
+        engine.put(key, value)
+    }
+
+    /// [`Ltc::delete`] validating the caller's configuration epoch.
+    pub fn delete_at(&self, range: RangeId, key: &[u8], epoch: u64) -> Result<()> {
+        let engine = self.range(range)?;
+        engine.check_epoch(epoch)?;
+        engine.delete(key)
+    }
+
+    /// [`Ltc::get`] validating the caller's configuration epoch. Reads are
+    /// still served while the range is frozen for migration — only the
+    /// owner-epoch check applies.
+    pub fn get_at(&self, range: RangeId, key: &[u8], epoch: u64) -> Result<Bytes> {
+        let engine = self.range(range)?;
+        engine.check_epoch(epoch)?;
+        engine.get(key)
+    }
+
+    /// [`Ltc::scan`] validating the caller's configuration epoch.
+    pub fn scan_at(
+        &self,
+        range: RangeId,
+        start_key: &[u8],
+        limit: usize,
+        epoch: u64,
+    ) -> Result<Vec<nova_common::types::Entry>> {
+        let engine = self.range(range)?;
+        engine.check_epoch(epoch)?;
+        engine.scan(start_key, limit)
+    }
+
     /// Aggregate statistics across every range.
     pub fn stats(&self) -> LtcStats {
         let ranges = self.ranges.read();

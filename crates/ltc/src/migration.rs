@@ -57,26 +57,44 @@ impl RangeSnapshot {
 }
 
 impl RangeEngine {
-    /// Export the range for migration: freeze writes, then capture the
-    /// manifest metadata and the buffered memtable entries.
-    pub fn export_for_migration(&self) -> Result<RangeSnapshot> {
-        self.freeze();
+    /// Export the range for migration (phase 1, *prepare*): freeze writes,
+    /// wait out in-flight appends, then capture the manifest metadata and
+    /// the buffered memtable entries. Reads keep being served by the source
+    /// throughout; rejected writers receive a retriable
+    /// [`nova_common::Error::StaleConfig`] carrying `refresh_epoch`.
+    pub fn export_for_migration(&self, refresh_epoch: u64) -> Result<RangeSnapshot> {
+        self.freeze(refresh_epoch);
+        // Barrier: writers append under the write-state read lock and
+        // re-check the freeze flag inside it, so once this write lock has
+        // been acquired every acknowledged write is either in a memtable
+        // (captured below) or was rejected with StaleConfig.
+        self.write_barrier();
+        // Drain any in-flight MANIFEST persist: persists re-check the freeze
+        // flag under this mutex, so after the barrier the source can no
+        // longer append a record behind the destination's back.
+        self.manifest_barrier();
+        // Drain any in-flight compaction round before snapshotting (rounds
+        // serialize on this guard): a round finishing after the snapshot
+        // would delete input SSTables the exported version still references.
+        // New rounds are gated off while the range is frozen.
+        let _compactions_drained = self.compaction_guard();
+        // Capture memtable entries *before* the version: a flush completing
+        // in between then lands the same entries in both the replay set and
+        // the version, and replay-by-sequence-number deduplicates them. The
+        // opposite order would lose entries whose memtable retired after the
+        // version snapshot was taken.
+        let memtable_entries = self.memtable_entries();
         let manifest = ManifestData {
             version: self.version_snapshot(),
-            drange_boundaries: Vec::new(),
-            next_file_number: 0,
+            drange_boundaries: self.drange_boundaries(),
+            next_file_number: self.peek_next_file_number(),
             last_sequence: self.last_sequence(),
         };
-        // Re-load boundaries and counters through the public surface to keep
-        // the snapshot consistent with what persist_manifest would write.
-        let mut manifest = manifest;
-        manifest.drange_boundaries = self.drange_boundaries();
-        manifest.next_file_number = self.peek_next_file_number();
         Ok(RangeSnapshot {
             range_id: self.range_id(),
             interval: self.interval(),
             manifest,
-            memtable_entries: self.memtable_entries(),
+            memtable_entries,
         })
     }
 
@@ -107,7 +125,13 @@ impl RangeEngine {
             snapshot.manifest,
             snapshot.memtable_entries,
         )?;
-        engine.persist_manifest()?;
+        if let Err(e) = engine.persist_manifest() {
+            // Abort: tear the half-built engine down (its background threads
+            // hold Arc clones and would otherwise live forever) so the caller
+            // can unfreeze the source and report the failure.
+            engine.shutdown();
+            return Err(e);
+        }
         Ok(engine)
     }
 }

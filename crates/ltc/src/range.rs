@@ -132,7 +132,26 @@ pub struct RangeEngine {
     /// overlapping jobs from stale version snapshots and install conflicting
     /// outputs.
     compaction_mutex: Mutex<()>,
+    /// Serializes MANIFEST persistence (snapshot + append as one unit).
+    /// Without it two concurrent flushes can append their snapshots out of
+    /// order, leaving a record that lacks the newest SSTable as the
+    /// MANIFEST's last word — which recovery would then trust, silently
+    /// dropping that table's keys.
+    manifest_mutex: Mutex<()>,
     frozen: AtomicBool,
+    /// Set at migration commit: the range changed hands, so even reads must
+    /// bounce with [`Error::StaleConfig`] — a reader that resolved this
+    /// engine before the flip would otherwise miss writes acknowledged by
+    /// the new owner.
+    retired: AtomicBool,
+    /// The configuration epoch at which this engine's LTC became the range's
+    /// owner. Requests carrying an older epoch were routed with a stale
+    /// configuration and are rejected with [`Error::StaleConfig`].
+    owner_epoch: AtomicU64,
+    /// While frozen for migration: the epoch a rejected writer must observe
+    /// before retrying (the commit epoch the in-flight migration will
+    /// create). Advisory — the writer refreshes until routing changes.
+    refresh_epoch: AtomicU64,
 
     writes_since_reorg_check: AtomicU64,
     stats: RangeStats,
@@ -284,7 +303,11 @@ impl RangeEngine {
             shutdown: AtomicBool::new(false),
             compaction_scheduled: AtomicBool::new(false),
             compaction_mutex: Mutex::new(()),
+            manifest_mutex: Mutex::new(()),
             frozen: AtomicBool::new(false),
+            retired: AtomicBool::new(false),
+            owner_epoch: AtomicU64::new(0),
+            refresh_epoch: AtomicU64::new(0),
             writes_since_reorg_check: AtomicU64::new(0),
             stats: RangeStats::default(),
         });
@@ -472,7 +495,7 @@ impl RangeEngine {
 
     fn write_internal(&self, key: &[u8], value: &[u8], seq: SequenceNumber, vt: ValueType) -> Result<()> {
         if self.frozen.load(Ordering::SeqCst) {
-            return Err(Error::Migrating(self.range_id));
+            return Err(self.stale_config_error());
         }
         let numeric = decode_key(key).unwrap_or(self.interval.lower);
         loop {
@@ -482,6 +505,14 @@ impl RangeEngine {
             // while a writer is mid-append.
             let (full, drange_idx) = {
                 let state = self.write_state.read();
+                // Re-check under the lock: `export_for_migration` freezes and
+                // then takes the write lock as a barrier, so any writer that
+                // slipped past the entry check either finishes its append
+                // before the snapshot is cut (and is captured by it) or
+                // observes the freeze here.
+                if self.frozen.load(Ordering::SeqCst) {
+                    return Err(self.stale_config_error());
+                }
                 let idx = state.dranges.drange_for_write(numeric, seq);
                 state.dranges.record_write(idx, numeric);
                 let active = &state.states[idx].active;
@@ -594,6 +625,13 @@ impl RangeEngine {
             }
             if self.shutdown.load(Ordering::SeqCst) {
                 return Err(Error::ShuttingDown);
+            }
+            // A migration froze the range while we were stalled: bail out
+            // with the retriable stale-config error (the write has not been
+            // applied) instead of waiting for an engine that is about to be
+            // retired and would surface a terminal ShuttingDown.
+            if self.frozen.load(Ordering::SeqCst) {
+                return Err(self.stale_config_error());
             }
             self.wait_for_progress(observed_progress);
         }
@@ -708,6 +746,15 @@ impl RangeEngine {
                 }
                 Ok(BackgroundTask::Compaction) => {
                     self.compaction_scheduled.store(false, Ordering::SeqCst);
+                    // Compactions delete their input files. A range frozen or
+                    // retired for migration has exported (or is exporting) a
+                    // version that still references those inputs, so running
+                    // one here would pull SSTables out from under the
+                    // destination. Skip; an aborted migration reschedules on
+                    // the next flush.
+                    if self.frozen.load(Ordering::SeqCst) || self.retired.load(Ordering::SeqCst) {
+                        continue;
+                    }
                     if let Err(e) = compaction::run_compaction(&self) {
                         if !matches!(e, Error::ShuttingDown) {
                             eprintln!("nova-ltc: compaction failed: {e}");
@@ -911,6 +958,24 @@ impl RangeEngine {
 
     /// Persist the MANIFEST (called after every metadata mutation).
     pub(crate) fn persist_manifest(&self) -> Result<()> {
+        // A frozen or retired range must not touch its MANIFEST: after the
+        // export the destination persists (and then owns) the same pinned
+        // MANIFEST log, and appending the source's pre-migration state after
+        // the destination's record would make recovery resolve stale
+        // metadata — silently dropping everything the destination flushed
+        // since. An aborted migration re-syncs via `sync_manifest`.
+        // Snapshot-and-append is one critical section: concurrent flushes
+        // persisting independently could append an older snapshot after a
+        // newer one, and recovery trusts the last record.
+        let _serialized = self.manifest_mutex.lock();
+        // Checked *inside* the critical section, and export_for_migration
+        // drains this mutex right after freezing: a persist that was already
+        // past an outside check when the freeze landed could otherwise
+        // append a stale record after the destination took over the
+        // MANIFEST.
+        if self.frozen.load(Ordering::SeqCst) || self.retired.load(Ordering::SeqCst) {
+            return Ok(());
+        }
         // Snapshot the version and the Drange boundaries in two separate
         // statements. Building `ManifestData` in a single expression kept the
         // `version` mutex guard alive (temporaries live to the end of the
@@ -1013,6 +1078,11 @@ impl RangeEngine {
 
     /// Get the latest value of `key`, or `Err(NotFound)`.
     pub fn get(&self, key: &[u8]) -> Result<Bytes> {
+        // A frozen (mid-migration) range still serves reads; a *retired* one
+        // has lost ownership and would miss the new owner's writes.
+        if self.retired.load(Ordering::SeqCst) {
+            return Err(self.stale_config_error());
+        }
         self.stats.gets.incr();
         // 1. Lookup index: at most one memtable or one Level-0 table.
         if self.config.enable_lookup_index {
@@ -1096,6 +1166,9 @@ impl RangeEngine {
     /// Scan `limit` live entries starting at `start_key` (inclusive), staying
     /// within this range's interval.
     pub fn scan(&self, start_key: &[u8], limit: usize) -> Result<ScanResult> {
+        if self.retired.load(Ordering::SeqCst) {
+            return Err(self.stale_config_error());
+        }
         self.stats.scans.incr();
         let start_numeric = decode_key(start_key).unwrap_or(self.interval.lower);
 
@@ -1250,20 +1323,98 @@ impl RangeEngine {
     // Lifecycle
     // ------------------------------------------------------------------
 
-    /// Freeze the range: new writes fail with [`Error::Migrating`]. Used
-    /// during range migration (Section 9).
-    pub fn freeze(&self) {
+    /// Freeze the range for migration: new writes fail with the retriable
+    /// [`Error::StaleConfig`] carrying `refresh_epoch` (the epoch the
+    /// in-flight migration will commit at), while reads keep being served
+    /// from the source (Section 9: the handoff window is invisible to
+    /// readers).
+    pub fn freeze(&self, refresh_epoch: u64) {
+        self.refresh_epoch.store(refresh_epoch, Ordering::SeqCst);
         self.frozen.store(true, Ordering::SeqCst);
     }
 
-    /// Unfreeze the range.
+    /// Unfreeze the range (migration aborted: the source resumes serving
+    /// reads and writes as if nothing happened).
     pub fn unfreeze(&self) {
+        self.retired.store(false, Ordering::SeqCst);
         self.frozen.store(false, Ordering::SeqCst);
+    }
+
+    /// Retire the range at migration commit: ownership moved, so reads are
+    /// rejected with the retriable [`Error::StaleConfig`] as well — serving
+    /// them from this engine would silently miss writes acknowledged by the
+    /// new owner. Cleared by [`RangeEngine::unfreeze`] if the commit is
+    /// rolled back.
+    pub fn retire(&self) {
+        self.retired.store(true, Ordering::SeqCst);
+    }
+
+    /// Persist the MANIFEST now (no-op while frozen/retired). Called by an
+    /// aborted migration after [`RangeEngine::unfreeze`] to record anything
+    /// a flush completed while manifest persistence was suppressed during
+    /// the freeze.
+    pub fn sync_manifest(&self) -> Result<()> {
+        self.persist_manifest()
+    }
+
+    /// Delete every SSTable in this engine's version whose file number is
+    /// not in `keep`. Called on the retired source after a committed
+    /// migration (and after [`RangeEngine::shutdown`] has joined the
+    /// workers): a flush racing the freeze may have installed tables the
+    /// exported snapshot never references — their entries migrated through
+    /// the memtable capture, so the files would otherwise leak on the StoCs
+    /// forever. Returns how many tables were purged.
+    pub fn purge_tables_not_in(&self, keep: &std::collections::HashSet<FileNumber>) -> usize {
+        let mut purged = 0;
+        for meta in self.version_snapshot().all_tables() {
+            if !keep.contains(&meta.file_number) {
+                delete_table(&self.client, &meta);
+                purged += 1;
+            }
+        }
+        purged
+    }
+
+    /// True if the range has been retired by a committed migration.
+    pub fn is_retired(&self) -> bool {
+        self.retired.load(Ordering::SeqCst)
     }
 
     /// True if the range is frozen for migration.
     pub fn is_frozen(&self) -> bool {
         self.frozen.load(Ordering::SeqCst)
+    }
+
+    /// The configuration epoch at which this engine's LTC acquired the
+    /// range (0 = unknown, accepts any caller).
+    pub fn owner_epoch(&self) -> u64 {
+        self.owner_epoch.load(Ordering::SeqCst)
+    }
+
+    /// Record the configuration epoch at which this engine's LTC became the
+    /// range's owner (set by the cluster layer at creation, migration commit
+    /// and failover recovery).
+    pub fn set_owner_epoch(&self, epoch: u64) {
+        self.owner_epoch.store(epoch, Ordering::SeqCst);
+    }
+
+    /// Validate a caller's cached configuration epoch against the epoch at
+    /// which this engine acquired the range. A caller whose configuration
+    /// predates the acquisition routed here by stale information and must
+    /// refresh; newer epochs are fine (ownership has not changed since).
+    pub fn check_epoch(&self, caller_epoch: u64) -> Result<()> {
+        let owner = self.owner_epoch.load(Ordering::SeqCst);
+        if caller_epoch < owner {
+            return Err(Error::StaleConfig { epoch: owner });
+        }
+        Ok(())
+    }
+
+    /// The error a writer receives while the range is frozen for migration.
+    fn stale_config_error(&self) -> Error {
+        Error::StaleConfig {
+            epoch: self.refresh_epoch.load(Ordering::SeqCst),
+        }
     }
 
     /// The current Drange boundaries (persisted in the MANIFEST and shipped
@@ -1275,6 +1426,22 @@ impl RangeEngine {
     /// The next file number that would be allocated (without allocating it).
     pub(crate) fn peek_next_file_number(&self) -> FileNumber {
         self.next_file_number.load(Ordering::SeqCst)
+    }
+
+    /// Acquire and release the write-state write lock. Because writers append
+    /// under the read lock and re-check the freeze flag inside it, a
+    /// freeze-then-barrier sequence guarantees no acknowledged write can slip
+    /// past a subsequent snapshot of the memtables.
+    pub(crate) fn write_barrier(&self) {
+        drop(self.write_state.write());
+    }
+
+    /// Wait out any in-flight MANIFEST persist. Persists re-check the freeze
+    /// flag inside this mutex, so freeze-then-barrier guarantees no source
+    /// record can land after the migration's destination takes over the
+    /// MANIFEST.
+    pub(crate) fn manifest_barrier(&self) {
+        drop(self.manifest_mutex.lock());
     }
 
     /// Build an engine from migrated state: an existing version plus buffered
@@ -1871,12 +2038,20 @@ mod tests {
             engine.put(&encode_key(i), format!("m-{i}").as_bytes()).unwrap();
         }
 
-        let snapshot = engine.export_for_migration().unwrap();
+        let snapshot = engine.export_for_migration(42).unwrap();
         assert!(engine.is_frozen());
+        // Writes during the handoff window are rejected with the retriable
+        // StaleConfig error carrying the epoch to refresh to...
         assert!(matches!(
             engine.put(&encode_key(1), b"x"),
-            Err(Error::Migrating(_))
+            Err(Error::StaleConfig { epoch: 42 })
         ));
+        // ...while the frozen source keeps serving reads.
+        assert_eq!(
+            engine.get(&encode_key(7)).unwrap().as_ref(),
+            b"m-7",
+            "the source must keep serving reads while frozen"
+        );
         assert!(snapshot.metadata_bytes() > 0);
         assert!(snapshot.memtable_bytes() > 0);
 
@@ -1912,8 +2087,70 @@ mod tests {
             destination.get(&encode_key(1_800)).unwrap().as_ref(),
             b"after-migration"
         );
+        // Commit retires the source: reads bounce too, since serving them
+        // would miss the new owner's writes.
+        engine.retire();
+        assert!(engine.is_retired());
+        assert!(matches!(
+            engine.get(&encode_key(7)),
+            Err(Error::StaleConfig { .. })
+        ));
+        assert!(matches!(
+            engine.scan(&encode_key(0), 5),
+            Err(Error::StaleConfig { .. })
+        ));
+        // A rolled-back commit (unfreeze) restores reads and writes alike.
+        engine.unfreeze();
+        assert_eq!(engine.get(&encode_key(7)).unwrap().as_ref(), b"m-7");
+        engine.put(&encode_key(7), b"rolled-back").unwrap();
+        assert_eq!(engine.get(&encode_key(7)).unwrap().as_ref(), b"rolled-back");
         engine.shutdown();
         destination.shutdown();
+        cluster.stop();
+    }
+
+    #[test]
+    fn frozen_range_suppresses_manifest_writes_until_resynced() {
+        // A flush completing while the range is frozen for migration must
+        // not append to the (shared, pinned) MANIFEST: the destination owns
+        // it from the import onwards, and a stale source record appended
+        // after the destination's would win at recovery. An aborted
+        // migration heals via sync_manifest.
+        let cluster = TestCluster::new(1);
+        let engine = engine_with(&cluster, small_config(), 10_000);
+        let manifest = Manifest::new(StocId(0), "range-0");
+        for i in 0..1_000u64 {
+            engine.put(&encode_key(i), vec![b'm'; 32].as_slice()).unwrap();
+        }
+        engine.flush_all().unwrap();
+        let persisted = manifest.load(&cluster.client).unwrap().expect("manifest exists");
+        let tables_before = persisted.version.num_tables();
+        assert!(tables_before > 0);
+
+        // Buffer a batch small enough to stay in the active memtable (no
+        // background rotation), then freeze with it unflushed: the flush
+        // below emulates a pre-freeze flush completing mid-handoff.
+        for i in 1_000..1_040u64 {
+            engine.put(&encode_key(i), vec![b'n'; 32].as_slice()).unwrap();
+        }
+        engine.freeze(9);
+        engine.flush_all().unwrap();
+        assert!(engine.num_tables() > tables_before, "the flush itself ran");
+        let during = manifest.load(&cluster.client).unwrap().expect("manifest exists");
+        assert_eq!(
+            during.version.num_tables(),
+            tables_before,
+            "a frozen range must not append MANIFEST records"
+        );
+
+        // The aborted migration unfreezes and re-syncs whatever the frozen
+        // window flushed.
+        engine.unfreeze();
+        engine.sync_manifest().unwrap();
+        let healed = manifest.load(&cluster.client).unwrap().expect("manifest exists");
+        assert!(healed.version.num_tables() > tables_before);
+        assert!(healed.last_sequence > persisted.last_sequence);
+        engine.shutdown();
         cluster.stop();
     }
 

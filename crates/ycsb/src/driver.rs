@@ -50,6 +50,11 @@ pub struct DriverConfig {
     pub sample_interval: Duration,
     /// Base RNG seed (each thread derives its own).
     pub seed: u64,
+    /// How many times an operation that failed with a *retryable* error
+    /// (stale configuration during a migration, a transient stall) is
+    /// retried before it counts as a client-visible error. The retry
+    /// latency is charged to the operation's histogram entry.
+    pub retry_budget: usize,
 }
 
 impl Default for DriverConfig {
@@ -59,6 +64,7 @@ impl Default for DriverConfig {
             run_length: RunLength::Duration(Duration::from_secs(5)),
             sample_interval: Duration::from_millis(250),
             seed: 1,
+            retry_budget: 8,
         }
     }
 }
@@ -116,6 +122,7 @@ pub fn run<S: KvInterface + ?Sized>(store: &S, workload: &Workload, config: &Dri
             let workload = workload.clone();
             let seed = config.seed.wrapping_mul(1_000_003).wrapping_add(t as u64);
             let run_length = config.run_length;
+            let retry_budget = config.retry_budget;
             handles.push(scope.spawn(move || {
                 let mut generator = OperationGenerator::new(workload, seed);
                 let mut get_hist = Histogram::new();
@@ -141,15 +148,29 @@ pub fn run<S: KvInterface + ?Sized>(store: &S, workload: &Workload, config: &Dri
                     }
                     let op = generator.next_operation();
                     let op_start = Instant::now();
-                    let outcome = match &op {
-                        Operation::Get { key } => store.get(&encode_key(*key)).map(|_| ()),
-                        Operation::Put { key, value_size } => {
-                            store.put(&encode_key(*key), &vec![b'w'; *value_size])
+                    let mut outcome;
+                    let mut attempts = 0usize;
+                    loop {
+                        outcome = match &op {
+                            Operation::Get { key } => store.get(&encode_key(*key)).map(|_| ()),
+                            Operation::Put { key, value_size } => {
+                                store.put(&encode_key(*key), &vec![b'w'; *value_size])
+                            }
+                            Operation::Scan { start_key, count } => {
+                                store.scan(&encode_key(*start_key), *count).map(|_| ())
+                            }
+                        };
+                        // Transient failures (a migration's handoff window, a
+                        // write stall) are retried within the bounded budget
+                        // rather than surfacing as client errors.
+                        match &outcome {
+                            Err(e) if e.is_retryable() && attempts < retry_budget => {
+                                attempts += 1;
+                                std::thread::sleep(Duration::from_micros(100 * attempts as u64));
+                            }
+                            _ => break,
                         }
-                        Operation::Scan { start_key, count } => {
-                            store.scan(&encode_key(*start_key), *count).map(|_| ())
-                        }
-                    };
+                    }
                     let latency = op_start.elapsed();
                     match &op {
                         Operation::Get { .. } => get_hist.record(latency),
@@ -268,6 +289,7 @@ mod tests {
             run_length: RunLength::Operations(500),
             sample_interval: Duration::from_millis(10),
             seed: 11,
+            retry_budget: 2,
         };
         let report = run(&store, &workload, &config);
         assert_eq!(report.operations, 1_500);
@@ -288,6 +310,7 @@ mod tests {
             run_length: RunLength::Duration(Duration::from_millis(200)),
             sample_interval: Duration::from_millis(50),
             seed: 3,
+            retry_budget: 2,
         };
         let start = Instant::now();
         let report = run(&store, &workload, &config);

@@ -1,0 +1,331 @@
+//! Elasticity under load (Section 9): the epoch-guarded two-phase migration
+//! protocol, its abort path, manifest-home pinning, drained-StoC leases and
+//! delta-based rebalancing.
+
+use nova_common::keyspace::encode_key;
+use nova_common::{Error, LtcId, RangeId, StocId};
+use nova_lsm::coordinator::LeaseHolder;
+use nova_lsm::{presets, NovaClient, NovaCluster};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// The tentpole scenario: writer threads keep hammering the migrating range
+/// while it changes hands. Every acknowledged write must survive, and no
+/// thread may observe a terminal error — only bounded, client-internal
+/// retries.
+#[test]
+fn migration_under_concurrent_writers_loses_no_acknowledged_writes() {
+    let mut config = presets::test_cluster(2, 2, 4_000);
+    config.ranges_per_ltc = 2;
+    let cluster = NovaCluster::start(config).unwrap();
+    let client = NovaClient::new(cluster.clone());
+
+    let ltcs = cluster.ltc_ids();
+    let source = ltcs[0];
+    let destination = ltcs[1];
+    let range = cluster.coordinator().configuration().ranges_of(source)[0];
+    // Keys of the migrating range (ranges are 1 000 keys wide).
+    let base = range.0 as u64 * 1_000;
+
+    let stop = AtomicBool::new(false);
+    let terminal_errors = AtomicU64::new(0);
+    const WRITERS: u64 = 4;
+    const KEYS_PER_WRITER: u64 = 250;
+
+    // Each writer owns a disjoint key slice and returns, per key, the last
+    // value the cluster acknowledged.
+    let acked: Vec<Vec<(u64, String)>> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for w in 0..WRITERS {
+            let client = client.clone();
+            let stop = &stop;
+            let terminal_errors = &terminal_errors;
+            handles.push(scope.spawn(move || {
+                let lo = base + w * KEYS_PER_WRITER;
+                let mut last: Vec<(u64, String)> = Vec::new();
+                let mut iter = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    for key in lo..lo + KEYS_PER_WRITER {
+                        let value = format!("w{w}-i{iter}-k{key}");
+                        match client.put_numeric(key, value.as_bytes()) {
+                            Ok(()) => match last.iter_mut().find(|(k, _)| *k == key) {
+                                Some(slot) => slot.1 = value,
+                                None => last.push((key, value)),
+                            },
+                            Err(_) => {
+                                terminal_errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    iter += 1;
+                }
+                last
+            }));
+        }
+
+        // Let the writers ramp up, migrate under them, then let them observe
+        // the new owner for a little while.
+        std::thread::sleep(Duration::from_millis(30));
+        cluster.migrate_range(range, destination).unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        stop.store(true, Ordering::SeqCst);
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    assert_eq!(
+        terminal_errors.load(Ordering::SeqCst),
+        0,
+        "migration under load must surface only bounded retries, never errors"
+    );
+    assert_eq!(
+        cluster.coordinator().configuration().ltc_of(range),
+        Some(destination)
+    );
+    // Zero lost acknowledged writes: every key reads back the last value the
+    // writer got an Ok for.
+    for per_writer in &acked {
+        assert!(!per_writer.is_empty(), "every writer must make progress");
+        for (key, value) in per_writer {
+            assert_eq!(
+                client.get_numeric(*key).unwrap().as_ref(),
+                value.as_bytes(),
+                "key {key} lost its last acknowledged write across the migration"
+            );
+        }
+    }
+    cluster.shutdown();
+}
+
+/// Abort path: an injected fault while the destination engine is being built
+/// must unfreeze the source (reads *and* writes keep working) and leave the
+/// coordinator configuration untouched.
+#[test]
+fn injected_import_failure_aborts_and_unfreezes_the_source() {
+    let mut config = presets::test_cluster(2, 2, 4_000);
+    config.ranges_per_ltc = 1;
+    let cluster = NovaCluster::start(config).unwrap();
+    let client = NovaClient::new(cluster.clone());
+
+    for i in 0..200u64 {
+        client.put_numeric(i, b"pre-fault").unwrap();
+    }
+    let ltcs = cluster.ltc_ids();
+    let range = cluster.coordinator().configuration().ranges_of(ltcs[0])[0];
+    let destination = ltcs[1];
+
+    // Fail the node hosting the range's pinned manifest-home StoC: the
+    // destination build cannot persist its MANIFEST and the migration must
+    // abort.
+    let manifest_home = cluster
+        .coordinator()
+        .configuration()
+        .manifest_home(range)
+        .expect("every range has a pinned manifest home");
+    let victim_node = cluster.stoc_node(manifest_home).unwrap();
+    let config_before = cluster.coordinator().configuration();
+    cluster.fabric().fail_node(victim_node);
+
+    let err = cluster.migrate_range(range, destination).unwrap_err();
+    assert!(
+        !matches!(err, Error::StaleConfig { .. }),
+        "the abort must surface the real fault, got {err}"
+    );
+
+    // The configuration is untouched: same owner, same epoch.
+    let config_after = cluster.coordinator().configuration();
+    assert_eq!(config_after.epoch, config_before.epoch);
+    assert_eq!(config_after.ltc_of(range), config_before.ltc_of(range));
+
+    // The source is unfrozen: it serves writes (still with the StoC node
+    // down — writes land in memtables) as well as reads. Reads are asserted
+    // on in-memory data; pre-fault keys may have been flushed onto the
+    // failed StoC itself (ρ=1, no replication) and are checked after it
+    // recovers.
+    client.put_numeric(7, b"post-abort").unwrap();
+    assert_eq!(client.get_numeric(7).unwrap().as_ref(), b"post-abort");
+
+    // Once the fault clears, the same migration succeeds and nothing was
+    // lost.
+    cluster.fabric().recover_node(victim_node);
+    assert_eq!(client.get_numeric(100).unwrap().as_ref(), b"pre-fault");
+    cluster.migrate_range(range, destination).unwrap();
+    assert_eq!(
+        cluster.coordinator().configuration().ltc_of(range),
+        Some(destination)
+    );
+    assert_eq!(client.get_numeric(7).unwrap().as_ref(), b"post-abort");
+    assert_eq!(client.get_numeric(100).unwrap().as_ref(), b"pre-fault");
+    client.put_numeric(8, b"post-retry").unwrap();
+    assert_eq!(client.get_numeric(8).unwrap().as_ref(), b"post-retry");
+    cluster.shutdown();
+}
+
+/// The epoch contract: operations carrying a configuration epoch older than
+/// the epoch at which the serving LTC acquired the range are rejected with
+/// the retriable `StaleConfig`, and refreshing the configuration converges.
+#[test]
+fn epoch_mismatch_is_rejected_and_a_refresh_converges() {
+    let mut config = presets::test_cluster(2, 2, 4_000);
+    config.ranges_per_ltc = 1;
+    let cluster = NovaCluster::start(config).unwrap();
+    let client = NovaClient::new(cluster.clone());
+    let key = encode_key(10);
+
+    // A current route succeeds; a prehistoric epoch is rejected.
+    let (range, ltc, epoch) = cluster.route(&key).unwrap();
+    ltc.put_at(range, &key, b"current", epoch).unwrap();
+    assert!(matches!(
+        ltc.put_at(range, &key, b"stale", 0),
+        Err(Error::StaleConfig { epoch: e }) if e > 0
+    ));
+    assert!(matches!(
+        ltc.get_at(range, &key, 0),
+        Err(Error::StaleConfig { .. })
+    ));
+
+    // Migrate the range; the old routing epoch is now stale everywhere.
+    let destination = cluster.ltc_ids().into_iter().find(|l| *l != ltc.id()).unwrap();
+    cluster.migrate_range(range, destination).unwrap();
+    let commit_epoch = cluster.coordinator().epoch();
+    assert!(commit_epoch > epoch);
+
+    // Old owner: the engine is gone entirely.
+    assert!(matches!(
+        ltc.put_at(range, &key, b"stale", epoch),
+        Err(Error::WrongRange(_))
+    ));
+    // New owner rejects the pre-migration epoch and names the epoch to
+    // refresh to.
+    let new_owner = cluster.ltc(destination).unwrap();
+    match new_owner.put_at(range, &key, b"stale", epoch) {
+        Err(Error::StaleConfig { epoch: e }) => assert_eq!(e, commit_epoch),
+        other => panic!("expected StaleConfig, got {other:?}"),
+    }
+    // The refresh round-trip: re-route, retry, succeed.
+    let (range2, ltc2, epoch2) = cluster.route(&key).unwrap();
+    assert_eq!(range2, range);
+    assert_eq!(ltc2.id(), destination);
+    ltc2.put_at(range2, &key, b"refreshed", epoch2).unwrap();
+    assert_eq!(
+        client.get(&key).unwrap().as_ref(),
+        b"refreshed",
+        "the high-level client refreshes transparently"
+    );
+    cluster.shutdown();
+}
+
+/// Manifest-home pinning: adding a StoC between range creation and an LTC
+/// failover must not move where recovery looks for the MANIFEST.
+#[test]
+fn manifest_home_survives_add_stoc_before_failover() {
+    let mut config = presets::test_cluster(2, 3, 4_000);
+    config.ranges_per_ltc = 2;
+    config.range.log_policy = nova_common::config::LogPolicy::InMemoryReplicated { replicas: 3 };
+    let cluster = NovaCluster::start(config).unwrap();
+    let client = NovaClient::new(cluster.clone());
+
+    for i in 0..4_000u64 {
+        client.put_numeric(i, format!("pinned-{i}").as_bytes()).unwrap();
+    }
+    // Persist MANIFESTs (flushes write SSTables and save manifest
+    // snapshots to each range's pinned home).
+    cluster.flush_all().unwrap();
+
+    // Growing the StoC set used to shift `range.0 % directory.len()` — e.g.
+    // range 3 resolved to StoC 0 with three StoCs but StoC 3 with four —
+    // so recovery read an empty MANIFEST and silently dropped all flushed
+    // data. The pin must make this a no-op.
+    let pinned_before: Vec<Option<StocId>> = (0..4u32)
+        .map(|r| cluster.coordinator().configuration().manifest_home(RangeId(r)))
+        .collect();
+    cluster.add_stoc().unwrap();
+    let pinned_after: Vec<Option<StocId>> = (0..4u32)
+        .map(|r| cluster.coordinator().configuration().manifest_home(RangeId(r)))
+        .collect();
+    assert_eq!(pinned_before, pinned_after);
+
+    let failed = cluster.ltc_ids()[1];
+    let recovered = cluster.fail_and_recover_ltc(failed).unwrap();
+    assert_eq!(recovered, 2);
+    let mut missing = Vec::new();
+    for i in (0..4_000u64).step_by(17) {
+        match client.get_numeric(i) {
+            Ok(v) => assert_eq!(v.as_ref(), format!("pinned-{i}").as_bytes()),
+            Err(e) => missing.push((i, format!("{e:?}"))),
+        }
+    }
+    assert!(missing.is_empty(), "lost keys after recovery: {missing:?}");
+    cluster.shutdown();
+}
+
+/// Draining StoCs (removed from placement but still serving reads) must keep
+/// their leases renewed by `heartbeat_all`.
+#[test]
+fn heartbeat_all_covers_draining_stocs() {
+    let mut config = presets::test_cluster(1, 3, 2_000);
+    config.range.scatter_width = 1;
+    let cluster = NovaCluster::start(config).unwrap();
+    let client = NovaClient::new(cluster.clone());
+    for i in 0..500u64 {
+        client.put_numeric(i, b"v").unwrap();
+    }
+    let victim = *cluster.stoc_ids().last().unwrap();
+    cluster.remove_stoc(victim).unwrap();
+    assert!(!cluster.stoc_ids().contains(&victim), "removed from placement");
+    assert!(
+        !cluster.coordinator().lease_valid(LeaseHolder::Stoc(victim.0)),
+        "deregistration revokes the lease"
+    );
+    // The drained StoC still serves its blocks, so the cluster heartbeat
+    // must renew its lease along with every other registered component.
+    cluster.heartbeat_all();
+    assert!(
+        cluster.coordinator().lease_valid(LeaseHolder::Stoc(victim.0)),
+        "heartbeat_all must cover still-registered draining StoCs"
+    );
+    assert!(cluster.coordinator().expired_components().is_empty());
+    cluster.shutdown();
+}
+
+/// Rebalancing must plan from the load observed since the previous
+/// rebalance: when the hotspot shifts between two rebalances, the second one
+/// sheds ranges from the *newly* hot LTC instead of replaying history.
+#[test]
+fn second_rebalance_reacts_to_shifted_load() {
+    let mut config = presets::test_cluster(2, 2, 4_000);
+    config.ranges_per_ltc = 4; // 8 ranges, 500 keys each
+    let cluster = NovaCluster::start(config).unwrap();
+    let client = NovaClient::new(cluster.clone());
+    for i in 0..4_000u64 {
+        client.put_numeric(i, b"v").unwrap();
+    }
+    let ltc_a = LtcId(0);
+    let ranges_of = |ltc: LtcId| cluster.coordinator().configuration().ranges_of(ltc).len();
+
+    // Phase 1: hammer LTC A's half of the keyspace, then rebalance.
+    for _ in 0..3 {
+        for i in 0..2_000u64 {
+            client.get_numeric(i).unwrap();
+        }
+    }
+    let first = cluster.rebalance().unwrap();
+    assert!(first >= 1, "the hot LTC must shed ranges on the first rebalance");
+    assert!(ranges_of(ltc_a) < 4, "LTC A was the donor");
+
+    // Phase 2: the hotspot shifts to LTC B's original half. A second
+    // rebalance must react to this *new* load even though LTC A's lifetime
+    // counters still dominate.
+    for _ in 0..2 {
+        for i in 2_000..4_000u64 {
+            client.get_numeric(i).unwrap();
+        }
+    }
+    let a_before = ranges_of(ltc_a);
+    let second = cluster.rebalance().unwrap();
+    assert!(second >= 1, "the shifted hotspot must trigger migrations");
+    assert!(
+        ranges_of(ltc_a) > a_before,
+        "the second rebalance must shed from the newly hot LTC B toward LTC A"
+    );
+    cluster.shutdown();
+}
