@@ -1,0 +1,300 @@
+//! CI perf-regression gate.
+//!
+//! Parses the `BENCH_*.json` files the quick-mode experiment binaries write
+//! (`fig22_scatter_gather`, `tab06_migration`, `fig23_group_commit`), fails
+//! the build if any perf floor is violated, and merges the three reports
+//! into one `BENCH_trajectory.json` artifact so the perf trajectory of every
+//! PR is archived in one place.
+//!
+//! Floors (quick mode):
+//!
+//! * scatter-gather flush speedup at ρ=4, single copy: **≥ 2x** vs serial;
+//! * migration under load: **0** client-visible errors;
+//! * group-commit put speedup at η=3 replicas: **≥ 2x** vs the per-record
+//!   serial baseline, **and ≥ 1.5x** vs the per-record-but-parallel-replicas
+//!   baseline — the second bound isolates the grouping effect, so a group
+//!   commit that silently stopped grouping cannot hide behind the replica
+//!   fan-out speedup.
+//!
+//! The floors are deliberately looser than the headline numbers (≈5x, ≈7x)
+//! so CI noise cannot flake the gate, while a real regression — a serialized
+//! fan-out path, a broken retry protocol, a group commit that stopped
+//! grouping — still fails loudly.
+
+use std::process::ExitCode;
+
+const SCATTER_FLOOR: f64 = 2.0;
+const GROUP_COMMIT_FLOOR: f64 = 2.0;
+const GROUPING_ISOLATION_FLOOR: f64 = 1.5;
+
+/// Split the flat row objects out of a `"rows":[{...},{...}]` array. Rows
+/// are the flat (no nested braces) objects every bench binary writes.
+fn rows(json: &str) -> Vec<&str> {
+    let Some(start) = json.find("\"rows\":[") else {
+        return Vec::new();
+    };
+    let body = &json[start + "\"rows\":[".len()..];
+    let Some(end) = body.find(']') else {
+        return Vec::new();
+    };
+    let body = &body[..end];
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut row_start = 0usize;
+    for (i, c) in body.char_indices() {
+        match c {
+            '{' => {
+                if depth == 0 {
+                    row_start = i;
+                }
+                depth += 1;
+            }
+            '}' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    out.push(&body[row_start..=i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Extract a numeric field (`"key":12.5`) from a flat JSON object.
+fn number(row: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let start = row.find(&needle)? + needle.len();
+    let rest = &row[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// True if the flat JSON object contains the exact `"key":value` pair
+/// (string values must include their quotes, e.g. `"\"flush\""`).
+fn has(row: &str, key: &str, value: &str) -> bool {
+    row.contains(&format!("\"{key}\":{value}"))
+}
+
+/// The scatter-gather floor: the ρ=4 single-copy flush row must keep a ≥2x
+/// parallel-over-serial speedup.
+fn check_scatter(json: &str) -> Result<String, String> {
+    let flush_speedup = rows(json)
+        .into_iter()
+        .filter(|r| has(r, "bench", "\"flush\"") && has(r, "rho", "4") && has(r, "replicas", "1"))
+        .filter_map(|r| number(r, "speedup"))
+        .fold(None::<f64>, |best, s| Some(best.map_or(s, |b| b.max(s))));
+    match flush_speedup {
+        Some(s) if s >= SCATTER_FLOOR => Ok(format!(
+            "scatter: flush speedup {s:.2}x at rho=4 (floor {SCATTER_FLOOR}x)"
+        )),
+        Some(s) => Err(format!(
+            "scatter: flush speedup {s:.2}x at rho=4 is below the {SCATTER_FLOOR}x floor \
+             — the scatter-gather fan-out path has regressed"
+        )),
+        None => Err("scatter: no flush row at rho=4, replicas=1 found in BENCH_scatter.json".into()),
+    }
+}
+
+/// The migration floor: zero client-visible errors in every migration row.
+fn check_migration(json: &str) -> Result<String, String> {
+    let all = rows(json);
+    if all.is_empty() {
+        return Err("migration: no rows found in BENCH_migration.json".into());
+    }
+    let mut errors = 0.0;
+    for row in &all {
+        errors += number(row, "client_errors_during_migration").unwrap_or(f64::NAN);
+    }
+    if errors.is_nan() {
+        return Err("migration: a row lacks the client_errors_during_migration field".into());
+    }
+    if errors > 0.0 {
+        return Err(format!(
+            "migration: {errors} client-visible errors during migration — the epoch/retry \
+             protocol has regressed"
+        ));
+    }
+    Ok(format!(
+        "migration: 0 client-visible errors across {} run(s)",
+        all.len()
+    ))
+}
+
+/// The group-commit floors: at η=3 replicas, the best group-commit
+/// configuration must keep a ≥2x put-throughput speedup over the per-record
+/// serial baseline, and a ≥1.5x speedup over the per-record baseline with
+/// *parallel* replicas — the latter isolates the grouping effect, so a
+/// leader that silently stopped coalescing records cannot pass on replica
+/// fan-out alone.
+fn check_group_commit(json: &str) -> Result<String, String> {
+    let grouped: Vec<&str> = rows(json)
+        .into_iter()
+        .filter(|r| has(r, "replicas", "3") && has(r, "group_commit", "true"))
+        .collect();
+    let best = |key: &str| {
+        grouped
+            .iter()
+            .filter_map(|r| number(r, key))
+            .fold(None::<f64>, |best, s| Some(best.map_or(s, |b| b.max(s))))
+    };
+    let (vs_serial, vs_parallel) = match (best("speedup"), best("speedup_vs_parallel")) {
+        (Some(s), Some(p)) => (s, p),
+        _ => {
+            return Err(
+                "group-commit: no group-commit row at replicas=3 (with speedup and \
+                 speedup_vs_parallel) found in BENCH_group_commit.json"
+                    .into(),
+            )
+        }
+    };
+    if vs_serial < GROUP_COMMIT_FLOOR {
+        return Err(format!(
+            "group-commit: put speedup {vs_serial:.2}x at eta=3 is below the {GROUP_COMMIT_FLOOR}x \
+             floor — the group-commit write path has regressed"
+        ));
+    }
+    if vs_parallel < GROUPING_ISOLATION_FLOOR {
+        return Err(format!(
+            "group-commit: put speedup {vs_parallel:.2}x over the parallel-replicas baseline at \
+             eta=3 is below the {GROUPING_ISOLATION_FLOOR}x floor — records are no longer being \
+             coalesced into groups (replica fan-out alone cannot satisfy this bound)"
+        ));
+    }
+    Ok(format!(
+        "group-commit: put speedup {vs_serial:.2}x vs serial, {vs_parallel:.2}x vs \
+         parallel-replicas at eta=3 (floors {GROUP_COMMIT_FLOOR}x / {GROUPING_ISOLATION_FLOOR}x)"
+    ))
+}
+
+fn main() -> ExitCode {
+    let inputs = [
+        (
+            "scatter",
+            "BENCH_scatter.json",
+            check_scatter as fn(&str) -> Result<String, String>,
+        ),
+        ("migration", "BENCH_migration.json", check_migration),
+        ("group_commit", "BENCH_group_commit.json", check_group_commit),
+    ];
+    let mut merged: Vec<String> = Vec::new();
+    let mut failures = 0u32;
+    for (name, path, check) in inputs {
+        let content = match std::fs::read_to_string(path) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("ci_gate: FAIL cannot read {path}: {e} (run the quick benches first)");
+                failures += 1;
+                continue;
+            }
+        };
+        match check(&content) {
+            Ok(summary) => println!("ci_gate: OK   {summary}"),
+            Err(violation) => {
+                eprintln!("ci_gate: FAIL {violation}");
+                failures += 1;
+            }
+        }
+        merged.push(format!("\"{name}\":{}", content.trim_end()));
+    }
+
+    // Merge whatever was readable into one trajectory artifact, even on
+    // failure — the artifact is how a regression gets diagnosed.
+    let trajectory = format!("{{{}}}\n", merged.join(","));
+    match std::fs::write("BENCH_trajectory.json", &trajectory) {
+        Ok(()) => println!("ci_gate: wrote BENCH_trajectory.json"),
+        Err(e) => eprintln!("ci_gate: could not write BENCH_trajectory.json: {e}"),
+    }
+
+    if failures > 0 {
+        eprintln!("ci_gate: {failures} floor violation(s)");
+        ExitCode::FAILURE
+    } else {
+        println!("ci_gate: all perf floors hold");
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCATTER: &str = r#"{"experiment":"fig22_scatter_gather","quick":true,"rows":[
+        {"bench":"flush","rho":4,"replicas":1,"serial_ms":10.0,"parallel_ms":2.0,"speedup":5.000},
+        {"bench":"flush","rho":4,"replicas":3,"serial_ms":30.0,"parallel_ms":5.0,"speedup":6.000},
+        {"bench":"scan","rho":4,"serial_ms":8.0,"parallel_ms":2.0,"speedup":4.000}]}"#;
+
+    const MIGRATION: &str = r#"{"experiment":"tab06_migration","rows":[
+        {"workload":"W100","migration_ms":12.0,"client_errors_during_migration":0,"retries":4}]}"#;
+
+    const GROUP: &str = r#"{"experiment":"fig23_group_commit","rows":[
+        {"bench":"put","replicas":1,"mode":"serial","group_commit":false,"batch_size":1,"kops":17.0,"speedup":1.000,"speedup_vs_parallel":1.000},
+        {"bench":"put","replicas":3,"mode":"serial","group_commit":false,"batch_size":1,"kops":5.0,"speedup":1.000,"speedup_vs_parallel":0.600},
+        {"bench":"put","replicas":3,"mode":"parallel-replicas","group_commit":false,"batch_size":1,"kops":9.0,"speedup":1.500,"speedup_vs_parallel":1.000},
+        {"bench":"put","replicas":3,"mode":"group","group_commit":true,"batch_size":1,"kops":13.0,"speedup":2.400,"speedup_vs_parallel":1.540},
+        {"bench":"put","replicas":3,"mode":"group+batch","group_commit":true,"batch_size":16,"kops":40.0,"speedup":7.100,"speedup_vs_parallel":4.300}]}"#;
+
+    #[test]
+    fn row_splitting_and_field_extraction() {
+        let all = rows(SCATTER);
+        assert_eq!(all.len(), 3);
+        assert_eq!(number(all[0], "speedup"), Some(5.0));
+        assert_eq!(number(all[0], "rho"), Some(4.0));
+        assert!(has(all[0], "bench", "\"flush\""));
+        assert!(!has(all[2], "bench", "\"flush\""));
+        assert!(rows("{\"no\":\"rows\"}").is_empty());
+        assert_eq!(number(all[0], "missing"), None);
+    }
+
+    #[test]
+    fn scatter_floor_holds_and_trips() {
+        assert!(check_scatter(SCATTER).is_ok());
+        let slow = SCATTER.replace("\"speedup\":5.000", "\"speedup\":1.400");
+        assert!(check_scatter(&slow).is_err());
+        assert!(check_scatter("{\"rows\":[]}").is_err());
+    }
+
+    #[test]
+    fn migration_floor_holds_and_trips() {
+        assert!(check_migration(MIGRATION).is_ok());
+        let broken = MIGRATION.replace(
+            "\"client_errors_during_migration\":0",
+            "\"client_errors_during_migration\":3",
+        );
+        assert!(check_migration(&broken).is_err());
+        assert!(check_migration("{\"rows\":[]}").is_err());
+    }
+
+    #[test]
+    fn group_commit_floor_takes_the_best_grouped_row() {
+        assert!(check_group_commit(GROUP).is_ok());
+        // Even if batching regresses, a healthy group-only row keeps the
+        // gate green — and vice versa the floor trips only when *every*
+        // grouped configuration is slow.
+        let all_slow = GROUP
+            .replace("\"speedup\":2.400", "\"speedup\":1.100")
+            .replace("\"speedup\":7.100", "\"speedup\":1.300");
+        assert!(check_group_commit(&all_slow).is_err());
+        // The serial baseline row (speedup 1.0) never satisfies the floor.
+        let only_serial =
+            r#"{"rows":[{"replicas":3,"group_commit":false,"speedup":1.000,"speedup_vs_parallel":0.6}]}"#;
+        assert!(check_group_commit(only_serial).is_err());
+    }
+
+    #[test]
+    fn grouping_isolation_floor_catches_a_group_commit_that_stopped_grouping() {
+        // Replica fan-out alone can deliver ~3x over the fully serial
+        // baseline at eta=3 — the vs-serial floor would stay green. The
+        // isolation floor compares against the parallel-replicas baseline,
+        // where lost grouping shows as ~1x, and must trip.
+        let no_grouping = GROUP
+            .replace("\"speedup_vs_parallel\":1.540", "\"speedup_vs_parallel\":1.010")
+            .replace("\"speedup_vs_parallel\":4.300", "\"speedup_vs_parallel\":1.050");
+        assert!(check_group_commit(&no_grouping).is_err());
+        // Rows missing the isolation field fail loudly instead of passing.
+        let missing = GROUP
+            .replace("\"speedup_vs_parallel\":1.540", "\"x\":1.540")
+            .replace("\"speedup_vs_parallel\":4.300", "\"x\":4.300");
+        assert!(check_group_commit(&missing).is_err());
+    }
+}

@@ -1,0 +1,206 @@
+//! Figure 23 (repo extension): group-commit logging and batched writes vs
+//! the per-record serial baseline.
+//!
+//! The paper's write path (Section 5) replicates every log record with one
+//! `RDMA WRITE` per replica, so with η replicas each put pays η sequential
+//! fabric round trips and writers of a memtable serialize behind them. This
+//! experiment turns `simulate_delay` on (every verb sleeps for its simulated
+//! network time) and measures put throughput at η ∈ {1, 3} in-memory log
+//! replicas under three write-path configurations:
+//!
+//! * **serial** — `group_commit_max_records = 1` and `stoc_io_parallelism
+//!   = 1`: the pre-group-commit protocol, one write per replica per record,
+//!   replicas in sequence;
+//! * **parallel-replicas** — still one write per record, but the replicas
+//!   fan out concurrently: isolates the I/O-pool effect so the gate can
+//!   tell a grouping regression from a fan-out regression;
+//! * **group** — group commit on: concurrent writers' records coalesce into
+//!   one write per replica per group, replicas fanned out in parallel;
+//! * **group+batch** — group commit plus `NovaClient::put_batch`: each
+//!   client thread submits its puts in batches, so even a lone thread fills
+//!   whole groups.
+//!
+//! Results are printed as a table and written to `BENCH_group_commit.json`;
+//! CI runs `--quick` and `ci_gate` enforces the ≥2x floor at η=3.
+
+use nova_bench::{print_header, print_row};
+use nova_common::config::{DiskConfig, FabricConfig, LogPolicy};
+use nova_lsm::{presets, NovaClient, NovaCluster};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One-way verb latency for the simulated fabric. Large enough that network
+/// round trips dominate, as in the paper's setup where the network prices
+/// every log append.
+const LATENCY_NANOS: u64 = 100_000;
+
+const WRITER_THREADS: u64 = 8;
+
+struct Scenario {
+    label: &'static str,
+    group_commit: bool,
+    serial_io: bool,
+    batch_size: usize,
+}
+
+const SCENARIOS: [Scenario; 4] = [
+    Scenario {
+        label: "serial",
+        group_commit: false,
+        serial_io: true,
+        batch_size: 1,
+    },
+    Scenario {
+        label: "parallel-replicas",
+        group_commit: false,
+        serial_io: false,
+        batch_size: 1,
+    },
+    Scenario {
+        label: "group",
+        group_commit: true,
+        serial_io: false,
+        batch_size: 1,
+    },
+    Scenario {
+        label: "group+batch",
+        group_commit: true,
+        serial_io: false,
+        batch_size: 16,
+    },
+];
+
+/// Run one scenario: start a fresh cluster, hammer it with put-only writer
+/// threads, return puts/second.
+fn run_scenario(replicas: u32, scenario: &Scenario, puts_per_thread: u64, num_keys: u64) -> f64 {
+    let mut config = presets::test_cluster(1, 3, num_keys);
+    config.fabric = FabricConfig {
+        latency_nanos: LATENCY_NANOS,
+        simulate_delay: true,
+        ..FabricConfig::default()
+    };
+    config.disk = DiskConfig {
+        bandwidth_bytes_per_sec: u64::MAX / 2,
+        seek_micros: 0,
+        accounting_only: true,
+    };
+    config.range.log_policy = LogPolicy::InMemoryReplicated { replicas };
+    // Larger memtables keep flush traffic (which pays the simulated latency
+    // too, in the background) from dominating the short run.
+    config.range.memtable_size_bytes = 64 * 1024;
+    config.range.max_memtables = 32;
+    if !scenario.group_commit {
+        // Per-record logging: one group per record.
+        config.group_commit_max_records = 1;
+    }
+    if scenario.serial_io {
+        // The fully serial baseline additionally writes the replicas in
+        // submission order through the width-1 pool.
+        config.stoc_io_parallelism = 1;
+    }
+    let cluster = NovaCluster::start(config).expect("start cluster");
+    let client = NovaClient::new(Arc::clone(&cluster));
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..WRITER_THREADS {
+            let client = client.clone();
+            let batch_size = scenario.batch_size;
+            scope.spawn(move || {
+                let value = vec![b'v'; 64];
+                // Deterministic per-thread LCG so runs are comparable.
+                let mut state = 0x9e3779b97f4a7c15u64.wrapping_mul(t + 1);
+                let mut next_key = || {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    (state >> 33) % num_keys
+                };
+                if batch_size <= 1 {
+                    for _ in 0..puts_per_thread {
+                        client.put_numeric(next_key(), &value).expect("put");
+                    }
+                } else {
+                    let mut done = 0u64;
+                    while done < puts_per_thread {
+                        let n = batch_size.min((puts_per_thread - done) as usize);
+                        let items: Vec<(Vec<u8>, Vec<u8>)> = (0..n)
+                            .map(|_| (nova_common::keyspace::encode_key(next_key()), value.clone()))
+                            .collect();
+                        client.put_batch(&items).expect("put_batch");
+                        done += n as u64;
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    cluster.shutdown();
+    (WRITER_THREADS * puts_per_thread) as f64 / elapsed.max(1e-9)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let puts_per_thread: u64 = if quick { 250 } else { 1_000 };
+    let num_keys = 10_000u64;
+
+    print_header(
+        &format!(
+            "Figure 23: group-commit write path (simulate_delay on, {WRITER_THREADS} writers, \
+             {puts_per_thread} puts/writer)"
+        ),
+        &["replicas", "mode", "batch", "kops", "speedup vs serial"],
+    );
+
+    let mut json_rows: Vec<String> = Vec::new();
+    let mut speedup_at_3 = 0.0f64;
+    for replicas in [1u32, 3] {
+        let mut serial_ops = 0.0f64;
+        let mut parallel_ops = 0.0f64;
+        for scenario in &SCENARIOS {
+            let ops = run_scenario(replicas, scenario, puts_per_thread, num_keys);
+            if scenario.serial_io {
+                serial_ops = ops;
+            } else if !scenario.group_commit {
+                parallel_ops = ops;
+            }
+            let speedup = ops / serial_ops.max(1e-9);
+            // Grouping isolated from replica fan-out: against the
+            // per-record-but-parallel-replicas baseline.
+            let vs_parallel = ops / parallel_ops.max(1e-9);
+            if replicas == 3 {
+                speedup_at_3 = speedup_at_3.max(speedup);
+            }
+            print_row(&[
+                replicas.to_string(),
+                scenario.label.to_string(),
+                scenario.batch_size.to_string(),
+                format!("{:.1}", ops / 1e3),
+                format!("{speedup:.2}x"),
+            ]);
+            json_rows.push(format!(
+                "{{\"bench\":\"put\",\"replicas\":{replicas},\"mode\":\"{}\",\
+                 \"group_commit\":{},\"batch_size\":{},\"kops\":{:.3},\"speedup\":{speedup:.3},\
+                 \"speedup_vs_parallel\":{vs_parallel:.3}}}",
+                scenario.label,
+                scenario.group_commit,
+                scenario.batch_size,
+                ops / 1e3,
+            ));
+        }
+    }
+
+    println!(
+        "\nbest put speedup at eta=3 (group commit + batching vs per-record serial): {speedup_at_3:.2}x"
+    );
+
+    let json = format!(
+        "{{\"experiment\":\"fig23_group_commit\",\"quick\":{quick},\"latency_nanos\":{LATENCY_NANOS},\
+         \"writer_threads\":{WRITER_THREADS},\"rows\":[{}]}}\n",
+        json_rows.join(",")
+    );
+    match std::fs::write("BENCH_group_commit.json", &json) {
+        Ok(()) => println!("wrote BENCH_group_commit.json"),
+        Err(e) => eprintln!("could not write BENCH_group_commit.json: {e}"),
+    }
+}

@@ -25,6 +25,9 @@ pub struct BenchScale {
     pub run_secs: u64,
     /// Simulated disk profile.
     pub disk: DiskConfig,
+    /// Puts each driver thread coalesces into one `put_batch` call
+    /// (1 = classic per-operation YCSB).
+    pub batch_size: usize,
 }
 
 impl Default for BenchScale {
@@ -35,6 +38,7 @@ impl Default for BenchScale {
             threads: 8,
             run_secs: 4,
             disk: DiskConfig::scaled(40, 2_000),
+            batch_size: 1,
         }
     }
 }
@@ -69,6 +73,7 @@ impl BenchScale {
             sample_interval: Duration::from_millis(250),
             seed: 42,
             retry_budget: 8,
+            batch_size: self.batch_size.max(1),
         }
     }
 }
@@ -91,6 +96,20 @@ impl KvInterface for StoreHandle {
         match self {
             StoreHandle::Nova { client, .. } => client.put(key, value),
             StoreHandle::Baseline(cluster) => cluster.put(key, value),
+        }
+    }
+
+    fn put_batch(&self, items: &[(Vec<u8>, Vec<u8>)]) -> Result<()> {
+        match self {
+            // The first-class batched write path: per-range shards, one
+            // routing decision and group-committed logging per shard.
+            StoreHandle::Nova { client, .. } => client.put_batch(items),
+            StoreHandle::Baseline(cluster) => {
+                for (key, value) in items {
+                    cluster.put(key, value)?;
+                }
+                Ok(())
+            }
         }
     }
 
@@ -205,6 +224,7 @@ mod tests {
                 seek_micros: 0,
                 accounting_only: true,
             },
+            batch_size: 1,
         };
         let store = nova_store(presets::test_cluster(1, 2, scale.num_keys), &scale);
         assert!(store.nova().is_some());
@@ -233,6 +253,7 @@ mod tests {
                 seek_micros: 0,
                 accounting_only: true,
             },
+            batch_size: 1,
         };
         let store = baseline_store(BaselineKind::LevelDbStar, 2, 16 * 1024, &scale);
         assert!(store.nova().is_none());

@@ -419,6 +419,18 @@ pub struct ClusterConfig {
     /// concurrently. Width 1 forces the serial fragment-by-fragment
     /// behaviour (useful as a benchmark baseline).
     pub stoc_io_parallelism: usize,
+    /// Upper bound on the bytes one log group-commit write carries. The
+    /// group-commit leader drains at most this many bytes of queued log
+    /// records into a single `RDMA WRITE` per replica (Section 5's
+    /// one-write-per-record protocol, amortized across concurrent writers).
+    /// The byte layout of the log is identical at every setting — records
+    /// are still concatenated in commit order — so recovery is untouched.
+    pub group_commit_bytes: usize,
+    /// Upper bound on how many log records one group-commit write carries.
+    /// `1` disables grouping: every record is replicated with its own
+    /// write, exactly the pre-group-commit serial protocol (combine with
+    /// `stoc_io_parallelism = 1` for the fully serial baseline).
+    pub group_commit_max_records: usize,
     /// Worker threads per StoC that execute storage requests.
     pub stoc_storage_threads: usize,
     /// Worker threads per StoC dedicated to offloaded compactions.
@@ -448,6 +460,8 @@ impl Default for ClusterConfig {
             fabric: FabricConfig::default(),
             block_cache: CacheConfig::default(),
             stoc_io_parallelism: 8,
+            group_commit_bytes: 64 << 10,
+            group_commit_max_records: 64,
             stoc_storage_threads: 4,
             stoc_compaction_threads: 2,
             lease_millis: 1_000,
@@ -485,6 +499,12 @@ impl ClusterConfig {
         }
         if self.stoc_io_parallelism == 0 {
             return Err("stoc_io_parallelism must be at least 1 (1 = serial I/O)".into());
+        }
+        if self.group_commit_bytes == 0 {
+            return Err("group_commit_bytes must be at least 1".into());
+        }
+        if self.group_commit_max_records == 0 {
+            return Err("group_commit_max_records must be at least 1 (1 = per-record logging)".into());
         }
         if self.client_retries == 0 {
             return Err("client_retries must be at least 1".into());
@@ -535,6 +555,25 @@ mod tests {
         assert!(c.validate().is_err());
         let c = ClusterConfig {
             stoc_io_parallelism: 1,
+            ..Default::default()
+        };
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn zero_group_commit_knobs_are_rejected() {
+        let c = ClusterConfig {
+            group_commit_bytes: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = ClusterConfig {
+            group_commit_max_records: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = ClusterConfig {
+            group_commit_max_records: 1,
             ..Default::default()
         };
         assert!(c.validate().is_ok());

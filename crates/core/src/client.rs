@@ -123,6 +123,42 @@ impl NovaClient {
         self.with_routing(key, |range, ltc, epoch| ltc.get_at(range, key, epoch))
     }
 
+    /// Write a batch of key-value pairs.
+    ///
+    /// The batch is split by destination range (preserving submission order
+    /// within each range) and each shard is applied with one epoch-validated
+    /// `put_batch_at` against its owning LTC — so a shard pays one routing
+    /// decision and its log records travel as group-commit writes instead of
+    /// one fabric round trip per record. A shard that hits a stale-routing
+    /// window (range migration, failover) is refreshed and retried on its
+    /// own, without re-applying the shards that already succeeded.
+    ///
+    /// Atomicity is per destination-memtable group within one range's
+    /// Drange write state — never across ranges: on an error some shards
+    /// (and within the failing shard, a prefix) may already be applied and
+    /// readable.
+    pub fn put_batch(&self, items: &[(Vec<u8>, Vec<u8>)]) -> Result<()> {
+        if items.is_empty() {
+            return Ok(());
+        }
+        let partition = self.cluster.partition();
+        // Group by destination range, preserving order per range. Batches
+        // touch few ranges, so a linear scan beats a map here.
+        type Shard<'a> = (nova_common::RangeId, Vec<(&'a [u8], &'a [u8])>);
+        let mut shards: Vec<Shard<'_>> = Vec::new();
+        for (key, value) in items {
+            let range = partition.range_of_encoded(key);
+            match shards.iter_mut().find(|(r, _)| *r == range) {
+                Some((_, shard)) => shard.push((key, value)),
+                None => shards.push((range, vec![(key.as_slice(), value.as_slice())])),
+            }
+        }
+        for (range, shard) in &shards {
+            self.with_range_routing(*range, |ltc, epoch| ltc.put_batch_at(*range, shard, epoch))?;
+        }
+        Ok(())
+    }
+
     /// Scan up to `limit` live entries starting at `start_key`, crossing
     /// range (and LTC) boundaries in read-committed fashion (Section 8.1).
     pub fn scan(&self, start_key: &[u8], limit: usize) -> Result<Vec<Entry>> {

@@ -139,11 +139,17 @@ impl NovaCluster {
         let client = StocClient::new(endpoint, self.directory.clone())
             .with_io_parallelism(self.config.stoc_io_parallelism);
         let range_config = self.config.range.clone();
-        let logc = Arc::new(LogC::new(
-            client.clone(),
-            range_config.log_policy,
-            range_config.memtable_size_bytes as u64 * 2,
-        ));
+        let logc = Arc::new(
+            LogC::new(
+                client.clone(),
+                range_config.log_policy,
+                range_config.memtable_size_bytes as u64 * 2,
+            )
+            .with_group_commit(
+                self.config.group_commit_bytes,
+                self.config.group_commit_max_records,
+            ),
+        );
         // Co-locate the "local" StoC with the LTC's position for the
         // shared-nothing preset; harmless otherwise.
         let local_stoc = StocId(ltc.0 % self.config.num_stocs.max(1) as u32);
@@ -503,11 +509,17 @@ impl NovaCluster {
         let client = StocClient::new(self.fabric.endpoint(node), self.directory.clone())
             .with_io_parallelism(self.config.stoc_io_parallelism);
         let range_config = self.config.range.clone();
-        let logc = Arc::new(LogC::new(
-            client.clone(),
-            range_config.log_policy,
-            range_config.memtable_size_bytes as u64 * 2,
-        ));
+        let logc = Arc::new(
+            LogC::new(
+                client.clone(),
+                range_config.log_policy,
+                range_config.memtable_size_bytes as u64 * 2,
+            )
+            .with_group_commit(
+                self.config.group_commit_bytes,
+                self.config.group_commit_max_records,
+            ),
+        );
         let placer = Placer::new(
             client.clone(),
             range_config.placement,

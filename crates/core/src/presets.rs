@@ -79,6 +79,8 @@ pub fn scaled_experiment(num_keys: u64) -> ClusterConfig {
             admission: true,
         },
         stoc_io_parallelism: 8,
+        group_commit_bytes: 64 << 10,
+        group_commit_max_records: 64,
         stoc_storage_threads: 4,
         stoc_compaction_threads: 2,
         lease_millis: 1_000,

@@ -5,16 +5,47 @@
 //! (availability) or persistent (durability)." (Section 5).
 //!
 //! In availability mode each log file is an in-memory StoC file replicated to
-//! `replicas` StoCs; every append is one `RDMA WRITE` per replica and never
-//! involves a StoC CPU (Section 6.1). In durability mode records are also
-//! appended to a persistent StoC log, which charges the StoC's disk.
+//! `replicas` StoCs; appends are one-sided `RDMA WRITE`s that never involve a
+//! StoC CPU (Section 6.1). In durability mode records are also appended to a
+//! persistent StoC log, which charges the StoC's disk.
+//!
+//! # Group commit
+//!
+//! The paper's protocol issues one `RDMA WRITE` per replica *per record*, so
+//! with η replicas every put pays η sequential fabric round trips and all
+//! writers of a memtable serialize behind them. This implementation amortizes
+//! that cost with leader/follower group commit: writers enqueue their encoded
+//! records into a per-log-file commit buffer; the first writer to find no
+//! leader active becomes the leader, drains the buffer (bounded by the
+//! `group_commit_bytes` / `group_commit_max_records` knobs), issues **one**
+//! write per replica for the whole group — fanned out concurrently across
+//! replicas through the StoC client's I/O pool — plus one persistent append,
+//! then wakes the group. Followers block on a condvar until their records are
+//! committed (or failed).
+//!
+//! Records are drained strictly in enqueue order and written back-to-back at
+//! consecutive offsets, so the byte layout of the log file is identical to
+//! the serial per-record protocol at *every* group size — recovery is
+//! untouched. A failed group write rolls its offset back (the next group
+//! overwrites the partial bytes), mirroring the serial path's behaviour of
+//! reusing the offset of a failed append.
 
 use crate::record::{parse_records, LogRecord};
 use nova_common::config::LogPolicy;
 use nova_common::{Error, MemtableId, RangeId, Result, StocId};
 use nova_stoc::{MemFileHandle, StocClient};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use std::sync::{Condvar, Mutex as StdMutex};
+
+/// Default cap on the bytes one group-commit write carries (mirrors
+/// `ClusterConfig::group_commit_bytes`).
+pub const DEFAULT_GROUP_COMMIT_BYTES: usize = 64 << 10;
+
+/// Default cap on the records one group-commit write carries (mirrors
+/// `ClusterConfig::group_commit_max_records`).
+pub const DEFAULT_GROUP_COMMIT_MAX_RECORDS: usize = 64;
 
 /// Naming scheme for log files: `log/<range>/<memtable id>`.
 pub fn log_file_name(range: RangeId, memtable: MemtableId) -> String {
@@ -26,17 +57,48 @@ pub fn log_prefix(range: RangeId) -> String {
     format!("log/{}/", range.0)
 }
 
-/// The state of one open log file.
-#[derive(Debug, Clone)]
-struct OpenLog {
+/// The mutable group-commit state of one open log file. Tickets are 1-based
+/// record serials: a writer's records are committed once `committed` reaches
+/// its last ticket.
+#[derive(Debug, Default)]
+struct GroupState {
+    /// Encoded records awaiting a leader, concatenated in enqueue order.
+    pending: Vec<u8>,
+    /// Per-record byte lengths of `pending` (front = oldest), so the leader
+    /// cuts groups on record boundaries.
+    pending_lens: VecDeque<usize>,
+    /// Tickets issued to enqueued records.
+    enqueued: u64,
+    /// Records removed from `pending` by a leader (assigned to a group).
+    taken: u64,
+    /// Byte offset the next group will be written at.
+    write_offset: u64,
+    /// Records whose group write has completed (successfully or not).
+    committed: u64,
+    /// Bytes durably written to the replicas.
+    committed_bytes: u64,
+    /// True while a leader is draining and writing.
+    leader_active: bool,
+    /// Ticket ranges whose group write failed, with the error every writer
+    /// of the range receives. Failure-path only; entries accumulate for the
+    /// (memtable-flush-bounded) lifetime of the log file.
+    failures: Vec<(u64, u64, Error)>,
+}
+
+/// One open log file: the immutable placement plus the commit buffer.
+#[derive(Debug)]
+struct LogFile {
+    name: String,
     /// In-memory replicas (availability).
     replicas: Vec<MemFileHandle>,
     /// StoC holding the persistent copy (durability).
     persistent: Option<StocId>,
-    /// Next append offset within the in-memory replicas.
-    offset: u64,
     /// Capacity of the in-memory replicas.
     capacity: u64,
+    /// Commit buffer; `std` primitives because the vendored `parking_lot`
+    /// shim has no condvar.
+    state: StdMutex<GroupState>,
+    cv: Condvar,
 }
 
 /// The logging component. One instance is embedded in each LTC ("a LogC is a
@@ -46,32 +108,57 @@ pub struct LogC {
     policy: LogPolicy,
     /// Approximate size of a log file — the paper sizes it like the memtable.
     log_file_size: u64,
-    open: Mutex<HashMap<(RangeId, MemtableId), OpenLog>>,
+    /// Cap on the bytes one group write carries.
+    group_bytes: usize,
+    /// Cap on the records one group write carries (1 = per-record logging).
+    group_max_records: usize,
+    /// Open log files. The map lock is held only to resolve the `Arc`; all
+    /// I/O and waiting happens on the per-file commit buffer, so writers to
+    /// different memtables never serialize on each other.
+    open: Mutex<HashMap<(RangeId, MemtableId), Arc<LogFile>>>,
 }
 
 impl std::fmt::Debug for LogC {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("LogC")
             .field("policy", &self.policy)
+            .field("group_bytes", &self.group_bytes)
+            .field("group_max_records", &self.group_max_records)
             .field("open_files", &self.open.lock().len())
             .finish()
     }
 }
 
 impl LogC {
-    /// Create a logging component.
+    /// Create a logging component with the default group-commit bounds.
     pub fn new(client: StocClient, policy: LogPolicy, log_file_size: u64) -> Self {
         LogC {
             client,
             policy,
             log_file_size,
+            group_bytes: DEFAULT_GROUP_COMMIT_BYTES,
+            group_max_records: DEFAULT_GROUP_COMMIT_MAX_RECORDS,
             open: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Set the group-commit bounds (`ClusterConfig::group_commit_bytes` /
+    /// `group_commit_max_records`). `max_records = 1` restores per-record
+    /// logging; both are clamped to at least 1.
+    pub fn with_group_commit(mut self, bytes: usize, max_records: usize) -> Self {
+        self.group_bytes = bytes.max(1);
+        self.group_max_records = max_records.max(1);
+        self
     }
 
     /// The configured policy.
     pub fn policy(&self) -> LogPolicy {
         self.policy
+    }
+
+    /// The configured group-commit bounds `(bytes, max_records)`.
+    pub fn group_commit_bounds(&self) -> (usize, usize) {
+        (self.group_bytes, self.group_max_records)
     }
 
     /// Choose the StoCs that hold the replicas of a log file. Replicas are
@@ -111,41 +198,193 @@ impl LogC {
         };
         self.open.lock().insert(
             (range, memtable),
-            OpenLog {
+            Arc::new(LogFile {
+                name,
                 replicas,
                 persistent,
-                offset: 0,
                 capacity: self.log_file_size,
-            },
+                state: StdMutex::new(GroupState::default()),
+                cv: Condvar::new(),
+            }),
         );
         Ok(())
     }
 
+    fn log_file(&self, range: RangeId, memtable: MemtableId) -> Result<Arc<LogFile>> {
+        self.open
+            .lock()
+            .get(&(range, memtable))
+            .cloned()
+            .ok_or_else(|| Error::InvalidArgument(format!("no open log file for {range} {memtable}")))
+    }
+
     /// Append a log record for a write destined for `memtable`. Must be
-    /// called before applying the write to the memtable.
+    /// called before applying the write to the memtable; once it returns
+    /// `Ok`, the record has been replicated (and persisted, per the policy).
     pub fn append(&self, range: RangeId, record: &LogRecord) -> Result<()> {
         if !self.policy.enabled() {
             return Ok(());
         }
-        let key = (range, record.memtable_id);
+        let file = self.log_file(range, record.memtable_id)?;
         let encoded = record.encode();
-        let mut open = self.open.lock();
-        let log = open.get_mut(&key).ok_or_else(|| {
-            Error::InvalidArgument(format!("no open log file for {} {}", range, record.memtable_id))
-        })?;
-        if log.offset + encoded.len() as u64 > log.capacity {
-            // The in-memory region is full; in practice the memtable fills
-            // first because records mirror memtable inserts, but guard anyway.
+        let len = encoded.len();
+        self.commit(&file, encoded, &[len])
+    }
+
+    /// Append a batch of log records as one group per destination memtable:
+    /// the records of each memtable are enqueued together and therefore
+    /// travel in the same group write(s), in batch order. Returns the first
+    /// error; on error, records of *other* memtables in the batch may
+    /// already be durable — they replay at recovery as unacknowledged
+    /// writes, which the write-ahead contract permits.
+    pub fn append_batch(&self, range: RangeId, records: &[LogRecord]) -> Result<()> {
+        if !self.policy.enabled() || records.is_empty() {
+            return Ok(());
+        }
+        // Group by memtable, preserving batch order within each group.
+        let mut groups: Vec<(MemtableId, Vec<u8>, Vec<usize>)> = Vec::new();
+        for record in records {
+            let encoded = record.encode();
+            let len = encoded.len();
+            match groups.iter_mut().find(|(mid, _, _)| *mid == record.memtable_id) {
+                Some((_, bytes, lens)) => {
+                    lens.push(len);
+                    bytes.extend_from_slice(&encoded);
+                }
+                None => groups.push((record.memtable_id, encoded, vec![len])),
+            }
+        }
+        // Resolve every destination before committing anything, so a typo'd
+        // memtable fails the batch without logging a partial prefix.
+        let files: Vec<Arc<LogFile>> = groups
+            .iter()
+            .map(|(mid, _, _)| self.log_file(range, *mid))
+            .collect::<Result<_>>()?;
+        for (file, (_, bytes, lens)) in files.iter().zip(groups) {
+            self.commit(file, bytes, &lens)?;
+        }
+        Ok(())
+    }
+
+    /// Enqueue `lens.len()` records (`bytes` is their concatenation) into the
+    /// file's commit buffer and block until they are durable: leader/follower
+    /// group commit.
+    fn commit(&self, file: &LogFile, bytes: Vec<u8>, lens: &[usize]) -> Result<()> {
+        let mut state = file.state.lock().expect("log group state poisoned");
+        // Capacity check against every byte enqueued or already assigned an
+        // offset. In practice the memtable fills first because records
+        // mirror memtable inserts, but guard anyway.
+        if state.write_offset + (state.pending.len() + bytes.len()) as u64 > file.capacity {
             return Err(Error::Unavailable("log file is full".into()));
         }
-        for replica in &log.replicas {
-            self.client.write_mem(replica, log.offset, &encoded)?;
+        let first = state.enqueued + 1;
+        state.enqueued += lens.len() as u64;
+        let last = state.enqueued;
+        state.pending.extend_from_slice(&bytes);
+        state.pending_lens.extend(lens.iter().copied());
+        loop {
+            if state.committed >= last {
+                // Our group write completed; surface its outcome.
+                return match state
+                    .failures
+                    .iter()
+                    .find(|(lo, hi, _)| *lo <= last && first <= *hi)
+                {
+                    Some((_, _, e)) => Err(e.clone()),
+                    None => Ok(()),
+                };
+            }
+            if state.leader_active {
+                state = file.cv.wait(state).expect("log group state poisoned");
+                continue;
+            }
+            // Become the leader: drain groups until our own records are in.
+            state.leader_active = true;
+            while state.committed < last {
+                // Cut one group on record boundaries, bounded by the knobs
+                // (a single oversized record still travels alone).
+                let mut group_bytes = 0usize;
+                let mut group_records = 0u64;
+                while let Some(&len) = state.pending_lens.front() {
+                    if group_records > 0
+                        && (group_records >= self.group_max_records as u64
+                            || group_bytes + len > self.group_bytes)
+                    {
+                        break;
+                    }
+                    group_bytes += len;
+                    group_records += 1;
+                    state.pending_lens.pop_front();
+                }
+                let group: Vec<u8> = state.pending.drain(..group_bytes).collect();
+                let group_first = state.taken + 1;
+                state.taken += group_records;
+                let group_last = state.taken;
+                let offset = state.write_offset;
+                state.write_offset += group_bytes as u64;
+                drop(state);
+                let outcome = self.write_group(file, offset, &group);
+                if outcome.is_err() {
+                    // The group may have landed on a subset of the replicas.
+                    // Before the offset is reused, best-effort zero-fill the
+                    // extent on every replica: a shorter successor group
+                    // would otherwise leave mid-record remnants of this one
+                    // behind it, which recovery parses as corruption instead
+                    // of the clean zero-size end marker. A replica that is
+                    // unreachable here almost certainly rejected the group
+                    // write microseconds earlier too and holds no partial
+                    // bytes; best-effort is the strongest guarantee a failed
+                    // node allows.
+                    let zeros = vec![0u8; group_bytes];
+                    let client = &self.client;
+                    let _ = client.io_pool().run(
+                        file.replicas
+                            .iter()
+                            .map(|replica| {
+                                let zeros = &zeros;
+                                move || client.write_mem(replica, offset, zeros)
+                            })
+                            .collect::<Vec<_>>(),
+                    );
+                }
+                state = file.state.lock().expect("log group state poisoned");
+                state.committed = group_last;
+                match outcome {
+                    Ok(()) => state.committed_bytes += group_bytes as u64,
+                    Err(e) => {
+                        // Reuse the offset: the next group overwrites the
+                        // (zero-filled) extent, like the serial per-record
+                        // path reused the offset of a failed append.
+                        state.write_offset = offset;
+                        state.failures.push((group_first, group_last, e));
+                    }
+                }
+                file.cv.notify_all();
+            }
+            state.leader_active = false;
+            // Wake a successor: records enqueued while we were writing need
+            // a new leader.
+            file.cv.notify_all();
         }
-        if let Some(stoc) = log.persistent {
-            self.client
-                .append_log(stoc, &log_file_name(range, record.memtable_id), &encoded)?;
+    }
+
+    /// Issue one group write: the concatenated records land at `offset` of
+    /// every in-memory replica — concurrently, through the client's I/O pool
+    /// (`stoc_io_parallelism`; width 1 runs them serially in order) — plus
+    /// one append to the persistent copy.
+    fn write_group(&self, file: &LogFile, offset: u64, data: &[u8]) -> Result<()> {
+        if !file.replicas.is_empty() {
+            let client = &self.client;
+            client.io_pool().run_all(
+                file.replicas
+                    .iter()
+                    .map(|replica| move || client.write_mem(replica, offset, data))
+                    .collect(),
+            )?;
         }
-        log.offset += encoded.len() as u64;
+        if let Some(stoc) = file.persistent {
+            self.client.append_log(stoc, &file.name, data)?;
+        }
         Ok(())
     }
 
@@ -156,11 +395,11 @@ impl LogC {
             return Ok(());
         }
         let name = log_file_name(range, memtable);
-        if let Some(log) = self.open.lock().remove(&(range, memtable)) {
-            for replica in &log.replicas {
+        if let Some(file) = self.open.lock().remove(&(range, memtable)) {
+            for replica in &file.replicas {
                 let _ = self.client.delete_mem_file(replica.stoc, &name);
             }
-            if let Some(stoc) = log.persistent {
+            if let Some(stoc) = file.persistent {
                 let _ = self.client.delete_log(stoc, &name);
             }
         }
@@ -172,13 +411,13 @@ impl LogC {
         self.open.lock().len()
     }
 
-    /// Bytes appended to the in-memory replica of a specific log file so far
-    /// (for tests and statistics).
+    /// Bytes durably appended to the in-memory replicas of a specific log
+    /// file so far (for tests and statistics).
     pub fn log_bytes(&self, range: RangeId, memtable: MemtableId) -> u64 {
         self.open
             .lock()
             .get(&(range, memtable))
-            .map(|l| l.offset)
+            .map(|f| f.state.lock().expect("log group state poisoned").committed_bytes)
             .unwrap_or(0)
     }
 
@@ -409,5 +648,233 @@ mod tests {
         assert_eq!(log_file_name(RangeId(3), MemtableId(17)), "log/3/17");
         assert_eq!(log_prefix(RangeId(3)), "log/3/");
         assert!(log_file_name(RangeId(3), MemtableId(17)).starts_with(&log_prefix(RangeId(3))));
+    }
+
+    // ---- group commit ---------------------------------------------------
+
+    /// Read back the raw bytes of the first in-memory replica of a log file.
+    fn replica_bytes(logc: &LogC, client: &StocClient, range: RangeId, mid: MemtableId) -> Vec<u8> {
+        let len = logc.log_bytes(range, mid) as usize;
+        let handle = client
+            .get_mem_file(
+                logc.open.lock()[&(range, mid)].replicas[0].stoc,
+                &log_file_name(range, mid),
+            )
+            .unwrap();
+        client.read_mem(&handle, 0, len).unwrap().to_vec()
+    }
+
+    #[test]
+    fn group_size_one_produces_byte_identical_serial_layout() {
+        // Single-threaded appends through per-record logging (max_records 1)
+        // and through wide-open group commit must both lay records out as
+        // the plain concatenation of their encodings — the serial layout.
+        let records: Vec<LogRecord> = (0..40u64)
+            .map(|i| LogRecord::from_entry(MemtableId(1), &entry(i)))
+            .collect();
+        let expected: Vec<u8> = records.iter().flat_map(|r| r.encode()).collect();
+        for (bytes, max_records) in [(1usize, 1usize), (64 << 10, 64)] {
+            let (_f, servers, client) = cluster(2);
+            let logc = LogC::new(
+                client.clone(),
+                LogPolicy::InMemoryReplicated { replicas: 2 },
+                1 << 16,
+            )
+            .with_group_commit(bytes, max_records);
+            let range = RangeId(5);
+            logc.create_log_file(range, MemtableId(1)).unwrap();
+            for r in &records {
+                logc.append(range, r).unwrap();
+            }
+            assert_eq!(
+                replica_bytes(&logc, &client, range, MemtableId(1)),
+                expected,
+                "group commit (bytes={bytes}, max_records={max_records}) must keep \
+                 the serial byte layout"
+            );
+            for s in servers {
+                s.stop();
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_group_commit_loses_no_records_and_stays_parseable() {
+        let (_f, servers, client) = cluster(3);
+        let logc = Arc::new(
+            LogC::new(
+                client.clone(),
+                LogPolicy::InMemoryReplicated { replicas: 3 },
+                1 << 20,
+            )
+            .with_group_commit(4 << 10, 16),
+        );
+        let range = RangeId(2);
+        logc.create_log_file(range, MemtableId(1)).unwrap();
+        const WRITERS: u64 = 8;
+        const PER_WRITER: u64 = 200;
+        std::thread::scope(|scope| {
+            for w in 0..WRITERS {
+                let logc = Arc::clone(&logc);
+                scope.spawn(move || {
+                    for i in 0..PER_WRITER {
+                        let record = LogRecord {
+                            memtable_id: MemtableId(1),
+                            key: format!("w{w}-k{i}").into_bytes(),
+                            value: vec![b'g'; 32],
+                            sequence: w * PER_WRITER + i + 1,
+                            value_type: nova_common::ValueType::Value,
+                        };
+                        logc.append(range, &record).unwrap();
+                    }
+                });
+            }
+        });
+        // Every acked record is present exactly once and the concatenated
+        // region parses cleanly end to end.
+        let bytes = replica_bytes(&logc, &client, range, MemtableId(1));
+        let parsed = parse_records(&bytes).unwrap();
+        assert_eq!(parsed.len() as u64, WRITERS * PER_WRITER);
+        let mut sequences: Vec<u64> = parsed.iter().map(|r| r.sequence).collect();
+        sequences.sort_unstable();
+        sequences.dedup();
+        assert_eq!(sequences.len() as u64, WRITERS * PER_WRITER);
+        // All replicas agree byte for byte.
+        let recovered = logc.recover_range(range, 4).unwrap();
+        assert_eq!(recovered[&MemtableId(1)].len() as u64, WRITERS * PER_WRITER);
+        for s in servers {
+            s.stop();
+        }
+    }
+
+    #[test]
+    fn append_batch_groups_per_memtable_and_recovers() {
+        let (_f, servers, client) = cluster(2);
+        let logc = LogC::new(client, LogPolicy::InMemoryReplicated { replicas: 2 }, 1 << 18);
+        let range = RangeId(9);
+        logc.create_log_file(range, MemtableId(1)).unwrap();
+        logc.create_log_file(range, MemtableId(2)).unwrap();
+        let records: Vec<LogRecord> = (0..30u64)
+            .map(|i| LogRecord::from_entry(MemtableId(1 + i % 2), &entry(i)))
+            .collect();
+        logc.append_batch(range, &records).unwrap();
+        let recovered = logc.recover_range(range, 2).unwrap();
+        assert_eq!(recovered[&MemtableId(1)].len(), 15);
+        assert_eq!(recovered[&MemtableId(2)].len(), 15);
+        // A batch naming an unknown memtable fails before logging anything.
+        let bad = vec![LogRecord::from_entry(MemtableId(99), &entry(0))];
+        assert!(matches!(
+            logc.append_batch(range, &bad),
+            Err(Error::InvalidArgument(_))
+        ));
+        for s in servers {
+            s.stop();
+        }
+    }
+
+    #[test]
+    fn failed_group_write_surfaces_to_every_writer_and_acked_prefix_survives() {
+        let (fabric, servers, client) = cluster(2);
+        let logc = LogC::new(
+            client.clone(),
+            LogPolicy::InMemoryReplicated { replicas: 2 },
+            1 << 18,
+        );
+        let range = RangeId(4);
+        logc.create_log_file(range, MemtableId(1)).unwrap();
+        for i in 0..20u64 {
+            logc.append(range, &LogRecord::from_entry(MemtableId(1), &entry(i)))
+                .unwrap();
+        }
+        let acked_bytes = logc.log_bytes(range, MemtableId(1));
+        // Fail one replica's node: the group write cannot complete, so the
+        // writer must get an error (the record is unacknowledged).
+        let victim = logc.open.lock()[&(range, MemtableId(1))].replicas[0].stoc;
+        let victim_node = client.directory().node_of(victim).unwrap();
+        fabric.fail_node(victim_node);
+        assert!(logc
+            .append(range, &LogRecord::from_entry(MemtableId(1), &entry(99)))
+            .is_err());
+        // The acked prefix is untouched and still recovers from the
+        // surviving replica. The un-acked record may or may not be present
+        // (its write can land on the healthy replica before the sibling
+        // write fails) — the contract is acked-survives, un-acked-may-be-lost.
+        assert_eq!(logc.log_bytes(range, MemtableId(1)), acked_bytes);
+        let recovered = logc.recover_range(range, 2).unwrap();
+        let records = &recovered[&MemtableId(1)];
+        let sequences: std::collections::HashSet<u64> = records.iter().map(|r| r.sequence).collect();
+        for seq in 1..=20u64 {
+            assert!(sequences.contains(&seq), "acked record {seq} must survive");
+        }
+        assert!(
+            sequences.iter().all(|s| *s <= 20 || *s == 100),
+            "only acked records and the attempted suffix may appear: {sequences:?}"
+        );
+        fabric.recover_node(victim_node);
+        // The log accepts appends again once the fault clears, reusing the
+        // failed group's offset.
+        logc.append(range, &LogRecord::from_entry(MemtableId(1), &entry(21)))
+            .unwrap();
+        assert_eq!(logc.recover_range(range, 2).unwrap()[&MemtableId(1)].len(), 21);
+        for s in servers {
+            s.stop();
+        }
+    }
+
+    #[test]
+    fn shorter_group_after_a_failed_longer_one_leaves_no_parse_breaking_remnants() {
+        // A failed group may have landed on a subset of the replicas. When a
+        // *shorter* group then reuses the offset, the surviving replica must
+        // not keep mid-record remnants of the longer failed group behind the
+        // new records — recovery would parse them as corruption and refuse
+        // the whole range. The failure path zero-fills the extent so the
+        // remnants read as the clean end-of-log marker.
+        let (fabric, servers, client) = cluster(2);
+        let logc = LogC::new(
+            client.clone(),
+            LogPolicy::InMemoryReplicated { replicas: 2 },
+            1 << 18,
+        );
+        let range = RangeId(6);
+        logc.create_log_file(range, MemtableId(1)).unwrap();
+        for i in 0..5u64 {
+            logc.append(range, &LogRecord::from_entry(MemtableId(1), &entry(i)))
+                .unwrap();
+        }
+        // Fail the SECOND replica and append a LONG record: the first
+        // replica's write (job 0, issued ahead of the failing one) lands in
+        // full before the group fails.
+        let victim = logc.open.lock()[&(range, MemtableId(1))].replicas[1].stoc;
+        let victim_node = client.directory().node_of(victim).unwrap();
+        fabric.fail_node(victim_node);
+        let long = LogRecord {
+            memtable_id: MemtableId(1),
+            key: b"long".to_vec(),
+            value: vec![b'L'; 2_048],
+            sequence: 50,
+            value_type: nova_common::ValueType::Value,
+        };
+        assert!(logc.append(range, &long).is_err());
+        fabric.recover_node(victim_node);
+        // A SHORT record reuses the offset: it covers only a prefix of the
+        // failed long record's extent on the healthy replica.
+        logc.append(range, &LogRecord::from_entry(MemtableId(1), &entry(60)))
+            .unwrap();
+        // Every replica must parse cleanly end to end: the 5 acked records,
+        // the short record, and no corruption from the long group's tail.
+        for replica in &logc.open.lock()[&(range, MemtableId(1))].replicas.clone() {
+            let bytes = client
+                .read_mem(replica, 0, replica.size as usize)
+                .unwrap()
+                .to_vec();
+            let parsed = parse_records(&bytes).expect("replica must stay parseable");
+            let sequences: Vec<u64> = parsed.iter().map(|r| r.sequence).collect();
+            assert_eq!(sequences, vec![1, 2, 3, 4, 5, 61]);
+        }
+        let recovered = logc.recover_range(range, 2).unwrap();
+        assert_eq!(recovered[&MemtableId(1)].len(), 6);
+        for s in servers {
+            s.stop();
+        }
     }
 }

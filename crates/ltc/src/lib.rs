@@ -30,6 +30,6 @@ pub use lookup_index::{LookupIndex, TableLocation};
 pub use ltc::{Ltc, LtcStats};
 pub use migration::RangeSnapshot;
 pub use placement::Placer;
-pub use range::{RangeEngine, RangeStats, ScanResult};
+pub use range::{BatchOp, RangeEngine, RangeStats, ScanResult};
 pub use range_index::{RangeIndex, RangeIndexPartition};
 pub use version::{Manifest, ManifestData, Version};

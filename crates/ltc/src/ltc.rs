@@ -3,7 +3,7 @@
 //! for each range. It processes an application's requests using these
 //! trees.").
 
-use crate::range::RangeEngine;
+use crate::range::{BatchOp, RangeEngine};
 use bytes::Bytes;
 use nova_cache::BlockCache;
 use nova_common::{Error, LtcId, NodeId, RangeId, Result};
@@ -154,6 +154,19 @@ impl Ltc {
         self.range(range)?.delete(key)
     }
 
+    /// Write a batch of key-value pairs into `range` as one
+    /// [`RangeEngine::write_batch`]: the Drange write state is taken once
+    /// per segment and the log records travel as group-commit writes instead
+    /// of one fabric round trip per record. Atomicity is per
+    /// destination-memtable group, not batch-wide (see `write_batch`).
+    pub fn put_batch(&self, range: RangeId, items: &[(&[u8], &[u8])]) -> Result<()> {
+        let ops: Vec<BatchOp<'_>> = items
+            .iter()
+            .map(|&(key, value)| BatchOp::Put { key, value })
+            .collect();
+        self.range(range)?.write_batch(&ops)
+    }
+
     /// Get the latest value of a key from `range`.
     pub fn get(&self, range: RangeId, key: &[u8]) -> Result<Bytes> {
         self.range(range)?.get(key)
@@ -188,6 +201,17 @@ impl Ltc {
         let engine = self.range(range)?;
         engine.check_epoch(epoch)?;
         engine.delete(key)
+    }
+
+    /// [`Ltc::put_batch`] validating the caller's configuration epoch.
+    pub fn put_batch_at(&self, range: RangeId, items: &[(&[u8], &[u8])], epoch: u64) -> Result<()> {
+        let engine = self.range(range)?;
+        engine.check_epoch(epoch)?;
+        let ops: Vec<BatchOp<'_>> = items
+            .iter()
+            .map(|&(key, value)| BatchOp::Put { key, value })
+            .collect();
+        engine.write_batch(&ops)
     }
 
     /// [`Ltc::get`] validating the caller's configuration epoch. Reads are

@@ -60,6 +60,47 @@ pub struct RangeStats {
 /// The result of a scan: at most `limit` live entries in key order.
 pub type ScanResult = Vec<Entry>;
 
+/// One operation of a write batch ([`RangeEngine::write_batch`]). Borrows
+/// the caller's key/value bytes; nothing is copied until the records are
+/// encoded for the log and applied to a memtable.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchOp<'a> {
+    /// Insert or update a key.
+    Put {
+        /// User key.
+        key: &'a [u8],
+        /// Value bytes.
+        value: &'a [u8],
+    },
+    /// Delete a key (writes a tombstone).
+    Delete {
+        /// User key.
+        key: &'a [u8],
+    },
+}
+
+impl<'a> BatchOp<'a> {
+    fn key(&self) -> &'a [u8] {
+        match self {
+            BatchOp::Put { key, .. } | BatchOp::Delete { key } => key,
+        }
+    }
+
+    fn value(&self) -> &'a [u8] {
+        match self {
+            BatchOp::Put { value, .. } => value,
+            BatchOp::Delete { .. } => &[],
+        }
+    }
+
+    fn value_type(&self) -> ValueType {
+        match self {
+            BatchOp::Put { .. } => ValueType::Value,
+            BatchOp::Delete { .. } => ValueType::Deletion,
+        }
+    }
+}
+
 /// Upper bound on how many data blocks a scan prefetches past its cursor per
 /// table; the effective window is the smaller of this and the StoC client's
 /// I/O parallelism. Bounds wasted reads when a scan stops early.
@@ -120,6 +161,12 @@ pub struct RangeEngine {
 
     task_tx: Sender<BackgroundTask>,
     task_rx: Receiver<BackgroundTask>,
+    /// Queued *plus currently executing* flush/compaction tasks. The task
+    /// queue alone cannot tell "idle" from "mid-flush": a reorganisation
+    /// force-flushes memtables that are in no Drange's immutable list, so a
+    /// drain that only checks immutables + queue emptiness can return while
+    /// such a flush is still installing its SSTable.
+    background_inflight: AtomicU64,
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
     /// Generation counter + condvar that wake stalled writers the moment a
     /// flush or compaction completes, instead of a sleep-poll loop. Uses the
@@ -297,6 +344,7 @@ impl RangeEngine {
             claimed_flushes: Mutex::new(std::collections::HashSet::new()),
             task_tx,
             task_rx,
+            background_inflight: AtomicU64::new(0),
             workers: Mutex::new(Vec::new()),
             progress_gate: std::sync::Mutex::new(0),
             progress_cv: std::sync::Condvar::new(),
@@ -544,6 +592,158 @@ impl RangeEngine {
         }
     }
 
+    /// Apply a batch of writes with consecutive sequence numbers.
+    ///
+    /// The batch takes the Drange write state once per segment instead of
+    /// once per record, and every segment's log records travel to the StoCs
+    /// as one group-commit write per destination memtable instead of one
+    /// fabric round trip per record. A segment is a contiguous run of the
+    /// batch bounded by the `group_commit_max_records` knob, cut early when
+    /// a destination memtable fills (the rotation happens between segments,
+    /// off the lock, like the single-put path).
+    ///
+    /// Atomicity is per destination-memtable group, not batch-wide: on an
+    /// error a prefix of the batch may be applied (and is readable), and log
+    /// records of other groups in the failing segment may replay at recovery
+    /// as unacknowledged writes. Callers that retry on the retriable errors
+    /// simply re-apply the whole batch; puts are idempotent under
+    /// re-execution with fresh sequence numbers.
+    pub fn write_batch(&self, ops: &[BatchOp<'_>]) -> Result<()> {
+        if ops.is_empty() {
+            return Ok(());
+        }
+        if self.frozen.load(Ordering::SeqCst) {
+            return Err(self.stale_config_error());
+        }
+        let base = self.sequence.fetch_add(ops.len() as u64, Ordering::SeqCst);
+        let logging = self.logc.policy().enabled();
+        let (group_bytes, group_max_records) = self.logc.group_commit_bounds();
+        let segment_cap = group_max_records.max(1);
+        // Segments are bounded by bytes as well as records: a segment's log
+        // records are enqueued as one unit, so an unbounded segment of large
+        // values could exceed the log file's capacity (a terminal error)
+        // where the same puts issued one by one would simply rotate the
+        // memtable. Half a memtable keeps a comfortable margin below the
+        // log capacity (sized at a small multiple of the memtable) and also
+        // caps how far a segment can overshoot a filling memtable, since
+        // `is_full` only reflects records applied in *earlier* segments.
+        let segment_byte_cap = group_bytes.min(self.config.memtable_size_bytes / 2).max(1);
+        let mut idx = 0usize;
+        // Budget for the log-full escape hatch below: concurrent batch
+        // writers can collectively over-stage a shared log file even though
+        // each stays under the byte cap, and the single-writer cap itself
+        // only holds when the log is sized at a multiple of the memtable.
+        let mut log_full_retries = 0usize;
+        while idx < ops.len() {
+            let segment_start = idx;
+            let mut rotate: Option<(usize, Arc<Memtable>)> = None;
+            // Memtables whose log file filled mid-segment: rotated below so
+            // the retried segment logs into fresh files, exactly what the
+            // same puts issued one by one would have caused.
+            let mut log_full: Vec<(usize, Arc<Memtable>)> = Vec::new();
+            let mut applied = 0u64;
+            {
+                let state = self.write_state.read();
+                // Same re-check as the single-put path: a freeze-then-barrier
+                // sequence must not let a batch segment slip past the
+                // migration snapshot.
+                if self.frozen.load(Ordering::SeqCst) {
+                    return Err(self.stale_config_error());
+                }
+                let mut staged: Vec<(usize, Arc<Memtable>, usize)> = Vec::new();
+                let mut records: Vec<LogRecord> = Vec::new();
+                let mut staged_bytes = 0usize;
+                while idx < ops.len() && staged.len() < segment_cap {
+                    let op = &ops[idx];
+                    // Cut the segment when the next record would blow the
+                    // byte budget (a single oversized record still travels
+                    // alone so the batch makes progress).
+                    let op_bytes = op.key().len() + op.value().len();
+                    if !staged.is_empty() && staged_bytes + op_bytes > segment_byte_cap {
+                        break;
+                    }
+                    let seq = base + idx as u64 + 1;
+                    let numeric = decode_key(op.key()).unwrap_or(self.interval.lower);
+                    let drange_idx = state.dranges.drange_for_write(numeric, seq);
+                    state.dranges.record_write(drange_idx, numeric);
+                    let active = &state.states[drange_idx].active;
+                    if active.is_full() || active.is_immutable() {
+                        rotate = Some((drange_idx, Arc::clone(active)));
+                        break;
+                    }
+                    staged_bytes += op_bytes;
+                    if logging {
+                        records.push(LogRecord {
+                            memtable_id: active.id(),
+                            key: op.key().to_vec(),
+                            value: op.value().to_vec(),
+                            sequence: seq,
+                            value_type: op.value_type(),
+                        });
+                    }
+                    staged.push((drange_idx, Arc::clone(active), idx));
+                    idx += 1;
+                }
+                if !staged.is_empty() {
+                    // Log first (Section 5: "generates a log record prior to
+                    // writing to the memtable") — one group per destination
+                    // memtable — then apply the whole segment.
+                    let logged = if logging {
+                        self.logc.append_batch(self.range_id, &records)
+                    } else {
+                        Ok(())
+                    };
+                    match logged {
+                        Ok(()) => {
+                            for (_, memtable, op_idx) in &staged {
+                                let op = &ops[*op_idx];
+                                memtable.add(
+                                    base + *op_idx as u64 + 1,
+                                    op.value_type(),
+                                    op.key(),
+                                    op.value(),
+                                );
+                                if self.config.enable_lookup_index {
+                                    self.lookup_index.update_key(op.key(), memtable.id());
+                                }
+                            }
+                            applied = staged.len() as u64;
+                            self.stats.writes.add(applied);
+                        }
+                        // A full log file is not a terminal condition for a
+                        // batch any more than a full memtable is: rotate the
+                        // segment's memtables (fresh memtable = fresh log
+                        // file) and retry the segment. Nothing was applied;
+                        // any group that did commit before the failure
+                        // replays at recovery as an unacknowledged write,
+                        // which the retry then re-acknowledges.
+                        Err(Error::Unavailable(_)) if log_full_retries < 3 => {
+                            log_full_retries += 1;
+                            idx = segment_start;
+                            for (drange_idx, memtable, _) in &staged {
+                                if !log_full.iter().any(|(_, m)| m.id() == memtable.id()) {
+                                    log_full.push((*drange_idx, Arc::clone(memtable)));
+                                }
+                            }
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+            if applied > 0 {
+                log_full_retries = 0;
+                self.maybe_reorganize_n(applied);
+            }
+            for (drange_idx, memtable) in &log_full {
+                self.rotate_memtable(*drange_idx, memtable)?;
+            }
+            if let Some((drange_idx, full)) = rotate {
+                self.rotate_memtable(drange_idx, &full)?;
+            }
+        }
+        Ok(())
+    }
+
     /// Rotate a full active memtable out of its Drange, stalling if the
     /// Drange already holds its quota of immutable memtables or Level 0 is
     /// over its size budget (Challenge 1).
@@ -589,11 +789,7 @@ impl RangeEngine {
                     let _ = self.logc.create_log_file(self.range_id, fresh.id());
                     state.states[drange_idx].active = fresh;
                     drop(state);
-                    let _ = self.task_tx.send(BackgroundTask::Flush {
-                        drange: drange_idx,
-                        memtable: old,
-                        force: false,
-                    });
+                    self.send_flush(drange_idx, old, false);
                     if stalled {
                         self.stats.stall_time.add(stall_start.elapsed());
                     }
@@ -604,11 +800,7 @@ impl RangeEngine {
                 // nudge the compaction coordinator if Level 0 is over budget.
                 if immutables_full {
                     if let Some(oldest) = state.states[drange_idx].immutables.first() {
-                        let _ = self.task_tx.send(BackgroundTask::Flush {
-                            drange: drange_idx,
-                            memtable: Arc::clone(oldest),
-                            force: true,
-                        });
+                        self.send_flush(drange_idx, Arc::clone(oldest), true);
                     }
                 }
                 if l0_stalled {
@@ -664,8 +856,16 @@ impl RangeEngine {
     /// Periodically check whether the Drange layout needs rebalancing
     /// (Section 4.1).
     fn maybe_reorganize(&self) {
-        let n = self.writes_since_reorg_check.fetch_add(1, Ordering::Relaxed) + 1;
-        if !n.is_multiple_of(self.config.reorg_check_interval) {
+        self.maybe_reorganize_n(1);
+    }
+
+    /// [`RangeEngine::maybe_reorganize`] advancing the write counter by a
+    /// whole batch segment: the check fires when the counter crosses a
+    /// multiple of the configured interval.
+    fn maybe_reorganize_n(&self, count: u64) {
+        let after = self.writes_since_reorg_check.fetch_add(count, Ordering::Relaxed) + count;
+        let interval = self.config.reorg_check_interval.max(1);
+        if after / interval == (after - count) / interval {
             return;
         }
         let needs = {
@@ -688,20 +888,12 @@ impl RangeEngine {
         for (idx, old) in old_states.into_iter().enumerate() {
             old.active.mark_immutable();
             if !old.active.is_empty() {
-                let _ = self.task_tx.send(BackgroundTask::Flush {
-                    drange: idx,
-                    memtable: Arc::clone(&old.active),
-                    force: true,
-                });
+                self.send_flush(idx, Arc::clone(&old.active), true);
             } else {
                 self.range_index.remove_memtable(old.active.id());
             }
             for immutable in old.immutables {
-                let _ = self.task_tx.send(BackgroundTask::Flush {
-                    drange: idx,
-                    memtable: immutable,
-                    force: true,
-                });
+                self.send_flush(idx, immutable, true);
             }
         }
         let generation = state.dranges.reorganize(self.config.reorg_epsilon);
@@ -741,6 +933,9 @@ impl RangeEngine {
                             eprintln!("nova-ltc: flush of {} failed: {e}", memtable.id());
                         }
                     }
+                    // Decrement before the notify so a drain woken by it
+                    // observes this task as finished.
+                    self.background_inflight.fetch_sub(1, Ordering::SeqCst);
                     // Immutable quota may have freed up; wake stalled writers.
                     self.notify_progress();
                 }
@@ -752,14 +947,14 @@ impl RangeEngine {
                     // one here would pull SSTables out from under the
                     // destination. Skip; an aborted migration reschedules on
                     // the next flush.
-                    if self.frozen.load(Ordering::SeqCst) || self.retired.load(Ordering::SeqCst) {
-                        continue;
-                    }
-                    if let Err(e) = compaction::run_compaction(&self) {
-                        if !matches!(e, Error::ShuttingDown) {
-                            eprintln!("nova-ltc: compaction failed: {e}");
+                    if !self.frozen.load(Ordering::SeqCst) && !self.retired.load(Ordering::SeqCst) {
+                        if let Err(e) = compaction::run_compaction(&self) {
+                            if !matches!(e, Error::ShuttingDown) {
+                                eprintln!("nova-ltc: compaction failed: {e}");
+                            }
                         }
                     }
+                    self.background_inflight.fetch_sub(1, Ordering::SeqCst);
                     // Level 0 may have shrunk below the stall threshold.
                     self.notify_progress();
                 }
@@ -774,10 +969,30 @@ impl RangeEngine {
         }
     }
 
+    /// Queue a flush task, keeping the in-flight counter in step with the
+    /// queue (the worker decrements when the task completes).
+    fn send_flush(&self, drange: usize, memtable: Arc<Memtable>, force: bool) {
+        self.background_inflight.fetch_add(1, Ordering::SeqCst);
+        if self
+            .task_tx
+            .send(BackgroundTask::Flush {
+                drange,
+                memtable,
+                force,
+            })
+            .is_err()
+        {
+            self.background_inflight.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
     /// Ask the compaction coordinator to look at the tree.
     pub(crate) fn schedule_compaction(&self) {
         if !self.compaction_scheduled.swap(true, Ordering::SeqCst) {
-            let _ = self.task_tx.send(BackgroundTask::Compaction);
+            self.background_inflight.fetch_add(1, Ordering::SeqCst);
+            if self.task_tx.send(BackgroundTask::Compaction).is_err() {
+                self.background_inflight.fetch_sub(1, Ordering::SeqCst);
+            }
         }
     }
 
@@ -1526,20 +1741,12 @@ impl RangeEngine {
                 self.range_index.add_memtable(boundary, &fresh);
                 let _ = self.logc.create_log_file(self.range_id, fresh.id());
                 s.active = fresh;
-                let _ = self.task_tx.send(BackgroundTask::Flush {
-                    drange: idx,
-                    memtable: old,
-                    force: true,
-                });
+                self.send_flush(idx, old, true);
             }
             // Also force-flush existing immutables.
             for (idx, s) in state.states.iter().enumerate() {
                 for m in &s.immutables {
-                    let _ = self.task_tx.send(BackgroundTask::Flush {
-                        drange: idx,
-                        memtable: Arc::clone(m),
-                        force: true,
-                    });
+                    self.send_flush(idx, Arc::clone(m), true);
                 }
             }
         }
@@ -1547,9 +1754,16 @@ impl RangeEngine {
     }
 
     /// Wait until no immutable memtables remain and the task queue is empty.
+    /// Waits on the progress condvar the write-stall path uses, so the drain
+    /// wakes the moment a flush or compaction completes instead of polling
+    /// on a sleep loop.
     pub fn wait_for_background_idle(&self, timeout: Duration) -> Result<()> {
         let deadline = Instant::now() + timeout;
         loop {
+            // Snapshot the progress generation *before* inspecting state: if
+            // background work completes between the inspection and the wait,
+            // the generation has moved and the wait returns immediately.
+            let observed = *self.progress_gate.lock().expect("progress gate poisoned");
             let pending_immutables: usize = self
                 .write_state
                 .read()
@@ -1557,7 +1771,11 @@ impl RangeEngine {
                 .iter()
                 .map(|s| s.immutables.len())
                 .sum();
-            if pending_immutables == 0 && self.task_rx.is_empty() {
+            // Queued-or-running, not just queued: a reorganisation's
+            // force-flushes target memtables that are in no immutable list,
+            // so "no immutables + empty queue" alone can observe a moment
+            // where such a flush is mid-install.
+            if pending_immutables == 0 && self.background_inflight.load(Ordering::SeqCst) == 0 {
                 return Ok(());
             }
             if pending_immutables > 0 && self.task_rx.is_empty() {
@@ -1567,18 +1785,14 @@ impl RangeEngine {
                 let state = self.write_state.read();
                 for (idx, s) in state.states.iter().enumerate() {
                     for m in &s.immutables {
-                        let _ = self.task_tx.send(BackgroundTask::Flush {
-                            drange: idx,
-                            memtable: Arc::clone(m),
-                            force: true,
-                        });
+                        self.send_flush(idx, Arc::clone(m), true);
                     }
                 }
             }
             if Instant::now() > deadline {
                 return Err(Error::Unavailable("background work did not drain in time".into()));
             }
-            std::thread::sleep(Duration::from_millis(2));
+            self.wait_for_progress(observed);
         }
     }
 
@@ -1746,6 +1960,194 @@ mod tests {
         assert_eq!(engine.get(&encode_key(7)).unwrap().as_ref(), b"new-value");
         assert!(engine.stats().lookup_index_hits.get() > 0);
         engine.shutdown();
+        cluster.stop();
+    }
+
+    #[test]
+    fn write_batch_round_trips_across_rotations() {
+        let cluster = TestCluster::new(2);
+        let engine = engine_with(&cluster, small_config(), 10_000);
+        // A batch far larger than one memtable (8 KB): segments must cut at
+        // full memtables, rotate off the lock and resume.
+        let keys: Vec<Vec<u8>> = (0..2_000u64).map(encode_key).collect();
+        let values: Vec<Vec<u8>> = (0..2_000u64).map(|i| format!("b-{i}").into_bytes()).collect();
+        let ops: Vec<BatchOp<'_>> = keys
+            .iter()
+            .zip(&values)
+            .map(|(k, v)| BatchOp::Put { key: k, value: v })
+            .collect();
+        engine.write_batch(&ops).unwrap();
+        assert_eq!(engine.stats().writes.get(), 2_000);
+        for i in (0..2_000u64).step_by(71) {
+            assert_eq!(
+                engine.get(&encode_key(i)).unwrap().as_ref(),
+                format!("b-{i}").as_bytes()
+            );
+        }
+        // Mixed puts and deletes with consecutive sequence numbers: the
+        // delete must win over the earlier put of the same batch.
+        let seq_before = engine.last_sequence();
+        let key = encode_key(77);
+        let mixed = vec![
+            BatchOp::Put {
+                key: &key,
+                value: b"shadowed",
+            },
+            BatchOp::Delete { key: &key },
+        ];
+        engine.write_batch(&mixed).unwrap();
+        assert_eq!(engine.last_sequence(), seq_before + 2, "consecutive sequences");
+        assert!(matches!(engine.get(&key), Err(Error::NotFound)));
+        // An empty batch is a no-op.
+        engine.write_batch(&[]).unwrap();
+        engine.shutdown();
+        cluster.stop();
+    }
+
+    #[test]
+    fn write_batch_of_large_values_rotates_instead_of_overflowing_the_log() {
+        // A batch of values so large that a record-count-bounded segment
+        // would exceed the log file's capacity in one enqueue: the byte
+        // bound must cut segments small enough that the batch succeeds just
+        // like the same puts issued serially (rotating memtables along the
+        // way), instead of failing with a terminal "log file is full".
+        let cluster = TestCluster::new(2);
+        let mut config = small_config();
+        config.log_policy = LogPolicy::InMemoryReplicated { replicas: 1 };
+        // 8 KiB memtables; engine_with sizes the log file at 4x that.
+        let engine = engine_with(&cluster, config, 10_000);
+        let keys: Vec<Vec<u8>> = (0..32u64).map(encode_key).collect();
+        let values: Vec<Vec<u8>> = (0..32u64)
+            .map(|i| vec![b'0' + (i % 10) as u8; 4 * 1024])
+            .collect();
+        let ops: Vec<BatchOp<'_>> = keys
+            .iter()
+            .zip(&values)
+            .map(|(k, v)| BatchOp::Put { key: k, value: v })
+            .collect();
+        engine.write_batch(&ops).unwrap();
+        for (key, value) in keys.iter().zip(&values) {
+            assert_eq!(engine.get(key).unwrap().as_ref(), &value[..]);
+        }
+        engine.shutdown();
+        cluster.stop();
+    }
+
+    #[test]
+    fn write_batch_rotates_memtables_when_the_log_file_fills_first() {
+        // Log files sized *below* the memtable: the batch hits "log file is
+        // full" while the destination memtable still has room. That must
+        // not surface as a terminal error — the engine rotates the affected
+        // memtables (fresh memtable = fresh log file) and retries the
+        // segment, mirroring what per-record writes would have caused.
+        let cluster = TestCluster::new(1);
+        let mut config = small_config();
+        config.log_policy = LogPolicy::InMemoryReplicated { replicas: 1 };
+        config.num_dranges = 1;
+        let logc = Arc::new(LogC::new(
+            cluster.client.clone(),
+            config.log_policy,
+            // Half a memtable of log capacity: fills first, guaranteed.
+            (config.memtable_size_bytes / 2) as u64,
+        ));
+        let placer = Placer::new(
+            cluster.client.clone(),
+            config.placement,
+            config.availability,
+            Some(StocId(0)),
+            7,
+        );
+        let manifest = Manifest::new(StocId(0), "range-logfull");
+        let engine = RangeEngine::new(
+            RangeId(0),
+            KeyInterval::new(0, 10_000),
+            config,
+            cluster.client.clone(),
+            logc,
+            placer,
+            manifest,
+            None,
+        )
+        .unwrap();
+        let keys: Vec<Vec<u8>> = (0..64u64).map(encode_key).collect();
+        let values: Vec<Vec<u8>> = (0..64u64).map(|i| vec![b'a' + (i % 26) as u8; 512]).collect();
+        let ops: Vec<BatchOp<'_>> = keys
+            .iter()
+            .zip(&values)
+            .map(|(k, v)| BatchOp::Put { key: k, value: v })
+            .collect();
+        engine.write_batch(&ops).unwrap();
+        for (key, value) in keys.iter().zip(&values) {
+            assert_eq!(engine.get(key).unwrap().as_ref(), &value[..]);
+        }
+        engine.shutdown();
+        cluster.stop();
+    }
+
+    #[test]
+    fn batched_writes_with_logging_survive_a_crash() {
+        let cluster = TestCluster::new(3);
+        let mut config = small_config();
+        config.log_policy = LogPolicy::InMemoryReplicated { replicas: 3 };
+        config.memtable_size_bytes = 64 * 1024;
+
+        let build = |manifest_name: &str| {
+            let logc = Arc::new(LogC::new(cluster.client.clone(), config.log_policy, 1 << 20));
+            let placer = Placer::new(
+                cluster.client.clone(),
+                config.placement,
+                config.availability,
+                None,
+                3,
+            );
+            (logc, placer, Manifest::new(StocId(0), manifest_name))
+        };
+        let (logc, placer, manifest) = build("range-batch-crash");
+        let engine = RangeEngine::new(
+            RangeId(0),
+            KeyInterval::new(0, 10_000),
+            config.clone(),
+            cluster.client.clone(),
+            logc,
+            placer,
+            manifest,
+            None,
+        )
+        .unwrap();
+        let keys: Vec<Vec<u8>> = (0..300u64).map(encode_key).collect();
+        let values: Vec<Vec<u8>> = (0..300u64).map(|i| format!("crash-{i}").into_bytes()).collect();
+        let ops: Vec<BatchOp<'_>> = keys
+            .iter()
+            .zip(&values)
+            .map(|(k, v)| BatchOp::Put { key: k, value: v })
+            .collect();
+        engine.write_batch(&ops).unwrap();
+        // Crash without flushing: group-committed log records are the only
+        // copy.
+        engine.shutdown();
+        drop(engine);
+
+        let (logc, placer, manifest) = build("range-batch-crash");
+        let recovered = RangeEngine::recover(
+            RangeId(0),
+            KeyInterval::new(0, 10_000),
+            config.clone(),
+            cluster.client.clone(),
+            logc,
+            placer,
+            manifest,
+            None,
+            4,
+        )
+        .unwrap();
+        for i in 0..300u64 {
+            assert_eq!(
+                recovered.get(&encode_key(i)).unwrap().as_ref(),
+                format!("crash-{i}").as_bytes(),
+                "batched key {i} must survive the crash via group-committed log replay"
+            );
+        }
+        recovered.shutdown();
         cluster.stop();
     }
 

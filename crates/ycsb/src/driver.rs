@@ -22,6 +22,18 @@ pub trait KvInterface: Send + Sync {
     /// Write a key-value pair.
     fn put(&self, key: &[u8], value: &[u8]) -> Result<()>;
 
+    /// Write a batch of key-value pairs. The default loops over
+    /// [`KvInterface::put`]; stores with a first-class batched write path
+    /// (Nova-LSM's `NovaClient::put_batch`) override it so a batch pays one
+    /// routing decision and group-committed logging per shard instead of a
+    /// full round trip per record.
+    fn put_batch(&self, items: &[(Vec<u8>, Vec<u8>)]) -> Result<()> {
+        for (key, value) in items {
+            self.put(key, value)?;
+        }
+        Ok(())
+    }
+
     /// Read a key; returns `Ok(true)` if found, `Ok(false)` if absent.
     fn get(&self, key: &[u8]) -> Result<bool>;
 
@@ -55,6 +67,14 @@ pub struct DriverConfig {
     /// retried before it counts as a client-visible error. The retry
     /// latency is charged to the operation's histogram entry.
     pub retry_budget: usize,
+    /// Number of puts each client thread coalesces into one
+    /// [`KvInterface::put_batch`] call. `1` issues every put individually
+    /// (the classic YCSB behaviour). With a larger value, consecutive put
+    /// operations accumulate into a batch that is flushed when full, before
+    /// any read (so a thread observes its own writes), and at the end of the
+    /// run; the batch's latency lands in the put histogram as one sample and
+    /// every batched put counts toward the operation totals.
+    pub batch_size: usize,
 }
 
 impl Default for DriverConfig {
@@ -65,8 +85,39 @@ impl Default for DriverConfig {
             sample_interval: Duration::from_millis(250),
             seed: 1,
             retry_budget: 8,
+            batch_size: 1,
         }
     }
+}
+
+/// Flush a pending put batch with the driver's bounded retry policy,
+/// recording the batch latency as one put-histogram sample. Returns
+/// `(operations, errors)` to charge to the thread's counters: a failed batch
+/// fails every operation in it.
+fn flush_batch<S: KvInterface + ?Sized>(
+    store: &S,
+    pending: &mut Vec<(Vec<u8>, Vec<u8>)>,
+    put_hist: &mut Histogram,
+    retry_budget: usize,
+) -> (u64, u64) {
+    if pending.is_empty() {
+        return (0, 0);
+    }
+    let n = pending.len() as u64;
+    let start = Instant::now();
+    let mut attempts = 0usize;
+    let outcome = loop {
+        match store.put_batch(pending) {
+            Err(e) if e.is_retryable() && attempts < retry_budget => {
+                attempts += 1;
+                std::thread::sleep(Duration::from_micros(100 * attempts as u64));
+            }
+            other => break other,
+        }
+    };
+    put_hist.record(start.elapsed());
+    pending.clear();
+    (n, if outcome.is_err() { n } else { 0 })
 }
 
 /// Load the database: write every key in `[0, num_keys)` once, split across
@@ -123,6 +174,7 @@ pub fn run<S: KvInterface + ?Sized>(store: &S, workload: &Workload, config: &Dri
             let seed = config.seed.wrapping_mul(1_000_003).wrapping_add(t as u64);
             let run_length = config.run_length;
             let retry_budget = config.retry_budget;
+            let batch_size = config.batch_size.max(1);
             handles.push(scope.spawn(move || {
                 let mut generator = OperationGenerator::new(workload, seed);
                 let mut get_hist = Histogram::new();
@@ -130,6 +182,7 @@ pub fn run<S: KvInterface + ?Sized>(store: &S, workload: &Workload, config: &Dri
                 let mut scan_hist = Histogram::new();
                 let mut errors = 0u64;
                 let mut ops_done = 0u64;
+                let mut pending: Vec<(Vec<u8>, Vec<u8>)> = Vec::with_capacity(batch_size);
                 loop {
                     match run_length {
                         RunLength::Duration(d) => {
@@ -147,6 +200,24 @@ pub fn run<S: KvInterface + ?Sized>(store: &S, workload: &Workload, config: &Dri
                         break;
                     }
                     let op = generator.next_operation();
+                    if batch_size > 1 {
+                        if let Operation::Put { key, value_size } = &op {
+                            pending.push((encode_key(*key), vec![b'w'; *value_size]));
+                            if pending.len() >= batch_size {
+                                let (n, e) = flush_batch(store, &mut pending, &mut put_hist, retry_budget);
+                                ops_done += n;
+                                errors += e;
+                                completed.fetch_add(n, Ordering::Relaxed);
+                            }
+                            continue;
+                        }
+                        // A read is next: flush buffered puts first so the
+                        // thread observes its own writes.
+                        let (n, e) = flush_batch(store, &mut pending, &mut put_hist, retry_budget);
+                        ops_done += n;
+                        errors += e;
+                        completed.fetch_add(n, Ordering::Relaxed);
+                    }
                     let op_start = Instant::now();
                     let mut outcome;
                     let mut attempts = 0usize;
@@ -183,6 +254,10 @@ pub fn run<S: KvInterface + ?Sized>(store: &S, workload: &Workload, config: &Dri
                     ops_done += 1;
                     completed.fetch_add(1, Ordering::Relaxed);
                 }
+                // Flush whatever the final iterations buffered.
+                let (n, e) = flush_batch(store, &mut pending, &mut put_hist, retry_budget);
+                errors += e;
+                completed.fetch_add(n, Ordering::Relaxed);
                 (get_hist, put_hist, scan_hist, errors)
             }));
         }
@@ -290,6 +365,7 @@ mod tests {
             sample_interval: Duration::from_millis(10),
             seed: 11,
             retry_budget: 2,
+            batch_size: 1,
         };
         let report = run(&store, &workload, &config);
         assert_eq!(report.operations, 1_500);
@@ -302,6 +378,59 @@ mod tests {
     }
 
     #[test]
+    fn batched_puts_count_every_operation_and_stay_readable() {
+        use std::sync::atomic::AtomicU64;
+
+        /// Counts put_batch calls so the test can prove batching happened.
+        #[derive(Default)]
+        struct BatchCountingStore {
+            inner: MapStore,
+            batch_calls: AtomicU64,
+            batched_puts: AtomicU64,
+        }
+
+        impl KvInterface for BatchCountingStore {
+            fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+                self.inner.put(key, value)
+            }
+            fn get(&self, key: &[u8]) -> Result<bool> {
+                self.inner.get(key)
+            }
+            fn scan(&self, start_key: &[u8], count: usize) -> Result<usize> {
+                self.inner.scan(start_key, count)
+            }
+            fn put_batch(&self, items: &[(Vec<u8>, Vec<u8>)]) -> Result<()> {
+                self.batch_calls.fetch_add(1, Ordering::Relaxed);
+                self.batched_puts.fetch_add(items.len() as u64, Ordering::Relaxed);
+                self.inner.put_batch(items)
+            }
+        }
+
+        let store = BatchCountingStore::default();
+        let workload = Workload::new(Mix::Rw50, Distribution::Uniform, 400, 8);
+        let config = DriverConfig {
+            threads: 2,
+            run_length: RunLength::Operations(400),
+            sample_interval: Duration::from_millis(50),
+            seed: 9,
+            retry_budget: 2,
+            batch_size: 8,
+        };
+        let report = run(&store, &workload, &config);
+        assert_eq!(report.errors, 0);
+        assert!(report.operations >= 800, "batched puts must count as operations");
+        let calls = store.batch_calls.load(Ordering::Relaxed);
+        let batched = store.batched_puts.load(Ordering::Relaxed);
+        assert!(calls > 0, "batch_size > 1 must route puts through put_batch");
+        assert!(
+            batched > calls,
+            "batches must coalesce more than one put on average ({batched} puts in {calls} calls)"
+        );
+        assert_eq!(report.puts.count(), calls, "one histogram sample per batch");
+        assert!(!store.inner.data.read().is_empty());
+    }
+
+    #[test]
     fn run_by_duration_terminates() {
         let store = MapStore::default();
         let workload = Workload::new(Mix::Sw50, Distribution::Uniform, 200, 8);
@@ -311,6 +440,7 @@ mod tests {
             sample_interval: Duration::from_millis(50),
             seed: 3,
             retry_budget: 2,
+            batch_size: 1,
         };
         let start = Instant::now();
         let report = run(&store, &workload, &config);

@@ -103,6 +103,12 @@ fn migration_under_concurrent_writers_loses_no_acknowledged_writes() {
 fn injected_import_failure_aborts_and_unfreezes_the_source() {
     let mut config = presets::test_cluster(2, 2, 4_000);
     config.ranges_per_ltc = 1;
+    // Replicate every fragment onto both StoCs: the pre-fault keys this test
+    // reads back may have been flushed into SSTables, and at a single copy
+    // the flush can legitimately land on the StoC whose node the test is
+    // about to fail — which made the readability assertions flaky. With a
+    // surviving replica, every flushed fragment stays readable throughout.
+    config.range.availability = nova_common::config::AvailabilityPolicy::Replicate(2);
     let cluster = NovaCluster::start(config).unwrap();
     let client = NovaClient::new(cluster.clone());
 
