@@ -1,10 +1,10 @@
 //! CI perf-regression gate.
 //!
 //! Parses the `BENCH_*.json` files the quick-mode experiment binaries write
-//! (`fig22_scatter_gather`, `tab06_migration`, `fig23_group_commit`), fails
-//! the build if any perf floor is violated, and merges the three reports
-//! into one `BENCH_trajectory.json` artifact so the perf trajectory of every
-//! PR is archived in one place.
+//! (`fig22_scatter_gather`, `tab06_migration`, `fig23_group_commit`,
+//! `fig24_multi_get`), fails the build if any perf floor is violated, and
+//! merges the reports into one `BENCH_trajectory.json` artifact so the perf
+//! trajectory of every PR is archived in one place.
 //!
 //! Floors (quick mode):
 //!
@@ -14,7 +14,10 @@
 //!   serial baseline, **and ≥ 1.5x** vs the per-record-but-parallel-replicas
 //!   baseline — the second bound isolates the grouping effect, so a group
 //!   commit that silently stopped grouping cannot hide behind the replica
-//!   fan-out speedup.
+//!   fan-out speedup;
+//! * `multi_get` at `stoc_io_parallelism ≥ 4`: **≥ 2x** over the same keys
+//!   read with sequential point gets — a multi_get that silently stopped
+//!   fanning out runs at ≈1x and trips this.
 //!
 //! The floors are deliberately looser than the headline numbers (≈5x, ≈7x)
 //! so CI noise cannot flake the gate, while a real regression — a serialized
@@ -26,6 +29,7 @@ use std::process::ExitCode;
 const SCATTER_FLOOR: f64 = 2.0;
 const GROUP_COMMIT_FLOOR: f64 = 2.0;
 const GROUPING_ISOLATION_FLOOR: f64 = 1.5;
+const MULTI_GET_FLOOR: f64 = 2.0;
 
 /// Split the flat row objects out of a `"rows":[{...},{...}]` array. Rows
 /// are the flat (no nested braces) objects every bench binary writes.
@@ -167,6 +171,34 @@ fn check_group_commit(json: &str) -> Result<String, String> {
     ))
 }
 
+/// The multi-get floor: every multi_get row at I/O parallelism ≥ 4 must keep
+/// a ≥2x speedup over sequential point gets of the same keys. (The
+/// parallelism-1 row is the serial baseline and is exempt — it *should* run
+/// at ≈1x.)
+fn check_multi_get(json: &str) -> Result<String, String> {
+    let speedups: Vec<f64> = rows(json)
+        .into_iter()
+        .filter(|r| has(r, "bench", "\"multi_get\""))
+        .filter(|r| number(r, "parallelism").is_some_and(|p| p >= 4.0))
+        .filter_map(|r| number(r, "speedup"))
+        .collect();
+    if speedups.is_empty() {
+        return Err("multi_get: no multi_get row at parallelism >= 4 found in BENCH_multi_get.json".into());
+    }
+    let worst = speedups.iter().cloned().fold(f64::INFINITY, f64::min);
+    if worst < MULTI_GET_FLOOR {
+        return Err(format!(
+            "multi_get: speedup {worst:.2}x at parallelism >= 4 is below the {MULTI_GET_FLOOR}x \
+             floor — batched reads are no longer fanning out over the I/O pool"
+        ));
+    }
+    Ok(format!(
+        "multi_get: speedup >= {worst:.2}x across {} row(s) at parallelism >= 4 \
+         (floor {MULTI_GET_FLOOR}x)",
+        speedups.len()
+    ))
+}
+
 fn main() -> ExitCode {
     let inputs = [
         (
@@ -176,6 +208,7 @@ fn main() -> ExitCode {
         ),
         ("migration", "BENCH_migration.json", check_migration),
         ("group_commit", "BENCH_group_commit.json", check_group_commit),
+        ("multi_get", "BENCH_multi_get.json", check_multi_get),
     ];
     let mut merged: Vec<String> = Vec::new();
     let mut failures = 0u32;
@@ -233,6 +266,28 @@ mod tests {
         {"bench":"put","replicas":3,"mode":"parallel-replicas","group_commit":false,"batch_size":1,"kops":9.0,"speedup":1.500,"speedup_vs_parallel":1.000},
         {"bench":"put","replicas":3,"mode":"group","group_commit":true,"batch_size":1,"kops":13.0,"speedup":2.400,"speedup_vs_parallel":1.540},
         {"bench":"put","replicas":3,"mode":"group+batch","group_commit":true,"batch_size":16,"kops":40.0,"speedup":7.100,"speedup_vs_parallel":4.300}]}"#;
+
+    const MULTI_GET: &str = r#"{"experiment":"fig24_multi_get","rows":[
+        {"bench":"multi_get","parallelism":1,"reads":512,"batch":64,"seq_ms":280.0,"multi_ms":255.0,"speedup":1.100},
+        {"bench":"multi_get","parallelism":4,"reads":512,"batch":64,"seq_ms":285.0,"multi_ms":80.0,"speedup":3.560},
+        {"bench":"multi_get","parallelism":8,"reads":512,"batch":64,"seq_ms":286.0,"multi_ms":52.0,"speedup":5.500},
+        {"bench":"scan_cursor","readahead":"auto","entries":4000,"ms":140.0,"kentries_per_sec":28.5}]}"#;
+
+    #[test]
+    fn multi_get_floor_holds_and_trips() {
+        assert!(check_multi_get(MULTI_GET).is_ok());
+        // The serial (parallelism 1) row running at ~1x never trips the
+        // floor — it is the baseline.
+        let slow_serial = MULTI_GET.replace("\"speedup\":1.100", "\"speedup\":0.900");
+        assert!(check_multi_get(&slow_serial).is_ok());
+        // A fanned-out row regressing below 2x trips it.
+        let regressed = MULTI_GET.replace("\"speedup\":3.560", "\"speedup\":1.300");
+        assert!(check_multi_get(&regressed).is_err());
+        // Missing rows fail loudly instead of passing.
+        assert!(check_multi_get("{\"rows\":[]}").is_err());
+        let only_scan = r#"{"rows":[{"bench":"scan_cursor","readahead":"auto","entries":10,"ms":1.0}]}"#;
+        assert!(check_multi_get(only_scan).is_err());
+    }
 
     #[test]
     fn row_splitting_and_field_extraction() {

@@ -1,0 +1,176 @@
+//! Figure 24 (repo extension): scatter-gather `multi_get` vs sequential
+//! point gets, and streaming `ScanCursor` throughput.
+//!
+//! `NovaClient::multi_get` splits a key batch by destination range, cuts the
+//! shards into at most `stoc_io_parallelism` chunks, and fans the chunks out
+//! concurrently on the client's scoped-thread I/O pool — so a batch of
+//! point reads overlaps its fabric round trips instead of paying them in
+//! sequence. This experiment turns `simulate_delay` on (every verb sleeps
+//! for its simulated network time), disables the block cache (so every get
+//! pays a real StoC block read), and measures:
+//!
+//! * **multi_get** — batched reads at I/O parallelism ∈ {1, 4, 8} vs the
+//!   same keys read with sequential `get` calls. Parallelism 1 is the
+//!   serial baseline (the pool runs chunks inline, ≈1x); the speedup at
+//!   parallelism ≥ 4 is what `ci_gate` enforces (≥ 2x).
+//! * **scan_cursor** — streaming range-scan throughput over the whole
+//!   keyspace, with the cursor's chunked pulls and table readahead, vs the
+//!   same scan with readahead disabled per `ReadOptions`.
+//!
+//! Results are printed as a table and written to `BENCH_multi_get.json`;
+//! CI runs `--quick` and `ci_gate` enforces the ≥2x floor.
+
+use nova_bench::{print_header, print_row};
+use nova_common::config::{CacheConfig, DiskConfig, FabricConfig};
+use nova_common::keyspace::encode_key;
+use nova_common::ReadOptions;
+use nova_lsm::{presets, NovaClient, NovaCluster};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One-way verb latency for the simulated fabric: large enough that network
+/// round trips dominate point reads, as in the paper's disaggregated setup.
+const LATENCY_NANOS: u64 = 100_000;
+
+/// Start a cluster whose reads all travel to the StoCs: simulated fabric
+/// delay on, block cache off, data flushed to SSTables.
+fn start_cluster(parallelism: usize, num_keys: u64, value_size: usize) -> (Arc<NovaCluster>, NovaClient) {
+    let mut config = presets::test_cluster(1, 4, num_keys);
+    config.ranges_per_ltc = 8;
+    config.range.scatter_width = 2;
+    config.fabric = FabricConfig {
+        latency_nanos: LATENCY_NANOS,
+        simulate_delay: true,
+        ..FabricConfig::default()
+    };
+    config.disk = DiskConfig {
+        bandwidth_bytes_per_sec: u64::MAX / 2,
+        seek_micros: 0,
+        accounting_only: true,
+    };
+    // Every get must pay the fabric round trip, or the comparison would
+    // measure the block cache instead of the I/O path.
+    config.block_cache = CacheConfig::disabled();
+    config.stoc_io_parallelism = parallelism;
+    let cluster = NovaCluster::start(config).expect("start cluster");
+    let client = NovaClient::new(Arc::clone(&cluster));
+    let value = vec![b'v'; value_size];
+    let items: Vec<(Vec<u8>, Vec<u8>)> = (0..num_keys).map(|i| (encode_key(i), value.clone())).collect();
+    for chunk in items.chunks(512) {
+        client.put_batch(chunk).expect("load");
+    }
+    cluster.flush_all().expect("flush");
+    (cluster, client)
+}
+
+/// Deterministic key sample (LCG) so every configuration reads identical
+/// keys.
+fn sample_keys(count: usize, num_keys: u64) -> Vec<u64> {
+    let mut state = 0x9e3779b97f4a7c15u64;
+    (0..count)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) % num_keys
+        })
+        .collect()
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let num_keys: u64 = if quick { 4_000 } else { 16_000 };
+    let reads: usize = if quick { 512 } else { 2_048 };
+    let batch = 64usize;
+    let value_size = 128usize;
+
+    print_header(
+        &format!(
+            "Figure 24: multi_get vs sequential gets (simulate_delay on, {reads} reads, \
+             batches of {batch})"
+        ),
+        &["parallelism", "seq ms", "multi ms", "speedup"],
+    );
+
+    let mut json_rows: Vec<String> = Vec::new();
+    let mut speedup_at_4 = 0.0f64;
+    for parallelism in [1usize, 4, 8] {
+        let (cluster, client) = start_cluster(parallelism, num_keys, value_size);
+        let keys = sample_keys(reads, num_keys);
+
+        let start = Instant::now();
+        for key in &keys {
+            client.get_numeric(*key).expect("get").expect("loaded key");
+        }
+        let seq_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        let start = Instant::now();
+        for chunk in keys.chunks(batch) {
+            let values = client.multi_get_numeric(chunk).expect("multi_get");
+            assert!(values.iter().all(|v| v.is_some()), "loaded keys must be found");
+        }
+        let multi_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        let speedup = seq_ms / multi_ms.max(1e-9);
+        if parallelism == 4 {
+            speedup_at_4 = speedup;
+        }
+        print_row(&[
+            parallelism.to_string(),
+            format!("{seq_ms:.1}"),
+            format!("{multi_ms:.1}"),
+            format!("{speedup:.2}x"),
+        ]);
+        json_rows.push(format!(
+            "{{\"bench\":\"multi_get\",\"parallelism\":{parallelism},\"reads\":{reads},\
+             \"batch\":{batch},\"seq_ms\":{seq_ms:.3},\"multi_ms\":{multi_ms:.3},\
+             \"speedup\":{speedup:.3}}}"
+        ));
+        cluster.shutdown();
+    }
+
+    // Streaming cursor throughput over the whole keyspace, with and without
+    // table readahead (both pull chunks of 128 entries).
+    print_header(
+        "Figure 24b: streaming ScanCursor throughput",
+        &["readahead", "entries", "ms", "kentries/s"],
+    );
+    let (cluster, client) = start_cluster(8, num_keys, value_size);
+    for (label, options) in [
+        ("auto", ReadOptions::default()),
+        ("off", ReadOptions::default().with_readahead(0)),
+    ] {
+        let start = Instant::now();
+        let mut scanned = 0usize;
+        for entry in client.scan_range(&encode_key(0), None, options) {
+            entry.expect("cursor scan");
+            scanned += 1;
+        }
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        let kentries = scanned as f64 / ms.max(1e-9);
+        assert_eq!(scanned as u64, num_keys, "the cursor must stream every key");
+        print_row(&[
+            label.to_string(),
+            scanned.to_string(),
+            format!("{ms:.1}"),
+            format!("{kentries:.1}"),
+        ]);
+        json_rows.push(format!(
+            "{{\"bench\":\"scan_cursor\",\"readahead\":\"{label}\",\"entries\":{scanned},\
+             \"ms\":{ms:.3},\"kentries_per_sec\":{kentries:.3}}}"
+        ));
+    }
+    cluster.shutdown();
+
+    println!("\nmulti_get speedup at parallelism=4: {speedup_at_4:.2}x");
+
+    let json = format!(
+        "{{\"experiment\":\"fig24_multi_get\",\"quick\":{quick},\"latency_nanos\":{LATENCY_NANOS},\
+         \"rows\":[{}]}}\n",
+        json_rows.join(",")
+    );
+    match std::fs::write("BENCH_multi_get.json", &json) {
+        Ok(()) => println!("wrote BENCH_multi_get.json"),
+        Err(e) => eprintln!("could not write BENCH_multi_get.json: {e}"),
+    }
+}

@@ -28,6 +28,9 @@ pub struct BenchScale {
     /// Puts each driver thread coalesces into one `put_batch` call
     /// (1 = classic per-operation YCSB).
     pub batch_size: usize,
+    /// Gets each driver thread coalesces into one `multi_get` call
+    /// (1 = classic per-operation YCSB).
+    pub read_batch_size: usize,
 }
 
 impl Default for BenchScale {
@@ -39,6 +42,7 @@ impl Default for BenchScale {
             run_secs: 4,
             disk: DiskConfig::scaled(40, 2_000),
             batch_size: 1,
+            read_batch_size: 1,
         }
     }
 }
@@ -74,6 +78,7 @@ impl BenchScale {
             seed: 42,
             retry_budget: 8,
             batch_size: self.batch_size.max(1),
+            read_batch_size: self.read_batch_size.max(1),
         }
     }
 }
@@ -114,14 +119,31 @@ impl KvInterface for StoreHandle {
     }
 
     fn get(&self, key: &[u8]) -> Result<bool> {
-        let result = match self {
-            StoreHandle::Nova { client, .. } => client.get(key).map(|_| true),
-            StoreHandle::Baseline(cluster) => cluster.get(key).map(|_| true),
-        };
-        match result {
-            Ok(found) => Ok(found),
-            Err(nova_common::Error::NotFound) => Ok(false),
-            Err(e) => Err(e),
+        match self {
+            StoreHandle::Nova { client, .. } => client.get(key).map(|v| v.is_some()),
+            StoreHandle::Baseline(cluster) => match cluster.get(key) {
+                Ok(_) => Ok(true),
+                Err(nova_common::Error::NotFound) => Ok(false),
+                Err(e) => Err(e),
+            },
+        }
+    }
+
+    fn multi_get(&self, keys: &[Vec<u8>]) -> Result<Vec<bool>> {
+        match self {
+            // The first-class scatter-gather read path: per-range shards
+            // fanned out concurrently on the client's I/O pool.
+            StoreHandle::Nova { client, .. } => {
+                Ok(client.multi_get(keys)?.into_iter().map(|v| v.is_some()).collect())
+            }
+            StoreHandle::Baseline(cluster) => keys
+                .iter()
+                .map(|key| match cluster.get(key) {
+                    Ok(_) => Ok(true),
+                    Err(nova_common::Error::NotFound) => Ok(false),
+                    Err(e) => Err(e),
+                })
+                .collect(),
         }
     }
 
@@ -129,6 +151,29 @@ impl KvInterface for StoreHandle {
         match self {
             StoreHandle::Nova { client, .. } => client.scan(start_key, count).map(|v| v.len()),
             StoreHandle::Baseline(cluster) => cluster.scan(start_key, count).map(|v| v.len()),
+        }
+    }
+
+    fn scan_range(&self, start_key: &[u8], end_key: &[u8], count: usize) -> Result<usize> {
+        match self {
+            // The streaming cursor: bounded chunks, never reads past the
+            // requested interval.
+            StoreHandle::Nova { client, .. } => {
+                let options = nova_common::ReadOptions::default().with_chunk(count.clamp(1, 128));
+                let mut seen = 0usize;
+                for entry in client.scan_range(start_key, Some(end_key), options) {
+                    entry?;
+                    seen += 1;
+                    if seen >= count {
+                        break;
+                    }
+                }
+                Ok(seen)
+            }
+            StoreHandle::Baseline(cluster) => {
+                let entries = cluster.scan(start_key, count)?;
+                Ok(entries.iter().filter(|e| e.key.as_ref() < end_key).count())
+            }
         }
     }
 }
@@ -225,6 +270,7 @@ mod tests {
                 accounting_only: true,
             },
             batch_size: 1,
+            read_batch_size: 1,
         };
         let store = nova_store(presets::test_cluster(1, 2, scale.num_keys), &scale);
         assert!(store.nova().is_some());
@@ -254,6 +300,7 @@ mod tests {
                 accounting_only: true,
             },
             batch_size: 1,
+            read_batch_size: 1,
         };
         let store = baseline_store(BaselineKind::LevelDbStar, 2, 16 * 1024, &scale);
         assert!(store.nova().is_none());

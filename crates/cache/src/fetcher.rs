@@ -13,12 +13,33 @@ pub struct CachingFetcher<'a> {
     inner: &'a dyn BlockFetcher,
     cache: &'a BlockCache,
     meta: &'a SstableMeta,
+    /// Whether fetched blocks are offered to the cache. `false` is the
+    /// `ReadOptions::fill_cache = false` hint: hits are still served, but
+    /// misses are not inserted, so a one-off analytical scan cannot churn
+    /// the admission filter or displace the hot set.
+    fill: bool,
 }
 
 impl<'a> CachingFetcher<'a> {
     /// Wrap `inner`, caching blocks of the table described by `meta`.
     pub fn new(inner: &'a dyn BlockFetcher, cache: &'a BlockCache, meta: &'a SstableMeta) -> Self {
-        CachingFetcher { inner, cache, meta }
+        Self::with_fill(inner, cache, meta, true)
+    }
+
+    /// [`CachingFetcher::new`] with an explicit fill policy: when `fill` is
+    /// false, cache misses are fetched but not inserted.
+    pub fn with_fill(
+        inner: &'a dyn BlockFetcher,
+        cache: &'a BlockCache,
+        meta: &'a SstableMeta,
+        fill: bool,
+    ) -> Self {
+        CachingFetcher {
+            inner,
+            cache,
+            meta,
+            fill,
+        }
     }
 
     /// The physical cache key for a logical block location, if the fragment
@@ -39,7 +60,9 @@ impl BlockFetcher for CachingFetcher<'_> {
             return Ok(block);
         }
         let block = self.inner.fetch(location)?;
-        self.cache.insert(key, block.clone());
+        if self.fill {
+            self.cache.insert(key, block.clone());
+        }
         Ok(block)
     }
 
@@ -66,8 +89,10 @@ impl BlockFetcher for CachingFetcher<'_> {
         if !miss_locations.is_empty() {
             let fetched = self.inner.fetch_many(&miss_locations);
             for ((slot, key), result) in miss_slots.into_iter().zip(fetched) {
-                if let (Some(key), Ok(block)) = (key, &result) {
-                    self.cache.insert(key, block.clone());
+                if self.fill {
+                    if let (Some(key), Ok(block)) = (key, &result) {
+                        self.cache.insert(key, block.clone());
+                    }
                 }
                 out[slot] = Some(result);
             }
@@ -248,6 +273,50 @@ mod tests {
             warm_calls + 6,
             "warm prefetch window must not reach the StoC path"
         );
+    }
+
+    #[test]
+    fn no_fill_serves_hits_but_never_inserts() {
+        let fragment = vec![7u8; 1 << 12];
+        let counting = CountingFetcher {
+            inner: MemoryFetcher::new(vec![fragment]),
+            calls: AtomicU64::new(0),
+        };
+        let cache = BlockCache::new(1 << 20, 2, false);
+        let meta = meta_for_fragments(&[1 << 12]);
+        let loc = BlockLocation {
+            fragment: 0,
+            offset: 0,
+            size: 256,
+        };
+        // Warm one block through the filling path.
+        CachingFetcher::new(&counting, &cache, &meta).fetch(&loc).unwrap();
+        assert_eq!(cache.stats().insertions, 1);
+
+        let no_fill = CachingFetcher::with_fill(&counting, &cache, &meta, false);
+        // The warm block is still a hit.
+        no_fill.fetch(&loc).unwrap();
+        assert_eq!(counting.calls.load(Ordering::SeqCst), 1);
+        // A cold block is fetched but not inserted — twice in a row.
+        let cold = BlockLocation {
+            fragment: 0,
+            offset: 512,
+            size: 256,
+        };
+        no_fill.fetch(&cold).unwrap();
+        no_fill.fetch(&cold).unwrap();
+        assert_eq!(counting.calls.load(Ordering::SeqCst), 3);
+        assert_eq!(cache.stats().insertions, 1, "no-fill must not insert");
+        // The batched path obeys the same policy.
+        let locations: Vec<BlockLocation> = (0..4)
+            .map(|i| BlockLocation {
+                fragment: 0,
+                offset: i * 256,
+                size: 256,
+            })
+            .collect();
+        assert!(no_fill.fetch_many(&locations).iter().all(|r| r.is_ok()));
+        assert_eq!(cache.stats().insertions, 1, "no-fill fetch_many must not insert");
     }
 
     #[test]

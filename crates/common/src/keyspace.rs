@@ -23,6 +23,15 @@ pub fn decode_key(key: &[u8]) -> Option<u64> {
     std::str::from_utf8(key).ok()?.parse().ok()
 }
 
+/// A numeric *lower bound* for a key that may carry a non-numeric suffix:
+/// the numeric value of its first [`KEY_WIDTH`] bytes. Scan cursors resume
+/// at the bytewise successor `key ++ 0x00`, which no longer decodes as a
+/// whole — but every key at or after it is numerically at least the
+/// prefix's value, which is exactly what index pruning needs.
+pub fn decode_key_lower_bound(key: &[u8]) -> Option<u64> {
+    decode_key(key).or_else(|| decode_key(key.get(..KEY_WIDTH)?))
+}
+
 /// A half-open interval `[lower, upper)` of the numeric keyspace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct KeyInterval {
@@ -157,6 +166,17 @@ mod tests {
         assert_eq!(decode_key(&b), Some(1000));
         assert_eq!(decode_key(b"not-a-number"), None);
         assert_eq!(a.len(), KEY_WIDTH);
+    }
+
+    #[test]
+    fn lower_bound_decoding_tolerates_cursor_resume_suffixes() {
+        let mut resume = encode_key(42);
+        resume.push(0);
+        assert_eq!(decode_key(&resume), None, "the suffix breaks a whole-key decode");
+        assert_eq!(decode_key_lower_bound(&resume), Some(42));
+        assert_eq!(decode_key_lower_bound(&encode_key(7)), Some(7));
+        assert_eq!(decode_key_lower_bound(b"short"), None);
+        assert_eq!(decode_key_lower_bound(b"not-a-number-at-all-x"), None);
     }
 
     #[test]

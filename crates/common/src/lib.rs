@@ -19,11 +19,13 @@ pub mod config;
 pub mod error;
 pub mod histogram;
 pub mod keyspace;
+pub mod options;
 pub mod rate;
 pub mod types;
 pub mod varint;
 
 pub use error::{Error, Result};
+pub use options::{ReadOptions, WriteOptions};
 pub use types::{
     FileNumber, InternalKey, Key, LtcId, MemtableId, NodeId, RangeId, SequenceNumber, StocBlockHandle,
     StocFileId, StocId, Value, ValueType,

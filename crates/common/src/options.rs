@@ -1,0 +1,149 @@
+//! Per-operation option structs for the typed client API.
+//!
+//! Cluster-wide knobs ([`crate::config::ClusterConfig`]) set the defaults;
+//! these structs let a single operation override the ones that are a
+//! per-request decision — block-cache admission for a one-off analytical
+//! scan, readahead width for a cursor that knows its chunk size, group
+//! commit for a batch that prefers per-record logging. Every field has a
+//! conservative default, so `ReadOptions::default()` /
+//! `WriteOptions::default()` behave exactly like the pre-options API.
+
+/// Options carried by read operations (`get`, `multi_get`, range scans).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadOptions {
+    /// Whether data blocks fetched from a StoC on behalf of this operation
+    /// are offered to the LTC's block cache. `false` is the classic
+    /// "don't pollute the cache" hint for one-off analytical scans: cached
+    /// blocks are still *served*, but misses are not inserted.
+    pub fill_cache: bool,
+    /// Readahead window for table iterators, in data blocks past the
+    /// cursor. `None` derives the width from the StoC client's configured
+    /// I/O parallelism (the pre-options behaviour); `Some(0)` disables
+    /// readahead; `Some(n)` prefetches exactly `n` blocks per window.
+    pub readahead: Option<usize>,
+    /// How many entries a streaming scan cursor pulls per chunk. Each chunk
+    /// is one routed, epoch-validated request; larger chunks amortize
+    /// routing, smaller chunks bound the staleness window between chunks.
+    /// Consumed by the client-side cursor only — the LTC/engine scan
+    /// methods take their entry limit as an explicit parameter.
+    pub limit: usize,
+}
+
+/// The chunk size a [`ReadOptions::default`] scan cursor pulls per request.
+pub const DEFAULT_SCAN_CHUNK: usize = 128;
+
+impl Default for ReadOptions {
+    fn default() -> Self {
+        ReadOptions {
+            fill_cache: true,
+            readahead: None,
+            limit: DEFAULT_SCAN_CHUNK,
+        }
+    }
+}
+
+impl ReadOptions {
+    /// The "don't pollute the cache" profile for one-off analytical scans:
+    /// cache hits are still served, but misses are not admitted.
+    pub fn no_fill() -> Self {
+        ReadOptions {
+            fill_cache: false,
+            ..Default::default()
+        }
+    }
+
+    /// Set the scan-cursor chunk size (clamped to at least 1).
+    pub fn with_chunk(mut self, limit: usize) -> Self {
+        self.limit = limit.max(1);
+        self
+    }
+
+    /// Set an explicit readahead window (`0` disables readahead).
+    pub fn with_readahead(mut self, blocks: usize) -> Self {
+        self.readahead = Some(blocks);
+        self
+    }
+
+    /// The effective readahead width given the I/O parallelism the client
+    /// was configured with and a per-call upper bound. The automatic width
+    /// follows the parallelism (serial clients fetch on demand — a batch of
+    /// one per block gains nothing); explicit widths are clamped to the
+    /// same cap, which bounds how many prefetched blocks an iterator holds
+    /// in memory at once.
+    pub fn effective_readahead(&self, io_parallelism: usize, cap: usize) -> usize {
+        match self.readahead {
+            Some(width) => width.min(cap),
+            None => match io_parallelism {
+                0 | 1 => 0,
+                parallelism => parallelism.min(cap),
+            },
+        }
+    }
+}
+
+/// Options carried by batched write operations (`put_batch` and the
+/// engine-level `write_batch_with`). Single-record `put`/`delete` always
+/// follow the cluster-wide knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteOptions {
+    /// Whether this batch's log records may be coalesced into group-commit
+    /// writes (the cluster's `group_commit_*` knobs bound the group).
+    /// `false` forces per-record logging for this batch only — the
+    /// pre-group-commit protocol, one log write per replica per record.
+    pub group_commit: bool,
+}
+
+impl Default for WriteOptions {
+    fn default() -> Self {
+        WriteOptions { group_commit: true }
+    }
+}
+
+impl WriteOptions {
+    /// The per-record-logging profile (no group-commit coalescing).
+    pub fn no_group_commit() -> Self {
+        WriteOptions { group_commit: false }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_pre_options_behaviour() {
+        let r = ReadOptions::default();
+        assert!(r.fill_cache);
+        assert_eq!(r.readahead, None);
+        assert_eq!(r.limit, DEFAULT_SCAN_CHUNK);
+        assert!(WriteOptions::default().group_commit);
+        assert!(!WriteOptions::no_group_commit().group_commit);
+        assert!(!ReadOptions::no_fill().fill_cache);
+    }
+
+    #[test]
+    fn effective_readahead_follows_parallelism_unless_explicit() {
+        let auto = ReadOptions::default();
+        assert_eq!(auto.effective_readahead(1, 8), 0, "serial I/O reads on demand");
+        assert_eq!(auto.effective_readahead(4, 8), 4);
+        assert_eq!(auto.effective_readahead(32, 8), 8, "auto width is capped");
+        let explicit = ReadOptions::default().with_readahead(3);
+        assert_eq!(explicit.effective_readahead(1, 8), 3, "explicit width wins");
+        let off = ReadOptions::default().with_readahead(0);
+        assert_eq!(off.effective_readahead(16, 8), 0);
+        let huge = ReadOptions::default().with_readahead(1_000_000);
+        assert_eq!(
+            huge.effective_readahead(1, 8),
+            8,
+            "explicit width is still capped"
+        );
+    }
+
+    #[test]
+    fn builders_clamp_and_compose() {
+        let r = ReadOptions::no_fill().with_chunk(0).with_readahead(2);
+        assert_eq!(r.limit, 1);
+        assert_eq!(r.readahead, Some(2));
+        assert!(!r.fill_cache);
+    }
+}

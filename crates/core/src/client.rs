@@ -9,12 +9,30 @@
 //! `client_retries` budget from the cluster configuration. Applications
 //! therefore observe a brief retry during elasticity operations, never a
 //! terminal error.
+//!
+//! # The typed operation API
+//!
+//! Operations are options-carrying and absence-aware:
+//!
+//! * [`NovaClient::get`] returns `Ok(None)` for an absent key — absence is
+//!   data, not an error — and [`NovaClient::get_with_options`] threads
+//!   [`ReadOptions`] (cache admission, readahead) down to the SSTable
+//!   readers.
+//! * [`NovaClient::multi_get`] is the read-side twin of
+//!   [`NovaClient::put_batch`]: keys are split by destination range and the
+//!   per-LTC shards travel concurrently through a scoped-thread I/O pool,
+//!   with per-shard epoch refresh/retry and order-preserving reassembly.
+//! * [`NovaClient::scan_range`] returns a streaming [`ScanCursor`] over a
+//!   `start..end` bound that pulls bounded chunks lazily across range and
+//!   LTC boundaries; [`NovaClient::scan`] is a thin shim over it.
 
 use crate::cluster::NovaCluster;
 use bytes::Bytes;
 use nova_common::keyspace::encode_key;
 use nova_common::types::Entry;
-use nova_common::{Error, Result};
+use nova_common::{Error, RangeId, ReadOptions, Result, WriteOptions};
+use nova_stoc::IoPool;
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -25,6 +43,27 @@ use std::time::Duration;
 /// window (a slow destination build replaying many buffered entries).
 fn backoff(attempt: usize) {
     std::thread::sleep(Duration::from_micros(50u64 << attempt.min(9)));
+}
+
+/// Group batch items by destination range, preserving submission order
+/// within each shard. `key_of` extracts the routing key from an item.
+/// Batches touch few ranges, so a linear scan beats a map here. Shared by
+/// the batched write path (`put_batch`) and its read-side twin
+/// (`multi_get`), so routing changes cannot silently diverge between them.
+fn shard_by_range<T>(
+    partition: &nova_common::keyspace::KeyspacePartition,
+    items: impl Iterator<Item = T>,
+    key_of: impl Fn(&T) -> &[u8],
+) -> Vec<(RangeId, Vec<T>)> {
+    let mut shards: Vec<(RangeId, Vec<T>)> = Vec::new();
+    for item in items {
+        let range = partition.range_of_encoded(key_of(&item));
+        match shards.iter_mut().find(|(r, _)| *r == range) {
+            Some((_, shard)) => shard.push(item),
+            None => shards.push((range, vec![item])),
+        }
+    }
+    shards
 }
 
 /// A client handle onto a running cluster. Cheap to clone; every application
@@ -73,7 +112,7 @@ impl NovaClient {
     /// names a deregistered LTC (the failover reassignment window).
     fn with_range_routing<T>(
         &self,
-        range: nova_common::RangeId,
+        range: RangeId,
         mut op: impl FnMut(&nova_ltc::Ltc, u64) -> Result<T>,
     ) -> Result<T> {
         let budget = self.cluster.config().client_retries.max(1);
@@ -102,7 +141,7 @@ impl NovaClient {
     fn with_routing<T>(
         &self,
         key: &[u8],
-        mut op: impl FnMut(nova_common::RangeId, &nova_ltc::Ltc, u64) -> Result<T>,
+        mut op: impl FnMut(RangeId, &nova_ltc::Ltc, u64) -> Result<T>,
     ) -> Result<T> {
         let range = self.cluster.partition().range_of_encoded(key);
         self.with_range_routing(range, |ltc, epoch| op(range, ltc, epoch))
@@ -118,12 +157,103 @@ impl NovaClient {
         self.with_routing(key, |range, ltc, epoch| ltc.delete_at(range, key, epoch))
     }
 
-    /// Read the latest value of a key.
-    pub fn get(&self, key: &[u8]) -> Result<Bytes> {
-        self.with_routing(key, |range, ltc, epoch| ltc.get_at(range, key, epoch))
+    /// Read the latest value of a key. `Ok(None)` means the key has no live
+    /// version — absence is data, not an error; `Err` is reserved for
+    /// operational failures (exhausted retries, unavailable storage).
+    pub fn get(&self, key: &[u8]) -> Result<Option<Bytes>> {
+        self.get_with_options(key, &ReadOptions::default())
     }
 
-    /// Write a batch of key-value pairs.
+    /// [`NovaClient::get`] honoring per-operation [`ReadOptions`]
+    /// (`fill_cache = false` reads through the LTC block cache without
+    /// populating it).
+    pub fn get_with_options(&self, key: &[u8], options: &ReadOptions) -> Result<Option<Bytes>> {
+        let result = self.with_routing(key, |range, ltc, epoch| {
+            ltc.get_at_with(range, key, epoch, options)
+        });
+        match result {
+            Ok(value) => Ok(Some(value)),
+            Err(Error::NotFound) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Read a batch of keys, returning one slot per input key in input
+    /// order (`None` = absent; duplicates allowed and answered per
+    /// occurrence).
+    ///
+    /// This is the read-side twin of [`NovaClient::put_batch`]: keys are
+    /// split by destination range, each range's shard is cut into at most
+    /// `stoc_io_parallelism` chunks, and the chunks fan out concurrently on
+    /// a scoped-thread I/O pool — so a batch touching several ranges (or
+    /// one large range) overlaps its fabric round trips instead of paying
+    /// them in sequence. Each chunk routes, validates the configuration
+    /// epoch, and retries on the stale-routing errors independently, so a
+    /// migration mid-batch re-routes only the shards it touched.
+    ///
+    /// ```no_run
+    /// # use nova_lsm::{presets, NovaClient, NovaCluster};
+    /// # let cluster = NovaCluster::start(presets::test_cluster(1, 1, 1000)).unwrap();
+    /// let client = NovaClient::new(cluster);
+    /// client.put(b"00000000000000000007", b"seven").unwrap();
+    /// let values = client
+    ///     .multi_get(&[b"00000000000000000007".as_slice(), b"00000000000000000008".as_slice()])
+    ///     .unwrap();
+    /// assert_eq!(values[0].as_deref(), Some(b"seven".as_slice()));
+    /// assert_eq!(values[1], None);
+    /// ```
+    pub fn multi_get<K: AsRef<[u8]>>(&self, keys: &[K]) -> Result<Vec<Option<Bytes>>> {
+        self.multi_get_with_options(keys, &ReadOptions::default())
+    }
+
+    /// [`NovaClient::multi_get`] honoring per-operation [`ReadOptions`].
+    pub fn multi_get_with_options<K: AsRef<[u8]>>(
+        &self,
+        keys: &[K],
+        options: &ReadOptions,
+    ) -> Result<Vec<Option<Bytes>>> {
+        if keys.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Group (input index, key) pairs by destination range, preserving
+        // input order within each shard.
+        let shards = shard_by_range(
+            self.cluster.partition(),
+            keys.iter().enumerate().map(|(index, key)| (index, key.as_ref())),
+            |&(_, key)| key,
+        );
+        // Cut shards into chunks so even a single-range batch fans out up
+        // to the configured I/O width. Each chunk is one routed,
+        // epoch-validated request with its own refresh-and-retry; reads are
+        // idempotent, so a retried chunk is harmless.
+        let parallelism = self.cluster.config().stoc_io_parallelism.max(1);
+        let chunk_size = keys.len().div_ceil(parallelism).max(1);
+        let mut jobs = Vec::new();
+        for (range, shard) in &shards {
+            for chunk in shard.chunks(chunk_size) {
+                let range = *range;
+                jobs.push(move || -> Result<Vec<(usize, Option<Bytes>)>> {
+                    let chunk_keys: Vec<&[u8]> = chunk.iter().map(|&(_, key)| key).collect();
+                    let values = self.with_range_routing(range, |ltc, epoch| {
+                        ltc.multi_get_at(range, &chunk_keys, epoch, options)
+                    })?;
+                    Ok(chunk.iter().map(|&(index, _)| index).zip(values).collect())
+                });
+            }
+        }
+        let pool = IoPool::new(parallelism);
+        let mut out: Vec<Option<Bytes>> = vec![None; keys.len()];
+        for piece in pool.run_all(jobs)? {
+            for (index, value) in piece {
+                out[index] = value;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Write a batch of key-value pairs. Accepts any borrowed pairs
+    /// (`&[(&[u8], &[u8])]`, `&[(Vec<u8>, Vec<u8>)]`, …) — callers no
+    /// longer clone into an owned vector just to batch.
     ///
     /// The batch is split by destination range (preserving submission order
     /// within each range) and each shard is applied with one epoch-validated
@@ -137,58 +267,100 @@ impl NovaClient {
     /// Drange write state — never across ranges: on an error some shards
     /// (and within the failing shard, a prefix) may already be applied and
     /// readable.
-    pub fn put_batch(&self, items: &[(Vec<u8>, Vec<u8>)]) -> Result<()> {
+    pub fn put_batch<K: AsRef<[u8]>, V: AsRef<[u8]>>(&self, items: &[(K, V)]) -> Result<()> {
+        self.put_batch_with(items, &WriteOptions::default())
+    }
+
+    /// [`NovaClient::put_batch`] honoring per-operation [`WriteOptions`]
+    /// (`group_commit = false` logs each record with its own write).
+    pub fn put_batch_with<K: AsRef<[u8]>, V: AsRef<[u8]>>(
+        &self,
+        items: &[(K, V)],
+        options: &WriteOptions,
+    ) -> Result<()> {
         if items.is_empty() {
             return Ok(());
         }
-        let partition = self.cluster.partition();
-        // Group by destination range, preserving order per range. Batches
-        // touch few ranges, so a linear scan beats a map here.
-        type Shard<'a> = (nova_common::RangeId, Vec<(&'a [u8], &'a [u8])>);
-        let mut shards: Vec<Shard<'_>> = Vec::new();
-        for (key, value) in items {
-            let range = partition.range_of_encoded(key);
-            match shards.iter_mut().find(|(r, _)| *r == range) {
-                Some((_, shard)) => shard.push((key, value)),
-                None => shards.push((range, vec![(key.as_slice(), value.as_slice())])),
-            }
-        }
+        // Group by destination range, preserving order per range.
+        let shards = shard_by_range(
+            self.cluster.partition(),
+            items.iter().map(|(key, value)| (key.as_ref(), value.as_ref())),
+            |&(key, _)| key,
+        );
         for (range, shard) in &shards {
-            self.with_range_routing(*range, |ltc, epoch| ltc.put_batch_at(*range, shard, epoch))?;
+            self.with_range_routing(*range, |ltc, epoch| {
+                ltc.put_batch_at_with(*range, shard, epoch, options)
+            })?;
         }
         Ok(())
     }
 
+    /// Stream the live entries of `[start_key, end_key)` (an absent
+    /// `end_key` scans to the end of the keyspace) as a lazy
+    /// [`ScanCursor`]. The cursor pulls chunks of `options.limit` entries
+    /// at a time, crossing range (and LTC) boundaries in read-committed
+    /// fashion (Section 8.1): each chunk is one routed, epoch-validated
+    /// request, re-routed under the bounded retry policy if a migration
+    /// flips the range between chunks.
+    ///
+    /// ```no_run
+    /// # use nova_common::{keyspace::encode_key, ReadOptions};
+    /// # use nova_lsm::{presets, NovaClient, NovaCluster};
+    /// # let cluster = NovaCluster::start(presets::test_cluster(1, 1, 1000)).unwrap();
+    /// let client = NovaClient::new(cluster);
+    /// let cursor = client.scan_range(
+    ///     &encode_key(100),
+    ///     Some(&encode_key(200)),
+    ///     ReadOptions::default().with_chunk(32),
+    /// );
+    /// for entry in cursor {
+    ///     let entry = entry.unwrap();
+    ///     // keys 100..200 only, in order, each exactly once
+    /// }
+    /// ```
+    pub fn scan_range(&self, start_key: &[u8], end_key: Option<&[u8]>, options: ReadOptions) -> ScanCursor {
+        let range = self.cluster.partition().range_of_encoded(start_key);
+        ScanCursor {
+            client: self.clone(),
+            options,
+            end: end_key.map(|e| e.to_vec()),
+            cursor: start_key.to_vec(),
+            range: Some(range),
+            buffer: VecDeque::new(),
+            done: false,
+        }
+    }
+
+    /// [`NovaClient::scan_range`] addressed by numeric keys (the YCSB
+    /// keyspace): streams the live entries of `[start, end)`.
+    pub fn scan_range_numeric(&self, start: u64, end: u64, options: ReadOptions) -> ScanCursor {
+        self.scan_range(&encode_key(start), Some(&encode_key(end)), options)
+    }
+
     /// Scan up to `limit` live entries starting at `start_key`, crossing
     /// range (and LTC) boundaries in read-committed fashion (Section 8.1).
+    ///
+    /// A thin shim over [`NovaClient::scan_range`]: it drives the cursor
+    /// with a chunk size of `limit` and collects, so its results are
+    /// byte-identical to streaming the cursor yourself.
     pub fn scan(&self, start_key: &[u8], limit: usize) -> Result<Vec<Entry>> {
+        if limit == 0 {
+            return Ok(Vec::new());
+        }
+        let options = ReadOptions::default().with_chunk(limit);
+        let mut cursor = self.scan_range(start_key, None, options);
         let mut out = Vec::with_capacity(limit);
-        let partition = self.cluster.partition().clone();
-        let mut range = partition.range_of_encoded(start_key);
-        let mut cursor = start_key.to_vec();
-        loop {
-            if out.len() >= limit {
-                break;
+        while out.len() < limit {
+            // Shrink the next chunk to what is still needed, exactly like
+            // the pre-cursor eager scan asked each successive range for
+            // `limit - out.len()`: a scan that crosses a range boundary
+            // with one entry to go must not pull (and discard) a full
+            // limit-sized chunk from the next range.
+            cursor.options.limit = limit - out.len();
+            match cursor.next() {
+                Some(entry) => out.push(entry?),
+                None => break,
             }
-            // An unassigned range is the end of the routable keyspace, not
-            // an error.
-            if self.cluster.coordinator().route_of(range).0.is_none() {
-                break;
-            }
-            // Per-chunk routing with the same bounded refresh-and-retry the
-            // point operations use: a migration between chunks re-routes the
-            // next chunk instead of failing the whole scan.
-            let remaining = limit - out.len();
-            let chunk =
-                self.with_range_routing(range, |ltc, epoch| ltc.scan_at(range, &cursor, remaining, epoch))?;
-            out.extend(chunk);
-            // Move to the next range.
-            let next = range.0 as usize + 1;
-            if next >= partition.num_ranges() {
-                break;
-            }
-            range = nova_common::RangeId(next as u32);
-            cursor = encode_key(partition.interval(range).lower);
         }
         Ok(out)
     }
@@ -198,8 +370,128 @@ impl NovaClient {
         self.put(&encode_key(key), value)
     }
 
-    /// Convenience: get with a numeric key.
-    pub fn get_numeric(&self, key: u64) -> Result<Bytes> {
+    /// Convenience: get with a numeric key (`Ok(None)` = absent).
+    pub fn get_numeric(&self, key: u64) -> Result<Option<Bytes>> {
         self.get(&encode_key(key))
+    }
+
+    /// Convenience: multi-get with numeric keys.
+    pub fn multi_get_numeric(&self, keys: &[u64]) -> Result<Vec<Option<Bytes>>> {
+        let encoded: Vec<Vec<u8>> = keys.iter().map(|&k| encode_key(k)).collect();
+        self.multi_get(&encoded)
+    }
+}
+
+/// A streaming range-scan cursor: pulls bounded chunks of live entries
+/// lazily across range and LTC boundaries. Created by
+/// [`NovaClient::scan_range`].
+///
+/// Consistency is read-committed *per chunk* (Section 8.1): each chunk
+/// observes a consistent point-in-time view of its range, and writes
+/// committed between chunks may or may not be visible to later chunks. A
+/// migration between chunks re-routes the next chunk under the client's
+/// bounded retry policy instead of failing the scan; keys are yielded in
+/// order, each at most once, with none skipped (the cursor resumes at the
+/// bytewise successor of the last yielded key).
+pub struct ScanCursor {
+    client: NovaClient,
+    options: ReadOptions,
+    /// Exclusive end bound, if any.
+    end: Option<Vec<u8>>,
+    /// The next key to resume from (inclusive).
+    cursor: Vec<u8>,
+    /// The range the cursor is currently positioned in (`None` once the
+    /// routable keyspace is exhausted).
+    range: Option<RangeId>,
+    buffer: VecDeque<Entry>,
+    done: bool,
+}
+
+impl std::fmt::Debug for ScanCursor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScanCursor")
+            .field("range", &self.range)
+            .field("buffered", &self.buffer.len())
+            .field("done", &self.done)
+            .finish()
+    }
+}
+
+impl ScanCursor {
+    /// Fetch chunks until the buffer holds at least one entry or the scan
+    /// is exhausted.
+    fn refill(&mut self) -> Result<()> {
+        let chunk_size = self.options.limit.max(1);
+        while self.buffer.is_empty() && !self.done {
+            let Some(range) = self.range else {
+                self.done = true;
+                break;
+            };
+            if let Some(end) = &self.end {
+                if self.cursor.as_slice() >= end.as_slice() {
+                    self.done = true;
+                    break;
+                }
+            }
+            // An unassigned range is the end of the routable keyspace, not
+            // an error.
+            if self.client.cluster.coordinator().route_of(range).0.is_none() {
+                self.done = true;
+                break;
+            }
+            // Per-chunk routing with the same bounded refresh-and-retry the
+            // point operations use: a migration between chunks re-routes the
+            // next chunk instead of failing the whole scan.
+            let chunk = self.client.with_range_routing(range, |ltc, epoch| {
+                ltc.scan_range_at(
+                    range,
+                    &self.cursor,
+                    self.end.as_deref(),
+                    chunk_size,
+                    epoch,
+                    &self.options,
+                )
+            })?;
+            let got = chunk.len();
+            if let Some(last) = chunk.last() {
+                // Resume at the bytewise successor of the last yielded key:
+                // nothing sorts strictly between `k` and `k ++ 0x00`, so no
+                // key is skipped and none repeats.
+                let mut next = last.key.to_vec();
+                next.push(0);
+                self.cursor = next;
+            }
+            self.buffer.extend(chunk);
+            if got < chunk_size {
+                // The range had nothing more in bounds; move to the next.
+                let partition = self.client.cluster.partition();
+                let next = range.0 as usize + 1;
+                if next >= partition.num_ranges() {
+                    self.range = None;
+                } else {
+                    let next_range = RangeId(next as u32);
+                    self.cursor = encode_key(partition.interval(next_range).lower);
+                    self.range = Some(next_range);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Iterator for ScanCursor {
+    type Item = Result<Entry>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.buffer.is_empty() && !self.done {
+            if let Err(e) = self.refill() {
+                // A terminal chunk error ends the stream after surfacing it
+                // once (the caller can restart a new cursor from the last
+                // yielded key).
+                self.done = true;
+                return Some(Err(e));
+            }
+        }
+        self.buffer.pop_front().map(Ok)
     }
 }

@@ -33,7 +33,9 @@
 //! let client = NovaClient::new(cluster.clone());
 //!
 //! client.put(b"00000000000000000042", b"hello nova").unwrap();
-//! assert_eq!(&client.get(b"00000000000000000042").unwrap()[..], b"hello nova");
+//! let value = client.get(b"00000000000000000042").unwrap().expect("present");
+//! assert_eq!(&value[..], b"hello nova");
+//! assert_eq!(client.get(b"00000000000000000041").unwrap(), None);
 //! cluster.shutdown();
 //! ```
 
@@ -45,9 +47,10 @@ pub mod cluster;
 pub mod mttf;
 pub mod presets;
 
-pub use client::NovaClient;
+pub use client::{NovaClient, ScanCursor};
 pub use cluster::NovaCluster;
 pub use mttf::{MttfModel, MttfRow};
+pub use nova_common::{ReadOptions, WriteOptions};
 
 // Re-export the component crates so downstream users need a single
 // dependency.

@@ -6,7 +6,7 @@
 use crate::range::{BatchOp, RangeEngine};
 use bytes::Bytes;
 use nova_cache::BlockCache;
-use nova_common::{Error, LtcId, NodeId, RangeId, Result};
+use nova_common::{Error, LtcId, NodeId, RangeId, ReadOptions, Result, WriteOptions};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -205,22 +205,69 @@ impl Ltc {
 
     /// [`Ltc::put_batch`] validating the caller's configuration epoch.
     pub fn put_batch_at(&self, range: RangeId, items: &[(&[u8], &[u8])], epoch: u64) -> Result<()> {
+        self.put_batch_at_with(range, items, epoch, &WriteOptions::default())
+    }
+
+    /// [`Ltc::put_batch_at`] honoring per-operation [`WriteOptions`]
+    /// (`group_commit = false` logs every record with its own write).
+    pub fn put_batch_at_with(
+        &self,
+        range: RangeId,
+        items: &[(&[u8], &[u8])],
+        epoch: u64,
+        options: &WriteOptions,
+    ) -> Result<()> {
         let engine = self.range(range)?;
         engine.check_epoch(epoch)?;
         let ops: Vec<BatchOp<'_>> = items
             .iter()
             .map(|&(key, value)| BatchOp::Put { key, value })
             .collect();
-        engine.write_batch(&ops)
+        engine.write_batch_with(&ops, options)
     }
 
     /// [`Ltc::get`] validating the caller's configuration epoch. Reads are
     /// still served while the range is frozen for migration — only the
     /// owner-epoch check applies.
     pub fn get_at(&self, range: RangeId, key: &[u8], epoch: u64) -> Result<Bytes> {
+        self.get_at_with(range, key, epoch, &ReadOptions::default())
+    }
+
+    /// [`Ltc::get_at`] honoring per-operation [`ReadOptions`].
+    pub fn get_at_with(
+        &self,
+        range: RangeId,
+        key: &[u8],
+        epoch: u64,
+        options: &ReadOptions,
+    ) -> Result<Bytes> {
         let engine = self.range(range)?;
         engine.check_epoch(epoch)?;
-        engine.get(key)
+        engine.get_with_options(key, options)
+    }
+
+    /// Read a batch of keys from `range` under one epoch validation and one
+    /// engine resolution. Absence is data here: each slot is `None` when the
+    /// key has no live version, in input order (duplicates allowed). The
+    /// client's `multi_get` fans these per-range calls out concurrently.
+    pub fn multi_get_at(
+        &self,
+        range: RangeId,
+        keys: &[&[u8]],
+        epoch: u64,
+        options: &ReadOptions,
+    ) -> Result<Vec<Option<Bytes>>> {
+        let engine = self.range(range)?;
+        engine.check_epoch(epoch)?;
+        let mut out = Vec::with_capacity(keys.len());
+        for key in keys {
+            match engine.get_with_options(key, options) {
+                Ok(value) => out.push(Some(value)),
+                Err(Error::NotFound) => out.push(None),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(out)
     }
 
     /// [`Ltc::scan`] validating the caller's configuration epoch.
@@ -231,9 +278,28 @@ impl Ltc {
         limit: usize,
         epoch: u64,
     ) -> Result<Vec<nova_common::types::Entry>> {
+        self.scan_range_at(range, start_key, None, limit, epoch, &ReadOptions::default())
+    }
+
+    /// Epoch-validated bounded scan: up to `limit` live entries of
+    /// `[start_key, end_key)` within `range` (an absent `end_key` scans to
+    /// the end of the range's interval), honoring per-operation
+    /// [`ReadOptions`] for cache admission and readahead — the entry bound
+    /// is the explicit `limit` parameter, not `options.limit` (which is the
+    /// client cursor's chunk size). The streaming client cursor pulls its
+    /// chunks through this method.
+    pub fn scan_range_at(
+        &self,
+        range: RangeId,
+        start_key: &[u8],
+        end_key: Option<&[u8]>,
+        limit: usize,
+        epoch: u64,
+        options: &ReadOptions,
+    ) -> Result<Vec<nova_common::types::Entry>> {
         let engine = self.range(range)?;
         engine.check_epoch(epoch)?;
-        engine.scan(start_key, limit)
+        engine.scan_range(start_key, end_key, limit, options)
     }
 
     /// Aggregate statistics across every range.

@@ -16,7 +16,9 @@ use nova_common::config::RangeConfig;
 use nova_common::keyspace::{decode_key, KeyInterval};
 use nova_common::rate::{BusyTime, Counter};
 use nova_common::types::{Entry, MAX_SEQUENCE_NUMBER};
-use nova_common::{Error, FileNumber, MemtableId, RangeId, Result, SequenceNumber, ValueType};
+use nova_common::{
+    Error, FileNumber, MemtableId, RangeId, ReadOptions, Result, SequenceNumber, ValueType, WriteOptions,
+};
 use nova_logc::{LogC, LogRecord};
 use nova_memtable::{LookupResult, Memtable};
 use nova_sstable::{
@@ -609,6 +611,14 @@ impl RangeEngine {
     /// simply re-apply the whole batch; puts are idempotent under
     /// re-execution with fresh sequence numbers.
     pub fn write_batch(&self, ops: &[BatchOp<'_>]) -> Result<()> {
+        self.write_batch_with(ops, &WriteOptions::default())
+    }
+
+    /// [`RangeEngine::write_batch`] honoring per-operation [`WriteOptions`]:
+    /// with `group_commit = false` every record of the batch is logged with
+    /// its own write (segments of one record — the pre-group-commit
+    /// protocol), regardless of the cluster's group-commit knobs.
+    pub fn write_batch_with(&self, ops: &[BatchOp<'_>], options: &WriteOptions) -> Result<()> {
         if ops.is_empty() {
             return Ok(());
         }
@@ -618,7 +628,11 @@ impl RangeEngine {
         let base = self.sequence.fetch_add(ops.len() as u64, Ordering::SeqCst);
         let logging = self.logc.policy().enabled();
         let (group_bytes, group_max_records) = self.logc.group_commit_bounds();
-        let segment_cap = group_max_records.max(1);
+        let segment_cap = if options.group_commit {
+            group_max_records.max(1)
+        } else {
+            1
+        };
         // Segments are bounded by bytes as well as records: a segment's log
         // records are enqueued as one unit, so an unbounded segment of large
         // values could exceed the log file's capacity (a terminal error)
@@ -1269,12 +1283,17 @@ impl RangeEngine {
         Ok(reader)
     }
 
-    fn get_from_table(&self, meta: &SstableMeta, key: &[u8]) -> Result<Option<Option<Bytes>>> {
+    fn get_from_table(
+        &self,
+        meta: &SstableMeta,
+        key: &[u8],
+        options: &ReadOptions,
+    ) -> Result<Option<Option<Bytes>>> {
         let reader = self.table_reader(meta)?;
         let fetcher = ScatteredBlockFetcher::new(&self.client, meta);
         let lookup = match &self.block_cache {
             Some(cache) => {
-                let caching = CachingFetcher::new(&fetcher, cache, meta);
+                let caching = CachingFetcher::with_fill(&fetcher, cache, meta, options.fill_cache);
                 reader.get(&caching, key, MAX_SEQUENCE_NUMBER)?
             }
             None => reader.get(&fetcher, key, MAX_SEQUENCE_NUMBER)?,
@@ -1293,6 +1312,13 @@ impl RangeEngine {
 
     /// Get the latest value of `key`, or `Err(NotFound)`.
     pub fn get(&self, key: &[u8]) -> Result<Bytes> {
+        self.get_with_options(key, &ReadOptions::default())
+    }
+
+    /// [`RangeEngine::get`] honoring per-operation [`ReadOptions`]
+    /// (`fill_cache = false` reads through the block cache without
+    /// populating it).
+    pub fn get_with_options(&self, key: &[u8], options: &ReadOptions) -> Result<Bytes> {
         // A frozen (mid-migration) range still serves reads; a *retired* one
         // has lost ownership and would miss the new owner's writes.
         if self.retired.load(Ordering::SeqCst) {
@@ -1318,7 +1344,7 @@ impl RangeEngine {
                             .find(|t| t.file_number == file)
                             .cloned();
                         if let Some(meta) = meta {
-                            if let Some(result) = self.get_from_table(&meta, key)? {
+                            if let Some(result) = self.get_from_table(&meta, key, options)? {
                                 return result.ok_or(Error::NotFound);
                             }
                         }
@@ -1359,7 +1385,7 @@ impl RangeEngine {
             let mut level0 = level0;
             level0.sort_by_key(|t| std::cmp::Reverse(t.file_number));
             for meta in level0 {
-                if let Some(result) = self.get_from_table(&meta, key)? {
+                if let Some(result) = self.get_from_table(&meta, key, options)? {
                     return result.ok_or(Error::NotFound);
                 }
             }
@@ -1370,7 +1396,7 @@ impl RangeEngine {
         for level in 1..num_levels {
             let tables = self.version.lock().tables_for_key(level, key);
             for meta in tables {
-                if let Some(result) = self.get_from_table(&meta, key)? {
+                if let Some(result) = self.get_from_table(&meta, key, options)? {
                     return result.ok_or(Error::NotFound);
                 }
             }
@@ -1381,18 +1407,47 @@ impl RangeEngine {
     /// Scan `limit` live entries starting at `start_key` (inclusive), staying
     /// within this range's interval.
     pub fn scan(&self, start_key: &[u8], limit: usize) -> Result<ScanResult> {
+        self.scan_range(start_key, None, limit, &ReadOptions::default())
+    }
+
+    /// Scan up to `limit` live entries of `[start_key, end_key)` (an absent
+    /// `end_key` means "to the end of this range's interval"), honoring
+    /// per-operation [`ReadOptions`]: the table-iterator readahead width
+    /// comes from the options (falling back to the client's I/O
+    /// parallelism), and `fill_cache = false` keeps scanned blocks out of
+    /// the block cache. The end bound prunes candidate SSTables and
+    /// memtable partitions up front, so a bounded scan never reads blocks
+    /// past the requested interval.
+    pub fn scan_range(
+        &self,
+        start_key: &[u8],
+        end_key: Option<&[u8]>,
+        limit: usize,
+        options: &ReadOptions,
+    ) -> Result<ScanResult> {
         if self.retired.load(Ordering::SeqCst) {
             return Err(self.stale_config_error());
         }
         self.stats.scans.incr();
-        let start_numeric = decode_key(start_key).unwrap_or(self.interval.lower);
+        // Lower-bound decoding, not whole-key decoding: a resumed cursor's
+        // start key carries a 0x00 suffix (the bytewise successor of the
+        // last yielded key), and falling back to `interval.lower` for it
+        // would silently disable index pruning for every chunk after the
+        // first.
+        let start_numeric =
+            nova_common::keyspace::decode_key_lower_bound(start_key).unwrap_or(self.interval.lower);
+        // The effective (exclusive) numeric upper bound: the caller's end
+        // key clipped to this range's interval. Non-numeric end keys fall
+        // back to the interval bound for pruning but still cut the merge
+        // loop bytewise below.
+        let scan_upper = end_key
+            .and_then(decode_key)
+            .map_or(self.interval.upper, |e| e.min(self.interval.upper));
 
         // Gather candidate memtables and Level-0 tables from the range index
         // (only partitions at or after the scan start).
         let (memtables, level0_files) = if self.config.enable_range_index {
-            let partitions = self
-                .range_index
-                .partitions_overlapping(start_numeric, self.interval.upper);
+            let partitions = self.range_index.partitions_overlapping(start_numeric, scan_upper);
             let mut memtables: Vec<Arc<Memtable>> = Vec::new();
             let mut files: Vec<FileNumber> = Vec::new();
             for p in partitions {
@@ -1432,9 +1487,9 @@ impl RangeEngine {
             .filter(|t| level0_files.contains(&t.file_number))
             .cloned()
             .collect();
-        let end_key = nova_common::keyspace::encode_key(self.interval.upper.saturating_sub(1));
+        let last_key = nova_common::keyspace::encode_key(scan_upper.saturating_sub(1));
         for level in 1..version.num_levels() {
-            table_metas.extend(version.overlapping(level, start_key, &end_key));
+            table_metas.extend(version.overlapping(level, start_key, &last_key));
         }
 
         // Build the merged iterator.
@@ -1452,7 +1507,7 @@ impl RangeEngine {
             Some(cache) => readers
                 .iter()
                 .zip(fetchers.iter())
-                .map(|((_, m), f)| CachingFetcher::new(f, cache, m))
+                .map(|((_, m), f)| CachingFetcher::with_fill(f, cache, m, options.fill_cache))
                 .collect(),
             None => Vec::new(),
         };
@@ -1500,13 +1555,11 @@ impl RangeEngine {
         }
         // Prefetch ahead of each table's cursor so scan block reads travel
         // to the StoCs as one concurrent batch (and pre-populate the block
-        // cache when it is enabled). Width follows the client's I/O pool; at
-        // width 1 the batch would be fetched serially anyway, so stay on
-        // strict on-demand fetching.
-        let readahead = match self.client.io_parallelism() {
-            0 | 1 => 0,
-            parallelism => parallelism.min(MAX_SCAN_READAHEAD_BLOCKS),
-        };
+        // cache when it is enabled). The width comes from the caller's
+        // ReadOptions; the automatic width follows the client's I/O pool
+        // (at width 1 the batch would be fetched serially anyway, so it
+        // stays on strict on-demand fetching).
+        let readahead = options.effective_readahead(self.client.io_parallelism(), MAX_SCAN_READAHEAD_BLOCKS);
         for (i, (reader, _)) in readers.iter().enumerate() {
             let fetcher: &dyn BlockFetcher = match caching_fetchers.get(i) {
                 Some(caching) => caching,
@@ -1521,6 +1574,12 @@ impl RangeEngine {
         let mut last_key: Option<Vec<u8>> = None;
         while merged.valid() && out.len() < limit {
             let e = merged.entry();
+            // The (exclusive) end bound cuts the merge bytewise, so the scan
+            // never surfaces — or keeps reading past — keys outside the
+            // requested interval.
+            if end_key.is_some_and(|end| e.key.as_ref() >= end) {
+                break;
+            }
             merged.next()?;
             if last_key.as_deref() == Some(e.key.as_ref()) {
                 continue;

@@ -8,7 +8,7 @@
 //! histogram.
 
 use crate::stats::RunReport;
-use crate::workload::{Operation, OperationGenerator, Workload};
+use crate::workload::{Mix, Operation, OperationGenerator, Workload};
 use nova_common::histogram::{Histogram, ThroughputSeries};
 use nova_common::keyspace::encode_key;
 use nova_common::{Error, Result};
@@ -37,9 +37,26 @@ pub trait KvInterface: Send + Sync {
     /// Read a key; returns `Ok(true)` if found, `Ok(false)` if absent.
     fn get(&self, key: &[u8]) -> Result<bool>;
 
+    /// Read a batch of keys; one found-flag per key, in input order. The
+    /// default loops over [`KvInterface::get`]; stores with a first-class
+    /// scatter-gather read path (Nova-LSM's `NovaClient::multi_get`)
+    /// override it so the batch's fabric round trips travel concurrently.
+    fn multi_get(&self, keys: &[Vec<u8>]) -> Result<Vec<bool>> {
+        keys.iter().map(|key| self.get(key)).collect()
+    }
+
     /// Scan `count` records starting at `start_key`; returns the number of
     /// records observed.
     fn scan(&self, start_key: &[u8], count: usize) -> Result<usize>;
+
+    /// Scan up to `count` records of `[start_key, end_key)`; returns the
+    /// number of records observed. The default ignores the end bound
+    /// (equivalent to a `count`-limited scan); stores with real end-bounded
+    /// cursors (Nova-LSM's `NovaClient::scan_range`) override it so the
+    /// scan never reads past the requested interval.
+    fn scan_range(&self, start_key: &[u8], _end_key: &[u8], count: usize) -> Result<usize> {
+        self.scan(start_key, count)
+    }
 }
 
 /// How long a benchmark run lasts.
@@ -75,6 +92,15 @@ pub struct DriverConfig {
     /// run; the batch's latency lands in the put histogram as one sample and
     /// every batched put counts toward the operation totals.
     pub batch_size: usize,
+    /// Number of consecutive gets each client thread coalesces into one
+    /// [`KvInterface::multi_get`] call — the read-side twin of
+    /// `batch_size`. `1` issues every get individually. With a larger
+    /// value, consecutive get operations accumulate into a batch that is
+    /// flushed when full, before any put or scan (preserving rough program
+    /// order), and at the end of the run; the batch's latency lands in the
+    /// get histogram as one sample and every batched get counts toward the
+    /// operation totals.
+    pub read_batch_size: usize,
 }
 
 impl Default for DriverConfig {
@@ -86,38 +112,70 @@ impl Default for DriverConfig {
             seed: 1,
             retry_budget: 8,
             batch_size: 1,
+            read_batch_size: 1,
         }
     }
 }
 
-/// Flush a pending put batch with the driver's bounded retry policy,
-/// recording the batch latency as one put-histogram sample. Returns
-/// `(operations, errors)` to charge to the thread's counters: a failed batch
-/// fails every operation in it.
-fn flush_batch<S: KvInterface + ?Sized>(
-    store: &S,
-    pending: &mut Vec<(Vec<u8>, Vec<u8>)>,
-    put_hist: &mut Histogram,
+/// Run `op` under the driver's bounded retry policy: transient failures (a
+/// migration's handoff window, a write stall) are retried up to
+/// `retry_budget` times with a linear 100µs×attempt backoff rather than
+/// surfacing as client errors. The one retry policy every driver path —
+/// single operations, put batches, read batches — goes through.
+fn with_retries<T>(retry_budget: usize, mut op: impl FnMut() -> Result<T>) -> Result<T> {
+    let mut attempts = 0usize;
+    loop {
+        match op() {
+            Err(e) if e.is_retryable() && attempts < retry_budget => {
+                attempts += 1;
+                std::thread::sleep(Duration::from_micros(100 * attempts as u64));
+            }
+            other => return other,
+        }
+    }
+}
+
+/// Flush a pending batch (puts or gets) with the driver's bounded retry
+/// policy, recording the batch latency as one histogram sample. Returns
+/// `(operations, errors)` to charge to the thread's counters: a failed
+/// batch fails every operation in it.
+fn flush_pending<P>(
+    pending: &mut Vec<P>,
+    hist: &mut Histogram,
     retry_budget: usize,
+    mut flush: impl FnMut(&[P]) -> Result<()>,
 ) -> (u64, u64) {
     if pending.is_empty() {
         return (0, 0);
     }
     let n = pending.len() as u64;
     let start = Instant::now();
-    let mut attempts = 0usize;
-    let outcome = loop {
-        match store.put_batch(pending) {
-            Err(e) if e.is_retryable() && attempts < retry_budget => {
-                attempts += 1;
-                std::thread::sleep(Duration::from_micros(100 * attempts as u64));
-            }
-            other => break other,
-        }
-    };
-    put_hist.record(start.elapsed());
+    let outcome = with_retries(retry_budget, || flush(pending.as_slice()));
+    hist.record(start.elapsed());
     pending.clear();
     (n, if outcome.is_err() { n } else { 0 })
+}
+
+/// Flush a pending put batch through [`KvInterface::put_batch`].
+fn flush_batch<S: KvInterface + ?Sized>(
+    store: &S,
+    pending: &mut Vec<(Vec<u8>, Vec<u8>)>,
+    put_hist: &mut Histogram,
+    retry_budget: usize,
+) -> (u64, u64) {
+    flush_pending(pending, put_hist, retry_budget, |items| store.put_batch(items))
+}
+
+/// Flush a pending get batch through [`KvInterface::multi_get`].
+fn flush_read_batch<S: KvInterface + ?Sized>(
+    store: &S,
+    pending: &mut Vec<Vec<u8>>,
+    get_hist: &mut Histogram,
+    retry_budget: usize,
+) -> (u64, u64) {
+    flush_pending(pending, get_hist, retry_budget, |keys| {
+        store.multi_get(keys).map(|_| ())
+    })
 }
 
 /// Load the database: write every key in `[0, num_keys)` once, split across
@@ -175,6 +233,12 @@ pub fn run<S: KvInterface + ?Sized>(store: &S, workload: &Workload, config: &Dri
             let run_length = config.run_length;
             let retry_budget = config.retry_budget;
             let batch_size = config.batch_size.max(1);
+            let read_batch_size = config.read_batch_size.max(1);
+            // Workload E's short scans carry a natural end bound (the YCSB
+            // keyspace is dense, so `count` records span `count` keys);
+            // issue them through the end-bounded cursor path so a store
+            // with real range cursors never reads past the interval.
+            let bounded_scans = matches!(workload.mix, Mix::E);
             handles.push(scope.spawn(move || {
                 let mut generator = OperationGenerator::new(workload, seed);
                 let mut get_hist = Histogram::new();
@@ -183,6 +247,7 @@ pub fn run<S: KvInterface + ?Sized>(store: &S, workload: &Workload, config: &Dri
                 let mut errors = 0u64;
                 let mut ops_done = 0u64;
                 let mut pending: Vec<(Vec<u8>, Vec<u8>)> = Vec::with_capacity(batch_size);
+                let mut pending_reads: Vec<Vec<u8>> = Vec::with_capacity(read_batch_size);
                 loop {
                     match run_length {
                         RunLength::Duration(d) => {
@@ -202,6 +267,13 @@ pub fn run<S: KvInterface + ?Sized>(store: &S, workload: &Workload, config: &Dri
                     let op = generator.next_operation();
                     if batch_size > 1 {
                         if let Operation::Put { key, value_size } = &op {
+                            // A buffered put after buffered reads: flush the
+                            // reads first to preserve rough program order.
+                            let (n, e) =
+                                flush_read_batch(store, &mut pending_reads, &mut get_hist, retry_budget);
+                            ops_done += n;
+                            errors += e;
+                            completed.fetch_add(n, Ordering::Relaxed);
                             pending.push((encode_key(*key), vec![b'w'; *value_size]));
                             if pending.len() >= batch_size {
                                 let (n, e) = flush_batch(store, &mut pending, &mut put_hist, retry_budget);
@@ -218,30 +290,46 @@ pub fn run<S: KvInterface + ?Sized>(store: &S, workload: &Workload, config: &Dri
                         errors += e;
                         completed.fetch_add(n, Ordering::Relaxed);
                     }
-                    let op_start = Instant::now();
-                    let mut outcome;
-                    let mut attempts = 0usize;
-                    loop {
-                        outcome = match &op {
-                            Operation::Get { key } => store.get(&encode_key(*key)).map(|_| ()),
-                            Operation::Put { key, value_size } => {
-                                store.put(&encode_key(*key), &vec![b'w'; *value_size])
+                    if read_batch_size > 1 {
+                        if let Operation::Get { key } = &op {
+                            // Consecutive gets coalesce into one multi_get,
+                            // the way batch_size coalesces puts.
+                            pending_reads.push(encode_key(*key));
+                            if pending_reads.len() >= read_batch_size {
+                                let (n, e) =
+                                    flush_read_batch(store, &mut pending_reads, &mut get_hist, retry_budget);
+                                ops_done += n;
+                                errors += e;
+                                completed.fetch_add(n, Ordering::Relaxed);
                             }
-                            Operation::Scan { start_key, count } => {
+                            continue;
+                        }
+                        // A put or scan is next: flush buffered reads first.
+                        let (n, e) = flush_read_batch(store, &mut pending_reads, &mut get_hist, retry_budget);
+                        ops_done += n;
+                        errors += e;
+                        completed.fetch_add(n, Ordering::Relaxed);
+                    }
+                    let op_start = Instant::now();
+                    let outcome = with_retries(retry_budget, || match &op {
+                        Operation::Get { key } => store.get(&encode_key(*key)).map(|_| ()),
+                        Operation::Put { key, value_size } => {
+                            store.put(&encode_key(*key), &vec![b'w'; *value_size])
+                        }
+                        Operation::Scan { start_key, count } => {
+                            if bounded_scans {
+                                store
+                                    .scan_range(
+                                        &encode_key(*start_key),
+                                        &encode_key(start_key.saturating_add(*count as u64)),
+                                        *count,
+                                    )
+                                    .map(|_| ())
+                            } else {
                                 store.scan(&encode_key(*start_key), *count).map(|_| ())
                             }
-                        };
-                        // Transient failures (a migration's handoff window, a
-                        // write stall) are retried within the bounded budget
-                        // rather than surfacing as client errors.
-                        match &outcome {
-                            Err(e) if e.is_retryable() && attempts < retry_budget => {
-                                attempts += 1;
-                                std::thread::sleep(Duration::from_micros(100 * attempts as u64));
-                            }
-                            _ => break,
                         }
-                    }
+                    });
                     let latency = op_start.elapsed();
                     match &op {
                         Operation::Get { .. } => get_hist.record(latency),
@@ -256,6 +344,9 @@ pub fn run<S: KvInterface + ?Sized>(store: &S, workload: &Workload, config: &Dri
                 }
                 // Flush whatever the final iterations buffered.
                 let (n, e) = flush_batch(store, &mut pending, &mut put_hist, retry_budget);
+                errors += e;
+                completed.fetch_add(n, Ordering::Relaxed);
+                let (n, e) = flush_read_batch(store, &mut pending_reads, &mut get_hist, retry_budget);
                 errors += e;
                 completed.fetch_add(n, Ordering::Relaxed);
                 (get_hist, put_hist, scan_hist, errors)
@@ -366,6 +457,7 @@ mod tests {
             seed: 11,
             retry_budget: 2,
             batch_size: 1,
+            read_batch_size: 1,
         };
         let report = run(&store, &workload, &config);
         assert_eq!(report.operations, 1_500);
@@ -415,6 +507,7 @@ mod tests {
             seed: 9,
             retry_budget: 2,
             batch_size: 8,
+            read_batch_size: 1,
         };
         let report = run(&store, &workload, &config);
         assert_eq!(report.errors, 0);
@@ -431,6 +524,110 @@ mod tests {
     }
 
     #[test]
+    fn batched_reads_route_through_multi_get_and_count_every_operation() {
+        use std::sync::atomic::AtomicU64;
+
+        /// Counts multi_get calls so the test can prove read batching
+        /// happened.
+        #[derive(Default)]
+        struct ReadBatchCountingStore {
+            inner: MapStore,
+            batch_calls: AtomicU64,
+            batched_gets: AtomicU64,
+        }
+
+        impl KvInterface for ReadBatchCountingStore {
+            fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+                self.inner.put(key, value)
+            }
+            fn get(&self, key: &[u8]) -> Result<bool> {
+                self.inner.get(key)
+            }
+            fn scan(&self, start_key: &[u8], count: usize) -> Result<usize> {
+                self.inner.scan(start_key, count)
+            }
+            fn multi_get(&self, keys: &[Vec<u8>]) -> Result<Vec<bool>> {
+                self.batch_calls.fetch_add(1, Ordering::Relaxed);
+                self.batched_gets.fetch_add(keys.len() as u64, Ordering::Relaxed);
+                self.inner.multi_get(keys)
+            }
+        }
+
+        let store = ReadBatchCountingStore::default();
+        load(&store, 400, 8, 2).unwrap();
+        let workload = Workload::new(Mix::Rw50, Distribution::Uniform, 400, 8);
+        let config = DriverConfig {
+            threads: 2,
+            run_length: RunLength::Operations(400),
+            sample_interval: Duration::from_millis(50),
+            seed: 13,
+            retry_budget: 2,
+            batch_size: 1,
+            read_batch_size: 8,
+        };
+        let report = run(&store, &workload, &config);
+        assert_eq!(report.errors, 0);
+        assert!(report.operations >= 800, "batched gets must count as operations");
+        let calls = store.batch_calls.load(Ordering::Relaxed);
+        let batched = store.batched_gets.load(Ordering::Relaxed);
+        assert!(calls > 0, "read_batch_size > 1 must route gets through multi_get");
+        assert!(
+            batched > calls,
+            "read batches must coalesce more than one get on average ({batched} gets in {calls} calls)"
+        );
+        assert_eq!(report.gets.count(), calls, "one histogram sample per read batch");
+    }
+
+    #[test]
+    fn workload_e_routes_scans_through_the_bounded_range_path() {
+        use std::sync::atomic::AtomicU64;
+
+        #[derive(Default)]
+        struct RangeScanCountingStore {
+            inner: MapStore,
+            range_scans: AtomicU64,
+        }
+
+        impl KvInterface for RangeScanCountingStore {
+            fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+                self.inner.put(key, value)
+            }
+            fn get(&self, key: &[u8]) -> Result<bool> {
+                self.inner.get(key)
+            }
+            fn scan(&self, start_key: &[u8], count: usize) -> Result<usize> {
+                self.inner.scan(start_key, count)
+            }
+            fn scan_range(&self, start_key: &[u8], end_key: &[u8], count: usize) -> Result<usize> {
+                assert!(start_key < end_key, "workload E must pass a real end bound");
+                self.range_scans.fetch_add(1, Ordering::Relaxed);
+                self.inner.scan(start_key, count)
+            }
+        }
+
+        let store = RangeScanCountingStore::default();
+        load(&store, 300, 8, 2).unwrap();
+        let workload = Workload::workload_e(300, 8);
+        let config = DriverConfig {
+            threads: 2,
+            run_length: RunLength::Operations(200),
+            sample_interval: Duration::from_millis(50),
+            seed: 5,
+            retry_budget: 2,
+            batch_size: 1,
+            read_batch_size: 1,
+        };
+        let report = run(&store, &workload, &config);
+        assert_eq!(report.errors, 0);
+        assert!(report.scans.count() > 0, "workload E is scan-heavy");
+        assert_eq!(
+            store.range_scans.load(Ordering::Relaxed),
+            report.scans.count(),
+            "every workload-E scan must travel the end-bounded path"
+        );
+    }
+
+    #[test]
     fn run_by_duration_terminates() {
         let store = MapStore::default();
         let workload = Workload::new(Mix::Sw50, Distribution::Uniform, 200, 8);
@@ -441,6 +638,7 @@ mod tests {
             seed: 3,
             retry_budget: 2,
             batch_size: 1,
+            read_batch_size: 1,
         };
         let start = Instant::now();
         let report = run(&store, &workload, &config);

@@ -36,7 +36,7 @@ impl Distribution {
 }
 
 /// The operation mixes of Table 3, plus the read-only mix used by the
-/// response-time experiment (Table 7).
+/// response-time experiment (Table 7) and the scan-heavy YCSB workload E.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Mix {
     /// 50% read, 50% write.
@@ -47,6 +47,9 @@ pub enum Mix {
     W100,
     /// 100% read.
     R100,
+    /// YCSB workload E: 95% short range scans, 5% inserts. The scan-heavy
+    /// workload the streaming range-scan cursor opens up.
+    E,
 }
 
 impl Mix {
@@ -57,6 +60,7 @@ impl Mix {
             Mix::Sw50 => "SW50",
             Mix::W100 => "W100",
             Mix::R100 => "R100",
+            Mix::E => "E",
         }
     }
 
@@ -121,6 +125,12 @@ impl Workload {
     pub fn label(&self) -> String {
         format!("{} {}", self.mix.label(), self.distribution.label())
     }
+
+    /// The YCSB workload E preset: 95% short range scans / 5% inserts over
+    /// a Zipfian-chosen start key, the standard scan-heavy configuration.
+    pub fn workload_e(num_keys: u64, value_size: usize) -> Self {
+        Workload::new(Mix::E, Distribution::zipfian_default(), num_keys, value_size)
+    }
 }
 
 /// A per-thread operation generator: owns its RNG so threads do not contend.
@@ -176,6 +186,16 @@ impl OperationGenerator {
             }
             Mix::Sw50 => {
                 if self.rng.gen_bool(0.5) {
+                    Operation::Scan {
+                        start_key: key,
+                        count: self.workload.scan_length,
+                    }
+                } else {
+                    write
+                }
+            }
+            Mix::E => {
+                if self.rng.gen_bool(0.95) {
                     Operation::Scan {
                         start_key: key,
                         count: self.workload.scan_length,
@@ -242,6 +262,20 @@ mod tests {
         let workload = Workload::new(Mix::R100, Distribution::Uniform, 1000, 64);
         let mut generator = OperationGenerator::new(workload, 42);
         assert!((0..1000).all(|_| matches!(generator.next_operation(), Operation::Get { .. })));
+
+        // Workload E is scan-heavy: ~95% scans, the rest inserts.
+        let workload = Workload::workload_e(1000, 64);
+        assert_eq!(workload.label(), "E Zipfian");
+        let mut generator = OperationGenerator::new(workload, 42);
+        let mut scans = 0;
+        for _ in 0..10_000 {
+            match generator.next_operation() {
+                Operation::Scan { .. } => scans += 1,
+                Operation::Put { .. } => {}
+                Operation::Get { .. } => panic!("workload E never issues point gets"),
+            }
+        }
+        assert!((9_300..9_700).contains(&scans), "E scan share {scans}/10000");
     }
 
     #[test]

@@ -37,7 +37,7 @@ fn main() {
     // replayed from the replicated log records.
     let mut missing = 0;
     for order in 0..5_000u64 {
-        if client.get_numeric(order).is_err() {
+        if !matches!(client.get_numeric(order), Ok(Some(_))) {
             missing += 1;
         }
     }

@@ -27,9 +27,19 @@ fn main() {
     }
     println!("loaded 10,000 user profiles");
 
-    // Point reads.
-    let value = client.get_numeric(42).expect("get");
+    // Point reads. Absence is data: `get` returns `Ok(None)` for a missing
+    // key, an `Err` only for operational failures.
+    let value = client.get_numeric(42).expect("get").expect("user 42 present");
     println!("user 42 -> {}", String::from_utf8_lossy(&value));
+
+    // Batched point reads: keys are split by range and the shards travel
+    // concurrently on the client's I/O pool, one slot per key in order.
+    let profiles = client.multi_get_numeric(&[1, 2, 3, 99_999]).expect("multi_get");
+    println!(
+        "multi_get: {} of {} keys found",
+        profiles.iter().filter(|v| v.is_some()).count(),
+        profiles.len()
+    );
 
     // A short scan.
     let page = client.scan(&encode_key(100), 5).expect("scan");
@@ -44,8 +54,16 @@ fn main() {
 
     // Deletes.
     client.delete(&encode_key(42)).expect("delete");
-    assert!(client.get_numeric(42).is_err());
+    assert!(client.get_numeric(42).expect("get").is_none());
     println!("user 42 deleted");
+
+    // A bounded streaming scan: entries of [500, 510) pulled lazily in
+    // chunks, never reading past the end bound.
+    let bounded: Vec<_> = client
+        .scan_range_numeric(500, 510, nova_lsm::ReadOptions::default().with_chunk(4))
+        .collect::<Result<Vec<_>, _>>()
+        .expect("cursor scan");
+    println!("cursor scan of [500, 510): {} entries", bounded.len());
 
     // Component statistics: how much work each LTC and StoC did.
     for (id, stats) in cluster.ltc_stats() {

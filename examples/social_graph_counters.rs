@@ -44,7 +44,10 @@ fn main() {
     );
 
     // The hottest account is always readable with its latest value.
-    let hottest = client.get_numeric(0).expect("hot account");
+    let hottest = client
+        .get_numeric(0)
+        .expect("hot account")
+        .expect("hot account present");
     println!("hottest account state: {}", String::from_utf8_lossy(&hottest));
 
     // Show what the skew did to the engine: Drange reorganisations,

@@ -3,7 +3,7 @@
 //! API.
 
 use nova_common::keyspace::encode_key;
-use nova_common::Error;
+
 use nova_lsm::{presets, NovaClient, NovaCluster};
 
 #[test]
@@ -20,11 +20,11 @@ fn put_get_scan_across_multiple_ltcs_and_stocs() {
     // Reads hit every LTC (keys span all 4 ranges).
     for i in (0..3_000u64).step_by(97) {
         assert_eq!(
-            client.get_numeric(i).unwrap().as_ref(),
+            client.get_numeric(i).unwrap().expect("present").as_ref(),
             format!("value-{i}").as_bytes()
         );
     }
-    assert!(matches!(client.get_numeric(9_999), Err(Error::NotFound)));
+    assert_eq!(client.get_numeric(9_999).unwrap(), None);
 
     // A scan crossing a range boundary (ranges are 2 500 keys wide, so this
     // one starts in range 0 and finishes in range 1).
@@ -38,13 +38,16 @@ fn put_get_scan_across_multiple_ltcs_and_stocs() {
 
     // Deletes are visible cluster-wide.
     client.delete(&encode_key(100)).unwrap();
-    assert!(client.get_numeric(100).is_err());
+    assert_eq!(client.get_numeric(100).unwrap(), None);
 
     // Write into the second LTC's half of the keyspace so both did work.
     for i in 6_000..6_200u64 {
         client.put_numeric(i, b"second-ltc").unwrap();
     }
-    assert_eq!(client.get_numeric(6_100).unwrap().as_ref(), b"second-ltc");
+    assert_eq!(
+        client.get_numeric(6_100).unwrap().expect("present").as_ref(),
+        b"second-ltc"
+    );
     let stats = cluster.ltc_stats();
     assert_eq!(stats.len(), 2);
     assert!(stats.values().all(|s| s.writes > 0));
@@ -70,7 +73,7 @@ fn data_survives_flushes_and_compactions_under_load() {
     cluster.flush_all().unwrap();
     for i in (0..2_000u64).step_by(41) {
         assert_eq!(
-            client.get_numeric(i).unwrap().as_ref(),
+            client.get_numeric(i).unwrap().expect("present").as_ref(),
             format!("round-3-{i}").as_bytes(),
             "key {i} must return its latest version"
         );
@@ -105,7 +108,7 @@ fn ltc_failure_recovers_ranges_on_survivors_with_logging() {
     // data is replayed from the replicated log records.
     for i in (0..1_000u64).step_by(23) {
         assert_eq!(
-            client.get_numeric(i).unwrap().as_ref(),
+            client.get_numeric(i).unwrap().expect("present").as_ref(),
             format!("durable-{i}").as_bytes(),
             "key {i} lost after LTC failure"
         );
@@ -135,10 +138,16 @@ fn range_migration_moves_load_without_losing_data() {
     // All keys (including those of the migrated range) remain readable and
     // writable through the client, which re-routes transparently.
     for i in (0..1_000u64).step_by(13) {
-        assert_eq!(client.get_numeric(i).unwrap().as_ref(), b"before-migration");
+        assert_eq!(
+            client.get_numeric(i).unwrap().expect("present").as_ref(),
+            b"before-migration"
+        );
     }
     client.put_numeric(5, b"after-migration").unwrap();
-    assert_eq!(client.get_numeric(5).unwrap().as_ref(), b"after-migration");
+    assert_eq!(
+        client.get_numeric(5).unwrap().expect("present").as_ref(),
+        b"after-migration"
+    );
     cluster.shutdown();
 }
 
@@ -169,7 +178,7 @@ fn elastic_scale_out_and_in_of_stocs_and_ltcs() {
     cluster.migrate_range(range, new_ltc).unwrap();
     assert_eq!(cluster.coordinator().configuration().ltc_of(range), Some(new_ltc));
     for i in (0..500u64).step_by(7) {
-        assert_eq!(client.get_numeric(i).unwrap().as_ref(), b"v");
+        assert_eq!(client.get_numeric(i).unwrap().expect("present").as_ref(), b"v");
     }
     // Scale the StoC back in.
     cluster.remove_stoc(new_stoc).unwrap();

@@ -87,7 +87,7 @@ fn migration_under_concurrent_writers_loses_no_acknowledged_writes() {
         assert!(!per_writer.is_empty(), "every writer must make progress");
         for (key, value) in per_writer {
             assert_eq!(
-                client.get_numeric(*key).unwrap().as_ref(),
+                client.get_numeric(*key).unwrap().expect("present").as_ref(),
                 value.as_bytes(),
                 "key {key} lost its last acknowledged write across the migration"
             );
@@ -148,21 +148,36 @@ fn injected_import_failure_aborts_and_unfreezes_the_source() {
     // failed StoC itself (ρ=1, no replication) and are checked after it
     // recovers.
     client.put_numeric(7, b"post-abort").unwrap();
-    assert_eq!(client.get_numeric(7).unwrap().as_ref(), b"post-abort");
+    assert_eq!(
+        client.get_numeric(7).unwrap().expect("present").as_ref(),
+        b"post-abort"
+    );
 
     // Once the fault clears, the same migration succeeds and nothing was
     // lost.
     cluster.fabric().recover_node(victim_node);
-    assert_eq!(client.get_numeric(100).unwrap().as_ref(), b"pre-fault");
+    assert_eq!(
+        client.get_numeric(100).unwrap().expect("present").as_ref(),
+        b"pre-fault"
+    );
     cluster.migrate_range(range, destination).unwrap();
     assert_eq!(
         cluster.coordinator().configuration().ltc_of(range),
         Some(destination)
     );
-    assert_eq!(client.get_numeric(7).unwrap().as_ref(), b"post-abort");
-    assert_eq!(client.get_numeric(100).unwrap().as_ref(), b"pre-fault");
+    assert_eq!(
+        client.get_numeric(7).unwrap().expect("present").as_ref(),
+        b"post-abort"
+    );
+    assert_eq!(
+        client.get_numeric(100).unwrap().expect("present").as_ref(),
+        b"pre-fault"
+    );
     client.put_numeric(8, b"post-retry").unwrap();
-    assert_eq!(client.get_numeric(8).unwrap().as_ref(), b"post-retry");
+    assert_eq!(
+        client.get_numeric(8).unwrap().expect("present").as_ref(),
+        b"post-retry"
+    );
     cluster.shutdown();
 }
 
@@ -213,7 +228,7 @@ fn epoch_mismatch_is_rejected_and_a_refresh_converges() {
     assert_eq!(ltc2.id(), destination);
     ltc2.put_at(range2, &key, b"refreshed", epoch2).unwrap();
     assert_eq!(
-        client.get(&key).unwrap().as_ref(),
+        client.get(&key).unwrap().expect("present").as_ref(),
         b"refreshed",
         "the high-level client refreshes transparently"
     );
@@ -256,7 +271,8 @@ fn manifest_home_survives_add_stoc_before_failover() {
     let mut missing = Vec::new();
     for i in (0..4_000u64).step_by(17) {
         match client.get_numeric(i) {
-            Ok(v) => assert_eq!(v.as_ref(), format!("pinned-{i}").as_bytes()),
+            Ok(Some(v)) => assert_eq!(v.as_ref(), format!("pinned-{i}").as_bytes()),
+            Ok(None) => missing.push((i, "absent".to_string())),
             Err(e) => missing.push((i, format!("{e:?}"))),
         }
     }

@@ -6,7 +6,6 @@
 
 use nova_common::config::LogPolicy;
 use nova_common::keyspace::encode_key;
-use nova_common::Error;
 use nova_lsm::{presets, NovaClient, NovaCluster};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
@@ -42,13 +41,19 @@ fn put_batch_splits_across_ranges_and_ltcs() {
         .collect();
     client.put_batch(&items).unwrap();
     for (key, value) in &items {
-        assert_eq!(client.get(key).unwrap().as_ref(), &value[..]);
+        assert_eq!(client.get(key).unwrap().expect("present").as_ref(), &value[..]);
     }
     // Batches also observe later single-key overwrites and vice versa.
     client.put_numeric(1, b"overwritten").unwrap();
-    assert_eq!(client.get_numeric(1).unwrap().as_ref(), b"overwritten");
+    assert_eq!(
+        client.get_numeric(1).unwrap().expect("present").as_ref(),
+        b"overwritten"
+    );
     client.put_batch(&batch(1, 2, "batch-wins")).unwrap();
-    assert_eq!(client.get_numeric(1).unwrap().as_ref(), b"batch-wins-1");
+    assert_eq!(
+        client.get_numeric(1).unwrap().expect("present").as_ref(),
+        b"batch-wins-1"
+    );
     cluster.shutdown();
 }
 
@@ -152,7 +157,7 @@ fn put_batch_under_live_migration_retries_and_loses_nothing() {
         assert!(!per_writer.is_empty(), "every writer must make progress");
         for (key, value) in per_writer {
             assert_eq!(
-                client.get_numeric(*key).unwrap().as_ref(),
+                client.get_numeric(*key).unwrap().expect("present").as_ref(),
                 value.as_bytes(),
                 "key {key} lost its last acknowledged batched write across the migration"
             );
@@ -232,11 +237,12 @@ proptest! {
 
         for k in 0..2_000u64 {
             match (client.get_numeric(k), model.get(&k)) {
-                (Ok(v), Some(expected)) => prop_assert_eq!(
+                (Ok(Some(v)), Some(expected)) => prop_assert_eq!(
                     v.as_ref(), expected.as_slice(), "key {} recovered the wrong value", k
                 ),
-                (Err(Error::NotFound), None) => {}
-                (Ok(_), None) => prop_assert!(false, "key {} should not exist after recovery", k),
+                (Ok(None), None) => {}
+                (Ok(Some(_)), None) => prop_assert!(false, "key {} should not exist after recovery", k),
+                (Ok(None), Some(_)) => prop_assert!(false, "key {} lost after recovery", k),
                 (Err(e), expected) => prop_assert!(
                     false, "get({}) failed after recovery: {} (expected {:?})", k, e, expected
                 ),

@@ -1,0 +1,272 @@
+//! Tests for the typed operation API: `Result<Option<Bytes>>` gets,
+//! scatter-gather `multi_get`, streaming `ScanCursor` range scans (including
+//! under live migration), and the per-operation `ReadOptions` /
+//! `WriteOptions` knobs.
+
+use nova_common::keyspace::encode_key;
+use nova_common::{ReadOptions, WriteOptions};
+use nova_lsm::{presets, NovaClient, NovaCluster, ScanCursor};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn start_cluster(num_ltcs: usize, ranges_per_ltc: usize, num_keys: u64) -> (Arc<NovaCluster>, NovaClient) {
+    let mut config = presets::test_cluster(num_ltcs, 2, num_keys);
+    config.ranges_per_ltc = ranges_per_ltc;
+    let cluster = NovaCluster::start(config).unwrap();
+    let client = NovaClient::new(cluster.clone());
+    (cluster, client)
+}
+
+/// Drain a cursor into entries, panicking on any terminal error.
+fn collect_cursor(cursor: ScanCursor) -> Vec<nova_common::types::Entry> {
+    cursor
+        .map(|e| e.expect("cursor must not surface terminal errors"))
+        .collect()
+}
+
+#[test]
+fn multi_get_matches_sequential_gets_with_duplicates_and_absent_keys() {
+    let (cluster, client) = start_cluster(2, 2, 10_000);
+    for i in (0..2_000u64).step_by(2) {
+        client.put_numeric(i, format!("even-{i}").as_bytes()).unwrap();
+    }
+    // Duplicates, absent keys (odd and out-of-loaded-range), and present
+    // keys interleaved, spanning all four ranges.
+    let keys: Vec<u64> = vec![0, 1, 0, 4_999, 1_998, 7, 1_998, 9_999, 2, 500, 501, 0];
+    let batched = client.multi_get_numeric(&keys).unwrap();
+    assert_eq!(batched.len(), keys.len());
+    for (slot, key) in batched.iter().zip(&keys) {
+        let sequential = client.get_numeric(*key).unwrap();
+        assert_eq!(
+            slot, &sequential,
+            "multi_get slot for key {key} disagrees with a sequential get"
+        );
+        assert_eq!(slot.is_some(), *key < 2_000 && key % 2 == 0);
+    }
+    // Empty batches are a no-op, not an error.
+    assert!(client.multi_get_numeric(&[]).unwrap().is_empty());
+    cluster.shutdown();
+}
+
+#[test]
+fn multi_get_spanning_one_range_still_fans_out_and_preserves_order() {
+    // A single-range cluster: the fan-out comes from chunking, not sharding.
+    let (cluster, client) = start_cluster(1, 1, 5_000);
+    for i in 0..1_000u64 {
+        client.put_numeric(i, format!("v-{i}").as_bytes()).unwrap();
+    }
+    let keys: Vec<u64> = (0..600).rev().collect(); // descending: order must survive
+    let values = client.multi_get_numeric(&keys).unwrap();
+    for (slot, key) in values.iter().zip(&keys) {
+        assert_eq!(
+            slot.as_ref().map(|v| v.as_ref().to_vec()),
+            Some(format!("v-{key}").into_bytes())
+        );
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn scan_shim_is_byte_identical_to_the_cursor_path() {
+    let (cluster, client) = start_cluster(2, 2, 4_000);
+    for i in 0..1_500u64 {
+        client.put_numeric(i, format!("value-{i}").as_bytes()).unwrap();
+    }
+    for (start, limit) in [(0u64, 100usize), (990, 37), (1_400, 500), (3_999, 5)] {
+        let shim = client.scan(&encode_key(start), limit).unwrap();
+        let cursor: Vec<_> = collect_cursor(client.scan_range(
+            &encode_key(start),
+            None,
+            ReadOptions::default().with_chunk(limit.max(1)),
+        ))
+        .into_iter()
+        .take(limit)
+        .collect();
+        assert_eq!(shim.len(), cursor.len(), "scan({start}, {limit}) length diverged");
+        for (a, b) in shim.iter().zip(&cursor) {
+            assert_eq!(a.key, b.key, "scan({start}, {limit}) keys diverged");
+            assert_eq!(a.value, b.value, "scan({start}, {limit}) values diverged");
+        }
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn bounded_cursor_respects_the_end_bound_across_ranges() {
+    let (cluster, client) = start_cluster(2, 2, 4_000);
+    for i in 0..4_000u64 {
+        client.put_numeric(i, b"x").unwrap();
+    }
+    // [900, 2100) crosses the 1000 and 2000 range boundaries.
+    let entries =
+        collect_cursor(client.scan_range_numeric(900, 2_100, ReadOptions::default().with_chunk(64)));
+    let keys: Vec<u64> = entries
+        .iter()
+        .map(|e| nova_common::keyspace::decode_key(&e.key).unwrap())
+        .collect();
+    assert_eq!(keys, (900..2_100).collect::<Vec<_>>());
+    // An empty interval yields nothing.
+    assert!(collect_cursor(client.scan_range_numeric(50, 50, ReadOptions::default())).is_empty());
+    cluster.shutdown();
+}
+
+#[test]
+fn scan_cursor_survives_concurrent_range_migration() {
+    let (cluster, client) = start_cluster(2, 2, 4_000);
+    let mut model: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+    for i in 0..4_000u64 {
+        let value = format!("stable-{i}").into_bytes();
+        client.put_numeric(i, &value).unwrap();
+        model.insert(i, value);
+    }
+
+    // Iterate with a tiny chunk so many chunk boundaries interleave with
+    // the migrations flipping every range back and forth between the LTCs
+    // for the whole duration of the scan.
+    let epoch_before = cluster.coordinator().configuration().epoch;
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let entries = std::thread::scope(|scope| {
+        let migrator = scope.spawn(|| {
+            let ltcs = cluster.ltc_ids();
+            let mut flips = 0u32;
+            while !stop.load(std::sync::atomic::Ordering::SeqCst) && flips < 10_000 {
+                let assignment = cluster.coordinator().configuration();
+                for range in assignment.range_assignment.keys().copied().collect::<Vec<_>>() {
+                    let owner = assignment.ltc_of(range).unwrap();
+                    let other = *ltcs.iter().find(|l| **l != owner).unwrap();
+                    cluster.migrate_range(range, other).unwrap();
+                    flips += 1;
+                }
+                std::thread::sleep(std::time::Duration::from_micros(500));
+            }
+        });
+        let cursor = client.scan_range(&encode_key(0), None, ReadOptions::default().with_chunk(16));
+        let mut out = Vec::new();
+        for entry in cursor {
+            out.push(entry.expect("the cursor must re-route around migrations, not fail"));
+            // Give the migrator room to flip ownership mid-scan.
+            if out.len() % 64 == 0 {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+        }
+        stop.store(true, std::sync::atomic::Ordering::SeqCst);
+        migrator.join().unwrap();
+        out
+    });
+
+    assert_eq!(
+        entries.len(),
+        model.len(),
+        "lost or duplicated entries under migration"
+    );
+    for (entry, (key, value)) in entries.iter().zip(&model) {
+        assert_eq!(nova_common::keyspace::decode_key(&entry.key), Some(*key));
+        assert_eq!(entry.value.as_ref(), value.as_slice(), "key {key} changed value");
+    }
+    assert!(
+        cluster.coordinator().configuration().epoch > epoch_before,
+        "ownership must actually have flipped while the cursor was live"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn read_options_no_fill_keeps_blocks_out_of_the_block_cache() {
+    let (cluster, client) = start_cluster(1, 1, 4_000);
+    for i in 0..2_000u64 {
+        client.put_numeric(i, vec![b'v'; 128].as_slice()).unwrap();
+    }
+    cluster.flush_all().unwrap();
+    let insertions =
+        |cluster: &NovaCluster| -> u64 { cluster.block_cache_stats().values().map(|s| s.insertions).sum() };
+
+    // A no-fill scan and no-fill gets leave the cache untouched.
+    let baseline = insertions(&cluster);
+    let entries = collect_cursor(client.scan_range_numeric(0, 2_000, ReadOptions::no_fill()));
+    assert_eq!(entries.len(), 2_000);
+    for i in (0..2_000u64).step_by(97) {
+        assert!(client
+            .get_with_options(&encode_key(i), &ReadOptions::no_fill())
+            .unwrap()
+            .is_some());
+    }
+    assert_eq!(
+        insertions(&cluster),
+        baseline,
+        "fill_cache = false must not insert blocks"
+    );
+
+    // The default options do populate the cache on the same reads.
+    let filled = collect_cursor(client.scan_range_numeric(0, 2_000, ReadOptions::default()));
+    assert_eq!(filled.len(), 2_000);
+    assert!(
+        insertions(&cluster) > baseline,
+        "default options must admit scanned blocks"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn write_options_no_group_commit_round_trips_through_the_log() {
+    let mut config = presets::test_cluster(1, 2, 4_000);
+    config.range.log_policy = nova_common::config::LogPolicy::InMemoryReplicated { replicas: 2 };
+    let cluster = NovaCluster::start(config).unwrap();
+    let client = NovaClient::new(cluster.clone());
+    let items: Vec<(Vec<u8>, Vec<u8>)> = (0..200u64)
+        .map(|i| (encode_key(i), format!("ungrouped-{i}").into_bytes()))
+        .collect();
+    client
+        .put_batch_with(&items, &WriteOptions::no_group_commit())
+        .unwrap();
+    for (key, value) in &items {
+        assert_eq!(client.get(key).unwrap().expect("present").as_ref(), &value[..]);
+    }
+    // Borrowed pairs work without cloning into owned vectors.
+    let borrowed: Vec<(&[u8], &[u8])> = items.iter().map(|(k, v)| (k.as_slice(), v.as_slice())).collect();
+    client.put_batch(&borrowed).unwrap();
+    cluster.shutdown();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, max_shrink_iters: 0, ..ProptestConfig::default() })]
+    #[test]
+    fn scan_cursor_matches_the_eager_reference_scan(
+        ops in proptest::collection::vec(
+            (0..512u64, proptest::collection::vec(any::<u8>(), 1..24), any::<bool>()), 1..150),
+        bounds in proptest::collection::vec((0..600u64, 0..600u64, 1usize..40), 1..6),
+    ) {
+        let mut config = presets::test_cluster(2, 2, 512);
+        config.ranges_per_ltc = 2;
+        // Tiny memtables so the sequence exercises flushed SSTables too.
+        config.range.memtable_size_bytes = 4 * 1024;
+        let cluster = NovaCluster::start(config).unwrap();
+        let client = NovaClient::new(cluster.clone());
+        let mut model: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+        for (key, value, delete) in &ops {
+            if *delete {
+                client.delete(&encode_key(*key)).unwrap();
+                model.remove(key);
+            } else {
+                client.put_numeric(*key, value).unwrap();
+                model.insert(*key, value.clone());
+            }
+        }
+        for (a, b, chunk) in &bounds {
+            let (start, end) = (*a.min(b), *a.max(b));
+            let got = collect_cursor(client.scan_range_numeric(
+                start, end, ReadOptions::default().with_chunk(*chunk)));
+            let expected: Vec<(u64, Vec<u8>)> = model
+                .range(start..end)
+                .map(|(k, v)| (*k, v.clone()))
+                .collect();
+            prop_assert_eq!(got.len(), expected.len(),
+                "cursor over [{}, {}) chunk {} diverged in length", start, end, chunk);
+            for (entry, (key, value)) in got.iter().zip(&expected) {
+                prop_assert_eq!(nova_common::keyspace::decode_key(&entry.key), Some(*key));
+                prop_assert_eq!(entry.value.as_ref(), value.as_slice());
+            }
+        }
+        cluster.shutdown();
+    }
+}
