@@ -2,7 +2,8 @@
 //!
 //! Parses the `BENCH_*.json` files the quick-mode experiment binaries write
 //! (`fig22_scatter_gather`, `tab06_migration`, `fig23_group_commit`,
-//! `fig24_multi_get`), fails the build if any perf floor is violated, and
+//! `fig24_multi_get`, `fig27_obs_overhead`), fails the build if any perf
+//! floor is violated, and
 //! merges the reports into one `BENCH_trajectory.json` artifact so the perf
 //! trajectory of every PR is archived in one place.
 //!
@@ -17,7 +18,10 @@
 //!   fan-out speedup;
 //! * `multi_get` at `stoc_io_parallelism ≥ 4`: **≥ 2x** over the same keys
 //!   read with sequential point gets — a multi_get that silently stopped
-//!   fanning out runs at ≈1x and trips this.
+//!   fanning out runs at ≈1x and trips this;
+//! * observability overhead (`fig27_obs_overhead`): the fully instrumented
+//!   hot path must stay within **5%** of the same workload with
+//!   `MetricsConfig::disabled()`.
 //!
 //! The floors are deliberately looser than the headline numbers (≈5x, ≈7x)
 //! so CI noise cannot flake the gate, while a real regression — a serialized
@@ -30,6 +34,7 @@ const SCATTER_FLOOR: f64 = 2.0;
 const GROUP_COMMIT_FLOOR: f64 = 2.0;
 const GROUPING_ISOLATION_FLOOR: f64 = 1.5;
 const MULTI_GET_FLOOR: f64 = 2.0;
+const OBS_OVERHEAD_CEILING_PCT: f64 = 5.0;
 
 /// Split the flat row objects out of a `"rows":[{...},{...}]` array. Rows
 /// are the flat (no nested braces) objects every bench binary writes.
@@ -199,24 +204,70 @@ fn check_multi_get(json: &str) -> Result<String, String> {
     ))
 }
 
+/// The observability ceiling: the fully instrumented hot path must stay
+/// within 5% of the metrics-disabled build. A single timer that sneaks a
+/// lock, a syscall, or an allocation onto the per-operation path shows up
+/// here as a double-digit regression.
+fn check_obs(json: &str) -> Result<String, String> {
+    let overhead = rows(json)
+        .into_iter()
+        .filter(|r| has(r, "bench", "\"obs_overhead\""))
+        .find_map(|r| number(r, "overhead_pct"));
+    match overhead {
+        Some(pct) if pct <= OBS_OVERHEAD_CEILING_PCT => Ok(format!(
+            "obs: instrumentation overhead {pct:.2}% (ceiling {OBS_OVERHEAD_CEILING_PCT}%)"
+        )),
+        Some(pct) => Err(format!(
+            "obs: instrumentation overhead {pct:.2}% exceeds the {OBS_OVERHEAD_CEILING_PCT}% ceiling \
+             — a metrics-path change has made the timers expensive"
+        )),
+        None => Err("obs: no obs_overhead row with overhead_pct found in BENCH_obs.json".into()),
+    }
+}
+
 fn main() -> ExitCode {
+    // (section, report file, producing command, floor check) — the command
+    // is printed verbatim when the file is missing, so a failed gate tells
+    // the reader exactly what to run instead of "run the benches".
     let inputs = [
         (
             "scatter",
             "BENCH_scatter.json",
+            "cargo run --release -p nova-bench --bin fig22_scatter_gather -- --quick",
             check_scatter as fn(&str) -> Result<String, String>,
         ),
-        ("migration", "BENCH_migration.json", check_migration),
-        ("group_commit", "BENCH_group_commit.json", check_group_commit),
-        ("multi_get", "BENCH_multi_get.json", check_multi_get),
+        (
+            "migration",
+            "BENCH_migration.json",
+            "cargo run --release -p nova-bench --bin tab06_migration -- --quick",
+            check_migration,
+        ),
+        (
+            "group_commit",
+            "BENCH_group_commit.json",
+            "cargo run --release -p nova-bench --bin fig23_group_commit -- --quick",
+            check_group_commit,
+        ),
+        (
+            "multi_get",
+            "BENCH_multi_get.json",
+            "cargo run --release -p nova-bench --bin fig24_multi_get -- --quick",
+            check_multi_get,
+        ),
+        (
+            "obs",
+            "BENCH_obs.json",
+            "cargo run --release -p nova-bench --bin fig27_obs_overhead -- --quick",
+            check_obs,
+        ),
     ];
     let mut merged: Vec<String> = Vec::new();
     let mut failures = 0u32;
-    for (name, path, check) in inputs {
+    for (name, path, producer, check) in inputs {
         let content = match std::fs::read_to_string(path) {
             Ok(c) => c,
             Err(e) => {
-                eprintln!("ci_gate: FAIL cannot read {path}: {e} (run the quick benches first)");
+                eprintln!("ci_gate: FAIL missing {path} ({e}) — produce it with:\n    {producer}");
                 failures += 1;
                 continue;
             }
@@ -267,6 +318,9 @@ mod tests {
         {"bench":"put","replicas":3,"mode":"group","group_commit":true,"batch_size":1,"kops":13.0,"speedup":2.400,"speedup_vs_parallel":1.540},
         {"bench":"put","replicas":3,"mode":"group+batch","group_commit":true,"batch_size":16,"kops":40.0,"speedup":7.100,"speedup_vs_parallel":4.300}]}"#;
 
+    const OBS: &str = r#"{"experiment":"fig27_obs_overhead","trials":5,"rows":[
+        {"bench":"obs_overhead","enabled_kops":310.0,"disabled_kops":318.0,"overhead_pct":2.580,"p50_micros":11,"p99_micros":93,"slow_ops":0}]}"#;
+
     const MULTI_GET: &str = r#"{"experiment":"fig24_multi_get","rows":[
         {"bench":"multi_get","parallelism":1,"reads":512,"batch":64,"seq_ms":280.0,"multi_ms":255.0,"speedup":1.100},
         {"bench":"multi_get","parallelism":4,"reads":512,"batch":64,"seq_ms":285.0,"multi_ms":80.0,"speedup":3.560},
@@ -287,6 +341,19 @@ mod tests {
         assert!(check_multi_get("{\"rows\":[]}").is_err());
         let only_scan = r#"{"rows":[{"bench":"scan_cursor","readahead":"auto","entries":10,"ms":1.0}]}"#;
         assert!(check_multi_get(only_scan).is_err());
+    }
+
+    #[test]
+    fn obs_ceiling_holds_and_trips() {
+        assert!(check_obs(OBS).is_ok());
+        // A negative overhead (noise put the disabled arm behind) passes.
+        let noisy = OBS.replace("\"overhead_pct\":2.580", "\"overhead_pct\":-0.700");
+        assert!(check_obs(&noisy).is_ok());
+        // Instrumentation past the ceiling trips.
+        let slow = OBS.replace("\"overhead_pct\":2.580", "\"overhead_pct\":8.100");
+        assert!(check_obs(&slow).is_err());
+        // Missing rows fail loudly instead of passing.
+        assert!(check_obs("{\"rows\":[]}").is_err());
     }
 
     #[test]

@@ -71,8 +71,9 @@ const SCENARIOS: [Scenario; 4] = [
 ];
 
 /// Run one scenario: start a fresh cluster, hammer it with put-only writer
-/// threads, return puts/second.
-fn run_scenario(replicas: u32, scenario: &Scenario, puts_per_thread: u64, num_keys: u64) -> f64 {
+/// threads, return puts/second plus the client-observed write latency
+/// percentiles (merged over `put` and `put_batch`).
+fn run_scenario(replicas: u32, scenario: &Scenario, puts_per_thread: u64, num_keys: u64) -> (f64, u64, u64) {
     let mut config = presets::test_cluster(1, 3, num_keys);
     config.fabric = FabricConfig {
         latency_nanos: LATENCY_NANOS,
@@ -135,8 +136,11 @@ fn run_scenario(replicas: u32, scenario: &Scenario, puts_per_thread: u64, num_ke
         }
     });
     let elapsed = start.elapsed().as_secs_f64();
+    let mut writes = cluster.metrics().op_snapshot(nova_lsm::obs::OpKind::Put);
+    writes.merge(&cluster.metrics().op_snapshot(nova_lsm::obs::OpKind::PutBatch));
     cluster.shutdown();
-    (WRITER_THREADS * puts_per_thread) as f64 / elapsed.max(1e-9)
+    let ops = (WRITER_THREADS * puts_per_thread) as f64 / elapsed.max(1e-9);
+    (ops, writes.p50(), writes.p99())
 }
 
 fn main() {
@@ -158,7 +162,7 @@ fn main() {
         let mut serial_ops = 0.0f64;
         let mut parallel_ops = 0.0f64;
         for scenario in &SCENARIOS {
-            let ops = run_scenario(replicas, scenario, puts_per_thread, num_keys);
+            let (ops, p50, p99) = run_scenario(replicas, scenario, puts_per_thread, num_keys);
             if scenario.serial_io {
                 serial_ops = ops;
             } else if !scenario.group_commit {
@@ -181,7 +185,7 @@ fn main() {
             json_rows.push(format!(
                 "{{\"bench\":\"put\",\"replicas\":{replicas},\"mode\":\"{}\",\
                  \"group_commit\":{},\"batch_size\":{},\"kops\":{:.3},\"speedup\":{speedup:.3},\
-                 \"speedup_vs_parallel\":{vs_parallel:.3}}}",
+                 \"speedup_vs_parallel\":{vs_parallel:.3},\"p50_micros\":{p50},\"p99_micros\":{p99}}}",
                 scenario.label,
                 scenario.group_commit,
                 scenario.batch_size,

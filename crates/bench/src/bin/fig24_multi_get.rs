@@ -115,6 +115,7 @@ fn main() {
         if parallelism == 4 {
             speedup_at_4 = speedup;
         }
+        let batched = cluster.metrics().op_snapshot(nova_lsm::obs::OpKind::MultiGet);
         print_row(&[
             parallelism.to_string(),
             format!("{seq_ms:.1}"),
@@ -124,7 +125,9 @@ fn main() {
         json_rows.push(format!(
             "{{\"bench\":\"multi_get\",\"parallelism\":{parallelism},\"reads\":{reads},\
              \"batch\":{batch},\"seq_ms\":{seq_ms:.3},\"multi_ms\":{multi_ms:.3},\
-             \"speedup\":{speedup:.3}}}"
+             \"speedup\":{speedup:.3},\"p50_micros\":{},\"p99_micros\":{}}}",
+            batched.p50(),
+            batched.p99(),
         ));
         cluster.shutdown();
     }
@@ -135,11 +138,13 @@ fn main() {
         "Figure 24b: streaming ScanCursor throughput",
         &["readahead", "entries", "ms", "kentries/s"],
     );
-    let (cluster, client) = start_cluster(8, num_keys, value_size);
+    // A fresh cluster per configuration so each row's latency percentiles
+    // cover exactly its own cursor pulls.
     for (label, options) in [
         ("auto", ReadOptions::default()),
         ("off", ReadOptions::default().with_readahead(0)),
     ] {
+        let (cluster, client) = start_cluster(8, num_keys, value_size);
         let start = Instant::now();
         let mut scanned = 0usize;
         for entry in client.scan_range(&encode_key(0), None, options) {
@@ -149,6 +154,7 @@ fn main() {
         let ms = start.elapsed().as_secs_f64() * 1e3;
         let kentries = scanned as f64 / ms.max(1e-9);
         assert_eq!(scanned as u64, num_keys, "the cursor must stream every key");
+        let pulls = cluster.metrics().op_snapshot(nova_lsm::obs::OpKind::Scan);
         print_row(&[
             label.to_string(),
             scanned.to_string(),
@@ -157,10 +163,12 @@ fn main() {
         ]);
         json_rows.push(format!(
             "{{\"bench\":\"scan_cursor\",\"readahead\":\"{label}\",\"entries\":{scanned},\
-             \"ms\":{ms:.3},\"kentries_per_sec\":{kentries:.3}}}"
+             \"ms\":{ms:.3},\"kentries_per_sec\":{kentries:.3},\"p50_micros\":{},\"p99_micros\":{}}}",
+            pulls.p50(),
+            pulls.p99(),
         ));
+        cluster.shutdown();
     }
-    cluster.shutdown();
 
     println!("\nmulti_get speedup at parallelism=4: {speedup_at_4:.2}x");
 

@@ -87,12 +87,15 @@ fn main() {
             "{{\"mix\":\"{}\",\"before_kops\":{:.3},\"during_kops\":{:.3},\"after_kops\":{:.3},\
              \"improvement\":{improvement:.3},\"ranges_migrated\":{migrated},\
              \"migration_ms\":{migration_ms:.3},\"client_errors_during_migration\":{},\
-             \"client_retries_during_migration\":{migration_retries}}}",
+             \"client_retries_during_migration\":{migration_retries},\
+             \"p50_micros\":{:.1},\"p99_micros\":{:.1}}}",
             mix.label(),
             before.throughput_kops(),
             during.throughput_kops(),
             after.throughput_kops(),
             during.errors,
+            during.p50_micros(),
+            during.p99_micros(),
         ));
         if during.errors > 0 {
             eprintln!(

@@ -127,6 +127,7 @@ pub struct BlockCache {
     per_shard_capacity: u64,
     admission: Option<FrequencySketch>,
     counters: Counters,
+    metrics: Arc<nova_obs::Metrics>,
 }
 
 impl std::fmt::Debug for BlockCache {
@@ -143,14 +144,28 @@ impl BlockCache {
     /// Create a cache from the cluster configuration. Returns `None` when
     /// the configured capacity is zero (caching disabled).
     pub fn from_config(config: &CacheConfig) -> Option<Arc<BlockCache>> {
+        Self::from_config_with_metrics(config, nova_obs::Metrics::disabled())
+    }
+
+    /// Like [`BlockCache::from_config`], with probe/fill latency recorded
+    /// against [`nova_obs::Layer::Cache`] on the given metrics hub.
+    pub fn from_config_with_metrics(
+        config: &CacheConfig,
+        metrics: Arc<nova_obs::Metrics>,
+    ) -> Option<Arc<BlockCache>> {
         if !config.enabled() {
             return None;
         }
-        Some(Arc::new(BlockCache::new(
-            config.capacity_bytes,
-            config.shards,
-            config.admission,
-        )))
+        Some(Arc::new(
+            BlockCache::new(config.capacity_bytes, config.shards, config.admission).with_metrics(metrics),
+        ))
+    }
+
+    /// Attach a metrics hub (builder style). Cache probes and fills record
+    /// their latency against [`nova_obs::Layer::Cache`].
+    pub fn with_metrics(mut self, metrics: Arc<nova_obs::Metrics>) -> BlockCache {
+        self.metrics = metrics;
+        self
     }
 
     /// Create a cache with `capacity_bytes` spread over `shards` shards.
@@ -171,6 +186,7 @@ impl BlockCache {
             per_shard_capacity,
             admission,
             counters: Counters::default(),
+            metrics: nova_obs::Metrics::disabled(),
         }
     }
 
@@ -181,6 +197,7 @@ impl BlockCache {
     /// Look up a block, refreshing its recency (and its frequency estimate
     /// when admission is enabled).
     pub fn get(&self, key: &BlockKey) -> Option<Bytes> {
+        let _timed = self.metrics.layer(nova_obs::Layer::Cache);
         let hash = key.hash();
         if let Some(sketch) = &self.admission {
             sketch.record(hash);
@@ -197,6 +214,7 @@ impl BlockCache {
     /// Blocks larger than a whole shard are never cached; when admission
     /// filtering is on, blocks colder than the would-be victim are rejected.
     pub fn insert(&self, key: BlockKey, block: Bytes) {
+        let _timed = self.metrics.layer(nova_obs::Layer::Cache);
         let charge = block.len() as u64;
         if charge == 0 || charge > self.per_shard_capacity {
             return;

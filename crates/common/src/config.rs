@@ -396,6 +396,44 @@ impl CacheConfig {
     }
 }
 
+/// Configuration of the observability layer (the `nova-obs` crate).
+///
+/// Enabled by default: the instrumented hot path is contractually within 5%
+/// of the disabled baseline (enforced by the `fig27_obs_overhead` bench), so
+/// there is no reason to fly blind. [`MetricsConfig::disabled`] turns every
+/// timer into a single branch for overhead-baseline measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MetricsConfig {
+    /// Record per-operation and per-layer latency. When false, timers are
+    /// no-ops (no clock reads); named counters and gauges still function.
+    pub enabled: bool,
+    /// Operations at or above this end-to-end latency are captured in the
+    /// slow-op ring with their per-layer timing breakdown.
+    pub slow_op_threshold_micros: u64,
+    /// How many slow operations the ring retains (oldest overwritten first).
+    pub slow_op_capacity: usize,
+}
+
+impl Default for MetricsConfig {
+    fn default() -> Self {
+        MetricsConfig {
+            enabled: true,
+            slow_op_threshold_micros: 10_000,
+            slow_op_capacity: 128,
+        }
+    }
+}
+
+impl MetricsConfig {
+    /// A configuration whose timers are no-ops — the overhead baseline.
+    pub fn disabled() -> Self {
+        MetricsConfig {
+            enabled: false,
+            ..Default::default()
+        }
+    }
+}
+
 /// Cluster-wide deployment configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClusterConfig {
@@ -447,6 +485,8 @@ pub struct ClusterConfig {
     /// strings, range-partitioned uniformly across `num_ltcs × ranges_per_ltc`
     /// ranges.
     pub num_keys: u64,
+    /// Observability: latency histograms and the slow-op ring.
+    pub metrics: MetricsConfig,
 }
 
 impl Default for ClusterConfig {
@@ -467,6 +507,7 @@ impl Default for ClusterConfig {
             lease_millis: 1_000,
             client_retries: 64,
             num_keys: 100_000,
+            metrics: MetricsConfig::default(),
         }
     }
 }

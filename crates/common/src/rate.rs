@@ -20,9 +20,17 @@ impl Counter {
         Self::default()
     }
 
-    /// Add `delta` to the counter.
+    /// Add `delta` to the counter, saturating at `u64::MAX`.
+    ///
+    /// The fast path is a single `fetch_add`; only in the astronomically
+    /// long run where the counter would wrap does the correction kick in,
+    /// pinning the value at `u64::MAX` instead of silently restarting near
+    /// zero (a wrapped byte counter reads as an idle component).
     pub fn add(&self, delta: u64) {
-        self.value.fetch_add(delta, Ordering::Relaxed);
+        let old = self.value.fetch_add(delta, Ordering::Relaxed);
+        if old > u64::MAX - delta {
+            self.value.store(u64::MAX, Ordering::Relaxed);
+        }
     }
 
     /// Increment by one.
@@ -59,9 +67,13 @@ impl BusyTime {
         self.busy_nanos.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
     }
 
-    /// Record busy time in nanoseconds.
+    /// Record busy time in nanoseconds, saturating at `u64::MAX` (≈584 years
+    /// of busy time) rather than wrapping.
     pub fn add_nanos(&self, nanos: u64) {
-        self.busy_nanos.fetch_add(nanos, Ordering::Relaxed);
+        let old = self.busy_nanos.fetch_add(nanos, Ordering::Relaxed);
+        if old > u64::MAX - nanos {
+            self.busy_nanos.store(u64::MAX, Ordering::Relaxed);
+        }
     }
 
     /// Total busy nanoseconds.
@@ -113,15 +125,26 @@ impl ComponentStats {
     }
 
     /// Human-readable snapshot.
+    ///
+    /// Utilization ratios over a zero or sub-millisecond window are
+    /// meaningless (a single queued request makes them explode towards
+    /// infinity), so short windows report `n/a` instead of a percentage.
     pub fn summary(&self, elapsed: Duration) -> String {
+        let util = |busy: &BusyTime| {
+            if elapsed < Duration::from_millis(1) {
+                "n/a".to_string()
+            } else {
+                format!("{:.1}%", busy.utilization(elapsed) * 100.0)
+            }
+        };
         format!(
-            "ops={} read={}B written={}B cpu_util={:.1}% stalls={} stall_frac={:.1}%",
+            "ops={} read={}B written={}B cpu_util={} stalls={} stall_frac={}",
             self.ops.get(),
             self.bytes_read.get(),
             self.bytes_written.get(),
-            self.cpu.utilization(elapsed) * 100.0,
+            util(&self.cpu),
             self.stalls.get(),
-            self.stall_time.utilization(elapsed) * 100.0,
+            util(&self.stall_time),
         )
     }
 }
@@ -170,6 +193,33 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(c.get(), 80_000);
+    }
+
+    #[test]
+    fn counters_saturate_instead_of_wrapping() {
+        let c = Counter::new();
+        c.add(u64::MAX - 1);
+        c.add(10);
+        assert_eq!(c.get(), u64::MAX);
+        c.incr();
+        assert_eq!(c.get(), u64::MAX);
+
+        let b = BusyTime::new();
+        b.add_nanos(u64::MAX);
+        b.add_nanos(1);
+        assert_eq!(b.busy_nanos(), u64::MAX);
+    }
+
+    #[test]
+    fn summary_guards_short_windows() {
+        let s = ComponentStats::new();
+        s.cpu.add(Duration::from_millis(500));
+        let text = s.summary(Duration::ZERO);
+        assert!(text.contains("cpu_util=n/a"), "zero window: {text}");
+        let text = s.summary(Duration::from_micros(100));
+        assert!(text.contains("stall_frac=n/a"), "short window: {text}");
+        let text = s.summary(Duration::from_secs(1));
+        assert!(text.contains("cpu_util=50.0%"), "normal window: {text}");
     }
 
     #[test]

@@ -31,6 +31,7 @@ use bytes::Bytes;
 use nova_common::keyspace::encode_key;
 use nova_common::types::Entry;
 use nova_common::{Error, RangeId, ReadOptions, Result, WriteOptions};
+use nova_obs::OpKind;
 use nova_stoc::IoPool;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -149,11 +150,13 @@ impl NovaClient {
 
     /// Write a key-value pair.
     pub fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        let _op = self.cluster.metrics().op(OpKind::Put);
         self.with_routing(key, |range, ltc, epoch| ltc.put_at(range, key, value, epoch))
     }
 
     /// Delete a key.
     pub fn delete(&self, key: &[u8]) -> Result<()> {
+        let _op = self.cluster.metrics().op(OpKind::Delete);
         self.with_routing(key, |range, ltc, epoch| ltc.delete_at(range, key, epoch))
     }
 
@@ -168,6 +171,7 @@ impl NovaClient {
     /// (`fill_cache = false` reads through the LTC block cache without
     /// populating it).
     pub fn get_with_options(&self, key: &[u8], options: &ReadOptions) -> Result<Option<Bytes>> {
+        let _op = self.cluster.metrics().op(OpKind::Get);
         let result = self.with_routing(key, |range, ltc, epoch| {
             ltc.get_at_with(range, key, epoch, options)
         });
@@ -215,6 +219,9 @@ impl NovaClient {
         if keys.is_empty() {
             return Ok(Vec::new());
         }
+        // One timer for the whole batch: shard work on pool threads lands in
+        // the per-layer histograms but not this op's frame (see nova-obs).
+        let _op = self.cluster.metrics().op(OpKind::MultiGet);
         // Group (input index, key) pairs by destination range, preserving
         // input order within each shard.
         let shards = shard_by_range(
@@ -281,6 +288,7 @@ impl NovaClient {
         if items.is_empty() {
             return Ok(());
         }
+        let _op = self.cluster.metrics().op(OpKind::PutBatch);
         // Group by destination range, preserving order per range.
         let shards = shard_by_range(
             self.cluster.partition(),
@@ -421,6 +429,9 @@ impl ScanCursor {
     /// Fetch chunks until the buffer holds at least one entry or the scan
     /// is exhausted.
     fn refill(&mut self) -> Result<()> {
+        // Each refill is one client-visible scan pull (it may cross several
+        // ranges to find the next live entry).
+        let _op = self.client.cluster.metrics().op(OpKind::Scan);
         let chunk_size = self.options.limit.max(1);
         while self.buffer.is_empty() && !self.done {
             let Some(range) = self.range else {

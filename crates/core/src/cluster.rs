@@ -11,7 +11,10 @@ use nova_coordinator::{Coordinator, LeaseHolder};
 use nova_fabric::Fabric;
 use nova_logc::LogC;
 use nova_ltc::{Ltc, LtcStats, Manifest, Placer, RangeEngine};
+use nova_obs::{Metrics, OpKind, RegistrySnapshot};
 use nova_stoc::{SimDisk, StocClient, StocDirectory, StocServer, StocStats, StorageMedium};
+
+use crate::health::{ClusterHealth, LtcHealth, OpLatency, StocHealth};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -26,6 +29,9 @@ pub struct NovaCluster {
     coordinator: Coordinator,
     partition: KeyspacePartition,
     stoc_servers: Mutex<HashMap<StocId, StocServer>>,
+    /// Cluster-wide metrics hub: every layer records latency here, and
+    /// [`NovaCluster::health_report`] aggregates from it.
+    metrics: Arc<Metrics>,
     ltcs: RwLock<HashMap<LtcId, Arc<Ltc>>>,
     ltc_nodes: RwLock<HashMap<LtcId, NodeId>>,
     next_stoc_id: AtomicU32,
@@ -59,6 +65,7 @@ impl NovaCluster {
         let directory = StocDirectory::new();
         let coordinator = Coordinator::new(system_clock(), Duration::from_millis(config.lease_millis));
         let partition = KeyspacePartition::uniform(config.num_keys, config.total_ranges());
+        let metrics = Metrics::new(&config.metrics);
 
         let cluster = Arc::new(NovaCluster {
             config: config.clone(),
@@ -67,6 +74,7 @@ impl NovaCluster {
             coordinator,
             partition,
             stoc_servers: Mutex::new(HashMap::new()),
+            metrics,
             ltcs: RwLock::new(HashMap::new()),
             ltc_nodes: RwLock::new(HashMap::new()),
             next_stoc_id: AtomicU32::new(config.num_stocs as u32),
@@ -88,7 +96,12 @@ impl NovaCluster {
             let node = NodeId(i as u32);
             // One block cache per LTC: its ranges share the budget, and hit
             // rates surface through `LtcStats`.
-            let ltc = Ltc::with_block_cache(ltc_id, node, BlockCache::from_config(&config.block_cache));
+            let ltc = Ltc::with_observability(
+                ltc_id,
+                node,
+                BlockCache::from_config_with_metrics(&config.block_cache, Arc::clone(&cluster.metrics)),
+                Arc::clone(&cluster.metrics),
+            );
             cluster.ltcs.write().insert(ltc_id, ltc);
             cluster.ltc_nodes.write().insert(ltc_id, node);
             cluster.coordinator.register_ltc(ltc_id, node);
@@ -137,7 +150,8 @@ impl NovaCluster {
         let node = *self.ltc_nodes.read().get(&ltc).ok_or(Error::UnknownLtc(ltc))?;
         let endpoint = self.fabric.endpoint(node);
         let client = StocClient::new(endpoint, self.directory.clone())
-            .with_io_parallelism(self.config.stoc_io_parallelism);
+            .with_io_parallelism(self.config.stoc_io_parallelism)
+            .with_metrics(Arc::clone(&self.metrics));
         let range_config = self.config.range.clone();
         let logc = Arc::new(
             LogC::new(
@@ -148,7 +162,8 @@ impl NovaCluster {
             .with_group_commit(
                 self.config.group_commit_bytes,
                 self.config.group_commit_max_records,
-            ),
+            )
+            .with_metrics(Arc::clone(&self.metrics)),
         );
         // Co-locate the "local" StoC with the LTC's position for the
         // shared-nothing preset; harmless otherwise.
@@ -317,6 +332,142 @@ impl NovaCluster {
         self.ltc_stats().values().map(|s| s.stalls).sum()
     }
 
+    /// The cluster-wide metrics hub. Disabled (recording is a no-op) when
+    /// the configuration sets [`nova_common::config::MetricsConfig::disabled`].
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// A point-in-time health report aggregating every layer's statistics:
+    /// per-LTC op rates, stall time, cache hit rates and background backlog;
+    /// per-StoC disk traffic, liveness and placement state (placeable vs
+    /// draining); client operation latency percentiles; group-commit batch
+    /// sizes; and the most recent slow operations with per-layer breakdown.
+    pub fn health_report(&self) -> ClusterHealth {
+        let assignment = self.coordinator.configuration();
+        let cache_stats = self.block_cache_stats();
+        let ltc_nodes = self.ltc_nodes.read().clone();
+
+        let mut ltcs: Vec<LtcHealth> = self
+            .ltcs
+            .read()
+            .iter()
+            .map(|(id, ltc)| {
+                let s = ltc.stats();
+                LtcHealth {
+                    id: *id,
+                    node: ltc_nodes.get(id).copied().unwrap_or(NodeId(u32::MAX)),
+                    ranges: s.ranges,
+                    ops: s.writes + s.gets + s.scans,
+                    stalls: s.stalls,
+                    stall_nanos: s.stall_nanos,
+                    cache_hit_rate: cache_stats.get(id).map(|c| {
+                        let total = c.hits + c.misses;
+                        if total == 0 {
+                            0.0
+                        } else {
+                            c.hits as f64 / total as f64
+                        }
+                    }),
+                    background_backlog: ltc.background_backlog(),
+                    lease_valid: self.coordinator.lease_valid(LeaseHolder::Ltc(id.0)),
+                }
+            })
+            .collect();
+        ltcs.sort_by_key(|l| l.id);
+
+        let stoc_stats = self.stoc_stats();
+        let placeable: std::collections::HashSet<StocId> =
+            self.directory.placeable().iter().copied().collect();
+        let mut stocs: Vec<StocHealth> = self
+            .directory
+            .all()
+            .into_iter()
+            .map(|id| {
+                let s = stoc_stats.get(&id).copied().unwrap_or_default();
+                let node = self.directory.node_of(id).ok();
+                let alive = node
+                    .and_then(|n| self.fabric.node_stats(n))
+                    .map(|f| f.alive)
+                    .unwrap_or(false);
+                StocHealth {
+                    id,
+                    node,
+                    alive,
+                    placeable: placeable.contains(&id),
+                    lease_valid: self.coordinator.lease_valid(LeaseHolder::Stoc(id.0)),
+                    queue_depth: s.queue_depth,
+                    bytes_read: s.bytes_read,
+                    bytes_written: s.bytes_written,
+                    num_files: s.num_files,
+                }
+            })
+            .collect();
+        stocs.sort_by_key(|s| s.id);
+
+        let op_latencies = OpKind::ALL
+            .iter()
+            .filter_map(|kind| OpLatency::from_snapshot(kind.name(), &self.metrics.op_snapshot(*kind)))
+            .collect();
+
+        ClusterHealth {
+            epoch: assignment.epoch,
+            scatter_width: self.config.range.scatter_width,
+            availability: format!("{:?}", self.config.range.availability),
+            log_policy: format!("{:?}", self.config.range.log_policy),
+            ltcs,
+            stocs,
+            cache_hit_rate: self.block_cache_hit_rate(),
+            op_latencies,
+            group_commit_records: self.metrics.histogram("logc.group.records").snapshot(),
+            group_commit_bytes: self.metrics.histogram("logc.group.bytes").snapshot(),
+            slow_op_count: self.metrics.slow_op_count(),
+            slow_ops: self.metrics.slow_ops(),
+        }
+    }
+
+    /// Publish the component stats (the inputs of [`NovaCluster::health_report`])
+    /// as gauges on the metrics registry and return a merged snapshot of
+    /// everything: counters, gauges and latency histograms. This is the
+    /// machine-readable twin of `health_report().summary()`.
+    pub fn metrics_snapshot(&self) -> RegistrySnapshot {
+        let health = self.health_report();
+        for l in &health.ltcs {
+            let prefix = format!("ltc.{}", l.id.0);
+            self.metrics
+                .gauge(&format!("{prefix}.ranges"))
+                .set(l.ranges as u64);
+            self.metrics.gauge(&format!("{prefix}.ops")).set(l.ops);
+            self.metrics.gauge(&format!("{prefix}.stalls")).set(l.stalls);
+            self.metrics
+                .gauge(&format!("{prefix}.stall_nanos"))
+                .set(l.stall_nanos);
+            self.metrics
+                .gauge(&format!("{prefix}.backlog"))
+                .set(l.background_backlog);
+        }
+        for s in &health.stocs {
+            let prefix = format!("stoc.{}", s.id.0);
+            self.metrics
+                .gauge(&format!("{prefix}.queue_depth"))
+                .set(s.queue_depth);
+            self.metrics
+                .gauge(&format!("{prefix}.bytes_read"))
+                .set(s.bytes_read);
+            self.metrics
+                .gauge(&format!("{prefix}.bytes_written"))
+                .set(s.bytes_written);
+            self.metrics
+                .gauge(&format!("{prefix}.num_files"))
+                .set(s.num_files);
+            self.metrics.gauge(&format!("{prefix}.alive")).set(s.alive as u64);
+        }
+        self.metrics
+            .gauge("cache.hit_rate_bp")
+            .set((health.cache_hit_rate * 10_000.0) as u64);
+        self.metrics.snapshot()
+    }
+
     /// Flush every range on every LTC (tests, graceful shutdown).
     pub fn flush_all(&self) -> Result<()> {
         let ltcs: Vec<Arc<Ltc>> = self.ltcs.read().values().cloned().collect();
@@ -365,7 +516,12 @@ impl NovaCluster {
     pub fn add_ltc(&self) -> Result<LtcId> {
         let ltc_id = LtcId(self.next_ltc_id.fetch_add(1, Ordering::SeqCst));
         let node = self.fabric.add_node();
-        let ltc = Ltc::with_block_cache(ltc_id, node, BlockCache::from_config(&self.config.block_cache));
+        let ltc = Ltc::with_observability(
+            ltc_id,
+            node,
+            BlockCache::from_config_with_metrics(&self.config.block_cache, Arc::clone(&self.metrics)),
+            Arc::clone(&self.metrics),
+        );
         self.ltcs.write().insert(ltc_id, ltc);
         self.ltc_nodes.write().insert(ltc_id, node);
         self.coordinator.register_ltc(ltc_id, node);
@@ -507,7 +663,8 @@ impl NovaCluster {
             .get(&destination)
             .ok_or(Error::UnknownLtc(destination))?;
         let client = StocClient::new(self.fabric.endpoint(node), self.directory.clone())
-            .with_io_parallelism(self.config.stoc_io_parallelism);
+            .with_io_parallelism(self.config.stoc_io_parallelism)
+            .with_metrics(Arc::clone(&self.metrics));
         let range_config = self.config.range.clone();
         let logc = Arc::new(
             LogC::new(
@@ -518,7 +675,8 @@ impl NovaCluster {
             .with_group_commit(
                 self.config.group_commit_bytes,
                 self.config.group_commit_max_records,
-            ),
+            )
+            .with_metrics(Arc::clone(&self.metrics)),
         );
         let placer = Placer::new(
             client.clone(),

@@ -1,0 +1,297 @@
+//! Cluster-wide health and statistics reporting.
+//!
+//! [`ClusterHealth`] is a point-in-time aggregation of every signal the
+//! cluster exposes: per-LTC operation counts, stall time and compaction
+//! backlog, per-StoC disk traffic and placement state (placeable vs
+//! draining), block-cache hit rates, group-commit batch sizes, client
+//! operation latency percentiles, and the slowest recent operations with
+//! their per-layer timing breakdown. It is produced by
+//! [`crate::NovaCluster::health_report`] and is cheap enough to poll: every
+//! input is a lock-free counter or histogram snapshot.
+
+use nova_common::{LtcId, NodeId, StocId};
+use nova_obs::{HistogramSnapshot, SlowOp};
+
+/// Latency summary for one client operation kind, in microseconds.
+#[derive(Debug, Clone)]
+pub struct OpLatency {
+    /// Operation name (`get`, `put`, `scan`, ...).
+    pub op: String,
+    /// Operations recorded.
+    pub count: u64,
+    /// Mean latency in microseconds.
+    pub mean_micros: f64,
+    /// Median latency in microseconds.
+    pub p50_micros: u64,
+    /// 90th-percentile latency in microseconds.
+    pub p90_micros: u64,
+    /// 99th-percentile latency in microseconds.
+    pub p99_micros: u64,
+    /// 99.9th-percentile latency in microseconds.
+    pub p999_micros: u64,
+    /// Maximum latency in microseconds.
+    pub max_micros: u64,
+}
+
+impl OpLatency {
+    /// Build a summary row from a histogram snapshot; `None` when the
+    /// histogram recorded nothing.
+    pub fn from_snapshot(op: &str, snap: &HistogramSnapshot) -> Option<OpLatency> {
+        if snap.is_empty() {
+            return None;
+        }
+        Some(OpLatency {
+            op: op.to_string(),
+            count: snap.count(),
+            mean_micros: snap.mean(),
+            p50_micros: snap.p50(),
+            p90_micros: snap.p90(),
+            p99_micros: snap.p99(),
+            p999_micros: snap.p999(),
+            max_micros: snap.max(),
+        })
+    }
+}
+
+/// Health of one LTC.
+#[derive(Debug, Clone)]
+pub struct LtcHealth {
+    /// The LTC.
+    pub id: LtcId,
+    /// The node hosting it.
+    pub node: NodeId,
+    /// Ranges it currently serves.
+    pub ranges: usize,
+    /// Lifetime operations served (writes + gets + scans).
+    pub ops: u64,
+    /// Write stalls observed.
+    pub stalls: u64,
+    /// Nanoseconds spent stalled.
+    pub stall_nanos: u64,
+    /// Block-cache hit rate, `None` when caching is disabled.
+    pub cache_hit_rate: Option<f64>,
+    /// Queued + running background jobs (flushes, compactions) across its
+    /// ranges — the compaction/migration backlog signal.
+    pub background_backlog: u64,
+    /// Whether the coordinator still considers its lease valid.
+    pub lease_valid: bool,
+}
+
+/// Health of one StoC.
+#[derive(Debug, Clone)]
+pub struct StocHealth {
+    /// The StoC.
+    pub id: StocId,
+    /// The node hosting it.
+    pub node: Option<NodeId>,
+    /// False once the node has been failed via the fabric.
+    pub alive: bool,
+    /// True when new SSTables may be placed here; false while draining
+    /// (removed from placement but still serving its existing blocks).
+    pub placeable: bool,
+    /// Whether the coordinator still considers its lease valid.
+    pub lease_valid: bool,
+    /// Requests queued or in service at the disk.
+    pub queue_depth: u64,
+    /// Bytes read from the medium.
+    pub bytes_read: u64,
+    /// Bytes written to the medium.
+    pub bytes_written: u64,
+    /// Persistent files stored.
+    pub num_files: u64,
+}
+
+/// A point-in-time health report for the whole cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterHealth {
+    /// Configuration epoch the report was taken at.
+    pub epoch: u64,
+    /// Replication / placement state: ρ, the SSTable scatter width.
+    pub scatter_width: usize,
+    /// Availability policy for SSTable fragments (rendered).
+    pub availability: String,
+    /// Logging policy (rendered) — covers the log-replication factor.
+    pub log_policy: String,
+    /// Per-LTC health, ordered by id.
+    pub ltcs: Vec<LtcHealth>,
+    /// Per-StoC health (including draining StoCs), ordered by id.
+    pub stocs: Vec<StocHealth>,
+    /// Cluster-wide block-cache hit rate (0 when caching is disabled).
+    pub cache_hit_rate: f64,
+    /// Client operation latency percentiles, one row per op kind observed.
+    pub op_latencies: Vec<OpLatency>,
+    /// Group-commit batch sizes in records per group.
+    pub group_commit_records: HistogramSnapshot,
+    /// Group-commit batch sizes in bytes per group.
+    pub group_commit_bytes: HistogramSnapshot,
+    /// Operations that crossed the slow-op threshold, lifetime count.
+    pub slow_op_count: u64,
+    /// Most recent slow operations (oldest first) with per-layer breakdown.
+    pub slow_ops: Vec<SlowOp>,
+}
+
+impl ClusterHealth {
+    /// Total operations served across LTCs.
+    pub fn total_ops(&self) -> u64 {
+        self.ltcs.iter().map(|l| l.ops).sum()
+    }
+
+    /// Total write stalls across LTCs.
+    pub fn total_stalls(&self) -> u64 {
+        self.ltcs.iter().map(|l| l.stalls).sum()
+    }
+
+    /// Total background backlog (queued + running flushes/compactions).
+    pub fn total_backlog(&self) -> u64 {
+        self.ltcs.iter().map(|l| l.background_backlog).sum()
+    }
+
+    /// StoCs currently accepting new SSTable placements.
+    pub fn placeable_stocs(&self) -> usize {
+        self.stocs.iter().filter(|s| s.placeable).count()
+    }
+
+    /// StoCs draining: removed from placement but still serving blocks.
+    pub fn draining_stocs(&self) -> usize {
+        self.stocs.iter().filter(|s| !s.placeable).count()
+    }
+
+    /// Mean group-commit batch size in records (0 with no groups cut).
+    pub fn mean_group_records(&self) -> f64 {
+        self.group_commit_records.mean()
+    }
+
+    /// A multi-line human-readable rendering.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "cluster health @ epoch {}: {} LTCs, {} StoCs ({} draining), ρ={}, log={}\n",
+            self.epoch,
+            self.ltcs.len(),
+            self.stocs.len(),
+            self.draining_stocs(),
+            self.scatter_width,
+            self.log_policy,
+        ));
+        out.push_str(&format!(
+            "  ops={} stalls={} backlog={} cache_hit_rate={:.1}% slow_ops={}\n",
+            self.total_ops(),
+            self.total_stalls(),
+            self.total_backlog(),
+            self.cache_hit_rate * 100.0,
+            self.slow_op_count,
+        ));
+        if !self.group_commit_records.is_empty() {
+            out.push_str(&format!(
+                "  group_commit: {} groups, mean {:.1} records / {:.0} bytes per group\n",
+                self.group_commit_records.count(),
+                self.group_commit_records.mean(),
+                self.group_commit_bytes.mean(),
+            ));
+        }
+        for op in &self.op_latencies {
+            out.push_str(&format!(
+                "  op {:<10} n={:<8} p50={}us p90={}us p99={}us p999={}us max={}us\n",
+                op.op, op.count, op.p50_micros, op.p90_micros, op.p99_micros, op.p999_micros, op.max_micros,
+            ));
+        }
+        for l in &self.ltcs {
+            out.push_str(&format!(
+                "  {} on {}: ranges={} ops={} stalls={} backlog={} cache_hit={} lease={}\n",
+                l.id,
+                l.node,
+                l.ranges,
+                l.ops,
+                l.stalls,
+                l.background_backlog,
+                l.cache_hit_rate
+                    .map(|r| format!("{:.1}%", r * 100.0))
+                    .unwrap_or_else(|| "n/a".into()),
+                if l.lease_valid { "valid" } else { "EXPIRED" },
+            ));
+        }
+        for s in &self.stocs {
+            out.push_str(&format!(
+                "  {} on {}: {}{} qd={} read={}B written={}B files={} lease={}\n",
+                s.id,
+                s.node.map(|n| n.to_string()).unwrap_or_else(|| "?".into()),
+                if s.alive { "alive" } else { "DOWN" },
+                if s.placeable { "" } else { " (draining)" },
+                s.queue_depth,
+                s.bytes_read,
+                s.bytes_written,
+                s.num_files,
+                if s.lease_valid { "valid" } else { "EXPIRED" },
+            ));
+        }
+        for op in &self.slow_ops {
+            out.push_str(&format!("  slow: {}\n", op.summary()));
+        }
+        out
+    }
+
+    /// Serialize to a flat JSON object (hand-built, no serde dependency on
+    /// the report types).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"epoch\":{}", self.epoch));
+        out.push_str(&format!(",\"num_ltcs\":{}", self.ltcs.len()));
+        out.push_str(&format!(",\"num_stocs\":{}", self.stocs.len()));
+        out.push_str(&format!(",\"draining_stocs\":{}", self.draining_stocs()));
+        out.push_str(&format!(",\"scatter_width\":{}", self.scatter_width));
+        out.push_str(&format!(
+            ",\"log_policy\":\"{}\"",
+            self.log_policy.replace('"', "'")
+        ));
+        out.push_str(&format!(",\"total_ops\":{}", self.total_ops()));
+        out.push_str(&format!(",\"total_stalls\":{}", self.total_stalls()));
+        out.push_str(&format!(",\"total_backlog\":{}", self.total_backlog()));
+        out.push_str(&format!(",\"cache_hit_rate\":{:.4}", self.cache_hit_rate));
+        out.push_str(&format!(",\"slow_op_count\":{}", self.slow_op_count));
+        out.push_str(&format!(
+            ",\"mean_group_records\":{:.2}",
+            self.mean_group_records()
+        ));
+        out.push_str(",\"ops\":[");
+        for (i, op) in self.op_latencies.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"op\":\"{}\",\"count\":{},\"mean_micros\":{:.1},\"p50_micros\":{},\
+                 \"p90_micros\":{},\"p99_micros\":{},\"p999_micros\":{},\"max_micros\":{}}}",
+                op.op,
+                op.count,
+                op.mean_micros,
+                op.p50_micros,
+                op.p90_micros,
+                op.p99_micros,
+                op.p999_micros,
+                op.max_micros,
+            ));
+        }
+        out.push_str("],\"ltcs\":[");
+        for (i, l) in self.ltcs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"id\":{},\"ranges\":{},\"ops\":{},\"stalls\":{},\"backlog\":{},\"lease_valid\":{}}}",
+                l.id.0, l.ranges, l.ops, l.stalls, l.background_backlog, l.lease_valid,
+            ));
+        }
+        out.push_str("],\"stocs\":[");
+        for (i, s) in self.stocs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"id\":{},\"alive\":{},\"placeable\":{},\"queue_depth\":{},\"num_files\":{},\
+                 \"lease_valid\":{}}}",
+                s.id.0, s.alive, s.placeable, s.queue_depth, s.num_files, s.lease_valid,
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}

@@ -44,11 +44,13 @@
 
 pub mod client;
 pub mod cluster;
+pub mod health;
 pub mod mttf;
 pub mod presets;
 
 pub use client::{NovaClient, ScanCursor};
 pub use cluster::NovaCluster;
+pub use health::{ClusterHealth, LtcHealth, OpLatency, StocHealth};
 pub use mttf::{MttfModel, MttfRow};
 pub use nova_common::{ReadOptions, WriteOptions};
 
@@ -62,5 +64,6 @@ pub use nova_fabric as fabric;
 pub use nova_logc as logc;
 pub use nova_ltc as ltc;
 pub use nova_memtable as memtable;
+pub use nova_obs as obs;
 pub use nova_sstable as sstable;
 pub use nova_stoc as stoc;

@@ -9,8 +9,8 @@
 //!   smaller values, a scaled-down disk, identical ratios.
 
 use nova_common::config::{
-    AvailabilityPolicy, CacheConfig, ClusterConfig, DiskConfig, FabricConfig, LogPolicy, PlacementPolicy,
-    RangeConfig,
+    AvailabilityPolicy, CacheConfig, ClusterConfig, DiskConfig, FabricConfig, LogPolicy, MetricsConfig,
+    PlacementPolicy, RangeConfig,
 };
 
 /// Build the paper's shared-disk configuration: η LTCs, β StoCs, SSTables
@@ -86,6 +86,7 @@ pub fn scaled_experiment(num_keys: u64) -> ClusterConfig {
         lease_millis: 1_000,
         client_retries: 64,
         num_keys,
+        metrics: MetricsConfig::default(),
     }
 }
 

@@ -131,6 +131,17 @@ impl Fabric {
             .ok_or(Error::FabricUnavailable(format!("{node} does not exist")))
     }
 
+    /// Snapshot of one node's fabric-side accounting (the health report's
+    /// per-node traffic view). `None` for detached nodes.
+    pub fn node_stats(&self, node: NodeId) -> Option<FabricNodeStats> {
+        self.nodes.read().get(node.0 as usize).map(|n| FabricNodeStats {
+            bytes_read: n.stats.bytes_read.get(),
+            bytes_written: n.stats.bytes_written.get(),
+            network_busy_nanos: n.stats.cpu.busy_nanos(),
+            alive: n.alive.load(Ordering::SeqCst),
+        })
+    }
+
     fn live_node(&self, node: NodeId) -> Result<Arc<Node>> {
         let n = self.node(node)?;
         if !n.alive.load(Ordering::SeqCst) {
@@ -146,6 +157,19 @@ impl Fabric {
             std::thread::sleep(d);
         }
     }
+}
+
+/// Point-in-time fabric accounting for one node.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FabricNodeStats {
+    /// Bytes the node has read with one-sided READs.
+    pub bytes_read: u64,
+    /// Bytes the node has written with WRITE / SEND / replies.
+    pub bytes_written: u64,
+    /// Simulated network busy time charged to the node, in nanoseconds.
+    pub network_busy_nanos: u64,
+    /// False once the node has been failed and not yet recovered.
+    pub alive: bool,
 }
 
 /// A node's handle onto the fabric. All verbs are issued through an endpoint

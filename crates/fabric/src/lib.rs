@@ -35,7 +35,7 @@ pub mod message;
 pub mod region;
 pub mod rpc;
 
-pub use fabric::{Endpoint, Fabric};
+pub use fabric::{Endpoint, Fabric, FabricNodeStats};
 pub use latency::LatencyModel;
 pub use message::{Delivery, RegionId};
 pub use rpc::{RpcHandler, RpcServer};

@@ -116,6 +116,10 @@ pub struct LogC {
     /// I/O and waiting happens on the per-file commit buffer, so writers to
     /// different memtables never serialize on each other.
     open: Mutex<HashMap<(RangeId, MemtableId), Arc<LogFile>>>,
+    /// Observability: enqueue-to-durable latency plus group-size histograms.
+    metrics: Arc<nova_obs::Metrics>,
+    group_records_hist: Arc<nova_obs::AtomicHistogram>,
+    group_bytes_hist: Arc<nova_obs::AtomicHistogram>,
 }
 
 impl std::fmt::Debug for LogC {
@@ -132,6 +136,9 @@ impl std::fmt::Debug for LogC {
 impl LogC {
     /// Create a logging component with the default group-commit bounds.
     pub fn new(client: StocClient, policy: LogPolicy, log_file_size: u64) -> Self {
+        let metrics = nova_obs::Metrics::disabled();
+        let group_records_hist = metrics.histogram("logc.group.records");
+        let group_bytes_hist = metrics.histogram("logc.group.bytes");
         LogC {
             client,
             policy,
@@ -139,6 +146,9 @@ impl LogC {
             group_bytes: DEFAULT_GROUP_COMMIT_BYTES,
             group_max_records: DEFAULT_GROUP_COMMIT_MAX_RECORDS,
             open: Mutex::new(HashMap::new()),
+            metrics,
+            group_records_hist,
+            group_bytes_hist,
         }
     }
 
@@ -148,6 +158,17 @@ impl LogC {
     pub fn with_group_commit(mut self, bytes: usize, max_records: usize) -> Self {
         self.group_bytes = bytes.max(1);
         self.group_max_records = max_records.max(1);
+        self
+    }
+
+    /// Attach a metrics hub (builder style). Appends record their
+    /// enqueue-to-durable latency against [`nova_obs::Layer::Logc`]; the
+    /// group-commit leader records each group's record count and byte size
+    /// into the `logc.group.records` / `logc.group.bytes` histograms.
+    pub fn with_metrics(mut self, metrics: Arc<nova_obs::Metrics>) -> Self {
+        self.group_records_hist = metrics.histogram("logc.group.records");
+        self.group_bytes_hist = metrics.histogram("logc.group.bytes");
+        self.metrics = metrics;
         self
     }
 
@@ -270,6 +291,7 @@ impl LogC {
     /// file's commit buffer and block until they are durable: leader/follower
     /// group commit.
     fn commit(&self, file: &LogFile, bytes: Vec<u8>, lens: &[usize]) -> Result<()> {
+        let _timed = self.metrics.layer(nova_obs::Layer::Logc);
         let mut state = file.state.lock().expect("log group state poisoned");
         // Capacity check against every byte enqueued or already assigned an
         // offset. In practice the memtable fills first because records
@@ -315,6 +337,10 @@ impl LogC {
                     group_bytes += len;
                     group_records += 1;
                     state.pending_lens.pop_front();
+                }
+                if self.metrics.is_enabled() {
+                    self.group_records_hist.record(group_records);
+                    self.group_bytes_hist.record(group_bytes as u64);
                 }
                 let group: Vec<u8> = state.pending.drain(..group_bytes).collect();
                 let group_first = state.taken + 1;

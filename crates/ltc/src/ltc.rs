@@ -69,6 +69,9 @@ pub struct Ltc {
     /// The LTC-wide block cache shared by every range engine on this LTC
     /// (Section 3: LTCs are the memory-rich tier). `None` when disabled.
     block_cache: Option<Arc<BlockCache>>,
+    /// Observability: the epoch-validated operations record their range
+    /// engine time against [`nova_obs::Layer::Ltc`].
+    metrics: Arc<nova_obs::Metrics>,
 }
 
 impl std::fmt::Debug for Ltc {
@@ -89,11 +92,23 @@ impl Ltc {
 
     /// Create an LTC that reads SSTable blocks through `block_cache`.
     pub fn with_block_cache(id: LtcId, node: NodeId, block_cache: Option<Arc<BlockCache>>) -> Arc<Self> {
+        Self::with_observability(id, node, block_cache, nova_obs::Metrics::disabled())
+    }
+
+    /// Create an LTC wired to a metrics hub: the epoch-validated operations
+    /// record their latency against [`nova_obs::Layer::Ltc`].
+    pub fn with_observability(
+        id: LtcId,
+        node: NodeId,
+        block_cache: Option<Arc<BlockCache>>,
+        metrics: Arc<nova_obs::Metrics>,
+    ) -> Arc<Self> {
         Arc::new(Ltc {
             id,
             node,
             ranges: RwLock::new(HashMap::new()),
             block_cache,
+            metrics,
         })
     }
 
@@ -191,6 +206,7 @@ impl Ltc {
 
     /// [`Ltc::put`] validating the caller's configuration epoch.
     pub fn put_at(&self, range: RangeId, key: &[u8], value: &[u8], epoch: u64) -> Result<()> {
+        let _timed = self.metrics.layer(nova_obs::Layer::Ltc);
         let engine = self.range(range)?;
         engine.check_epoch(epoch)?;
         engine.put(key, value)
@@ -198,6 +214,7 @@ impl Ltc {
 
     /// [`Ltc::delete`] validating the caller's configuration epoch.
     pub fn delete_at(&self, range: RangeId, key: &[u8], epoch: u64) -> Result<()> {
+        let _timed = self.metrics.layer(nova_obs::Layer::Ltc);
         let engine = self.range(range)?;
         engine.check_epoch(epoch)?;
         engine.delete(key)
@@ -217,6 +234,7 @@ impl Ltc {
         epoch: u64,
         options: &WriteOptions,
     ) -> Result<()> {
+        let _timed = self.metrics.layer(nova_obs::Layer::Ltc);
         let engine = self.range(range)?;
         engine.check_epoch(epoch)?;
         let ops: Vec<BatchOp<'_>> = items
@@ -241,6 +259,7 @@ impl Ltc {
         epoch: u64,
         options: &ReadOptions,
     ) -> Result<Bytes> {
+        let _timed = self.metrics.layer(nova_obs::Layer::Ltc);
         let engine = self.range(range)?;
         engine.check_epoch(epoch)?;
         engine.get_with_options(key, options)
@@ -257,6 +276,7 @@ impl Ltc {
         epoch: u64,
         options: &ReadOptions,
     ) -> Result<Vec<Option<Bytes>>> {
+        let _timed = self.metrics.layer(nova_obs::Layer::Ltc);
         let engine = self.range(range)?;
         engine.check_epoch(epoch)?;
         let mut out = Vec::with_capacity(keys.len());
@@ -297,6 +317,7 @@ impl Ltc {
         epoch: u64,
         options: &ReadOptions,
     ) -> Result<Vec<nova_common::types::Entry>> {
+        let _timed = self.metrics.layer(nova_obs::Layer::Ltc);
         let engine = self.range(range)?;
         engine.check_epoch(epoch)?;
         engine.scan_range(start_key, end_key, limit, options)
@@ -331,6 +352,14 @@ impl Ltc {
             out.block_cache_resident_bytes = c.resident_bytes;
         }
         out
+    }
+
+    /// Background work queued or running across every range: flushes,
+    /// compactions and reorganisations that have been scheduled but not yet
+    /// installed. The health report surfaces this as the LTC's
+    /// migration/compaction backlog.
+    pub fn background_backlog(&self) -> u64 {
+        self.ranges.read().values().map(|e| e.background_backlog()).sum()
     }
 
     /// Flush every range (used by graceful shutdown and tests).

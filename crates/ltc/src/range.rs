@@ -1659,6 +1659,13 @@ impl RangeEngine {
         self.frozen.load(Ordering::SeqCst)
     }
 
+    /// Background flush/compaction/reorganisation tasks queued or currently
+    /// executing. A persistently non-zero value means the range is falling
+    /// behind its write load (the health report's compaction backlog).
+    pub fn background_backlog(&self) -> u64 {
+        self.background_inflight.load(Ordering::SeqCst)
+    }
+
     /// The configuration epoch at which this engine's LTC acquired the
     /// range (0 = unknown, accepts any caller).
     pub fn owner_epoch(&self) -> u64 {

@@ -1,0 +1,216 @@
+//! A named registry of counters, gauges and histograms.
+//!
+//! Registration (`counter` / `gauge` / `histogram`) takes a lock once per
+//! name and returns an `Arc` handle; all subsequent updates through the
+//! handle are lock-free. Components cache their handles at construction so
+//! the registry lock never appears on a hot path.
+
+use crate::hist::{AtomicHistogram, HistogramSnapshot};
+use nova_common::rate::Counter;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A last-value-wins instantaneous measurement (queue depth, resident bytes).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// Create a gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the current value.
+    pub fn set(&self, value: u64) {
+        self.value.store(value, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// The registry. Names are dot-separated paths (`"op.get.micros"`,
+/// `"ltc.0.writes"`); `BTreeMap` keeps snapshots deterministically ordered.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<AtomicHistogram>>>,
+}
+
+impl Registry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or create the counter named `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(c) = self.counters.read().get(name) {
+            return Arc::clone(c);
+        }
+        Arc::clone(
+            self.counters
+                .write()
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Counter::new())),
+        )
+    }
+
+    /// Get or create the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        if let Some(g) = self.gauges.read().get(name) {
+            return Arc::clone(g);
+        }
+        Arc::clone(
+            self.gauges
+                .write()
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Gauge::new())),
+        )
+    }
+
+    /// Get or create the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Arc<AtomicHistogram> {
+        if let Some(h) = self.histograms.read().get(name) {
+            return Arc::clone(h);
+        }
+        Arc::clone(
+            self.histograms
+                .write()
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(AtomicHistogram::new())),
+        )
+    }
+
+    /// A point-in-time copy of every metric in the registry.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        RegistrySnapshot {
+            counters: self
+                .counters
+                .read()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .read()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// An owned copy of every metric, suitable for serialization or merging
+/// across nodes.
+#[derive(Debug, Clone, Default)]
+pub struct RegistrySnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, u64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl RegistrySnapshot {
+    /// Merge another snapshot into this one: counters and gauges add,
+    /// histograms merge bucket-wise (associative, like the histograms
+    /// themselves).
+    pub fn merge(&mut self, other: &RegistrySnapshot) {
+        for (k, v) in &other.counters {
+            let slot = self.counters.entry(k.clone()).or_insert(0);
+            *slot = slot.saturating_add(*v);
+        }
+        for (k, v) in &other.gauges {
+            let slot = self.gauges.entry(k.clone()).or_insert(0);
+            *slot = slot.saturating_add(*v);
+        }
+        for (k, v) in &other.histograms {
+            self.histograms
+                .entry(k.clone())
+                .or_insert_with(HistogramSnapshot::empty)
+                .merge(v);
+        }
+    }
+
+    /// Serialize as JSON (histograms render their derived statistics, not
+    /// raw buckets).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        let counters: Vec<String> = self
+            .counters
+            .iter()
+            .map(|(k, v)| format!("\"{k}\": {v}"))
+            .collect();
+        out.push_str(&counters.join(", "));
+        out.push_str("},\n  \"gauges\": {");
+        let gauges: Vec<String> = self.gauges.iter().map(|(k, v)| format!("\"{k}\": {v}")).collect();
+        out.push_str(&gauges.join(", "));
+        out.push_str("},\n  \"histograms\": {\n");
+        let hists: Vec<String> = self
+            .histograms
+            .iter()
+            .map(|(k, v)| format!("    \"{k}\": {}", v.to_json()))
+            .collect();
+        out.push_str(&hists.join(",\n"));
+        out.push_str("\n  }\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared_by_name() {
+        let r = Registry::new();
+        let a = r.counter("ops");
+        let b = r.counter("ops");
+        a.add(3);
+        b.add(4);
+        assert_eq!(r.counter("ops").get(), 7);
+
+        let g = r.gauge("depth");
+        g.set(9);
+        assert_eq!(r.gauge("depth").get(), 9);
+
+        r.histogram("lat").record(100);
+        assert_eq!(r.histogram("lat").count(), 1);
+    }
+
+    #[test]
+    fn snapshot_contains_everything_and_merges() {
+        let r = Registry::new();
+        r.counter("a").add(1);
+        r.gauge("g").set(5);
+        r.histogram("h").record(10);
+        let mut snap = r.snapshot();
+        assert_eq!(snap.counters["a"], 1);
+        assert_eq!(snap.gauges["g"], 5);
+        assert_eq!(snap.histograms["h"].count(), 1);
+
+        let other = r.snapshot();
+        snap.merge(&other);
+        assert_eq!(snap.counters["a"], 2);
+        assert_eq!(snap.histograms["h"].count(), 2);
+
+        let json = snap.to_json();
+        assert!(json.contains("\"a\": 2"));
+        assert!(json.contains("\"h\": {\"count\": 2"));
+    }
+}

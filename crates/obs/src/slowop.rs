@@ -1,0 +1,116 @@
+//! A bounded ring of the most recent slow operations, each carrying the
+//! per-layer timing breakdown captured while it ran. Pushes happen only for
+//! operations over the configured threshold, so the per-slot mutexes are
+//! effectively uncontended; readers copy the ring out.
+
+use crate::{Layer, OpKind};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One slow operation: what it was, how long it took end to end, and how the
+/// time split across the stack's layers (inclusive, see [`Layer`]).
+#[derive(Debug, Clone)]
+pub struct SlowOp {
+    /// Monotonic sequence number (global across the ring's lifetime).
+    pub seq: u64,
+    /// The operation type.
+    pub kind: OpKind,
+    /// End-to-end latency in microseconds.
+    pub total_micros: u64,
+    /// Microseconds attributed to each layer, indexed like [`Layer::ALL`].
+    pub layer_micros: [u64; Layer::COUNT],
+}
+
+impl SlowOp {
+    /// Human-readable one-liner, e.g.
+    /// `#12 get 15000us [ltc=14800 logc=0 stoc_io=14500 cache=120]`.
+    pub fn summary(&self) -> String {
+        let layers: Vec<String> = Layer::ALL
+            .iter()
+            .map(|l| format!("{}={}", l.name(), self.layer_micros[l.index()]))
+            .collect();
+        format!(
+            "#{} {} {}us [{}]",
+            self.seq,
+            self.kind.name(),
+            self.total_micros,
+            layers.join(" ")
+        )
+    }
+}
+
+/// A fixed-capacity ring of recent slow operations.
+#[derive(Debug)]
+pub struct SlowOpRing {
+    slots: Vec<Mutex<Option<SlowOp>>>,
+    next: AtomicU64,
+}
+
+impl SlowOpRing {
+    /// Create a ring holding at most `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        SlowOpRing {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            next: AtomicU64::new(0),
+        }
+    }
+
+    /// Capacity of the ring.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total slow operations ever pushed (may exceed capacity).
+    pub fn total_recorded(&self) -> u64 {
+        self.next.load(Ordering::Relaxed)
+    }
+
+    /// Push a slow op, overwriting the oldest entry once full. Returns the
+    /// sequence number assigned to it.
+    pub fn push(&self, kind: OpKind, total_micros: u64, layer_micros: [u64; Layer::COUNT]) -> u64 {
+        let seq = self.next.fetch_add(1, Ordering::Relaxed);
+        let slot = (seq % self.slots.len() as u64) as usize;
+        *self.slots[slot].lock() = Some(SlowOp {
+            seq,
+            kind,
+            total_micros,
+            layer_micros,
+        });
+        seq
+    }
+
+    /// Copy out the retained slow ops, oldest first.
+    pub fn recent(&self) -> Vec<SlowOp> {
+        let mut ops: Vec<SlowOp> = self.slots.iter().filter_map(|s| s.lock().clone()).collect();
+        ops.sort_by_key(|o| o.seq);
+        ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_retains_most_recent_in_order() {
+        let ring = SlowOpRing::new(4);
+        for i in 0..10u64 {
+            ring.push(OpKind::Get, 1_000 + i, [i, 0, 0, 0]);
+        }
+        let recent = ring.recent();
+        assert_eq!(recent.len(), 4);
+        let seqs: Vec<u64> = recent.iter().map(|o| o.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+        assert_eq!(ring.total_recorded(), 10);
+        assert!(recent[0].summary().contains("get"));
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let ring = SlowOpRing::new(0);
+        assert_eq!(ring.capacity(), 1);
+        ring.push(OpKind::Put, 5, [0; Layer::COUNT]);
+        assert_eq!(ring.recent().len(), 1);
+    }
+}

@@ -205,6 +205,7 @@ pub struct StocClient {
     directory: StocDirectory,
     io: IoPool,
     scratch: Arc<ScratchRegions>,
+    metrics: Arc<nova_obs::Metrics>,
 }
 
 impl StocClient {
@@ -220,6 +221,7 @@ impl StocClient {
             directory,
             io: IoPool::default(),
             scratch,
+            metrics: nova_obs::Metrics::disabled(),
         }
     }
 
@@ -228,6 +230,13 @@ impl StocClient {
     /// Width 1 makes every batch run serially in submission order.
     pub fn with_io_parallelism(mut self, parallelism: usize) -> Self {
         self.io = IoPool::new(parallelism);
+        self
+    }
+
+    /// Attach a metrics hub (builder style). Block, mem-file and log I/O
+    /// record their latency against [`nova_obs::Layer::StocIo`].
+    pub fn with_metrics(mut self, metrics: Arc<nova_obs::Metrics>) -> Self {
+        self.metrics = metrics;
         self
     }
 
@@ -289,6 +298,7 @@ impl StocClient {
     /// open a file (allocating a file-buffer region), `RDMA WRITE` the block
     /// into the region with immediate data, then seal the file to disk.
     pub fn write_block(&self, stoc: StocId, data: &[u8]) -> Result<StocBlockHandle> {
+        let _timed = self.metrics.layer(nova_obs::Layer::StocIo);
         let node = self.directory.node_of(stoc)?;
         let opened = self.call(
             stoc,
@@ -331,6 +341,7 @@ impl StocClient {
     /// data into a locally registered scratch region (reused across reads)
     /// via one-sided write.
     pub fn read_block_at(&self, stoc: StocId, file: StocFileId, offset: u64, len: usize) -> Result<Bytes> {
+        let _timed = self.metrics.layer(nova_obs::Layer::StocIo);
         let (client_region, capacity) = self.acquire_scratch(len.max(1));
         let result = (|| match self.call(
             stoc,
@@ -562,6 +573,7 @@ impl StocClient {
     /// Append `data` at `offset` of an in-memory file using a one-sided
     /// write. The StoC's CPU is not involved (Section 6.1).
     pub fn write_mem(&self, handle: &MemFileHandle, offset: u64, data: &[u8]) -> Result<()> {
+        let _timed = self.metrics.layer(nova_obs::Layer::StocIo);
         let node = self.directory.node_of(handle.stoc)?;
         self.endpoint
             .rdma_write(node, RegionId(handle.region), offset, data, None)
@@ -580,6 +592,7 @@ impl StocClient {
     /// Append serialized log records to a named persistent log file
     /// (durability mode of LogC, Section 5). Charged to the StoC's disk.
     pub fn append_log(&self, stoc: StocId, name: &str, data: &[u8]) -> Result<()> {
+        let _timed = self.metrics.layer(nova_obs::Layer::StocIo);
         match self.call(
             stoc,
             &StocRequest::AppendLog {

@@ -74,14 +74,26 @@ impl RunReport {
         h
     }
 
+    /// Median latency across all operation types, in microseconds.
+    pub fn p50_micros(&self) -> f64 {
+        self.all_operations().percentile_micros(50.0)
+    }
+
+    /// 99th-percentile latency across all operation types, in microseconds.
+    pub fn p99_micros(&self) -> f64 {
+        self.all_operations().percentile_micros(99.0)
+    }
+
     /// One-line summary suitable for experiment output.
     pub fn summary(&self) -> String {
         format!(
-            "{:<14} {:>10.1} kops/s  ops={:<9} errors={:<4} put[{}] get[{}] scan[{}]",
+            "{:<14} {:>10.1} kops/s  ops={:<9} errors={:<4} p50={:.0}us p99={:.0}us put[{}] get[{}] scan[{}]",
             self.workload,
             self.throughput_kops(),
             self.operations,
             self.errors,
+            self.p50_micros(),
+            self.p99_micros(),
             self.puts.summary(),
             self.gets.summary(),
             self.scans.summary(),

@@ -79,5 +79,10 @@ fn main() {
         );
     }
 
+    // The one-call cluster overview: per-component health, operation latency
+    // percentiles recorded by the built-in metrics, and any slow operations
+    // with their per-layer timing breakdown.
+    print!("\n{}", cluster.health_report().summary());
+
     cluster.shutdown();
 }

@@ -1,0 +1,186 @@
+//! End-to-end observability: the client operations land in the op and layer
+//! histograms, the health report aggregates every component, the slow-op
+//! ring attributes latency to layers, and the disabled configuration records
+//! nothing.
+
+use nova_lsm::obs::{Layer, OpKind};
+use nova_lsm::{presets, NovaClient, NovaCluster};
+
+fn start(metrics_enabled: bool) -> (std::sync::Arc<NovaCluster>, NovaClient) {
+    let mut config = presets::test_cluster(1, 2, 2_000);
+    config.range.scatter_width = 1;
+    if !metrics_enabled {
+        config.metrics = nova_common::config::MetricsConfig::disabled();
+    }
+    let cluster = NovaCluster::start(config).expect("start cluster");
+    let client = NovaClient::new(cluster.clone());
+    (cluster, client)
+}
+
+#[test]
+fn client_operations_reach_the_op_and_layer_histograms() {
+    let (cluster, client) = start(true);
+    for i in 0..200u64 {
+        client.put_numeric(i, b"value").expect("put");
+    }
+    for i in 0..100u64 {
+        client.get_numeric(i).expect("get");
+    }
+    client
+        .delete(&nova_common::keyspace::encode_key(5))
+        .expect("delete");
+    let scanned = client
+        .scan(&nova_common::keyspace::encode_key(0), 20)
+        .expect("scan");
+    assert!(scanned.len() >= 19, "scan sees the loaded keys minus the delete");
+    client.multi_get_numeric(&[1, 2, 3]).expect("multi_get");
+    client
+        .put_batch(&[(nova_common::keyspace::encode_key(1), b"v2".to_vec())])
+        .expect("put_batch");
+
+    let metrics = cluster.metrics();
+    assert_eq!(metrics.op_snapshot(OpKind::Put).count(), 200);
+    assert_eq!(metrics.op_snapshot(OpKind::Get).count(), 100);
+    assert_eq!(metrics.op_snapshot(OpKind::Delete).count(), 1);
+    assert!(metrics.op_snapshot(OpKind::Scan).count() >= 1);
+    assert_eq!(metrics.op_snapshot(OpKind::MultiGet).count(), 1);
+    assert_eq!(metrics.op_snapshot(OpKind::PutBatch).count(), 1);
+
+    // Every op passed through the LTC layer; the percentile chain is sane.
+    let ltc = metrics.layer_snapshot(Layer::Ltc);
+    assert!(ltc.count() >= 303);
+    let puts = metrics.op_snapshot(OpKind::Put);
+    assert!(puts.p50() <= puts.p99() && puts.p99() <= puts.max());
+    assert!(puts.min() <= puts.p50());
+
+    // The merged view counts every op exactly once.
+    assert_eq!(metrics.all_ops_snapshot().count(), 200 + 100 + 1 + 1 + 1 + 1);
+    cluster.shutdown();
+}
+
+#[test]
+fn health_report_aggregates_every_component() {
+    let (cluster, client) = start(true);
+    for i in 0..500u64 {
+        client.put_numeric(i, &[b'x'; 128]).expect("put");
+    }
+    for i in 0..200u64 {
+        client.get_numeric(i % 500).expect("get");
+    }
+    cluster.flush_all().expect("flush");
+    cluster.heartbeat_all();
+
+    let health = cluster.health_report();
+    assert_eq!(health.ltcs.len(), 1);
+    assert_eq!(health.stocs.len(), 2);
+    assert_eq!(health.draining_stocs(), 0);
+    assert!(health.total_ops() >= 700);
+    assert!(health.ltcs[0].lease_valid);
+    assert!(health
+        .stocs
+        .iter()
+        .all(|s| s.alive && s.placeable && s.lease_valid));
+    // The flush moved bytes to at least one StoC.
+    assert!(health
+        .stocs
+        .iter()
+        .any(|s| s.bytes_written > 0 && s.num_files > 0));
+    // Op percentile rows exist for the kinds that ran.
+    let ops: Vec<&str> = health.op_latencies.iter().map(|o| o.op.as_str()).collect();
+    assert!(ops.contains(&"put") && ops.contains(&"get"));
+    // Group commit cut at least one group (logging is on in the preset)
+    // unless the preset disables logging — then the histogram is empty.
+    let summary = health.summary();
+    assert!(summary.contains("cluster health @ epoch"));
+    assert!(summary.contains("op put"));
+    let json = health.to_json();
+    assert!(json.contains("\"num_ltcs\":1"));
+    assert!(json.contains("\"ops\":["));
+
+    // The registry snapshot publishes the per-component gauges.
+    let snapshot = cluster.metrics_snapshot();
+    assert!(snapshot.gauges.contains_key("ltc.0.ops"));
+    assert!(snapshot.gauges.contains_key("stoc.0.num_files"));
+    assert!(snapshot.histograms.contains_key("op.put.micros"));
+    assert!(snapshot.to_json().contains("\"gauges\""));
+    cluster.shutdown();
+}
+
+#[test]
+fn draining_and_failed_stocs_show_in_the_health_report() {
+    let (cluster, client) = start(true);
+    for i in 0..100u64 {
+        client.put_numeric(i, b"value").expect("put");
+    }
+    cluster.flush_all().expect("flush");
+
+    // Drain StoC 1: removed from placement, still serving its blocks.
+    cluster.remove_stoc(nova_common::StocId(1)).expect("remove stoc");
+    let health = cluster.health_report();
+    assert_eq!(health.placeable_stocs(), 1);
+    assert_eq!(health.draining_stocs(), 1);
+    let drained = health
+        .stocs
+        .iter()
+        .find(|s| s.id == nova_common::StocId(1))
+        .expect("draining StoC still reported");
+    assert!(!drained.placeable && drained.alive);
+
+    // Fail StoC 0's node: the report shows it down.
+    let node = cluster.stoc_node(nova_common::StocId(0)).expect("node");
+    cluster.fabric().fail_node(node);
+    let health = cluster.health_report();
+    let failed = health
+        .stocs
+        .iter()
+        .find(|s| s.id == nova_common::StocId(0))
+        .expect("failed StoC still reported");
+    assert!(!failed.alive);
+    cluster.fabric().recover_node(node);
+    cluster.shutdown();
+}
+
+#[test]
+fn slow_operations_are_captured_with_layer_breakdown() {
+    let mut config = presets::test_cluster(1, 1, 1_000);
+    // Threshold 0: every operation is "slow", so the ring must fill.
+    config.metrics.slow_op_threshold_micros = 0;
+    config.metrics.slow_op_capacity = 8;
+    let cluster = NovaCluster::start(config).expect("start cluster");
+    let client = NovaClient::new(cluster.clone());
+    for i in 0..20u64 {
+        client.put_numeric(i, b"value").expect("put");
+    }
+    let metrics = cluster.metrics();
+    assert_eq!(metrics.slow_op_count(), 20);
+    let recent = metrics.slow_ops();
+    assert_eq!(recent.len(), 8, "ring keeps the most recent capacity entries");
+    assert!(recent.iter().all(|op| op.kind == OpKind::Put));
+    // Put time is attributed to the LTC layer (inclusive nesting).
+    assert!(recent
+        .iter()
+        .any(|op| op.layer_micros[Layer::Ltc.index()] <= op.total_micros));
+    assert!(recent[0].summary().contains("put"));
+    cluster.shutdown();
+}
+
+#[test]
+fn disabled_metrics_record_nothing_and_health_still_works() {
+    let (cluster, client) = start(false);
+    for i in 0..50u64 {
+        client.put_numeric(i, b"value").expect("put");
+    }
+    client.get_numeric(7).expect("get");
+    let metrics = cluster.metrics();
+    assert!(!metrics.is_enabled());
+    assert_eq!(metrics.all_ops_snapshot().count(), 0);
+    assert_eq!(metrics.slow_op_count(), 0);
+
+    // The health report still aggregates component stats — only the
+    // latency percentiles are absent.
+    let health = cluster.health_report();
+    assert!(health.total_ops() >= 51);
+    assert!(health.op_latencies.is_empty());
+    assert!(health.summary().contains("cluster health @ epoch"));
+    cluster.shutdown();
+}
