@@ -2,8 +2,8 @@
 //!
 //! Parses the `BENCH_*.json` files the quick-mode experiment binaries write
 //! (`fig22_scatter_gather`, `tab06_migration`, `fig23_group_commit`,
-//! `fig24_multi_get`, `fig27_obs_overhead`), fails the build if any perf
-//! floor is violated, and
+//! `fig24_multi_get`, `fig27_obs_overhead`, `tab07_selfheal`), fails the
+//! build if any perf floor is violated, and
 //! merges the reports into one `BENCH_trajectory.json` artifact so the perf
 //! trajectory of every PR is archived in one place.
 //!
@@ -21,7 +21,11 @@
 //!   fanning out runs at ≈1x and trips this;
 //! * observability overhead (`fig27_obs_overhead`): the fully instrumented
 //!   hot path must stay within **5%** of the same workload with
-//!   `MetricsConfig::disabled()`.
+//!   `MetricsConfig::disabled()`;
+//! * self-healing (`tab07_selfheal`): both chaos scenarios (LTC kill, StoC
+//!   kill under YCSB load) must lose **zero** acknowledged writes and the
+//!   supervisor must restore full health within **15s** — a broken detector,
+//!   failover, or re-replication path fails the build, not the pager.
 //!
 //! The floors are deliberately looser than the headline numbers (≈5x, ≈7x)
 //! so CI noise cannot flake the gate, while a real regression — a serialized
@@ -31,6 +35,7 @@
 use std::process::ExitCode;
 
 const SCATTER_FLOOR: f64 = 2.0;
+const RECOVERY_CEILING_MS: f64 = 15_000.0;
 const GROUP_COMMIT_FLOOR: f64 = 2.0;
 const GROUPING_ISOLATION_FLOOR: f64 = 1.5;
 const MULTI_GET_FLOOR: f64 = 2.0;
@@ -225,6 +230,44 @@ fn check_obs(json: &str) -> Result<String, String> {
     }
 }
 
+/// The self-healing floors: every chaos scenario (LTC kill and StoC kill)
+/// must lose **zero** acknowledged writes, and the supervisor must restore
+/// full health within the recovery ceiling. A negative `time_to_recover_ms`
+/// is the bench reporting that healing never completed — it trips the gate.
+fn check_selfheal(json: &str) -> Result<String, String> {
+    let all = rows(json);
+    for scenario in ["ltc_kill", "stoc_kill"] {
+        let Some(row) = all
+            .iter()
+            .find(|r| has(r, "scenario", &format!("\"{scenario}\"")))
+        else {
+            return Err(format!(
+                "selfheal: no {scenario} row found in BENCH_selfheal.json"
+            ));
+        };
+        let lost = number(row, "lost_acked_writes").unwrap_or(f64::NAN);
+        if !(lost == 0.0) {
+            return Err(format!(
+                "selfheal: {scenario} lost {lost} acknowledged writes — the replicated-log / \
+                 failover durability contract has regressed"
+            ));
+        }
+        let recover = number(row, "time_to_recover_ms").unwrap_or(f64::NAN);
+        if !(0.0..=RECOVERY_CEILING_MS).contains(&recover) {
+            return Err(format!(
+                "selfheal: {scenario} time_to_recover_ms={recover} is outside \
+                 [0, {RECOVERY_CEILING_MS}] — the supervisor no longer heals the cluster \
+                 promptly (negative means healing never completed)"
+            ));
+        }
+    }
+    Ok(format!(
+        "selfheal: 0 lost acked writes, recovery within {RECOVERY_CEILING_MS}ms across \
+         {} scenario(s)",
+        all.len()
+    ))
+}
+
 fn main() -> ExitCode {
     // (section, report file, producing command, floor check) — the command
     // is printed verbatim when the file is missing, so a failed gate tells
@@ -259,6 +302,12 @@ fn main() -> ExitCode {
             "BENCH_obs.json",
             "cargo run --release -p nova-bench --bin fig27_obs_overhead -- --quick",
             check_obs,
+        ),
+        (
+            "selfheal",
+            "BENCH_selfheal.json",
+            "cargo run --release -p nova-bench --bin tab07_selfheal -- --quick",
+            check_selfheal,
         ),
     ];
     let mut merged: Vec<String> = Vec::new();
@@ -326,6 +375,31 @@ mod tests {
         {"bench":"multi_get","parallelism":4,"reads":512,"batch":64,"seq_ms":285.0,"multi_ms":80.0,"speedup":3.560},
         {"bench":"multi_get","parallelism":8,"reads":512,"batch":64,"seq_ms":286.0,"multi_ms":52.0,"speedup":5.500},
         {"bench":"scan_cursor","readahead":"auto","entries":4000,"ms":140.0,"kentries_per_sec":28.5}]}"#;
+
+    const SELFHEAL: &str = r#"{"experiment":"tab07_selfheal","quick":true,"rows":[
+        {"scenario":"ltc_kill","before_kops":8.0,"during_kops":5.0,"after_kops":7.0,"time_to_detect_ms":110.0,"time_to_recover_ms":340.0,"lost_acked_writes":0,"acked_keys_audited":128,"client_errors_during":13,"failovers":1,"stoc_drains":0},
+        {"scenario":"stoc_kill","before_kops":8.0,"during_kops":6.0,"after_kops":7.0,"time_to_detect_ms":90.0,"time_to_recover_ms":750.0,"lost_acked_writes":0,"acked_keys_audited":128,"client_errors_during":40,"failovers":0,"stoc_drains":1}]}"#;
+
+    #[test]
+    fn selfheal_floors_hold_and_trip() {
+        assert!(check_selfheal(SELFHEAL).is_ok());
+        // A single lost acknowledged write trips the gate.
+        let lossy = SELFHEAL.replacen("\"lost_acked_writes\":0", "\"lost_acked_writes\":1", 1);
+        assert!(check_selfheal(&lossy).is_err());
+        // Recovery past the ceiling trips it.
+        let slow = SELFHEAL.replace("\"time_to_recover_ms\":750.0", "\"time_to_recover_ms\":16000.0");
+        assert!(check_selfheal(&slow).is_err());
+        // The bench reports -1 when healing never completed — that trips too.
+        let stuck = SELFHEAL.replace("\"time_to_recover_ms\":340.0", "\"time_to_recover_ms\":-1.000");
+        assert!(check_selfheal(&stuck).is_err());
+        // Both scenarios are mandatory; a missing one fails loudly.
+        let only_ltc = SELFHEAL.replace("\"scenario\":\"stoc_kill\"", "\"scenario\":\"other\"");
+        assert!(check_selfheal(&only_ltc).is_err());
+        assert!(check_selfheal("{\"rows\":[]}").is_err());
+        // A row lacking the lost-writes field fails loudly instead of passing.
+        let missing = SELFHEAL.replacen("\"lost_acked_writes\":0", "\"x\":0", 1);
+        assert!(check_selfheal(&missing).is_err());
+    }
 
     #[test]
     fn multi_get_floor_holds_and_trips() {

@@ -1,0 +1,273 @@
+//! Self-healing under fire (Section 10's failure model, closed loop): kill a
+//! node in the middle of a YCSB run and report how long the failure detector
+//! takes to confirm it (time-to-detect), how long the supervisor takes to
+//! restore full health (time-to-recover), the throughput dip, and — the
+//! headline number — that **zero acknowledged writes are lost**.
+//!
+//! Two scenarios, each against a fresh replicated cluster with the
+//! supervisor enabled:
+//!
+//! * `ltc_kill` — an LTC's node dies; the detector confirms it and the
+//!   supervisor replays the replicated log records into a surviving LTC
+//!   (`fail_and_recover_ltc`), with no operator call.
+//! * `stoc_kill` — a StoC's node dies; the supervisor drains it from
+//!   placement and re-replicates the missing fragments/meta blocks onto the
+//!   surviving StoCs until the replication debt reaches zero.
+//!
+//! Alongside the YCSB driver, two dedicated writer threads hammer a reserved
+//! key tail recording every *acknowledged* put; after recovery each acked
+//! key must read back at least its last acked sequence number. Results are
+//! written to `BENCH_selfheal.json`; `ci_gate` enforces zero lost acked
+//! writes and a bounded time-to-recover.
+
+use nova_bench::{nova_store, print_header, print_row, run_workload, BenchScale};
+use nova_common::config::{AvailabilityPolicy, LogPolicy};
+use nova_common::keyspace::encode_key;
+use nova_lsm::{presets, NovaClient, NovaCluster};
+use nova_ycsb::{Distribution, Mix};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// Keys at the top of the keyspace reserved for the acked-writes audit; the
+/// YCSB driver runs against a workload capped below them so driver writes
+/// can never clobber an audited value.
+const AUDIT_KEYS: u64 = 128;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Scenario {
+    LtcKill,
+    StocKill,
+}
+
+impl Scenario {
+    fn label(self) -> &'static str {
+        match self {
+            Scenario::LtcKill => "ltc_kill",
+            Scenario::StocKill => "stoc_kill",
+        }
+    }
+}
+
+/// Poll `done` every 5ms until it returns true or the deadline passes.
+fn wait_until(timeout: Duration, mut done: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if done() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    done()
+}
+
+/// Overwrite `keys` round-robin with monotonically increasing sequence
+/// numbers until `stop`, recording the last *acknowledged* sequence per key.
+/// Errors are tolerated — an errored put was never acked to the caller.
+fn acked_writer(client: &NovaClient, keys: std::ops::Range<u64>, stop: &AtomicBool) -> HashMap<u64, u64> {
+    let mut acked = HashMap::new();
+    let mut seq = 0u64;
+    while !stop.load(Ordering::Relaxed) {
+        for key in keys.clone() {
+            if stop.load(Ordering::Relaxed) {
+                break;
+            }
+            seq += 1;
+            let value = format!("{seq:020}");
+            if client.put(&encode_key(key), value.as_bytes()).is_ok() {
+                acked.insert(key, seq);
+            }
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    acked
+}
+
+/// Count audited keys whose read-back sequence is below the last acked one —
+/// every such key is a lost acknowledged write.
+fn lost_acked_writes(client: &NovaClient, acked: &HashMap<u64, u64>) -> u64 {
+    let mut lost = 0;
+    for (&key, &seq) in acked {
+        let read_seq = client
+            .get(&encode_key(key))
+            .ok()
+            .flatten()
+            .and_then(|v| {
+                let s = std::str::from_utf8(&v).ok()?;
+                let trimmed = s.trim_start_matches('0');
+                if trimmed.is_empty() {
+                    Some(0)
+                } else {
+                    trimmed.parse().ok()
+                }
+            })
+            .unwrap_or(0);
+        if read_seq < seq {
+            lost += 1;
+        }
+    }
+    lost
+}
+
+fn run_scenario(scenario: Scenario, scale: &BenchScale) -> String {
+    let mut config = presets::shared_disk(2, 4, 2, scale.num_keys);
+    config.range.scatter_width = 2;
+    config.range.availability = AvailabilityPolicy::Replicate(2);
+    config.range.log_policy = LogPolicy::InMemoryReplicated { replicas: 3 };
+    config.supervisor.enabled = true;
+    config.supervisor.heartbeat_millis = 5;
+    let store = nova_store(config, scale);
+    let cluster: &std::sync::Arc<NovaCluster> = store.nova().expect("nova store");
+    let client = store.nova_client().expect("nova client");
+
+    // The driver's workload stays below the audited key tail.
+    let driver_scale = BenchScale {
+        num_keys: scale.num_keys - AUDIT_KEYS,
+        ..*scale
+    };
+    let mix = Mix::W100;
+    let before = run_workload(&store, mix, Distribution::Uniform, &driver_scale);
+
+    let victim_node = match scenario {
+        Scenario::LtcKill => cluster.ltc_node(cluster.ltc_ids()[0]).unwrap(),
+        Scenario::StocKill => cluster.stoc_node(*cluster.stoc_ids().last().unwrap()).unwrap(),
+    };
+    let victim_stoc = cluster.stoc_ids().last().copied();
+    let base = cluster.selfheal_stats();
+
+    let stop = AtomicBool::new(false);
+    let audit_base = scale.num_keys - AUDIT_KEYS;
+    let stop = &stop;
+    let (during, acked, healed, recover_wall_ms) = std::thread::scope(|scope| {
+        let driver = scope.spawn(|| run_workload(&store, mix, Distribution::Uniform, &driver_scale));
+        let mid = audit_base + AUDIT_KEYS / 2;
+        let w1 = scope.spawn(move || acked_writer(client, audit_base..mid, stop));
+        let w2 = scope.spawn(move || acked_writer(client, mid..scale.num_keys, stop));
+
+        // Let the run reach steady state, then pull the plug.
+        std::thread::sleep(Duration::from_millis(driver_scale.run_secs * 1000 / 4));
+        let kill = Instant::now();
+        cluster.fabric().fail_node(victim_node);
+        let healed = wait_until(Duration::from_secs(15), || {
+            let stats = cluster.selfheal_stats();
+            match scenario {
+                Scenario::LtcKill => stats.failovers > base.failovers && stats.pending_failovers == 0,
+                Scenario::StocKill => {
+                    stats.stoc_drains > base.stoc_drains && cluster.replication_debt().is_zero()
+                }
+            }
+        });
+        let recover_wall_ms = kill.elapsed().as_secs_f64() * 1e3;
+
+        let during = driver.join().expect("driver thread panicked");
+        stop.store(true, Ordering::Relaxed);
+        let mut acked = w1.join().expect("writer thread panicked");
+        acked.extend(w2.join().expect("writer thread panicked"));
+        (during, acked, healed, recover_wall_ms)
+    });
+
+    // Restore the fleet before the recovered-state measurement: a
+    // replacement LTC joins, or the repaired StoC's node comes back and the
+    // supervisor rejoins it.
+    match scenario {
+        Scenario::LtcKill => {
+            cluster.add_ltc().expect("replacement LTC joins");
+        }
+        Scenario::StocKill => {
+            cluster.fabric().recover_node(victim_node);
+            wait_until(Duration::from_secs(15), || {
+                victim_stoc.is_some_and(|s| cluster.stoc_ids().contains(&s))
+            });
+        }
+    }
+    let after = run_workload(&store, mix, Distribution::Uniform, &driver_scale);
+
+    let lost = lost_acked_writes(client, &acked);
+    let stats = cluster.selfheal_stats();
+    let gauges = cluster.metrics_snapshot().gauges;
+    let detect_ms = gauges
+        .get("selfheal.last_time_to_detect_micros")
+        .map_or(-1.0, |&v| v as f64 / 1e3);
+    let recover_ms = if !healed {
+        -1.0
+    } else {
+        match scenario {
+            Scenario::LtcKill => gauges
+                .get("selfheal.last_time_to_recover_micros")
+                .map_or(recover_wall_ms, |&v| v as f64 / 1e3),
+            Scenario::StocKill => recover_wall_ms,
+        }
+    };
+    store.shutdown();
+
+    print_row(&[
+        scenario.label().to_string(),
+        format!("{:.1}", before.throughput_kops()),
+        format!("{:.1}", during.throughput_kops()),
+        format!("{:.1}", after.throughput_kops()),
+        format!("{detect_ms:.1}"),
+        format!("{recover_ms:.1}"),
+        lost.to_string(),
+        acked.len().to_string(),
+        during.errors.to_string(),
+        format!("{}+{}", stats.repaired_fragments, stats.repaired_meta_blocks),
+    ]);
+    if lost > 0 {
+        eprintln!(
+            "WARNING: {lost} acknowledged writes lost in {} — the replicated-log/failover \
+             contract has regressed",
+            scenario.label()
+        );
+    }
+    format!(
+        "{{\"scenario\":\"{}\",\"before_kops\":{:.3},\"during_kops\":{:.3},\"after_kops\":{:.3},\
+         \"time_to_detect_ms\":{detect_ms:.3},\"time_to_recover_ms\":{recover_ms:.3},\
+         \"lost_acked_writes\":{lost},\"acked_keys_audited\":{},\"client_errors_during\":{},\
+         \"failovers\":{},\"stoc_drains\":{},\"repaired_fragments\":{},\
+         \"repaired_meta_blocks\":{},\"repaired_bytes\":{},\"deferred_repairs\":{}}}",
+        scenario.label(),
+        before.throughput_kops(),
+        during.throughput_kops(),
+        after.throughput_kops(),
+        acked.len(),
+        during.errors,
+        stats.failovers,
+        stats.stoc_drains,
+        stats.repaired_fragments,
+        stats.repaired_meta_blocks,
+        stats.repaired_bytes,
+        stats.deferred_repairs,
+    )
+}
+
+fn main() {
+    let scale = BenchScale::from_args();
+    let quick = std::env::args().any(|a| a == "--quick");
+    print_header(
+        "Table 7b: self-healing under node kills (η=2, β=4, supervisor on)",
+        &[
+            "scenario",
+            "before kops",
+            "during kops",
+            "after kops",
+            "detect ms",
+            "recover ms",
+            "lost acked",
+            "keys audited",
+            "client errors",
+            "repaired frag+meta",
+        ],
+    );
+    let rows: Vec<String> = [Scenario::LtcKill, Scenario::StocKill]
+        .into_iter()
+        .map(|s| run_scenario(s, &scale))
+        .collect();
+    let json = format!(
+        "{{\"experiment\":\"tab07_selfheal\",\"quick\":{quick},\"rows\":[{}]}}\n",
+        rows.join(",")
+    );
+    match std::fs::write("BENCH_selfheal.json", &json) {
+        Ok(()) => println!("wrote BENCH_selfheal.json"),
+        Err(e) => eprintln!("could not write BENCH_selfheal.json: {e}"),
+    }
+}

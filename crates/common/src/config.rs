@@ -434,6 +434,74 @@ impl MetricsConfig {
     }
 }
 
+/// Configuration of the self-healing supervisor: the failure detector's
+/// heartbeat cadence and suspicion thresholds, plus the I/O budget that
+/// throttles background re-replication so healing never starves foreground
+/// traffic.
+///
+/// The supervisor is a background thread owned by the cluster. When
+/// `enabled`, it pings every component node on the heartbeat cadence,
+/// renews leases for the nodes that answer, feeds probe failures and lease
+/// expiries into an adaptive-window failure detector, auto-triggers LTC
+/// failover on confirmed failures, and repairs replication debt (SSTable
+/// fragment / metadata replicas below target) onto placeable StoCs. When
+/// disabled (the default — most tests and experiments inject failures and
+/// recover them manually), `NovaCluster::self_heal_tick` still performs one
+/// supervision round on demand.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SupervisorConfig {
+    /// Spawn the background supervisor thread at cluster start.
+    pub enabled: bool,
+    /// Cadence of the supervision loop in milliseconds: each tick pings
+    /// every component node, renews leases and evaluates suspicion.
+    pub heartbeat_millis: u64,
+    /// Suspicion level (phi) at which a node becomes *suspect*: the ratio of
+    /// the time since its last successful heartbeat to its adaptive
+    /// expected-interval window (mean + 2σ of observed inter-arrivals).
+    pub phi_threshold: f64,
+    /// Consecutive strikes — failed probes, expired leases, or suspect
+    /// evaluations — before a suspect node is *confirmed* failed and
+    /// recovery triggers. Guards against flapping on slow-but-alive nodes.
+    pub confirm_ticks: u32,
+    /// Floor of the adaptive expected-interval window in milliseconds, so a
+    /// burst of quick heartbeats cannot shrink the window into hair-trigger
+    /// territory.
+    pub min_window_millis: u64,
+    /// Token-bucket budget for background re-replication, in bytes per
+    /// second. Repair copies that would exceed the budget are deferred to a
+    /// later tick. `0` disables the throttle (unbounded repair bandwidth).
+    pub rereplication_bytes_per_sec: u64,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            enabled: false,
+            heartbeat_millis: 100,
+            phi_threshold: 4.0,
+            confirm_ticks: 3,
+            min_window_millis: 50,
+            rereplication_bytes_per_sec: 32 * 1000 * 1000,
+        }
+    }
+}
+
+impl SupervisorConfig {
+    /// Validate invariants between knobs.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.heartbeat_millis == 0 {
+            return Err("supervisor heartbeat_millis must be at least 1".into());
+        }
+        if self.phi_threshold <= 0.0 {
+            return Err("supervisor phi_threshold must be positive".into());
+        }
+        if self.confirm_ticks == 0 {
+            return Err("supervisor confirm_ticks must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
 /// Cluster-wide deployment configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClusterConfig {
@@ -487,6 +555,9 @@ pub struct ClusterConfig {
     pub num_keys: u64,
     /// Observability: latency histograms and the slow-op ring.
     pub metrics: MetricsConfig,
+    /// Self-healing: failure detector cadence/thresholds and the background
+    /// re-replication budget.
+    pub supervisor: SupervisorConfig,
 }
 
 impl Default for ClusterConfig {
@@ -508,6 +579,7 @@ impl Default for ClusterConfig {
             client_retries: 64,
             num_keys: 100_000,
             metrics: MetricsConfig::default(),
+            supervisor: SupervisorConfig::default(),
         }
     }
 }
@@ -551,6 +623,7 @@ impl ClusterConfig {
             return Err("client_retries must be at least 1".into());
         }
         self.block_cache.validate()?;
+        self.supervisor.validate()?;
         self.range.validate()
     }
 }
@@ -647,6 +720,36 @@ mod tests {
         let mut cluster = ClusterConfig::default();
         cluster.block_cache.shards = 0;
         assert!(cluster.validate().is_err());
+    }
+
+    #[test]
+    fn supervisor_config_validation() {
+        assert!(SupervisorConfig::default().validate().is_ok());
+        let c = SupervisorConfig {
+            heartbeat_millis: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = SupervisorConfig {
+            phi_threshold: 0.0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = SupervisorConfig {
+            confirm_ticks: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        // Cluster validation covers the supervisor knobs.
+        let mut cluster = ClusterConfig::default();
+        cluster.supervisor.confirm_ticks = 0;
+        assert!(cluster.validate().is_err());
+        // A zero budget is valid: it means "unthrottled", not "no repair".
+        let c = SupervisorConfig {
+            rereplication_bytes_per_sec: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_ok());
     }
 
     #[test]

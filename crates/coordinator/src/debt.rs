@@ -1,0 +1,318 @@
+//! Replication-debt accounting and repair placement.
+//!
+//! A StoC failure or drain leaves SSTable fragment replicas, metadata-block
+//! replicas and in-memory log replicas below their configured targets
+//! (Section 4.4.1's availability policies define the targets). This module is
+//! the pure arithmetic of that gap: given one table's metadata and a view of
+//! the StoC fleet, [`table_debt`] reports which pieces are missing copies and
+//! whether a readable source survives; [`choose_repair_targets`] picks where
+//! the replacement copies go. The supervisor in `nova-lsm` walks every
+//! range's version with these and performs the copies under its I/O budget.
+
+use nova_common::StocId;
+use nova_sstable::SstableMeta;
+use std::collections::HashSet;
+
+/// The supervisor's view of the StoC fleet at scan time.
+///
+/// The two sets encode the draining-vs-dead distinction:
+///
+/// * a **draining** StoC (removed from placement, node alive) is `readable`
+///   but not `healthy` — its replicas still serve reads and can source
+///   repair copies, but they no longer count toward the availability target,
+///   so draining creates debt that re-replication migrates onto placeable
+///   StoCs;
+/// * a **dead** StoC (node failed) is neither — its replicas are lost until
+///   the node recovers, and repairs must read from a surviving replica or
+///   reconstruct from parity.
+#[derive(Debug, Clone, Default)]
+pub struct StocView {
+    /// StoCs whose blocks are currently readable: registered with a live
+    /// node, whether or not they accept new placements.
+    pub readable: HashSet<StocId>,
+    /// StoCs counting toward replication targets and eligible as repair
+    /// destinations: readable *and* placeable.
+    pub healthy: HashSet<StocId>,
+}
+
+impl StocView {
+    /// Replicas of the given handles that live on healthy StoCs.
+    fn healthy_copies(&self, stocs: impl Iterator<Item = StocId>) -> usize {
+        stocs.filter(|s| self.healthy.contains(s)).count()
+    }
+}
+
+/// One under-replicated data fragment of a table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FragmentDebt {
+    /// Index of the fragment within the table.
+    pub index: usize,
+    /// Copies missing to reach the availability target.
+    pub missing: u32,
+    /// Size of one copy in bytes.
+    pub bytes: u64,
+    /// Whether any replica is still readable (parity reconstruction aside).
+    pub has_readable_source: bool,
+}
+
+/// The replication debt of a single table.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TableDebt {
+    /// Under-replicated data fragments.
+    pub fragments: Vec<FragmentDebt>,
+    /// Metadata-block copies missing to reach the metadata target.
+    pub meta_missing: u32,
+    /// Whether any metadata replica is still readable.
+    pub meta_has_readable_source: bool,
+    /// Size of one metadata-block copy in bytes.
+    pub meta_bytes: u64,
+}
+
+impl TableDebt {
+    /// True when the table is fully replicated on healthy StoCs.
+    pub fn is_zero(&self) -> bool {
+        self.fragments.is_empty() && self.meta_missing == 0
+    }
+
+    /// Total missing replica count (fragments + metadata blocks).
+    pub fn missing_replicas(&self) -> u64 {
+        self.fragments.iter().map(|f| f.missing as u64).sum::<u64>() + self.meta_missing as u64
+    }
+
+    /// Total bytes of missing copies.
+    pub fn missing_bytes(&self) -> u64 {
+        self.fragments
+            .iter()
+            .map(|f| f.missing as u64 * f.bytes)
+            .sum::<u64>()
+            + self.meta_missing as u64 * self.meta_bytes
+    }
+}
+
+/// Cluster-wide replication-debt counters, aggregated across every table of
+/// every range (plus the short-lived in-memory log replicas). Surfaced in
+/// `ClusterHealth` and as `selfheal.debt.*` gauges.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DebtSummary {
+    /// Tables with any missing replica.
+    pub under_replicated_tables: u64,
+    /// Missing data-fragment replicas.
+    pub missing_fragment_replicas: u64,
+    /// Missing metadata-block replicas.
+    pub missing_meta_replicas: u64,
+    /// In-memory log replicas living on unhealthy StoCs (these heal through
+    /// memtable rotation, not copying — log files die at flush).
+    pub missing_log_replicas: u64,
+    /// Total bytes of missing fragment + metadata copies.
+    pub missing_bytes: u64,
+    /// Pieces whose every replica is unreadable (no repair source; waiting
+    /// on node recovery or parity reconstruction).
+    pub unreadable_pieces: u64,
+    /// Ranges whose durable MANIFEST is behind their in-memory version
+    /// because a persist failed (pinned home down). These heal by re-saving
+    /// the MANIFEST, not by copying blocks.
+    pub dirty_manifests: u64,
+}
+
+impl DebtSummary {
+    /// True when nothing is under-replicated.
+    pub fn is_zero(&self) -> bool {
+        *self == DebtSummary::default()
+    }
+
+    /// Fold one table's debt into the summary.
+    pub fn absorb(&mut self, debt: &TableDebt) {
+        if debt.is_zero() {
+            return;
+        }
+        self.under_replicated_tables += 1;
+        for f in &debt.fragments {
+            self.missing_fragment_replicas += f.missing as u64;
+            if !f.has_readable_source {
+                self.unreadable_pieces += 1;
+            }
+        }
+        self.missing_meta_replicas += debt.meta_missing as u64;
+        if debt.meta_missing > 0 && !debt.meta_has_readable_source {
+            self.unreadable_pieces += 1;
+        }
+        self.missing_bytes += debt.missing_bytes();
+    }
+}
+
+/// Compute one table's replication debt against the availability targets:
+/// `data_target` copies of every data fragment and `meta_target` copies of
+/// the metadata block, all on healthy StoCs. Replicas on draining or dead
+/// StoCs do not count toward the targets (see [`StocView`]); the target is
+/// also capped at the healthy fleet size, since distinct-StoC placement can
+/// never exceed it.
+pub fn table_debt(meta: &SstableMeta, view: &StocView, data_target: u32, meta_target: u32) -> TableDebt {
+    let cap = view.healthy.len() as u32;
+    let data_target = data_target.min(cap);
+    let meta_target = meta_target.min(cap);
+    let mut debt = TableDebt {
+        meta_bytes: meta.meta_blocks.first().map(|h| h.size as u64).unwrap_or(0),
+        ..TableDebt::default()
+    };
+    for (index, fragment) in meta.fragments.iter().enumerate() {
+        let healthy = view.healthy_copies(fragment.replicas.iter().map(|h| h.stoc)) as u32;
+        if healthy < data_target {
+            debt.fragments.push(FragmentDebt {
+                index,
+                missing: data_target - healthy,
+                bytes: fragment.size,
+                has_readable_source: fragment.replicas.iter().any(|h| view.readable.contains(&h.stoc)),
+            });
+        }
+    }
+    let meta_healthy = view.healthy_copies(meta.meta_blocks.iter().map(|h| h.stoc)) as u32;
+    if meta_healthy < meta_target {
+        debt.meta_missing = meta_target - meta_healthy;
+        debt.meta_has_readable_source = meta.meta_blocks.iter().any(|h| view.readable.contains(&h.stoc));
+    }
+    debt
+}
+
+/// Choose up to `n` repair destinations from the healthy StoCs, excluding
+/// those already holding a copy of the piece. Deterministic given `seed`
+/// (callers pass something that varies per piece, e.g. the file number), and
+/// rotated by it so repair load spreads across the fleet instead of piling
+/// onto the lowest id.
+pub fn choose_repair_targets(view: &StocView, holding: &[StocId], n: usize, seed: u64) -> Vec<StocId> {
+    let mut candidates: Vec<StocId> = view
+        .healthy
+        .iter()
+        .copied()
+        .filter(|s| !holding.contains(s))
+        .collect();
+    candidates.sort();
+    if candidates.is_empty() {
+        return Vec::new();
+    }
+    let start = (seed % candidates.len() as u64) as usize;
+    candidates.rotate_left(start);
+    candidates.truncate(n);
+    candidates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nova_common::{StocBlockHandle, StocFileId};
+    use nova_sstable::FragmentLocation;
+
+    fn handle(stoc: u32) -> StocBlockHandle {
+        StocBlockHandle {
+            stoc: StocId(stoc),
+            file: StocFileId::new(StocId(stoc), 1),
+            offset: 0,
+            size: 4096,
+        }
+    }
+
+    fn table(fragment_stocs: &[&[u32]], meta_stocs: &[u32]) -> SstableMeta {
+        SstableMeta {
+            file_number: 7,
+            fragments: fragment_stocs
+                .iter()
+                .map(|stocs| FragmentLocation {
+                    size: 1024,
+                    replicas: stocs.iter().map(|&s| handle(s)).collect(),
+                })
+                .collect(),
+            meta_blocks: meta_stocs.iter().map(|&s| handle(s)).collect(),
+            ..SstableMeta::default()
+        }
+    }
+
+    fn view(readable: &[u32], healthy: &[u32]) -> StocView {
+        StocView {
+            readable: readable.iter().map(|&s| StocId(s)).collect(),
+            healthy: healthy.iter().map(|&s| StocId(s)).collect(),
+        }
+    }
+
+    #[test]
+    fn fully_replicated_table_has_no_debt() {
+        let meta = table(&[&[0, 1], &[1, 2]], &[0, 2]);
+        let v = view(&[0, 1, 2], &[0, 1, 2]);
+        assert!(table_debt(&meta, &v, 2, 2).is_zero());
+    }
+
+    #[test]
+    fn dead_stoc_creates_debt_without_a_source_when_it_held_the_only_copy() {
+        let meta = table(&[&[0], &[1]], &[0]);
+        // StoC 1 is dead: fragment 1 lost its only copy.
+        let v = view(&[0, 2], &[0, 2]);
+        let debt = table_debt(&meta, &v, 2, 1);
+        let lost = debt.fragments.iter().find(|f| f.index == 1).unwrap();
+        assert!(!lost.has_readable_source);
+        // Fragment 0 is merely under-replicated, with a live source.
+        let under = debt.fragments.iter().find(|f| f.index == 0).unwrap();
+        assert_eq!(under.missing, 1);
+        assert!(under.has_readable_source);
+    }
+
+    #[test]
+    fn draining_stoc_creates_debt_but_remains_a_readable_source() {
+        let meta = table(&[&[0, 1]], &[0]);
+        // StoC 1 is draining: readable, not healthy.
+        let v = view(&[0, 1, 2], &[0, 2]);
+        let debt = table_debt(&meta, &v, 2, 1);
+        assert_eq!(debt.fragments.len(), 1);
+        assert_eq!(debt.fragments[0].missing, 1);
+        assert!(debt.fragments[0].has_readable_source);
+        assert_eq!(debt.meta_missing, 0);
+        // Dead instead of draining: same missing count, but the distinction
+        // shows in sourcing — here only StoC 0's copy remains readable,
+        // which it still is, so flip the scenario: both copies on dead/
+        // draining StoCs.
+        let meta2 = table(&[&[1]], &[1]);
+        let draining = table_debt(&meta2, &view(&[0, 1, 2], &[0, 2]), 1, 1);
+        assert!(
+            draining.fragments[0].has_readable_source,
+            "draining copy sources repairs"
+        );
+        let dead = table_debt(&meta2, &view(&[0, 2], &[0, 2]), 1, 1);
+        assert!(
+            !dead.fragments[0].has_readable_source,
+            "dead copy cannot source repairs"
+        );
+    }
+
+    #[test]
+    fn targets_are_capped_at_the_healthy_fleet_size() {
+        let meta = table(&[&[0]], &[0]);
+        let v = view(&[0], &[0]);
+        // Target 3 with one healthy StoC: nothing further is achievable.
+        assert!(table_debt(&meta, &v, 3, 3).is_zero());
+    }
+
+    #[test]
+    fn summary_absorbs_and_counts_unreadable_pieces() {
+        let mut summary = DebtSummary::default();
+        let v = view(&[0], &[0, 3]);
+        summary.absorb(&table_debt(&table(&[&[1]], &[0]), &v, 1, 1));
+        assert_eq!(summary.under_replicated_tables, 1);
+        assert_eq!(summary.missing_fragment_replicas, 1);
+        assert_eq!(summary.unreadable_pieces, 1);
+        assert!(!summary.is_zero());
+        summary.absorb(&TableDebt::default());
+        assert_eq!(summary.under_replicated_tables, 1, "zero debt absorbs as a no-op");
+    }
+
+    #[test]
+    fn repair_targets_exclude_holders_and_rotate_by_seed() {
+        let v = view(&[0, 1, 2, 3], &[0, 1, 2, 3]);
+        let holding = [StocId(1)];
+        for seed in 0..8 {
+            let targets = choose_repair_targets(&v, &holding, 2, seed);
+            assert_eq!(targets.len(), 2);
+            assert!(!targets.contains(&StocId(1)));
+        }
+        let a = choose_repair_targets(&v, &holding, 1, 0);
+        let b = choose_repair_targets(&v, &holding, 1, 1);
+        assert_ne!(a, b, "different seeds spread repair load");
+        assert!(choose_repair_targets(&v, &[StocId(0), StocId(1), StocId(2), StocId(3)], 1, 0).is_empty());
+    }
+}

@@ -15,7 +15,9 @@
 #![warn(rust_2018_idioms)]
 
 pub mod coordinator;
+pub mod debt;
 pub mod lease;
 
 pub use coordinator::{Configuration, Coordinator, MigrationPlan};
+pub use debt::{choose_repair_targets, table_debt, DebtSummary, FragmentDebt, StocView, TableDebt};
 pub use lease::{Lease, LeaseHolder, LeaseTable};

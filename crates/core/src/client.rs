@@ -42,8 +42,25 @@ use std::time::Duration;
 /// so the first retries catch a fast ownership flip almost instantly while
 /// the default 64-attempt budget still spans well over a second of handoff
 /// window (a slow destination build replaying many buffered entries).
+/// Jittered: after a failover flips ownership of a whole LTC's ranges at
+/// once, every blocked client observes `StaleConfig` in the same instant —
+/// deterministic backoff would march them all back in lockstep waves.
 fn backoff(attempt: usize) {
-    std::thread::sleep(Duration::from_micros(50u64 << attempt.min(9)));
+    use rand::RngCore;
+    std::thread::sleep(Duration::from_micros(backoff_micros(
+        attempt,
+        rand::thread_rng().next_u64(),
+    )));
+}
+
+/// The jittered backoff schedule: uniform in `[base/2, base]` where `base`
+/// doubles from 50µs to a 25.6ms cap. Keeping the floor at half the
+/// exponential term preserves the schedule's total span (retry budget ×
+/// mean sleep) while decorrelating the retry storm.
+fn backoff_micros(attempt: usize, entropy: u64) -> u64 {
+    let base = 50u64 << attempt.min(9);
+    let half = base / 2;
+    half + entropy % (base - half + 1)
 }
 
 /// Group batch items by destination range, preserving submission order
@@ -504,5 +521,45 @@ impl Iterator for ScanCursor {
             }
         }
         self.buffer.pop_front().map(Ok)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::backoff_micros;
+
+    #[test]
+    fn backoff_is_bounded_between_half_base_and_base() {
+        for attempt in 0..16 {
+            let base = 50u64 << attempt.min(9);
+            for entropy in [0, 1, base / 2, base, u64::MAX - 1, u64::MAX] {
+                let micros = backoff_micros(attempt, entropy);
+                assert!(
+                    micros >= base / 2 && micros <= base,
+                    "attempt {attempt} entropy {entropy}: {micros}us outside [{}, {base}]us",
+                    base / 2,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_caps_at_25_6_ms() {
+        assert_eq!(backoff_micros(9, 0), 12_800, "cap floor");
+        assert_eq!(backoff_micros(9, 12_800), 25_600, "cap ceiling");
+        assert_eq!(backoff_micros(63, 0), 12_800, "cap holds for deep attempts");
+        assert_eq!(backoff_micros(0, 0), 25, "first retry floor is 25us");
+    }
+
+    #[test]
+    fn backoff_spreads_across_entropy() {
+        // Distinct entropy values must not collapse onto one sleep duration;
+        // the whole point is decorrelating a post-failover retry storm.
+        let samples: std::collections::HashSet<u64> = (0..64u64).map(|e| backoff_micros(6, e * 37)).collect();
+        assert!(
+            samples.len() > 16,
+            "only {} distinct sleeps across 64 clients",
+            samples.len()
+        );
     }
 }

@@ -15,6 +15,7 @@ use nova_obs::{Metrics, OpKind, RegistrySnapshot};
 use nova_stoc::{SimDisk, StocClient, StocDirectory, StocServer, StocStats, StorageMedium};
 
 use crate::health::{ClusterHealth, LtcHealth, OpLatency, StocHealth};
+use crate::supervisor::{SelfHealState, SupervisorHandle};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -43,6 +44,13 @@ pub struct NovaCluster {
     /// call, so each rebalance plans from the load observed *since the last
     /// one* rather than from lifetime-cumulative counters.
     rebalance_baseline: Mutex<HashMap<LtcId, u64>>,
+    /// Self-healing state: failure detector, re-replication budget, pending
+    /// failovers. Serializes supervision rounds — the background thread and
+    /// manual [`NovaCluster::self_heal_tick`] callers never interleave.
+    pub(crate) selfheal: Mutex<SelfHealState>,
+    /// The background supervisor thread, present only when
+    /// `config.supervisor.enabled` is set.
+    supervisor: Mutex<Option<SupervisorHandle>>,
 }
 
 impl std::fmt::Debug for NovaCluster {
@@ -81,6 +89,8 @@ impl NovaCluster {
             next_ltc_id: AtomicU32::new(config.num_ltcs as u32),
             elasticity_mutex: Mutex::new(()),
             rebalance_baseline: Mutex::new(HashMap::new()),
+            selfheal: Mutex::new(SelfHealState::new(system_clock(), &config.supervisor)),
+            supervisor: Mutex::new(None),
         });
 
         // StoCs occupy nodes [η, η+β).
@@ -124,6 +134,10 @@ impl NovaCluster {
             let engine = cluster.build_range_engine(range, ltc_id, false)?;
             engine.set_owner_epoch(assignment.epoch);
             cluster.ltcs.read()[&ltc_id].add_range(engine);
+        }
+
+        if config.supervisor.enabled {
+            *cluster.supervisor.lock() = Some(SupervisorHandle::spawn(&cluster));
         }
 
         Ok(cluster)
@@ -258,9 +272,28 @@ impl NovaCluster {
         self.directory.node_of(stoc)
     }
 
+    /// The node hosting `ltc` (failure injection in tests and experiments).
+    pub fn ltc_node(&self, ltc: LtcId) -> Result<NodeId> {
+        self.ltc_nodes
+            .read()
+            .get(&ltc)
+            .copied()
+            .ok_or(Error::UnknownLtc(ltc))
+    }
+
     /// The LTC object with `id`.
     pub fn ltc(&self, id: LtcId) -> Result<Arc<Ltc>> {
         self.ltcs.read().get(&id).cloned().ok_or(Error::UnknownLtc(id))
+    }
+
+    /// The StoC directory (shared with every client).
+    pub(crate) fn stoc_directory(&self) -> &StocDirectory {
+        &self.directory
+    }
+
+    /// Snapshot of the LTC → node mapping.
+    pub(crate) fn ltc_node_map(&self) -> HashMap<LtcId, NodeId> {
+        self.ltc_nodes.read().clone()
     }
 
     /// Route a key to the (range, LTC, epoch) triple serving it. The epoch
@@ -423,6 +456,9 @@ impl NovaCluster {
             group_commit_bytes: self.metrics.histogram("logc.group.bytes").snapshot(),
             slow_op_count: self.metrics.slow_op_count(),
             slow_ops: self.metrics.slow_ops(),
+            detector: self.detector_states(),
+            replication_debt: self.replication_debt(),
+            selfheal: self.selfheal_stats(),
         }
     }
 
@@ -465,6 +501,49 @@ impl NovaCluster {
         self.metrics
             .gauge("cache.hit_rate_bp")
             .set((health.cache_hit_rate * 10_000.0) as u64);
+        // Self-healing and detector gauges, published from the health data
+        // so they are current even when the supervisor thread is disabled
+        // (an enabled supervisor also refreshes them every round).
+        let debt = &health.replication_debt;
+        self.metrics
+            .gauge("selfheal.debt.under_replicated_tables")
+            .set(debt.under_replicated_tables);
+        self.metrics
+            .gauge("selfheal.debt.fragment_replicas")
+            .set(debt.missing_fragment_replicas);
+        self.metrics
+            .gauge("selfheal.debt.meta_replicas")
+            .set(debt.missing_meta_replicas);
+        self.metrics
+            .gauge("selfheal.debt.log_replicas")
+            .set(debt.missing_log_replicas);
+        self.metrics.gauge("selfheal.debt.bytes").set(debt.missing_bytes);
+        self.metrics
+            .gauge("selfheal.debt.unreadable_pieces")
+            .set(debt.unreadable_pieces);
+        self.metrics
+            .gauge("selfheal.debt.dirty_manifests")
+            .set(debt.dirty_manifests);
+        self.metrics
+            .gauge("selfheal.failovers")
+            .set(health.selfheal.failovers);
+        self.metrics
+            .gauge("selfheal.pending_failovers")
+            .set(health.selfheal.pending_failovers);
+        self.metrics
+            .gauge("selfheal.repaired.fragments")
+            .set(health.selfheal.repaired_fragments);
+        self.metrics
+            .gauge("selfheal.repaired.bytes")
+            .set(health.selfheal.repaired_bytes);
+        for s in &health.detector {
+            self.metrics
+                .gauge(&format!("detector.node.{}.phi_milli", s.node.0))
+                .set((s.phi * 1000.0) as u64);
+            self.metrics
+                .gauge(&format!("detector.node.{}.last_heartbeat_age_micros", s.node.0))
+                .set(s.last_heartbeat_age.as_micros() as u64);
+        }
         self.metrics.snapshot()
     }
 
@@ -822,21 +901,45 @@ impl NovaCluster {
         }
     }
 
-    /// Record a heartbeat for every live component (renewing leases).
-    /// Covers every *registered* StoC — including draining ones removed from
+    /// Record a heartbeat for every *live* component, renewing its lease.
+    /// Each component's node is pinged through the fabric first; only nodes
+    /// that answer get their lease renewed, and the failures are returned so
+    /// the caller (normally the self-healing supervisor, on its cadence) can
+    /// feed them to the failure detector instead of dropping them. Covers
+    /// every *registered* StoC — including draining ones removed from
     /// placement but still serving their existing blocks — so a
     /// still-serving drained StoC's lease cannot silently expire.
-    pub fn heartbeat_all(&self) {
-        for ltc in self.ltc_ids() {
-            self.coordinator.heartbeat(LeaseHolder::Ltc(ltc.0));
+    pub fn heartbeat_all(&self) -> Vec<(NodeId, Error)> {
+        let mut failures = Vec::new();
+        let ltc_nodes: Vec<(LtcId, NodeId)> = self.ltc_nodes.read().iter().map(|(l, n)| (*l, *n)).collect();
+        for (ltc, node) in ltc_nodes {
+            match self.fabric.ping(node) {
+                Ok(()) => self.coordinator.heartbeat(LeaseHolder::Ltc(ltc.0)),
+                Err(e) => failures.push((node, e)),
+            }
         }
         for stoc in self.directory.all() {
-            self.coordinator.heartbeat(LeaseHolder::Stoc(stoc.0));
+            let node = match self.directory.node_of(stoc) {
+                Ok(n) => n,
+                Err(e) => {
+                    failures.push((NodeId(u32::MAX), e));
+                    continue;
+                }
+            };
+            match self.fabric.ping(node) {
+                Ok(()) => self.coordinator.heartbeat(LeaseHolder::Stoc(stoc.0)),
+                Err(e) => failures.push((node, e)),
+            }
         }
+        failures
     }
 
-    /// Shut down every component.
+    /// Shut down every component (stopping the supervisor thread first, so
+    /// no supervision round races the teardown).
     pub fn shutdown(&self) {
+        if let Some(mut handle) = self.supervisor.lock().take() {
+            handle.stop();
+        }
         let ltcs: Vec<Arc<Ltc>> = self.ltcs.read().values().cloned().collect();
         for ltc in ltcs {
             ltc.shutdown();

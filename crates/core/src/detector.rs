@@ -1,0 +1,332 @@
+//! Heartbeat-based failure detection with per-node adaptive windows.
+//!
+//! The supervisor pings every component node once per cadence tick and feeds
+//! the outcomes here. The detector keeps, per node, an exponentially-weighted
+//! estimate of the heartbeat inter-arrival time (mean and variance), from
+//! which it derives a phi-accrual-style suspicion level:
+//!
+//! ```text
+//! phi = age_since_last_heartbeat / max(mean + 2·stddev, min_window)
+//! ```
+//!
+//! A node accrues a **strike** for every tick its phi crosses the threshold
+//! and for every explicit probe failure (a ping the fabric rejected, or a
+//! lease the coordinator let expire). `confirm_ticks` consecutive strikes
+//! confirm the failure; any successful heartbeat wipes the strikes and the
+//! confirmation. The adaptive window is what keeps slow-but-alive nodes from
+//! flapping: jittered or delayed heartbeats widen the window instead of
+//! raising suspicion, while a genuinely silent node's age grows without
+//! bound and must confirm. Explicit probe failures bypass the clock
+//! entirely, so a dead fabric node confirms in exactly `confirm_ticks`
+//! supervision rounds regardless of timer resolution.
+
+use nova_common::clock::ClockRef;
+use nova_common::config::SupervisorConfig;
+use nova_common::NodeId;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Smoothing factor of the inter-arrival EWMA. Small enough that one
+/// outlier barely moves the window, large enough that a genuine shift in
+/// heartbeat cadence is absorbed within a few tens of beats.
+const ALPHA: f64 = 0.2;
+
+/// The detector's view of one node, as exposed in `ClusterHealth`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeSuspicion {
+    /// The node.
+    pub node: NodeId,
+    /// Current suspicion level; crosses the configured threshold when the
+    /// node has been silent for `phi_threshold` adaptive windows.
+    pub phi: f64,
+    /// Time since the last successful heartbeat.
+    pub last_heartbeat_age: Duration,
+    /// Consecutive strikes (threshold crossings + probe failures).
+    pub strikes: u32,
+    /// True once the failure has been confirmed (and not yet cleared by a
+    /// later heartbeat).
+    pub confirmed: bool,
+}
+
+struct NodeState {
+    /// Nanos of the last successful heartbeat.
+    last_nanos: u64,
+    /// EWMA of the heartbeat inter-arrival time, nanos.
+    mean_nanos: f64,
+    /// EWMA of the squared deviation from the mean, nanos².
+    var_nanos: f64,
+    strikes: u32,
+    confirmed: bool,
+}
+
+/// Accrual failure detector over the supervised node set.
+pub struct FailureDetector {
+    clock: ClockRef,
+    phi_threshold: f64,
+    confirm_ticks: u32,
+    min_window_nanos: f64,
+    initial_interval_nanos: f64,
+    nodes: HashMap<NodeId, NodeState>,
+}
+
+impl FailureDetector {
+    /// Create a detector driven by `clock` and tuned by `config`
+    /// (`phi_threshold`, `confirm_ticks`, `min_window_millis`; the heartbeat
+    /// cadence seeds each node's window until real arrivals are observed).
+    pub fn new(clock: ClockRef, config: &SupervisorConfig) -> Self {
+        FailureDetector {
+            clock,
+            phi_threshold: config.phi_threshold,
+            confirm_ticks: config.confirm_ticks.max(1),
+            min_window_nanos: Duration::from_millis(config.min_window_millis.max(1)).as_nanos() as f64,
+            initial_interval_nanos: Duration::from_millis(config.heartbeat_millis.max(1)).as_nanos() as f64,
+            nodes: HashMap::new(),
+        }
+    }
+
+    /// Record a successful heartbeat from `node`: updates the adaptive
+    /// window and clears any suspicion.
+    pub fn heartbeat(&mut self, node: NodeId) {
+        let now = self.clock.now_nanos();
+        let initial = self.initial_interval_nanos;
+        let state = self.nodes.entry(node).or_insert(NodeState {
+            last_nanos: now,
+            mean_nanos: initial,
+            var_nanos: 0.0,
+            strikes: 0,
+            confirmed: false,
+        });
+        if state.last_nanos != now {
+            let interval = now.saturating_sub(state.last_nanos) as f64;
+            let deviation = interval - state.mean_nanos;
+            state.mean_nanos += ALPHA * deviation;
+            state.var_nanos += ALPHA * (deviation * deviation - state.var_nanos);
+        }
+        state.last_nanos = now;
+        state.strikes = 0;
+        state.confirmed = false;
+    }
+
+    /// Record an explicit probe failure for `node` — a rejected ping or an
+    /// expired lease. One strike, independent of the clock.
+    pub fn probe_failed(&mut self, node: NodeId) {
+        let now = self.clock.now_nanos();
+        let initial = self.initial_interval_nanos;
+        let state = self.nodes.entry(node).or_insert(NodeState {
+            last_nanos: now,
+            mean_nanos: initial,
+            var_nanos: 0.0,
+            strikes: 0,
+            confirmed: false,
+        });
+        state.strikes = state.strikes.saturating_add(1);
+    }
+
+    fn phi_of(&self, state: &NodeState, now: u64) -> f64 {
+        let age = now.saturating_sub(state.last_nanos) as f64;
+        let window = (state.mean_nanos + 2.0 * state.var_nanos.sqrt()).max(self.min_window_nanos);
+        age / window
+    }
+
+    /// Advance suspicion one supervision round: every node whose phi is at
+    /// or above the threshold accrues a strike, and nodes reaching
+    /// `confirm_ticks` strikes are returned — exactly once — as newly
+    /// confirmed failures.
+    pub fn tick(&mut self) -> Vec<NodeId> {
+        let now = self.clock.now_nanos();
+        let mut confirmed = Vec::new();
+        let threshold = self.phi_threshold;
+        let confirm_ticks = self.confirm_ticks;
+        let mut phis: Vec<(NodeId, f64)> = Vec::with_capacity(self.nodes.len());
+        for (node, state) in &self.nodes {
+            phis.push((*node, self.phi_of(state, now)));
+        }
+        for (node, phi) in phis {
+            let state = self.nodes.get_mut(&node).expect("node present");
+            if phi >= threshold {
+                state.strikes = state.strikes.saturating_add(1);
+            }
+            if state.strikes >= confirm_ticks && !state.confirmed {
+                state.confirmed = true;
+                confirmed.push(node);
+            }
+        }
+        confirmed.sort();
+        confirmed
+    }
+
+    /// True once `node`'s failure has been confirmed (and no heartbeat has
+    /// cleared it since).
+    pub fn is_confirmed(&self, node: NodeId) -> bool {
+        self.nodes.get(&node).map(|s| s.confirmed).unwrap_or(false)
+    }
+
+    /// Time since `node`'s last successful heartbeat, if it is tracked.
+    pub fn last_heartbeat_age(&self, node: NodeId) -> Option<Duration> {
+        let now = self.clock.now_nanos();
+        self.nodes
+            .get(&node)
+            .map(|s| Duration::from_nanos(now.saturating_sub(s.last_nanos)))
+    }
+
+    /// Stop tracking `node` (it left the configuration).
+    pub fn forget(&mut self, node: NodeId) {
+        self.nodes.remove(&node);
+    }
+
+    /// Per-node suspicion state, ordered by node id.
+    pub fn states(&self) -> Vec<NodeSuspicion> {
+        let now = self.clock.now_nanos();
+        let mut out: Vec<NodeSuspicion> = self
+            .nodes
+            .iter()
+            .map(|(node, state)| NodeSuspicion {
+                node: *node,
+                phi: self.phi_of(state, now),
+                last_heartbeat_age: Duration::from_nanos(now.saturating_sub(state.last_nanos)),
+                strikes: state.strikes,
+                confirmed: state.confirmed,
+            })
+            .collect();
+        out.sort_by_key(|s| s.node);
+        out
+    }
+}
+
+impl std::fmt::Debug for FailureDetector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FailureDetector")
+            .field("nodes", &self.nodes.len())
+            .field("phi_threshold", &self.phi_threshold)
+            .field("confirm_ticks", &self.confirm_ticks)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nova_common::clock::manual_clock;
+
+    fn config() -> SupervisorConfig {
+        SupervisorConfig {
+            enabled: true,
+            heartbeat_millis: 100,
+            phi_threshold: 4.0,
+            confirm_ticks: 3,
+            min_window_millis: 50,
+            rereplication_bytes_per_sec: 0,
+        }
+    }
+
+    #[test]
+    fn jittered_heartbeats_do_not_flap() {
+        let (clock, manual) = manual_clock();
+        let mut d = FailureDetector::new(clock, &config());
+        d.heartbeat(NodeId(1));
+        // Heartbeats arrive with ±40% jitter around the nominal 100ms; a
+        // tick runs right before each arrival, at the point of maximum age.
+        for (i, millis) in [60u64, 140, 80, 130, 95, 120, 70, 135, 100, 90]
+            .iter()
+            .cycle()
+            .take(50)
+            .enumerate()
+        {
+            manual.advance(Duration::from_millis(*millis));
+            assert!(d.tick().is_empty(), "arrival {i}: jitter must not confirm");
+            let phi = d.states()[0].phi;
+            assert!(
+                phi < 4.0,
+                "arrival {i}: phi {phi} crossed the threshold on jitter alone"
+            );
+            d.heartbeat(NodeId(1));
+            assert_eq!(d.states()[0].strikes, 0);
+        }
+    }
+
+    #[test]
+    fn slow_but_alive_node_widens_its_window_instead_of_confirming() {
+        let (clock, manual) = manual_clock();
+        let mut d = FailureDetector::new(clock, &config());
+        d.heartbeat(NodeId(1));
+        // The node settles into a 300ms cadence — three times the nominal
+        // interval. Early beats look suspicious relative to the seeded
+        // window, but never for `confirm_ticks` consecutive rounds, and the
+        // window adapts until phi sits comfortably below the threshold.
+        for _ in 0..40 {
+            manual.advance(Duration::from_millis(300));
+            assert!(d.tick().is_empty(), "a slow-but-alive node must not confirm");
+            d.heartbeat(NodeId(1));
+        }
+        manual.advance(Duration::from_millis(300));
+        let phi = d.states()[0].phi;
+        assert!(
+            phi < 2.0,
+            "adapted window should rate a normal beat unsuspicious, got phi {phi}"
+        );
+    }
+
+    #[test]
+    fn silent_node_confirms_exactly_once_and_heartbeat_clears_it() {
+        let (clock, manual) = manual_clock();
+        let mut d = FailureDetector::new(clock, &config());
+        d.heartbeat(NodeId(1));
+        d.heartbeat(NodeId(2));
+        // Node 1 goes silent; node 2 keeps beating.
+        let mut confirmations = 0;
+        for round in 0..10 {
+            manual.advance(Duration::from_millis(500));
+            d.heartbeat(NodeId(2));
+            let confirmed = d.tick();
+            if !confirmed.is_empty() {
+                assert_eq!(confirmed, vec![NodeId(1)]);
+                confirmations += 1;
+                assert!(round >= 2, "confirmation needs confirm_ticks strikes");
+            }
+        }
+        assert_eq!(confirmations, 1, "a confirmed failure is reported exactly once");
+        assert!(d.is_confirmed(NodeId(1)));
+        assert!(!d.is_confirmed(NodeId(2)));
+        // The node recovers: one heartbeat wipes the confirmation.
+        d.heartbeat(NodeId(1));
+        assert!(!d.is_confirmed(NodeId(1)));
+        assert_eq!(d.states()[0].strikes, 0);
+    }
+
+    #[test]
+    fn probe_failures_confirm_without_any_clock_advance() {
+        let (clock, _manual) = manual_clock();
+        let mut d = FailureDetector::new(clock, &config());
+        d.heartbeat(NodeId(7));
+        for _ in 0..2 {
+            d.probe_failed(NodeId(7));
+            assert!(d.tick().is_empty());
+        }
+        d.probe_failed(NodeId(7));
+        assert_eq!(d.tick(), vec![NodeId(7)], "confirm_ticks probe failures confirm");
+    }
+
+    #[test]
+    fn heartbeat_between_probe_failures_resets_the_strikes() {
+        let (clock, _manual) = manual_clock();
+        let mut d = FailureDetector::new(clock, &config());
+        d.probe_failed(NodeId(3));
+        d.probe_failed(NodeId(3));
+        d.heartbeat(NodeId(3));
+        d.probe_failed(NodeId(3));
+        assert!(
+            d.tick().is_empty(),
+            "strikes do not survive a successful heartbeat"
+        );
+    }
+
+    #[test]
+    fn forget_drops_the_node_from_tracking() {
+        let (clock, _manual) = manual_clock();
+        let mut d = FailureDetector::new(clock, &config());
+        d.heartbeat(NodeId(1));
+        d.forget(NodeId(1));
+        assert!(d.states().is_empty());
+        assert!(d.last_heartbeat_age(NodeId(1)).is_none());
+    }
+}

@@ -9,7 +9,10 @@
 //! [`crate::NovaCluster::health_report`] and is cheap enough to poll: every
 //! input is a lock-free counter or histogram snapshot.
 
+use crate::detector::NodeSuspicion;
+use crate::supervisor::SelfHealStats;
 use nova_common::{LtcId, NodeId, StocId};
+use nova_coordinator::DebtSummary;
 use nova_obs::{HistogramSnapshot, SlowOp};
 
 /// Latency summary for one client operation kind, in microseconds.
@@ -128,6 +131,14 @@ pub struct ClusterHealth {
     pub slow_op_count: u64,
     /// Most recent slow operations (oldest first) with per-layer breakdown.
     pub slow_ops: Vec<SlowOp>,
+    /// Per-node failure-detector state (suspicion phi, last-heartbeat age),
+    /// ordered by node; empty until the first supervision round.
+    pub detector: Vec<NodeSuspicion>,
+    /// Replication debt: replicas below the availability target on healthy
+    /// StoCs.
+    pub replication_debt: DebtSummary,
+    /// Lifetime self-healing counters (failovers, repairs, deferred copies).
+    pub selfheal: SelfHealStats,
 }
 
 impl ClusterHealth {
@@ -224,6 +235,41 @@ impl ClusterHealth {
                 if s.lease_valid { "valid" } else { "EXPIRED" },
             ));
         }
+        if !self.replication_debt.is_zero() || self.selfheal.ticks > 0 {
+            let d = &self.replication_debt;
+            out.push_str(&format!(
+                "  selfheal: failovers={} pending={} drains={} rejoins={} \
+                 repaired={}f/{}m ({}B) deferred={}\n",
+                self.selfheal.failovers,
+                self.selfheal.pending_failovers,
+                self.selfheal.stoc_drains,
+                self.selfheal.stoc_rejoins,
+                self.selfheal.repaired_fragments,
+                self.selfheal.repaired_meta_blocks,
+                self.selfheal.repaired_bytes,
+                self.selfheal.deferred_repairs,
+            ));
+            out.push_str(&format!(
+                "  debt: tables={} fragments={} metas={} logs={} bytes={} unreadable={} dirty-manifests={}\n",
+                d.under_replicated_tables,
+                d.missing_fragment_replicas,
+                d.missing_meta_replicas,
+                d.missing_log_replicas,
+                d.missing_bytes,
+                d.unreadable_pieces,
+                d.dirty_manifests,
+            ));
+        }
+        for s in &self.detector {
+            out.push_str(&format!(
+                "  detect {}: phi={:.2} age={}us strikes={}{}\n",
+                s.node,
+                s.phi,
+                s.last_heartbeat_age.as_micros(),
+                s.strikes,
+                if s.confirmed { " CONFIRMED-DOWN" } else { "" },
+            ));
+        }
         for op in &self.slow_ops {
             out.push_str(&format!("  slow: {}\n", op.summary()));
         }
@@ -291,7 +337,54 @@ impl ClusterHealth {
                 s.id.0, s.alive, s.placeable, s.queue_depth, s.num_files, s.lease_valid,
             ));
         }
-        out.push_str("]}");
+        out.push_str("],\"detector\":[");
+        for (i, s) in self.detector.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"node\":{},\"phi\":{:.3},\"last_heartbeat_age_micros\":{},\"strikes\":{},\
+                 \"confirmed\":{}}}",
+                s.node.0,
+                s.phi,
+                s.last_heartbeat_age.as_micros(),
+                s.strikes,
+                s.confirmed,
+            ));
+        }
+        let d = &self.replication_debt;
+        out.push_str(&format!(
+            "],\"replication_debt\":{{\"under_replicated_tables\":{},\"missing_fragment_replicas\":{},\
+             \"missing_meta_replicas\":{},\"missing_log_replicas\":{},\"missing_bytes\":{},\
+             \"unreadable_pieces\":{},\"dirty_manifests\":{}}}",
+            d.under_replicated_tables,
+            d.missing_fragment_replicas,
+            d.missing_meta_replicas,
+            d.missing_log_replicas,
+            d.missing_bytes,
+            d.unreadable_pieces,
+            d.dirty_manifests,
+        ));
+        let sh = &self.selfheal;
+        out.push_str(&format!(
+            ",\"selfheal\":{{\"ticks\":{},\"failovers\":{},\"pending_failovers\":{},\"stoc_drains\":{},\
+             \"stoc_rejoins\":{},\"repaired_fragments\":{},\"repaired_meta_blocks\":{},\
+             \"repaired_bytes\":{},\"deferred_repairs\":{},\"failed_repairs\":{},\
+             \"last_time_to_detect_micros\":{},\"last_time_to_recover_micros\":{}}}",
+            sh.ticks,
+            sh.failovers,
+            sh.pending_failovers,
+            sh.stoc_drains,
+            sh.stoc_rejoins,
+            sh.repaired_fragments,
+            sh.repaired_meta_blocks,
+            sh.repaired_bytes,
+            sh.deferred_repairs,
+            sh.failed_repairs,
+            sh.last_time_to_detect_micros,
+            sh.last_time_to_recover_micros,
+        ));
+        out.push('}');
         out
     }
 }

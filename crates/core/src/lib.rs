@@ -44,15 +44,20 @@
 
 pub mod client;
 pub mod cluster;
+pub mod detector;
 pub mod health;
 pub mod mttf;
 pub mod presets;
+pub mod supervisor;
 
 pub use client::{NovaClient, ScanCursor};
 pub use cluster::NovaCluster;
+pub use detector::{FailureDetector, NodeSuspicion};
 pub use health::{ClusterHealth, LtcHealth, OpLatency, StocHealth};
 pub use mttf::{MttfModel, MttfRow};
 pub use nova_common::{ReadOptions, WriteOptions};
+pub use nova_coordinator::DebtSummary;
+pub use supervisor::{SelfHealStats, TickReport, TokenBucket};
 
 // Re-export the component crates so downstream users need a single
 // dependency.

@@ -10,7 +10,7 @@
 
 use nova_common::config::{
     AvailabilityPolicy, CacheConfig, ClusterConfig, DiskConfig, FabricConfig, LogPolicy, MetricsConfig,
-    PlacementPolicy, RangeConfig,
+    PlacementPolicy, RangeConfig, SupervisorConfig,
 };
 
 /// Build the paper's shared-disk configuration: η LTCs, β StoCs, SSTables
@@ -87,6 +87,7 @@ pub fn scaled_experiment(num_keys: u64) -> ClusterConfig {
         client_retries: 64,
         num_keys,
         metrics: MetricsConfig::default(),
+        supervisor: SupervisorConfig::default(),
     }
 }
 

@@ -1,0 +1,679 @@
+//! The self-healing supervisor: automatic failover and budgeted background
+//! re-replication.
+//!
+//! The paper's component design (replicated log records, fragment replicas
+//! and parity) makes node failures survivable, but recovery in this repo was
+//! operator-driven: someone had to notice and call
+//! [`NovaCluster::fail_and_recover_ltc`]. The supervisor closes that loop.
+//! A background thread (spawned by [`NovaCluster::start`] when
+//! `config.supervisor.enabled` is set) runs [`NovaCluster::self_heal_tick`]
+//! on the heartbeat cadence; each tick is one synchronous supervision round:
+//!
+//! 1. **Heartbeat** every component node (ping-gated lease renewal via
+//!    [`NovaCluster::heartbeat_all`]); ping failures and expired leases feed
+//!    the [`FailureDetector`] as strikes, successes as heartbeats.
+//! 2. **Confirm** failures through the detector's adaptive phi windows.
+//! 3. A confirmed **StoC** is auto-drained (removed from placement, its
+//!    blocks stay addressable for degraded reads) and every range rotates
+//!    its memtables so open log files stop referencing the dead StoC. When
+//!    its node comes back, an *auto*-drained StoC rejoins placement —
+//!    operator-drained StoCs ([`NovaCluster::remove_stoc`]) stay out.
+//! 4. A confirmed **LTC** triggers the existing epoch-guarded
+//!    [`NovaCluster::fail_and_recover_ltc`] (serialized under the elasticity
+//!    mutex). Failover is resumable: ranges that cannot be rebuilt yet stay
+//!    pending and are retried every tick until the fault clears.
+//! 5. **Replication debt** — fragment/metadata replicas below the
+//!    availability target on healthy StoCs — is scanned
+//!    ([`nova_coordinator::debt`]) and repaired by copying pieces onto
+//!    placeable StoCs ([`nova_stoc::replication`]) under a token-bucket
+//!    bytes/sec budget so healing never starves foreground traffic.
+//!    Deferred repairs are retried next tick.
+//!
+//! Everything the supervisor does is also available synchronously through
+//! `self_heal_tick`, so tests drive healing deterministically with the
+//! background thread disabled, and operators can still intervene manually.
+
+use crate::cluster::NovaCluster;
+use crate::detector::{FailureDetector, NodeSuspicion};
+use nova_common::clock::ClockRef;
+use nova_common::config::SupervisorConfig;
+use nova_common::{LtcId, NodeId, StocId};
+use nova_coordinator::{choose_repair_targets, table_debt, DebtSummary, LeaseHolder, StocView};
+use nova_stoc::{copy_fragment, copy_meta_block, with_fragment_replica, with_meta_replica, StocClient};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Weak};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A token bucket metering re-replication traffic in bytes per second.
+///
+/// The bucket holds at most one second of budget. A piece larger than the
+/// full budget is still admitted when the bucket is full — the balance goes
+/// negative and subsequent refills pay the debt — so the long-run rate stays
+/// at the configured budget without wedging on a single oversized fragment.
+/// A budget of 0 disables throttling.
+pub struct TokenBucket {
+    clock: ClockRef,
+    bytes_per_sec: u64,
+    tokens: f64,
+    last_nanos: u64,
+}
+
+impl TokenBucket {
+    /// A bucket refilling at `bytes_per_sec` (0 = unthrottled), starting
+    /// full.
+    pub fn new(clock: ClockRef, bytes_per_sec: u64) -> Self {
+        let last_nanos = clock.now_nanos();
+        TokenBucket {
+            clock,
+            bytes_per_sec,
+            tokens: bytes_per_sec as f64,
+            last_nanos,
+        }
+    }
+
+    /// Try to withdraw `bytes`; false means the caller should defer the
+    /// transfer to a later round.
+    pub fn try_consume(&mut self, bytes: u64) -> bool {
+        if self.bytes_per_sec == 0 {
+            return true;
+        }
+        let capacity = self.bytes_per_sec as f64;
+        let now = self.clock.now_nanos();
+        let elapsed_secs = now.saturating_sub(self.last_nanos) as f64 / 1e9;
+        self.last_nanos = now;
+        self.tokens = (self.tokens + elapsed_secs * capacity).min(capacity);
+        if self.tokens >= bytes as f64 || self.tokens >= capacity {
+            self.tokens -= bytes as f64;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Lifetime self-healing counters, surfaced in `ClusterHealth` and as
+/// `selfheal.*` gauges.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SelfHealStats {
+    /// Supervision rounds executed.
+    pub ticks: u64,
+    /// Automatic LTC failovers completed.
+    pub failovers: u64,
+    /// LTC failovers confirmed but not yet fully recovered (point in time).
+    pub pending_failovers: u64,
+    /// StoCs auto-drained after a confirmed failure.
+    pub stoc_drains: u64,
+    /// Auto-drained StoCs returned to placement after their node recovered.
+    pub stoc_rejoins: u64,
+    /// Fragment replicas re-created by background repair.
+    pub repaired_fragments: u64,
+    /// Metadata-block replicas re-created by background repair.
+    pub repaired_meta_blocks: u64,
+    /// Bytes copied by background repair.
+    pub repaired_bytes: u64,
+    /// Repair copies deferred by the I/O budget (retried next round).
+    pub deferred_repairs: u64,
+    /// Repair copies that failed outright (source unreadable mid-copy).
+    pub failed_repairs: u64,
+    /// Detection latency of the most recent confirmed failure, µs.
+    pub last_time_to_detect_micros: u64,
+    /// Confirmation-to-recovery latency of the most recent failover, µs.
+    pub last_time_to_recover_micros: u64,
+}
+
+/// What one supervision round observed and did.
+#[derive(Debug, Clone, Default)]
+pub struct TickReport {
+    /// Component nodes whose heartbeat ping failed this round.
+    pub heartbeat_failures: usize,
+    /// LTCs whose failure the detector confirmed this round.
+    pub confirmed_ltcs: Vec<LtcId>,
+    /// StoCs whose failure the detector confirmed this round.
+    pub confirmed_stocs: Vec<StocId>,
+    /// Failovers that completed this round (including retries).
+    pub failovers_completed: Vec<LtcId>,
+    /// Failovers attempted but still incomplete (retried next round).
+    pub failovers_pending: Vec<LtcId>,
+    /// StoCs auto-drained this round.
+    pub stocs_drained: Vec<StocId>,
+    /// Auto-drained StoCs that rejoined placement this round.
+    pub stocs_rejoined: Vec<StocId>,
+    /// Fragment replicas copied this round.
+    pub repaired_fragments: u64,
+    /// Metadata-block replicas copied this round.
+    pub repaired_meta_blocks: u64,
+    /// Bytes copied this round.
+    pub repaired_bytes: u64,
+    /// Copies deferred by the I/O budget this round.
+    pub deferred_repairs: u64,
+    /// Replication debt as scanned this round (before this round's repairs
+    /// are installed — a zero-debt report means the previous rounds healed
+    /// everything).
+    pub debt: DebtSummary,
+}
+
+/// Mutable supervision state, shared by the background thread and manual
+/// `self_heal_tick` callers under the cluster's selfheal mutex.
+pub(crate) struct SelfHealState {
+    clock: ClockRef,
+    detector: FailureDetector,
+    bucket: TokenBucket,
+    /// Confirmed-failed LTCs whose recovery has not fully completed, with
+    /// the confirmation timestamp (nanos) for time-to-recover accounting.
+    /// Entries survive the LTC's deregistration so partial failovers are
+    /// retried until every range is rebuilt.
+    pending_failovers: HashMap<LtcId, u64>,
+    /// StoCs drained by the supervisor (as opposed to the operator): these
+    /// rejoin placement automatically when their node recovers.
+    auto_drained: HashSet<StocId>,
+    stats: SelfHealStats,
+}
+
+impl SelfHealState {
+    pub(crate) fn new(clock: ClockRef, config: &SupervisorConfig) -> Self {
+        SelfHealState {
+            detector: FailureDetector::new(Arc::clone(&clock), config),
+            bucket: TokenBucket::new(Arc::clone(&clock), config.rereplication_bytes_per_sec),
+            clock,
+            pending_failovers: HashMap::new(),
+            auto_drained: HashSet::new(),
+            stats: SelfHealStats::default(),
+        }
+    }
+}
+
+/// Handle of the background supervisor thread.
+pub(crate) struct SupervisorHandle {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl SupervisorHandle {
+    /// Spawn the supervision loop. The thread holds only a `Weak` reference:
+    /// it never keeps the cluster alive, and exits on its own once the last
+    /// strong reference is gone.
+    pub(crate) fn spawn(cluster: &Arc<NovaCluster>) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let weak: Weak<NovaCluster> = Arc::downgrade(cluster);
+        let cadence = Duration::from_millis(cluster.config().supervisor.heartbeat_millis.max(1));
+        let stop_flag = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("nova-supervisor".into())
+            .spawn(move || {
+                while !stop_flag.load(Ordering::SeqCst) {
+                    match weak.upgrade() {
+                        Some(cluster) => {
+                            cluster.self_heal_tick();
+                        }
+                        None => break,
+                    }
+                    std::thread::sleep(cadence);
+                }
+            })
+            .expect("spawn nova-supervisor thread");
+        SupervisorHandle {
+            stop,
+            thread: Some(thread),
+        }
+    }
+
+    pub(crate) fn stop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(thread) = self.thread.take() {
+            // The supervisor thread can itself hold the final Arc while a
+            // tick is in flight, in which case the cluster's Drop (and this
+            // stop) runs *on* the supervisor thread — joining would deadlock
+            // on self. Detach instead; the stop flag ends the loop.
+            if thread.thread().id() != std::thread::current().id() {
+                let _ = thread.join();
+            }
+        }
+    }
+}
+
+impl Drop for SupervisorHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+impl NovaCluster {
+    /// Run one synchronous supervision round: heartbeat every component,
+    /// advance failure suspicion, auto-drain confirmed-dead StoCs (and
+    /// rejoin recovered ones), execute or retry automatic LTC failovers,
+    /// and scan-and-repair replication debt under the I/O budget. The
+    /// background supervisor thread calls this on the configured cadence;
+    /// tests and operators can call it directly regardless of whether the
+    /// thread is enabled.
+    pub fn self_heal_tick(&self) -> TickReport {
+        let mut guard = self.selfheal.lock();
+        let state = &mut *guard;
+        let mut report = TickReport::default();
+        state.stats.ticks += 1;
+
+        // 1. Heartbeat round: ping-gated lease renewal; outcomes feed the
+        // detector. Lease expiry is an independent strike — it catches
+        // renewals that stopped while the supervisor was not running —
+        // except for nodes already struck by a failed ping this round, so
+        // one dead node does not accrue two strikes per tick.
+        let failures = self.heartbeat_all();
+        report.heartbeat_failures = failures.len();
+        let failed_nodes: HashSet<NodeId> = failures.iter().map(|(n, _)| *n).collect();
+
+        let ltc_nodes = self.ltc_node_map();
+        let node_to_ltc: HashMap<NodeId, LtcId> = ltc_nodes.iter().map(|(l, n)| (*n, *l)).collect();
+        let directory = self.stoc_directory();
+        let mut stoc_nodes: HashMap<StocId, NodeId> = HashMap::new();
+        let mut node_to_stoc: HashMap<NodeId, StocId> = HashMap::new();
+        for stoc in directory.all() {
+            if let Ok(node) = directory.node_of(stoc) {
+                stoc_nodes.insert(stoc, node);
+                node_to_stoc.insert(node, stoc);
+            }
+        }
+        let supervised: HashSet<NodeId> = ltc_nodes
+            .values()
+            .copied()
+            .chain(stoc_nodes.values().copied())
+            .collect();
+        for node in &supervised {
+            if failed_nodes.contains(node) {
+                state.detector.probe_failed(*node);
+            } else {
+                state.detector.heartbeat(*node);
+            }
+        }
+        for holder in self.coordinator().expired_components() {
+            let node = match holder {
+                LeaseHolder::Ltc(id) => ltc_nodes.get(&LtcId(id)).copied(),
+                LeaseHolder::Stoc(id) => stoc_nodes.get(&StocId(id)).copied(),
+            };
+            if let Some(node) = node {
+                if !failed_nodes.contains(&node) {
+                    state.detector.probe_failed(node);
+                }
+            }
+        }
+        // Nodes that left the configuration (completed failovers, removed
+        // components) leave the detector too.
+        for s in state.detector.states() {
+            if !supervised.contains(&s.node) {
+                state.detector.forget(s.node);
+            }
+        }
+
+        // 2. Advance suspicion; map newly confirmed nodes to components.
+        let now = state.clock.now_nanos();
+        for node in state.detector.tick() {
+            if let Some(ltc) = node_to_ltc.get(&node) {
+                report.confirmed_ltcs.push(*ltc);
+                if !state.pending_failovers.contains_key(ltc) {
+                    state.pending_failovers.insert(*ltc, now);
+                    let detect = state
+                        .detector
+                        .last_heartbeat_age(node)
+                        .unwrap_or_default()
+                        .as_micros() as u64;
+                    state.stats.last_time_to_detect_micros = detect;
+                    self.metrics()
+                        .histogram("selfheal.time_to_detect_micros")
+                        .record(detect);
+                    self.metrics()
+                        .gauge("selfheal.last_time_to_detect_micros")
+                        .set(detect);
+                }
+            } else if let Some(stoc) = node_to_stoc.get(&node) {
+                report.confirmed_stocs.push(*stoc);
+                let detect = state
+                    .detector
+                    .last_heartbeat_age(node)
+                    .unwrap_or_default()
+                    .as_micros() as u64;
+                state.stats.last_time_to_detect_micros = detect;
+                self.metrics()
+                    .histogram("selfheal.time_to_detect_micros")
+                    .record(detect);
+                self.metrics()
+                    .gauge("selfheal.last_time_to_detect_micros")
+                    .set(detect);
+            }
+        }
+
+        // 3. Confirmed StoCs: auto-drain, then rotate every range's
+        // memtables so open log files stop referencing the dead StoC (new
+        // log files land only on placement-eligible StoCs). Auto-drained
+        // StoCs whose node recovered rejoin placement; operator-drained
+        // StoCs stay out.
+        let placeable: HashSet<StocId> = directory.placeable().iter().copied().collect();
+        for stoc in &report.confirmed_stocs {
+            if placeable.contains(stoc) {
+                directory.set_placeable(*stoc, false);
+                state.auto_drained.insert(*stoc);
+                state.stats.stoc_drains += 1;
+                report.stocs_drained.push(*stoc);
+            }
+        }
+        if !report.stocs_drained.is_empty() {
+            self.rotate_all_memtables();
+        }
+        let drained: Vec<StocId> = state.auto_drained.iter().copied().collect();
+        for stoc in drained {
+            let recovered = stoc_nodes
+                .get(&stoc)
+                .map(|n| !failed_nodes.contains(n) && self.fabric().is_alive(*n))
+                .unwrap_or(false);
+            if recovered {
+                directory.set_placeable(stoc, true);
+                state.auto_drained.remove(&stoc);
+                state.stats.stoc_rejoins += 1;
+                report.stocs_rejoined.push(stoc);
+            }
+        }
+
+        // 4. LTC failovers: newly confirmed plus retries of earlier partial
+        // recoveries. `fail_and_recover_ltc` is resumable — an error means
+        // some ranges are rebuilt and the rest stay assigned to the dead
+        // LTC for the next round.
+        let mut pending: Vec<(LtcId, u64)> = state.pending_failovers.iter().map(|(l, t)| (*l, *t)).collect();
+        pending.sort();
+        for (ltc, confirmed_at) in pending {
+            match self.fail_and_recover_ltc(ltc) {
+                Ok(_) => {
+                    state.pending_failovers.remove(&ltc);
+                    state.stats.failovers += 1;
+                    let recover = Duration::from_nanos(state.clock.now_nanos().saturating_sub(confirmed_at))
+                        .as_micros() as u64;
+                    state.stats.last_time_to_recover_micros = recover;
+                    self.metrics()
+                        .histogram("selfheal.time_to_recover_micros")
+                        .record(recover);
+                    self.metrics()
+                        .gauge("selfheal.last_time_to_recover_micros")
+                        .set(recover);
+                    report.failovers_completed.push(ltc);
+                    if let Some(node) = ltc_nodes.get(&ltc) {
+                        state.detector.forget(*node);
+                    }
+                }
+                Err(_) => report.failovers_pending.push(ltc),
+            }
+        }
+
+        // 5. Replication-debt scan and budgeted repair.
+        let view = self.debt_view();
+        let data_target = self.config().range.availability.data_copies();
+        let meta_target = self.config().range.availability.metadata_replicas();
+        let mut debt = DebtSummary::default();
+        let ltc_nodes = self.ltc_node_map();
+        for (ltc_id, node) in {
+            let mut v: Vec<(LtcId, NodeId)> = ltc_nodes.iter().map(|(l, n)| (*l, *n)).collect();
+            v.sort();
+            v
+        } {
+            let Ok(ltc) = self.ltc(ltc_id) else { continue };
+            let repair_client = StocClient::new(self.fabric().endpoint(node), directory.clone())
+                .with_io_parallelism(self.config().stoc_io_parallelism);
+            for range in ltc.range_ids() {
+                let Ok(engine) = ltc.range(range) else { continue };
+                if engine.is_frozen() || engine.is_retired() {
+                    continue;
+                }
+                if engine.manifest_dirty() && engine.sync_dirty_manifest().is_err() {
+                    // Still failing (the pinned home is still down): the
+                    // durable metadata lags the version, so acknowledged
+                    // writes whose logs died at flush are not yet
+                    // failover-safe. Counted as debt until a save lands.
+                    debt.dirty_manifests += 1;
+                }
+                let mut stranded_logs = false;
+                for stoc in engine.log_component().open_replica_stocs() {
+                    if !view.healthy.contains(&stoc) {
+                        debt.missing_log_replicas += 1;
+                        stranded_logs = true;
+                    }
+                }
+                if stranded_logs {
+                    // Log replicas heal through rotation, not copying: fresh
+                    // log files land only on placeable StoCs, and retrying
+                    // stuck flushes (those that failed against the StoC
+                    // before it was drained) lets the stranded files close.
+                    engine.rotate_memtables();
+                    engine.retry_stuck_flushes();
+                }
+                for meta in engine.version_snapshot().all_tables() {
+                    let td = table_debt(&meta, &view, data_target, meta_target);
+                    debt.absorb(&td);
+                    if td.is_zero() {
+                        continue;
+                    }
+                    let mut patched = meta.clone();
+                    let mut changed = false;
+                    for f in &td.fragments {
+                        // Parity makes even a source-less fragment
+                        // reconstructible; anything else must wait for its
+                        // node to recover.
+                        if !f.has_readable_source && meta.parity.is_none() {
+                            continue;
+                        }
+                        let holding: Vec<StocId> = patched.fragments[f.index]
+                            .replicas
+                            .iter()
+                            .map(|h| h.stoc)
+                            .collect();
+                        let seed = meta.file_number.wrapping_mul(31).wrapping_add(f.index as u64);
+                        for dest in choose_repair_targets(&view, &holding, f.missing as usize, seed) {
+                            if !state.bucket.try_consume(f.bytes) {
+                                state.stats.deferred_repairs += 1;
+                                report.deferred_repairs += 1;
+                                continue;
+                            }
+                            match copy_fragment(&repair_client, &patched, f.index, dest) {
+                                Ok(handle) => {
+                                    patched = with_fragment_replica(&patched, f.index, handle);
+                                    changed = true;
+                                    state.stats.repaired_fragments += 1;
+                                    state.stats.repaired_bytes += f.bytes;
+                                    report.repaired_fragments += 1;
+                                    report.repaired_bytes += f.bytes;
+                                }
+                                Err(_) => state.stats.failed_repairs += 1,
+                            }
+                        }
+                    }
+                    if td.meta_missing > 0 && td.meta_has_readable_source {
+                        let holding: Vec<StocId> = patched.meta_blocks.iter().map(|h| h.stoc).collect();
+                        for dest in
+                            choose_repair_targets(&view, &holding, td.meta_missing as usize, meta.file_number)
+                        {
+                            if !state.bucket.try_consume(td.meta_bytes) {
+                                state.stats.deferred_repairs += 1;
+                                report.deferred_repairs += 1;
+                                continue;
+                            }
+                            match copy_meta_block(&repair_client, &patched, dest) {
+                                Ok(handle) => {
+                                    patched = with_meta_replica(&patched, handle);
+                                    changed = true;
+                                    state.stats.repaired_meta_blocks += 1;
+                                    state.stats.repaired_bytes += td.meta_bytes;
+                                    report.repaired_meta_blocks += 1;
+                                    report.repaired_bytes += td.meta_bytes;
+                                }
+                                Err(_) => state.stats.failed_repairs += 1,
+                            }
+                        }
+                    }
+                    if changed {
+                        // Ok(false) (table compacted away / range migrating)
+                        // only leaks the copied blocks; the next scan
+                        // recomputes debt from the installed metadata.
+                        let _ = engine.install_table_replicas(patched);
+                    }
+                }
+            }
+        }
+        report.debt = debt;
+
+        // 6. Publish the round's gauges.
+        let m = self.metrics();
+        m.gauge("selfheal.ticks").set(state.stats.ticks);
+        m.gauge("selfheal.debt.under_replicated_tables")
+            .set(debt.under_replicated_tables);
+        m.gauge("selfheal.debt.fragment_replicas")
+            .set(debt.missing_fragment_replicas);
+        m.gauge("selfheal.debt.meta_replicas")
+            .set(debt.missing_meta_replicas);
+        m.gauge("selfheal.debt.log_replicas")
+            .set(debt.missing_log_replicas);
+        m.gauge("selfheal.debt.bytes").set(debt.missing_bytes);
+        m.gauge("selfheal.debt.unreadable_pieces")
+            .set(debt.unreadable_pieces);
+        m.gauge("selfheal.debt.dirty_manifests").set(debt.dirty_manifests);
+        m.gauge("selfheal.failovers").set(state.stats.failovers);
+        m.gauge("selfheal.pending_failovers")
+            .set(state.pending_failovers.len() as u64);
+        m.gauge("selfheal.stoc_drains").set(state.stats.stoc_drains);
+        m.gauge("selfheal.stoc_rejoins").set(state.stats.stoc_rejoins);
+        m.gauge("selfheal.repaired.fragments")
+            .set(state.stats.repaired_fragments);
+        m.gauge("selfheal.repaired.meta_blocks")
+            .set(state.stats.repaired_meta_blocks);
+        m.gauge("selfheal.repaired.bytes").set(state.stats.repaired_bytes);
+        m.gauge("selfheal.deferred_repairs")
+            .set(state.stats.deferred_repairs);
+        for s in state.detector.states() {
+            m.gauge(&format!("detector.node.{}.phi_milli", s.node.0))
+                .set((s.phi * 1000.0) as u64);
+            m.gauge(&format!("detector.node.{}.last_heartbeat_age_micros", s.node.0))
+                .set(s.last_heartbeat_age.as_micros() as u64);
+        }
+        report
+    }
+
+    /// The supervisor's current per-node suspicion levels (empty until the
+    /// first supervision round).
+    pub fn detector_states(&self) -> Vec<NodeSuspicion> {
+        self.selfheal.lock().detector.states()
+    }
+
+    /// Lifetime self-healing counters.
+    pub fn selfheal_stats(&self) -> SelfHealStats {
+        let state = self.selfheal.lock();
+        let mut stats = state.stats;
+        stats.pending_failovers = state.pending_failovers.len() as u64;
+        stats
+    }
+
+    /// Scan the cluster's replication debt without repairing anything: how
+    /// many fragment/metadata/log replicas sit below the availability
+    /// target on healthy (alive and placeable) StoCs.
+    pub fn replication_debt(&self) -> DebtSummary {
+        let view = self.debt_view();
+        let data_target = self.config().range.availability.data_copies();
+        let meta_target = self.config().range.availability.metadata_replicas();
+        let mut debt = DebtSummary::default();
+        for ltc_id in self.ltc_ids() {
+            let Ok(ltc) = self.ltc(ltc_id) else { continue };
+            for range in ltc.range_ids() {
+                let Ok(engine) = ltc.range(range) else { continue };
+                if engine.is_retired() {
+                    continue;
+                }
+                if engine.manifest_dirty() {
+                    debt.dirty_manifests += 1;
+                }
+                for stoc in engine.log_component().open_replica_stocs() {
+                    if !view.healthy.contains(&stoc) {
+                        debt.missing_log_replicas += 1;
+                    }
+                }
+                for meta in engine.version_snapshot().all_tables() {
+                    debt.absorb(&table_debt(&meta, &view, data_target, meta_target));
+                }
+            }
+        }
+        debt
+    }
+
+    /// The debt scan's view of the StoC fleet: readable = node alive,
+    /// healthy = alive and placement-eligible.
+    fn debt_view(&self) -> StocView {
+        let directory = self.stoc_directory();
+        let placeable: HashSet<StocId> = directory.placeable().iter().copied().collect();
+        let mut view = StocView::default();
+        for stoc in directory.all() {
+            let alive = directory
+                .node_of(stoc)
+                .map(|n| self.fabric().is_alive(n))
+                .unwrap_or(false);
+            if alive {
+                view.readable.insert(stoc);
+                if placeable.contains(&stoc) {
+                    view.healthy.insert(stoc);
+                }
+            }
+        }
+        view
+    }
+
+    fn rotate_all_memtables(&self) {
+        for ltc_id in self.ltc_ids() {
+            let Ok(ltc) = self.ltc(ltc_id) else { continue };
+            for range in ltc.range_ids() {
+                if let Ok(engine) = ltc.range(range) {
+                    engine.rotate_memtables();
+                    engine.retry_stuck_flushes();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nova_common::clock::manual_clock;
+
+    #[test]
+    fn zero_budget_is_unthrottled() {
+        let (clock, _manual) = manual_clock();
+        let mut bucket = TokenBucket::new(clock, 0);
+        for _ in 0..1000 {
+            assert!(bucket.try_consume(u64::MAX / 2));
+        }
+    }
+
+    #[test]
+    fn bucket_enforces_the_rate_and_refills_with_time() {
+        let (clock, manual) = manual_clock();
+        let mut bucket = TokenBucket::new(clock, 1000);
+        assert!(bucket.try_consume(600), "starts full");
+        assert!(!bucket.try_consume(600), "only 400 left");
+        manual.advance(Duration::from_millis(500));
+        assert!(bucket.try_consume(600), "refilled to 900");
+        assert!(!bucket.try_consume(600), "300 left");
+        manual.advance(Duration::from_secs(10));
+        assert!(
+            bucket.try_consume(1000),
+            "capacity caps the burst at one second of budget"
+        );
+        assert!(!bucket.try_consume(1), "burst exhausted");
+    }
+
+    #[test]
+    fn oversized_piece_overdraws_a_full_bucket_instead_of_wedging() {
+        let (clock, manual) = manual_clock();
+        let mut bucket = TokenBucket::new(clock, 100);
+        assert!(bucket.try_consume(250), "full bucket admits an oversized piece");
+        assert!(
+            !bucket.try_consume(1),
+            "balance is negative until refills pay the debt"
+        );
+        manual.advance(Duration::from_secs(1));
+        assert!(!bucket.try_consume(1), "still in debt");
+        manual.advance(Duration::from_secs(2));
+        assert!(bucket.try_consume(50), "debt repaid at the configured rate");
+    }
+}

@@ -24,6 +24,8 @@ struct Node {
     pending_calls: Mutex<HashMap<u64, Sender<Result<Bytes>>>>,
     stats: ComponentStats,
     alive: AtomicBool,
+    /// Liveness probes answered (the failure detector's heartbeat RPC path).
+    pings: AtomicU64,
 }
 
 impl Node {
@@ -36,6 +38,7 @@ impl Node {
             pending_calls: Mutex::new(HashMap::new()),
             stats: ComponentStats::new(),
             alive: AtomicBool::new(true),
+            pings: AtomicU64::new(0),
         }
     }
 }
@@ -104,6 +107,14 @@ impl Fabric {
     pub fn fail_node(&self, node: NodeId) {
         if let Some(n) = self.nodes.read().get(node.0 as usize) {
             n.alive.store(false, Ordering::SeqCst);
+            // Calls the node has in flight will never complete on a dead
+            // RNIC: complete them with an error now instead of stranding
+            // the issuing threads for the full call timeout.
+            let waiters: Vec<Sender<Result<Bytes>>> =
+                n.pending_calls.lock().drain().map(|(_, tx)| tx).collect();
+            for tx in waiters {
+                let _ = tx.send(Err(Error::FabricUnavailable(format!("{node} has failed"))));
+            }
         }
     }
 
@@ -112,6 +123,18 @@ impl Fabric {
         if let Some(n) = self.nodes.read().get(node.0 as usize) {
             n.alive.store(true, Ordering::SeqCst);
         }
+    }
+
+    /// Liveness probe of `node`: the heartbeat RPC the failure detector
+    /// rides on. Models the coordinator's periodic heartbeat exchange with
+    /// each component — succeeds (and counts on the node's ping counter) iff
+    /// the node is attached and alive, and fails with the same
+    /// [`Error::FabricUnavailable`] a data verb against the dead node would
+    /// surface.
+    pub fn ping(&self, node: NodeId) -> Result<()> {
+        let n = self.live_node(node)?;
+        n.pings.fetch_add(1, Ordering::Relaxed);
+        Ok(())
     }
 
     /// True if the node is currently reachable.
@@ -139,6 +162,7 @@ impl Fabric {
             bytes_written: n.stats.bytes_written.get(),
             network_busy_nanos: n.stats.cpu.busy_nanos(),
             alive: n.alive.load(Ordering::SeqCst),
+            pings: n.pings.load(Ordering::Relaxed),
         })
     }
 
@@ -170,6 +194,8 @@ pub struct FabricNodeStats {
     pub network_busy_nanos: u64,
     /// False once the node has been failed and not yet recovered.
     pub alive: bool,
+    /// Liveness probes ([`Fabric::ping`]) the node has answered.
+    pub pings: u64,
 }
 
 /// A node's handle onto the fabric. All verbs are issued through an endpoint
@@ -360,7 +386,20 @@ impl Endpoint {
         // caller with an error), but a dead *target* still rejects delivery:
         // a failed caller must not observe successful RPC completions.
         let issuer = self.fabric.node(self.node)?;
-        let peer = self.fabric.live_node(target)?;
+        let peer = match self.fabric.live_node(target) {
+            Ok(peer) => peer,
+            Err(e) => {
+                // The caller's node died while this call was in flight. Its
+                // RNIC cannot receive the completion, but the waiting thread
+                // must not sit out the full call timeout: hand it an error.
+                if let Ok(dead) = self.fabric.node(target) {
+                    if let Some(tx) = dead.pending_calls.lock().remove(&call_id) {
+                        let _ = tx.send(Err(Error::FabricUnavailable(format!("{target} has failed"))));
+                    }
+                }
+                return Err(e);
+            }
+        };
         let issuer_alive = issuer.alive.load(Ordering::SeqCst);
         let payload = if issuer_alive {
             let bytes = payload.as_ref().map(|b| b.len()).unwrap_or(0);
@@ -555,6 +594,23 @@ mod tests {
             "the caller must be unblocked promptly, not wait out the timeout"
         );
         handle.join().unwrap();
+    }
+
+    #[test]
+    fn ping_tracks_liveness_and_counts() {
+        let fabric = Fabric::with_defaults(2);
+        assert!(fabric.ping(NodeId(1)).is_ok());
+        assert!(fabric.ping(NodeId(1)).is_ok());
+        assert_eq!(fabric.node_stats(NodeId(1)).unwrap().pings, 2);
+        fabric.fail_node(NodeId(1));
+        let err = fabric.ping(NodeId(1)).unwrap_err();
+        assert!(matches!(err, Error::FabricUnavailable(_)));
+        // A failed probe does not count as answered.
+        assert_eq!(fabric.node_stats(NodeId(1)).unwrap().pings, 2);
+        fabric.recover_node(NodeId(1));
+        assert!(fabric.ping(NodeId(1)).is_ok());
+        // Probing a detached node is an error, not a panic.
+        assert!(fabric.ping(NodeId(9)).is_err());
     }
 
     #[test]

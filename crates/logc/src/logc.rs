@@ -437,6 +437,18 @@ impl LogC {
         self.open.lock().len()
     }
 
+    /// StoCs holding in-memory replicas of currently-open log files (with
+    /// multiplicity). The self-healing supervisor uses this to count log
+    /// replicas stranded on failed or draining StoCs: those heal through
+    /// memtable rotation rather than copying, since log files die at flush.
+    pub fn open_replica_stocs(&self) -> Vec<StocId> {
+        self.open
+            .lock()
+            .values()
+            .flat_map(|f| f.replicas.iter().map(|r| r.stoc))
+            .collect()
+    }
+
     /// Bytes durably appended to the in-memory replicas of a specific log
     /// file so far (for tests and statistics).
     pub fn log_bytes(&self, range: RangeId, memtable: MemtableId) -> u64 {

@@ -187,6 +187,12 @@ pub struct RangeEngine {
     /// MANIFEST's last word — which recovery would then trust, silently
     /// dropping that table's keys.
     manifest_mutex: Mutex<()>,
+    /// Set when a manifest persist fails (say its pinned home StoC is down):
+    /// the in-memory version is then newer than the durable MANIFEST, and a
+    /// failover before a successful re-persist would resolve stale metadata.
+    /// The self-healing supervisor counts this as replication debt and
+    /// retries [`RangeEngine::sync_dirty_manifest`] until it clears.
+    manifest_dirty: AtomicBool,
     frozen: AtomicBool,
     /// Set at migration commit: the range changed hands, so even reads must
     /// bounce with [`Error::StaleConfig`] — a reader that resolved this
@@ -354,6 +360,7 @@ impl RangeEngine {
             compaction_scheduled: AtomicBool::new(false),
             compaction_mutex: Mutex::new(()),
             manifest_mutex: Mutex::new(()),
+            manifest_dirty: AtomicBool::new(false),
             frozen: AtomicBool::new(false),
             retired: AtomicBool::new(false),
             owner_epoch: AtomicU64::new(0),
@@ -1220,7 +1227,13 @@ impl RangeEngine {
             next_file_number: self.next_file_number.load(Ordering::SeqCst),
             last_sequence: self.sequence.load(Ordering::SeqCst),
         };
-        self.manifest.save(&self.client, &data)
+        let result = self.manifest.save(&self.client, &data);
+        // Track durability of the metadata itself: a failed save leaves the
+        // durable MANIFEST behind the in-memory version (the flush that
+        // triggered it may already have deleted its log file), so recovery
+        // would lose acknowledged writes until a later save succeeds.
+        self.manifest_dirty.store(result.is_err(), Ordering::SeqCst);
+        result
     }
 
     /// Install the results of a compaction: remove the inputs, add the
@@ -1649,6 +1662,52 @@ impl RangeEngine {
         purged
     }
 
+    /// Install a repaired copy of a table's metadata — same `file_number`
+    /// and `level`, extended replica lists — produced by background
+    /// re-replication. Returns `Ok(false)` without touching anything when
+    /// the table no longer exists in the version (compacted away while the
+    /// copy was in flight: the freshly written replica block leaks on its
+    /// StoC, which is acceptable — the race window is one repair copy wide)
+    /// or when the range is frozen/retired for migration.
+    pub fn install_table_replicas(&self, meta: SstableMeta) -> Result<bool> {
+        if self.is_frozen() || self.is_retired() {
+            return Ok(false);
+        }
+        {
+            let mut version = self.version.lock();
+            if version
+                .remove_table(meta.level as usize, meta.file_number)
+                .is_none()
+            {
+                return Ok(false);
+            }
+            version.add_table(meta);
+        }
+        self.persist_manifest()?;
+        Ok(true)
+    }
+
+    /// The log component this range appends to. The self-healing supervisor
+    /// inspects it for log replicas stranded on unhealthy StoCs.
+    pub fn log_component(&self) -> &Arc<LogC> {
+        &self.logc
+    }
+
+    /// True if the durable MANIFEST is behind the in-memory version because
+    /// a persist failed (e.g. the pinned manifest-home StoC is down). A
+    /// failover in this state would resolve stale metadata, so the
+    /// supervisor reports it as replication debt and keeps retrying
+    /// [`RangeEngine::sync_dirty_manifest`].
+    pub fn manifest_dirty(&self) -> bool {
+        self.manifest_dirty.load(Ordering::SeqCst)
+    }
+
+    /// Retry a failed manifest persist; clears [`RangeEngine::manifest_dirty`]
+    /// on success.
+    pub fn sync_dirty_manifest(&self) -> Result<()> {
+        self.persist_manifest()
+    }
+
     /// True if the range has been retired by a committed migration.
     pub fn is_retired(&self) -> bool {
         self.retired.load(Ordering::SeqCst)
@@ -1787,35 +1846,59 @@ impl RangeEngine {
         out
     }
 
+    /// Rotate every non-empty active memtable onto a fresh log file and
+    /// queue its flush, without waiting for the background queue to drain.
+    /// The self-healing supervisor calls this when a StoC fails: open log
+    /// files replicated on the dead StoC would reject every append, so
+    /// rotation re-homes the write path onto placement-eligible StoCs while
+    /// the flushes retire the stranded files in the background.
+    pub fn rotate_memtables(&self) {
+        let mut state = self.write_state.write();
+        let boundaries = state.dranges.boundaries();
+        let generation = state.dranges.generation();
+        for (idx, s) in state.states.iter_mut().enumerate() {
+            if s.active.is_empty() {
+                // Nothing to flush, but the empty memtable's log file may
+                // still replicate to StoCs that have since left placement
+                // (failed or draining). Re-creating it re-homes the replicas
+                // onto the current placeable set; the file name is unchanged
+                // so later appends and the flush-time delete are unaffected.
+                let _ = self.logc.create_log_file(self.range_id, s.active.id());
+                continue;
+            }
+            let old = Arc::clone(&s.active);
+            old.mark_immutable();
+            s.immutables.push(Arc::clone(&old));
+            let fresh = self.new_memtable(generation);
+            self.lookup_index.register_memtable(&fresh);
+            let boundary = boundaries.get(idx).copied().unwrap_or(self.interval);
+            self.range_index.add_memtable(boundary, &fresh);
+            let _ = self.logc.create_log_file(self.range_id, fresh.id());
+            s.active = fresh;
+            self.send_flush(idx, old, true);
+        }
+    }
+
+    /// Re-queue a force flush for every immutable memtable still in place.
+    /// Flushes that failed transiently — say their target StoC died before
+    /// the supervisor drained it — released their claim, so this retries
+    /// them; flushes already in flight are deduplicated by the claim set.
+    pub fn retry_stuck_flushes(&self) {
+        let state = self.write_state.read();
+        for (idx, s) in state.states.iter().enumerate() {
+            for m in &s.immutables {
+                self.send_flush(idx, Arc::clone(m), true);
+            }
+        }
+    }
+
     /// Flush every memtable and wait for the background queue to drain.
     /// Useful in tests and before a graceful shutdown.
     pub fn flush_all(&self) -> Result<()> {
-        {
-            let mut state = self.write_state.write();
-            let boundaries = state.dranges.boundaries();
-            let generation = state.dranges.generation();
-            for (idx, s) in state.states.iter_mut().enumerate() {
-                if s.active.is_empty() {
-                    continue;
-                }
-                let old = Arc::clone(&s.active);
-                old.mark_immutable();
-                s.immutables.push(Arc::clone(&old));
-                let fresh = self.new_memtable(generation);
-                self.lookup_index.register_memtable(&fresh);
-                let boundary = boundaries.get(idx).copied().unwrap_or(self.interval);
-                self.range_index.add_memtable(boundary, &fresh);
-                let _ = self.logc.create_log_file(self.range_id, fresh.id());
-                s.active = fresh;
-                self.send_flush(idx, old, true);
-            }
-            // Also force-flush existing immutables.
-            for (idx, s) in state.states.iter().enumerate() {
-                for m in &s.immutables {
-                    self.send_flush(idx, Arc::clone(m), true);
-                }
-            }
-        }
+        self.rotate_memtables();
+        // Also force-flush existing immutables (merged small memtables that
+        // nothing would otherwise force out).
+        self.retry_stuck_flushes();
         self.wait_for_background_idle(Duration::from_secs(30))
     }
 

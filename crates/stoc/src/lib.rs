@@ -25,6 +25,7 @@ pub mod compaction;
 pub mod io_pool;
 pub mod medium;
 pub mod message;
+pub mod replication;
 pub mod server;
 pub mod table_io;
 
@@ -33,6 +34,7 @@ pub use compaction::{execute_compaction, load_table_entries, CompactionJob};
 pub use io_pool::{IoPool, DEFAULT_IO_PARALLELISM};
 pub use medium::{DiskStats, FsDisk, SimDisk, StorageMedium};
 pub use message::{StocRequest, StocResponse};
+pub use replication::{copy_fragment, copy_meta_block, with_fragment_replica, with_meta_replica};
 pub use server::{StocServer, StocState};
 pub use table_io::{
     delete_table, local_spec, read_fragment, read_meta_block, write_table, ScatteredBlockFetcher,

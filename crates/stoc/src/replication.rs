@@ -1,0 +1,160 @@
+//! Background fragment re-replication primitives.
+//!
+//! When a StoC dies or drains, replicas of SSTable fragments and metadata
+//! blocks drop below the availability target. The self-healing supervisor
+//! repairs that debt by copying each under-replicated piece onto a placeable
+//! StoC: read the piece through the ordinary degraded-read path (replica
+//! fallback, then parity reconstruction — [`read_fragment`] /
+//! [`read_meta_block`]) and write it as a fresh block on the destination.
+//! The helpers here do exactly one such copy, plus the pure metadata patch
+//! that records the new replica; the supervisor owns scheduling, budgeting
+//! and installing the patched metadata into the owning range's version.
+
+use crate::client::StocClient;
+use crate::table_io::{read_fragment, read_meta_block};
+use nova_common::error::Result;
+use nova_common::{StocBlockHandle, StocId};
+use nova_sstable::SstableMeta;
+
+/// Copy data fragment `index` of `meta` onto `dest`, reading through any
+/// surviving replica (or parity reconstruction) and returning the handle of
+/// the new copy. The source replicas are untouched; callers record the new
+/// handle with [`with_fragment_replica`].
+pub fn copy_fragment(
+    client: &StocClient,
+    meta: &SstableMeta,
+    index: usize,
+    dest: StocId,
+) -> Result<StocBlockHandle> {
+    let bytes = read_fragment(client, meta, index)?;
+    client.write_block(dest, &bytes)
+}
+
+/// Copy the metadata block of `meta` onto `dest`, returning the handle of
+/// the new copy. Callers record it with [`with_meta_replica`].
+pub fn copy_meta_block(client: &StocClient, meta: &SstableMeta, dest: StocId) -> Result<StocBlockHandle> {
+    let bytes = read_meta_block(client, meta)?;
+    client.write_block(dest, &bytes)
+}
+
+/// Return `meta` with `handle` appended to fragment `index`'s replica list.
+/// The primary (first) handle is preserved; repairs only ever add fallback
+/// copies, so readers keep their fast path.
+pub fn with_fragment_replica(meta: &SstableMeta, index: usize, handle: StocBlockHandle) -> SstableMeta {
+    let mut patched = meta.clone();
+    patched.fragments[index].replicas.push(handle);
+    patched
+}
+
+/// Return `meta` with `handle` appended to the metadata-block replica list.
+pub fn with_meta_replica(meta: &SstableMeta, handle: StocBlockHandle) -> SstableMeta {
+    let mut patched = meta.clone();
+    patched.meta_blocks.push(handle);
+    patched
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::medium::{SimDisk, StorageMedium};
+    use crate::server::StocServer;
+    use crate::table_io::{write_table, TableWriteSpec};
+    use crate::StocDirectory;
+    use nova_common::config::DiskConfig;
+    use nova_common::types::Entry;
+    use nova_common::NodeId;
+    use nova_fabric::Fabric;
+    use nova_sstable::{TableBuilder, TableOptions};
+    use std::sync::Arc;
+
+    fn start_cluster(num_stocs: usize) -> (Arc<Fabric>, StocDirectory, Vec<StocServer>) {
+        let fabric = Fabric::with_defaults(num_stocs + 1);
+        let directory = StocDirectory::new();
+        let servers: Vec<StocServer> = (0..num_stocs)
+            .map(|i| {
+                let medium: Arc<dyn StorageMedium> = Arc::new(SimDisk::new(DiskConfig {
+                    bandwidth_bytes_per_sec: u64::MAX / 2,
+                    seek_micros: 0,
+                    accounting_only: true,
+                }));
+                StocServer::start(
+                    StocId(i as u32),
+                    NodeId(i as u32 + 1),
+                    &fabric,
+                    directory.clone(),
+                    medium,
+                    2,
+                    1,
+                )
+            })
+            .collect();
+        (fabric, directory, servers)
+    }
+
+    #[test]
+    fn copies_survive_source_failure_and_patch_into_metadata() {
+        let entries: Vec<Entry> = (0..400)
+            .map(|i| {
+                Entry::put(
+                    format!("key-{i:06}").into_bytes(),
+                    i + 1,
+                    format!("v-{i:04}").into_bytes(),
+                )
+            })
+            .collect();
+        let mut builder = TableBuilder::new(TableOptions {
+            block_size: 512,
+            bloom_bits_per_key: 10,
+            num_fragments: 4,
+        });
+        for e in &entries {
+            builder.add(e);
+        }
+        let built = builder.finish().unwrap();
+
+        let (fabric, directory, servers) = start_cluster(6);
+        let client = StocClient::new(fabric.endpoint(NodeId(0)), directory).with_io_parallelism(4);
+        let meta = write_table(
+            &client,
+            &built,
+            &TableWriteSpec {
+                file_number: 11,
+                level: 0,
+                drange: None,
+                fragment_placement: (0..4).map(|i| vec![StocId(i as u32)]).collect(),
+                parity_placement: Some(StocId(4)),
+                meta_placement: vec![StocId(4)],
+            },
+        )
+        .unwrap();
+
+        // Kill the StoC holding fragment 1's only copy: the repair copy must
+        // come from parity reconstruction, land on StoC 5, and read back
+        // byte-identical through the patched metadata.
+        fabric.fail_node(NodeId(2));
+        let new_handle = copy_fragment(&client, &meta, 1, StocId(5)).unwrap();
+        assert_eq!(new_handle.stoc, StocId(5));
+        let patched = with_fragment_replica(&meta, 1, new_handle);
+        assert_eq!(
+            patched.fragments[1].replicas.len(),
+            meta.fragments[1].replicas.len() + 1
+        );
+        assert_eq!(
+            read_fragment(&client, &patched, 1).unwrap().as_ref(),
+            &built.fragments[1][..]
+        );
+
+        // Metadata block copy, plus the patch helper.
+        let meta_handle = copy_meta_block(&client, &meta, StocId(5)).unwrap();
+        let patched = with_meta_replica(&patched, meta_handle);
+        assert_eq!(patched.meta_blocks.last().unwrap().stoc, StocId(5));
+        assert_eq!(
+            read_meta_block(&client, &patched).unwrap().as_ref(),
+            &built.meta[..]
+        );
+
+        for s in servers {
+            s.stop();
+        }
+    }
+}

@@ -1,0 +1,425 @@
+//! Self-healing (Section 10's failure model, closed-loop): the failure
+//! detector confirms dead nodes, LTC failures trigger the epoch-guarded
+//! failover automatically, failed StoCs are auto-drained and their
+//! replication debt repaired under the I/O budget — all without an operator
+//! call. The chaos harness at the bottom kills random nodes under concurrent
+//! write load and asserts zero lost acknowledged writes.
+
+use nova_common::config::{AvailabilityPolicy, LogPolicy};
+use nova_lsm::{presets, NovaClient, NovaCluster};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// A cluster where acknowledged writes survive node failures: replicated log
+/// records (so memtable state is recoverable) and replicated SSTable
+/// fragments (so flushed state survives a StoC loss).
+fn durable_config(num_ltcs: usize, num_stocs: usize, num_keys: u64) -> nova_common::config::ClusterConfig {
+    let mut config = presets::test_cluster(num_ltcs, num_stocs, num_keys);
+    config.ranges_per_ltc = 2;
+    config.range.scatter_width = 2;
+    config.range.availability = AvailabilityPolicy::Replicate(2);
+    config.range.log_policy = LogPolicy::InMemoryReplicated { replicas: 2 };
+    config
+}
+
+fn wait_until(timeout: Duration, mut done: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if done() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    done()
+}
+
+/// Writer threads hammering disjoint key slices, each remembering the last
+/// sequence number the cluster acknowledged per key. Failures during an
+/// outage window are fine — those writes were never acknowledged — but an
+/// acknowledged sequence must never be lost: the final read of a key must
+/// return its last acked sequence or a later one from the same writer.
+struct AckedWrites {
+    per_writer: Vec<Vec<(u64, u64)>>,
+}
+
+impl AckedWrites {
+    fn verify(&self, client: &NovaClient) {
+        let mut lost = Vec::new();
+        for acked in &self.per_writer {
+            for (key, seq) in acked {
+                match client.get_numeric(*key) {
+                    Ok(Some(value)) => {
+                        let read: u64 = std::str::from_utf8(&value)
+                            .expect("writer values are ascii")
+                            .trim_start_matches('0')
+                            .parse()
+                            .unwrap_or(0);
+                        if read < *seq {
+                            lost.push((*key, *seq, format!("read back seq {read}")));
+                        }
+                    }
+                    Ok(None) => lost.push((*key, *seq, "absent".into())),
+                    Err(e) => lost.push((*key, *seq, format!("{e:?}"))),
+                }
+            }
+        }
+        assert!(lost.is_empty(), "lost acknowledged writes: {lost:?}");
+    }
+}
+
+/// Spawn `writers` threads over `keys_per_writer`-wide slices starting at
+/// multiples of `stride`, run `body` while they hammer the cluster, then
+/// stop them and return every acknowledged (key, seq).
+fn with_writers(
+    client: &NovaClient,
+    writers: u64,
+    keys_per_writer: u64,
+    stride: u64,
+    body: impl FnOnce(),
+) -> AckedWrites {
+    let stop = AtomicBool::new(false);
+    let per_writer: Vec<Vec<(u64, u64)>> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for w in 0..writers {
+            let client = client.clone();
+            let stop = &stop;
+            handles.push(scope.spawn(move || {
+                let lo = w * stride;
+                let mut acked: Vec<(u64, u64)> = Vec::new();
+                let mut seq = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    for key in lo..lo + keys_per_writer {
+                        seq += 1;
+                        let value = format!("{seq:020}");
+                        // An error is an unacknowledged write: during an
+                        // outage window the client surfaces the fault and
+                        // the writer simply moves on.
+                        if client.put_numeric(key, value.as_bytes()).is_ok() {
+                            match acked.iter_mut().find(|(k, _)| *k == key) {
+                                Some(slot) => slot.1 = seq,
+                                None => acked.push((key, seq)),
+                            }
+                        }
+                    }
+                    // Breathe between passes: the point is concurrent load,
+                    // not starving the supervisor (and the sibling tests'
+                    // clusters) of CPU.
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                acked
+            }));
+        }
+        // Stop the writers even when the body panics: without this, a failed
+        // assertion would leave the scoped writers spinning forever and the
+        // test would hang instead of failing.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body));
+        stop.store(true, Ordering::SeqCst);
+        let acked = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        if let Err(panic) = outcome {
+            std::panic::resume_unwind(panic);
+        }
+        acked
+    });
+    AckedWrites { per_writer }
+}
+
+/// The tentpole: a confirmed LTC failure fails over automatically — no
+/// operator call — while concurrent writers keep hammering the keyspace,
+/// and every acknowledged write survives.
+#[test]
+fn confirmed_ltc_failure_fails_over_automatically_under_load() {
+    let mut config = durable_config(2, 3, 4_000);
+    config.range.log_policy = LogPolicy::InMemoryReplicated { replicas: 3 };
+    config.supervisor.enabled = true;
+    config.supervisor.heartbeat_millis = 5;
+    let cluster = NovaCluster::start(config).unwrap();
+    let client = NovaClient::new(cluster.clone());
+
+    let victim = cluster.ltc_ids()[0];
+    let victim_node = cluster.ltc_node(victim).unwrap();
+    let survivor = cluster.ltc_ids()[1];
+
+    // 4 writers: two on the victim's half of the keyspace, two on the
+    // survivor's.
+    let acked = with_writers(&client, 4, 200, 1_000, || {
+        // Ramp up, then kill the LTC's node mid-flight.
+        std::thread::sleep(Duration::from_millis(50));
+        cluster.fabric().fail_node(victim_node);
+        let healed = wait_until(Duration::from_secs(30), || {
+            let stats = cluster.selfheal_stats();
+            stats.failovers >= 1 && stats.pending_failovers == 0 && !cluster.ltc_ids().contains(&victim)
+        });
+        assert!(healed, "the supervisor must fail over the dead LTC on its own");
+        // Let the writers observe the healed configuration for a while.
+        std::thread::sleep(Duration::from_millis(100));
+    });
+
+    // The survivor owns everything and the writers made progress on both
+    // halves — including the failed-over ranges, post-recovery.
+    assert_eq!(cluster.coordinator().configuration().ranges_of(survivor).len(), 4);
+    for per_writer in &acked.per_writer {
+        assert!(!per_writer.is_empty(), "every writer must make progress");
+    }
+    acked.verify(&client);
+
+    let stats = cluster.selfheal_stats();
+    assert_eq!(stats.failovers, 1);
+    assert!(stats.ticks > 0, "the background supervisor ran");
+    let snapshot = cluster.metrics_snapshot();
+    assert!(snapshot
+        .gauges
+        .contains_key("selfheal.last_time_to_detect_micros"));
+    assert!(snapshot
+        .gauges
+        .contains_key("selfheal.last_time_to_recover_micros"));
+    cluster.shutdown();
+}
+
+/// A confirmed StoC failure is auto-drained (rotating every range off its
+/// log files), its replication debt is repaired onto the surviving healthy
+/// StoCs, and the StoC rejoins placement when its node recovers. Driven by
+/// manual `self_heal_tick` calls so every step is deterministic.
+#[test]
+fn stoc_failure_auto_drains_repairs_debt_and_rejoins_on_recovery() {
+    let mut config = durable_config(1, 3, 2_000);
+    config.supervisor.rereplication_bytes_per_sec = 0; // unthrottled
+    let cluster = NovaCluster::start(config).unwrap();
+    let client = NovaClient::new(cluster.clone());
+
+    for i in 0..400u64 {
+        client.put_numeric(i, format!("durable-{i}").as_bytes()).unwrap();
+    }
+    cluster.flush_all().unwrap();
+    assert!(
+        cluster.replication_debt().is_zero(),
+        "a healthy cluster owes nothing: {:?}",
+        cluster.replication_debt()
+    );
+
+    let victim = *cluster.stoc_ids().last().unwrap();
+    let victim_node = cluster.stoc_node(victim).unwrap();
+    cluster.fabric().fail_node(victim_node);
+
+    // Three strikes confirm the failure; the same round drains the StoC and
+    // starts repairing.
+    let mut drained = false;
+    for _ in 0..3 {
+        let report = cluster.self_heal_tick();
+        drained |= report.stocs_drained.contains(&victim);
+    }
+    assert!(drained, "three failed probes must confirm and drain the StoC");
+    assert!(!cluster.stoc_ids().contains(&victim), "drained from placement");
+    assert_eq!(cluster.selfheal_stats().stoc_drains, 1);
+
+    // Reads survive on the surviving replicas; writes survive because the
+    // rotation moved open log files off the dead StoC.
+    assert_eq!(
+        client.get_numeric(3).unwrap().expect("present").as_ref(),
+        b"durable-3"
+    );
+    client.put_numeric(1_500, b"written-degraded").unwrap();
+
+    // Repair converges: every fragment and metadata block is back at its
+    // replication target on the remaining healthy StoCs. (Rotated memtables
+    // flush in the background, so the log-replica debt drains with them.)
+    let healed = wait_until(Duration::from_secs(30), || {
+        cluster.self_heal_tick();
+        cluster.replication_debt().is_zero()
+    });
+    assert!(
+        healed,
+        "re-replication must restore the target: {:?}",
+        cluster.replication_debt()
+    );
+    let stats = cluster.selfheal_stats();
+    assert!(
+        stats.repaired_fragments + stats.repaired_meta_blocks > 0,
+        "healing must have copied pieces, not just waited: {stats:?}"
+    );
+    assert!(stats.repaired_bytes > 0);
+
+    // Detector state and debt are operator-visible.
+    let health = cluster.health_report();
+    assert!(
+        health.detector.iter().any(|s| s.confirmed),
+        "confirmed node visible"
+    );
+    assert!(health.summary().contains("detect"));
+    assert!(health.to_json().contains("\"replication_debt\""));
+    assert!(health.to_json().contains("\"selfheal\""));
+
+    // The node comes back: the *auto*-drained StoC rejoins placement.
+    cluster.fabric().recover_node(victim_node);
+    cluster.self_heal_tick();
+    assert!(cluster.stoc_ids().contains(&victim), "auto-drained StoCs rejoin");
+    assert_eq!(cluster.selfheal_stats().stoc_rejoins, 1);
+    cluster.shutdown();
+}
+
+/// The token-bucket budget genuinely throttles: with a 1 byte/s budget the
+/// first copy overdraws the bucket and everything else is deferred to later
+/// rounds instead of being copied immediately.
+#[test]
+fn rereplication_respects_the_io_budget() {
+    let mut config = durable_config(1, 3, 2_000);
+    config.supervisor.rereplication_bytes_per_sec = 1;
+    let cluster = NovaCluster::start(config).unwrap();
+    let client = NovaClient::new(cluster.clone());
+
+    for i in 0..400u64 {
+        client.put_numeric(i, format!("budgeted-{i}").as_bytes()).unwrap();
+    }
+    cluster.flush_all().unwrap();
+    let victim = *cluster.stoc_ids().last().unwrap();
+    cluster.fabric().fail_node(cluster.stoc_node(victim).unwrap());
+
+    let mut deferred = 0;
+    for _ in 0..4 {
+        deferred += cluster.self_heal_tick().deferred_repairs;
+    }
+    assert!(deferred > 0, "a starved budget must defer repairs");
+    assert!(
+        !cluster.replication_debt().is_zero(),
+        "debt must remain while the budget withholds copies"
+    );
+    assert_eq!(cluster.selfheal_stats().deferred_repairs, deferred);
+    cluster.shutdown();
+}
+
+/// Partial failover: when one range cannot be rebuilt (its manifest-home
+/// StoC died with the LTC), the other ranges are still recovered, the stuck
+/// one stays pending, and the retry completes once the fault clears.
+#[test]
+fn unrecoverable_range_heals_the_rest_and_completes_on_retry() {
+    let mut config = durable_config(2, 3, 4_000);
+    config.range.log_policy = LogPolicy::InMemoryReplicated { replicas: 3 };
+    let cluster = NovaCluster::start(config).unwrap();
+    let client = NovaClient::new(cluster.clone());
+
+    for i in 0..4_000u64 {
+        client.put_numeric(i, format!("pinned-{i}").as_bytes()).unwrap();
+    }
+    cluster.flush_all().unwrap();
+
+    let victim = cluster.ltc_ids()[0];
+    let survivor = cluster.ltc_ids()[1];
+    let ranges = cluster.coordinator().configuration().ranges_of(victim);
+    assert_eq!(ranges.len(), 2);
+    // Kill the LTC *and* the StoC holding the first range's MANIFEST: that
+    // range cannot be rebuilt until the StoC returns.
+    let stuck_home = cluster
+        .coordinator()
+        .configuration()
+        .manifest_home(ranges[0])
+        .expect("pinned home");
+    let stuck_node = cluster.stoc_node(stuck_home).unwrap();
+    cluster.fabric().fail_node(cluster.ltc_node(victim).unwrap());
+    cluster.fabric().fail_node(stuck_node);
+
+    let mut last = None;
+    for _ in 0..3 {
+        last = Some(cluster.self_heal_tick());
+    }
+    let report = last.unwrap();
+    assert!(
+        report.failovers_pending.contains(&victim),
+        "the stuck range keeps the failover pending: {report:?}"
+    );
+    assert_eq!(cluster.selfheal_stats().pending_failovers, 1);
+    // The rest of the fleet healed: the survivable range already moved.
+    let moved = cluster.coordinator().configuration().ranges_of(survivor);
+    assert!(
+        moved.contains(&ranges[1]),
+        "the recoverable range must not be held hostage: survivor owns {moved:?}"
+    );
+
+    // The fault clears; the next rounds finish the job (the detector must
+    // first see the StoC answer again before the repair path trusts it).
+    cluster.fabric().recover_node(stuck_node);
+    let healed = wait_until(Duration::from_secs(30), || {
+        let report = cluster.self_heal_tick();
+        report.failovers_completed.contains(&victim) || cluster.selfheal_stats().pending_failovers == 0
+    });
+    assert!(healed, "the retry must complete once the manifest home is back");
+    assert_eq!(cluster.selfheal_stats().failovers, 1);
+    assert_eq!(
+        cluster.coordinator().configuration().ranges_of(survivor).len(),
+        4,
+        "every range ends up on the survivor"
+    );
+    // Nothing acknowledged was lost across the partial failover.
+    for i in (0..4_000u64).step_by(41) {
+        assert_eq!(
+            client.get_numeric(i).unwrap().expect("present").as_ref(),
+            format!("pinned-{i}").as_bytes()
+        );
+    }
+    cluster.shutdown();
+}
+
+/// The chaos harness: seeded random single-node kills — LTCs and StoCs —
+/// under concurrent write load. Every failure is healed automatically
+/// (failover or drain+repair), the fleet is restored between rounds, and at
+/// the end not one acknowledged write is missing.
+#[test]
+fn random_node_kills_under_load_lose_no_acked_writes() {
+    let mut config = durable_config(2, 3, 4_000);
+    config.supervisor.enabled = true;
+    config.supervisor.heartbeat_millis = 5;
+    let cluster = NovaCluster::start(config).unwrap();
+    let client = NovaClient::new(cluster.clone());
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+
+    let acked = with_writers(&client, 4, 150, 1_000, || {
+        std::thread::sleep(Duration::from_millis(30));
+        for round in 0..4 {
+            // Keep at least two LTCs (a failover needs a survivor) and three
+            // StoCs (ρ=2 plus one to lose) at all times.
+            let kill_ltc = cluster.ltc_ids().len() >= 2 && rng.gen_bool(0.5);
+            if kill_ltc {
+                let ltcs = cluster.ltc_ids();
+                let victim = ltcs[rng.gen_range(0..ltcs.len())];
+                cluster.fabric().fail_node(cluster.ltc_node(victim).unwrap());
+                let healed = wait_until(Duration::from_secs(30), || {
+                    !cluster.ltc_ids().contains(&victim) && cluster.selfheal_stats().pending_failovers == 0
+                });
+                assert!(healed, "round {round}: LTC {victim:?} failover stuck");
+                // Restore fleet capacity for the next round (the dead node
+                // stays dead; the replacement gets a fresh one).
+                cluster.add_ltc().unwrap();
+            } else {
+                let stocs = cluster.stoc_ids();
+                let victim = stocs[rng.gen_range(0..stocs.len())];
+                let node = cluster.stoc_node(victim).unwrap();
+                cluster.fabric().fail_node(node);
+                let drained = wait_until(Duration::from_secs(30), || !cluster.stoc_ids().contains(&victim));
+                assert!(drained, "round {round}: StoC {victim:?} never drained");
+                // Bring the node back, then require full health: rejoined
+                // placement and zero replication debt. (If the victim hosted
+                // a range's pinned manifest-home, the metadata debt can only
+                // clear once the node is back.)
+                cluster.fabric().recover_node(node);
+                let healed = wait_until(Duration::from_secs(30), || {
+                    cluster.stoc_ids().contains(&victim) && cluster.replication_debt().is_zero()
+                });
+                assert!(healed, "round {round}: StoC {victim:?} repair stuck");
+            }
+            // A quiet interval so the writers observe the healed fleet.
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    });
+
+    for per_writer in &acked.per_writer {
+        assert!(!per_writer.is_empty(), "every writer must make progress");
+    }
+    acked.verify(&client);
+    let stats = cluster.selfheal_stats();
+    assert_eq!(stats.pending_failovers, 0);
+    assert!(
+        stats.failovers + stats.stoc_drains >= 4,
+        "four rounds of kills must all have been healed: {stats:?}"
+    );
+    cluster.shutdown();
+}
