@@ -25,7 +25,12 @@
 //! * self-healing (`tab07_selfheal`): both chaos scenarios (LTC kill, StoC
 //!   kill under YCSB load) must lose **zero** acknowledged writes and the
 //!   supervisor must restore full health within **15s** — a broken detector,
-//!   failover, or re-replication path fails the build, not the pager.
+//!   failover, or re-replication path fails the build, not the pager;
+//! * the network front door (`fig25_server`): the remote arm must finish
+//!   with **0** client-terminal errors and **0** server-side protocol
+//!   errors, and its get p99 must stay within **8x** of the in-process
+//!   arm — a malformed frame, a broken retry classification, or a
+//!   per-operation stall in the server loop trips this.
 //!
 //! The floors are deliberately looser than the headline numbers (≈5x, ≈7x)
 //! so CI noise cannot flake the gate, while a real regression — a serialized
@@ -40,6 +45,7 @@ const GROUP_COMMIT_FLOOR: f64 = 2.0;
 const GROUPING_ISOLATION_FLOOR: f64 = 1.5;
 const MULTI_GET_FLOOR: f64 = 2.0;
 const OBS_OVERHEAD_CEILING_PCT: f64 = 5.0;
+const SERVER_GET_P99_CEILING: f64 = 8.0;
 
 /// Split the flat row objects out of a `"rows":[{...},{...}]` array. Rows
 /// are the flat (no nested braces) objects every bench binary writes.
@@ -268,6 +274,52 @@ fn check_selfheal(json: &str) -> Result<String, String> {
     ))
 }
 
+/// The server floors: both arms of `fig25_server` must finish with zero
+/// client-terminal errors, the remote arm must record zero server-side
+/// protocol errors, and the remote get p99 must stay within a bounded
+/// multiple of the in-process get p99. The ceiling is deliberately loose
+/// (loopback adds ~1.1-2x on top of the simulated fabric delay) so CI noise
+/// cannot flake it, while a per-operation stall — a lost flush, a lock held
+/// across the socket write, a retry loop that stopped terminating — still
+/// fails loudly.
+fn check_server(json: &str) -> Result<String, String> {
+    let all = rows(json);
+    for mode in ["in_process", "remote"] {
+        let Some(row) = all.iter().find(|r| has(r, "mode", &format!("\"{mode}\""))) else {
+            return Err(format!("server: no {mode} row found in BENCH_server.json"));
+        };
+        let errors = number(row, "errors").unwrap_or(f64::NAN);
+        if !(errors == 0.0) {
+            return Err(format!(
+                "server: the {mode} arm finished with {errors} client-terminal errors — the \
+                 wire error taxonomy or the retry classification has regressed"
+            ));
+        }
+        let protocol_errors = number(row, "protocol_errors").unwrap_or(f64::NAN);
+        if !(protocol_errors == 0.0) {
+            return Err(format!(
+                "server: the {mode} arm recorded {protocol_errors} protocol errors — the client \
+                 and server no longer agree on the frame format"
+            ));
+        }
+    }
+    let ratio = all
+        .iter()
+        .find(|r| has(r, "bench", "\"server_overhead\""))
+        .and_then(|r| number(r, "get_p99_ratio"));
+    match ratio {
+        Some(r) if r <= SERVER_GET_P99_CEILING => Ok(format!(
+            "server: 0 errors, remote get p99 {r:.2}x in-process (ceiling {SERVER_GET_P99_CEILING}x)"
+        )),
+        Some(r) => Err(format!(
+            "server: remote get p99 is {r:.2}x the in-process p99, past the \
+             {SERVER_GET_P99_CEILING}x ceiling — the wire protocol or server loop has a \
+             per-operation stall"
+        )),
+        None => Err("server: no server_overhead row with get_p99_ratio found in BENCH_server.json".into()),
+    }
+}
+
 fn main() -> ExitCode {
     // (section, report file, producing command, floor check) — the command
     // is printed verbatim when the file is missing, so a failed gate tells
@@ -308,6 +360,12 @@ fn main() -> ExitCode {
             "BENCH_selfheal.json",
             "cargo run --release -p nova-bench --bin tab07_selfheal -- --quick",
             check_selfheal,
+        ),
+        (
+            "server",
+            "BENCH_server.json",
+            "cargo run --release -p nova-bench --bin fig25_server -- --quick",
+            check_server,
         ),
     ];
     let mut merged: Vec<String> = Vec::new();
@@ -379,6 +437,35 @@ mod tests {
     const SELFHEAL: &str = r#"{"experiment":"tab07_selfheal","quick":true,"rows":[
         {"scenario":"ltc_kill","before_kops":8.0,"during_kops":5.0,"after_kops":7.0,"time_to_detect_ms":110.0,"time_to_recover_ms":340.0,"lost_acked_writes":0,"acked_keys_audited":128,"client_errors_during":13,"failovers":1,"stoc_drains":0},
         {"scenario":"stoc_kill","before_kops":8.0,"during_kops":6.0,"after_kops":7.0,"time_to_detect_ms":90.0,"time_to_recover_ms":750.0,"lost_acked_writes":0,"acked_keys_audited":128,"client_errors_during":40,"failovers":0,"stoc_drains":1}]}"#;
+
+    const SERVER: &str = r#"{"experiment":"fig25_server","quick":true,"rows":[
+        {"bench":"server","mode":"in_process","kops":22.6,"operations":45262,"errors":0,"protocol_errors":0,"get_p50_micros":4.7,"get_p99_micros":1341.7,"put_p50_micros":2.3,"put_p99_micros":1610.1},
+        {"bench":"server","mode":"remote","kops":15.8,"operations":35489,"errors":0,"protocol_errors":0,"get_p50_micros":150.5,"get_p99_micros":1610.1,"put_p50_micros":50.4,"put_p99_micros":1118.1},
+        {"bench":"server_overhead","get_p99_ratio":1.200,"kops_ratio":0.697}]}"#;
+
+    #[test]
+    fn server_floors_hold_and_trip() {
+        assert!(check_server(SERVER).is_ok());
+        // A single client-terminal error in either arm trips the gate.
+        let erring = SERVER.replacen("\"errors\":0", "\"errors\":2", 1);
+        assert!(check_server(&erring).is_err());
+        // So does any server-side protocol error.
+        let garbled = SERVER.replace(
+            "\"mode\":\"remote\",\"kops\":15.8,\"operations\":35489,\"errors\":0,\"protocol_errors\":0",
+            "\"mode\":\"remote\",\"kops\":15.8,\"operations\":35489,\"errors\":0,\"protocol_errors\":3",
+        );
+        assert!(check_server(&garbled).is_err());
+        // A remote get p99 past the bounded multiple trips it.
+        let slow = SERVER.replace("\"get_p99_ratio\":1.200", "\"get_p99_ratio\":11.000");
+        assert!(check_server(&slow).is_err());
+        // Both arms are mandatory; a missing one fails loudly.
+        let only_remote = SERVER.replace("\"mode\":\"in_process\"", "\"mode\":\"other\"");
+        assert!(check_server(&only_remote).is_err());
+        assert!(check_server("{\"rows\":[]}").is_err());
+        // Rows missing the error fields fail loudly instead of passing.
+        let missing = SERVER.replacen("\"errors\":0", "\"x\":0", 1);
+        assert!(check_server(&missing).is_err());
+    }
 
     #[test]
     fn selfheal_floors_hold_and_trip() {

@@ -1,0 +1,139 @@
+//! Figure 25 (repo extension): the network front door's overhead — the same
+//! YCSB workload driven through the in-process [`NovaClient`] vs remotely
+//! through `nova-server` over the framed wire protocol.
+//!
+//! Both arms run an identical cluster (simulated fabric delay on, block
+//! cache off, data flushed to SSTables) so every get pays the simulated
+//! StoC round trip; the remote arm additionally pays a loopback TCP round
+//! trip plus frame encode/decode per operation. Because reads dominate the
+//! measured latency (~2x the fabric one-way delay), the wire protocol's
+//! overhead shows up as a bounded multiplier on get p99 — that multiplier,
+//! plus "zero protocol errors" and "zero client-terminal errors", is what
+//! `ci_gate` enforces from `BENCH_server.json`.
+
+use nova_bench::{nova_store, print_header, print_row, run_workload, BenchScale, StoreHandle};
+use nova_common::config::{CacheConfig, ClusterConfig, DiskConfig, FabricConfig};
+use nova_lsm::presets;
+use nova_server::{NovaServer, RemoteClient};
+use nova_ycsb::{Distribution, Mix, RunReport, Workload};
+
+/// One-way verb latency for the simulated fabric: large enough that the
+/// storage round trip — not the loopback socket — dominates read latency,
+/// as it would in the paper's disaggregated deployment.
+const LATENCY_NANOS: u64 = 100_000;
+
+/// The cluster both arms run: fabric delay simulated, block cache off,
+/// accounting-only disk (no disk-model noise in the comparison).
+fn cluster_config(scale: &BenchScale) -> ClusterConfig {
+    let mut config = presets::test_cluster(1, 2, scale.num_keys);
+    config.ranges_per_ltc = 4;
+    config.fabric = FabricConfig {
+        latency_nanos: LATENCY_NANOS,
+        simulate_delay: true,
+        ..FabricConfig::default()
+    };
+    config.block_cache = CacheConfig::disabled();
+    config
+}
+
+/// Start a pre-loaded, flushed store so measured gets hit SSTables.
+fn start_store(scale: &BenchScale, listen: Option<&str>) -> StoreHandle {
+    let mut config = cluster_config(scale);
+    if let Some(addr) = listen {
+        config.server.listen_addr = addr.to_string();
+    }
+    let store = nova_store(config, scale);
+    store.nova().expect("nova store").flush_all().expect("flush");
+    store
+}
+
+fn row_json(mode: &str, report: &RunReport, protocol_errors: u64) -> String {
+    format!(
+        "{{\"bench\":\"server\",\"mode\":\"{mode}\",\"kops\":{:.3},\"operations\":{},\
+         \"errors\":{},\"protocol_errors\":{protocol_errors},\
+         \"get_p50_micros\":{:.1},\"get_p99_micros\":{:.1},\
+         \"put_p50_micros\":{:.1},\"put_p99_micros\":{:.1}}}",
+        report.throughput_kops(),
+        report.operations,
+        report.errors,
+        report.gets.percentile_micros(50.0),
+        report.gets.percentile_micros(99.0),
+        report.puts.percentile_micros(50.0),
+        report.puts.percentile_micros(99.0),
+    )
+}
+
+fn print_report(mode: &str, report: &RunReport, protocol_errors: u64) {
+    print_row(&[
+        mode.to_string(),
+        format!("{:.1}", report.throughput_kops()),
+        format!("{:.0}", report.gets.percentile_micros(50.0)),
+        format!("{:.0}", report.gets.percentile_micros(99.0)),
+        format!("{:.0}", report.puts.percentile_micros(99.0)),
+        report.errors.to_string(),
+        protocol_errors.to_string(),
+    ]);
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut scale = BenchScale::from_args();
+    // The comparison isolates protocol overhead, not the disk model.
+    scale.disk = DiskConfig {
+        bandwidth_bytes_per_sec: u64::MAX / 2,
+        seek_micros: 0,
+        accounting_only: true,
+    };
+
+    print_header(
+        &format!(
+            "Figure 25: wire-protocol overhead, YCSB RW50/uniform, {} threads, {}s",
+            scale.threads, scale.run_secs
+        ),
+        &[
+            "mode",
+            "kops",
+            "get p50us",
+            "get p99us",
+            "put p99us",
+            "errors",
+            "proto errs",
+        ],
+    );
+
+    // Arm 1: in-process NovaClient (the ceiling).
+    let store = start_store(&scale, None);
+    let local = run_workload(&store, Mix::Rw50, Distribution::Uniform, &scale);
+    print_report("in_process", &local, 0);
+    store.shutdown();
+
+    // Arm 2: the same driver over RemoteClient -> nova-server -> NovaClient.
+    let store = start_store(&scale, Some("127.0.0.1:0"));
+    let cluster = store.nova().expect("nova store").clone();
+    let mut server = NovaServer::start(cluster.clone(), &cluster.config().server).expect("start server");
+    let remote_client =
+        RemoteClient::connect(&server.local_addr().to_string()).expect("connect to nova-server");
+    let workload = Workload::new(Mix::Rw50, Distribution::Uniform, scale.num_keys, scale.value_size);
+    let remote = nova_ycsb::run(&remote_client, &workload, &scale.driver());
+    let protocol_errors = cluster.metrics().counter("server.protocol_errors").get();
+    print_report("remote", &remote, protocol_errors);
+    drop(remote_client);
+    server.shutdown();
+    store.shutdown();
+
+    let get_p99_ratio = remote.gets.percentile_micros(99.0) / local.gets.percentile_micros(99.0).max(1e-9);
+    let kops_ratio = remote.throughput_kops() / local.throughput_kops().max(1e-9);
+    println!("\nremote/in-process: get p99 ratio {get_p99_ratio:.2}x, throughput ratio {kops_ratio:.2}x");
+
+    let json = format!(
+        "{{\"experiment\":\"fig25_server\",\"quick\":{quick},\"latency_nanos\":{LATENCY_NANOS},\
+         \"rows\":[{},{},{{\"bench\":\"server_overhead\",\"get_p99_ratio\":{get_p99_ratio:.3},\
+         \"kops_ratio\":{kops_ratio:.3}}}]}}\n",
+        row_json("in_process", &local, 0),
+        row_json("remote", &remote, protocol_errors),
+    );
+    match std::fs::write("BENCH_server.json", &json) {
+        Ok(()) => println!("wrote BENCH_server.json"),
+        Err(e) => eprintln!("could not write BENCH_server.json: {e}"),
+    }
+}

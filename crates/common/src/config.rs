@@ -502,6 +502,101 @@ impl SupervisorConfig {
     }
 }
 
+/// One tenant of the network front door: an identity the server
+/// authenticates by token and meters with a per-tenant token bucket.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TenantConfig {
+    /// Tenant name presented in the wire handshake.
+    pub name: String,
+    /// Shared-secret token the tenant must present. Compared verbatim.
+    pub token: String,
+    /// Admission-control budget in operations per second (a batch of n
+    /// keys consumes n tokens). `0` means unlimited.
+    pub ops_per_sec: u64,
+    /// Whether the tenant may issue admin frames (health report, metrics
+    /// snapshot).
+    pub admin: bool,
+}
+
+impl TenantConfig {
+    /// An unlimited admin tenant, convenient for tests and local tooling.
+    pub fn admin(name: &str, token: &str) -> Self {
+        TenantConfig {
+            name: name.into(),
+            token: token.into(),
+            ops_per_sec: 0,
+            admin: true,
+        }
+    }
+}
+
+/// Configuration of the network front door (the `nova-server` crate): the
+/// TCP listener that fronts [`ClusterConfig`]-built clusters with the framed
+/// wire protocol, per-tenant authentication and admission control.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerConfig {
+    /// Address the TCP listener binds, e.g. `127.0.0.1:4590`. Port `0`
+    /// binds an ephemeral port (tests and benches).
+    pub listen_addr: String,
+    /// Upper bound on concurrently served connections. Connections beyond
+    /// the bound are refused with a retryable `busy` frame — the accept
+    /// pool is bounded rather than queueing unboundedly.
+    pub max_connections: usize,
+    /// Backpressure threshold: write requests are shed with a retryable
+    /// `busy` frame while the cluster's background backlog (queued +
+    /// running flush/compaction jobs across all LTCs) is at or above this
+    /// value. `u64::MAX` (the default) never sheds; `0` always sheds —
+    /// useful for deterministic tests.
+    pub shed_backlog_threshold: u64,
+    /// Suggested client backoff carried in `busy` frames, in microseconds.
+    pub retry_after_micros: u64,
+    /// Require every connection to authenticate with a `hello` frame before
+    /// issuing operations. When false, connections that skip the handshake
+    /// run as an implicit unlimited admin tenant (local tooling).
+    pub require_auth: bool,
+    /// The tenants the server accepts. Empty with `require_auth = false`
+    /// means anonymous-only.
+    pub tenants: Vec<TenantConfig>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            listen_addr: "127.0.0.1:4590".into(),
+            max_connections: 256,
+            shed_backlog_threshold: u64::MAX,
+            retry_after_micros: 2_000,
+            require_auth: false,
+            tenants: Vec::new(),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Validate invariants between knobs.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.listen_addr.is_empty() {
+            return Err("server listen_addr must be non-empty".into());
+        }
+        if self.max_connections == 0 {
+            return Err("server max_connections must be at least 1".into());
+        }
+        let mut names = std::collections::HashSet::new();
+        for tenant in &self.tenants {
+            if tenant.name.is_empty() {
+                return Err("server tenant names must be non-empty".into());
+            }
+            if !names.insert(tenant.name.as_str()) {
+                return Err(format!("duplicate server tenant name '{}'", tenant.name));
+            }
+        }
+        if self.require_auth && self.tenants.is_empty() {
+            return Err("server require_auth with no tenants would reject every connection".into());
+        }
+        Ok(())
+    }
+}
+
 /// Cluster-wide deployment configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClusterConfig {
@@ -558,6 +653,9 @@ pub struct ClusterConfig {
     /// Self-healing: failure detector cadence/thresholds and the background
     /// re-replication budget.
     pub supervisor: SupervisorConfig,
+    /// Network front door: listener address, connection bound, tenants and
+    /// QoS knobs consumed by the `nova-server` crate.
+    pub server: ServerConfig,
 }
 
 impl Default for ClusterConfig {
@@ -580,6 +678,7 @@ impl Default for ClusterConfig {
             num_keys: 100_000,
             metrics: MetricsConfig::default(),
             supervisor: SupervisorConfig::default(),
+            server: ServerConfig::default(),
         }
     }
 }
@@ -624,6 +723,7 @@ impl ClusterConfig {
         }
         self.block_cache.validate()?;
         self.supervisor.validate()?;
+        self.server.validate()?;
         self.range.validate()
     }
 }
@@ -750,6 +850,43 @@ mod tests {
             ..Default::default()
         };
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn server_config_validation() {
+        assert!(ServerConfig::default().validate().is_ok());
+        let c = ServerConfig {
+            max_connections: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = ServerConfig {
+            listen_addr: String::new(),
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        // Duplicate tenant names are rejected.
+        let c = ServerConfig {
+            tenants: vec![TenantConfig::admin("a", "t1"), TenantConfig::admin("a", "t2")],
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        // require_auth with no tenants would lock everyone out.
+        let c = ServerConfig {
+            require_auth: true,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = ServerConfig {
+            require_auth: true,
+            tenants: vec![TenantConfig::admin("a", "t")],
+            ..Default::default()
+        };
+        assert!(c.validate().is_ok());
+        // Cluster validation covers the server knobs.
+        let mut cluster = ClusterConfig::default();
+        cluster.server.max_connections = 0;
+        assert!(cluster.validate().is_err());
     }
 
     #[test]

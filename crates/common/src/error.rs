@@ -1,4 +1,9 @@
 //! Error types shared by every Nova-LSM component.
+//!
+//! [`ErrorCode`] is the single classification table for the whole workspace:
+//! `NovaClient::with_range_routing`, the YCSB driver's `with_retries` and the
+//! `nova-proto` wire mapping all consult it (via the delegating helpers on
+//! [`Error`]) instead of pattern-matching variants independently.
 
 use crate::types::{LtcId, RangeId, StocId};
 use std::fmt;
@@ -50,6 +55,143 @@ pub enum Error {
         /// retrying.
         epoch: u64,
     },
+    /// The server shed the request under admission control or backpressure.
+    /// Retriable after the suggested backoff.
+    Busy {
+        /// Suggested client backoff before retrying, in microseconds.
+        retry_after_micros: u64,
+    },
+    /// Authentication or authorization failed (bad tenant token, or a
+    /// non-admin tenant requested an admin operation). Terminal.
+    AuthFailed(String),
+    /// The peer violated the wire protocol (bad magic, unsupported version,
+    /// checksum mismatch, oversized or undecodable frame). Terminal.
+    ProtocolError(String),
+}
+
+/// Compact, wire-stable classification of every [`Error`] variant.
+///
+/// The `u8` discriminants cross the wire in `nova-proto` error frames and
+/// must never be renumbered — append new codes instead. Retryability and
+/// config-refresh semantics are defined *here*, once, so every retry loop in
+/// the workspace agrees with what the server sends back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// Missing key ([`Error::NotFound`]).
+    NotFound = 1,
+    /// Data failed validation ([`Error::Corruption`]).
+    Corruption = 2,
+    /// Unknown storage component ([`Error::UnknownStoc`]).
+    UnknownStoc = 3,
+    /// Unknown LSM-tree component ([`Error::UnknownLtc`]).
+    UnknownLtc = 4,
+    /// Range not served by the addressed component ([`Error::WrongRange`]).
+    WrongRange = 5,
+    /// Unknown StoC file ([`Error::UnknownFile`]).
+    UnknownFile = 6,
+    /// Component shutting down ([`Error::ShuttingDown`]).
+    ShuttingDown = 7,
+    /// Write admission stalled ([`Error::WriteStalled`]).
+    WriteStalled = 8,
+    /// Expired lease ([`Error::LeaseExpired`]).
+    LeaseExpired = 9,
+    /// Fabric delivery failure ([`Error::FabricUnavailable`]).
+    FabricUnavailable = 10,
+    /// Storage I/O error ([`Error::Io`]).
+    Io = 11,
+    /// Malformed request ([`Error::InvalidArgument`]).
+    InvalidArgument = 12,
+    /// Availability policy unsatisfiable ([`Error::Unavailable`]).
+    Unavailable = 13,
+    /// Stale cached configuration ([`Error::StaleConfig`]).
+    StaleConfig = 14,
+    /// Request shed by admission control ([`Error::Busy`]).
+    Busy = 15,
+    /// Authentication/authorization failure ([`Error::AuthFailed`]).
+    AuthFailed = 16,
+    /// Wire-protocol violation ([`Error::ProtocolError`]).
+    ProtocolError = 17,
+}
+
+impl ErrorCode {
+    /// Decode a wire discriminant. Unknown codes (from a newer peer) map to
+    /// `None`; callers should treat them as terminal.
+    pub fn from_u8(code: u8) -> Option<ErrorCode> {
+        Some(match code {
+            1 => ErrorCode::NotFound,
+            2 => ErrorCode::Corruption,
+            3 => ErrorCode::UnknownStoc,
+            4 => ErrorCode::UnknownLtc,
+            5 => ErrorCode::WrongRange,
+            6 => ErrorCode::UnknownFile,
+            7 => ErrorCode::ShuttingDown,
+            8 => ErrorCode::WriteStalled,
+            9 => ErrorCode::LeaseExpired,
+            10 => ErrorCode::FabricUnavailable,
+            11 => ErrorCode::Io,
+            12 => ErrorCode::InvalidArgument,
+            13 => ErrorCode::Unavailable,
+            14 => ErrorCode::StaleConfig,
+            15 => ErrorCode::Busy,
+            16 => ErrorCode::AuthFailed,
+            17 => ErrorCode::ProtocolError,
+            _ => return None,
+        })
+    }
+
+    /// The wire discriminant.
+    pub fn as_u8(self) -> u8 {
+        self as u8
+    }
+
+    /// True if an operation failing with this code may succeed if retried
+    /// (transient condition). This is the one retryability table shared by
+    /// client routing, the YCSB driver and the remote protocol.
+    pub fn is_retryable(self) -> bool {
+        matches!(
+            self,
+            ErrorCode::WriteStalled
+                | ErrorCode::StaleConfig
+                | ErrorCode::FabricUnavailable
+                | ErrorCode::LeaseExpired
+                | ErrorCode::Busy
+        )
+    }
+
+    /// True if the code indicates the caller routed with a stale cluster
+    /// configuration and should refresh it and re-route before retrying.
+    pub fn needs_config_refresh(self) -> bool {
+        matches!(
+            self,
+            ErrorCode::StaleConfig | ErrorCode::WrongRange | ErrorCode::UnknownLtc
+        )
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ErrorCode::NotFound => "not_found",
+            ErrorCode::Corruption => "corruption",
+            ErrorCode::UnknownStoc => "unknown_stoc",
+            ErrorCode::UnknownLtc => "unknown_ltc",
+            ErrorCode::WrongRange => "wrong_range",
+            ErrorCode::UnknownFile => "unknown_file",
+            ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::WriteStalled => "write_stalled",
+            ErrorCode::LeaseExpired => "lease_expired",
+            ErrorCode::FabricUnavailable => "fabric_unavailable",
+            ErrorCode::Io => "io",
+            ErrorCode::InvalidArgument => "invalid_argument",
+            ErrorCode::Unavailable => "unavailable",
+            ErrorCode::StaleConfig => "stale_config",
+            ErrorCode::Busy => "busy",
+            ErrorCode::AuthFailed => "auth_failed",
+            ErrorCode::ProtocolError => "protocol_error",
+        };
+        f.write_str(name)
+    }
 }
 
 impl fmt::Display for Error {
@@ -71,6 +213,11 @@ impl fmt::Display for Error {
             Error::StaleConfig { epoch } => {
                 write!(f, "configuration is stale; refresh to epoch >= {epoch} and retry")
             }
+            Error::Busy { retry_after_micros } => {
+                write!(f, "server busy; retry after {retry_after_micros}us")
+            }
+            Error::AuthFailed(msg) => write!(f, "authentication failed: {msg}"),
+            Error::ProtocolError(msg) => write!(f, "protocol error: {msg}"),
         }
     }
 }
@@ -84,32 +231,48 @@ impl From<std::io::Error> for Error {
 }
 
 impl Error {
+    /// The wire-stable classification code for this error.
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            Error::NotFound => ErrorCode::NotFound,
+            Error::Corruption(_) => ErrorCode::Corruption,
+            Error::UnknownStoc(_) => ErrorCode::UnknownStoc,
+            Error::UnknownLtc(_) => ErrorCode::UnknownLtc,
+            Error::WrongRange(_) => ErrorCode::WrongRange,
+            Error::UnknownFile(_) => ErrorCode::UnknownFile,
+            Error::ShuttingDown => ErrorCode::ShuttingDown,
+            Error::WriteStalled => ErrorCode::WriteStalled,
+            Error::LeaseExpired(_) => ErrorCode::LeaseExpired,
+            Error::FabricUnavailable(_) => ErrorCode::FabricUnavailable,
+            Error::Io(_) => ErrorCode::Io,
+            Error::InvalidArgument(_) => ErrorCode::InvalidArgument,
+            Error::Unavailable(_) => ErrorCode::Unavailable,
+            Error::StaleConfig { .. } => ErrorCode::StaleConfig,
+            Error::Busy { .. } => ErrorCode::Busy,
+            Error::AuthFailed(_) => ErrorCode::AuthFailed,
+            Error::ProtocolError(_) => ErrorCode::ProtocolError,
+        }
+    }
+
     /// True if the error indicates a missing key rather than a failure.
     pub fn is_not_found(&self) -> bool {
         matches!(self, Error::NotFound)
     }
 
     /// True if the operation may succeed if retried (transient condition).
+    /// Delegates to [`ErrorCode::is_retryable`].
     pub fn is_retryable(&self) -> bool {
-        matches!(
-            self,
-            Error::WriteStalled
-                | Error::StaleConfig { .. }
-                | Error::FabricUnavailable(_)
-                | Error::LeaseExpired(_)
-        )
+        self.code().is_retryable()
     }
 
     /// True if the error indicates the caller routed with a stale cluster
     /// configuration and should refresh it and re-route before retrying:
     /// the owner changed mid-migration, the range moved, or the
     /// configuration still names an LTC that has been deregistered (the
-    /// reassignment window of a failover).
+    /// reassignment window of a failover). Delegates to
+    /// [`ErrorCode::needs_config_refresh`].
     pub fn needs_config_refresh(&self) -> bool {
-        matches!(
-            self,
-            Error::StaleConfig { .. } | Error::WrongRange(_) | Error::UnknownLtc(_)
-        )
+        self.code().needs_config_refresh()
     }
 }
 
@@ -117,9 +280,8 @@ impl Error {
 mod tests {
     use super::*;
 
-    #[test]
-    fn display_covers_all_variants() {
-        let variants: Vec<Error> = vec![
+    fn all_variants() -> Vec<Error> {
+        vec![
             Error::NotFound,
             Error::Corruption("x".into()),
             Error::UnknownStoc(StocId(1)),
@@ -134,10 +296,32 @@ mod tests {
             Error::InvalidArgument("a".into()),
             Error::Unavailable("u".into()),
             Error::StaleConfig { epoch: 4 },
-        ];
-        for v in variants {
+            Error::Busy {
+                retry_after_micros: 100,
+            },
+            Error::AuthFailed("t".into()),
+            Error::ProtocolError("p".into()),
+        ]
+    }
+
+    #[test]
+    fn display_covers_all_variants() {
+        for v in all_variants() {
             assert!(!v.to_string().is_empty());
+            assert!(!v.code().to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn codes_round_trip_and_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for v in all_variants() {
+            let code = v.code();
+            assert!(seen.insert(code.as_u8()), "duplicate wire code {}", code.as_u8());
+            assert_eq!(ErrorCode::from_u8(code.as_u8()), Some(code));
+        }
+        assert_eq!(ErrorCode::from_u8(0), None);
+        assert_eq!(ErrorCode::from_u8(200), None);
     }
 
     #[test]
@@ -146,11 +330,27 @@ mod tests {
         assert!(!Error::ShuttingDown.is_not_found());
         assert!(Error::WriteStalled.is_retryable());
         assert!(Error::StaleConfig { epoch: 7 }.is_retryable());
+        assert!(Error::Busy {
+            retry_after_micros: 1
+        }
+        .is_retryable());
         assert!(!Error::Corruption("x".into()).is_retryable());
+        assert!(!Error::AuthFailed("x".into()).is_retryable());
+        assert!(!Error::ProtocolError("x".into()).is_retryable());
         assert!(Error::StaleConfig { epoch: 7 }.needs_config_refresh());
         assert!(Error::WrongRange(RangeId(0)).needs_config_refresh());
         assert!(Error::UnknownLtc(LtcId(1)).needs_config_refresh());
         assert!(!Error::WriteStalled.needs_config_refresh());
+    }
+
+    #[test]
+    fn error_and_code_classifications_agree() {
+        // The Error helpers delegate to ErrorCode; make sure no variant
+        // disagrees with its code's classification.
+        for v in all_variants() {
+            assert_eq!(v.is_retryable(), v.code().is_retryable());
+            assert_eq!(v.needs_config_refresh(), v.code().needs_config_refresh());
+        }
     }
 
     #[test]

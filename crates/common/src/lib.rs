@@ -24,7 +24,7 @@ pub mod rate;
 pub mod types;
 pub mod varint;
 
-pub use error::{Error, Result};
+pub use error::{Error, ErrorCode, Result};
 pub use options::{ReadOptions, WriteOptions};
 pub use types::{
     FileNumber, InternalKey, Key, LtcId, MemtableId, NodeId, RangeId, SequenceNumber, StocBlockHandle,

@@ -365,6 +365,17 @@ impl NovaCluster {
         self.ltc_stats().values().map(|s| s.stalls).sum()
     }
 
+    /// Queued + running background jobs (flushes, compactions) summed across
+    /// every LTC — the backpressure signal the network front door sheds on
+    /// (see [`nova_common::config::ServerConfig::shed_backlog_threshold`]).
+    pub fn background_backlog(&self) -> u64 {
+        self.ltcs
+            .read()
+            .values()
+            .map(|ltc| ltc.background_backlog())
+            .sum()
+    }
+
     /// The cluster-wide metrics hub. Disabled (recording is a no-op) when
     /// the configuration sets [`nova_common::config::MetricsConfig::disabled`].
     pub fn metrics(&self) -> &Arc<Metrics> {

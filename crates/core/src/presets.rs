@@ -10,7 +10,7 @@
 
 use nova_common::config::{
     AvailabilityPolicy, CacheConfig, ClusterConfig, DiskConfig, FabricConfig, LogPolicy, MetricsConfig,
-    PlacementPolicy, RangeConfig, SupervisorConfig,
+    PlacementPolicy, RangeConfig, ServerConfig, SupervisorConfig,
 };
 
 /// Build the paper's shared-disk configuration: η LTCs, β StoCs, SSTables
@@ -88,6 +88,7 @@ pub fn scaled_experiment(num_keys: u64) -> ClusterConfig {
         num_keys,
         metrics: MetricsConfig::default(),
         supervisor: SupervisorConfig::default(),
+        server: ServerConfig::default(),
     }
 }
 

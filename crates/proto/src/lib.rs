@@ -1,0 +1,387 @@
+//! # nova-proto
+//!
+//! The framed binary wire protocol spoken between `nova-server` and its
+//! remote clients. The design follows the repository's storage formats (and
+//! the QCP control protocol the paper's authors built on): a compact,
+//! versioned, explicitly length-prefixed binary layout rather than an ad-hoc
+//! serialization.
+//!
+//! ## Frame layout
+//!
+//! Every message travels in one frame:
+//!
+//! | offset | size | field |
+//! |---|---|---|
+//! | 0 | 4 | magic `0x4E4F5641` (`"NOVA"`, little-endian on the wire) |
+//! | 4 | 1 | protocol version (currently [`VERSION`]) |
+//! | 5 | 1 | frame kind ([`FrameKind`]) |
+//! | 6 | 8 | request id (echoed verbatim in the response) |
+//! | 14 | 4 | payload length `n` (≤ [`MAX_PAYLOAD`]) |
+//! | 18 | n | payload (varint/length-prefixed fields, see [`Message`]) |
+//! | 18+n | 4 | CRC32C of the payload |
+//!
+//! All fixed-width integers are little-endian; payload integers use the same
+//! LEB128 varints as the SSTable format ([`nova_common::varint`]).
+//!
+//! ## Versioning rules
+//!
+//! * The header layout (magic through payload length) is frozen forever.
+//! * A peer that receives a version it does not speak rejects the frame with
+//!   a `protocol_error` frame and closes — there is no negotiation below the
+//!   current version.
+//! * Within a version, payloads may gain *trailing* fields; decoders ignore
+//!   trailing bytes they do not understand. Removing or reordering fields
+//!   requires a version bump.
+//! * [`nova_common::ErrorCode`] discriminants and [`FrameKind`] discriminants
+//!   are append-only.
+//!
+//! ## Error handling contract
+//!
+//! Framing failures (bad magic, unsupported version, oversized length,
+//! truncated frame, checksum mismatch) poison the byte stream — the reader
+//! returns [`Error::ProtocolError`] and the connection must be closed. A
+//! frame that *parses* but whose payload fails to decode is reported the
+//! same way by [`Message::decode`], but the stream itself is still framed:
+//! a server can answer with an error frame and keep serving the connection.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod message;
+
+pub use message::{error_to_wire, wire_to_error, Message, WireError};
+
+use nova_common::{Error, Result};
+use std::io::{Read, Write};
+
+/// Frame magic: `"NOVA"` interpreted as a little-endian `u32`.
+pub const MAGIC: u32 = 0x4E4F_5641;
+
+/// Current protocol version.
+pub const VERSION: u8 = 1;
+
+/// Size of the fixed frame header in bytes.
+pub const HEADER_LEN: usize = 18;
+
+/// Upper bound on a frame payload. Larger lengths are rejected before any
+/// payload byte is read, so a malicious or corrupt length cannot make the
+/// reader allocate unboundedly.
+pub const MAX_PAYLOAD: usize = 32 << 20;
+
+/// The kind tag carried in byte 5 of the header. Request kinds occupy
+/// `0x01..=0x7f`, response kinds `0x80..=0xff`. Discriminants are
+/// append-only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameKind {
+    /// Authentication handshake (tenant + token).
+    Hello = 0x01,
+    /// Point read.
+    Get = 0x02,
+    /// Single-record write.
+    Put = 0x03,
+    /// Single-record delete (tombstone write).
+    Delete = 0x04,
+    /// Scatter-gather multi-key read.
+    MultiGet = 0x05,
+    /// Batched write.
+    PutBatch = 0x06,
+    /// One chunk of a streaming range scan (client resumes with the
+    /// successor of the last returned key).
+    ScanChunk = 0x07,
+    /// Liveness probe.
+    Ping = 0x08,
+    /// Admin: cluster health report.
+    Health = 0x09,
+    /// Admin: metrics registry snapshot.
+    MetricsSnapshot = 0x0A,
+    /// Handshake accepted.
+    HelloOk = 0x81,
+    /// Write acknowledged.
+    Ok = 0x82,
+    /// Optional single value.
+    Value = 0x83,
+    /// Optional values, one per requested key.
+    Values = 0x84,
+    /// Scan chunk entries.
+    Entries = 0x85,
+    /// Liveness response.
+    Pong = 0x86,
+    /// Admin JSON document (health report or metrics snapshot).
+    Report = 0x87,
+    /// Typed error (code + detail + message).
+    Error = 0xFF,
+}
+
+impl FrameKind {
+    /// Decode a kind tag. Unknown tags (from a newer peer) map to `None`.
+    pub fn from_u8(v: u8) -> Option<FrameKind> {
+        Some(match v {
+            0x01 => FrameKind::Hello,
+            0x02 => FrameKind::Get,
+            0x03 => FrameKind::Put,
+            0x04 => FrameKind::Delete,
+            0x05 => FrameKind::MultiGet,
+            0x06 => FrameKind::PutBatch,
+            0x07 => FrameKind::ScanChunk,
+            0x08 => FrameKind::Ping,
+            0x09 => FrameKind::Health,
+            0x0A => FrameKind::MetricsSnapshot,
+            0x81 => FrameKind::HelloOk,
+            0x82 => FrameKind::Ok,
+            0x83 => FrameKind::Value,
+            0x84 => FrameKind::Values,
+            0x85 => FrameKind::Entries,
+            0x86 => FrameKind::Pong,
+            0x87 => FrameKind::Report,
+            0xFF => FrameKind::Error,
+            _ => return None,
+        })
+    }
+}
+
+/// A raw frame: kind, request id and undecoded payload bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Raw kind byte (may be unknown to this peer).
+    pub kind: u8,
+    /// Request id echoed between request and response.
+    pub request_id: u64,
+    /// Checksummed payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Write one frame. The payload is checksummed with CRC32C.
+pub fn write_frame(w: &mut impl Write, kind: u8, request_id: u64, payload: &[u8]) -> Result<()> {
+    if payload.len() > MAX_PAYLOAD {
+        return Err(Error::InvalidArgument(format!(
+            "frame payload of {} bytes exceeds MAX_PAYLOAD ({MAX_PAYLOAD})",
+            payload.len()
+        )));
+    }
+    let mut header = [0u8; HEADER_LEN];
+    header[0..4].copy_from_slice(&MAGIC.to_le_bytes());
+    header[4] = VERSION;
+    header[5] = kind;
+    header[6..14].copy_from_slice(&request_id.to_le_bytes());
+    header[14..18].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.write_all(&nova_common::checksum::crc32c(payload).to_le_bytes())?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame.
+///
+/// Returns [`Error::Io`] for a clean close (EOF on a frame boundary) and
+/// transport errors, and [`Error::ProtocolError`] for anything that poisons
+/// the stream framing: bad magic, unsupported version, oversized length,
+/// truncated frame or checksum mismatch. After a `ProtocolError` the stream
+/// position is undefined and the connection must be closed.
+pub fn read_frame(r: &mut impl Read) -> Result<Frame> {
+    let mut header = [0u8; HEADER_LEN];
+    // Read the first byte separately so a clean close (EOF exactly on a
+    // frame boundary) is distinguishable from a frame truncated mid-header.
+    let mut first = [0u8; 1];
+    loop {
+        match r.read(&mut first) {
+            Ok(0) => return Err(Error::Io("connection closed".into())),
+            Ok(_) => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    header[0] = first[0];
+    read_exact_or_protocol(r, &mut header[1..], "frame header")?;
+    let magic = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+    if magic != MAGIC {
+        return Err(Error::ProtocolError(format!("bad frame magic {magic:#010x}")));
+    }
+    let version = header[4];
+    if version != VERSION {
+        return Err(Error::ProtocolError(format!(
+            "unsupported protocol version {version} (this peer speaks {VERSION})"
+        )));
+    }
+    let kind = header[5];
+    let request_id = u64::from_le_bytes(header[6..14].try_into().expect("8 bytes"));
+    let len = u32::from_le_bytes(header[14..18].try_into().expect("4 bytes")) as usize;
+    if len > MAX_PAYLOAD {
+        return Err(Error::ProtocolError(format!(
+            "frame payload length {len} exceeds MAX_PAYLOAD ({MAX_PAYLOAD})"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    read_exact_or_protocol(r, &mut payload, "frame payload")?;
+    let mut crc = [0u8; 4];
+    read_exact_or_protocol(r, &mut crc, "frame checksum")?;
+    let expected = u32::from_le_bytes(crc);
+    let actual = nova_common::checksum::crc32c(&payload);
+    if expected != actual {
+        return Err(Error::ProtocolError(format!(
+            "frame checksum mismatch: header says {expected:#010x}, payload hashes to {actual:#010x}"
+        )));
+    }
+    Ok(Frame {
+        kind,
+        request_id,
+        payload,
+    })
+}
+
+fn read_exact_or_protocol(r: &mut impl Read, buf: &mut [u8], what: &str) -> Result<()> {
+    match r.read_exact(buf) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+            Err(Error::ProtocolError(format!("truncated {what}")))
+        }
+        Err(e) => Err(e.into()),
+    }
+}
+
+/// Encode and write one [`Message`].
+pub fn write_message(w: &mut impl Write, request_id: u64, msg: &Message) -> Result<()> {
+    write_frame(w, msg.kind() as u8, request_id, &msg.encode_payload())
+}
+
+/// Read and decode one [`Message`], returning `(request_id, message)`.
+///
+/// Client-side convenience; servers that want to keep a connection alive
+/// across an undecodable payload should call [`read_frame`] and
+/// [`Message::decode`] separately (only the former's failures poison the
+/// stream).
+pub fn read_message(r: &mut impl Read) -> Result<(u64, Message)> {
+    let frame = read_frame(r)?;
+    let msg = Message::decode(frame.kind, &frame.payload)?;
+    Ok((frame.request_id, msg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trips() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Ping as u8, 42, b"payload").unwrap();
+        let frame = read_frame(&mut &buf[..]).unwrap();
+        assert_eq!(frame.kind, FrameKind::Ping as u8);
+        assert_eq!(frame.request_id, 42);
+        assert_eq!(frame.payload, b"payload");
+    }
+
+    #[test]
+    fn clean_close_is_io_not_protocol_error() {
+        let empty: &[u8] = &[];
+        match read_frame(&mut &empty[..]) {
+            Err(Error::Io(_)) => {}
+            other => panic!("expected Io for clean close, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_header_is_a_protocol_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Ping as u8, 1, b"x").unwrap();
+        for cut in 1..HEADER_LEN {
+            match read_frame(&mut &buf[..cut]) {
+                Err(Error::ProtocolError(_)) => {}
+                other => panic!("cut at {cut}: expected ProtocolError, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_payload_and_checksum_are_protocol_errors() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Get as u8, 1, b"hello").unwrap();
+        for cut in HEADER_LEN..buf.len() {
+            assert!(
+                matches!(read_frame(&mut &buf[..cut]), Err(Error::ProtocolError(_))),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_version_and_oversize_are_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Ping as u8, 7, b"").unwrap();
+        let mut bad_magic = buf.clone();
+        bad_magic[0] ^= 0xff;
+        assert!(matches!(
+            read_frame(&mut &bad_magic[..]),
+            Err(Error::ProtocolError(_))
+        ));
+        let mut bad_version = buf.clone();
+        bad_version[4] = VERSION + 1;
+        assert!(matches!(
+            read_frame(&mut &bad_version[..]),
+            Err(Error::ProtocolError(_))
+        ));
+        let mut oversized = buf.clone();
+        oversized[14..18].copy_from_slice(&(MAX_PAYLOAD as u32 + 1).to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut &oversized[..]),
+            Err(Error::ProtocolError(_))
+        ));
+    }
+
+    #[test]
+    fn corrupted_payload_fails_the_checksum() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Put as u8, 9, b"some payload").unwrap();
+        buf[HEADER_LEN] ^= 0x01;
+        assert!(matches!(
+            read_frame(&mut &buf[..]),
+            Err(Error::ProtocolError(msg)) if msg.contains("checksum")
+        ));
+    }
+
+    #[test]
+    fn oversized_writes_are_refused() {
+        struct NullSink;
+        impl std::io::Write for NullSink {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let payload = vec![0u8; MAX_PAYLOAD + 1];
+        assert!(matches!(
+            write_frame(&mut NullSink, FrameKind::Put as u8, 1, &payload),
+            Err(Error::InvalidArgument(_))
+        ));
+    }
+
+    #[test]
+    fn frame_kinds_round_trip() {
+        for kind in [
+            FrameKind::Hello,
+            FrameKind::Get,
+            FrameKind::Put,
+            FrameKind::Delete,
+            FrameKind::MultiGet,
+            FrameKind::PutBatch,
+            FrameKind::ScanChunk,
+            FrameKind::Ping,
+            FrameKind::Health,
+            FrameKind::MetricsSnapshot,
+            FrameKind::HelloOk,
+            FrameKind::Ok,
+            FrameKind::Value,
+            FrameKind::Values,
+            FrameKind::Entries,
+            FrameKind::Pong,
+            FrameKind::Report,
+            FrameKind::Error,
+        ] {
+            assert_eq!(FrameKind::from_u8(kind as u8), Some(kind));
+        }
+        assert_eq!(FrameKind::from_u8(0x00), None);
+        assert_eq!(FrameKind::from_u8(0x42), None);
+    }
+}

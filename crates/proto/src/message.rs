@@ -1,0 +1,769 @@
+//! Typed messages and their payload codecs.
+//!
+//! Payloads are built from the same primitives as the SSTable format:
+//! LEB128 varints and length-prefixed slices ([`nova_common::varint`]).
+//! Decoders tolerate trailing bytes they do not understand (so a payload may
+//! gain trailing fields within a protocol version) but reject truncated or
+//! malformed fields with [`Error::ProtocolError`].
+
+use crate::FrameKind;
+use nova_common::types::{Entry, LtcId, RangeId, StocId};
+use nova_common::varint::{
+    decode_length_prefixed_slice, decode_varint64, put_length_prefixed_slice, put_varint64,
+};
+use nova_common::{Error, ErrorCode, ReadOptions, Result, ValueType, WriteOptions};
+
+/// A typed error as it crosses the wire: the stable [`ErrorCode`]
+/// discriminant, a code-specific numeric detail (epoch for `stale_config`,
+/// component/range id for the `unknown_*`/`wrong_range` family, suggested
+/// backoff in microseconds for `busy`) and a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// Raw [`ErrorCode`] discriminant (kept raw so unknown codes from a
+    /// newer peer survive round-trips).
+    pub code: u8,
+    /// Code-specific numeric detail.
+    pub detail: u64,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl WireError {
+    /// The decoded classification, if this peer knows the code.
+    pub fn error_code(&self) -> Option<ErrorCode> {
+        ErrorCode::from_u8(self.code)
+    }
+
+    /// True if the operation may succeed if retried. Unknown codes are
+    /// treated as terminal.
+    pub fn is_retryable(&self) -> bool {
+        self.error_code().is_some_and(|c| c.is_retryable())
+    }
+}
+
+/// Map a typed [`Error`] onto its wire representation.
+pub fn error_to_wire(e: &Error) -> WireError {
+    let detail = match e {
+        Error::StaleConfig { epoch } => *epoch,
+        Error::Busy { retry_after_micros } => *retry_after_micros,
+        Error::UnknownStoc(id) => id.0 as u64,
+        Error::UnknownLtc(id) => id.0 as u64,
+        Error::WrongRange(id) => id.0 as u64,
+        _ => 0,
+    };
+    WireError {
+        code: e.code().as_u8(),
+        detail,
+        message: e.to_string(),
+    }
+}
+
+/// Reconstruct a typed [`Error`] from its wire representation. Unknown
+/// codes (sent by a newer peer) decode to [`Error::ProtocolError`], which is
+/// terminal — the conservative choice.
+pub fn wire_to_error(w: &WireError) -> Error {
+    let Some(code) = w.error_code() else {
+        return Error::ProtocolError(format!("unknown error code {} ({})", w.code, w.message));
+    };
+    match code {
+        ErrorCode::NotFound => Error::NotFound,
+        ErrorCode::Corruption => Error::Corruption(w.message.clone()),
+        ErrorCode::UnknownStoc => Error::UnknownStoc(StocId(w.detail as u32)),
+        ErrorCode::UnknownLtc => Error::UnknownLtc(LtcId(w.detail as u32)),
+        ErrorCode::WrongRange => Error::WrongRange(RangeId(w.detail as u32)),
+        ErrorCode::UnknownFile => Error::UnknownFile(w.message.clone()),
+        ErrorCode::ShuttingDown => Error::ShuttingDown,
+        ErrorCode::WriteStalled => Error::WriteStalled,
+        ErrorCode::LeaseExpired => Error::LeaseExpired(w.message.clone()),
+        ErrorCode::FabricUnavailable => Error::FabricUnavailable(w.message.clone()),
+        ErrorCode::Io => Error::Io(w.message.clone()),
+        ErrorCode::InvalidArgument => Error::InvalidArgument(w.message.clone()),
+        ErrorCode::Unavailable => Error::Unavailable(w.message.clone()),
+        ErrorCode::StaleConfig => Error::StaleConfig { epoch: w.detail },
+        ErrorCode::Busy => Error::Busy {
+            retry_after_micros: w.detail,
+        },
+        ErrorCode::AuthFailed => Error::AuthFailed(w.message.clone()),
+        ErrorCode::ProtocolError => Error::ProtocolError(w.message.clone()),
+    }
+}
+
+/// Every message that can cross the wire, requests and responses alike.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// Authentication handshake.
+    Hello {
+        /// Tenant name.
+        tenant: String,
+        /// Shared-secret token.
+        token: String,
+    },
+    /// Point read.
+    Get {
+        /// Per-operation read options.
+        options: ReadOptions,
+        /// The key.
+        key: Vec<u8>,
+    },
+    /// Single-record write.
+    Put {
+        /// The key.
+        key: Vec<u8>,
+        /// The value.
+        value: Vec<u8>,
+    },
+    /// Single-record delete.
+    Delete {
+        /// The key.
+        key: Vec<u8>,
+    },
+    /// Scatter-gather multi-key read.
+    MultiGet {
+        /// Per-operation read options.
+        options: ReadOptions,
+        /// The keys, in request order.
+        keys: Vec<Vec<u8>>,
+    },
+    /// Batched write.
+    PutBatch {
+        /// Per-batch write options.
+        options: WriteOptions,
+        /// Key/value pairs.
+        pairs: Vec<(Vec<u8>, Vec<u8>)>,
+    },
+    /// One chunk of a streaming range scan. `options.limit` bounds the
+    /// entries returned; the client resumes with the bytewise successor of
+    /// the last key it received.
+    ScanChunk {
+        /// Per-operation read options (`limit` is the chunk size).
+        options: ReadOptions,
+        /// Inclusive start key.
+        start: Vec<u8>,
+        /// Exclusive end key (`None` scans to the end of the keyspace).
+        end: Option<Vec<u8>>,
+    },
+    /// Liveness probe.
+    Ping,
+    /// Admin: cluster health report.
+    Health,
+    /// Admin: metrics registry snapshot.
+    MetricsSnapshot,
+    /// Handshake accepted.
+    HelloOk {
+        /// Whether the authenticated tenant may issue admin frames.
+        admin: bool,
+    },
+    /// Write acknowledged.
+    Ok,
+    /// Optional single value.
+    Value {
+        /// The value, or `None` if the key is absent.
+        value: Option<Vec<u8>>,
+    },
+    /// Optional values, positionally matching the requested keys.
+    Values {
+        /// One optional value per requested key.
+        values: Vec<Option<Vec<u8>>>,
+    },
+    /// Scan chunk results. Fewer entries than the requested limit means the
+    /// scan is exhausted.
+    Entries {
+        /// The entries, in key order.
+        entries: Vec<Entry>,
+    },
+    /// Liveness response.
+    Pong,
+    /// Admin JSON document.
+    Report {
+        /// The JSON body.
+        json: String,
+    },
+    /// Typed error response.
+    Error(WireError),
+}
+
+impl Message {
+    /// The frame kind this message travels under.
+    pub fn kind(&self) -> FrameKind {
+        match self {
+            Message::Hello { .. } => FrameKind::Hello,
+            Message::Get { .. } => FrameKind::Get,
+            Message::Put { .. } => FrameKind::Put,
+            Message::Delete { .. } => FrameKind::Delete,
+            Message::MultiGet { .. } => FrameKind::MultiGet,
+            Message::PutBatch { .. } => FrameKind::PutBatch,
+            Message::ScanChunk { .. } => FrameKind::ScanChunk,
+            Message::Ping => FrameKind::Ping,
+            Message::Health => FrameKind::Health,
+            Message::MetricsSnapshot => FrameKind::MetricsSnapshot,
+            Message::HelloOk { .. } => FrameKind::HelloOk,
+            Message::Ok => FrameKind::Ok,
+            Message::Value { .. } => FrameKind::Value,
+            Message::Values { .. } => FrameKind::Values,
+            Message::Entries { .. } => FrameKind::Entries,
+            Message::Pong => FrameKind::Pong,
+            Message::Report { .. } => FrameKind::Report,
+            Message::Error(_) => FrameKind::Error,
+        }
+    }
+
+    /// Encode the payload bytes (everything after the frame header).
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Message::Hello { tenant, token } => {
+                put_length_prefixed_slice(&mut buf, tenant.as_bytes());
+                put_length_prefixed_slice(&mut buf, token.as_bytes());
+            }
+            Message::Get { options, key } => {
+                put_read_options(&mut buf, options);
+                put_length_prefixed_slice(&mut buf, key);
+            }
+            Message::Put { key, value } => {
+                put_length_prefixed_slice(&mut buf, key);
+                put_length_prefixed_slice(&mut buf, value);
+            }
+            Message::Delete { key } => {
+                put_length_prefixed_slice(&mut buf, key);
+            }
+            Message::MultiGet { options, keys } => {
+                put_read_options(&mut buf, options);
+                put_varint64(&mut buf, keys.len() as u64);
+                for key in keys {
+                    put_length_prefixed_slice(&mut buf, key);
+                }
+            }
+            Message::PutBatch { options, pairs } => {
+                buf.push(options.group_commit as u8);
+                put_varint64(&mut buf, pairs.len() as u64);
+                for (key, value) in pairs {
+                    put_length_prefixed_slice(&mut buf, key);
+                    put_length_prefixed_slice(&mut buf, value);
+                }
+            }
+            Message::ScanChunk { options, start, end } => {
+                put_read_options(&mut buf, options);
+                put_length_prefixed_slice(&mut buf, start);
+                match end {
+                    Some(end) => {
+                        buf.push(1);
+                        put_length_prefixed_slice(&mut buf, end);
+                    }
+                    None => buf.push(0),
+                }
+            }
+            Message::Ping | Message::Health | Message::MetricsSnapshot | Message::Ok | Message::Pong => {}
+            Message::HelloOk { admin } => buf.push(*admin as u8),
+            Message::Value { value } => put_optional_slice(&mut buf, value.as_deref()),
+            Message::Values { values } => {
+                put_varint64(&mut buf, values.len() as u64);
+                for value in values {
+                    put_optional_slice(&mut buf, value.as_deref());
+                }
+            }
+            Message::Entries { entries } => {
+                put_varint64(&mut buf, entries.len() as u64);
+                for entry in entries {
+                    put_length_prefixed_slice(&mut buf, &entry.key);
+                    put_varint64(&mut buf, entry.sequence);
+                    buf.push(entry.value_type as u8);
+                    put_length_prefixed_slice(&mut buf, &entry.value);
+                }
+            }
+            Message::Report { json } => put_length_prefixed_slice(&mut buf, json.as_bytes()),
+            Message::Error(e) => {
+                buf.push(e.code);
+                put_varint64(&mut buf, e.detail);
+                put_length_prefixed_slice(&mut buf, e.message.as_bytes());
+            }
+        }
+        buf
+    }
+
+    /// Decode a payload for the given raw kind byte.
+    ///
+    /// Failures return [`Error::ProtocolError`]; the frame itself was intact
+    /// (header + checksum verified), so the connection's framing survives —
+    /// a server can report the error in-band and keep the connection.
+    pub fn decode(kind: u8, payload: &[u8]) -> Result<Message> {
+        let Some(kind) = FrameKind::from_u8(kind) else {
+            return Err(Error::ProtocolError(format!("unknown frame kind {kind:#04x}")));
+        };
+        let mut r = Reader { buf: payload };
+        let msg = match kind {
+            FrameKind::Hello => Message::Hello {
+                tenant: r.string()?,
+                token: r.string()?,
+            },
+            FrameKind::Get => Message::Get {
+                options: read_read_options(&mut r)?,
+                key: r.slice()?.to_vec(),
+            },
+            FrameKind::Put => Message::Put {
+                key: r.slice()?.to_vec(),
+                value: r.slice()?.to_vec(),
+            },
+            FrameKind::Delete => Message::Delete {
+                key: r.slice()?.to_vec(),
+            },
+            FrameKind::MultiGet => {
+                let options = read_read_options(&mut r)?;
+                let count = r.count(payload.len())?;
+                let mut keys = Vec::with_capacity(count);
+                for _ in 0..count {
+                    keys.push(r.slice()?.to_vec());
+                }
+                Message::MultiGet { options, keys }
+            }
+            FrameKind::PutBatch => {
+                let options = WriteOptions {
+                    group_commit: r.byte()? != 0,
+                };
+                let count = r.count(payload.len())?;
+                let mut pairs = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let key = r.slice()?.to_vec();
+                    let value = r.slice()?.to_vec();
+                    pairs.push((key, value));
+                }
+                Message::PutBatch { options, pairs }
+            }
+            FrameKind::ScanChunk => {
+                let options = read_read_options(&mut r)?;
+                let start = r.slice()?.to_vec();
+                let end = match r.byte()? {
+                    0 => None,
+                    _ => Some(r.slice()?.to_vec()),
+                };
+                Message::ScanChunk { options, start, end }
+            }
+            FrameKind::Ping => Message::Ping,
+            FrameKind::Health => Message::Health,
+            FrameKind::MetricsSnapshot => Message::MetricsSnapshot,
+            FrameKind::HelloOk => Message::HelloOk {
+                admin: r.byte()? != 0,
+            },
+            FrameKind::Ok => Message::Ok,
+            FrameKind::Value => Message::Value {
+                value: read_optional_slice(&mut r)?,
+            },
+            FrameKind::Values => {
+                let count = r.count(payload.len())?;
+                let mut values = Vec::with_capacity(count);
+                for _ in 0..count {
+                    values.push(read_optional_slice(&mut r)?);
+                }
+                Message::Values { values }
+            }
+            FrameKind::Entries => {
+                let count = r.count(payload.len())?;
+                let mut entries = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let key = r.slice()?.to_vec();
+                    let sequence = r.varint()?;
+                    let value_type = ValueType::from_u8(r.byte()?)
+                        .ok_or_else(|| Error::ProtocolError("invalid entry value type".into()))?;
+                    let value = r.slice()?.to_vec();
+                    entries.push(Entry {
+                        key: key.into(),
+                        sequence,
+                        value_type,
+                        value: value.into(),
+                    });
+                }
+                Message::Entries { entries }
+            }
+            FrameKind::Pong => Message::Pong,
+            FrameKind::Report => Message::Report { json: r.string()? },
+            FrameKind::Error => Message::Error(WireError {
+                code: r.byte()?,
+                detail: r.varint()?,
+                message: r.string()?,
+            }),
+        };
+        Ok(msg)
+    }
+}
+
+fn put_read_options(buf: &mut Vec<u8>, options: &ReadOptions) {
+    let mut flags = 0u8;
+    if options.fill_cache {
+        flags |= 0x01;
+    }
+    if options.readahead.is_some() {
+        flags |= 0x02;
+    }
+    buf.push(flags);
+    if let Some(readahead) = options.readahead {
+        put_varint64(buf, readahead as u64);
+    }
+    put_varint64(buf, options.limit as u64);
+}
+
+fn read_read_options(r: &mut Reader<'_>) -> Result<ReadOptions> {
+    let flags = r.byte()?;
+    let readahead = if flags & 0x02 != 0 {
+        Some(r.varint()? as usize)
+    } else {
+        None
+    };
+    let limit = r.varint()? as usize;
+    Ok(ReadOptions {
+        fill_cache: flags & 0x01 != 0,
+        readahead,
+        limit,
+    })
+}
+
+fn put_optional_slice(buf: &mut Vec<u8>, value: Option<&[u8]>) {
+    match value {
+        Some(v) => {
+            buf.push(1);
+            put_length_prefixed_slice(buf, v);
+        }
+        None => buf.push(0),
+    }
+}
+
+fn read_optional_slice(r: &mut Reader<'_>) -> Result<Option<Vec<u8>>> {
+    match r.byte()? {
+        0 => Ok(None),
+        _ => Ok(Some(r.slice()?.to_vec())),
+    }
+}
+
+/// Cursor over a payload buffer; every accessor maps malformed input to
+/// [`Error::ProtocolError`].
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn byte(&mut self) -> Result<u8> {
+        let (&first, rest) = self
+            .buf
+            .split_first()
+            .ok_or_else(|| Error::ProtocolError("truncated payload field".into()))?;
+        self.buf = rest;
+        Ok(first)
+    }
+
+    fn varint(&mut self) -> Result<u64> {
+        let (v, n) =
+            decode_varint64(self.buf).map_err(|e| Error::ProtocolError(format!("bad varint: {e}")))?;
+        self.buf = &self.buf[n..];
+        Ok(v)
+    }
+
+    fn slice(&mut self) -> Result<&'a [u8]> {
+        let (s, n) = decode_length_prefixed_slice(self.buf)
+            .map_err(|e| Error::ProtocolError(format!("bad length-prefixed field: {e}")))?;
+        self.buf = &self.buf[n..];
+        Ok(s)
+    }
+
+    fn string(&mut self) -> Result<String> {
+        let s = self.slice()?;
+        String::from_utf8(s.to_vec()).map_err(|_| Error::ProtocolError("non-UTF-8 string field".into()))
+    }
+
+    /// A repetition count. Bounded by the payload size (every element costs
+    /// at least one byte) so a corrupt count cannot drive a huge
+    /// `Vec::with_capacity`.
+    fn count(&mut self, payload_len: usize) -> Result<usize> {
+        let count = self.varint()? as usize;
+        if count > payload_len {
+            return Err(Error::ProtocolError(format!(
+                "repetition count {count} exceeds payload size {payload_len}"
+            )));
+        }
+        Ok(count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn round_trip(msg: &Message) -> Message {
+        let payload = msg.encode_payload();
+        Message::decode(msg.kind() as u8, &payload).expect("decode")
+    }
+
+    #[test]
+    fn every_frame_type_round_trips() {
+        let messages = vec![
+            Message::Hello {
+                tenant: "acme".into(),
+                token: "s3cret".into(),
+            },
+            Message::Get {
+                options: ReadOptions::no_fill().with_readahead(3),
+                key: b"k1".to_vec(),
+            },
+            Message::Put {
+                key: b"k".to_vec(),
+                value: b"v".to_vec(),
+            },
+            Message::Delete {
+                key: b"gone".to_vec(),
+            },
+            Message::MultiGet {
+                options: ReadOptions::default(),
+                keys: vec![b"a".to_vec(), b"b".to_vec(), Vec::new()],
+            },
+            Message::PutBatch {
+                options: WriteOptions::no_group_commit(),
+                pairs: vec![(b"k1".to_vec(), b"v1".to_vec()), (b"k2".to_vec(), Vec::new())],
+            },
+            Message::ScanChunk {
+                options: ReadOptions::default().with_chunk(7),
+                start: b"a".to_vec(),
+                end: Some(b"z".to_vec()),
+            },
+            Message::ScanChunk {
+                options: ReadOptions::default(),
+                start: Vec::new(),
+                end: None,
+            },
+            Message::Ping,
+            Message::Health,
+            Message::MetricsSnapshot,
+            Message::HelloOk { admin: true },
+            Message::Ok,
+            Message::Value {
+                value: Some(b"v".to_vec()),
+            },
+            Message::Value { value: None },
+            Message::Values {
+                values: vec![Some(b"x".to_vec()), None, Some(Vec::new())],
+            },
+            Message::Entries {
+                entries: vec![Entry::put("k", 7, "v"), Entry::delete("d", 8)],
+            },
+            Message::Pong,
+            Message::Report {
+                json: "{\"ok\":true}".into(),
+            },
+            Message::Error(error_to_wire(&Error::StaleConfig { epoch: 3 })),
+        ];
+        for msg in messages {
+            assert_eq!(round_trip(&msg), msg);
+        }
+    }
+
+    #[test]
+    fn unknown_kind_and_truncated_payloads_are_protocol_errors() {
+        assert!(matches!(Message::decode(0x55, b""), Err(Error::ProtocolError(_))));
+        let payload = Message::Put {
+            key: b"key".to_vec(),
+            value: b"value".to_vec(),
+        }
+        .encode_payload();
+        for cut in 0..payload.len() {
+            assert!(
+                matches!(
+                    Message::decode(FrameKind::Put as u8, &payload[..cut]),
+                    Err(Error::ProtocolError(_))
+                ),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_counts_are_bounded() {
+        // A Values payload claiming u64::MAX entries must be rejected
+        // before any allocation happens.
+        let mut payload = Vec::new();
+        put_varint64(&mut payload, u64::MAX);
+        assert!(matches!(
+            Message::decode(FrameKind::Values as u8, &payload),
+            Err(Error::ProtocolError(_))
+        ));
+    }
+
+    #[test]
+    fn every_error_variant_round_trips_through_the_wire() {
+        let errors = vec![
+            Error::NotFound,
+            Error::Corruption("x".into()),
+            Error::UnknownStoc(StocId(9)),
+            Error::UnknownLtc(LtcId(4)),
+            Error::WrongRange(RangeId(2)),
+            Error::UnknownFile("f".into()),
+            Error::ShuttingDown,
+            Error::WriteStalled,
+            Error::LeaseExpired("lease expired: l".into()),
+            Error::FabricUnavailable("fabric unavailable: n".into()),
+            Error::Io("i/o error: io".into()),
+            Error::InvalidArgument("invalid argument: a".into()),
+            Error::Unavailable("unavailable: u".into()),
+            Error::StaleConfig { epoch: 88 },
+            Error::Busy {
+                retry_after_micros: 1_500,
+            },
+            Error::AuthFailed("authentication failed: t".into()),
+            Error::ProtocolError("protocol error: p".into()),
+        ];
+        for e in errors {
+            let wire = error_to_wire(&e);
+            let back = wire_to_error(&wire);
+            // Codes and classification always survive; message-carrying
+            // variants re-wrap the Display string, so compare codes.
+            assert_eq!(back.code(), e.code());
+            assert_eq!(back.is_retryable(), e.is_retryable());
+            assert_eq!(wire.is_retryable(), e.is_retryable());
+        }
+        // Detail-carrying variants reconstruct exactly.
+        assert_eq!(
+            wire_to_error(&error_to_wire(&Error::StaleConfig { epoch: 12 })),
+            Error::StaleConfig { epoch: 12 }
+        );
+        assert_eq!(
+            wire_to_error(&error_to_wire(&Error::Busy {
+                retry_after_micros: 7
+            })),
+            Error::Busy {
+                retry_after_micros: 7
+            }
+        );
+        assert_eq!(
+            wire_to_error(&error_to_wire(&Error::UnknownStoc(StocId(3)))),
+            Error::UnknownStoc(StocId(3))
+        );
+        // Unknown codes decode terminal.
+        let unknown = WireError {
+            code: 250,
+            detail: 0,
+            message: "from the future".into(),
+        };
+        assert!(!unknown.is_retryable());
+        assert!(matches!(wire_to_error(&unknown), Error::ProtocolError(_)));
+    }
+
+    fn arb_read_options() -> impl Strategy<Value = ReadOptions> {
+        (any::<bool>(), any::<bool>(), 0usize..4096, 1usize..10_000).prop_map(
+            |(fill_cache, has_readahead, readahead, limit)| ReadOptions {
+                fill_cache,
+                readahead: has_readahead.then_some(readahead),
+                limit,
+            },
+        )
+    }
+
+    fn arb_bytes() -> impl Strategy<Value = Vec<u8>> {
+        proptest::collection::vec(any::<u8>(), 0..64)
+    }
+
+    fn arb_opt_bytes() -> impl Strategy<Value = Option<Vec<u8>>> {
+        (any::<bool>(), arb_bytes()).prop_map(|(some, bytes)| some.then_some(bytes))
+    }
+
+    fn arb_string() -> impl Strategy<Value = String> {
+        // Printable ASCII, so the UTF-8 round trip is trivially valid.
+        proptest::collection::vec(0x20u8..0x7f, 0..24)
+            .prop_map(|bytes| String::from_utf8(bytes).expect("printable ascii"))
+    }
+
+    proptest! {
+        #[test]
+        fn prop_get_round_trips(options in arb_read_options(), key in arb_bytes()) {
+            let msg = Message::Get { options, key };
+            prop_assert_eq!(round_trip(&msg), msg);
+        }
+
+        #[test]
+        fn prop_put_round_trips(key in arb_bytes(), value in arb_bytes()) {
+            let msg = Message::Put { key, value };
+            prop_assert_eq!(round_trip(&msg), msg);
+        }
+
+        #[test]
+        fn prop_delete_round_trips(key in arb_bytes()) {
+            let msg = Message::Delete { key };
+            prop_assert_eq!(round_trip(&msg), msg);
+        }
+
+        #[test]
+        fn prop_multi_get_round_trips(
+            options in arb_read_options(),
+            keys in proptest::collection::vec(arb_bytes(), 0..16),
+        ) {
+            let msg = Message::MultiGet { options, keys };
+            prop_assert_eq!(round_trip(&msg), msg);
+        }
+
+        #[test]
+        fn prop_put_batch_round_trips(
+            group_commit in any::<bool>(),
+            pairs in proptest::collection::vec((arb_bytes(), arb_bytes()), 0..16),
+        ) {
+            let msg = Message::PutBatch { options: WriteOptions { group_commit }, pairs };
+            prop_assert_eq!(round_trip(&msg), msg);
+        }
+
+        #[test]
+        fn prop_scan_chunk_round_trips(
+            options in arb_read_options(),
+            start in arb_bytes(),
+            end in arb_opt_bytes(),
+        ) {
+            let msg = Message::ScanChunk { options, start, end };
+            prop_assert_eq!(round_trip(&msg), msg);
+        }
+
+        #[test]
+        fn prop_values_round_trips(
+            values in proptest::collection::vec(arb_opt_bytes(), 0..16),
+        ) {
+            let msg = Message::Values { values };
+            prop_assert_eq!(round_trip(&msg), msg);
+        }
+
+        #[test]
+        fn prop_entries_round_trips(
+            raw in proptest::collection::vec((arb_bytes(), any::<u64>(), any::<bool>(), arb_bytes()), 0..16),
+        ) {
+            let entries = raw.into_iter().map(|(key, sequence, live, value)| Entry {
+                key: key.into(),
+                sequence,
+                value_type: if live { ValueType::Value } else { ValueType::Deletion },
+                value: value.into(),
+            }).collect();
+            let msg = Message::Entries { entries };
+            prop_assert_eq!(round_trip(&msg), msg);
+        }
+
+        #[test]
+        fn prop_hello_and_report_round_trip(tenant in arb_string(), token in arb_string()) {
+            let msg = Message::Hello { tenant: tenant.clone(), token };
+            prop_assert_eq!(round_trip(&msg), msg);
+            let msg = Message::Report { json: tenant };
+            prop_assert_eq!(round_trip(&msg), msg);
+        }
+
+        #[test]
+        fn prop_error_frames_round_trip(code in any::<u8>(), detail in any::<u64>(), message in arb_string()) {
+            let msg = Message::Error(WireError { code, detail, message });
+            prop_assert_eq!(round_trip(&msg), msg);
+        }
+
+        #[test]
+        fn prop_arbitrary_garbage_never_panics(kind in any::<u8>(), payload in proptest::collection::vec(any::<u8>(), 0..256)) {
+            // Decoding must fail cleanly (or succeed), never panic.
+            let _ = Message::decode(kind, &payload);
+        }
+
+        #[test]
+        fn prop_whole_frames_round_trip(request_id in any::<u64>(), key in arb_bytes(), value in arb_bytes()) {
+            let msg = Message::Put { key, value };
+            let mut buf = Vec::new();
+            crate::write_message(&mut buf, request_id, &msg).unwrap();
+            let (id, back) = crate::read_message(&mut &buf[..]).unwrap();
+            prop_assert_eq!(id, request_id);
+            prop_assert_eq!(back, msg);
+        }
+    }
+}

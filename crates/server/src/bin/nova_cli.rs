@@ -1,0 +1,138 @@
+//! `nova-cli`: a small one-shot / REPL client speaking the wire protocol —
+//! the manual smoke tool for `nova-server`.
+//!
+//! ```text
+//! nova-cli [--addr ADDR] [--tenant NAME --token TOKEN] [COMMAND [ARGS...]]
+//!
+//! Commands:
+//!   get KEY            print the value of KEY (or "(nil)")
+//!   put KEY VALUE      write KEY = VALUE
+//!   del KEY            delete KEY
+//!   scan START [N]     print up to N entries (default 10) from START
+//!   health             print the cluster health report (admin)
+//!   metrics            print the metrics snapshot (admin)
+//!   ping               round-trip liveness probe
+//! ```
+//!
+//! With no command, reads commands from stdin (one per line).
+
+use nova_server::RemoteClient;
+
+fn main() {
+    let mut addr = "127.0.0.1:4590".to_string();
+    let mut tenant: Option<String> = None;
+    let mut token: Option<String> = None;
+
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    while let Some(flag) = args.first().cloned() {
+        match flag.as_str() {
+            "--addr" => {
+                args.remove(0);
+                addr = take_value(&mut args, "--addr");
+            }
+            "--tenant" => {
+                args.remove(0);
+                tenant = Some(take_value(&mut args, "--tenant"));
+            }
+            "--token" => {
+                args.remove(0);
+                token = Some(take_value(&mut args, "--token"));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: nova-cli [--addr ADDR] [--tenant NAME --token TOKEN] [COMMAND [ARGS...]]\n\
+                     commands: get KEY | put KEY VALUE | del KEY | scan START [N] | health | metrics | ping"
+                );
+                return;
+            }
+            _ => break,
+        }
+    }
+
+    let client = match (&tenant, &token) {
+        (Some(tenant), Some(token)) => RemoteClient::connect_as(&addr, tenant, token),
+        (None, None) => RemoteClient::connect(&addr),
+        _ => die("--tenant and --token must be given together"),
+    }
+    .unwrap_or_else(|e| die(&format!("connect {addr}: {e}")));
+
+    if !args.is_empty() {
+        let words: Vec<&str> = args.iter().map(|s| s.as_str()).collect();
+        std::process::exit(if run_command(&client, &words) { 0 } else { 1 });
+    }
+
+    // REPL mode.
+    let mut line = String::new();
+    loop {
+        eprint!("nova> ");
+        line.clear();
+        match std::io::stdin().read_line(&mut line) {
+            Ok(0) | Err(_) => return,
+            Ok(_) => {}
+        }
+        let words: Vec<&str> = line.split_whitespace().collect();
+        if words.is_empty() {
+            continue;
+        }
+        if matches!(words[0], "quit" | "exit") {
+            return;
+        }
+        run_command(&client, &words);
+    }
+}
+
+fn run_command(client: &RemoteClient, words: &[&str]) -> bool {
+    let result = match (words[0], &words[1..]) {
+        ("get", [key]) => client.get(key.as_bytes()).map(|value| match value {
+            Some(v) => println!("{}", String::from_utf8_lossy(&v)),
+            None => println!("(nil)"),
+        }),
+        ("put", [key, value]) => client
+            .put(key.as_bytes(), value.as_bytes())
+            .map(|()| println!("OK")),
+        ("del", [key]) => client.delete(key.as_bytes()).map(|()| println!("OK")),
+        ("scan", [start, rest @ ..]) if rest.len() <= 1 => {
+            let limit: usize = rest.first().map(|s| s.parse().unwrap_or(10)).unwrap_or(10);
+            client.scan(start.as_bytes(), limit).map(|entries| {
+                for entry in &entries {
+                    println!(
+                        "{} = {}",
+                        String::from_utf8_lossy(&entry.key),
+                        String::from_utf8_lossy(&entry.value)
+                    );
+                }
+                println!("({} entries)", entries.len());
+            })
+        }
+        ("health", []) => client.health_json().map(|json| println!("{json}")),
+        ("metrics", []) => client.metrics_json().map(|json| println!("{json}")),
+        ("ping", []) => client.ping().map(|()| println!("PONG")),
+        ("help", _) => {
+            println!("commands: get KEY | put KEY VALUE | del KEY | scan START [N] | health | metrics | ping | quit");
+            Ok(())
+        }
+        _ => {
+            eprintln!("unknown command; try 'help'");
+            return false;
+        }
+    };
+    match result {
+        Ok(()) => true,
+        Err(e) => {
+            eprintln!("error: {e}");
+            false
+        }
+    }
+}
+
+fn take_value(args: &mut Vec<String>, flag: &str) -> String {
+    if args.is_empty() {
+        die(&format!("{flag} needs a value"));
+    }
+    args.remove(0)
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("nova-cli: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,140 @@
+//! Standalone `nova-server`: start a simulated cluster and serve it over
+//! the wire protocol until stdin closes (pipe from a terminal and hit
+//! ctrl-d, or kill the process).
+//!
+//! ```text
+//! nova-server [--listen ADDR] [--ltcs N] [--stocs N] [--keys N] [--load]
+//!             [--value-size BYTES] [--max-conns N] [--shed-backlog N]
+//!             [--require-auth] [--tenant NAME:TOKEN[:OPS_PER_SEC[:admin]]]...
+//! ```
+
+use nova_common::config::TenantConfig;
+use nova_common::keyspace::encode_key;
+use nova_lsm::{presets, NovaClient, NovaCluster};
+use nova_server::NovaServer;
+
+fn main() {
+    let mut listen = "127.0.0.1:4590".to_string();
+    let mut ltcs = 1usize;
+    let mut stocs = 1usize;
+    let mut keys = 100_000u64;
+    let mut value_size = 128usize;
+    let mut load = false;
+    let mut max_conns = 256usize;
+    let mut shed_backlog = u64::MAX;
+    let mut require_auth = false;
+    let mut tenants: Vec<TenantConfig> = Vec::new();
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].clone();
+        match flag.as_str() {
+            "--listen" => listen = next(&args, &mut i),
+            "--ltcs" => ltcs = parse(&next(&args, &mut i)),
+            "--stocs" => stocs = parse(&next(&args, &mut i)),
+            "--keys" => keys = parse(&next(&args, &mut i)),
+            "--value-size" => value_size = parse(&next(&args, &mut i)),
+            "--max-conns" => max_conns = parse(&next(&args, &mut i)),
+            "--shed-backlog" => shed_backlog = parse(&next(&args, &mut i)),
+            "--load" => load = true,
+            "--require-auth" => require_auth = true,
+            "--tenant" => tenants.push(parse_tenant(&next(&args, &mut i))),
+            "--help" | "-h" => {
+                println!(
+                    "usage: nova-server [--listen ADDR] [--ltcs N] [--stocs N] [--keys N] [--load]\n\
+                     \x20                  [--value-size BYTES] [--max-conns N] [--shed-backlog N]\n\
+                     \x20                  [--require-auth] [--tenant NAME:TOKEN[:OPS_PER_SEC[:admin]]]..."
+                );
+                return;
+            }
+            other => die(&format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+
+    let mut config = presets::shared_disk(ltcs, stocs, stocs.min(3), keys);
+    config.server.listen_addr = listen;
+    config.server.max_connections = max_conns;
+    config.server.shed_backlog_threshold = shed_backlog;
+    config.server.require_auth = require_auth;
+    config.server.tenants = tenants;
+
+    let cluster = NovaCluster::start(config.clone()).unwrap_or_else(|e| die(&format!("cluster start: {e}")));
+    if load {
+        eprintln!("loading {keys} keys x {value_size}B ...");
+        let client = NovaClient::new(cluster.clone());
+        let value = vec![0xabu8; value_size];
+        let mut batch = Vec::with_capacity(256);
+        for k in 0..keys {
+            batch.push((encode_key(k), value.clone()));
+            if batch.len() == 256 {
+                client
+                    .put_batch(&batch)
+                    .unwrap_or_else(|e| die(&format!("load: {e}")));
+                batch.clear();
+            }
+        }
+        if !batch.is_empty() {
+            client
+                .put_batch(&batch)
+                .unwrap_or_else(|e| die(&format!("load: {e}")));
+        }
+    }
+
+    let mut server =
+        NovaServer::start(cluster.clone(), &config.server).unwrap_or_else(|e| die(&format!("bind: {e}")));
+    println!(
+        "nova-server listening on {} (ctrl-d to stop)",
+        server.local_addr()
+    );
+
+    // Serve until stdin closes.
+    let mut sink = String::new();
+    while let Ok(n) = std::io::stdin().read_line(&mut sink) {
+        if n == 0 {
+            break;
+        }
+        sink.clear();
+    }
+    eprintln!("shutting down ...");
+    server.shutdown();
+    cluster.shutdown();
+}
+
+fn next(args: &[String], i: &mut usize) -> String {
+    *i += 1;
+    args.get(*i)
+        .unwrap_or_else(|| die(&format!("{} needs a value", args[*i - 1])))
+        .clone()
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> T {
+    s.parse()
+        .unwrap_or_else(|_| die(&format!("bad numeric value '{s}'")))
+}
+
+/// `NAME:TOKEN[:OPS_PER_SEC[:admin]]`
+fn parse_tenant(spec: &str) -> TenantConfig {
+    let parts: Vec<&str> = spec.split(':').collect();
+    if parts.len() < 2 || parts[0].is_empty() {
+        die(&format!(
+            "bad --tenant spec '{spec}' (want NAME:TOKEN[:OPS_PER_SEC[:admin]])"
+        ));
+    }
+    TenantConfig {
+        name: parts[0].to_string(),
+        token: parts[1].to_string(),
+        ops_per_sec: parts
+            .get(2)
+            .filter(|s| !s.is_empty())
+            .map(|s| parse(s))
+            .unwrap_or(0),
+        admin: parts.get(3).is_some_and(|s| *s == "admin"),
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("nova-server: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,49 @@
+//! # nova-server
+//!
+//! The network front door of the Nova-LSM reproduction: a std-net TCP
+//! server speaking the [`nova_proto`] framed wire protocol in front of
+//! [`nova_lsm::NovaClient`], plus [`RemoteClient`] — a remote
+//! implementation of the YCSB driver's `KvInterface`, so every existing
+//! workload and bench drives the server unchanged.
+//!
+//! Matching the repository's threading style, there is no async runtime:
+//! the server runs one accept thread and one thread per connection, with
+//! the accept pool bounded by
+//! [`nova_common::config::ServerConfig::max_connections`] — connections
+//! beyond the bound are refused with a retryable `busy` frame rather than
+//! queued unboundedly.
+//!
+//! Production teeth, all configured through
+//! [`nova_common::config::ServerConfig`]:
+//!
+//! * **Auth**: tenants present a name + shared-secret token in the `hello`
+//!   handshake; admin frames (health report, metrics snapshot) require an
+//!   admin tenant.
+//! * **Admission control**: each tenant is metered by a token bucket
+//!   (`ops_per_sec`; a batch of n keys costs n tokens). Overflow is shed
+//!   with a retryable `busy` frame carrying a suggested backoff.
+//! * **Backpressure**: write requests are shed with `busy` while the
+//!   cluster's background backlog (queued + running flush/compaction jobs)
+//!   sits at or above `shed_backlog_threshold`.
+//!
+//! Server-side op latencies, active connections and shed counts land in
+//! the cluster's `nova-obs` registry under `server.*` names, so they ride
+//! along in `metrics_snapshot()` and the admin frames.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod remote;
+mod server;
+
+pub use remote::{RemoteClient, RemoteScanCursor};
+pub use server::NovaServer;
+
+/// The bytewise successor of `key`: the smallest key strictly greater than
+/// `key`. Streaming scans resume at `successor(last_returned_key)`.
+pub fn key_successor(key: &[u8]) -> Vec<u8> {
+    let mut next = Vec::with_capacity(key.len() + 1);
+    next.extend_from_slice(key);
+    next.push(0);
+    next
+}

@@ -1,0 +1,422 @@
+//! The remote client: a connection-pooled, retrying wire-protocol client
+//! that mirrors the `NovaClient` operation surface and implements the YCSB
+//! driver's `KvInterface`, so existing workloads drive a remote server
+//! unchanged.
+
+use crate::key_successor;
+use nova_common::types::Entry;
+use nova_common::{Error, ReadOptions, Result, WriteOptions};
+use nova_proto::{read_message, wire_to_error, write_message, Message};
+use nova_ycsb::KvInterface;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// How many times a call transparently retries a retryable `busy` shed
+/// before surfacing [`Error::Busy`] to the caller.
+const DEFAULT_BUSY_RETRIES: usize = 8;
+
+/// A client for a remote `nova-server`.
+///
+/// Connections are pooled (one checkout per in-flight call, dialing on
+/// demand), authenticated with the configured tenant on dial, and replaced
+/// transparently when a pooled connection turns out to be dead. Retryable
+/// `busy` sheds are retried with the server-suggested backoff, up to a
+/// bounded number of attempts; every other error surfaces typed (see
+/// [`nova_proto::wire_to_error`]).
+pub struct RemoteClient {
+    addr: String,
+    tenant: Option<(String, String)>,
+    pool: Mutex<Vec<TcpStream>>,
+    next_request_id: AtomicU64,
+    busy_retries: usize,
+}
+
+impl std::fmt::Debug for RemoteClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteClient")
+            .field("addr", &self.addr)
+            .field("tenant", &self.tenant.as_ref().map(|(name, _)| name))
+            .field("pooled", &self.pool.lock().len())
+            .finish()
+    }
+}
+
+impl RemoteClient {
+    /// Connect anonymously (servers with `require_auth = false`).
+    pub fn connect(addr: &str) -> Result<RemoteClient> {
+        Self::build(addr, None)
+    }
+
+    /// Connect and authenticate as `tenant` with `token`.
+    pub fn connect_as(addr: &str, tenant: &str, token: &str) -> Result<RemoteClient> {
+        Self::build(addr, Some((tenant.to_string(), token.to_string())))
+    }
+
+    fn build(addr: &str, tenant: Option<(String, String)>) -> Result<RemoteClient> {
+        let client = RemoteClient {
+            addr: addr.to_string(),
+            tenant,
+            pool: Mutex::new(Vec::new()),
+            next_request_id: AtomicU64::new(1),
+            busy_retries: DEFAULT_BUSY_RETRIES,
+        };
+        // Dial (and authenticate) eagerly so connect errors surface here,
+        // not on the first operation.
+        let stream = client.dial()?;
+        client.pool.lock().push(stream);
+        Ok(client)
+    }
+
+    /// Override the bounded `busy` retry budget (`0` surfaces every shed).
+    pub fn with_busy_retries(mut self, retries: usize) -> Self {
+        self.busy_retries = retries;
+        self
+    }
+
+    fn dial(&self) -> Result<TcpStream> {
+        let stream = TcpStream::connect(&self.addr)?;
+        let _ = stream.set_nodelay(true);
+        if let Some((tenant, token)) = &self.tenant {
+            let mut stream = &stream;
+            let id = self.next_request_id.fetch_add(1, Ordering::Relaxed);
+            write_message(
+                &mut stream,
+                id,
+                &Message::Hello {
+                    tenant: tenant.clone(),
+                    token: token.clone(),
+                },
+            )?;
+            match read_message(&mut stream)? {
+                (_, Message::HelloOk { .. }) => {}
+                (_, Message::Error(e)) => return Err(wire_to_error(&e)),
+                (_, other) => {
+                    return Err(Error::ProtocolError(format!(
+                        "unexpected handshake response kind {:#04x}",
+                        other.kind() as u8
+                    )))
+                }
+            }
+        }
+        Ok(stream)
+    }
+
+    fn checkout(&self) -> Result<TcpStream> {
+        if let Some(stream) = self.pool.lock().pop() {
+            return Ok(stream);
+        }
+        self.dial()
+    }
+
+    /// One request/response exchange, with transparent replacement of dead
+    /// pooled connections and bounded retry of `busy` sheds.
+    fn call(&self, msg: &Message) -> Result<Message> {
+        let mut io_retried = false;
+        let mut busy_attempts = 0usize;
+        loop {
+            let stream = self.checkout()?;
+            let id = self.next_request_id.fetch_add(1, Ordering::Relaxed);
+            let exchange = (|| {
+                let mut s = &stream;
+                write_message(&mut s, id, msg)?;
+                read_message(&mut s)
+            })();
+            match exchange {
+                Ok((rid, response)) => {
+                    if rid != id && rid != 0 {
+                        // A response for a different request poisons the
+                        // stream; drop the connection.
+                        return Err(Error::ProtocolError(format!(
+                            "response id {rid} does not match request id {id}"
+                        )));
+                    }
+                    match response {
+                        Message::Error(wire) => {
+                            let e = wire_to_error(&wire);
+                            // Error frames leave the stream framed; reuse it.
+                            self.pool.lock().push(stream);
+                            if let Error::Busy { retry_after_micros } = &e {
+                                if busy_attempts < self.busy_retries {
+                                    busy_attempts += 1;
+                                    std::thread::sleep(Duration::from_micros(
+                                        (*retry_after_micros).max(100) * busy_attempts as u64,
+                                    ));
+                                    continue;
+                                }
+                            }
+                            return Err(e);
+                        }
+                        response => {
+                            self.pool.lock().push(stream);
+                            return Ok(response);
+                        }
+                    }
+                }
+                // A dead pooled connection (server restarted, idle timeout):
+                // drop it and retry once on a fresh dial. Write operations
+                // are idempotent upserts, so the single replay is safe.
+                Err(Error::Io(_)) if !io_retried => {
+                    io_retried = true;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn expect_ok(&self, msg: &Message) -> Result<()> {
+        match self.call(msg)? {
+            Message::Ok => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&self) -> Result<()> {
+        match self.call(&Message::Ping)? {
+            Message::Pong => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Read a key.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.get_with_options(key, &ReadOptions::default())
+    }
+
+    /// Read a key honoring per-operation [`ReadOptions`].
+    pub fn get_with_options(&self, key: &[u8], options: &ReadOptions) -> Result<Option<Vec<u8>>> {
+        match self.call(&Message::Get {
+            options: *options,
+            key: key.to_vec(),
+        })? {
+            Message::Value { value } => Ok(value),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Write a key-value pair.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.expect_ok(&Message::Put {
+            key: key.to_vec(),
+            value: value.to_vec(),
+        })
+    }
+
+    /// Delete a key.
+    pub fn delete(&self, key: &[u8]) -> Result<()> {
+        self.expect_ok(&Message::Delete { key: key.to_vec() })
+    }
+
+    /// Scatter-gather read: one optional value per key, in input order.
+    pub fn multi_get<K: AsRef<[u8]>>(&self, keys: &[K]) -> Result<Vec<Option<Vec<u8>>>> {
+        self.multi_get_with_options(keys, &ReadOptions::default())
+    }
+
+    /// [`RemoteClient::multi_get`] honoring per-operation [`ReadOptions`].
+    pub fn multi_get_with_options<K: AsRef<[u8]>>(
+        &self,
+        keys: &[K],
+        options: &ReadOptions,
+    ) -> Result<Vec<Option<Vec<u8>>>> {
+        match self.call(&Message::MultiGet {
+            options: *options,
+            keys: keys.iter().map(|k| k.as_ref().to_vec()).collect(),
+        })? {
+            Message::Values { values } => Ok(values),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Batched write.
+    pub fn put_batch<K: AsRef<[u8]>, V: AsRef<[u8]>>(&self, items: &[(K, V)]) -> Result<()> {
+        self.put_batch_with(items, &WriteOptions::default())
+    }
+
+    /// [`RemoteClient::put_batch`] honoring per-batch [`WriteOptions`].
+    pub fn put_batch_with<K: AsRef<[u8]>, V: AsRef<[u8]>>(
+        &self,
+        items: &[(K, V)],
+        options: &WriteOptions,
+    ) -> Result<()> {
+        self.expect_ok(&Message::PutBatch {
+            options: *options,
+            pairs: items
+                .iter()
+                .map(|(k, v)| (k.as_ref().to_vec(), v.as_ref().to_vec()))
+                .collect(),
+        })
+    }
+
+    /// Stream the live entries of `[start, end)` (an absent `end` scans to
+    /// the end of the keyspace) as a lazy cursor. Each chunk is one
+    /// `scan_chunk` request of `options.limit` entries; the cursor resumes
+    /// at the successor of the last key it received, mirroring the
+    /// in-process `ScanCursor`.
+    pub fn scan_range<'a>(
+        &'a self,
+        start: &[u8],
+        end: Option<&[u8]>,
+        options: ReadOptions,
+    ) -> RemoteScanCursor<'a> {
+        RemoteScanCursor {
+            client: self,
+            options,
+            cursor: start.to_vec(),
+            end: end.map(|e| e.to_vec()),
+            buffer: VecDeque::new(),
+            done: false,
+        }
+    }
+
+    /// Collect up to `limit` entries starting at `start`.
+    pub fn scan(&self, start: &[u8], limit: usize) -> Result<Vec<Entry>> {
+        let mut out = Vec::new();
+        for entry in self.scan_range(
+            start,
+            None,
+            ReadOptions::default().with_chunk(limit.clamp(1, 1024)),
+        ) {
+            out.push(entry?);
+            if out.len() >= limit {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Admin: the cluster health report as JSON (requires an admin tenant).
+    pub fn health_json(&self) -> Result<String> {
+        match self.call(&Message::Health)? {
+            Message::Report { json } => Ok(json),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Admin: the metrics registry snapshot as JSON (requires an admin
+    /// tenant).
+    pub fn metrics_json(&self) -> Result<String> {
+        match self.call(&Message::MetricsSnapshot)? {
+            Message::Report { json } => Ok(json),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+fn unexpected(msg: &Message) -> Error {
+    Error::ProtocolError(format!("unexpected response kind {:#04x}", msg.kind() as u8))
+}
+
+/// A lazy streaming scan over a remote server; yields entries in key order,
+/// pulling one `scan_chunk` request at a time.
+pub struct RemoteScanCursor<'a> {
+    client: &'a RemoteClient,
+    options: ReadOptions,
+    cursor: Vec<u8>,
+    end: Option<Vec<u8>>,
+    buffer: VecDeque<Entry>,
+    done: bool,
+}
+
+impl Iterator for RemoteScanCursor<'_> {
+    type Item = Result<Entry>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(entry) = self.buffer.pop_front() {
+                return Some(Ok(entry));
+            }
+            if self.done {
+                return None;
+            }
+            let response = self.client.call(&Message::ScanChunk {
+                options: self.options,
+                start: self.cursor.clone(),
+                end: self.end.clone(),
+            });
+            let entries = match response {
+                Ok(Message::Entries { entries }) => entries,
+                Ok(other) => {
+                    self.done = true;
+                    return Some(Err(unexpected(&other)));
+                }
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(e));
+                }
+            };
+            // Fewer entries than the chunk limit means the interval is
+            // exhausted; otherwise resume after the last key.
+            if entries.len() < self.options.limit.max(1) {
+                self.done = true;
+            } else if let Some(last) = entries.last() {
+                self.cursor = key_successor(&last.key);
+            }
+            if entries.is_empty() && self.buffer.is_empty() {
+                self.done = true;
+                return None;
+            }
+            self.buffer.extend(entries);
+        }
+    }
+}
+
+/// The YCSB driver's store interface, served over the wire: workloads and
+/// benches drive a remote server exactly as they drive the in-process
+/// client.
+impl KvInterface for RemoteClient {
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        RemoteClient::put(self, key, value)
+    }
+
+    fn put_batch(&self, items: &[(Vec<u8>, Vec<u8>)]) -> Result<()> {
+        RemoteClient::put_batch(self, items)
+    }
+
+    fn get(&self, key: &[u8]) -> Result<bool> {
+        Ok(RemoteClient::get(self, key)?.is_some())
+    }
+
+    fn multi_get(&self, keys: &[Vec<u8>]) -> Result<Vec<bool>> {
+        Ok(RemoteClient::multi_get(self, keys)?
+            .into_iter()
+            .map(|v| v.is_some())
+            .collect())
+    }
+
+    fn scan(&self, start_key: &[u8], count: usize) -> Result<usize> {
+        let mut seen = 0;
+        for entry in self.scan_range(
+            start_key,
+            None,
+            ReadOptions::default().with_chunk(count.clamp(1, 1024)),
+        ) {
+            entry?;
+            seen += 1;
+            if seen >= count {
+                break;
+            }
+        }
+        Ok(seen)
+    }
+
+    fn scan_range(&self, start_key: &[u8], end_key: &[u8], count: usize) -> Result<usize> {
+        let mut seen = 0;
+        for entry in RemoteClient::scan_range(
+            self,
+            start_key,
+            Some(end_key),
+            ReadOptions::default().with_chunk(count.clamp(1, 1024)),
+        ) {
+            entry?;
+            seen += 1;
+            if seen >= count {
+                break;
+            }
+        }
+        Ok(seen)
+    }
+}

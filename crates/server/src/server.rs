@@ -1,0 +1,462 @@
+//! The TCP server: accept loop, per-connection protocol handler, tenant
+//! auth, admission control and backpressure.
+
+use nova_common::config::ServerConfig;
+use nova_common::{Error, ReadOptions, Result};
+use nova_lsm::{NovaClient, NovaCluster, TokenBucket};
+use nova_obs::{AtomicHistogram, Gauge};
+use nova_proto::{error_to_wire, read_frame, write_message, Message};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use nova_common::rate::Counter;
+
+/// One authenticated tenant: its shared secret, privileges and admission
+/// bucket. The bucket meters *operations* per second (a batch of n keys
+/// costs n tokens), reusing the supervisor's [`TokenBucket`].
+struct TenantState {
+    token: String,
+    admin: bool,
+    bucket: Option<Mutex<TokenBucket>>,
+}
+
+/// Cached `server.*` metric handles (the registry lock is taken once, at
+/// server start).
+struct ServerMetrics {
+    connections_total: Arc<Counter>,
+    active_connections: Arc<Gauge>,
+    shed_connections: Arc<Counter>,
+    shed_backpressure: Arc<Counter>,
+    shed_ratelimit: Arc<Counter>,
+    auth_failures: Arc<Counter>,
+    protocol_errors: Arc<Counter>,
+    op_get: Arc<AtomicHistogram>,
+    op_put: Arc<AtomicHistogram>,
+    op_delete: Arc<AtomicHistogram>,
+    op_multi_get: Arc<AtomicHistogram>,
+    op_put_batch: Arc<AtomicHistogram>,
+    op_scan: Arc<AtomicHistogram>,
+}
+
+impl ServerMetrics {
+    fn new(cluster: &NovaCluster) -> Self {
+        let m = cluster.metrics();
+        ServerMetrics {
+            connections_total: m.counter("server.connections_total"),
+            active_connections: m.gauge("server.active_connections"),
+            shed_connections: m.counter("server.shed.connections"),
+            shed_backpressure: m.counter("server.shed.backpressure"),
+            shed_ratelimit: m.counter("server.shed.ratelimit"),
+            auth_failures: m.counter("server.auth_failures"),
+            protocol_errors: m.counter("server.protocol_errors"),
+            op_get: m.histogram("server.op.get.micros"),
+            op_put: m.histogram("server.op.put.micros"),
+            op_delete: m.histogram("server.op.delete.micros"),
+            op_multi_get: m.histogram("server.op.multi_get.micros"),
+            op_put_batch: m.histogram("server.op.put_batch.micros"),
+            op_scan: m.histogram("server.op.scan.micros"),
+        }
+    }
+}
+
+struct Shared {
+    cluster: Arc<NovaCluster>,
+    client: NovaClient,
+    config: ServerConfig,
+    tenants: HashMap<String, TenantState>,
+    active: AtomicUsize,
+    shutdown: AtomicBool,
+    metrics: ServerMetrics,
+    /// `try_clone`d handles of live connection streams so shutdown can
+    /// unblock readers parked in `read_frame`.
+    conn_streams: Mutex<Vec<TcpStream>>,
+    conn_handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// The network front door. Binds on [`NovaServer::start`], serves until
+/// [`NovaServer::shutdown`] (or drop).
+pub struct NovaServer {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept_handle: Option<JoinHandle<()>>,
+}
+
+impl NovaServer {
+    /// Bind `config.listen_addr` (port 0 binds an ephemeral port — see
+    /// [`NovaServer::local_addr`]) and start serving `cluster` through a
+    /// fresh [`NovaClient`].
+    pub fn start(cluster: Arc<NovaCluster>, config: &ServerConfig) -> Result<NovaServer> {
+        config.validate().map_err(Error::InvalidArgument)?;
+        let addr = config.listen_addr.to_socket_addrs()?.next().ok_or_else(|| {
+            Error::InvalidArgument(format!("unresolvable listen_addr {}", config.listen_addr))
+        })?;
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+
+        let tenants = config
+            .tenants
+            .iter()
+            .map(|t| {
+                let bucket = (t.ops_per_sec > 0).then(|| {
+                    Mutex::new(TokenBucket::new(
+                        nova_common::clock::system_clock(),
+                        t.ops_per_sec,
+                    ))
+                });
+                (
+                    t.name.clone(),
+                    TenantState {
+                        token: t.token.clone(),
+                        admin: t.admin,
+                        bucket,
+                    },
+                )
+            })
+            .collect();
+
+        let shared = Arc::new(Shared {
+            client: NovaClient::new(Arc::clone(&cluster)),
+            metrics: ServerMetrics::new(&cluster),
+            cluster,
+            config: config.clone(),
+            tenants,
+            active: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            conn_streams: Mutex::new(Vec::new()),
+            conn_handles: Mutex::new(Vec::new()),
+        });
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_handle = std::thread::Builder::new()
+            .name("nova-server-accept".into())
+            .spawn(move || accept_loop(accept_shared, listener))
+            .map_err(|e| Error::Io(e.to_string()))?;
+
+        Ok(NovaServer {
+            shared,
+            local_addr,
+            accept_handle: Some(accept_handle),
+        })
+    }
+
+    /// The bound address (useful when the configuration asked for port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Connections currently being served.
+    pub fn active_connections(&self) -> usize {
+        self.shared.active.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting, unblock and join every connection thread.
+    pub fn shutdown(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the accept thread parked in accept().
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        // Unblock readers parked in read_frame.
+        for stream in self.shared.conn_streams.lock().drain(..) {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        let handles: Vec<_> = self.shared.conn_handles.lock().drain(..).collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for NovaServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(shared: Arc<Shared>, listener: TcpListener) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        shared.metrics.connections_total.incr();
+        // Bounded accept pool: beyond the bound, shed with a retryable
+        // busy frame instead of queueing the connection.
+        if shared.active.load(Ordering::SeqCst) >= shared.config.max_connections {
+            shared.metrics.shed_connections.incr();
+            let busy = Error::Busy {
+                retry_after_micros: shared.config.retry_after_micros,
+            };
+            let mut stream = stream;
+            let _ = write_message(&mut stream, 0, &Message::Error(error_to_wire(&busy)));
+            continue;
+        }
+        let active = shared.active.fetch_add(1, Ordering::SeqCst) + 1;
+        shared.metrics.active_connections.set(active as u64);
+        if let Ok(clone) = stream.try_clone() {
+            shared.conn_streams.lock().push(clone);
+        }
+        let conn_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("nova-server-conn".into())
+            .spawn(move || {
+                serve_connection(&conn_shared, stream);
+                let active = conn_shared.active.fetch_sub(1, Ordering::SeqCst) - 1;
+                conn_shared.metrics.active_connections.set(active as u64);
+            });
+        match handle {
+            Ok(handle) => shared.conn_handles.lock().push(handle),
+            Err(_) => {
+                let active = shared.active.fetch_sub(1, Ordering::SeqCst) - 1;
+                shared.metrics.active_connections.set(active as u64);
+            }
+        }
+    }
+}
+
+/// The per-connection session: which tenant (if any) has authenticated.
+enum Session<'a> {
+    /// No handshake yet.
+    Unauthenticated,
+    /// Handshake accepted.
+    Tenant(&'a TenantState),
+}
+
+fn serve_connection(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let mut reader = match stream.try_clone() {
+        Ok(reader) => std::io::BufReader::new(reader),
+        Err(_) => return,
+    };
+    let mut writer = std::io::BufWriter::new(&mut stream);
+    let mut session = Session::Unauthenticated;
+
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let frame = match read_frame(&mut reader) {
+            Ok(frame) => frame,
+            Err(Error::ProtocolError(msg)) => {
+                // Framing is poisoned: report in-band (best effort) and
+                // close this connection. Other connections are unaffected.
+                shared.metrics.protocol_errors.incr();
+                let err = Error::ProtocolError(msg);
+                let _ = write_message(&mut writer, 0, &Message::Error(error_to_wire(&err)));
+                return;
+            }
+            // Clean close or transport error.
+            Err(_) => return,
+        };
+        let response = match Message::decode(frame.kind, &frame.payload) {
+            Ok(msg) => handle_message(shared, &mut session, msg),
+            Err(e) => {
+                // The frame itself was intact (header + checksum verified),
+                // so the stream is still framed: answer in-band and keep
+                // serving this connection.
+                shared.metrics.protocol_errors.incr();
+                Message::Error(error_to_wire(&e))
+            }
+        };
+        if write_message(&mut writer, frame.request_id, &response).is_err() {
+            return;
+        }
+        let _ = writer.flush();
+    }
+}
+
+fn handle_message<'a>(shared: &'a Shared, session: &mut Session<'a>, msg: Message) -> Message {
+    // The handshake and liveness probes bypass tenancy checks.
+    match &msg {
+        Message::Ping => return Message::Pong,
+        Message::Hello { tenant, token } => {
+            return match shared.tenants.get(tenant) {
+                Some(state) if state.token == *token => {
+                    *session = Session::Tenant(state);
+                    Message::HelloOk { admin: state.admin }
+                }
+                _ => {
+                    shared.metrics.auth_failures.incr();
+                    Message::Error(error_to_wire(&Error::AuthFailed(format!(
+                        "unknown tenant '{tenant}' or bad token"
+                    ))))
+                }
+            };
+        }
+        _ => {}
+    }
+
+    // Resolve the acting tenant: the handshake's, or the implicit
+    // anonymous admin tenant when authentication is not required.
+    let tenant: Option<&TenantState> = match session {
+        Session::Tenant(state) => Some(state),
+        Session::Unauthenticated if shared.config.require_auth => {
+            shared.metrics.auth_failures.incr();
+            return Message::Error(error_to_wire(&Error::AuthFailed(
+                "hello handshake required before operations".into(),
+            )));
+        }
+        Session::Unauthenticated => None,
+    };
+    let admin = tenant.map(|t| t.admin).unwrap_or(true);
+
+    // Admission control: meter operations against the tenant's bucket.
+    let cost = match &msg {
+        Message::Get { .. } | Message::Put { .. } | Message::Delete { .. } | Message::ScanChunk { .. } => 1,
+        Message::MultiGet { keys, .. } => keys.len() as u64,
+        Message::PutBatch { pairs, .. } => pairs.len() as u64,
+        _ => 0,
+    };
+    if cost > 0 {
+        if let Some(bucket) = tenant.and_then(|t| t.bucket.as_ref()) {
+            if !bucket.lock().try_consume(cost) {
+                shared.metrics.shed_ratelimit.incr();
+                return Message::Error(error_to_wire(&Error::Busy {
+                    retry_after_micros: shared.config.retry_after_micros,
+                }));
+            }
+        }
+    }
+
+    // Backpressure: shed writes while the cluster's flush/compaction
+    // backlog sits at or above the threshold.
+    let is_write = matches!(
+        &msg,
+        Message::Put { .. } | Message::Delete { .. } | Message::PutBatch { .. }
+    );
+    if is_write && shared.cluster.background_backlog() >= shared.config.shed_backlog_threshold {
+        shared.metrics.shed_backpressure.incr();
+        return Message::Error(error_to_wire(&Error::Busy {
+            retry_after_micros: shared.config.retry_after_micros,
+        }));
+    }
+
+    dispatch(shared, msg, admin)
+}
+
+/// Execute one operation against the in-process client and build the
+/// response frame. `StaleConfig` retries happen inside `NovaClient`'s
+/// routing loop — they never cross the wire.
+fn dispatch(shared: &Shared, msg: Message, admin: bool) -> Message {
+    let client = &shared.client;
+    let start = Instant::now();
+    let (histogram, response) = match msg {
+        Message::Get { options, key } => (
+            Some(&shared.metrics.op_get),
+            client
+                .get_with_options(&key, &options)
+                .map(|value| Message::Value {
+                    value: value.map(|v| v.to_vec()),
+                }),
+        ),
+        Message::Put { key, value } => (
+            Some(&shared.metrics.op_put),
+            client.put(&key, &value).map(|()| Message::Ok),
+        ),
+        Message::Delete { key } => (
+            Some(&shared.metrics.op_delete),
+            client.delete(&key).map(|()| Message::Ok),
+        ),
+        Message::MultiGet { options, keys } => (
+            Some(&shared.metrics.op_multi_get),
+            client
+                .multi_get_with_options(&keys, &options)
+                .map(|values| Message::Values {
+                    values: values.into_iter().map(|v| v.map(|b| b.to_vec())).collect(),
+                }),
+        ),
+        Message::PutBatch { options, pairs } => (
+            Some(&shared.metrics.op_put_batch),
+            client.put_batch_with(&pairs, &options).map(|()| Message::Ok),
+        ),
+        Message::ScanChunk { options, start, end } => (
+            Some(&shared.metrics.op_scan),
+            scan_chunk(client, options, &start, end.as_deref()),
+        ),
+        Message::Health => {
+            if admin {
+                (
+                    None,
+                    Ok(Message::Report {
+                        json: shared.cluster.health_report().to_json(),
+                    }),
+                )
+            } else {
+                (None, Err(admin_required("health")))
+            }
+        }
+        Message::MetricsSnapshot => {
+            if admin {
+                (
+                    None,
+                    Ok(Message::Report {
+                        json: shared.cluster.metrics_snapshot().to_json(),
+                    }),
+                )
+            } else {
+                (None, Err(admin_required("metrics_snapshot")))
+            }
+        }
+        // Response kinds arriving as requests, and Hello/Ping (handled by
+        // the caller), are protocol violations.
+        other => (
+            None,
+            Err(Error::ProtocolError(format!(
+                "frame kind {:#04x} is not a request",
+                other.kind() as u8
+            ))),
+        ),
+    };
+    if let Some(histogram) = histogram {
+        histogram.record(start.elapsed().as_micros() as u64);
+    }
+    match response {
+        Ok(response) => response,
+        Err(e) => {
+            if matches!(e, Error::ProtocolError(_)) {
+                shared.metrics.protocol_errors.incr();
+            }
+            Message::Error(error_to_wire(&e))
+        }
+    }
+}
+
+fn admin_required(what: &str) -> Error {
+    Error::AuthFailed(format!("'{what}' requires an admin tenant"))
+}
+
+/// Collect up to `options.limit` entries of `[start, end)` — one chunk of a
+/// streaming scan. The client resumes with the successor of the last key.
+fn scan_chunk(
+    client: &NovaClient,
+    options: ReadOptions,
+    start: &[u8],
+    end: Option<&[u8]>,
+) -> Result<Message> {
+    let limit = options.limit.max(1);
+    let mut entries = Vec::with_capacity(limit.min(1024));
+    for entry in client.scan_range(start, end, options) {
+        entries.push(entry?);
+        if entries.len() >= limit {
+            break;
+        }
+    }
+    Ok(Message::Entries { entries })
+}

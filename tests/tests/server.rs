@@ -1,0 +1,368 @@
+//! End-to-end tests for the network front door: the framed wire protocol,
+//! `nova-server`'s per-connection handler (auth, admission control,
+//! backpressure), and the pooled `RemoteClient`.
+
+use nova_common::config::{ClusterConfig, TenantConfig};
+use nova_common::keyspace::encode_key;
+use nova_common::{Error, ReadOptions};
+use nova_lsm::{presets, NovaClient, NovaCluster};
+use nova_proto::{read_message, write_frame, write_message, FrameKind, Message, HEADER_LEN, MAX_PAYLOAD};
+use nova_server::{NovaServer, RemoteClient};
+use nova_ycsb::{Distribution, DriverConfig, Mix, RunLength, Workload};
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Start a small cluster plus a server bound to an ephemeral port, with the
+/// given tweaks applied to the server configuration.
+fn start_server(
+    num_keys: u64,
+    tweak: impl FnOnce(&mut ClusterConfig),
+) -> (Arc<NovaCluster>, NovaServer, String) {
+    let mut config = presets::test_cluster(1, 2, num_keys);
+    config.server.listen_addr = "127.0.0.1:0".to_string();
+    tweak(&mut config);
+    let server_config = config.server.clone();
+    let cluster = NovaCluster::start(config).unwrap();
+    let server = NovaServer::start(cluster.clone(), &server_config).unwrap();
+    let addr = server.local_addr().to_string();
+    (cluster, server, addr)
+}
+
+#[test]
+fn remote_round_trip_end_to_end() {
+    let (cluster, mut server, addr) = start_server(10_000, |_| {});
+    let client = RemoteClient::connect(&addr).unwrap();
+
+    client.ping().unwrap();
+
+    // Point writes and reads.
+    for i in 0..200u64 {
+        client.put(&encode_key(i), format!("v-{i}").as_bytes()).unwrap();
+    }
+    assert_eq!(client.get(&encode_key(7)).unwrap(), Some(b"v-7".to_vec()));
+    assert_eq!(client.get(&encode_key(9_999)).unwrap(), None);
+
+    // Delete.
+    client.delete(&encode_key(7)).unwrap();
+    assert_eq!(client.get(&encode_key(7)).unwrap(), None);
+
+    // Scatter-gather read: present, absent and deleted keys, input order.
+    let keys: Vec<Vec<u8>> = [0u64, 7, 42, 9_999, 1].iter().map(|k| encode_key(*k)).collect();
+    let values = client.multi_get(&keys).unwrap();
+    assert_eq!(values.len(), 5);
+    assert_eq!(values[0], Some(b"v-0".to_vec()));
+    assert_eq!(values[1], None);
+    assert_eq!(values[2], Some(b"v-42".to_vec()));
+    assert_eq!(values[3], None);
+    assert_eq!(values[4], Some(b"v-1".to_vec()));
+
+    // Batched write.
+    let batch: Vec<(Vec<u8>, Vec<u8>)> = (500..540u64)
+        .map(|i| (encode_key(i), format!("b-{i}").into_bytes()))
+        .collect();
+    client.put_batch(&batch).unwrap();
+    assert_eq!(client.get(&encode_key(510)).unwrap(), Some(b"b-510".to_vec()));
+
+    // Streaming scan with a tiny chunk so the cursor must resume several
+    // times; entries come back in key order without duplicates.
+    let entries: Vec<_> = client
+        .scan_range(
+            &encode_key(0),
+            Some(&encode_key(50)),
+            ReadOptions::default().with_chunk(7),
+        )
+        .map(|e| e.unwrap())
+        .collect();
+    assert_eq!(entries.len(), 49, "keys 0..50 minus deleted key 7");
+    let scanned: Vec<Vec<u8>> = entries.iter().map(|e| e.key.to_vec()).collect();
+    let mut sorted = scanned.clone();
+    sorted.sort();
+    sorted.dedup();
+    assert_eq!(scanned, sorted, "cursor must stream unique keys in order");
+
+    // The bounded `scan` helper.
+    assert_eq!(client.scan(&encode_key(0), 10).unwrap().len(), 10);
+
+    server.shutdown();
+    cluster.shutdown();
+}
+
+#[test]
+fn malformed_frames_poison_only_their_own_connection() {
+    let (cluster, mut server, addr) = start_server(1_000, |_| {});
+    let client = RemoteClient::connect(&addr).unwrap();
+    client.put(b"0000000000000001", b"alive").unwrap();
+    let protocol_errors = cluster.metrics().counter("server.protocol_errors");
+
+    // Garbage bytes (bad magic): the server answers with a protocol-error
+    // frame and closes that connection.
+    {
+        let mut raw = TcpStream::connect(&addr).unwrap();
+        raw.write_all(&[0u8; HEADER_LEN + 8]).unwrap();
+        raw.flush().unwrap();
+        let (_, response) = read_message(&mut &raw).unwrap();
+        match response {
+            Message::Error(wire) => assert!(matches!(wire_err(&wire), Error::ProtocolError(_))),
+            other => panic!("expected an error frame, got {other:?}"),
+        }
+    }
+
+    // A header claiming an oversized payload is rejected the same way.
+    {
+        let mut raw = TcpStream::connect(&addr).unwrap();
+        let mut header = Vec::new();
+        header.extend_from_slice(&nova_proto::MAGIC.to_le_bytes());
+        header.push(nova_proto::VERSION);
+        header.push(FrameKind::Ping as u8);
+        header.extend_from_slice(&1u64.to_le_bytes());
+        header.extend_from_slice(&((MAX_PAYLOAD as u32) + 1).to_le_bytes());
+        raw.write_all(&header).unwrap();
+        raw.flush().unwrap();
+        let (_, response) = read_message(&mut &raw).unwrap();
+        assert!(matches!(response, Message::Error(_)));
+    }
+
+    // A truncated frame (header promises more payload than ever arrives)
+    // is detected when the connection drops; the server just moves on.
+    {
+        let mut raw = TcpStream::connect(&addr).unwrap();
+        let mut header = Vec::new();
+        header.extend_from_slice(&nova_proto::MAGIC.to_le_bytes());
+        header.push(nova_proto::VERSION);
+        header.push(FrameKind::Ping as u8);
+        header.extend_from_slice(&2u64.to_le_bytes());
+        header.extend_from_slice(&100u32.to_le_bytes());
+        raw.write_all(&header).unwrap();
+        raw.write_all(&[0u8; 10]).unwrap();
+        raw.flush().unwrap();
+    }
+
+    // An intact frame whose payload does not decode (unknown kind) keeps
+    // the connection alive: the error is answered in-band and a follow-up
+    // ping on the *same* socket succeeds.
+    {
+        let raw = TcpStream::connect(&addr).unwrap();
+        write_frame(&mut &raw, 0x77, 9, b"not a real payload").unwrap();
+        let (rid, response) = read_message(&mut &raw).unwrap();
+        assert_eq!(rid, 9);
+        assert!(matches!(response, Message::Error(_)));
+        write_message(&mut &raw, 10, &Message::Ping).unwrap();
+        let (rid, response) = read_message(&mut &raw).unwrap();
+        assert_eq!(rid, 10);
+        assert!(matches!(response, Message::Pong));
+    }
+
+    // Every poisoned connection was counted, and none of it disturbed the
+    // established client or the server as a whole.
+    assert!(protocol_errors.get() >= 3, "protocol errors must be counted");
+    assert_eq!(client.get(b"0000000000000001").unwrap(), Some(b"alive".to_vec()));
+    let late = RemoteClient::connect(&addr).unwrap();
+    late.ping().unwrap();
+
+    server.shutdown();
+    cluster.shutdown();
+}
+
+fn wire_err(wire: &nova_proto::WireError) -> Error {
+    nova_proto::wire_to_error(wire)
+}
+
+#[test]
+fn concurrent_clients_agree_with_a_model() {
+    let (cluster, mut server, addr) = start_server(50_000, |_| {});
+    const THREADS: u64 = 4;
+    const PER_THREAD: u64 = 150;
+
+    let mut model: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
+    for t in 0..THREADS {
+        for i in 0..PER_THREAD {
+            let key = encode_key(t * 10_000 + i);
+            model.insert(key.clone(), format!("t{t}-{i}").into_bytes());
+        }
+    }
+
+    // Each thread drives its own disjoint key range through its own client.
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let addr = addr.clone();
+            scope.spawn(move || {
+                let client = RemoteClient::connect(&addr).unwrap();
+                for i in 0..PER_THREAD {
+                    let key = encode_key(t * 10_000 + i);
+                    client.put(&key, format!("t{t}-{i}").as_bytes()).unwrap();
+                }
+                // Read everything back through the same client.
+                let keys: Vec<Vec<u8>> = (0..PER_THREAD).map(|i| encode_key(t * 10_000 + i)).collect();
+                let values = client.multi_get(&keys).unwrap();
+                for (i, value) in values.iter().enumerate() {
+                    assert_eq!(value.as_deref(), Some(format!("t{t}-{i}").as_bytes()));
+                }
+            });
+        }
+    });
+
+    // One more client audits the full model.
+    let auditor = RemoteClient::connect(&addr).unwrap();
+    for (key, expected) in &model {
+        assert_eq!(auditor.get(key).unwrap().as_ref(), Some(expected));
+    }
+
+    server.shutdown();
+    cluster.shutdown();
+}
+
+#[test]
+fn rate_limited_tenant_is_shed_with_busy_and_recovers_with_retries() {
+    let (cluster, mut server, addr) = start_server(1_000, |config| {
+        // One operation per second, and a retry hint long enough that the
+        // client's bounded backoff spans a full refill interval.
+        config.server.retry_after_micros = 200_000;
+        config.server.tenants = vec![TenantConfig {
+            name: "metered".into(),
+            token: "m-token".into(),
+            ops_per_sec: 1,
+            admin: false,
+        }];
+    });
+
+    // With retries disabled, the second operation in the same second
+    // surfaces the retryable busy shed.
+    let strict = RemoteClient::connect_as(&addr, "metered", "m-token")
+        .unwrap()
+        .with_busy_retries(0);
+    strict.put(&encode_key(1), b"first").unwrap();
+    let err = strict.put(&encode_key(2), b"second").unwrap_err();
+    assert!(matches!(err, Error::Busy { .. }), "expected busy, got {err}");
+    assert!(err.is_retryable());
+    assert!(
+        cluster.metrics().counter("server.shed.ratelimit").get() >= 1,
+        "the shed must be counted"
+    );
+
+    // The default client retries with the server-suggested backoff and
+    // eventually gets through once the bucket refills.
+    let patient = RemoteClient::connect_as(&addr, "metered", "m-token").unwrap();
+    patient.put(&encode_key(3), b"third").unwrap();
+    assert_eq!(patient.get(&encode_key(3)).unwrap(), Some(b"third".to_vec()));
+
+    server.shutdown();
+    cluster.shutdown();
+}
+
+#[test]
+fn backpressure_sheds_writes_but_keeps_serving_reads() {
+    let (cluster, mut server, addr) = start_server(1_000, |config| {
+        // Threshold 0: every write finds the backlog at-or-above it.
+        config.server.shed_backlog_threshold = 0;
+    });
+    // Load behind the server's back so there is something to read.
+    let local = NovaClient::new(cluster.clone());
+    local.put(&encode_key(5), b"preloaded").unwrap();
+
+    let client = RemoteClient::connect(&addr).unwrap().with_busy_retries(0);
+    let err = client.put(&encode_key(6), b"rejected").unwrap_err();
+    assert!(matches!(err, Error::Busy { .. }), "expected busy, got {err}");
+    let err = client.put_batch(&[(encode_key(7), b"no".to_vec())]).unwrap_err();
+    assert!(matches!(err, Error::Busy { .. }));
+
+    // Reads are never shed by backpressure.
+    assert_eq!(client.get(&encode_key(5)).unwrap(), Some(b"preloaded".to_vec()));
+    assert_eq!(
+        client.get(&encode_key(6)).unwrap(),
+        None,
+        "the shed write must not land"
+    );
+    assert!(cluster.metrics().counter("server.shed.backpressure").get() >= 2);
+
+    server.shutdown();
+    cluster.shutdown();
+}
+
+#[test]
+fn auth_gates_operations_and_admin_frames() {
+    let (cluster, mut server, addr) = start_server(1_000, |config| {
+        config.server.require_auth = true;
+        config.server.tenants = vec![
+            TenantConfig::admin("root", "root-token"),
+            TenantConfig {
+                name: "app".into(),
+                token: "app-token".into(),
+                ops_per_sec: 0,
+                admin: false,
+            },
+        ];
+    });
+
+    // A wrong token fails at the handshake (connect dials eagerly).
+    let err = RemoteClient::connect_as(&addr, "app", "wrong").unwrap_err();
+    assert!(
+        matches!(err, Error::AuthFailed(_)),
+        "expected auth failure, got {err}"
+    );
+    let err = RemoteClient::connect_as(&addr, "ghost", "app-token").unwrap_err();
+    assert!(matches!(err, Error::AuthFailed(_)));
+
+    // No handshake at all: the connection opens, but operations are denied.
+    let anonymous = RemoteClient::connect(&addr).unwrap();
+    let err = anonymous.get(&encode_key(1)).unwrap_err();
+    assert!(matches!(err, Error::AuthFailed(_)));
+
+    // A normal tenant can read and write but not reach the admin frames.
+    let app = RemoteClient::connect_as(&addr, "app", "app-token").unwrap();
+    app.put(&encode_key(1), b"hello").unwrap();
+    assert_eq!(app.get(&encode_key(1)).unwrap(), Some(b"hello".to_vec()));
+    let err = app.health_json().unwrap_err();
+    assert!(matches!(err, Error::AuthFailed(_)));
+    let err = app.metrics_json().unwrap_err();
+    assert!(matches!(err, Error::AuthFailed(_)));
+
+    // An admin tenant gets both reports as JSON.
+    let root = RemoteClient::connect_as(&addr, "root", "root-token").unwrap();
+    let health = root.health_json().unwrap();
+    assert!(health.contains("\"num_ltcs\""), "unexpected health: {health}");
+    let metrics = root.metrics_json().unwrap();
+    assert!(
+        metrics.contains("server.connections_total"),
+        "unexpected metrics: {metrics}"
+    );
+
+    assert!(cluster.metrics().counter("server.auth_failures").get() >= 3);
+
+    server.shutdown();
+    cluster.shutdown();
+}
+
+#[test]
+fn ycsb_driver_runs_unchanged_over_the_wire() {
+    let (cluster, mut server, addr) = start_server(2_000, |_| {});
+    let client = RemoteClient::connect(&addr).unwrap();
+
+    nova_ycsb::load(&client, 2_000, 64, 2).unwrap();
+    let workload = Workload::new(Mix::Rw50, Distribution::Uniform, 2_000, 64);
+    let config = DriverConfig {
+        threads: 2,
+        run_length: RunLength::Operations(300),
+        sample_interval: Duration::from_millis(100),
+        seed: 7,
+        retry_budget: 8,
+        batch_size: 1,
+        read_batch_size: 1,
+    };
+    let report = nova_ycsb::run(&client, &workload, &config);
+    assert!(
+        report.operations >= 600,
+        "2 threads x 300 ops, got {}",
+        report.operations
+    );
+    assert_eq!(
+        report.errors, 0,
+        "the wire protocol must not surface terminal errors"
+    );
+    assert_eq!(cluster.metrics().counter("server.protocol_errors").get(), 0);
+
+    server.shutdown();
+    cluster.shutdown();
+}
