@@ -30,7 +30,12 @@
 //!   with **0** client-terminal errors and **0** server-side protocol
 //!   errors, and its get p99 must stay within **8x** of the in-process
 //!   arm — a malformed frame, a broken retry classification, or a
-//!   per-operation stall in the server loop trips this.
+//!   per-operation stall in the server loop trips this;
+//! * secondary indexes (`fig28_secondary`): the indexed point lookup must
+//!   beat the full-scan filter by **≥ 5x** at quick scale, and the SL50
+//!   secondary-lookup mix must finish with **0** errors — an index scan
+//!   that silently fell back to scanning, or a maintenance path that lost
+//!   postings, trips this.
 //!
 //! The floors are deliberately looser than the headline numbers (≈5x, ≈7x)
 //! so CI noise cannot flake the gate, while a real regression — a serialized
@@ -46,6 +51,7 @@ const GROUPING_ISOLATION_FLOOR: f64 = 1.5;
 const MULTI_GET_FLOOR: f64 = 2.0;
 const OBS_OVERHEAD_CEILING_PCT: f64 = 5.0;
 const SERVER_GET_P99_CEILING: f64 = 8.0;
+const SECONDARY_LOOKUP_FLOOR: f64 = 5.0;
 
 /// Split the flat row objects out of a `"rows":[{...},{...}]` array. Rows
 /// are the flat (no nested braces) objects every bench binary writes.
@@ -320,6 +326,46 @@ fn check_server(json: &str) -> Result<String, String> {
     }
 }
 
+/// The secondary-index floors: the indexed point lookup must beat the
+/// full-scan filter by the floor multiple, and the SL50 mix (secondary
+/// lookups through the maintained index under concurrent writes) must
+/// finish with zero errors.
+fn check_secondary(json: &str) -> Result<String, String> {
+    let all = rows(json);
+    let speedup = all
+        .iter()
+        .find(|r| has(r, "bench", "\"secondary_lookup\""))
+        .and_then(|r| number(r, "speedup"));
+    let speedup = match speedup {
+        Some(s) => s,
+        None => {
+            return Err(
+                "secondary: no secondary_lookup row with speedup found in BENCH_secondary.json".into(),
+            )
+        }
+    };
+    if speedup < SECONDARY_LOOKUP_FLOOR {
+        return Err(format!(
+            "secondary: indexed lookup speedup {speedup:.2}x over the full-scan filter is below \
+             the {SECONDARY_LOOKUP_FLOOR}x floor — the index scan path has regressed to scanning"
+        ));
+    }
+    let Some(mix) = all.iter().find(|r| has(r, "bench", "\"sl50_mix\"")) else {
+        return Err("secondary: no sl50_mix row found in BENCH_secondary.json".into());
+    };
+    let errors = number(mix, "errors").unwrap_or(f64::NAN);
+    if !(errors == 0.0) {
+        return Err(format!(
+            "secondary: the SL50 mix finished with {errors} errors — index maintenance or the \
+             lookup retry protocol has regressed"
+        ));
+    }
+    Ok(format!(
+        "secondary: indexed lookup {speedup:.2}x vs full scan (floor {SECONDARY_LOOKUP_FLOOR}x), \
+         SL50 mix 0 errors"
+    ))
+}
+
 fn main() -> ExitCode {
     // (section, report file, producing command, floor check) — the command
     // is printed verbatim when the file is missing, so a failed gate tells
@@ -366,6 +412,12 @@ fn main() -> ExitCode {
             "BENCH_server.json",
             "cargo run --release -p nova-bench --bin fig25_server -- --quick",
             check_server,
+        ),
+        (
+            "secondary",
+            "BENCH_secondary.json",
+            "cargo run --release -p nova-bench --bin fig28_secondary -- --quick",
+            check_secondary,
         ),
     ];
     let mut merged: Vec<String> = Vec::new();
@@ -442,6 +494,29 @@ mod tests {
         {"bench":"server","mode":"in_process","kops":22.6,"operations":45262,"errors":0,"protocol_errors":0,"get_p50_micros":4.7,"get_p99_micros":1341.7,"put_p50_micros":2.3,"put_p99_micros":1610.1},
         {"bench":"server","mode":"remote","kops":15.8,"operations":35489,"errors":0,"protocol_errors":0,"get_p50_micros":150.5,"get_p99_micros":1610.1,"put_p50_micros":50.4,"put_p99_micros":1118.1},
         {"bench":"server_overhead","get_p99_ratio":1.200,"kops_ratio":0.697}]}"#;
+
+    const SECONDARY: &str = r#"{"experiment":"fig28_secondary","quick":true,"num_categories":100,"rows":[
+        {"bench":"index_write_overhead","records":4000,"baseline_ms":16.0,"indexed_ms":31.0,"overhead":1.940},
+        {"bench":"secondary_lookup","records":4000,"rows_per_category":40,"indexed_ms":3.7,"scan_ms":36.3,"speedup":9.810},
+        {"bench":"sl50_mix","operations":2000,"errors":0,"throughput_ops_per_sec":1000.0}]}"#;
+
+    #[test]
+    fn secondary_floors_hold_and_trip() {
+        assert!(check_secondary(SECONDARY).is_ok());
+        // A lookup path that regressed toward scanning trips the floor.
+        let slow = SECONDARY.replace("\"speedup\":9.810", "\"speedup\":2.100");
+        assert!(check_secondary(&slow).is_err());
+        // A single SL50 error trips the gate.
+        let lossy = SECONDARY.replace("\"errors\":0", "\"errors\":4");
+        assert!(check_secondary(&lossy).is_err());
+        // Both rows are mandatory; missing ones fail loudly.
+        let no_mix = SECONDARY.replace("\"bench\":\"sl50_mix\"", "\"bench\":\"other\"");
+        assert!(check_secondary(&no_mix).is_err());
+        assert!(check_secondary("{\"rows\":[]}").is_err());
+        // A mix row lacking the errors field fails loudly instead of passing.
+        let missing = SECONDARY.replace("\"errors\":0", "\"x\":0");
+        assert!(check_secondary(&missing).is_err());
+    }
 
     #[test]
     fn server_floors_hold_and_trip() {

@@ -1,0 +1,203 @@
+//! Figure 28 (repo extension): ordered secondary indexes — indexed lookup
+//! speedup vs a full-scan filter, and the write-path cost of incremental
+//! index maintenance.
+//!
+//! The workload writes values whose first [`CATEGORY_WIDTH`] bytes are a
+//! category code (`key % NUM_CATEGORIES`, see `nova_ycsb::category_value`),
+//! and creates the well-known `ycsb_category` index over that prefix. Three
+//! measurements:
+//!
+//! * **secondary_lookup** — fetching every primary of one category through
+//!   `index_lookup_rows` vs filtering a full scan of the base keyspace.
+//!   The indexed path reads one contiguous posting range plus a
+//!   `multi_get` validation join; the scan reads every record. `ci_gate`
+//!   enforces the speedup floor (≥ 5x at quick scale).
+//! * **index_write_overhead** — loading the same records into a fresh
+//!   cluster with and without the index registered. The maintained path
+//!   pays an old-value read plus index-entry writes per record.
+//! * **sl50_mix** — the YCSB SL50 mix (50% secondary lookups / 50%
+//!   category-prefixed writes) through the standard driver; `ci_gate`
+//!   enforces 0 errors.
+//!
+//! Results are printed as a table and written to `BENCH_secondary.json`;
+//! CI runs `--quick` and `ci_gate` enforces the floors.
+
+use nova_bench::{print_header, print_row, StoreHandle};
+use nova_common::config::DiskConfig;
+use nova_common::keyspace::encode_key;
+use nova_common::ReadOptions;
+use nova_lsm::{presets, NovaClient, NovaCluster, ValueProjection};
+use nova_ycsb::{
+    category_of, category_value, Distribution, DriverConfig, Mix, RunLength, Workload, CATEGORY_WIDTH,
+    NUM_CATEGORIES, SECONDARY_INDEX_NAME,
+};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn start_cluster(num_keys: u64) -> (Arc<NovaCluster>, NovaClient) {
+    let mut config = presets::test_cluster(1, 2, num_keys);
+    config.disk = DiskConfig {
+        bandwidth_bytes_per_sec: u64::MAX / 2,
+        seek_micros: 0,
+        accounting_only: true,
+    };
+    let cluster = NovaCluster::start(config).expect("start cluster");
+    let client = NovaClient::new(Arc::clone(&cluster));
+    (cluster, client)
+}
+
+/// Load `num_keys` category-prefixed records in batches; returns elapsed ms.
+fn load_categorized(client: &NovaClient, num_keys: u64, value_size: usize) -> f64 {
+    let start = Instant::now();
+    let items: Vec<(Vec<u8>, Vec<u8>)> = (0..num_keys)
+        .map(|i| (encode_key(i), category_value(i, value_size)))
+        .collect();
+    for chunk in items.chunks(512) {
+        client.put_batch(chunk).expect("load");
+    }
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let num_keys: u64 = if quick { 4_000 } else { 16_000 };
+    let value_size = 64usize;
+    let per_category = (num_keys / NUM_CATEGORIES) as usize;
+    let limit = per_category + 16;
+    // Indexed lookups are cheap enough to sample many categories; the
+    // full-scan baseline reads the whole database per lookup, so sample few.
+    let indexed_samples: u64 = if quick { 20 } else { 50 };
+    let scan_samples: u64 = 4;
+
+    // ---- Write overhead: the same load with and without the index. ----
+    let (plain_cluster, plain_client) = start_cluster(num_keys);
+    let baseline_ms = load_categorized(&plain_client, num_keys, value_size);
+    plain_cluster.shutdown();
+
+    let (cluster, client) = start_cluster(num_keys);
+    cluster
+        .create_index(
+            SECONDARY_INDEX_NAME,
+            ValueProjection::Slice {
+                offset: 0,
+                len: CATEGORY_WIDTH,
+            },
+        )
+        .expect("create index");
+    let indexed_ms = load_categorized(&client, num_keys, value_size);
+    let overhead = indexed_ms / baseline_ms.max(1e-9);
+
+    print_header(
+        &format!("Figure 28: index maintenance write overhead ({num_keys} records)"),
+        &["records", "plain ms", "indexed ms", "overhead"],
+    );
+    print_row(&[
+        num_keys.to_string(),
+        format!("{baseline_ms:.1}"),
+        format!("{indexed_ms:.1}"),
+        format!("{overhead:.2}x"),
+    ]);
+
+    let mut json_rows: Vec<String> = Vec::new();
+    json_rows.push(format!(
+        "{{\"bench\":\"index_write_overhead\",\"records\":{num_keys},\
+         \"baseline_ms\":{baseline_ms:.3},\"indexed_ms\":{indexed_ms:.3},\
+         \"overhead\":{overhead:.3}}}"
+    ));
+
+    // ---- Indexed lookup vs full-scan filter (data flushed to SSTables so
+    // both paths read tables, not just memtables). ----
+    cluster.flush_all().expect("flush");
+
+    let start = Instant::now();
+    for i in 0..indexed_samples {
+        let category = category_of(i * 7 % NUM_CATEGORIES);
+        let rows = client
+            .index_lookup_rows(SECONDARY_INDEX_NAME, &category, limit)
+            .expect("indexed lookup");
+        assert_eq!(rows.len(), per_category, "every posting must resolve");
+    }
+    let indexed_lookup_ms = start.elapsed().as_secs_f64() * 1e3 / indexed_samples as f64;
+
+    let start = Instant::now();
+    for i in 0..scan_samples {
+        let category = category_of(i * 7 % NUM_CATEGORIES);
+        let mut matches = 0usize;
+        for entry in client.scan_range(
+            &encode_key(0),
+            Some(&encode_key(num_keys)),
+            ReadOptions::default().with_chunk(512),
+        ) {
+            let entry = entry.expect("scan");
+            if entry.value.starts_with(&category) {
+                matches += 1;
+            }
+        }
+        assert_eq!(matches, per_category, "the scan filter must agree");
+    }
+    let scan_filter_ms = start.elapsed().as_secs_f64() * 1e3 / scan_samples as f64;
+    let speedup = scan_filter_ms / indexed_lookup_ms.max(1e-9);
+
+    print_header(
+        &format!("Figure 28b: indexed lookup vs full-scan filter ({per_category} rows/category)"),
+        &["path", "ms/lookup", "speedup"],
+    );
+    print_row(&[
+        "scan_filter".into(),
+        format!("{scan_filter_ms:.2}"),
+        "1.00x".into(),
+    ]);
+    print_row(&[
+        "indexed".into(),
+        format!("{indexed_lookup_ms:.2}"),
+        format!("{speedup:.2}x"),
+    ]);
+    json_rows.push(format!(
+        "{{\"bench\":\"secondary_lookup\",\"records\":{num_keys},\"rows_per_category\":{per_category},\
+         \"indexed_ms\":{indexed_lookup_ms:.3},\"scan_ms\":{scan_filter_ms:.3},\
+         \"speedup\":{speedup:.3}}}"
+    ));
+
+    // ---- The SL50 mix through the standard YCSB driver. ----
+    let store = StoreHandle::Nova { cluster, client };
+    let workload = Workload::new(Mix::Sl50, Distribution::Uniform, num_keys, value_size);
+    let config = DriverConfig {
+        threads: 4,
+        run_length: RunLength::Operations(if quick { 500 } else { 2_000 }),
+        sample_interval: Duration::from_millis(100),
+        seed: 42,
+        retry_budget: 8,
+        batch_size: 1,
+        read_batch_size: 1,
+    };
+    let report = nova_ycsb::run(&store, &workload, &config);
+    print_header(
+        "Figure 28c: SL50 mix (50% secondary lookups / 50% writes)",
+        &["operations", "errors", "kops/s"],
+    );
+    print_row(&[
+        report.operations.to_string(),
+        report.errors.to_string(),
+        format!("{:.1}", report.throughput_ops_per_sec() / 1e3),
+    ]);
+    json_rows.push(format!(
+        "{{\"bench\":\"sl50_mix\",\"operations\":{},\"errors\":{},\
+         \"throughput_ops_per_sec\":{:.1}}}",
+        report.operations,
+        report.errors,
+        report.throughput_ops_per_sec()
+    ));
+    store.shutdown();
+
+    println!("\nindexed lookup speedup vs full scan: {speedup:.2}x, write overhead {overhead:.2}x");
+
+    let json = format!(
+        "{{\"experiment\":\"fig28_secondary\",\"quick\":{quick},\"num_categories\":{NUM_CATEGORIES},\
+         \"rows\":[{}]}}\n",
+        json_rows.join(",")
+    );
+    match std::fs::write("BENCH_secondary.json", &json) {
+        Ok(()) => println!("wrote BENCH_secondary.json"),
+        Err(e) => eprintln!("could not write BENCH_secondary.json: {e}"),
+    }
+}

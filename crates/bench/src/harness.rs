@@ -154,6 +154,21 @@ impl KvInterface for StoreHandle {
         }
     }
 
+    fn secondary_lookup(&self, secondary: &[u8], limit: usize) -> Result<usize> {
+        match self {
+            // The indexed path: validated lookup-join through the ordered
+            // secondary index (created by the experiment under the
+            // well-known name).
+            StoreHandle::Nova { client, .. } => client
+                .index_lookup_rows(nova_ycsb::SECONDARY_INDEX_NAME, secondary, limit)
+                .map(|rows| rows.len()),
+            // Baselines have no secondary index; surface the default error.
+            StoreHandle::Baseline(_) => Err(nova_common::Error::Unavailable(
+                "store has no secondary index".into(),
+            )),
+        }
+    }
+
     fn scan_range(&self, start_key: &[u8], end_key: &[u8], count: usize) -> Result<usize> {
         match self {
             // The streaming cursor: bounded chunks, never reads past the

@@ -67,6 +67,13 @@ pub enum Error {
     /// The peer violated the wire protocol (bad magic, unsupported version,
     /// checksum mismatch, oversized or undecodable frame). Terminal.
     ProtocolError(String),
+    /// The operation referenced a secondary index that is not in the
+    /// catalog. Terminal.
+    IndexNotFound(String),
+    /// The referenced secondary index exists but its backfill has not
+    /// completed, so a scan would under-report. Retriable: the backfill is
+    /// in progress and the index becomes `Active` when it finishes.
+    IndexNotReady(String),
 }
 
 /// Compact, wire-stable classification of every [`Error`] variant.
@@ -112,6 +119,10 @@ pub enum ErrorCode {
     AuthFailed = 16,
     /// Wire-protocol violation ([`Error::ProtocolError`]).
     ProtocolError = 17,
+    /// Unknown secondary index ([`Error::IndexNotFound`]).
+    IndexNotFound = 18,
+    /// Secondary index still backfilling ([`Error::IndexNotReady`]).
+    IndexNotReady = 19,
 }
 
 impl ErrorCode {
@@ -136,6 +147,8 @@ impl ErrorCode {
             15 => ErrorCode::Busy,
             16 => ErrorCode::AuthFailed,
             17 => ErrorCode::ProtocolError,
+            18 => ErrorCode::IndexNotFound,
+            19 => ErrorCode::IndexNotReady,
             _ => return None,
         })
     }
@@ -156,6 +169,7 @@ impl ErrorCode {
                 | ErrorCode::FabricUnavailable
                 | ErrorCode::LeaseExpired
                 | ErrorCode::Busy
+                | ErrorCode::IndexNotReady
         )
     }
 
@@ -189,6 +203,8 @@ impl fmt::Display for ErrorCode {
             ErrorCode::Busy => "busy",
             ErrorCode::AuthFailed => "auth_failed",
             ErrorCode::ProtocolError => "protocol_error",
+            ErrorCode::IndexNotFound => "index_not_found",
+            ErrorCode::IndexNotReady => "index_not_ready",
         };
         f.write_str(name)
     }
@@ -218,6 +234,10 @@ impl fmt::Display for Error {
             }
             Error::AuthFailed(msg) => write!(f, "authentication failed: {msg}"),
             Error::ProtocolError(msg) => write!(f, "protocol error: {msg}"),
+            Error::IndexNotFound(msg) => write!(f, "index not found: {msg}"),
+            Error::IndexNotReady(msg) => {
+                write!(f, "index not ready (backfill in progress): {msg}")
+            }
         }
     }
 }
@@ -251,6 +271,8 @@ impl Error {
             Error::Busy { .. } => ErrorCode::Busy,
             Error::AuthFailed(_) => ErrorCode::AuthFailed,
             Error::ProtocolError(_) => ErrorCode::ProtocolError,
+            Error::IndexNotFound(_) => ErrorCode::IndexNotFound,
+            Error::IndexNotReady(_) => ErrorCode::IndexNotReady,
         }
     }
 
@@ -301,6 +323,8 @@ mod tests {
             },
             Error::AuthFailed("t".into()),
             Error::ProtocolError("p".into()),
+            Error::IndexNotFound("i".into()),
+            Error::IndexNotReady("b".into()),
         ]
     }
 
@@ -337,6 +361,9 @@ mod tests {
         assert!(!Error::Corruption("x".into()).is_retryable());
         assert!(!Error::AuthFailed("x".into()).is_retryable());
         assert!(!Error::ProtocolError("x".into()).is_retryable());
+        assert!(!Error::IndexNotFound("x".into()).is_retryable());
+        assert!(Error::IndexNotReady("x".into()).is_retryable());
+        assert!(!Error::IndexNotReady("x".into()).needs_config_refresh());
         assert!(Error::StaleConfig { epoch: 7 }.needs_config_refresh());
         assert!(Error::WrongRange(RangeId(0)).needs_config_refresh());
         assert!(Error::UnknownLtc(LtcId(1)).needs_config_refresh());

@@ -11,8 +11,10 @@
 use crate::lease::{LeaseHolder, LeaseTable};
 use nova_common::clock::ClockRef;
 use nova_common::{LtcId, NodeId, RangeId, Result, StocId};
+use nova_index::{IndexCatalog, IndexState, ValueProjection};
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// The cluster configuration handed to clients: which LTC serves each range,
@@ -33,6 +35,13 @@ pub struct Configuration {
     /// the MANIFEST through this map, so later `add_stoc`/`remove_stoc`
     /// calls can never silently move where a range's metadata lives.
     pub manifest_homes: HashMap<RangeId, StocId>,
+    /// The secondary-index catalog snapshot installed with this epoch.
+    /// Living inside the configuration means catalog and routing epoch are
+    /// always read under the same lock — the invariant the create-index
+    /// catch-up fence relies on (a writer that passes the epoch check is
+    /// guaranteed to have planned maintenance against a catalog at least as
+    /// new as the fence's).
+    pub indexes: Arc<IndexCatalog>,
 }
 
 impl Configuration {
@@ -98,6 +107,7 @@ impl Coordinator {
                 ltcs: HashMap::new(),
                 stocs: HashMap::new(),
                 manifest_homes: HashMap::new(),
+                indexes: Arc::new(IndexCatalog::empty()),
             }),
             leases: LeaseTable::new(clock, lease_duration),
         }
@@ -120,6 +130,56 @@ impl Coordinator {
     pub fn route_of(&self, range: RangeId) -> (Option<LtcId>, u64) {
         let c = self.config.read();
         (c.ltc_of(range), c.epoch)
+    }
+
+    /// [`Coordinator::route_of`] plus the index-catalog snapshot, read under
+    /// the same lock acquisition. Writers that must plan index maintenance
+    /// consistently with the routing epoch (the catch-up-fence contract) go
+    /// through this; the catalog rides behind an `Arc` so the read stays
+    /// allocation-free.
+    pub fn route_of_with_catalog(&self, range: RangeId) -> (Option<LtcId>, u64, Arc<IndexCatalog>) {
+        let c = self.config.read();
+        (c.ltc_of(range), c.epoch, Arc::clone(&c.indexes))
+    }
+
+    /// The current index-catalog snapshot.
+    pub fn index_catalog(&self) -> Arc<IndexCatalog> {
+        Arc::clone(&self.config.read().indexes)
+    }
+
+    /// Register a secondary index: install a new catalog snapshot with the
+    /// index in `Backfilling` state and bump the epoch. Returns the new
+    /// index's id and the epoch of the change — the fence epoch the cluster
+    /// layer pushes to every range engine before backfilling.
+    pub fn register_index(&self, name: &str, projection: ValueProjection) -> Result<(u32, u64)> {
+        let mut c = self.config.write();
+        let next_epoch = c.epoch + 1;
+        let (catalog, id) = c.indexes.with_index(name, projection, next_epoch)?;
+        c.indexes = Arc::new(catalog);
+        c.epoch = next_epoch;
+        Ok((id, next_epoch))
+    }
+
+    /// Move index `id` to `state` (Backfilling → Active when the backfill
+    /// finishes), bumping the epoch. Returns the epoch of the change.
+    pub fn set_index_state(&self, id: u32, state: IndexState) -> Result<u64> {
+        let mut c = self.config.write();
+        let next_epoch = c.epoch + 1;
+        c.indexes = Arc::new(c.indexes.with_state(id, state, next_epoch)?);
+        c.epoch = next_epoch;
+        Ok(next_epoch)
+    }
+
+    /// Drop index `id` from the catalog, bumping the epoch. Returns the
+    /// epoch of the change; the cluster layer fences on it before deleting
+    /// the index's entries so no fresh maintenance write can trail the
+    /// cleanup.
+    pub fn drop_index(&self, id: u32) -> Result<u64> {
+        let mut c = self.config.write();
+        let next_epoch = c.epoch + 1;
+        c.indexes = Arc::new(c.indexes.without(id, next_epoch)?);
+        c.epoch = next_epoch;
+        Ok(next_epoch)
     }
 
     /// Register an LTC (also grants its initial lease).
@@ -486,6 +546,40 @@ mod tests {
         assert_eq!(c.expired_components(), vec![LeaseHolder::Ltc(0)]);
         c.heartbeat(LeaseHolder::Ltc(0));
         assert!(c.expired_components().is_empty());
+    }
+
+    #[test]
+    fn index_catalog_rides_the_configuration_epoch() {
+        let c = coordinator();
+        c.register_ltc(LtcId(0), NodeId(0));
+        let epoch0 = c.epoch();
+        assert!(c.index_catalog().is_empty());
+
+        let (id, fence) = c
+            .register_index("by_cat", ValueProjection::Slice { offset: 0, len: 4 })
+            .unwrap();
+        assert_eq!(fence, epoch0 + 1);
+        assert_eq!(c.epoch(), fence);
+        // Routing and catalog come from one lock acquisition and agree.
+        let (_, epoch, catalog) = c.route_of_with_catalog(RangeId(0));
+        assert_eq!(epoch, fence);
+        assert_eq!(catalog.version, fence);
+        assert_eq!(catalog.find("by_cat").unwrap().id, id);
+        assert_eq!(catalog.find("by_cat").unwrap().state, IndexState::Backfilling);
+
+        let activated = c.set_index_state(id, IndexState::Active).unwrap();
+        assert_eq!(activated, fence + 1);
+        assert_eq!(c.index_catalog().get(id).unwrap().state, IndexState::Active);
+
+        // Duplicate registration fails without moving the epoch.
+        assert!(c.register_index("by_cat", ValueProjection::Whole).is_err());
+        assert_eq!(c.epoch(), activated);
+
+        let dropped = c.drop_index(id).unwrap();
+        assert_eq!(dropped, activated + 1);
+        assert!(c.index_catalog().is_empty());
+        assert!(c.drop_index(id).is_err());
+        assert!(c.set_index_state(id, IndexState::Active).is_err());
     }
 
     #[test]

@@ -31,12 +31,22 @@ use bytes::Bytes;
 use nova_common::keyspace::encode_key;
 use nova_common::types::Entry;
 use nova_common::{Error, RangeId, ReadOptions, Result, WriteOptions};
+use nova_index::{maintenance_ops, IndexEntry, IndexSpec, IndexState};
+use nova_ltc::BatchOp;
 use nova_obs::OpKind;
 use nova_stoc::IoPool;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// One acknowledged base change as index-maintenance input:
+/// `(primary, pre-write value, post-write value)`, all borrowed.
+type ChangeRef<'a> = (&'a [u8], Option<&'a [u8]>, Option<&'a [u8]>);
+
+/// A shard write's owed maintenance input: `(primary, pre-write value,
+/// new value)`, the pre-write value owned by the read that fetched it.
+type OwedChange<'a> = (&'a [u8], Option<Bytes>, &'a [u8]);
 
 /// Sleep before retry `attempt`: exponential from 50µs up to a 25.6ms cap,
 /// so the first retries catch a fast ownership flip almost instantly while
@@ -165,16 +175,149 @@ impl NovaClient {
         self.with_range_routing(range, |ltc, epoch| op(range, ltc, epoch))
     }
 
-    /// Write a key-value pair.
+    /// Write a key-value pair. When secondary indexes are registered, the
+    /// index entries the write invalidates and creates are maintained
+    /// incrementally (see [`NovaClient::index_scan`] for the contract).
     pub fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
         let _op = self.cluster.metrics().op(OpKind::Put);
-        self.with_routing(key, |range, ltc, epoch| ltc.put_at(range, key, value, epoch))
+        self.write_one(key, Some(value))
     }
 
-    /// Delete a key.
+    /// Delete a key (index entries referencing it are deleted too).
     pub fn delete(&self, key: &[u8]) -> Result<()> {
         let _op = self.cluster.metrics().op(OpKind::Delete);
-        self.with_routing(key, |range, ltc, epoch| ltc.delete_at(range, key, epoch))
+        self.write_one(key, None)
+    }
+
+    /// One maintained base write (`value = None` deletes): route, plan the
+    /// index maintenance from the record's pre-write value, apply the base
+    /// write, then apply the index ops. The whole attempt — old-value read,
+    /// plan, base write — replays on stale routing so the plan it executes
+    /// is always consistent with the epoch its writes were validated at.
+    fn write_one(&self, key: &[u8], value: Option<&[u8]>) -> Result<()> {
+        let range = self.cluster.partition().range_of_encoded(key);
+        let budget = self.cluster.config().client_retries.max(1);
+        let mut last = Error::Unavailable(format!("{range} is not assigned to any LTC"));
+        for attempt in 0..budget {
+            match self.try_write_one(range, key, value) {
+                Err(e) if e.needs_config_refresh() => {
+                    self.config_retries.fetch_add(1, Ordering::Relaxed);
+                    last = e;
+                    if attempt + 1 < budget {
+                        backoff(attempt);
+                    }
+                }
+                Err(e) => return Err(e),
+                // The base write is acknowledged; maintenance replays under
+                // its own routing loop (the entries live in another range).
+                Ok(Some(old)) => {
+                    return self.apply_index_maintenance(&[(key, old.as_deref(), value)]);
+                }
+                Ok(None) => return Ok(()),
+            }
+        }
+        Err(last)
+    }
+
+    /// One routed attempt of [`NovaClient::write_one`]. `Ok(Some(old))`
+    /// means the write is acknowledged and index maintenance for the
+    /// `old → value` transition is still owed; `Ok(None)` means none is.
+    fn try_write_one(
+        &self,
+        range: RangeId,
+        key: &[u8],
+        value: Option<&[u8]>,
+    ) -> Result<Option<Option<Bytes>>> {
+        let (ltc, epoch, catalog) = self.cluster.route_range_with_catalog(range)?;
+        if catalog.is_empty() || nova_index::is_index_key(key) {
+            match value {
+                Some(v) => ltc.put_at(range, key, v, epoch)?,
+                None => ltc.delete_at(range, key, epoch)?,
+            }
+            return Ok(None);
+        }
+        // The entry to delete is derived from the record's current value;
+        // reading it at the routed epoch ties the read to the same fence
+        // window as the write below.
+        let old = match ltc.get_at_with(range, key, epoch, &ReadOptions::no_fill()) {
+            Ok(v) => Some(v),
+            Err(Error::NotFound) => None,
+            Err(e) => return Err(e),
+        };
+        // Base write first: an index entry must never reference a value
+        // that was not acknowledged.
+        match value {
+            Some(v) => ltc.put_at(range, key, v, epoch)?,
+            None => ltc.delete_at(range, key, epoch)?,
+        }
+        Ok(Some(old))
+    }
+
+    /// Apply the index maintenance for a slice of acknowledged base changes
+    /// (`(primary, pre-write value, post-write value)`), folding every
+    /// resulting entry op into one atomic, group-committed batch on the
+    /// index range. The plan is recomputed against the freshest catalog on
+    /// every routed attempt, so a catalog change between the base write and
+    /// this application (an index created or dropped mid-flight) converges
+    /// on the new catalog instead of replaying a stale plan past the
+    /// catch-up fence.
+    fn apply_index_maintenance(&self, changes: &[ChangeRef<'_>]) -> Result<()> {
+        if changes.is_empty() {
+            return Ok(());
+        }
+        // Entries are non-decimal keys, so they all route to the last range.
+        let range = RangeId(self.cluster.partition().num_ranges() as u32 - 1);
+        let budget = self.cluster.config().client_retries.max(1);
+        let mut last = Error::Unavailable(format!("{range} is not assigned to any LTC"));
+        for attempt in 0..budget {
+            let result = self
+                .cluster
+                .route_range_with_catalog(range)
+                .and_then(|(ltc, epoch, catalog)| {
+                    let mut ops = Vec::new();
+                    for &(primary, old, new) in changes {
+                        ops.extend(maintenance_ops(&catalog, primary, old, new));
+                    }
+                    if ops.is_empty() {
+                        return Ok(());
+                    }
+                    let batch: Vec<BatchOp<'_>> = ops
+                        .iter()
+                        .map(|op| match op.delete {
+                            true => BatchOp::Delete { key: &op.key },
+                            false => BatchOp::Put {
+                                key: &op.key,
+                                value: &[],
+                            },
+                        })
+                        .collect();
+                    ltc.write_batch_at(range, &batch, epoch, &WriteOptions::default())
+                });
+            match result {
+                Err(e) if e.needs_config_refresh() => {
+                    self.config_retries.fetch_add(1, Ordering::Relaxed);
+                    last = e;
+                    if attempt + 1 < budget {
+                        backoff(attempt);
+                    }
+                }
+                other => return other,
+            }
+        }
+        Err(last)
+    }
+
+    /// Delete a batch of raw index-entry keys in one atomic batch on the
+    /// index range (the cluster's drop-index cleanup sweep).
+    pub(crate) fn delete_index_entries(&self, keys: &[Vec<u8>]) -> Result<()> {
+        if keys.is_empty() {
+            return Ok(());
+        }
+        let range = self.cluster.partition().range_of_encoded(&keys[0]);
+        self.with_range_routing(range, |ltc, epoch| {
+            let batch: Vec<BatchOp<'_>> = keys.iter().map(|k| BatchOp::Delete { key: k }).collect();
+            ltc.write_batch_at(range, &batch, epoch, &WriteOptions::default())
+        })
     }
 
     /// Read the latest value of a key. `Ok(None)` means the key has no live
@@ -313,11 +456,76 @@ impl NovaClient {
             |&(key, _)| key,
         );
         for (range, shard) in &shards {
-            self.with_range_routing(*range, |ltc, epoch| {
-                ltc.put_batch_at_with(*range, shard, epoch, options)
-            })?;
+            self.write_shard(*range, shard, options)?;
         }
         Ok(())
+    }
+
+    /// Write one range's shard of a batch, replaying the whole attempt
+    /// (old-value reads, maintenance plan, base batch) on stale routing,
+    /// then apply the owed index maintenance in one batch per shard.
+    fn write_shard(&self, range: RangeId, shard: &[(&[u8], &[u8])], options: &WriteOptions) -> Result<()> {
+        let budget = self.cluster.config().client_retries.max(1);
+        let mut last = Error::Unavailable(format!("{range} is not assigned to any LTC"));
+        for attempt in 0..budget {
+            match self.try_write_shard(range, shard, options) {
+                Err(e) if e.needs_config_refresh() => {
+                    self.config_retries.fetch_add(1, Ordering::Relaxed);
+                    last = e;
+                    if attempt + 1 < budget {
+                        backoff(attempt);
+                    }
+                }
+                Err(e) => return Err(e),
+                Ok(changes) => {
+                    let refs: Vec<ChangeRef<'_>> = changes
+                        .iter()
+                        .map(|(key, old, new)| (*key, old.as_deref(), Some(*new)))
+                        .collect();
+                    return self.apply_index_maintenance(&refs);
+                }
+            }
+        }
+        Err(last)
+    }
+
+    /// One routed attempt at a shard write. Returns the maintenance inputs
+    /// (`(key, pre-write value, new value)`) owed once the base batch is
+    /// acknowledged — empty on the fast path (no catalog, or a shard of raw
+    /// index entries such as the backfill's).
+    fn try_write_shard<'a>(
+        &self,
+        range: RangeId,
+        shard: &[(&'a [u8], &'a [u8])],
+        options: &WriteOptions,
+    ) -> Result<Vec<OwedChange<'a>>> {
+        let (ltc, epoch, catalog) = self.cluster.route_range_with_catalog(range)?;
+        let maintained = !catalog.is_empty() && shard.iter().any(|(key, _)| !nova_index::is_index_key(key));
+        if !maintained {
+            ltc.put_batch_at_with(range, shard, epoch, options)?;
+            return Ok(Vec::new());
+        }
+        // Fetch the pre-write values in one epoch-validated read, then
+        // overlay duplicates within the shard: the second write of a key in
+        // one batch transitions from the first write's value, not from
+        // storage, so its maintenance deletes the right entry.
+        let keys: Vec<&[u8]> = shard.iter().map(|&(key, _)| key).collect();
+        let olds = ltc.multi_get_at(range, &keys, epoch, &ReadOptions::no_fill())?;
+        let mut changes: Vec<OwedChange<'a>> = Vec::new();
+        let mut overlay: HashMap<&[u8], &[u8]> = HashMap::new();
+        for (&(key, value), old) in shard.iter().zip(olds) {
+            if nova_index::is_index_key(key) {
+                continue;
+            }
+            let effective = match overlay.get(key) {
+                Some(prior) => Some(Bytes::from(prior.to_vec())),
+                None => old,
+            };
+            changes.push((key, effective, value));
+            overlay.insert(key, value);
+        }
+        ltc.put_batch_at_with(range, shard, epoch, options)?;
+        Ok(changes)
     }
 
     /// Stream the live entries of `[start_key, end_key)` (an absent
@@ -404,6 +612,155 @@ impl NovaClient {
     pub fn multi_get_numeric(&self, keys: &[u64]) -> Result<Vec<Option<Bytes>>> {
         let encoded: Vec<Vec<u8>> = keys.iter().map(|&k| encode_key(k)).collect();
         self.multi_get(&encoded)
+    }
+
+    // ------------------------------------------------------------------
+    // Secondary indexes
+    // ------------------------------------------------------------------
+
+    /// Resolve `name` to its spec, requiring the index to be `Active`
+    /// (scans over a still-backfilling index would under-report; the
+    /// retryable [`Error::IndexNotReady`] tells callers to come back).
+    fn active_index(&self, name: &str) -> Result<IndexSpec> {
+        let catalog = self.cluster.coordinator().index_catalog();
+        let spec = catalog
+            .find(name)
+            .ok_or_else(|| Error::IndexNotFound(name.to_string()))?;
+        if spec.state != IndexState::Active {
+            return Err(Error::IndexNotReady(name.to_string()));
+        }
+        Ok(spec.clone())
+    }
+
+    /// Stream the entries of secondary index `name` whose secondary key
+    /// falls in `[sec_start, sec_end)` (`None` = unbounded on that side),
+    /// in (secondary, primary) order, as a lazy [`IndexScanCursor`].
+    ///
+    /// Entries reflect acknowledged base writes with the same per-chunk
+    /// read-committed consistency as [`NovaClient::scan_range`]. An entry
+    /// may transiently outlive the value that produced it (concurrent
+    /// update racing maintenance, or the backfill race); point lookups that
+    /// must not over-report go through [`NovaClient::index_lookup_rows`],
+    /// which re-validates against the current base values.
+    pub fn index_scan(
+        &self,
+        name: &str,
+        sec_start: Option<&[u8]>,
+        sec_end: Option<&[u8]>,
+        options: ReadOptions,
+    ) -> Result<IndexScanCursor> {
+        let spec = self.active_index(name)?;
+        let (start, end) = nova_index::secondary_range_bounds(spec.id, sec_start, sec_end);
+        Ok(IndexScanCursor {
+            inner: self.scan_range(&start, Some(&end), options),
+            last_raw: None,
+        })
+    }
+
+    /// [`NovaClient::index_scan`] restricted to entries whose secondary key
+    /// equals `secondary` exactly (an indexed point lookup).
+    pub fn index_scan_exact(
+        &self,
+        name: &str,
+        secondary: &[u8],
+        options: ReadOptions,
+    ) -> Result<IndexScanCursor> {
+        let spec = self.active_index(name)?;
+        let (start, end) = nova_index::secondary_exact_bounds(spec.id, secondary);
+        Ok(IndexScanCursor {
+            inner: self.scan_range(&start, Some(&end), options),
+            last_raw: None,
+        })
+    }
+
+    /// One bounded chunk of an index scan, resumable via an opaque raw
+    /// cursor — the server-side shape of [`NovaClient::index_scan`]: the
+    /// wire protocol ships `(entries, resume)` and the remote client hands
+    /// `resume` back verbatim for the next chunk. `resume = None` on return
+    /// means the scan is exhausted.
+    pub fn index_scan_chunk(
+        &self,
+        name: &str,
+        sec_start: Option<&[u8]>,
+        sec_end: Option<&[u8]>,
+        resume: Option<&[u8]>,
+        limit: usize,
+    ) -> Result<(Vec<IndexEntry>, Option<Vec<u8>>)> {
+        let spec = self.active_index(name)?;
+        let (lo, hi) = nova_index::secondary_range_bounds(spec.id, sec_start, sec_end);
+        let start = match resume {
+            // The raw cursor must stay inside the requested interval: a
+            // forged or stale one cannot widen the scan.
+            Some(r) if r > lo.as_slice() => r.to_vec(),
+            _ => lo,
+        };
+        let limit = limit.max(1);
+        let mut cursor = IndexScanCursor {
+            inner: self.scan_range(&start, Some(&hi), ReadOptions::default().with_chunk(limit)),
+            last_raw: None,
+        };
+        let mut out = Vec::with_capacity(limit);
+        while out.len() < limit {
+            match cursor.next() {
+                Some(entry) => out.push(entry?),
+                None => return Ok((out, None)),
+            }
+        }
+        // A full chunk may have more behind it: resume at the bytewise
+        // successor of the last raw entry key.
+        let resume = cursor.last_raw.map(|mut k| {
+            k.push(0);
+            k
+        });
+        Ok((out, resume))
+    }
+
+    /// Indexed point lookup with validation: scan the entries whose
+    /// secondary key equals `secondary`, read the referenced base records
+    /// (batched through [`NovaClient::multi_get`]), and keep only rows
+    /// whose *current* value still projects to `secondary` — filtering
+    /// anything a concurrent update or the backfill race left behind.
+    /// Returns up to `limit` `(primary key, value)` rows in primary-key
+    /// order.
+    pub fn index_lookup_rows(
+        &self,
+        name: &str,
+        secondary: &[u8],
+        limit: usize,
+    ) -> Result<Vec<(Vec<u8>, Bytes)>> {
+        if limit == 0 {
+            return Ok(Vec::new());
+        }
+        let spec = self.active_index(name)?;
+        let (start, end) = nova_index::secondary_exact_bounds(spec.id, secondary);
+        let chunk = limit.min(512);
+        let mut cursor = IndexScanCursor {
+            inner: self.scan_range(&start, Some(&end), ReadOptions::no_fill().with_chunk(chunk)),
+            last_raw: None,
+        };
+        let mut out = Vec::new();
+        // Stale entries are filtered after the base read, so keep pulling
+        // until `limit` validated rows or exhaustion.
+        loop {
+            let mut primaries: Vec<Vec<u8>> = Vec::with_capacity(chunk);
+            for entry in cursor.by_ref().take(chunk) {
+                primaries.push(entry?.primary);
+            }
+            if primaries.is_empty() {
+                return Ok(out);
+            }
+            let values = self.multi_get_with_options(&primaries, &ReadOptions::no_fill())?;
+            for (primary, value) in primaries.into_iter().zip(values) {
+                if let Some(value) = value {
+                    if spec.projection.project(&value) == Some(secondary) {
+                        out.push((primary, value));
+                        if out.len() >= limit {
+                            return Ok(out);
+                        }
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -521,6 +878,48 @@ impl Iterator for ScanCursor {
             }
         }
         self.buffer.pop_front().map(Ok)
+    }
+}
+
+/// A streaming secondary-index scan: a [`ScanCursor`] over the index's
+/// composite-key interval that decodes each raw entry into an
+/// [`IndexEntry`] (`(secondary, primary)`). Created by
+/// [`NovaClient::index_scan`] / [`NovaClient::index_scan_exact`]; inherits
+/// the underlying cursor's ordering, at-most-once and migration-retry
+/// guarantees.
+pub struct IndexScanCursor {
+    inner: ScanCursor,
+    /// Raw composite key of the last yielded entry — the chunked server
+    /// path derives its opaque resume cursor from it.
+    last_raw: Option<Vec<u8>>,
+}
+
+impl std::fmt::Debug for IndexScanCursor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IndexScanCursor")
+            .field("inner", &self.inner)
+            .finish()
+    }
+}
+
+impl Iterator for IndexScanCursor {
+    type Item = Result<IndexEntry>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            match self.inner.next()? {
+                Err(e) => return Some(Err(e)),
+                Ok(entry) => {
+                    self.last_raw = Some(entry.key.to_vec());
+                    match nova_index::decode_index_key(&entry.key) {
+                        Some((_, secondary, primary)) => return Some(Ok(IndexEntry { secondary, primary })),
+                        // Unreachable within the codec's bounds; skip
+                        // defensively rather than surface garbage.
+                        None => continue,
+                    }
+                }
+            }
+        }
     }
 }
 

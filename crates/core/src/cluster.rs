@@ -9,6 +9,7 @@ use nova_common::keyspace::KeyspacePartition;
 use nova_common::{Error, LtcId, NodeId, RangeId, Result, StocId};
 use nova_coordinator::{Coordinator, LeaseHolder};
 use nova_fabric::Fabric;
+use nova_index::{IndexState, ValueProjection};
 use nova_logc::LogC;
 use nova_ltc::{Ltc, LtcStats, Manifest, Placer, RangeEngine};
 use nova_obs::{Metrics, OpKind, RegistrySnapshot};
@@ -316,6 +317,21 @@ impl NovaCluster {
         Ok((self.ltc(ltc_id)?, epoch))
     }
 
+    /// [`NovaCluster::route_range`] plus the index-catalog snapshot, read
+    /// under the same coordinator lock as the epoch. The client's write path
+    /// routes through this so the maintenance plan it executes is always
+    /// consistent with the epoch its writes are validated at (the
+    /// create-index catch-up fence rejects the write otherwise).
+    pub fn route_range_with_catalog(
+        &self,
+        range: RangeId,
+    ) -> Result<(Arc<Ltc>, u64, Arc<nova_index::IndexCatalog>)> {
+        let (ltc_id, epoch, catalog) = self.coordinator.route_of_with_catalog(range);
+        let ltc_id =
+            ltc_id.ok_or_else(|| Error::Unavailable(format!("{range} is not assigned to any LTC")))?;
+        Ok((self.ltc(ltc_id)?, epoch, catalog))
+    }
+
     /// Per-LTC statistics, keyed by LTC id.
     pub fn ltc_stats(&self) -> HashMap<LtcId, LtcStats> {
         self.ltcs
@@ -565,6 +581,154 @@ impl NovaCluster {
             ltc.flush_all()?;
         }
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Secondary indexes
+    // ------------------------------------------------------------------
+
+    /// Create an ordered secondary index over the value bytes selected by
+    /// `projection` and build it online. Returns the index id once the
+    /// backfill completes and the index is `Active`.
+    ///
+    /// The build is a three-step protocol that loses no writes:
+    ///
+    /// 1. **Register** — the catalog gains the index in `Backfilling` state
+    ///    and the configuration epoch is bumped. From the epoch's install,
+    ///    every write routed with a fresh configuration plans maintenance
+    ///    for the new index.
+    /// 2. **Fence** — every range engine's owner epoch is raised to the
+    ///    registration epoch with a write barrier (under the elasticity
+    ///    mutex, so no migration interleaves). Writers still running with a
+    ///    pre-registration plan have either completed — their records are
+    ///    visible to the backfill scan below — or are rejected with the
+    ///    retriable `StaleConfig` and re-plan against the new catalog.
+    /// 3. **Backfill** — one streaming scan of the base keyspace inserts an
+    ///    entry per indexable record, then the index flips to `Active`.
+    ///
+    /// Concurrent updates during the backfill are already maintained by the
+    /// fence contract; the scan may race an update and re-insert an entry
+    /// for a just-overwritten value, which is why point reads through the
+    /// index validate the current value (see
+    /// [`crate::NovaClient::index_lookup_rows`]).
+    pub fn create_index(self: &Arc<Self>, name: &str, projection: ValueProjection) -> Result<u32> {
+        let id = {
+            let _serial = self.elasticity_mutex.lock();
+            let (id, fence) = self.coordinator.register_index(name, projection)?;
+            if let Err(e) = self.fence_all_ranges(fence) {
+                let _ = self.coordinator.drop_index(id);
+                return Err(e);
+            }
+            id
+        };
+        // The elasticity mutex is released for the backfill: a long build
+        // must not block migrations, and the backfill's writes go through
+        // the ordinary retrying client so an interleaved migration only
+        // costs a re-routed chunk.
+        match self.backfill_index(id, projection) {
+            Ok(()) => {
+                self.coordinator.set_index_state(id, IndexState::Active)?;
+                Ok(id)
+            }
+            Err(e) => {
+                // Roll back: unregister, then sweep any entries the partial
+                // backfill (or concurrent maintenance) already wrote.
+                let _ = self.coordinator.drop_index(id);
+                let _ = self.purge_index_entries(id);
+                Err(e)
+            }
+        }
+    }
+
+    /// Drop a secondary index: remove it from the catalog, fence every
+    /// range engine on the removal epoch (an in-flight writer planned
+    /// against the old catalog either completed — its entries are swept
+    /// below — or is rejected and re-plans without the index), then delete
+    /// the index's entries.
+    pub fn drop_index(self: &Arc<Self>, name: &str) -> Result<()> {
+        let id = {
+            let _serial = self.elasticity_mutex.lock();
+            let catalog = self.coordinator.index_catalog();
+            let spec = catalog
+                .find(name)
+                .ok_or_else(|| Error::IndexNotFound(name.to_string()))?;
+            let fence = self.coordinator.drop_index(spec.id)?;
+            self.fence_all_ranges(fence)?;
+            spec.id
+        };
+        self.purge_index_entries(id)
+    }
+
+    /// The current index-catalog snapshot.
+    pub fn index_catalog(&self) -> Arc<nova_index::IndexCatalog> {
+        self.coordinator.index_catalog()
+    }
+
+    /// Raise every range engine's owner epoch to `epoch` with a write
+    /// barrier (the catch-up fence of [`NovaCluster::create_index`] /
+    /// [`NovaCluster::drop_index`]). Caller holds the elasticity mutex.
+    fn fence_all_ranges(&self, epoch: u64) -> Result<()> {
+        let ltcs: Vec<Arc<Ltc>> = self.ltcs.read().values().cloned().collect();
+        for ltc in ltcs {
+            for range in ltc.range_ids() {
+                if let Ok(engine) = ltc.range(range) {
+                    engine.fence_epoch(epoch)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Stream the base keyspace and insert one index entry per indexable
+    /// record. Entry keys are ordinary (non-decimal) LSM keys, so they route
+    /// to the last range and ride the normal epoch-validated write path.
+    fn backfill_index(self: &Arc<Self>, id: u32, projection: ValueProjection) -> Result<()> {
+        use nova_common::keyspace::encode_key;
+        let client = crate::NovaClient::new(Arc::clone(self));
+        let cursor = client.scan_range(
+            &encode_key(0),
+            None,
+            nova_common::ReadOptions::no_fill().with_chunk(256),
+        );
+        let mut batch: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        for entry in cursor {
+            let entry = entry?;
+            // Index entries sort after every decimal primary key; the first
+            // non-decimal key marks the end of the base keyspace.
+            if !entry.key.first().is_some_and(u8::is_ascii_digit) {
+                break;
+            }
+            if let Some(sec) = projection.project(&entry.value) {
+                batch.push((nova_index::encode_index_key(id, sec, &entry.key), Vec::new()));
+            }
+            if batch.len() >= 512 {
+                client.put_batch(&batch)?;
+                batch.clear();
+            }
+        }
+        client.put_batch(&batch)
+    }
+
+    /// Delete every entry of index `id` (drop cleanup / aborted backfill).
+    fn purge_index_entries(self: &Arc<Self>, id: u32) -> Result<()> {
+        let client = crate::NovaClient::new(Arc::clone(self));
+        let start = nova_index::index_prefix(id);
+        let end = nova_index::index_upper_bound(id);
+        loop {
+            let keys: Vec<Vec<u8>> = client
+                .scan_range(
+                    &start,
+                    Some(&end),
+                    nova_common::ReadOptions::no_fill().with_chunk(512),
+                )
+                .take(512)
+                .map(|e| e.map(|entry| entry.key.to_vec()))
+                .collect::<Result<_>>()?;
+            if keys.is_empty() {
+                return Ok(());
+            }
+            client.delete_index_entries(&keys)?;
+        }
     }
 
     // ------------------------------------------------------------------

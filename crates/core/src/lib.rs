@@ -50,13 +50,14 @@ pub mod mttf;
 pub mod presets;
 pub mod supervisor;
 
-pub use client::{NovaClient, ScanCursor};
+pub use client::{IndexScanCursor, NovaClient, ScanCursor};
 pub use cluster::NovaCluster;
 pub use detector::{FailureDetector, NodeSuspicion};
 pub use health::{ClusterHealth, LtcHealth, OpLatency, StocHealth};
 pub use mttf::{MttfModel, MttfRow};
 pub use nova_common::{ReadOptions, WriteOptions};
 pub use nova_coordinator::DebtSummary;
+pub use nova_index::{IndexEntry, IndexState, ValueProjection};
 pub use supervisor::{SelfHealStats, TickReport, TokenBucket};
 
 // Re-export the component crates so downstream users need a single
@@ -66,6 +67,7 @@ pub use nova_cache as cache;
 pub use nova_common as common;
 pub use nova_coordinator as coordinator;
 pub use nova_fabric as fabric;
+pub use nova_index as index;
 pub use nova_logc as logc;
 pub use nova_ltc as ltc;
 pub use nova_memtable as memtable;

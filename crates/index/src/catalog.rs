@@ -1,0 +1,291 @@
+//! The index catalog: immutable snapshots of every registered secondary
+//! index, carried inside the coordinator's `Configuration` so a client
+//! reads the catalog and the routing epoch under one lock — the invariant
+//! the create-index catch-up fence relies on.
+
+use crate::codec;
+use nova_common::{Error, Result};
+
+/// How an index projects a secondary key out of a base value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueProjection {
+    /// The whole value is the secondary key.
+    Whole,
+    /// A fixed-width slice of the value (`value[offset .. offset + len]`).
+    /// Values too short to cover the slice are left unindexed.
+    Slice {
+        /// Byte offset of the slice.
+        offset: usize,
+        /// Byte length of the slice.
+        len: usize,
+    },
+}
+
+impl ValueProjection {
+    /// The secondary key this projection extracts from `value`, or `None`
+    /// if the value is unindexable under this projection.
+    pub fn project<'a>(&self, value: &'a [u8]) -> Option<&'a [u8]> {
+        match self {
+            ValueProjection::Whole => Some(value),
+            ValueProjection::Slice { offset, len } => {
+                let end = offset.checked_add(*len)?;
+                value.get(*offset..end)
+            }
+        }
+    }
+}
+
+/// Lifecycle state of an index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexState {
+    /// Registered and maintained by every write, but the backfill of
+    /// pre-existing records has not finished: scans would under-report, so
+    /// `index_scan` refuses with `IndexNotReady`.
+    Backfilling,
+    /// Fully built; scans are served.
+    Active,
+}
+
+/// One registered secondary index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexSpec {
+    /// Stable numeric id, allocated at registration; keys the entry codec.
+    pub id: u32,
+    /// Unique human-readable name (the API handle).
+    pub name: String,
+    /// How the secondary key is derived from a base value.
+    pub projection: ValueProjection,
+    /// Lifecycle state.
+    pub state: IndexState,
+}
+
+/// An immutable catalog snapshot. The coordinator replaces the whole
+/// snapshot (behind an `Arc`) on every catalog change and stamps it with
+/// the configuration epoch of that change, so two snapshots are equal iff
+/// their versions are.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IndexCatalog {
+    /// Configuration epoch at which this snapshot was installed. Writers
+    /// compare versions across the per-range routing reads of one logical
+    /// operation and re-plan when the catalog moved under them.
+    pub version: u64,
+    specs: Vec<IndexSpec>,
+}
+
+impl IndexCatalog {
+    /// The empty catalog (version 0 — older than any installed snapshot).
+    pub fn empty() -> Self {
+        IndexCatalog::default()
+    }
+
+    /// True if no index is registered — the write path's fast-path check.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Every registered index, in registration order.
+    pub fn specs(&self) -> &[IndexSpec] {
+        &self.specs
+    }
+
+    /// Look up an index by name.
+    pub fn find(&self, name: &str) -> Option<&IndexSpec> {
+        self.specs.iter().find(|s| s.name == name)
+    }
+
+    /// Look up an index by id.
+    pub fn get(&self, id: u32) -> Option<&IndexSpec> {
+        self.specs.iter().find(|s| s.id == id)
+    }
+
+    /// A new snapshot with `name` registered as a `Backfilling` index.
+    /// Allocates the next free id. Fails on a duplicate name.
+    pub fn with_index(
+        &self,
+        name: &str,
+        projection: ValueProjection,
+        version: u64,
+    ) -> Result<(IndexCatalog, u32)> {
+        if name.is_empty() {
+            return Err(Error::InvalidArgument("index name must not be empty".into()));
+        }
+        if self.find(name).is_some() {
+            return Err(Error::InvalidArgument(format!("index '{name}' already exists")));
+        }
+        let id = self.specs.iter().map(|s| s.id + 1).max().unwrap_or(0);
+        let mut specs = self.specs.clone();
+        specs.push(IndexSpec {
+            id,
+            name: name.to_string(),
+            projection,
+            state: IndexState::Backfilling,
+        });
+        Ok((IndexCatalog { version, specs }, id))
+    }
+
+    /// A new snapshot with index `id` moved to `state`.
+    pub fn with_state(&self, id: u32, state: IndexState, version: u64) -> Result<IndexCatalog> {
+        let mut specs = self.specs.clone();
+        let spec = specs
+            .iter_mut()
+            .find(|s| s.id == id)
+            .ok_or_else(|| Error::IndexNotFound(format!("index id {id}")))?;
+        spec.state = state;
+        Ok(IndexCatalog { version, specs })
+    }
+
+    /// A new snapshot with index `id` removed.
+    pub fn without(&self, id: u32, version: u64) -> Result<IndexCatalog> {
+        if self.get(id).is_none() {
+            return Err(Error::IndexNotFound(format!("index id {id}")));
+        }
+        let specs = self.specs.iter().filter(|s| s.id != id).cloned().collect();
+        Ok(IndexCatalog { version, specs })
+    }
+}
+
+/// One index-entry mutation the write path must apply alongside a base
+/// write. Entry values are empty — the key carries everything.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexOp {
+    /// The composite entry key.
+    pub key: Vec<u8>,
+    /// `true` deletes the entry, `false` writes it.
+    pub delete: bool,
+}
+
+/// Plan the index maintenance for one base-record change: `old` is the
+/// value before the write (`None` if absent), `new` the value after
+/// (`None` for a delete). Returns delete-old-entry / put-new-entry ops for
+/// every registered index whose projected secondary actually changed.
+/// Backfilling indexes are maintained too — that is what makes the
+/// backfill's catch-up fence sound. Keys already in the index keyspace
+/// plan nothing (maintenance never recurses onto its own entries).
+pub fn maintenance_ops(
+    catalog: &IndexCatalog,
+    primary: &[u8],
+    old: Option<&[u8]>,
+    new: Option<&[u8]>,
+) -> Vec<IndexOp> {
+    if catalog.is_empty() || codec::is_index_key(primary) {
+        return Vec::new();
+    }
+    let mut ops = Vec::new();
+    for spec in catalog.specs() {
+        let old_sec = old.and_then(|v| spec.projection.project(v));
+        let new_sec = new.and_then(|v| spec.projection.project(v));
+        if old_sec == new_sec {
+            continue;
+        }
+        if let Some(sec) = old_sec {
+            ops.push(IndexOp {
+                key: codec::encode_index_key(spec.id, sec, primary),
+                delete: true,
+            });
+        }
+        if let Some(sec) = new_sec {
+            ops.push(IndexOp {
+                key: codec::encode_index_key(spec.id, sec, primary),
+                delete: false,
+            });
+        }
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog_with(name: &str, projection: ValueProjection) -> IndexCatalog {
+        IndexCatalog::empty().with_index(name, projection, 1).unwrap().0
+    }
+
+    #[test]
+    fn registration_allocates_ids_and_rejects_duplicates() {
+        let (cat, id0) = IndexCatalog::empty()
+            .with_index("by_cat", ValueProjection::Slice { offset: 0, len: 4 }, 3)
+            .unwrap();
+        assert_eq!(id0, 0);
+        assert_eq!(cat.version, 3);
+        let (cat, id1) = cat.with_index("by_val", ValueProjection::Whole, 4).unwrap();
+        assert_eq!(id1, 1);
+        assert!(cat.with_index("by_cat", ValueProjection::Whole, 5).is_err());
+        assert!(cat.with_index("", ValueProjection::Whole, 5).is_err());
+        assert_eq!(cat.find("by_val").unwrap().state, IndexState::Backfilling);
+        let cat = cat.with_state(id1, IndexState::Active, 6).unwrap();
+        assert_eq!(cat.get(id1).unwrap().state, IndexState::Active);
+        let cat = cat.without(id0, 7).unwrap();
+        assert!(cat.find("by_cat").is_none());
+        assert!(cat.without(id0, 8).is_err());
+        assert!(cat.with_state(99, IndexState::Active, 8).is_err());
+        // Dropping the live index frees nothing retroactively: the next id
+        // is still past the highest ever allocated id that remains.
+        let (_, id2) = cat.with_index("third", ValueProjection::Whole, 9).unwrap();
+        assert_eq!(id2, 2);
+    }
+
+    #[test]
+    fn projections_extract_or_skip() {
+        let whole = ValueProjection::Whole;
+        assert_eq!(whole.project(b"abc"), Some(&b"abc"[..]));
+        let slice = ValueProjection::Slice { offset: 2, len: 3 };
+        assert_eq!(slice.project(b"xxcatzz"), Some(&b"cat"[..]));
+        assert_eq!(slice.project(b"xxca"), None, "short values are unindexed");
+        let overflow = ValueProjection::Slice {
+            offset: usize::MAX,
+            len: 2,
+        };
+        assert_eq!(overflow.project(b"abc"), None);
+    }
+
+    #[test]
+    fn maintenance_plans_only_real_changes() {
+        let cat = catalog_with("by_cat", ValueProjection::Slice { offset: 0, len: 3 });
+        let pk = b"00000000000000000007";
+
+        // Fresh insert: one put.
+        let ops = maintenance_ops(&cat, pk, None, Some(b"cat-payload"));
+        assert_eq!(ops.len(), 1);
+        assert!(!ops[0].delete);
+        assert_eq!(
+            codec::decode_index_key(&ops[0].key),
+            Some((0, b"cat".to_vec(), pk.to_vec()))
+        );
+
+        // Update that moves the secondary: delete old + put new.
+        let ops = maintenance_ops(&cat, pk, Some(b"cat-payload"), Some(b"dog-payload"));
+        assert_eq!(ops.len(), 2);
+        assert!(ops[0].delete && !ops[1].delete);
+
+        // Update that keeps the secondary: nothing.
+        assert!(maintenance_ops(&cat, pk, Some(b"cat-old"), Some(b"cat-new")).is_empty());
+
+        // Delete: one entry delete.
+        let ops = maintenance_ops(&cat, pk, Some(b"cat-payload"), None);
+        assert_eq!(ops.len(), 1);
+        assert!(ops[0].delete);
+
+        // Deleting an absent record, short (unindexable) values, index-space
+        // keys and the empty catalog all plan nothing.
+        assert!(maintenance_ops(&cat, pk, None, None).is_empty());
+        assert!(maintenance_ops(&cat, pk, None, Some(b"xy")).is_empty());
+        let entry = codec::encode_index_key(0, b"cat", pk);
+        assert!(maintenance_ops(&cat, &entry, None, Some(b"cat-payload")).is_empty());
+        assert!(maintenance_ops(&IndexCatalog::empty(), pk, None, Some(b"cat-x")).is_empty());
+    }
+
+    #[test]
+    fn unindexable_transitions_plan_one_sided_ops() {
+        let cat = catalog_with("by_cat", ValueProjection::Slice { offset: 0, len: 3 });
+        let pk = b"00000000000000000008";
+        // Indexable -> too short: delete only.
+        let ops = maintenance_ops(&cat, pk, Some(b"cat"), Some(b"xy"));
+        assert_eq!(ops.len(), 1);
+        assert!(ops[0].delete);
+        // Too short -> indexable: put only.
+        let ops = maintenance_ops(&cat, pk, Some(b"xy"), Some(b"dog"));
+        assert_eq!(ops.len(), 1);
+        assert!(!ops[0].delete);
+    }
+}

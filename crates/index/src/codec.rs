@@ -1,0 +1,245 @@
+//! The order-preserving composite key codec.
+//!
+//! An index entry is an ordinary LSM key built from three parts:
+//!
+//! ```text
+//! [0xFE] ‖ index_id (u32, big-endian) ‖ esc(secondary) ‖ 0x00 0x01 ‖ primary
+//! ```
+//!
+//! * The `0xFE` prefix sorts every index entry *after* the primary keyspace
+//!   (primary keys are 20-digit decimal strings, first byte `b'0'..=b'9'`),
+//!   so entries live in ordinary ranges — the keyspace partition routes any
+//!   non-decimal key to the last range — and survive flush, compaction and
+//!   live migration unchanged.
+//! * The secondary key is escaped (`0x00` → `0x00 0xFF`) and closed with the
+//!   terminator `0x00 0x01`, the FDB-tuple construction: byte order of the
+//!   encoded entry equals lexicographic order of `(secondary, primary)`, and
+//!   no encoded secondary is a prefix of another.
+//! * The primary key rides verbatim at the tail, so one entry maps back to
+//!   exactly one base record and entries for equal secondaries sort by
+//!   primary key (deterministic scan order, stable resume keys).
+
+/// First byte of every index entry key. `0xFE` sorts after every decimal
+/// primary key and before the `0xFF` keyspace sentinel.
+pub const INDEX_KEY_PREFIX: u8 = 0xFE;
+
+/// Terminator closing the escaped secondary key. `0x00 0x01` sorts below
+/// every escaped continuation (`0x00` escapes to `0x00 0xFF`, plain bytes
+/// are `> 0x00`), which is what makes the encoding prefix-free and
+/// order-preserving.
+const TERMINATOR: [u8; 2] = [0x00, 0x01];
+
+/// True if `key` lives in the index keyspace (and must therefore never be
+/// treated as a base record — the write path uses this to keep index
+/// maintenance from recursing onto its own entries).
+pub fn is_index_key(key: &[u8]) -> bool {
+    key.first() == Some(&INDEX_KEY_PREFIX)
+}
+
+/// The key prefix shared by every entry of index `id`.
+pub fn index_prefix(id: u32) -> Vec<u8> {
+    let mut out = Vec::with_capacity(5);
+    out.push(INDEX_KEY_PREFIX);
+    out.extend_from_slice(&id.to_be_bytes());
+    out
+}
+
+/// The exclusive upper bound of index `id`'s entire keyspace: the smallest
+/// key greater than every entry of the index.
+pub fn index_upper_bound(id: u32) -> Vec<u8> {
+    match id.checked_add(1) {
+        Some(next) => index_prefix(next),
+        // id == u32::MAX: 0xFF sorts above every 0xFE-prefixed entry.
+        None => vec![0xFF],
+    }
+}
+
+fn push_escaped(out: &mut Vec<u8>, secondary: &[u8]) {
+    for &b in secondary {
+        out.push(b);
+        if b == 0x00 {
+            out.push(0xFF);
+        }
+    }
+}
+
+/// Encode the entry key for `(secondary, primary)` under index `id`.
+pub fn encode_index_key(id: u32, secondary: &[u8], primary: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(5 + secondary.len() + 2 + primary.len() + 2);
+    out.push(INDEX_KEY_PREFIX);
+    out.extend_from_slice(&id.to_be_bytes());
+    push_escaped(&mut out, secondary);
+    out.extend_from_slice(&TERMINATOR);
+    out.extend_from_slice(primary);
+    out
+}
+
+/// Decode an entry key back into `(index_id, secondary, primary)`.
+///
+/// Returns `None` for anything that is not a well-formed index entry (wrong
+/// prefix, truncated header, an un-escaped `0x00` that is neither an escape
+/// pair nor the terminator).
+pub fn decode_index_key(key: &[u8]) -> Option<(u32, Vec<u8>, Vec<u8>)> {
+    let rest = key.strip_prefix(&[INDEX_KEY_PREFIX])?;
+    if rest.len() < 4 {
+        return None;
+    }
+    let id = u32::from_be_bytes(rest[..4].try_into().expect("4 bytes"));
+    let mut body = &rest[4..];
+    let mut secondary = Vec::new();
+    loop {
+        match body {
+            [0x00, 0x01, primary @ ..] => return Some((id, secondary, primary.to_vec())),
+            [0x00, 0xFF, tail @ ..] => {
+                secondary.push(0x00);
+                body = tail;
+            }
+            [0x00, ..] | [] => return None,
+            [b, tail @ ..] => {
+                secondary.push(*b);
+                body = tail;
+            }
+        }
+    }
+}
+
+/// `[start, end)` bounds over index `id`'s entries for a *secondary-key*
+/// range: `sec_start = None` starts at the first entry, `sec_end = None`
+/// runs to the end of the index. The bounds are plain byte keys, so they
+/// feed straight into the ordinary range-scan machinery.
+pub fn secondary_range_bounds(
+    id: u32,
+    sec_start: Option<&[u8]>,
+    sec_end: Option<&[u8]>,
+) -> (Vec<u8>, Vec<u8>) {
+    let start = match sec_start {
+        Some(s) => {
+            let mut out = index_prefix(id);
+            push_escaped(&mut out, s);
+            out
+        }
+        None => index_prefix(id),
+    };
+    let end = match sec_end {
+        Some(e) => {
+            let mut out = index_prefix(id);
+            push_escaped(&mut out, e);
+            out
+        }
+        None => index_upper_bound(id),
+    };
+    (start, end)
+}
+
+/// `[start, end)` bounds covering exactly the entries whose secondary key
+/// equals `secondary` (an indexed point lookup). The upper bound replaces
+/// the `0x00 0x01` terminator with `0x00 0x02`, which sorts above every
+/// `terminator ‖ primary` tail and below every longer secondary.
+pub fn secondary_exact_bounds(id: u32, secondary: &[u8]) -> (Vec<u8>, Vec<u8>) {
+    let mut start = index_prefix(id);
+    push_escaped(&mut start, secondary);
+    let mut end = start.clone();
+    start.extend_from_slice(&TERMINATOR);
+    end.extend_from_slice(&[0x00, 0x02]);
+    (start, end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_trips_and_rejects_garbage() {
+        for (sec, pk) in [
+            (&b""[..], &b""[..]),
+            (b"a", b"00000000000000000042"),
+            (b"\x00", b"p"),
+            (b"\x00\x00\xff\x01", b"\x00"),
+            (b"category-7", b"00000000000000000001"),
+        ] {
+            let key = encode_index_key(7, sec, pk);
+            assert!(is_index_key(&key));
+            assert_eq!(decode_index_key(&key), Some((7, sec.to_vec(), pk.to_vec())));
+        }
+        assert_eq!(decode_index_key(b"00000000000000000042"), None);
+        assert_eq!(decode_index_key(&[0xFE, 0, 0]), None);
+        // An unterminated secondary (trailing lone 0x00) is corrupt.
+        assert_eq!(decode_index_key(&[0xFE, 0, 0, 0, 7, b'a', 0x00]), None);
+        assert_eq!(decode_index_key(&[0xFE, 0, 0, 0, 7, b'a']), None);
+    }
+
+    #[test]
+    fn entries_sort_after_every_decimal_primary_key() {
+        let entry = encode_index_key(0, b"", b"");
+        assert!(entry.as_slice() > &b"99999999999999999999"[..]);
+        assert!(entry < index_upper_bound(u32::MAX));
+    }
+
+    #[test]
+    fn exact_bounds_cover_exactly_one_secondary() {
+        let (start, end) = secondary_exact_bounds(3, b"cat");
+        for pk in [&b""[..], b"0", b"00000000000000000099", b"\xff\xff"] {
+            let key = encode_index_key(3, b"cat", pk);
+            assert!(start <= key && key < end, "pk {pk:?} outside exact bounds");
+        }
+        for other in [&b"ca"[..], b"cas", b"cat\x00", b"catz", b"cau", b"c"] {
+            let key = encode_index_key(3, other, b"p");
+            assert!(
+                !(start <= key && key < end),
+                "secondary {other:?} must be outside exact bounds"
+            );
+        }
+    }
+
+    proptest! {
+        /// Byte order of encoded entries equals lexicographic order of
+        /// (secondary, primary) — the property the whole subsystem rests on.
+        #[test]
+        fn prop_encoding_is_order_preserving(
+            a_sec in proptest::collection::vec(any::<u8>(), 0..12),
+            a_pk in proptest::collection::vec(any::<u8>(), 0..12),
+            b_sec in proptest::collection::vec(any::<u8>(), 0..12),
+            b_pk in proptest::collection::vec(any::<u8>(), 0..12),
+        ) {
+            let ka = encode_index_key(5, &a_sec, &a_pk);
+            let kb = encode_index_key(5, &b_sec, &b_pk);
+            prop_assert_eq!(
+                ka.cmp(&kb),
+                (a_sec.clone(), a_pk.clone()).cmp(&(b_sec.clone(), b_pk.clone()))
+            );
+        }
+
+        #[test]
+        fn prop_round_trip(
+            id in any::<u32>(),
+            sec in proptest::collection::vec(any::<u8>(), 0..24),
+            pk in proptest::collection::vec(any::<u8>(), 0..24),
+        ) {
+            let key = encode_index_key(id, &sec, &pk);
+            prop_assert_eq!(decode_index_key(&key), Some((id, sec.clone(), pk.clone())));
+            let (lo, hi) = secondary_range_bounds(id, None, None);
+            prop_assert!(lo <= key && key < hi);
+            let (lo, hi) = secondary_exact_bounds(id, &sec);
+            prop_assert!(lo <= key && key < hi);
+        }
+
+        /// Range bounds admit exactly the entries whose secondary falls in
+        /// the requested secondary interval.
+        #[test]
+        fn prop_range_bounds_match_secondary_interval(
+            sec in proptest::collection::vec(any::<u8>(), 0..8),
+            pk in proptest::collection::vec(any::<u8>(), 0..8),
+            lo in proptest::collection::vec(any::<u8>(), 0..8),
+            hi in proptest::collection::vec(any::<u8>(), 0..8),
+        ) {
+            let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+            let key = encode_index_key(9, &sec, &pk);
+            let (start, end) = secondary_range_bounds(9, Some(&lo), Some(&hi));
+            let in_bounds = start <= key && key < end;
+            let expected = lo <= sec && sec < hi;
+            prop_assert_eq!(in_bounds, expected,
+                "sec {:?} in [{:?}, {:?}) disagreed with byte bounds", sec, lo, hi);
+        }
+    }
+}

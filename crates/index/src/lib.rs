@@ -1,0 +1,44 @@
+//! # nova-index
+//!
+//! Ordered secondary indexes for the Nova-LSM reproduction, in the spirit
+//! of incremental view maintenance (Berkholz et al., "Answering FO+MOD
+//! queries under updates"): each base write pays a small, bounded amount of
+//! maintenance work so that value-predicate queries enumerate their results
+//! from an ordered index instead of scanning the whole keyspace.
+//!
+//! The crate is deliberately storage-free. Index entries are ordinary LSM
+//! keys under a reserved prefix (see [`codec`]), so the existing memtable /
+//! SSTable / group-commit / migration machinery carries them with no new
+//! engine code. What lives here:
+//!
+//! * [`codec`] — the order-preserving composite entry key
+//!   (`0xFE ‖ index_id ‖ esc(secondary) ‖ 0x00 0x01 ‖ primary`) and the
+//!   scan-bound helpers for secondary ranges and exact matches;
+//! * [`IndexCatalog`] / [`IndexSpec`] — immutable, versioned catalog
+//!   snapshots, embedded in the coordinator's `Configuration` so catalog
+//!   and routing epoch are read under one lock;
+//! * [`maintenance_ops`] — the planner mapping one base-record change
+//!   (`old` value → `new` value) to the delete-old-entry / put-new-entry
+//!   ops the client folds into the same group-commit batch.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod catalog;
+pub mod codec;
+
+pub use catalog::{maintenance_ops, IndexCatalog, IndexOp, IndexSpec, IndexState, ValueProjection};
+pub use codec::{
+    decode_index_key, encode_index_key, index_prefix, index_upper_bound, is_index_key,
+    secondary_exact_bounds, secondary_range_bounds, INDEX_KEY_PREFIX,
+};
+
+/// One decoded index-scan result: the secondary key an entry matched under
+/// and the primary key it points at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexEntry {
+    /// The (decoded) secondary key.
+    pub secondary: Vec<u8>,
+    /// The base record's primary key.
+    pub primary: Vec<u8>,
+}

@@ -244,6 +244,23 @@ impl Ltc {
         engine.write_batch_with(&ops, options)
     }
 
+    /// Epoch-validated mixed batch: puts and deletes applied atomically to
+    /// one range under a single group commit. The client's index-maintenance
+    /// path uses this to fold delete-old-entry / put-new-entry index ops
+    /// into the same batch as the base write.
+    pub fn write_batch_at(
+        &self,
+        range: RangeId,
+        ops: &[BatchOp<'_>],
+        epoch: u64,
+        options: &WriteOptions,
+    ) -> Result<()> {
+        let _timed = self.metrics.layer(nova_obs::Layer::Ltc);
+        let engine = self.range(range)?;
+        engine.check_epoch(epoch)?;
+        engine.write_batch_with(ops, options)
+    }
+
     /// [`Ltc::get`] validating the caller's configuration epoch. Reads are
     /// still served while the range is frozen for migration — only the
     /// owner-epoch check applies.

@@ -292,6 +292,10 @@ impl RangeEngine {
                 entries.push(r.to_entry());
             }
         }
+        // Replay in global write order: records of one key may be spread
+        // across several log files (one per memtable), and the iteration
+        // order of `recovered_logs` is not the order they were written in.
+        entries.sort_by_key(|e| e.sequence);
         let engine = Self::build(
             range_id,
             interval,
@@ -388,7 +392,7 @@ impl RangeEngine {
 
         // Populate the lookup index with the keys of recovered Level-0 tables
         // so gets keep finding them through the index after a crash.
-        engine.index_recovered_level0()?;
+        let level0_best = engine.index_recovered_level0()?;
 
         // Start background compaction threads.
         let threads = engine.config.compaction_threads.max(1);
@@ -404,19 +408,41 @@ impl RangeEngine {
         }
         drop(workers);
 
-        // Replay recovered log records into the fresh memtables.
+        // Replay recovered log records into the fresh memtables, remembering
+        // the newest replayed sequence per key: a key's newest version may
+        // have been *flushed* before the crash while an older version's log
+        // record survived (its memtable hadn't flushed yet), and the
+        // last-write-wins lookup index must not end up pointing at the stale
+        // replayed copy.
+        let mut replay_best: HashMap<Vec<u8>, SequenceNumber> = HashMap::new();
         for entry in replay {
+            if let Some(best) = replay_best.get_mut(entry.key.as_ref()) {
+                *best = (*best).max(entry.sequence);
+            } else {
+                replay_best.insert(entry.key.to_vec(), entry.sequence);
+            }
             match entry.value_type {
                 ValueType::Value => engine.put_with_sequence(&entry.key, &entry.value, entry.sequence)?,
                 ValueType::Deletion => engine.delete_with_sequence(&entry.key, entry.sequence)?,
+            }
+        }
+        // Re-point keys whose newest Level-0 version outranks every replayed
+        // one back at the Level-0 file.
+        for (key, (l0_seq, mid)) in level0_best {
+            if replay_best.get(&key).is_none_or(|replayed| *replayed < l0_seq) {
+                engine.lookup_index.update_key(&key, mid);
             }
         }
 
         Ok(engine)
     }
 
-    fn index_recovered_level0(&self) -> Result<()> {
+    /// Register recovered Level-0 tables in the range and lookup indexes.
+    /// Returns the newest Level-0 `(sequence, synthetic memtable id)` per
+    /// key, so the caller can arbitrate against replayed log records.
+    fn index_recovered_level0(&self) -> Result<HashMap<Vec<u8>, (SequenceNumber, MemtableId)>> {
         let level0: Vec<SstableMeta> = self.version.lock().level_tables(0).to_vec();
+        let mut best: HashMap<Vec<u8>, (SequenceNumber, MemtableId)> = HashMap::new();
         for meta in level0 {
             // Register the file in the range index.
             if let (Some(lo), Some(hi)) = (decode_key(&meta.smallest), decode_key(&meta.largest)) {
@@ -429,16 +455,27 @@ impl RangeEngine {
                 continue;
             }
             // Enumerate its keys into the lookup index via a synthetic
-            // memtable id that maps straight to the file.
+            // memtable id that maps straight to the file. Level-0 files
+            // overlap, so per key the newest version across all of them
+            // wins, not the last file enumerated.
             let mid = MemtableId(u64::MAX - meta.file_number);
             self.lookup_index.memtable_flushed(mid, meta.file_number);
             if let Ok(entries) = nova_stoc::load_table_entries(&self.client, &meta) {
                 for e in entries {
-                    self.lookup_index.update_key(&e.key, mid);
+                    match best.get_mut(e.key.as_ref()) {
+                        Some(slot) if slot.0 >= e.sequence => {}
+                        Some(slot) => *slot = (e.sequence, mid),
+                        None => {
+                            best.insert(e.key.to_vec(), (e.sequence, mid));
+                        }
+                    }
                 }
             }
         }
-        Ok(())
+        for (key, (_, mid)) in &best {
+            self.lookup_index.update_key(key, *mid);
+        }
+        Ok(best)
     }
 
     // ------------------------------------------------------------------
@@ -1500,7 +1537,17 @@ impl RangeEngine {
             .filter(|t| level0_files.contains(&t.file_number))
             .cloned()
             .collect();
-        let last_key = nova_common::keyspace::encode_key(scan_upper.saturating_sub(1));
+        // The (inclusive) byte upper bound for pruning L1+ tables. A numeric
+        // end key prunes at the encoded predecessor; a non-numeric end key
+        // (the index keyspace sorts after every decimal key) is its own
+        // tightest bound; an unbounded scan must run to the top of the byte
+        // keyspace, NOT to the encoded interval bound — index-entry tables
+        // sort after every decimal key and would otherwise be skipped.
+        let last_key: Vec<u8> = match end_key {
+            Some(end) if decode_key(end).is_none() => end.to_vec(),
+            Some(_) => nova_common::keyspace::encode_key(scan_upper.saturating_sub(1)),
+            None => vec![0xFF; nova_common::keyspace::KEY_WIDTH + 1],
+        };
         for level in 1..version.num_levels() {
             table_metas.extend(version.overlapping(level, start_key, &last_key));
         }
@@ -1634,6 +1681,29 @@ impl RangeEngine {
     /// rolled back.
     pub fn retire(&self) {
         self.retired.store(true, Ordering::SeqCst);
+    }
+
+    /// Raise this engine's owner epoch to `epoch` with a full write fence:
+    /// freeze (in-flight writers bounce with the retriable `StaleConfig`),
+    /// barrier on the write state so every write acknowledged before the
+    /// fence is visible, flip the owner epoch, unfreeze, and re-sync the
+    /// MANIFEST (persists are suppressed while frozen).
+    ///
+    /// This is the create-index catch-up fence: after `fence_epoch(E)`
+    /// returns, every writer still running with a pre-`E` configuration has
+    /// either completed (its writes are visible to the backfill scan) or
+    /// will be rejected and re-plan against the post-`E` catalog — so no
+    /// base write can slip between the backfill's snapshot and the index's
+    /// maintenance coverage. No-op when the epoch is not an increase.
+    pub fn fence_epoch(&self, epoch: u64) -> Result<()> {
+        if self.owner_epoch.load(Ordering::SeqCst) >= epoch {
+            return Ok(());
+        }
+        self.freeze(epoch);
+        self.write_barrier();
+        self.set_owner_epoch(epoch);
+        self.unfreeze();
+        self.sync_manifest()
     }
 
     /// Persist the MANIFEST now (no-op while frozen/retired). Called by an

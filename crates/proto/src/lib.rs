@@ -95,6 +95,13 @@ pub enum FrameKind {
     Health = 0x09,
     /// Admin: metrics registry snapshot.
     MetricsSnapshot = 0x0A,
+    /// Admin: create a secondary index (registers, fences, backfills).
+    CreateIndex = 0x0B,
+    /// One chunk of a streaming secondary-index scan (client resumes with
+    /// the opaque cursor echoed in the response).
+    IndexScan = 0x0C,
+    /// Admin: drop a secondary index and sweep its entries.
+    DropIndex = 0x0D,
     /// Handshake accepted.
     HelloOk = 0x81,
     /// Write acknowledged.
@@ -109,6 +116,8 @@ pub enum FrameKind {
     Pong = 0x86,
     /// Admin JSON document (health report or metrics snapshot).
     Report = 0x87,
+    /// Index-scan chunk entries plus the opaque resume cursor.
+    IndexEntries = 0x88,
     /// Typed error (code + detail + message).
     Error = 0xFF,
 }
@@ -127,6 +136,9 @@ impl FrameKind {
             0x08 => FrameKind::Ping,
             0x09 => FrameKind::Health,
             0x0A => FrameKind::MetricsSnapshot,
+            0x0B => FrameKind::CreateIndex,
+            0x0C => FrameKind::IndexScan,
+            0x0D => FrameKind::DropIndex,
             0x81 => FrameKind::HelloOk,
             0x82 => FrameKind::Ok,
             0x83 => FrameKind::Value,
@@ -134,6 +146,7 @@ impl FrameKind {
             0x85 => FrameKind::Entries,
             0x86 => FrameKind::Pong,
             0x87 => FrameKind::Report,
+            0x88 => FrameKind::IndexEntries,
             0xFF => FrameKind::Error,
             _ => return None,
         })
@@ -370,6 +383,9 @@ mod tests {
             FrameKind::Ping,
             FrameKind::Health,
             FrameKind::MetricsSnapshot,
+            FrameKind::CreateIndex,
+            FrameKind::IndexScan,
+            FrameKind::DropIndex,
             FrameKind::HelloOk,
             FrameKind::Ok,
             FrameKind::Value,
@@ -377,6 +393,7 @@ mod tests {
             FrameKind::Entries,
             FrameKind::Pong,
             FrameKind::Report,
+            FrameKind::IndexEntries,
             FrameKind::Error,
         ] {
             assert_eq!(FrameKind::from_u8(kind as u8), Some(kind));

@@ -85,6 +85,8 @@ pub fn wire_to_error(w: &WireError) -> Error {
         },
         ErrorCode::AuthFailed => Error::AuthFailed(w.message.clone()),
         ErrorCode::ProtocolError => Error::ProtocolError(w.message.clone()),
+        ErrorCode::IndexNotFound => Error::IndexNotFound(w.message.clone()),
+        ErrorCode::IndexNotReady => Error::IndexNotReady(w.message.clone()),
     }
 }
 
@@ -148,6 +150,33 @@ pub enum Message {
     Health,
     /// Admin: metrics registry snapshot.
     MetricsSnapshot,
+    /// Admin: create a secondary index and backfill it.
+    CreateIndex {
+        /// Index name.
+        name: String,
+        /// Secondary-key projection: `None` indexes the whole value,
+        /// `Some((offset, len))` a fixed slice of it.
+        projection: Option<(u64, u64)>,
+    },
+    /// One chunk of a streaming secondary-index scan. The client resumes
+    /// with the opaque token from the previous [`Message::IndexEntries`].
+    IndexScan {
+        /// Index name.
+        name: String,
+        /// Inclusive secondary-key lower bound (`None` = unbounded).
+        sec_start: Option<Vec<u8>>,
+        /// Exclusive secondary-key upper bound (`None` = unbounded).
+        sec_end: Option<Vec<u8>>,
+        /// Opaque resume token from the previous chunk.
+        resume: Option<Vec<u8>>,
+        /// Maximum entries in this chunk.
+        limit: u64,
+    },
+    /// Admin: drop a secondary index and purge its entries.
+    DropIndex {
+        /// Index name.
+        name: String,
+    },
     /// Handshake accepted.
     HelloOk {
         /// Whether the authenticated tenant may issue admin frames.
@@ -178,6 +207,14 @@ pub enum Message {
         /// The JSON body.
         json: String,
     },
+    /// Index scan chunk results.
+    IndexEntries {
+        /// `(secondary, primary)` pairs in index order.
+        entries: Vec<(Vec<u8>, Vec<u8>)>,
+        /// Pass back verbatim to fetch the next chunk; `None` means the
+        /// scan is exhausted.
+        resume: Option<Vec<u8>>,
+    },
     /// Typed error response.
     Error(WireError),
 }
@@ -196,6 +233,9 @@ impl Message {
             Message::Ping => FrameKind::Ping,
             Message::Health => FrameKind::Health,
             Message::MetricsSnapshot => FrameKind::MetricsSnapshot,
+            Message::CreateIndex { .. } => FrameKind::CreateIndex,
+            Message::IndexScan { .. } => FrameKind::IndexScan,
+            Message::DropIndex { .. } => FrameKind::DropIndex,
             Message::HelloOk { .. } => FrameKind::HelloOk,
             Message::Ok => FrameKind::Ok,
             Message::Value { .. } => FrameKind::Value,
@@ -203,6 +243,7 @@ impl Message {
             Message::Entries { .. } => FrameKind::Entries,
             Message::Pong => FrameKind::Pong,
             Message::Report { .. } => FrameKind::Report,
+            Message::IndexEntries { .. } => FrameKind::IndexEntries,
             Message::Error(_) => FrameKind::Error,
         }
     }
@@ -253,6 +294,39 @@ impl Message {
                 }
             }
             Message::Ping | Message::Health | Message::MetricsSnapshot | Message::Ok | Message::Pong => {}
+            Message::CreateIndex { name, projection } => {
+                put_length_prefixed_slice(&mut buf, name.as_bytes());
+                match projection {
+                    Some((offset, len)) => {
+                        buf.push(1);
+                        put_varint64(&mut buf, *offset);
+                        put_varint64(&mut buf, *len);
+                    }
+                    None => buf.push(0),
+                }
+            }
+            Message::IndexScan {
+                name,
+                sec_start,
+                sec_end,
+                resume,
+                limit,
+            } => {
+                put_length_prefixed_slice(&mut buf, name.as_bytes());
+                put_optional_slice(&mut buf, sec_start.as_deref());
+                put_optional_slice(&mut buf, sec_end.as_deref());
+                put_optional_slice(&mut buf, resume.as_deref());
+                put_varint64(&mut buf, *limit);
+            }
+            Message::DropIndex { name } => put_length_prefixed_slice(&mut buf, name.as_bytes()),
+            Message::IndexEntries { entries, resume } => {
+                put_varint64(&mut buf, entries.len() as u64);
+                for (secondary, primary) in entries {
+                    put_length_prefixed_slice(&mut buf, secondary);
+                    put_length_prefixed_slice(&mut buf, primary);
+                }
+                put_optional_slice(&mut buf, resume.as_deref());
+            }
             Message::HelloOk { admin } => buf.push(*admin as u8),
             Message::Value { value } => put_optional_slice(&mut buf, value.as_deref()),
             Message::Values { values } => {
@@ -375,6 +449,33 @@ impl Message {
             }
             FrameKind::Pong => Message::Pong,
             FrameKind::Report => Message::Report { json: r.string()? },
+            FrameKind::CreateIndex => {
+                let name = r.string()?;
+                let projection = match r.byte()? {
+                    0 => None,
+                    _ => Some((r.varint()?, r.varint()?)),
+                };
+                Message::CreateIndex { name, projection }
+            }
+            FrameKind::IndexScan => Message::IndexScan {
+                name: r.string()?,
+                sec_start: read_optional_slice(&mut r)?,
+                sec_end: read_optional_slice(&mut r)?,
+                resume: read_optional_slice(&mut r)?,
+                limit: r.varint()?,
+            },
+            FrameKind::DropIndex => Message::DropIndex { name: r.string()? },
+            FrameKind::IndexEntries => {
+                let count = r.count(payload.len())?;
+                let mut entries = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let secondary = r.slice()?.to_vec();
+                    let primary = r.slice()?.to_vec();
+                    entries.push((secondary, primary));
+                }
+                let resume = read_optional_slice(&mut r)?;
+                Message::IndexEntries { entries, resume }
+            }
             FrameKind::Error => Message::Error(WireError {
                 code: r.byte()?,
                 detail: r.varint()?,
@@ -530,6 +631,39 @@ mod tests {
             Message::Ping,
             Message::Health,
             Message::MetricsSnapshot,
+            Message::CreateIndex {
+                name: "by_cat".into(),
+                projection: Some((4, 8)),
+            },
+            Message::CreateIndex {
+                name: "whole".into(),
+                projection: None,
+            },
+            Message::IndexScan {
+                name: "by_cat".into(),
+                sec_start: Some(b"a".to_vec()),
+                sec_end: Some(b"m".to_vec()),
+                resume: None,
+                limit: 128,
+            },
+            Message::IndexScan {
+                name: "by_cat".into(),
+                sec_start: None,
+                sec_end: None,
+                resume: Some(b"\xfe\x00\x00\x00\x01token".to_vec()),
+                limit: 1,
+            },
+            Message::DropIndex {
+                name: "by_cat".into(),
+            },
+            Message::IndexEntries {
+                entries: vec![(b"cat".to_vec(), b"k1".to_vec()), (Vec::new(), b"k2".to_vec())],
+                resume: Some(b"next".to_vec()),
+            },
+            Message::IndexEntries {
+                entries: Vec::new(),
+                resume: None,
+            },
             Message::HelloOk { admin: true },
             Message::Ok,
             Message::Value {
@@ -570,6 +704,23 @@ mod tests {
                 "cut at {cut}"
             );
         }
+        let payload = Message::IndexScan {
+            name: "by_cat".into(),
+            sec_start: Some(b"a".to_vec()),
+            sec_end: None,
+            resume: Some(b"r".to_vec()),
+            limit: 9,
+        }
+        .encode_payload();
+        for cut in 0..payload.len() {
+            assert!(
+                matches!(
+                    Message::decode(FrameKind::IndexScan as u8, &payload[..cut]),
+                    Err(Error::ProtocolError(_))
+                ),
+                "index scan cut at {cut}"
+            );
+        }
     }
 
     #[test]
@@ -606,6 +757,8 @@ mod tests {
             },
             Error::AuthFailed("authentication failed: t".into()),
             Error::ProtocolError("protocol error: p".into()),
+            Error::IndexNotFound("index not found: i".into()),
+            Error::IndexNotReady("index not ready: i".into()),
         ];
         for e in errors {
             let wire = error_to_wire(&e);
@@ -733,6 +886,27 @@ mod tests {
                 value: value.into(),
             }).collect();
             let msg = Message::Entries { entries };
+            prop_assert_eq!(round_trip(&msg), msg);
+        }
+
+        #[test]
+        fn prop_index_scan_round_trips(
+            name in arb_string(),
+            sec_start in arb_opt_bytes(),
+            sec_end in arb_opt_bytes(),
+            resume in arb_opt_bytes(),
+            limit in any::<u64>(),
+        ) {
+            let msg = Message::IndexScan { name, sec_start, sec_end, resume, limit };
+            prop_assert_eq!(round_trip(&msg), msg);
+        }
+
+        #[test]
+        fn prop_index_entries_round_trips(
+            entries in proptest::collection::vec((arb_bytes(), arb_bytes()), 0..16),
+            resume in arb_opt_bytes(),
+        ) {
+            let msg = Message::IndexEntries { entries, resume };
             prop_assert_eq!(round_trip(&msg), msg);
         }
 

@@ -9,6 +9,9 @@
 //!   put KEY VALUE      write KEY = VALUE
 //!   del KEY            delete KEY
 //!   scan START [N]     print up to N entries (default 10) from START
+//!   mkindex NAME [OFF LEN]   create index on whole value, or value[OFF..OFF+LEN] (admin)
+//!   rmindex NAME       drop index NAME and purge its entries (admin)
+//!   iscan NAME SEC [N] print up to N primaries (default 10) with secondary SEC
 //!   health             print the cluster health report (admin)
 //!   metrics            print the metrics snapshot (admin)
 //!   ping               round-trip liveness probe
@@ -41,7 +44,7 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: nova-cli [--addr ADDR] [--tenant NAME --token TOKEN] [COMMAND [ARGS...]]\n\
-                     commands: get KEY | put KEY VALUE | del KEY | scan START [N] | health | metrics | ping"
+                     commands: get KEY | put KEY VALUE | del KEY | scan START [N] | mkindex NAME [OFF LEN] | rmindex NAME | iscan NAME SEC [N] | health | metrics | ping"
                 );
                 return;
             }
@@ -104,11 +107,44 @@ fn run_command(client: &RemoteClient, words: &[&str]) -> bool {
                 println!("({} entries)", entries.len());
             })
         }
+        ("mkindex", [name]) => client.create_index(name, None).map(|()| println!("OK")),
+        ("mkindex", [name, offset, len]) => match (offset.parse::<u64>(), len.parse::<u64>()) {
+            (Ok(offset), Ok(len)) => client
+                .create_index(name, Some((offset, len)))
+                .map(|()| println!("OK")),
+            _ => {
+                eprintln!("mkindex: OFF and LEN must be integers");
+                return false;
+            }
+        },
+        ("rmindex", [name]) => client.drop_index(name).map(|()| println!("OK")),
+        ("iscan", [name, secondary, rest @ ..]) if rest.len() <= 1 => {
+            let limit: usize = rest.first().map(|s| s.parse().unwrap_or(10)).unwrap_or(10);
+            let sec = secondary.as_bytes();
+            let upper = {
+                let mut upper = sec.to_vec();
+                upper.push(0);
+                upper
+            };
+            (|| {
+                let mut seen = 0usize;
+                for pair in client.index_scan(name, Some(sec), Some(&upper), limit.clamp(1, 1024)) {
+                    let (_, primary) = pair?;
+                    println!("{}", String::from_utf8_lossy(&primary));
+                    seen += 1;
+                    if seen >= limit {
+                        break;
+                    }
+                }
+                println!("({seen} primaries)");
+                Ok(())
+            })()
+        }
         ("health", []) => client.health_json().map(|json| println!("{json}")),
         ("metrics", []) => client.metrics_json().map(|json| println!("{json}")),
         ("ping", []) => client.ping().map(|()| println!("PONG")),
         ("help", _) => {
-            println!("commands: get KEY | put KEY VALUE | del KEY | scan START [N] | health | metrics | ping | quit");
+            println!("commands: get KEY | put KEY VALUE | del KEY | scan START [N] | mkindex NAME [OFF LEN] | rmindex NAME | iscan NAME SEC [N] | health | metrics | ping | quit");
             Ok(())
         }
         _ => {

@@ -36,7 +36,7 @@
 mod remote;
 mod server;
 
-pub use remote::{RemoteClient, RemoteScanCursor};
+pub use remote::{RemoteClient, RemoteIndexScanCursor, RemoteScanCursor};
 pub use server::NovaServer;
 
 /// The bytewise successor of `key`: the smallest key strictly greater than

@@ -288,6 +288,48 @@ impl RemoteClient {
         Ok(out)
     }
 
+    /// Admin: create a secondary index named `name` and synchronously
+    /// backfill it (requires an admin tenant). `projection` is `None` to
+    /// index the whole value, or `Some((offset, len))` to index a fixed
+    /// slice of it.
+    pub fn create_index(&self, name: &str, projection: Option<(u64, u64)>) -> Result<()> {
+        self.expect_ok(&Message::CreateIndex {
+            name: name.to_string(),
+            projection,
+        })
+    }
+
+    /// Admin: drop the secondary index named `name` and purge its entries
+    /// (requires an admin tenant).
+    pub fn drop_index(&self, name: &str) -> Result<()> {
+        self.expect_ok(&Message::DropIndex {
+            name: name.to_string(),
+        })
+    }
+
+    /// Stream `(secondary, primary)` pairs of the index named `name` whose
+    /// secondary keys fall in `[sec_start, sec_end)` (`None` = unbounded)
+    /// as a lazy cursor. Each chunk is one `index_scan` request of
+    /// `chunk` entries; the cursor resumes with the server's opaque token.
+    pub fn index_scan<'a>(
+        &'a self,
+        name: &str,
+        sec_start: Option<&[u8]>,
+        sec_end: Option<&[u8]>,
+        chunk: usize,
+    ) -> RemoteIndexScanCursor<'a> {
+        RemoteIndexScanCursor {
+            client: self,
+            name: name.to_string(),
+            sec_start: sec_start.map(|s| s.to_vec()),
+            sec_end: sec_end.map(|s| s.to_vec()),
+            resume: None,
+            chunk: chunk.clamp(1, 4096),
+            buffer: VecDeque::new(),
+            done: false,
+        }
+    }
+
     /// Admin: the cluster health report as JSON (requires an admin tenant).
     pub fn health_json(&self) -> Result<String> {
         match self.call(&Message::Health)? {
@@ -364,6 +406,62 @@ impl Iterator for RemoteScanCursor<'_> {
     }
 }
 
+/// A lazy streaming secondary-index scan over a remote server; yields
+/// `(secondary, primary)` pairs in index order, pulling one `index_scan`
+/// request at a time and resuming with the server's opaque token.
+pub struct RemoteIndexScanCursor<'a> {
+    client: &'a RemoteClient,
+    name: String,
+    sec_start: Option<Vec<u8>>,
+    sec_end: Option<Vec<u8>>,
+    resume: Option<Vec<u8>>,
+    chunk: usize,
+    buffer: VecDeque<(Vec<u8>, Vec<u8>)>,
+    done: bool,
+}
+
+impl Iterator for RemoteIndexScanCursor<'_> {
+    type Item = Result<(Vec<u8>, Vec<u8>)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(pair) = self.buffer.pop_front() {
+                return Some(Ok(pair));
+            }
+            if self.done {
+                return None;
+            }
+            let response = self.client.call(&Message::IndexScan {
+                name: self.name.clone(),
+                sec_start: self.sec_start.clone(),
+                sec_end: self.sec_end.clone(),
+                resume: self.resume.clone(),
+                limit: self.chunk as u64,
+            });
+            let (entries, resume) = match response {
+                Ok(Message::IndexEntries { entries, resume }) => (entries, resume),
+                Ok(other) => {
+                    self.done = true;
+                    return Some(Err(unexpected(&other)));
+                }
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(e));
+                }
+            };
+            // An absent resume token means the scan is exhausted.
+            self.resume = resume;
+            if self.resume.is_none() {
+                self.done = true;
+            }
+            if entries.is_empty() && self.buffer.is_empty() && self.done {
+                return None;
+            }
+            self.buffer.extend(entries);
+        }
+    }
+}
+
 /// The YCSB driver's store interface, served over the wire: workloads and
 /// benches drive a remote server exactly as they drive the in-process
 /// client.
@@ -414,6 +512,26 @@ impl KvInterface for RemoteClient {
             entry?;
             seen += 1;
             if seen >= count {
+                break;
+            }
+        }
+        Ok(seen)
+    }
+
+    fn secondary_lookup(&self, secondary: &[u8], limit: usize) -> Result<usize> {
+        // Exact match: [secondary, successor(secondary)) over the raw
+        // secondary-key space, against the workload's well-known index.
+        let upper = crate::key_successor(secondary);
+        let mut seen = 0;
+        for pair in self.index_scan(
+            nova_ycsb::SECONDARY_INDEX_NAME,
+            Some(secondary),
+            Some(&upper),
+            limit.clamp(1, 1024),
+        ) {
+            pair?;
+            seen += 1;
+            if seen >= limit {
                 break;
             }
         }

@@ -3,7 +3,7 @@
 
 use nova_common::config::ServerConfig;
 use nova_common::{Error, ReadOptions, Result};
-use nova_lsm::{NovaClient, NovaCluster, TokenBucket};
+use nova_lsm::{NovaClient, NovaCluster, TokenBucket, ValueProjection};
 use nova_obs::{AtomicHistogram, Gauge};
 use nova_proto::{error_to_wire, read_frame, write_message, Message};
 use parking_lot::Mutex;
@@ -42,6 +42,7 @@ struct ServerMetrics {
     op_multi_get: Arc<AtomicHistogram>,
     op_put_batch: Arc<AtomicHistogram>,
     op_scan: Arc<AtomicHistogram>,
+    op_index_scan: Arc<AtomicHistogram>,
 }
 
 impl ServerMetrics {
@@ -61,6 +62,7 @@ impl ServerMetrics {
             op_multi_get: m.histogram("server.op.multi_get.micros"),
             op_put_batch: m.histogram("server.op.put_batch.micros"),
             op_scan: m.histogram("server.op.scan.micros"),
+            op_index_scan: m.histogram("server.op.index_scan.micros"),
         }
     }
 }
@@ -322,6 +324,7 @@ fn handle_message<'a>(shared: &'a Shared, session: &mut Session<'a>, msg: Messag
         Message::Get { .. } | Message::Put { .. } | Message::Delete { .. } | Message::ScanChunk { .. } => 1,
         Message::MultiGet { keys, .. } => keys.len() as u64,
         Message::PutBatch { pairs, .. } => pairs.len() as u64,
+        Message::IndexScan { limit, .. } => (*limit).max(1),
         _ => 0,
     };
     if cost > 0 {
@@ -390,6 +393,54 @@ fn dispatch(shared: &Shared, msg: Message, admin: bool) -> Message {
             Some(&shared.metrics.op_scan),
             scan_chunk(client, options, &start, end.as_deref()),
         ),
+        Message::IndexScan {
+            name,
+            sec_start,
+            sec_end,
+            resume,
+            limit,
+        } => (
+            Some(&shared.metrics.op_index_scan),
+            client
+                .index_scan_chunk(
+                    &name,
+                    sec_start.as_deref(),
+                    sec_end.as_deref(),
+                    resume.as_deref(),
+                    (limit as usize).clamp(1, 4096),
+                )
+                .map(|(entries, resume)| Message::IndexEntries {
+                    entries: entries.into_iter().map(|e| (e.secondary, e.primary)).collect(),
+                    resume,
+                }),
+        ),
+        Message::CreateIndex { name, projection } => {
+            if admin {
+                let projection = match projection {
+                    None => ValueProjection::Whole,
+                    Some((offset, len)) => ValueProjection::Slice {
+                        offset: offset as usize,
+                        len: len as usize,
+                    },
+                };
+                (
+                    None,
+                    shared
+                        .cluster
+                        .create_index(&name, projection)
+                        .map(|_id| Message::Ok),
+                )
+            } else {
+                (None, Err(admin_required("create_index")))
+            }
+        }
+        Message::DropIndex { name } => {
+            if admin {
+                (None, shared.cluster.drop_index(&name).map(|()| Message::Ok))
+            } else {
+                (None, Err(admin_required("drop_index")))
+            }
+        }
         Message::Health => {
             if admin {
                 (

@@ -8,7 +8,7 @@
 //! histogram.
 
 use crate::stats::RunReport;
-use crate::workload::{Mix, Operation, OperationGenerator, Workload};
+use crate::workload::{category_of, category_value, Mix, Operation, OperationGenerator, Workload};
 use nova_common::histogram::{Histogram, ThroughputSeries};
 use nova_common::keyspace::encode_key;
 use nova_common::{Error, Result};
@@ -56,6 +56,16 @@ pub trait KvInterface: Send + Sync {
     /// scan never reads past the requested interval.
     fn scan_range(&self, start_key: &[u8], _end_key: &[u8], count: usize) -> Result<usize> {
         self.scan(start_key, count)
+    }
+
+    /// Fetch up to `limit` records whose secondary key equals `secondary`;
+    /// returns the number of records observed. The default fails with a
+    /// terminal [`Error::Unavailable`] — only stores with a secondary
+    /// index (Nova-LSM's `index_lookup_rows`) override it, so running the
+    /// secondary-lookup mix against an unindexed store surfaces as errors
+    /// rather than silently measuring nothing.
+    fn secondary_lookup(&self, _secondary: &[u8], _limit: usize) -> Result<usize> {
+        Err(Error::Unavailable("store has no secondary index".into()))
     }
 }
 
@@ -239,6 +249,10 @@ pub fn run<S: KvInterface + ?Sized>(store: &S, workload: &Workload, config: &Dri
             // issue them through the end-bounded cursor path so a store
             // with real range cursors never reads past the interval.
             let bounded_scans = matches!(workload.mix, Mix::E);
+            // The secondary-lookup mix writes values whose first bytes are
+            // the key's category code, so a value-projecting index over the
+            // prefix has something to find.
+            let category_values = matches!(workload.mix, Mix::Sl50);
             handles.push(scope.spawn(move || {
                 let mut generator = OperationGenerator::new(workload, seed);
                 let mut get_hist = Histogram::new();
@@ -274,7 +288,14 @@ pub fn run<S: KvInterface + ?Sized>(store: &S, workload: &Workload, config: &Dri
                             ops_done += n;
                             errors += e;
                             completed.fetch_add(n, Ordering::Relaxed);
-                            pending.push((encode_key(*key), vec![b'w'; *value_size]));
+                            pending.push((
+                                encode_key(*key),
+                                if category_values {
+                                    category_value(*key, *value_size)
+                                } else {
+                                    vec![b'w'; *value_size]
+                                },
+                            ));
                             if pending.len() >= batch_size {
                                 let (n, e) = flush_batch(store, &mut pending, &mut put_hist, retry_budget);
                                 ops_done += n;
@@ -314,7 +335,12 @@ pub fn run<S: KvInterface + ?Sized>(store: &S, workload: &Workload, config: &Dri
                     let outcome = with_retries(retry_budget, || match &op {
                         Operation::Get { key } => store.get(&encode_key(*key)).map(|_| ()),
                         Operation::Put { key, value_size } => {
-                            store.put(&encode_key(*key), &vec![b'w'; *value_size])
+                            let value = if category_values {
+                                category_value(*key, *value_size)
+                            } else {
+                                vec![b'w'; *value_size]
+                            };
+                            store.put(&encode_key(*key), &value)
                         }
                         Operation::Scan { start_key, count } => {
                             if bounded_scans {
@@ -329,12 +355,17 @@ pub fn run<S: KvInterface + ?Sized>(store: &S, workload: &Workload, config: &Dri
                                 store.scan(&encode_key(*start_key), *count).map(|_| ())
                             }
                         }
+                        Operation::SecondaryLookup { category, limit } => store
+                            .secondary_lookup(&category_of(*category), *limit)
+                            .map(|_| ()),
                     });
                     let latency = op_start.elapsed();
                     match &op {
                         Operation::Get { .. } => get_hist.record(latency),
                         Operation::Put { .. } => put_hist.record(latency),
-                        Operation::Scan { .. } => scan_hist.record(latency),
+                        Operation::Scan { .. } | Operation::SecondaryLookup { .. } => {
+                            scan_hist.record(latency)
+                        }
                     }
                     if outcome.is_err() {
                         errors += 1;
@@ -625,6 +656,72 @@ mod tests {
             report.scans.count(),
             "every workload-E scan must travel the end-bounded path"
         );
+    }
+
+    #[test]
+    fn secondary_lookup_mix_routes_through_the_hook_with_category_values() {
+        use std::sync::atomic::AtomicU64;
+
+        /// Counts secondary lookups and checks every put carries a valid
+        /// category prefix.
+        #[derive(Default)]
+        struct IndexedStore {
+            inner: MapStore,
+            lookups: AtomicU64,
+        }
+
+        impl KvInterface for IndexedStore {
+            fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+                let prefix = std::str::from_utf8(&value[..crate::workload::CATEGORY_WIDTH])
+                    .expect("category prefix must be ascii digits");
+                let category: u64 = prefix.parse().expect("category prefix must parse");
+                assert!(category < crate::workload::NUM_CATEGORIES);
+                self.inner.put(key, value)
+            }
+            fn get(&self, key: &[u8]) -> Result<bool> {
+                self.inner.get(key)
+            }
+            fn scan(&self, start_key: &[u8], count: usize) -> Result<usize> {
+                self.inner.scan(start_key, count)
+            }
+            fn secondary_lookup(&self, secondary: &[u8], limit: usize) -> Result<usize> {
+                assert_eq!(secondary.len(), crate::workload::CATEGORY_WIDTH);
+                self.lookups.fetch_add(1, Ordering::Relaxed);
+                let data = self.inner.data.read();
+                Ok(data
+                    .values()
+                    .filter(|v| v.starts_with(secondary))
+                    .take(limit)
+                    .count())
+            }
+        }
+
+        let store = IndexedStore::default();
+        let workload = Workload::new(Mix::Sl50, Distribution::Uniform, 400, 16);
+        let config = DriverConfig {
+            threads: 2,
+            run_length: RunLength::Operations(300),
+            sample_interval: Duration::from_millis(50),
+            seed: 17,
+            retry_budget: 2,
+            batch_size: 1,
+            read_batch_size: 1,
+        };
+        let report = run(&store, &workload, &config);
+        assert_eq!(report.errors, 0);
+        let lookups = store.lookups.load(Ordering::Relaxed);
+        assert!(lookups > 0, "SL50 must issue secondary lookups");
+        assert_eq!(
+            report.scans.count(),
+            lookups,
+            "lookup latencies land in the scan histogram"
+        );
+
+        // The default hook is a terminal error: the mix against an
+        // unindexed store counts every lookup as an error.
+        let plain = MapStore::default();
+        let report = run(&plain, &workload, &config);
+        assert!(report.errors > 0, "unindexed stores must surface lookup errors");
     }
 
     #[test]

@@ -17,5 +17,14 @@ pub mod zipfian;
 
 pub use driver::{load, run, DriverConfig, KvInterface, RunLength};
 pub use stats::RunReport;
-pub use workload::{Distribution, Mix, Operation, OperationGenerator, Workload};
+pub use workload::{
+    category_of, category_value, Distribution, Mix, Operation, OperationGenerator, Workload, CATEGORY_WIDTH,
+    NUM_CATEGORIES,
+};
+
+/// The well-known name of the secondary index the secondary-lookup mix and
+/// the `fig28_secondary` experiment query: a [`CATEGORY_WIDTH`]-byte slice
+/// projection at offset 0 (the category prefix written by
+/// [`category_value`]).
+pub const SECONDARY_INDEX_NAME: &str = "ycsb_category";
 pub use zipfian::Zipfian;

@@ -50,6 +50,32 @@ pub enum Mix {
     /// YCSB workload E: 95% short range scans, 5% inserts. The scan-heavy
     /// workload the streaming range-scan cursor opens up.
     E,
+    /// 50% secondary lookups, 50% writes. Writes carry a fixed-width
+    /// category prefix (see [`category_of`]); lookups fetch the primaries
+    /// of one category through the driver's `secondary_lookup` hook — the
+    /// workload the ordered secondary index opens up.
+    Sl50,
+}
+
+/// Number of distinct categories the secondary-lookup mix writes.
+pub const NUM_CATEGORIES: u64 = 100;
+
+/// Width in bytes of the category prefix ([`category_of`]).
+pub const CATEGORY_WIDTH: usize = 4;
+
+/// The fixed-width category code of `key`: `key % NUM_CATEGORIES`,
+/// zero-padded to [`CATEGORY_WIDTH`] digits. Indexing the first
+/// [`CATEGORY_WIDTH`] bytes of the value recovers it.
+pub fn category_of(key: u64) -> Vec<u8> {
+    format!("{:0width$}", key % NUM_CATEGORIES, width = CATEGORY_WIDTH).into_bytes()
+}
+
+/// A value of `value_size` bytes whose first [`CATEGORY_WIDTH`] bytes are
+/// the category code of `key` (short values are grown to fit the prefix).
+pub fn category_value(key: u64, value_size: usize) -> Vec<u8> {
+    let mut value = category_of(key);
+    value.resize(value_size.max(CATEGORY_WIDTH), b'w');
+    value
 }
 
 impl Mix {
@@ -61,6 +87,7 @@ impl Mix {
             Mix::W100 => "W100",
             Mix::R100 => "R100",
             Mix::E => "E",
+            Mix::Sl50 => "SL50",
         }
     }
 
@@ -91,6 +118,13 @@ pub enum Operation {
         start_key: u64,
         /// Number of records to read (the paper uses 10).
         count: usize,
+    },
+    /// Fetch up to `limit` primaries whose secondary key is `category`.
+    SecondaryLookup {
+        /// The category code (`key % NUM_CATEGORIES`).
+        category: u64,
+        /// Maximum primaries to fetch.
+        limit: usize,
     },
 }
 
@@ -204,6 +238,16 @@ impl OperationGenerator {
                     write
                 }
             }
+            Mix::Sl50 => {
+                if self.rng.gen_bool(0.5) {
+                    Operation::SecondaryLookup {
+                        category: key % NUM_CATEGORIES,
+                        limit: self.workload.scan_length,
+                    }
+                } else {
+                    write
+                }
+            }
         }
     }
 
@@ -242,7 +286,7 @@ mod tests {
             match generator.next_operation() {
                 Operation::Get { .. } => gets += 1,
                 Operation::Put { .. } => puts += 1,
-                Operation::Scan { .. } => panic!("RW50 never scans"),
+                _ => panic!("RW50 only reads and writes"),
             }
         }
         let ratio = gets as f64 / (gets + puts) as f64;
@@ -272,7 +316,7 @@ mod tests {
             match generator.next_operation() {
                 Operation::Scan { .. } => scans += 1,
                 Operation::Put { .. } => {}
-                Operation::Get { .. } => panic!("workload E never issues point gets"),
+                _ => panic!("workload E only scans and inserts"),
             }
         }
         assert!((9_300..9_700).contains(&scans), "E scan share {scans}/10000");

@@ -1,0 +1,249 @@
+//! Consistency tests for the ordered secondary index subsystem: the index
+//! must agree with a filter over the full base scan under arbitrary
+//! put/update/delete interleavings (including across an LTC crash and
+//! recovery), and index maintenance plus indexed lookups must survive
+//! concurrent range migrations without a single terminal error.
+
+use nova_common::keyspace::encode_key;
+use nova_common::ReadOptions;
+use nova_lsm::{presets, NovaClient, NovaCluster, ValueProjection};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Width of the secondary key: the first bytes of every value.
+const SEC_WIDTH: usize = 2;
+const INDEX: &str = "by_prefix";
+
+/// A value whose first [`SEC_WIDTH`] bytes are the category code.
+fn categorized(category: u8, suffix: &[u8]) -> Vec<u8> {
+    let mut value = vec![b'c', b'0' + category];
+    value.extend_from_slice(suffix);
+    value
+}
+
+/// The reference the index must agree with: every `(secondary, primary)`
+/// pair recoverable by scanning the base keyspace and projecting each
+/// value, in index order.
+fn scan_filter_reference(client: &NovaClient, num_keys: u64) -> Vec<(Vec<u8>, Vec<u8>)> {
+    let mut rows: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+    // The end bound keeps the scan on the base keyspace, off the 0xFE
+    // index keyspace.
+    for entry in client.scan_range(
+        &encode_key(0),
+        Some(&encode_key(num_keys)),
+        ReadOptions::default().with_chunk(128),
+    ) {
+        let entry = entry.expect("base scan");
+        rows.push((entry.value[..SEC_WIDTH].to_vec(), entry.key.to_vec()));
+    }
+    rows.sort();
+    rows
+}
+
+/// Every `(secondary, primary)` posting the index holds, in index order.
+fn index_contents(client: &NovaClient) -> Vec<(Vec<u8>, Vec<u8>)> {
+    client
+        .index_scan(INDEX, None, None, ReadOptions::default().with_chunk(64))
+        .expect("index scan")
+        .map(|e| {
+            let e = e.expect("index cursor must not surface terminal errors");
+            (e.secondary, e.primary)
+        })
+        .collect()
+}
+
+/// An operation in the randomly generated maintenance workload.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Put (insert or category-moving update) of a key.
+    Put(u64, u8, Vec<u8>),
+    /// Delete a key (present or absent).
+    Delete(u64),
+    /// Validated lookup of one category, checked against the model.
+    Lookup(u8),
+}
+
+fn op_strategy(num_keys: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..num_keys, 0..4u8, proptest::collection::vec(any::<u8>(), 0..24))
+            .prop_map(|(k, c, s)| Op::Put(k, c, s)),
+        (0..num_keys, 0..4u8, proptest::collection::vec(any::<u8>(), 0..24))
+            .prop_map(|(k, c, s)| Op::Put(k, c, s)),
+        (0..num_keys).prop_map(Op::Delete),
+        (0..4u8).prop_map(Op::Lookup),
+    ]
+}
+
+fn check_lookup(client: &NovaClient, model: &BTreeMap<u64, Vec<u8>>, category: u8) {
+    let secondary = vec![b'c', b'0' + category];
+    let got: Vec<u64> = client
+        .index_lookup_rows(INDEX, &secondary, usize::MAX)
+        .expect("indexed lookup")
+        .into_iter()
+        .map(|(primary, value)| {
+            assert!(
+                value.starts_with(&secondary),
+                "joined row from the wrong category"
+            );
+            nova_common::keyspace::decode_key(&primary).expect("primary decodes")
+        })
+        .collect();
+    let expected: Vec<u64> = model
+        .iter()
+        .filter(|(_, v)| v.starts_with(&secondary))
+        .map(|(k, _)| *k)
+        .collect();
+    assert_eq!(
+        got, expected,
+        "lookup({category}) disagrees with the model filter"
+    );
+}
+
+/// Full parity: index contents == projecting a full base scan == the model.
+fn check_full_parity(client: &NovaClient, model: &BTreeMap<u64, Vec<u8>>, num_keys: u64) {
+    let reference = scan_filter_reference(client, num_keys);
+    assert_eq!(
+        index_contents(client),
+        reference,
+        "index and scan-filter reference diverged"
+    );
+    let from_model: Vec<(Vec<u8>, Vec<u8>)> = {
+        let mut rows: Vec<(Vec<u8>, Vec<u8>)> = model
+            .iter()
+            .map(|(k, v)| (v[..SEC_WIDTH].to_vec(), encode_key(*k)))
+            .collect();
+        rows.sort();
+        rows
+    };
+    assert_eq!(reference, from_model, "store and model diverged");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, max_shrink_iters: 0, ..ProptestConfig::default() })]
+    #[test]
+    fn index_scan_matches_a_scan_filter_under_random_maintenance(
+        ops in proptest::collection::vec(op_strategy(128), 1..120),
+    ) {
+        let num_keys = 128u64;
+        let mut config = presets::test_cluster(2, 2, num_keys);
+        // Tiny memtables so postings cross flushes, and a replicated log so
+        // the crash below loses nothing acked.
+        config.range.memtable_size_bytes = 4 * 1024;
+        config.range.log_policy =
+            nova_common::config::LogPolicy::InMemoryReplicated { replicas: 2 };
+        let cluster = NovaCluster::start(config).unwrap();
+        let client = NovaClient::new(cluster.clone());
+        cluster
+            .create_index(INDEX, ValueProjection::Slice { offset: 0, len: SEC_WIDTH })
+            .unwrap();
+
+        let mut model: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+        for op in &ops {
+            match op {
+                Op::Put(k, category, suffix) => {
+                    let value = categorized(*category, suffix);
+                    client.put_numeric(*k, &value).unwrap();
+                    model.insert(*k, value);
+                }
+                Op::Delete(k) => {
+                    client.delete(&encode_key(*k)).unwrap();
+                    model.remove(k);
+                }
+                Op::Lookup(category) => check_lookup(&client, &model, *category),
+            }
+        }
+        check_full_parity(&client, &model, num_keys);
+
+        // Crash one LTC and recover it: the replayed log must restore the
+        // index postings alongside the base records.
+        let failed = cluster.ltc_ids()[1];
+        cluster.fail_and_recover_ltc(failed).unwrap();
+        check_full_parity(&client, &model, num_keys);
+        for category in 0..4u8 {
+            check_lookup(&client, &model, category);
+        }
+        cluster.shutdown();
+    }
+}
+
+/// Index maintenance and indexed lookups while a migrator thread flips every
+/// range between the two LTCs: zero terminal errors, and exact parity with
+/// the model once the dust settles.
+#[test]
+fn index_maintenance_and_lookups_survive_concurrent_migration() {
+    let num_keys = 2_000u64;
+    let mut config = presets::test_cluster(2, 2, num_keys);
+    config.ranges_per_ltc = 2;
+    let cluster = NovaCluster::start(config).unwrap();
+    let client = NovaClient::new(cluster.clone());
+    cluster
+        .create_index(
+            INDEX,
+            ValueProjection::Slice {
+                offset: 0,
+                len: SEC_WIDTH,
+            },
+        )
+        .unwrap();
+
+    let mut model: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+    for i in 0..1_000u64 {
+        let value = categorized((i % 8) as u8, format!("seed-{i}").as_bytes());
+        client.put_numeric(i, &value).unwrap();
+        model.insert(i, value);
+    }
+
+    let epoch_before = cluster.coordinator().configuration().epoch;
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let migrator = scope.spawn(|| {
+            let ltcs = cluster.ltc_ids();
+            let mut flips = 0u32;
+            while !stop.load(std::sync::atomic::Ordering::SeqCst) && flips < 10_000 {
+                let assignment = cluster.coordinator().configuration();
+                for range in assignment.range_assignment.keys().copied().collect::<Vec<_>>() {
+                    let owner = assignment.ltc_of(range).unwrap();
+                    let other = *ltcs.iter().find(|l| **l != owner).unwrap();
+                    cluster.migrate_range(range, other).unwrap();
+                    flips += 1;
+                }
+                std::thread::sleep(std::time::Duration::from_micros(500));
+            }
+        });
+
+        // The sole writer: category-moving updates, deletes, inserts, and
+        // validated lookups — every call must re-route around the
+        // migrations rather than fail.
+        let mut state = 7u64;
+        for i in 0..1_200u64 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let key = state % num_keys;
+            match i % 4 {
+                0 | 1 => {
+                    let value = categorized(((state >> 32) % 8) as u8, format!("live-{i}").as_bytes());
+                    client.put_numeric(key, &value).unwrap();
+                    model.insert(key, value);
+                }
+                2 => {
+                    client.delete(&encode_key(key)).unwrap();
+                    model.remove(&key);
+                }
+                _ => check_lookup(&client, &model, (state % 8) as u8),
+            }
+        }
+        stop.store(true, std::sync::atomic::Ordering::SeqCst);
+        migrator.join().unwrap();
+    });
+
+    assert!(
+        cluster.coordinator().configuration().epoch > epoch_before,
+        "ownership must actually have flipped during the run"
+    );
+    check_full_parity(&client, &model, num_keys);
+    for category in 0..8u8 {
+        check_lookup(&client, &model, category);
+    }
+    cluster.shutdown();
+}

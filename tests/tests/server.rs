@@ -336,6 +336,103 @@ fn auth_gates_operations_and_admin_frames() {
 }
 
 #[test]
+fn secondary_index_round_trip_over_the_wire() {
+    let (cluster, mut server, addr) = start_server(10_000, |_| {});
+    let client = RemoteClient::connect(&addr).unwrap();
+
+    // Rows whose first four bytes are a category code.
+    let cat = |i: u64| format!("{:04}", i % 7);
+    for i in 0..200u64 {
+        let value = format!("{}-row-{i}", cat(i));
+        client.put(&encode_key(i), value.as_bytes()).unwrap();
+    }
+
+    // Create the index (anonymous connections are admin when auth is off)
+    // and stream one category back with a tiny chunk so the cursor must
+    // resume on the opaque token several times.
+    client.create_index("by_cat", Some((0, 4))).unwrap();
+    let got: Vec<Vec<u8>> = client
+        .index_scan("by_cat", Some(b"0003"), Some(b"0004"), 5)
+        .map(|pair| pair.unwrap())
+        .map(|(secondary, primary)| {
+            assert_eq!(secondary, b"0003");
+            primary
+        })
+        .collect();
+    let expected: Vec<Vec<u8>> = (0..200u64).filter(|i| i % 7 == 3).map(encode_key).collect();
+    assert_eq!(got, expected, "indexed primaries in order, no dups");
+
+    // Writes after index creation are maintained: moving a row to a new
+    // category updates both postings.
+    client.put(&encode_key(3), b"9999-moved").unwrap();
+    let still: Vec<Vec<u8>> = client
+        .index_scan("by_cat", Some(b"0003"), Some(b"0004"), 64)
+        .map(|pair| pair.unwrap().1)
+        .collect();
+    assert!(!still.contains(&encode_key(3)), "old posting must be gone");
+    let moved: Vec<Vec<u8>> = client
+        .index_scan("by_cat", Some(b"9999"), None, 64)
+        .map(|pair| pair.unwrap().1)
+        .collect();
+    assert_eq!(moved, vec![encode_key(3)]);
+
+    // Unknown index surfaces the typed terminal error.
+    let err = client
+        .index_scan("ghost", None, None, 8)
+        .next()
+        .unwrap()
+        .unwrap_err();
+    assert!(matches!(err, Error::IndexNotFound(_)), "got {err}");
+
+    // Dropping purges the postings and unregisters the name.
+    client.drop_index("by_cat").unwrap();
+    let err = client
+        .index_scan("by_cat", None, None, 8)
+        .next()
+        .unwrap()
+        .unwrap_err();
+    assert!(matches!(err, Error::IndexNotFound(_)), "got {err}");
+
+    server.shutdown();
+    cluster.shutdown();
+}
+
+#[test]
+fn index_admin_frames_require_an_admin_tenant() {
+    let (cluster, mut server, addr) = start_server(1_000, |config| {
+        config.server.require_auth = true;
+        config.server.tenants = vec![
+            TenantConfig::admin("root", "root-token"),
+            TenantConfig {
+                name: "app".into(),
+                token: "app-token".into(),
+                ops_per_sec: 0,
+                admin: false,
+            },
+        ];
+    });
+
+    let app = RemoteClient::connect_as(&addr, "app", "app-token").unwrap();
+    let err = app.create_index("by_cat", None).unwrap_err();
+    assert!(matches!(err, Error::AuthFailed(_)), "got {err}");
+    let err = app.drop_index("by_cat").unwrap_err();
+    assert!(matches!(err, Error::AuthFailed(_)), "got {err}");
+
+    // The admin tenant may create; the plain tenant may then scan.
+    let root = RemoteClient::connect_as(&addr, "root", "root-token").unwrap();
+    root.create_index("by_cat", None).unwrap();
+    app.put(&encode_key(1), b"red").unwrap();
+    let got: Vec<_> = app
+        .index_scan("by_cat", Some(b"red"), None, 8)
+        .map(|pair| pair.unwrap())
+        .collect();
+    assert_eq!(got, vec![(b"red".to_vec(), encode_key(1))]);
+
+    server.shutdown();
+    cluster.shutdown();
+}
+
+#[test]
 fn ycsb_driver_runs_unchanged_over_the_wire() {
     let (cluster, mut server, addr) = start_server(2_000, |_| {});
     let client = RemoteClient::connect(&addr).unwrap();
